@@ -1,0 +1,107 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+1. pass ordering: the paper mandates fan-out restriction *before* buffer
+   insertion (Section IV) — the reverse order leaves unbalanced paths;
+2. wave-simulator throughput vs the analytic model: measured retirement
+   rate must approach one wave per 3 phases (Fig. 4's claim);
+3. technology-weighted balancing: the paper's "component weights" hook.
+"""
+
+import random
+
+import pytest
+
+from repro.core.wavepipe import (
+    ClockingScheme,
+    WaveNetlist,
+    check_balanced,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.suite.table import build_benchmark
+
+BENCH = "ss_pcm"  # small enough to simulate many waves
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return WaveNetlist.from_mig(build_benchmark(BENCH))
+
+
+def test_ordering_ablation(benchmark, netlist, capsys):
+    """fo-first balances; buf-first generally does not."""
+
+    def run_both():
+        good = wave_pipeline(
+            netlist, fanout_limit=2, order="fo-first", verify=False
+        )
+        bad = wave_pipeline(
+            netlist, fanout_limit=2, order="buf-first", verify=False
+        )
+        return good, bad
+
+    good, bad = benchmark.pedantic(run_both, iterations=1, rounds=1)
+    good_violations = len(check_balanced(good.netlist))
+    bad_violations = len(check_balanced(bad.netlist))
+    with capsys.disabled():
+        print(
+            f"\nordering ablation on {BENCH}: fo-first balance violations ="
+            f" {good_violations}, buf-first = {bad_violations}"
+        )
+    assert good_violations == 0
+    assert bad_violations > 0
+
+
+def test_throughput_vs_analytic(benchmark, netlist, capsys):
+    """Measured wave retirement rate approaches the analytic 1/3."""
+    ready = wave_pipeline(netlist, fanout_limit=3, verify=False).netlist
+    rng = random.Random(2017)
+    vectors = [
+        [rng.random() < 0.5 for _ in range(ready.n_inputs)]
+        for _ in range(120)
+    ]
+    report = benchmark.pedantic(
+        simulate_waves, args=(ready, vectors), iterations=1, rounds=1
+    )
+    analytic = 1 / ClockingScheme().n_phases
+    measured = report.measured_throughput()
+    with capsys.disabled():
+        print(
+            f"\nthroughput on {BENCH}: measured {measured:.4f} waves/step "
+            f"vs analytic {analytic:.4f} (fill/drain overhead included)"
+        )
+    assert report.coherent
+    assert measured == pytest.approx(analytic, rel=0.25)
+
+
+def test_phase_count_sweep(benchmark, netlist, capsys):
+    """Extension: 2/3/4-phase clocking all retire coherent waves."""
+    ready = wave_pipeline(netlist, fanout_limit=3, verify=False).netlist
+    rng = random.Random(5)
+    vectors = [
+        [rng.random() < 0.5 for _ in range(ready.n_inputs)]
+        for _ in range(30)
+    ]
+
+    def sweep():
+        return {
+            phases: simulate_waves(
+                ready, vectors, clocking=ClockingScheme(phases)
+            )
+            for phases in (2, 3, 4)
+        }
+
+    reports = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    with capsys.disabled():
+        for phases, report in reports.items():
+            print(
+                f"\n{phases}-phase: coherent={report.coherent} "
+                f"throughput={report.measured_throughput():.3f} waves/step"
+            )
+    for report in reports.values():
+        assert report.coherent
+    # fewer phases = higher throughput (the paper fixes p = 3 for safety)
+    assert (
+        reports[2].measured_throughput()
+        > reports[4].measured_throughput()
+    )

@@ -1,0 +1,60 @@
+"""Runtime benchmarks of the core algorithms themselves.
+
+Not a paper artifact: tracks the cost of buffer insertion, fan-out
+restriction, the combined flow, and wave simulation on a mid-size
+benchmark, so algorithmic regressions show up in CI.
+"""
+
+import random
+
+import pytest
+
+from repro.core.wavepipe import (
+    WaveNetlist,
+    insert_buffers,
+    restrict_fanout,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.suite.table import build_benchmark
+
+BENCH = "i2c"  # 1342 gates, depth 18: quick but non-trivial
+
+
+@pytest.fixture(scope="module")
+def netlist():
+    return WaveNetlist.from_mig(build_benchmark(BENCH))
+
+
+def test_buffer_insertion_runtime(benchmark, netlist):
+    result = benchmark(insert_buffers, netlist)
+    assert result.buffers_added > 0
+
+
+def test_fanout_restriction_runtime(benchmark, netlist):
+    result = benchmark(restrict_fanout, netlist, 3)
+    assert result.fogs_added > 0
+
+
+def test_full_flow_runtime(benchmark, netlist):
+    result = benchmark.pedantic(
+        wave_pipeline,
+        args=(netlist,),
+        kwargs={"fanout_limit": 3, "verify": False},
+        iterations=1,
+        rounds=3,
+    )
+    assert result.size_ratio > 1.0
+
+
+def test_wave_simulation_runtime(benchmark, netlist):
+    ready = wave_pipeline(netlist, fanout_limit=3, verify=False).netlist
+    rng = random.Random(7)
+    vectors = [
+        [rng.random() < 0.5 for _ in range(ready.n_inputs)]
+        for _ in range(12)
+    ]
+    report = benchmark.pedantic(
+        simulate_waves, args=(ready, vectors), iterations=1, rounds=3
+    )
+    assert report.coherent

@@ -1,0 +1,15 @@
+"""Regenerates Fig. 5: balancing buffers vs netlist size + power-law fit.
+
+Paper reference: B(s) = 7.95 * s^0.9; buffers range 2x-4x the original
+netlist size on average.
+"""
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, runner, capsys):
+    result = benchmark.pedantic(
+        fig5.run, args=(runner,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())

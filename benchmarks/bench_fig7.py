@@ -1,0 +1,15 @@
+"""Regenerates Fig. 7: critical-path increase under fan-out restriction.
+
+Paper reference: average CPL increases of 140%, 57%, 36%, 26% for fan-out
+limits 2, 3, 4, 5.
+"""
+
+from repro.experiments import fig7
+
+
+def test_fig7(benchmark, runner, capsys):
+    result = benchmark.pedantic(
+        fig7.run, args=(runner,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())

@@ -1,0 +1,19 @@
+"""Regenerates Fig. 8: normalized netlist-size impact per configuration.
+
+Paper reference: BUF 3.81x; FO2..5 2.48/1.61/1.35/1.25x (FOG shares
+.55/.26/.17/.13); FOx+BUF 9.74/6.21/5.30/4.91x.
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, runner, capsys):
+    result = benchmark.pedantic(
+        fig8.run, args=(runner,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+    # the paper's two structural observations must hold on our suite too
+    for limit in (2, 3, 4, 5):
+        assert result.combination_exceeds_parts(limit)
+        assert result.fog_share_independent(limit)

@@ -1,0 +1,22 @@
+"""Regenerates Fig. 9: normalized T/A and T/P averaged over the suite.
+
+Paper reference: T/A gains of 5x/8x/3x and T/P gains of 23x/13x/5x for
+SWD/QCA/NML.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, warm_runner, capsys):
+    result = benchmark.pedantic(
+        fig9.run, args=(warm_runner,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+    # the paper's ordering: SWD wins T/P, QCA wins T/A, NML trails both
+    assert (
+        result.mean_gains("SWD")[1]
+        > result.mean_gains("QCA")[1]
+        > result.mean_gains("NML")[1]
+    )
+    assert result.mean_gains("QCA")[0] > result.mean_gains("NML")[0]

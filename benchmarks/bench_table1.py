@@ -1,0 +1,9 @@
+"""Regenerates Table I: technology cell and gate parameters."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, capsys):
+    result = benchmark(table1.run)
+    with capsys.disabled():
+        print("\n" + result.render())

@@ -1,0 +1,19 @@
+"""Regenerates Table II: the full benchmarking summary.
+
+Only the seven benchmarks printed in the paper's Table II are reported
+when they are in the active suite (REPRO_SUITE=full); the quick suite
+falls back to its available members.
+"""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, warm_runner, capsys):
+    result = benchmark.pedantic(
+        table2.run, args=(warm_runner,), iterations=1, rounds=1
+    )
+    with capsys.disabled():
+        print("\n" + result.render())
+    for row in result.rows:
+        # wave pipelining must always raise raw throughput (d/3 speedup)
+        assert row.gains.throughput > 1.0

@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artifact (Table I/II, Figs. 5/7/8/9) has a bench that times the
+computation that regenerates it and *prints the regenerated artifact* so a
+run of ``pytest benchmarks/ --benchmark-only -s`` reproduces the paper's
+evaluation section end to end.
+
+``REPRO_SUITE=full`` switches from the quick subset to all 37 benchmarks.
+"""
+
+import pytest
+
+from repro.experiments.runner import SuiteRunner, active_suite
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """One shared runner so flow results are computed once per session."""
+    return SuiteRunner(active_suite())
+
+
+@pytest.fixture(scope="session")
+def warm_runner(runner):
+    """Runner with the headline FO3+BUF configuration precomputed."""
+    runner.run_suite("FO3+BUF")
+    return runner

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Equivalent to ``repro experiments --which all`` — runs Table I, Fig. 5,
+Fig. 7, Fig. 8, Table II and Fig. 9 on the active suite and prints the
+ASCII renderings with the paper's numbers alongside.
+
+Set ``REPRO_SUITE=full`` to use all 37 benchmarks (minutes); the default
+quick suite finishes in well under a minute per artifact.
+"""
+
+import time
+
+from repro.experiments import ARTIFACTS, SuiteRunner
+
+
+def main() -> None:
+    runner = SuiteRunner()
+    print(
+        f"suite: {len(runner.specs)} benchmarks "
+        "(REPRO_SUITE=full selects all 37)\n"
+    )
+    for name, module in ARTIFACTS.items():
+        started = time.perf_counter()
+        result = module.run() if name == "table1" else module.run(runner)
+        elapsed = time.perf_counter() - started
+        banner = f" {name} ({elapsed:.1f}s) "
+        print(f"\n{banner:=^78}\n")
+        print(result.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Watch data waves propagate through a balanced netlist (Fig. 4, live).
+
+Simulates a 4x4 array multiplier under the three-phase regeneration clock:
+
+* on the wave-pipelined (balanced, fan-out restricted) netlist, a new
+  product streams out every 3 phases, and every wave matches the golden
+  functional model;
+* on the raw (unbalanced) netlist, waves interfere — the simulator reports
+  exactly where adjacent waves collide, demonstrating why the paper's
+  buffer insertion is necessary.
+"""
+
+import random
+
+from repro.core.wavepipe import (
+    WaveNetlist,
+    golden_outputs,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.suite.circuits import array_multiplier
+
+
+def to_int(bits) -> int:
+    return sum(1 << i for i, bit in enumerate(bits) if bit)
+
+
+def main() -> None:
+    width = 4
+    mig = array_multiplier(width)
+    raw = WaveNetlist.from_mig(mig)
+    ready = wave_pipeline(mig, fanout_limit=3).netlist
+    print(f"multiplier : {mig}")
+    print(f"raw        : {raw}")
+    print(f"wave-ready : {ready}")
+
+    rng = random.Random(42)
+    operands = [
+        (rng.randrange(1 << width), rng.randrange(1 << width))
+        for _ in range(8)
+    ]
+    vectors = [
+        [bool((a >> i) & 1) for i in range(width)]
+        + [bool((b >> i) & 1) for i in range(width)]
+        for a, b in operands
+    ]
+
+    report = simulate_waves(ready, vectors)
+    golden = golden_outputs(ready, vectors)
+    print(
+        f"\npipelined run: {report.waves_retired} waves retired in "
+        f"{report.steps_run} phases "
+        f"(latency {report.latency_steps} phases/wave, throughput "
+        f"{report.measured_throughput():.3f} waves/phase)"
+    )
+    for (a, b), outputs, reference in zip(operands, report.outputs, golden):
+        status = "ok" if outputs == reference else "MISMATCH"
+        print(f"  {a:2d} x {b:2d} = {to_int(outputs):3d}  [{status}]")
+    assert report.coherent and report.outputs == golden
+
+    sequential = simulate_waves(ready, vectors, pipelined=False)
+    print(
+        f"\nnon-pipelined reference: {sequential.steps_run} phases for the "
+        f"same {len(vectors)} operations "
+        f"({report.steps_run / sequential.steps_run:.0%} of the time "
+        "wave-pipelined)"
+    )
+
+    naive = simulate_waves(raw, vectors)
+    print(
+        f"\nunbalanced netlist, pipelined injection: "
+        f"{len(naive.interference)} interference events, outputs "
+        f"{'correct' if naive.outputs == golden_outputs(raw, vectors) else 'CORRUPTED'}"
+    )
+    first = naive.interference[0]
+    print(
+        f"  first collision: step {first.step}, component "
+        f"{first.component}, waves {first.wave_ids} arrived together"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Wave pipelining for majority-based beyond-CMOS technologies.
+
+Reproduction of Zografos et al., "Wave Pipelining for Majority-based
+Beyond-CMOS Technologies", DATE 2017.
+
+The public API is re-exported here; see README.md for a tour.
+
+>>> import repro
+>>> mig = repro.Mig()
+>>> a, b, c = mig.add_pis(3)
+>>> _ = mig.add_po(mig.add_maj(a, b, c), "carry")
+"""
+
+from .core import (
+    FALSE,
+    TRUE,
+    Aoig,
+    Mig,
+    MigView,
+    Signal,
+    assert_equivalent,
+    check_equivalence,
+    count_inverters,
+    depth_of,
+    is_balanced,
+    minimize_inverters,
+    optimize,
+    optimize_depth,
+    optimize_size,
+    simulate_vectors,
+    truth_tables,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Aoig",
+    "FALSE",
+    "Mig",
+    "MigView",
+    "Signal",
+    "TRUE",
+    "__version__",
+    "assert_equivalent",
+    "check_equivalence",
+    "count_inverters",
+    "depth_of",
+    "is_balanced",
+    "minimize_inverters",
+    "optimize",
+    "optimize_depth",
+    "optimize_size",
+    "simulate_vectors",
+    "truth_tables",
+]

@@ -1,0 +1,34 @@
+"""Analysis utilities: fitting, statistics, graphs, tables, ASCII plots."""
+
+from .fitting import PowerLawFit, power_law_fit
+from .graphs import (
+    StructuralProfile,
+    is_dag,
+    mig_to_networkx,
+    netlist_to_networkx,
+    profile_mig,
+)
+from .plots import bar_chart, heatmap, log_log_scatter, stacked_bar_chart
+from .stats import arithmetic_mean, geometric_mean, median, relative_increase
+from .tables import format_cell, render_table, write_csv
+
+__all__ = [
+    "PowerLawFit",
+    "StructuralProfile",
+    "arithmetic_mean",
+    "bar_chart",
+    "format_cell",
+    "geometric_mean",
+    "heatmap",
+    "is_dag",
+    "log_log_scatter",
+    "median",
+    "mig_to_networkx",
+    "netlist_to_networkx",
+    "power_law_fit",
+    "profile_mig",
+    "relative_increase",
+    "render_table",
+    "stacked_bar_chart",
+    "write_csv",
+]

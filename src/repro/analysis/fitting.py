@@ -1,0 +1,61 @@
+"""Power-law fitting for Fig. 5 (buffers added vs netlist size).
+
+The paper reports the trend ``B(s) = 7.95 * s^0.9`` across its 37
+benchmarks.  :func:`power_law_fit` recovers ``(coefficient, exponent)`` by
+ordinary least squares in log-log space, plus the log-space R² so the
+quality of the trend is visible in the regenerated figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y = coefficient * x ** exponent`` with log-space goodness of fit."""
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Evaluate the fitted trend at *x*."""
+        return self.coefficient * x**self.exponent
+
+    def __str__(self) -> str:
+        return (
+            f"B(s) = {self.coefficient:.2f} * s^{self.exponent:.2f} "
+            f"(R² = {self.r_squared:.3f})"
+        )
+
+
+def power_law_fit(
+    x_values: Sequence[float], y_values: Sequence[float]
+) -> PowerLawFit:
+    """Least-squares power-law fit in log-log space."""
+    if len(x_values) != len(y_values):
+        raise ReproError("power_law_fit: mismatched series lengths")
+    if len(x_values) < 2:
+        raise ReproError("power_law_fit: need at least two points")
+    x = np.asarray(x_values, dtype=float)
+    y = np.asarray(y_values, dtype=float)
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ReproError("power_law_fit: values must be positive")
+    log_x = np.log(x)
+    log_y = np.log(y)
+    exponent, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = exponent * log_x + intercept
+    residual = np.sum((log_y - predicted) ** 2)
+    total = np.sum((log_y - np.mean(log_y)) ** 2)
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(
+        coefficient=float(np.exp(intercept)),
+        exponent=float(exponent),
+        r_squared=float(r_squared),
+    )

@@ -1,0 +1,144 @@
+"""Structural graph analysis of MIGs and wave netlists.
+
+Exports to :mod:`networkx` for ad-hoc analysis and computes the structural
+profile quantities that the synthetic benchmark generator targets (and that
+the paper's algorithms are sensitive to): fan-out distribution, edge-length
+(level-gap) distribution, level widths, and complement density.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..core.mig import Mig
+from ..core.view import MigView
+from ..core.wavepipe.components import Kind, WaveNetlist
+
+
+@dataclass(frozen=True)
+class StructuralProfile:
+    """The shape quantities that drive the paper's algorithm behaviour."""
+
+    size: int
+    depth: int
+    n_pis: int
+    n_pos: int
+    mean_fanout: float
+    max_fanout: int
+    fanout_histogram: dict[int, int]
+    mean_edge_gap: float
+    max_edge_gap: int
+    complement_density: float  # inverters per gate
+    constant_fanin_fraction: float  # gates with a constant fan-in
+    level_widths: tuple[int, ...]
+
+    def render(self) -> str:
+        lines = [
+            f"size {self.size}, depth {self.depth}, "
+            f"{self.n_pis} PIs, {self.n_pos} POs",
+            f"fan-out   : mean {self.mean_fanout:.2f}, max "
+            f"{self.max_fanout}",
+            f"edge gaps : mean {self.mean_edge_gap:.2f}, max "
+            f"{self.max_edge_gap}",
+            f"inverters : {self.complement_density:.2f} per gate",
+            f"AND/OR    : {self.constant_fanin_fraction:.0%} of gates have "
+            "a constant fan-in",
+        ]
+        histogram = sorted(self.fanout_histogram.items())
+        compact = ", ".join(f"{k}:{v}" for k, v in histogram[:10])
+        lines.append(f"fan-out histogram (fanout:count): {compact}")
+        return "\n".join(lines)
+
+
+def profile_mig(mig: Mig) -> StructuralProfile:
+    """Compute the structural profile of a MIG."""
+    view = MigView(mig)
+    fanouts = [
+        view.fanout_size(node, count_pos=True)
+        for node in mig.nodes()
+        if node != 0
+    ]
+    gaps = []
+    constant_gates = 0
+    for gate in mig.gates():
+        has_const = False
+        for lit in mig.fanins(gate):
+            node = lit >> 1
+            if node == 0:
+                has_const = True
+                continue
+            gaps.append(view.level(gate) - view.level(node) - 1)
+        constant_gates += has_const
+    widths = view.level_histogram()
+    depth = view.depth
+    return StructuralProfile(
+        size=mig.size,
+        depth=depth,
+        n_pis=mig.n_pis,
+        n_pos=mig.n_pos,
+        mean_fanout=sum(fanouts) / len(fanouts) if fanouts else 0.0,
+        max_fanout=max(fanouts, default=0),
+        fanout_histogram=dict(Counter(fanouts)),
+        mean_edge_gap=sum(gaps) / len(gaps) if gaps else 0.0,
+        max_edge_gap=max(gaps, default=0),
+        complement_density=(
+            mig.complemented_fanin_count() / mig.size if mig.size else 0.0
+        ),
+        constant_fanin_fraction=(
+            constant_gates / mig.size if mig.size else 0.0
+        ),
+        level_widths=tuple(
+            widths.get(level, 0) for level in range(1, depth + 1)
+        ),
+    )
+
+
+def mig_to_networkx(mig: Mig) -> nx.DiGraph:
+    """Export a MIG to a networkx DiGraph.
+
+    Node attributes: ``kind`` in {"const", "pi", "maj"}; edge attribute
+    ``complemented``; graph attributes carry the interface.
+    """
+    graph = nx.DiGraph(name=mig.name)
+    graph.graph["pis"] = list(mig.pis)
+    graph.graph["pos"] = [int(sig) for sig in mig.pos]
+    graph.add_node(0, kind="const")
+    for node in mig.pis:
+        graph.add_node(node, kind="pi", name=mig.pi_name(node))
+    for gate in mig.gates():
+        graph.add_node(gate, kind="maj")
+        for lit in mig.fanins(gate):
+            graph.add_edge(lit >> 1, gate, complemented=bool(lit & 1))
+    return graph
+
+
+def netlist_to_networkx(netlist: WaveNetlist) -> nx.DiGraph:
+    """Export a wave netlist to a networkx DiGraph (kinds as attributes)."""
+    graph = nx.DiGraph(name=netlist.name)
+    for component in netlist.components():
+        graph.add_node(component, kind=Kind(netlist.kind(component)).name)
+        for lit in netlist.fanins(component):
+            graph.add_edge(
+                lit >> 1, component, complemented=bool(lit & 1)
+            )
+    graph.graph["outputs"] = [int(sig) for sig in netlist.outputs]
+    return graph
+
+
+def is_dag(mig: Mig) -> bool:
+    """Sanity check via networkx: the MIG must be acyclic."""
+    return nx.is_directed_acyclic_graph(mig_to_networkx(mig))
+
+
+def longest_path_length(mig: Mig) -> int:
+    """Depth recomputed independently through networkx (cross-check).
+
+    Matches :func:`repro.core.view.depth_of` because every edge into a
+    majority gate contributes one level and PIs/constants are sources.
+    Dangling logic is excluded first: depth is a property of the
+    PO-reachable cone.
+    """
+    return int(nx.dag_longest_path_length(mig_to_networkx(mig.cleanup())))

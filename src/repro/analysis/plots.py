@@ -1,0 +1,141 @@
+"""ASCII renderings of the paper's figures (no plotting deps installed).
+
+Every figure in the evaluation has a text rendering good enough to read the
+*shape* of the result — log-log scatter with a fitted trend (Fig. 5), a
+heatmap (Fig. 7), and horizontal bar charts (Figs. 8 and 9).  The exact
+numbers always accompany the art via :mod:`repro.analysis.tables`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ReproError
+
+
+def log_log_scatter(
+    x_values: Sequence[float],
+    y_values: Sequence[float],
+    width: int = 64,
+    height: int = 18,
+    marker: str = "o",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Log-log scatter plot in ASCII (the Fig. 5 rendering)."""
+    if len(x_values) != len(y_values) or not x_values:
+        raise ReproError("scatter needs equal, non-empty series")
+    if min(x_values) <= 0 or min(y_values) <= 0:
+        raise ReproError("log-log scatter needs positive values")
+    lo_x, hi_x = math.log10(min(x_values)), math.log10(max(x_values))
+    lo_y, hi_y = math.log10(min(y_values)), math.log10(max(y_values))
+    span_x = hi_x - lo_x or 1.0
+    span_y = hi_y - lo_y or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(x_values, y_values):
+        col = int((math.log10(x) - lo_x) / span_x * (width - 1))
+        row = int((math.log10(y) - lo_y) / span_y * (height - 1))
+        grid[height - 1 - row][col] = marker
+    lines = [f"{y_label} (log)"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width + f"> {x_label} (log)")
+    lines.append(
+        f"x: [{min(x_values):.3g}, {max(x_values):.3g}]  "
+        f"y: [{min(y_values):.3g}, {max(y_values):.3g}]"
+    )
+    return "\n".join(lines)
+
+
+def heatmap(
+    values: Sequence[Sequence[float]],
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cell_width: int = 6,
+    title: str = "",
+) -> str:
+    """Numeric heatmap with shading (the Fig. 7 rendering)."""
+    if len(values) != len(row_labels):
+        raise ReproError("heatmap: row label count mismatch")
+    flat = [v for row in values for v in row]
+    if not flat:
+        raise ReproError("heatmap: empty data")
+    lo, hi = min(flat), max(flat)
+    span = (hi - lo) or 1.0
+    shades = " .:-=+*#%@"
+
+    label_width = max(len(str(label)) for label in row_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + "".join(
+        str(c).rjust(cell_width) for c in col_labels
+    )
+    lines.append(header)
+    for label, row in zip(row_labels, values):
+        if len(row) != len(col_labels):
+            raise ReproError("heatmap: column count mismatch")
+        cells = []
+        for value in row:
+            shade = shades[int((value - lo) / span * (len(shades) - 1))]
+            cells.append(f"{value:>{cell_width - 1}.0f}{shade}")
+        lines.append(str(label).rjust(label_width) + " " + "".join(cells))
+    lines.append(f"(shade scale: {lo:.0f} .. {hi:.0f})")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "x",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart (the Fig. 8 / Fig. 9 rendering)."""
+    if len(labels) != len(values) or not labels:
+        raise ReproError("bar chart needs equal, non-empty series")
+    peak = max(values)
+    if peak <= 0:
+        raise ReproError("bar chart needs a positive maximum")
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    labels: Sequence[str],
+    segments: Sequence[Sequence[float]],
+    segment_names: Sequence[str],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Stacked horizontal bars (Fig. 8's MAJ/FOG/BUF composition)."""
+    if len(labels) != len(segments):
+        raise ReproError("stacked bars: label count mismatch")
+    markers = "#+o*="
+    totals = [sum(parts) for parts in segments]
+    peak = max(totals) if totals else 0
+    if peak <= 0:
+        raise ReproError("stacked bars need a positive maximum")
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(segment_names)
+    )
+    lines.append(f"legend: {legend}")
+    for label, parts in zip(labels, segments):
+        if len(parts) != len(segment_names):
+            raise ReproError("stacked bars: segment count mismatch")
+        bar = ""
+        for index, part in enumerate(parts):
+            bar += markers[index % len(markers)] * int(part / peak * width)
+        lines.append(
+            f"{str(label).rjust(label_width)} | {bar} {sum(parts):.2f}x"
+        )
+    return "\n".join(lines)

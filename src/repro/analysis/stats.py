@@ -1,0 +1,42 @@
+"""Small statistics helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import ReproError
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average (the paper's 'averaged over all benchmarks')."""
+    if not values:
+        raise ReproError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the fairer average for ratio data."""
+    if not values:
+        raise ReproError("mean of empty sequence")
+    if min(values) <= 0:
+        raise ReproError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def median(values: Sequence[float]) -> float:
+    """Middle value (robust companion to the paper's means)."""
+    if not values:
+        raise ReproError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def relative_increase(before: float, after: float) -> float:
+    """(after - before) / before, the Fig. 7 quantity."""
+    if before == 0:
+        raise ReproError("relative increase undefined for zero baseline")
+    return (after - before) / before

@@ -1,0 +1,81 @@
+"""Plain-text table rendering and CSV export for the experiment reports."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from ..errors import ReproError
+
+Cell = object  # str | int | float
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """Human-friendly formatting: trims floats, keeps scientific range."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 10 ** (-precision - 1):
+            return f"{value:.2e}"
+        return f"{value:,.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned monospace table (first column left-aligned)."""
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"table row has {len(row)} cells, expected {len(headers)}"
+            )
+    text_rows = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(headers[col])), *(len(r[col]) for r in text_rows))
+        if text_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for col, cell in enumerate(cells):
+            if col == 0:
+                parts.append(cell.ljust(widths[col]))
+            else:
+                parts.append(cell.rjust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line([str(h) for h in headers]))
+    lines.append(rule)
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+) -> Path:
+    """Write the table to CSV, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

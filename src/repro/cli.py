@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+``flow``
+    Run the wave-pipelining flow on a suite benchmark, a built-in circuit,
+    or a netlist file, print the statistics, and optionally export the
+    result (.mig / .blif / .v).
+``experiments``
+    Regenerate the paper's tables and figures (``--which all`` or a list),
+    printing the ASCII renderings and optionally writing CSVs.
+``suite``
+    List the 37-benchmark suite with structural targets.
+``techs``
+    Show the built-in technology models (Table I).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from . import __version__
+from .core.mig import Mig
+from .core.wavepipe import WaveNetlist, wave_pipeline
+from .errors import ReproError
+from .tech import TECHNOLOGIES, evaluate_pair
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wave pipelining for majority-based beyond-CMOS "
+        "technologies (DATE 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    flow = commands.add_parser("flow", help="run the FOx+BUF flow")
+    flow.add_argument(
+        "source",
+        help="suite benchmark name, 'circuit:<name>[:<width>]', or a "
+        ".mig/.blif file path",
+    )
+    flow.add_argument(
+        "--fanout-limit", type=int, default=3,
+        help="fan-out restriction (2..5; 0 disables the pass)",
+    )
+    flow.add_argument(
+        "--no-balance", action="store_true",
+        help="skip buffer insertion (FOx-only configuration)",
+    )
+    flow.add_argument(
+        "--no-verify", action="store_true", help="skip invariant checks"
+    )
+    flow.add_argument(
+        "--export", type=Path, default=None,
+        help="write the transformed netlist (.mig, .blif or .v)",
+    )
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "--which", nargs="+", default=["all"],
+        help="artifacts: table1 fig5 fig7 fig8 table2 fig9 (or 'all')",
+    )
+    experiments.add_argument(
+        "--csv-dir", type=Path, default=None,
+        help="also write one CSV per artifact into this directory",
+    )
+
+    commands.add_parser("suite", help="list the benchmark suite")
+    commands.add_parser("techs", help="show the technology models")
+
+    stats = commands.add_parser(
+        "stats", help="structural profile of a benchmark/circuit/file"
+    )
+    stats.add_argument("source", help="same source syntax as 'flow'")
+    return parser
+
+
+def _load_source(token: str) -> Mig:
+    """Resolve a flow source token into a MIG."""
+    if token.startswith("circuit:"):
+        from .suite.circuits import CIRCUITS
+
+        parts = token.split(":")
+        name = parts[1]
+        if name not in CIRCUITS:
+            known = ", ".join(sorted(CIRCUITS))
+            raise ReproError(f"unknown circuit {name!r}; choose from {known}")
+        builder = CIRCUITS[name]
+        width = int(parts[2]) if len(parts) > 2 else 8
+        if name == "voter" and width % 2 == 0:
+            width += 1
+        return builder(width)
+    path = Path(token)
+    if path.suffix == ".mig" and path.exists():
+        from .io.migfile import read_mig
+
+        return read_mig(path)
+    if path.suffix == ".blif" and path.exists():
+        from .io.blif import read_blif
+
+        return read_blif(path)
+    from .suite.table import build_benchmark
+
+    return build_benchmark(token)
+
+
+def _export(netlist: WaveNetlist, path: Path) -> None:
+    if path.suffix == ".mig":
+        from .io.migfile import write_mig
+
+        write_mig(netlist.to_mig(), path)
+    elif path.suffix == ".blif":
+        from .io.blif import write_blif
+
+        write_blif(netlist.to_mig(), path)
+    elif path.suffix == ".v":
+        from .io.verilog import write_verilog
+
+        write_verilog(netlist, path)
+    else:
+        raise ReproError(f"unknown export format {path.suffix!r}")
+
+
+def _run_flow(args: argparse.Namespace, out) -> int:
+    mig = _load_source(args.source)
+    limit = args.fanout_limit if args.fanout_limit else None
+    started = time.perf_counter()
+    result = wave_pipeline(
+        mig,
+        fanout_limit=limit,
+        balance=not args.no_balance,
+        verify=not args.no_verify,
+    )
+    elapsed = time.perf_counter() - started
+    stats = result.netlist.stats()
+    print(f"benchmark : {mig.name}", file=out)
+    print(
+        f"original  : size={result.size_before} depth={result.depth_before} "
+        f"inputs={mig.n_pis} outputs={mig.n_pos}",
+        file=out,
+    )
+    print(
+        f"wave-ready: size={result.size_after} depth={result.depth_after} "
+        f"(maj={stats.n_maj} buf={stats.n_buf} fog={stats.n_fog} "
+        f"inv={stats.n_inverters})",
+        file=out,
+    )
+    print(
+        f"impact    : {result.size_ratio:.2f}x components, "
+        f"+{result.depth_after - result.depth_before} levels, "
+        f"{elapsed:.2f}s",
+        file=out,
+    )
+    if not args.no_balance:
+        for tech in TECHNOLOGIES:
+            before, after, tech_gains = evaluate_pair(
+                result.original, result.netlist, tech
+            )
+            print(
+                f"{tech.name:>4}     : T/A {tech_gains.t_over_a:5.2f}x   "
+                f"T/P {tech_gains.t_over_p:5.2f}x   "
+                f"throughput {before.throughput_mops:.2f} -> "
+                f"{after.throughput_mops:.2f} MOPS",
+                file=out,
+            )
+    if args.export is not None:
+        _export(result.netlist, args.export)
+        print(f"exported  : {args.export}", file=out)
+    return 0
+
+
+def _run_experiments(args: argparse.Namespace, out) -> int:
+    from .experiments import ARTIFACTS, SuiteRunner
+
+    which = args.which
+    if "all" in which:
+        which = list(ARTIFACTS)
+    unknown = [name for name in which if name not in ARTIFACTS]
+    if unknown:
+        raise ReproError(
+            f"unknown artifacts {unknown}; choose from {sorted(ARTIFACTS)}"
+        )
+    runner = SuiteRunner()
+    print(
+        f"suite: {len(runner.specs)} benchmarks "
+        "(set REPRO_SUITE=full for all 37)",
+        file=out,
+    )
+    for name in which:
+        module = ARTIFACTS[name]
+        started = time.perf_counter()
+        result = module.run() if name == "table1" else module.run(runner)
+        elapsed = time.perf_counter() - started
+        print(f"\n=== {name} ({elapsed:.1f}s) ===", file=out)
+        print(result.render(), file=out)
+        if args.csv_dir is not None:
+            csv_path = result.to_csv(args.csv_dir / f"{name}.csv")
+            print(f"[csv] {csv_path}", file=out)
+    return 0
+
+
+def _run_suite(out) -> int:
+    from .suite.table import SUITE
+
+    print(f"{'name':<12} {'size':>7} {'depth':>6} {'PIs':>6} {'POs':>6}",
+          file=out)
+    for spec in SUITE:
+        marker = " *" if spec.in_table2 else ""
+        print(
+            f"{spec.name:<12} {spec.size:>7} {spec.depth:>6} "
+            f"{spec.n_pis:>6} {spec.n_pos:>6}{marker}",
+            file=out,
+        )
+    print("(* appears in the paper's Table II)", file=out)
+    return 0
+
+
+def _run_techs(out) -> int:
+    from .experiments import table1
+
+    print(table1.run().render(), file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = sys.stdout
+    try:
+        if args.command == "flow":
+            return _run_flow(args, out)
+        if args.command == "experiments":
+            return _run_experiments(args, out)
+        if args.command == "suite":
+            return _run_suite(out)
+        if args.command == "techs":
+            return _run_techs(out)
+        if args.command == "stats":
+            from .analysis.graphs import profile_mig
+
+            mig = _load_source(args.source)
+            print(f"benchmark: {mig.name}", file=out)
+            print(profile_mig(mig).render(), file=out)
+            return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

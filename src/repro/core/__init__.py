@@ -1,0 +1,35 @@
+"""Core MIG infrastructure and the paper's wave-pipelining transforms."""
+
+from .aoig import Aoig
+from .equivalence import EquivalenceResult, assert_equivalent, check_equivalence
+from .inversion import InversionStats, count_inverters, minimize_inverters
+from .mig import Mig, maj3
+from .rewrite import RewriteStats, optimize, optimize_depth, optimize_size
+from .signal import FALSE, TRUE, Signal
+from .simulate import simulate_vectors, simulate_words, truth_tables
+from .view import MigView, depth_of, is_balanced
+
+__all__ = [
+    "Aoig",
+    "EquivalenceResult",
+    "FALSE",
+    "InversionStats",
+    "Mig",
+    "MigView",
+    "RewriteStats",
+    "Signal",
+    "TRUE",
+    "assert_equivalent",
+    "check_equivalence",
+    "count_inverters",
+    "depth_of",
+    "is_balanced",
+    "maj3",
+    "minimize_inverters",
+    "optimize",
+    "optimize_depth",
+    "optimize_size",
+    "simulate_vectors",
+    "simulate_words",
+    "truth_tables",
+]

@@ -1,0 +1,128 @@
+"""AND/OR/Inverter graphs (AOIGs) and their conversion to MIGs.
+
+AOIGs are the traditional representation the paper contrasts with MIGs
+(Fig. 1); every AOIG is a special case of a MIG because AND and OR are
+majority gates with a constant input: ``AND(a, b) = M(a, b, 0)`` and
+``OR(a, b) = M(a, b, 1)``.
+
+The :class:`Aoig` builder is intentionally small: it exists so that circuit
+generators can be written in familiar AND/OR terms and then lowered with
+:meth:`Aoig.to_mig`, exactly the entry point the paper assumes (an optimized
+MIG derived from an AOIG).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import MigError
+from .mig import Mig
+from .signal import Signal
+
+_AND = 0
+_OR = 1
+
+
+class Aoig:
+    """A combinational AND/OR graph with complemented edges."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        # node 0 is constant FALSE; gates are (op, lit_a, lit_b)
+        self._nodes: list[Optional[tuple[int, int, int]]] = [None]
+        self._pis: list[int] = []
+        self._pi_names: list[str] = []
+        self._pos: list[Signal] = []
+        self._po_names: list[str] = []
+        self._strash: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def add_pi(self, name: str = "") -> Signal:
+        """Append a primary input and return its signal."""
+        index = len(self._nodes)
+        self._nodes.append(None)
+        self._pis.append(index)
+        self._pi_names.append(name or f"pi{len(self._pis) - 1}")
+        return Signal.of(index)
+
+    def add_po(self, signal: int, name: str = "") -> int:
+        """Register a primary output; returns its index."""
+        self._pos.append(Signal(int(signal)))
+        self._po_names.append(name or f"po{len(self._pos) - 1}")
+        return len(self._pos) - 1
+
+    def _add_gate(self, op: int, a: int, b: int) -> Signal:
+        la, lb = sorted((int(a), int(b)))
+        if la == lb:  # x op x = x
+            return Signal(la)
+        if la >> 1 == lb >> 1:  # x op ~x
+            return Signal(1) if op == _OR else Signal(0)
+        if la == 0:  # AND(0, x) = 0 ; OR(0, x) = x
+            return Signal(lb) if op == _OR else Signal(0)
+        if la == 1:  # AND(1, x) = x ; OR(1, x) = 1
+            return Signal(lb) if op == _AND else Signal(1)
+        key = (op, la, lb)
+        found = self._strash.get(key)
+        if found is not None:
+            return Signal.of(found)
+        index = len(self._nodes)
+        self._nodes.append(key)
+        self._strash[key] = index
+        return Signal.of(index)
+
+    def add_and(self, a: int, b: int) -> Signal:
+        """Binary AND."""
+        return self._add_gate(_AND, a, b)
+
+    def add_or(self, a: int, b: int) -> Signal:
+        """Binary OR."""
+        return self._add_gate(_OR, a, b)
+
+    def add_xor(self, a: int, b: int) -> Signal:
+        """XOR via AND/OR/INV (two levels)."""
+        both = self.add_and(a, b)
+        either = self.add_or(a, b)
+        return self.add_and(~both, either)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pis(self) -> int:
+        """Number of primary inputs."""
+        return len(self._pis)
+
+    @property
+    def n_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self._pos)
+
+    @property
+    def size(self) -> int:
+        """Number of AND/OR gates."""
+        return len(self._nodes) - 1 - len(self._pis)
+
+    def to_mig(self, name: str = "") -> Mig:
+        """Lower to a MIG (AND -> M(a,b,0), OR -> M(a,b,1))."""
+        mig = Mig(name or self.name)
+        mapping: dict[int, Signal] = {0: Signal(0)}
+        for node, pi_name in zip(self._pis, self._pi_names):
+            mapping[node] = mig.add_pi(pi_name)
+        for index, entry in enumerate(self._nodes):
+            if entry is None or index in mapping:
+                continue
+            op, la, lb = entry
+            sa = mapping[la >> 1] ^ bool(la & 1)
+            sb = mapping[lb >> 1] ^ bool(lb & 1)
+            mapping[index] = (
+                mig.add_and(sa, sb) if op == _AND else mig.add_or(sa, sb)
+            )
+        for sig, po_name in zip(self._pos, self._po_names):
+            if sig.node not in mapping:
+                raise MigError(f"PO references unknown AOIG node {sig.node}")
+            mig.add_po(mapping[sig.node] ^ sig.complemented, po_name)
+        return mig
+
+    def __repr__(self) -> str:
+        return (
+            f"Aoig(name={self.name!r}, pis={self.n_pis}, pos={self.n_pos}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,146 @@
+"""Inverter minimization in MIGs (Testa et al., NANOARCH'16, ref [20]).
+
+Complemented edges are free in the MIG abstraction but cost real inverter
+cells once mapped onto SWD/QCA/NML (Table I gives INV area/delay/energy per
+technology; QCA inverters are notably expensive).  Majority self-duality
+
+    ``M(~x, ~y, ~z) = ~M(x, y, z)``
+
+lets every gate be stored in either polarity.  Choosing polarities to
+minimize the number of complemented edges is an Ising-style optimization;
+this module implements the standard greedy + hill-climbing heuristic:
+
+1. a topological seeding pass stores a gate in dual form when the majority
+   of its fan-ins arrive complemented;
+2. local flip passes iterate until no single polarity flip reduces the
+   total complemented-edge count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mig import Mig
+from .signal import Signal
+from .view import MigView
+
+
+@dataclass
+class InversionStats:
+    """Inverter counts before/after :func:`minimize_inverters`."""
+
+    inverters_before: int
+    inverters_after: int
+    flips: int
+
+    @property
+    def removed(self) -> int:
+        """Net number of inverters eliminated."""
+        return self.inverters_before - self.inverters_after
+
+
+def _edge_cost(mig: Mig, polarity: list[int]) -> int:
+    """Complemented-edge count under a polarity assignment.
+
+    ``polarity[n] = 1`` means gate *n* is stored in dual form.  An edge is
+    complemented iff its original attribute XOR the polarities of both of
+    its endpoints is 1.  PIs and the constant keep polarity 0.
+    """
+    cost = 0
+    for gate in mig.gates():
+        for lit in mig.fanins(gate):
+            cost += (lit & 1) ^ polarity[lit >> 1] ^ polarity[gate]
+    for sig in mig.pos:
+        cost += sig.complemented ^ bool(polarity[sig.node])
+    return cost
+
+
+def _flip_gain(
+    mig: Mig, view: MigView, polarity: list[int], gate: int,
+    po_refs: dict[int, int],
+) -> int:
+    """Change in complemented-edge count if *gate*'s polarity flips."""
+    gain = 0
+    for lit in mig.fanins(gate):
+        before = (lit & 1) ^ polarity[lit >> 1] ^ polarity[gate]
+        gain += (1 - before) - before
+    for consumer in view.fanout(gate):
+        for lit in mig.fanins(consumer):
+            if lit >> 1 == gate:
+                before = (lit & 1) ^ polarity[gate] ^ polarity[consumer]
+                gain += (1 - before) - before
+    for sig, count in po_refs.items():
+        if sig >> 1 == gate:
+            before = (sig & 1) ^ polarity[gate]
+            gain += ((1 - before) - before) * count
+    return gain
+
+
+def minimize_inverters(mig: Mig, max_passes: int = 8) -> tuple[Mig, InversionStats]:
+    """Return an equivalent MIG with a (locally) minimal inverter count.
+
+    The output graph has the same size and depth; only edge complement
+    attributes change (each gate optionally replaced by its dual).
+    """
+    view = MigView(mig)
+    polarity = [0] * mig.n_nodes
+    before = _edge_cost(mig, polarity)
+
+    po_refs: dict[int, int] = {}
+    for sig in mig.pos:
+        po_refs[int(sig)] = po_refs.get(int(sig), 0) + 1
+
+    flips = 0
+    # Greedy topological seeding: flip when >= 2 fan-ins are complemented.
+    for gate in mig.gates():
+        complemented = sum(
+            (lit & 1) ^ polarity[lit >> 1] for lit in mig.fanins(gate)
+        )
+        if complemented >= 2:
+            polarity[gate] = 1
+            flips += 1
+
+    # Hill climbing on single flips until fixpoint (bounded by max_passes).
+    for _ in range(max_passes):
+        improved = False
+        for gate in mig.gates():
+            if _flip_gain(mig, view, polarity, gate, po_refs) < 0:
+                polarity[gate] ^= 1
+                flips += 1
+                improved = True
+        if not improved:
+            break
+
+    after = _edge_cost(mig, polarity)
+    if after >= before:
+        return mig.clone(), InversionStats(before, before, 0)
+
+    rebuilt = _apply_polarity(mig, polarity)
+    return rebuilt, InversionStats(before, after, flips)
+
+
+def _apply_polarity(mig: Mig, polarity: list[int]) -> Mig:
+    """Rebuild *mig* storing each gate in the chosen polarity."""
+    new = Mig(mig.name)
+    # mapping holds the signal in the NEW graph computing the ORIGINAL
+    # (non-dual) function of each node; dual storage is folded into it.
+    mapping: dict[int, Signal] = {0: Signal(0)}
+    for node, name in zip(mig.pis, mig.pi_names):
+        mapping[node] = new.add_pi(name)
+    for gate in mig.gates():
+        fanins = [
+            mapping[lit >> 1] ^ bool(lit & 1) for lit in mig.fanins(gate)
+        ]
+        if polarity[gate]:
+            stored = new.add_maj(*(~f for f in fanins))
+            mapping[gate] = ~stored
+        else:
+            mapping[gate] = new.add_maj(*fanins)
+    for sig, name in zip(mig.pos, mig.po_names):
+        new.add_po(mapping[sig.node] ^ sig.complemented, name)
+    return new
+
+
+def count_inverters(mig: Mig) -> int:
+    """Inverters to materialize: complemented fan-in edges plus PO edges."""
+    return mig.complemented_fanin_count()

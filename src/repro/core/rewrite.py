@@ -1,0 +1,236 @@
+"""MIG algebraic rewriting (the Ω transformations of Amarù et al.).
+
+The paper assumes its input netlists are "already optimized for depth" by the
+MIG flow of [14]-[16].  This module provides that flow:
+
+* :func:`optimize_depth` — critical-path oriented rewriting using majority
+  associativity and distributivity, the core of the TCAD'16 depth recipe;
+* :func:`optimize_size` — reconstruction with structural hashing, node
+  simplification and reverse distributivity;
+* :func:`optimize` — the classic interleaved recipe.
+
+All passes are *reconstruction based*: they build a fresh graph in
+topological order, which keeps every intermediate state acyclic and lets the
+structural-hashing simplifications of :meth:`Mig.add_maj` fire for free.
+Every pass preserves functional equivalence (tested exhaustively in the test
+suite and guarded by :func:`repro.core.equivalence.assert_equivalent`).
+
+The implemented axioms (Ω from DAC'14):
+
+* Majority:            ``M(x, x, y) = x`` and ``M(x, ~x, y) = y``
+* Associativity:       ``M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))``
+* Distributivity:      ``M(x, y, M(u, v, z)) = M(M(x,y,u), M(x,y,v), z)``
+* Inverter propagation: ``~M(x, y, z) = M(~x, ~y, ~z)``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Optional
+
+from .mig import Mig
+from .signal import Signal
+
+
+@dataclass
+class RewriteStats:
+    """Before/after statistics of a rewriting pass."""
+
+    size_before: int
+    size_after: int
+    depth_before: int
+    depth_after: int
+    applied: int
+
+    @property
+    def depth_gain(self) -> int:
+        """Levels removed from the critical path."""
+        return self.depth_before - self.depth_after
+
+
+class _Builder:
+    """Incremental reconstruction helper tracking levels in the new graph."""
+
+    def __init__(self, name: str):
+        self.mig = Mig(name)
+        self.level: dict[int, int] = {0: 0}
+
+    def pi(self, name: str) -> Signal:
+        sig = self.mig.add_pi(name)
+        self.level[sig.node] = 0
+        return sig
+
+    def maj(self, a: Signal, b: Signal, c: Signal) -> Signal:
+        sig = self.mig.add_maj(a, b, c)
+        if sig.node not in self.level:
+            self.level[sig.node] = 1 + max(
+                self.level[Signal(int(x)).node] for x in (a, b, c)
+            )
+        return sig
+
+    def level_of(self, sig: int) -> int:
+        return self.level[Signal(int(sig)).node]
+
+    def fanins_if_gate(self, sig: Signal) -> Optional[tuple[int, int, int]]:
+        """Fan-ins of the gate behind *sig* if it is a regular gate edge."""
+        if sig.complemented or not self.mig.is_maj(sig.node):
+            return None
+        return self.mig.fanins(sig.node)
+
+
+def _push_inverter(builder: _Builder, sig: Signal) -> Signal:
+    """Materialize ``~M(x,y,z)`` as ``M(~x,~y,~z)`` (inverter propagation).
+
+    Returns a regular (non-complemented) gate edge computing the same
+    function as *sig*, enabling associativity/distributivity matching on
+    complemented edges.  No-op for PIs/constants.
+    """
+    if not sig.complemented or not builder.mig.is_maj(sig.node):
+        return sig
+    a, b, c = builder.mig.fanins(sig.node)
+    return builder.maj(~Signal(a), ~Signal(b), ~Signal(c))
+
+
+def _try_depth_rules(
+    builder: _Builder, fanins: list[Signal]
+) -> Optional[Signal]:
+    """Attempt one associativity/distributivity step that lowers the level.
+
+    *fanins* are already mapped into the new graph.  Returns the rewritten
+    signal, or None when no rule improves on the baseline level.
+    """
+    baseline = 1 + max(builder.level_of(s) for s in fanins)
+
+    best: Optional[Signal] = None
+    best_level = baseline
+
+    for outer_a, outer_b, inner_sig in permutations(fanins):
+        inner_sig = _push_inverter(builder, Signal(int(inner_sig)))
+        inner = builder.fanins_if_gate(inner_sig)
+        if inner is None:
+            continue
+        la = builder.level_of(outer_a)
+        lb = builder.level_of(outer_b)
+        inner_lits = [Signal(x) for x in inner]
+        inner_levels = [builder.level_of(x) for x in inner_lits]
+
+        # Associativity: common operand between outer pair and inner gate.
+        # M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))
+        for u_outer in (outer_a, outer_b):
+            x_outer = outer_b if u_outer is outer_a else outer_a
+            for i, u_inner in enumerate(inner_lits):
+                if int(u_inner) != int(u_outer):
+                    continue
+                rest = [inner_lits[j] for j in range(3) if j != i]
+                for y_sig, z_sig in (rest, rest[::-1]):
+                    if builder.level_of(z_sig) <= builder.level_of(x_outer):
+                        continue
+                    new_inner = builder.maj(y_sig, Signal(int(u_inner)),
+                                            Signal(int(x_outer)))
+                    candidate_level = 1 + max(
+                        builder.level_of(z_sig),
+                        builder.level_of(u_inner),
+                        builder.level_of(new_inner),
+                    )
+                    if candidate_level < best_level:
+                        best = builder.maj(z_sig, Signal(int(u_inner)),
+                                           new_inner)
+                        best_level = candidate_level
+
+        # Distributivity (L->R): M(x, y, M(u, v, z)) =
+        #   M(M(x, y, u), M(x, y, v), z) -- pulls the deepest inner operand
+        # z one level up at the cost of duplicating the (x, y) pair.
+        order = sorted(range(3), key=lambda i: inner_levels[i])
+        u_sig, v_sig = inner_lits[order[0]], inner_lits[order[1]]
+        z_sig = inner_lits[order[2]]
+        left = 1 + max(la, lb, builder.level_of(u_sig))
+        right = 1 + max(la, lb, builder.level_of(v_sig))
+        candidate_level = 1 + max(builder.level_of(z_sig), left, right)
+        if candidate_level < best_level:
+            first = builder.maj(Signal(int(outer_a)), Signal(int(outer_b)),
+                                u_sig)
+            second = builder.maj(Signal(int(outer_a)), Signal(int(outer_b)),
+                                 v_sig)
+            best = builder.maj(first, second, z_sig)
+            best_level = candidate_level
+
+    return best
+
+
+def _reconstruct(
+    mig: Mig,
+    try_rules: bool,
+    critical_only: bool = True,
+) -> tuple[Mig, int]:
+    """Rebuild *mig*, optionally applying depth rules on critical nodes."""
+    from .view import MigView  # local import to avoid cycles at module load
+
+    view = MigView(mig)
+    critical = view.critical_nodes() if (try_rules and critical_only) else set()
+    builder = _Builder(mig.name)
+    mapping: dict[int, Signal] = {0: Signal(0)}
+    for node, name in zip(mig.pis, mig.pi_names):
+        mapping[node] = builder.pi(name)
+    applied = 0
+    for node in mig.gates():
+        fanins = [
+            mapping[lit >> 1] ^ bool(lit & 1) for lit in mig.fanins(node)
+        ]
+        rewritten: Optional[Signal] = None
+        if try_rules and (not critical_only or node in critical):
+            rewritten = _try_depth_rules(builder, fanins)
+            if rewritten is not None:
+                applied += 1
+        mapping[node] = (
+            rewritten if rewritten is not None else builder.maj(*fanins)
+        )
+    for sig, name in zip(mig.pos, mig.po_names):
+        builder.mig.add_po(mapping[sig.node] ^ sig.complemented, name)
+    return builder.mig, applied
+
+
+def optimize_size(mig: Mig) -> Mig:
+    """Size-oriented cleanup: strash, simplification, dangling removal."""
+    rebuilt, _ = _reconstruct(mig, try_rules=False)
+    return rebuilt.cleanup()
+
+
+def optimize_depth(mig: Mig, rounds: int = 4) -> tuple[Mig, RewriteStats]:
+    """Depth-oriented rewriting (the paper's assumed input optimization).
+
+    Runs up to *rounds* critical-path passes, keeping the best depth seen;
+    stops early when a round yields no improvement.
+    """
+    from .view import depth_of  # local import to avoid cycles
+
+    best = optimize_size(mig)
+    depth_before = depth_of(mig)
+    size_before = mig.size
+    total_applied = 0
+    for _ in range(rounds):
+        candidate, applied = _reconstruct(best, try_rules=True)
+        candidate = candidate.cleanup()
+        total_applied += applied
+        if depth_of(candidate) < depth_of(best):
+            best = candidate
+        else:
+            break
+    stats = RewriteStats(
+        size_before=size_before,
+        size_after=best.size,
+        depth_before=depth_before,
+        depth_after=depth_of(best),
+        applied=total_applied,
+    )
+    return best, stats
+
+
+def optimize(mig: Mig, rounds: int = 3) -> Mig:
+    """The interleaved size/depth recipe used to prepare benchmark inputs."""
+    current = optimize_size(mig)
+    for _ in range(rounds):
+        current, stats = optimize_depth(current, rounds=1)
+        if stats.depth_gain <= 0:
+            break
+    return optimize_size(current)

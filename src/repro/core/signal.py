@@ -1,0 +1,107 @@
+"""Signal (literal) encoding for Majority-Inverter Graphs.
+
+A *signal* refers to a node together with an optional complement attribute,
+mirroring the regular/complemented edges of a MIG.  Signals are encoded as
+plain integers (``literal = node_index * 2 + complement``) so that graphs of
+hundreds of thousands of nodes stay cheap; :class:`Signal` is a thin ``int``
+subclass adding readable accessors and operators.
+
+Node index 0 is reserved for the constant-FALSE node, so literal ``0`` is the
+constant 0 and literal ``1`` is the constant 1.
+"""
+
+from __future__ import annotations
+
+from ..errors import MigError
+
+#: Literal of the constant-FALSE signal (node 0, non-complemented).
+CONST0 = 0
+#: Literal of the constant-TRUE signal (node 0, complemented).
+CONST1 = 1
+
+
+def make_literal(node: int, complemented: bool = False) -> int:
+    """Encode *node* (non-negative index) into a literal integer."""
+    if node < 0:
+        raise MigError(f"node index must be non-negative, got {node}")
+    return node * 2 + (1 if complemented else 0)
+
+
+def literal_node(literal: int) -> int:
+    """Node index referenced by *literal*."""
+    if literal < 0:
+        raise MigError(f"literal must be non-negative, got {literal}")
+    return literal >> 1
+
+
+def literal_complemented(literal: int) -> bool:
+    """Whether *literal* carries a complement attribute."""
+    if literal < 0:
+        raise MigError(f"literal must be non-negative, got {literal}")
+    return bool(literal & 1)
+
+
+def literal_negate(literal: int) -> int:
+    """Literal referring to the same node with the complement flipped."""
+    return literal ^ 1
+
+def literal_regular(literal: int) -> int:
+    """Literal referring to the same node without complement."""
+    return literal & ~1
+
+
+class Signal(int):
+    """A MIG signal: a node reference with a complement attribute.
+
+    ``Signal`` is an ``int`` (the literal encoding), so it can be used
+    anywhere a literal is expected, stored in arrays, and compared cheaply.
+
+    >>> s = Signal.of(3)
+    >>> (~s).complemented
+    True
+    >>> int(~s)
+    7
+    """
+
+    __slots__ = ()
+
+    @classmethod
+    def of(cls, node: int, complemented: bool = False) -> "Signal":
+        """Build a signal from a node index and complement attribute."""
+        return cls(make_literal(node, complemented))
+
+    @property
+    def node(self) -> int:
+        """Index of the node this signal refers to."""
+        return int(self) >> 1
+
+    @property
+    def complemented(self) -> bool:
+        """True if the signal is complemented."""
+        return bool(int(self) & 1)
+
+    @property
+    def regular(self) -> "Signal":
+        """The same signal with the complement removed."""
+        return Signal(int(self) & ~1)
+
+    def __invert__(self) -> "Signal":
+        return Signal(int(self) ^ 1)
+
+    def __xor__(self, other: object) -> "Signal":  # type: ignore[override]
+        """XOR with a bool flips the complement; mirrors edge composition."""
+        if isinstance(other, bool):
+            return Signal(int(self) ^ (1 if other else 0))
+        return Signal(int(self) ^ int(other))
+
+    def __repr__(self) -> str:
+        prefix = "~" if self.complemented else ""
+        if self.node == 0:
+            return "Signal(1)" if self.complemented else "Signal(0)"
+        return f"Signal({prefix}n{self.node})"
+
+
+#: Constant-FALSE as a :class:`Signal`.
+FALSE = Signal(CONST0)
+#: Constant-TRUE as a :class:`Signal`.
+TRUE = Signal(CONST1)

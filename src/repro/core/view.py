@@ -1,0 +1,197 @@
+"""Read-only structural views over a :class:`~repro.core.mig.Mig`.
+
+The wave-pipelining algorithms of the paper reason about *base distances*:
+
+* **Distance (D)** between two components: the set of lengths of all paths
+  from the source to the destination.
+* **Base distance (BD)** of a component: the set of lengths of all paths
+  from any netlist input to the component; ``max(BD)`` is the component's
+  depth (its *level*).
+* **Exclusive base distance (xBD)**: BD excluding the component itself, so
+  ``max(xBD) = max(BD) - 1``.
+
+Levels use the unit-delay model of the paper (every majority gate is one
+level; primary inputs and the constant are level 0).  Weighted variants used
+by the technology-tailored flow accept a per-node delay.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Optional
+
+from ..errors import MigError
+from .mig import Mig
+from .signal import Signal
+
+
+class MigView:
+    """Cached structural information (levels, fan-outs) for a MIG.
+
+    The view is computed once from the graph; if the graph is mutated
+    afterwards, build a fresh view.
+    """
+
+    def __init__(self, mig: Mig, delay_of: Optional[Callable[[int], int]] = None):
+        self.mig = mig
+        self._delay_of = delay_of or (lambda node: 1)
+        self._levels = self._compute_levels()
+        self._fanouts = self._compute_fanouts()
+
+    # ------------------------------------------------------------------
+    def _compute_levels(self) -> list[int]:
+        mig = self.mig
+        levels = [0] * mig.n_nodes
+        for node in mig.gates():
+            a, b, c = mig.fanins(node)
+            levels[node] = self._delay_of(node) + max(
+                levels[a >> 1], levels[b >> 1], levels[c >> 1]
+            )
+        return levels
+
+    def _compute_fanouts(self) -> dict[int, list[int]]:
+        fanouts: dict[int, list[int]] = defaultdict(list)
+        for node in self.mig.gates():
+            for lit in self.mig.fanins(node):
+                fanouts[lit >> 1].append(node)
+        return fanouts
+
+    # ------------------------------------------------------------------
+    def level(self, node: int) -> int:
+        """Level (``max(BD)`` in gate counts) of *node*."""
+        return self._levels[int(node)]
+
+    def max_xbd(self, node: int) -> int:
+        """``max(xBD)``: one level below the node's depth (paper, Sec. III)."""
+        level = self._levels[int(node)]
+        return level - self._delay_of(int(node)) if level else 0
+
+    @property
+    def depth(self) -> int:
+        """Critical path length: maximum PO driver level."""
+        if not self.mig.pos:
+            return 0
+        return max(self._levels[sig.node] for sig in self.mig.pos)
+
+    def fanout(self, node: int) -> list[int]:
+        """Gate nodes that consume *node* (duplicates kept per edge)."""
+        return list(self._fanouts.get(int(node), []))
+
+    def fanout_size(self, node: int, count_pos: bool = False) -> int:
+        """Number of fan-out edges of *node*.
+
+        With ``count_pos`` the primary-output references are included, which
+        is the load the fan-out restriction algorithm must serve.
+        """
+        count = len(self._fanouts.get(int(node), []))
+        if count_pos:
+            count += sum(1 for sig in self.mig.pos if sig.node == int(node))
+        return count
+
+    def max_fanout(self, count_pos: bool = True) -> int:
+        """Largest fan-out over all nodes."""
+        nodes = list(self.mig.nodes())
+        return max((self.fanout_size(n, count_pos) for n in nodes), default=0)
+
+    def critical_nodes(self) -> set[int]:
+        """Gates on at least one critical (depth-defining) path."""
+        mig = self.mig
+        depth = self.depth
+        critical: set[int] = set()
+        stack = [sig.node for sig in mig.pos if self._levels[sig.node] == depth]
+        while stack:
+            node = stack.pop()
+            if node in critical or not mig.is_maj(node):
+                continue
+            critical.add(node)
+            want = self._levels[node] - self._delay_of(node)
+            for lit in mig.fanins(node):
+                if self._levels[lit >> 1] == want:
+                    stack.append(lit >> 1)
+        return critical
+
+    def level_histogram(self) -> dict[int, int]:
+        """Number of majority gates per level."""
+        histogram: dict[int, int] = defaultdict(int)
+        for node in self.mig.gates():
+            histogram[self._levels[node]] += 1
+        return dict(histogram)
+
+    # ------------------------------------------------------------------
+    def distance_set(self, source: int, destination: int, limit: int = 64) -> set[int]:
+        """The distance set D(source, destination) in gate counts.
+
+        Enumerates path lengths by dynamic programming over the DAG; the
+        *limit* guards against exponential path-set blowup by capping the
+        number of distinct lengths tracked per node.
+        """
+        mig = self.mig
+        source = int(source)
+        destination = int(destination)
+        if destination >= mig.n_nodes or source >= mig.n_nodes:
+            raise MigError("distance_set: node out of range")
+        lengths: dict[int, set[int]] = {source: {0}}
+        for node in range(source + 1, destination + 1):
+            if not mig.is_maj(node):
+                continue
+            found: set[int] = set()
+            for lit in mig.fanins(node):
+                for dist in lengths.get(lit >> 1, ()):
+                    found.add(dist + 1)
+                    if len(found) >= limit:
+                        break
+            if found:
+                lengths[node] = found
+        return lengths.get(destination, set())
+
+    def base_distance_set(self, node: int, limit: int = 64) -> set[int]:
+        """The BD set of *node*: path lengths from any PI (or constant)."""
+        mig = self.mig
+        node = int(node)
+        lengths: dict[int, set[int]] = {0: {0}}
+        for pi in mig.pis:
+            lengths[pi] = {0}
+        for gate in mig.gates():
+            if gate > node:
+                break
+            found: set[int] = set()
+            for lit in mig.fanins(gate):
+                for dist in lengths.get(lit >> 1, ()):
+                    found.add(dist + 1)
+                    if len(found) >= limit:
+                        break
+            lengths[gate] = found
+        return lengths.get(node, {0})
+
+
+def depth_of(mig: Mig) -> int:
+    """Depth (critical path length in gates) of *mig*."""
+    return MigView(mig).depth
+
+
+def is_balanced(mig: Mig) -> bool:
+    """True if every PI→PO path has the same length.
+
+    A MIG is wave-pipelinable only when this holds (after the transforms of
+    :mod:`repro.core.wavepipe` it always does).
+    """
+    view = MigView(mig)
+    # Every node must see all of its (wave-carrying) fan-ins at the same
+    # level, and every PO must sit at the same level.  Constant fan-ins are
+    # fixed-polarization cells: they hold their value at every phase and do
+    # not carry waves, so they are exempt from balancing.
+    for node in mig.gates():
+        fanin_levels = {
+            view.level(lit >> 1) for lit in mig.fanins(node) if lit >> 1 != 0
+        }
+        if len(fanin_levels) > 1:
+            return False
+    po_levels = {view.level(sig.node) for sig in mig.pos}
+    return len(po_levels) <= 1
+
+
+def po_signals_at_depth(mig: Mig, view: Optional[MigView] = None) -> list[Signal]:
+    """Primary outputs whose driver sits on the critical path."""
+    view = view or MigView(mig)
+    depth = view.depth
+    return [sig for sig in mig.pos if view.level(sig.node) == depth]

@@ -1,0 +1,47 @@
+"""Wave-pipelining transforms, clocking, verification, and simulation."""
+
+from .buffer_insertion import BufferInsertionResult, insert_buffers
+from .clocking import PAPER_PHASES, ClockingScheme
+from .components import Kind, NetlistStats, WaveNetlist
+from .fanout import FanoutRestrictionResult, min_fogs, restrict_fanout
+from .flow import PAPER_FANOUT_LIMIT, WavePipelineResult, wave_pipeline
+from .simulator import (
+    WaveInterference,
+    WaveSimulationReport,
+    golden_outputs,
+    simulate_waves,
+)
+from .verify import (
+    assert_balanced,
+    assert_fanout,
+    check_balanced,
+    check_equivalent_to_mig,
+    check_fanout,
+    wave_ready,
+)
+
+__all__ = [
+    "BufferInsertionResult",
+    "ClockingScheme",
+    "FanoutRestrictionResult",
+    "Kind",
+    "NetlistStats",
+    "PAPER_FANOUT_LIMIT",
+    "PAPER_PHASES",
+    "WaveInterference",
+    "WaveNetlist",
+    "WavePipelineResult",
+    "WaveSimulationReport",
+    "assert_balanced",
+    "assert_fanout",
+    "check_balanced",
+    "check_equivalent_to_mig",
+    "check_fanout",
+    "golden_outputs",
+    "insert_buffers",
+    "min_fogs",
+    "restrict_fanout",
+    "simulate_waves",
+    "wave_pipeline",
+    "wave_ready",
+]

@@ -1,0 +1,221 @@
+"""Buffer insertion (Algorithm 1 of the paper).
+
+Balances every path of a wave netlist so that
+
+(a) for any two connected components the minimum distance equals the maximum
+    distance (all parallel paths between them have equal length), and
+(b) the maximum base distance of all netlist outputs is equal.
+
+The algorithm is greedy and per-driver optimal: every driver grows a single
+*shared buffer chain* and each consumer taps the chain at the position
+matching its own level, which is exactly the ``lastBD`` bookkeeping of the
+paper's pseudo-code (the chain is extended by ``m = maxxBD(node) - lastBD``
+buffers per fan-out member, visited in sorted xBD order).  A second pass pads
+every primary output up to the maximum output base distance.
+
+Because balancing never changes the level of an existing component, both
+passes work off a single level computation.
+
+When a ``fanout_limit`` is given (the combined FOx+BUF flow), tap positions
+respect the limit: a chain position may serve at most ``limit - 1`` consumers
+when the chain continues past it (one slot feeds the next buffer) and
+``limit`` at the chain end; overflowing positions spawn parallel sibling
+buffers.  Netlists whose raw fan-out already exceeds the limit must run
+fan-out restriction first (:func:`repro.core.wavepipe.fanout.restrict_fanout`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import FanoutError
+from .components import Kind, WaveNetlist
+
+
+@dataclass
+class BufferInsertionResult:
+    """Outcome of :func:`insert_buffers`."""
+
+    netlist: WaveNetlist
+    buffers_added: int
+    padding_buffers: int
+    depth_before: int
+    depth_after: int
+    #: buffers added per driver chain (diagnostics / Fig. 5 analysis)
+    chain_lengths: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def balancing_buffers(self) -> int:
+        """Buffers inserted by the first (inter-component) pass."""
+        return self.buffers_added - self.padding_buffers
+
+
+class _Chain:
+    """A shared buffer chain hanging off one driver.
+
+    ``positions[j]`` holds the literals of the buffers at offset ``j + 1``
+    levels past the driver (parallel siblings when fan-out pressure demands
+    widening).  ``load[lit]`` tracks the fan-out already placed on every
+    carrier literal.
+    """
+
+    def __init__(self, netlist: WaveNetlist, driver: int, limit: int | None):
+        self.netlist = netlist
+        self.driver_lit = driver << 1
+        self.limit = limit
+        self.positions: list[list[int]] = []
+        self.load: dict[int, int] = {self.driver_lit: 0}
+        self.buffers = 0
+
+    def _carrier_with_capacity(self, position: int) -> int:
+        """A literal at chain *position* (0 = driver) with a free slot."""
+        carriers = (
+            [self.driver_lit] if position == 0 else self.positions[position - 1]
+        )
+        if self.limit is None:
+            return carriers[0]
+        for lit in carriers:
+            if self.load[lit] < self.limit:
+                return lit
+        # all carriers at this position are full: widen with a sibling buffer
+        if position == 0:
+            raise FanoutError(
+                "driver fan-out exhausted; run fan-out restriction before "
+                "buffer insertion"
+            )
+        sibling = self._spawn(position)
+        return sibling
+
+    def _spawn(self, position: int) -> int:
+        """Create one buffer at 1-based *position* (extend tip or widen)."""
+        source = self._carrier_with_capacity(position - 1)
+        lit = int(self.netlist.add_buf(source))
+        self.load[source] += 1
+        self.load[lit] = 0
+        if len(self.positions) < position:
+            self.positions.append([])
+        self.positions[position - 1].append(lit)
+        self.buffers += 1
+        return lit
+
+    def tap(self, position: int) -> int:
+        """Literal delivering the driver's value at chain *position*.
+
+        Position 0 is the driver itself; position j is a buffer j levels
+        later.  Extends the chain one position at a time as required and
+        accounts one unit of load on the returned literal.
+        """
+        while len(self.positions) < position:
+            self._spawn(len(self.positions) + 1)
+        lit = self._carrier_with_capacity(position)
+        self.load[lit] += 1
+        return lit
+
+
+def insert_buffers(
+    netlist: WaveNetlist,
+    fanout_limit: int | None = None,
+    pad_outputs: bool = True,
+) -> BufferInsertionResult:
+    """Run Algorithm 1 on *netlist*, returning a balanced copy.
+
+    The input netlist is not modified; the result contains a new netlist
+    whose MAJ/FOG structure is identical with BUF components added.
+
+    Parameters
+    ----------
+    fanout_limit:
+        When given, buffer-chain taps respect this fan-out bound (the
+        netlist itself must already respect it, e.g. via fan-out
+        restriction).
+    pad_outputs:
+        Run the second pass equalizing all output base distances (the paper
+        always does; disabling it is exposed for ablation studies).
+    """
+    work = _copy(netlist)
+    levels = work.levels()
+    depth_before = work.depth(levels)
+    consumers, po_refs = work.consumer_map()
+
+    if fanout_limit is not None:
+        _check_feasible(work, fanout_limit)
+
+    chains: dict[int, _Chain] = {}
+    buffers_added = 0
+
+    # Pass 1: balance every driver -> consumer edge via shared chains.
+    # Iterating over the original component range only: buffers appended
+    # during the loop are already balanced by construction.
+    original_count = netlist.n_components
+    for driver in range(1, original_count):
+        if work.kind(driver) == Kind.CONST:
+            continue
+        edges = consumers[driver]
+        if not edges:
+            continue
+        driver_level = levels[driver]
+        # sort fan-out by max xBD (= consumer level - 1), the paper's order
+        edges = sorted(edges, key=lambda edge: levels[edge[0]])
+        chain = _Chain(work, driver, fanout_limit)
+        for component, position in edges:
+            gap = levels[component] - driver_level - 1
+            original_lit = netlist.fanins(component)[position]
+            tap_lit = chain.tap(gap)
+            work.set_fanin(component, position, tap_lit | (original_lit & 1))
+        # keep zero-length chains too: pass 2 must see their load accounting
+        chains[driver] = chain
+        buffers_added += chain.buffers
+
+    # Pass 2: pad all outputs to the maximum output base distance.
+    padding = 0
+    if pad_outputs and work.n_outputs:
+        max_bd = max(levels[lit >> 1] for lit in work.outputs)
+        for driver in range(original_count):
+            if not po_refs[driver] or driver == 0:
+                continue
+            gap = max_bd - levels[driver]
+            if gap == 0:
+                continue
+            chain = chains.get(driver)
+            if chain is None:
+                chain = _Chain(work, driver, fanout_limit)
+                chains[driver] = chain
+            before = chain.buffers
+            for po_index in po_refs[driver]:
+                original_lit = netlist.outputs[po_index]
+                tap_lit = chain.tap(gap)
+                work.set_output(po_index, int(tap_lit) | (int(original_lit) & 1))
+            padding += chain.buffers - before
+            buffers_added += chain.buffers - before
+
+    depth_after = work.depth()
+    return BufferInsertionResult(
+        netlist=work,
+        buffers_added=buffers_added,
+        padding_buffers=padding,
+        depth_before=depth_before,
+        depth_after=depth_after,
+        chain_lengths={d: c.buffers for d, c in chains.items() if c.buffers},
+    )
+
+
+def _copy(netlist: WaveNetlist) -> WaveNetlist:
+    """Cheap structural copy of a wave netlist."""
+    copy = WaveNetlist(netlist.name)
+    copy._kinds = list(netlist._kinds)
+    copy._fanins = list(netlist._fanins)
+    copy._inputs = list(netlist._inputs)
+    copy._input_names = list(netlist._input_names)
+    copy._outputs = list(netlist._outputs)
+    copy._output_names = list(netlist._output_names)
+    return copy
+
+
+def _check_feasible(netlist: WaveNetlist, limit: int) -> None:
+    """Reject netlists whose raw fan-out already exceeds *limit*."""
+    for component, count in enumerate(netlist.fanout_counts()):
+        if count > limit:
+            raise FanoutError(
+                f"component {component} has fan-out {count} > limit {limit}; "
+                "run restrict_fanout before insert_buffers"
+            )

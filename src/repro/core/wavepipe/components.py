@@ -1,0 +1,361 @@
+"""Typed component netlists for wave pipelining.
+
+The paper's transforms operate on netlists whose components are the
+technology primitives of Table I:
+
+* ``MAJ`` — 3-input majority gate;
+* ``BUF`` — balancing buffer (identity, one level of delay);
+* ``FOG`` — fan-out gate (identity with fan-out capability, modelled by the
+  paper as a reversed majority gate).
+
+Inverters stay *on edges* (complement attributes), exactly as in the MIG
+abstraction: in the studied technologies an inverter is a waveguide/cell
+feature that does not add a clocked level, but it does cost area and energy,
+so it is *counted* (``complemented_edge_count``) when mapping to a
+technology.  Constant fan-ins are fixed-polarization cells; they carry no
+waves and are exempt from balancing and fan-out restriction (they are
+replicated at each consumer by the physical mapping).
+
+:class:`WaveNetlist` uses a structure-of-arrays layout (kinds + fan-in literal
+tuples) so that the 10^5-component netlists of the paper's larger benchmarks
+(e.g. DIFFEQ1's 306 937 components) stay cheap in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator, Optional
+
+from ...errors import NetlistError
+from ..mig import Mig
+from ..signal import Signal
+
+
+class Kind(IntEnum):
+    """Component kinds of a wave netlist."""
+
+    CONST = 0
+    INPUT = 1
+    MAJ = 2
+    BUF = 3
+    FOG = 4
+
+
+#: Kinds that occupy one clocked level (everything but sources).
+CLOCKED_KINDS = (Kind.MAJ, Kind.BUF, Kind.FOG)
+
+
+@dataclass
+class NetlistStats:
+    """Component census of a wave netlist."""
+
+    n_inputs: int
+    n_maj: int
+    n_buf: int
+    n_fog: int
+    n_inverters: int
+    n_outputs: int
+    depth: int
+
+    @property
+    def size(self) -> int:
+        """Component count in the paper's sense: MAJ + BUF + FOG."""
+        return self.n_maj + self.n_buf + self.n_fog
+
+
+class WaveNetlist:
+    """A combinational netlist of MAJ/BUF/FOG components.
+
+    Component 0 is the constant-FALSE cell.  Fan-ins are literals
+    (``2 * index + complement``).  Components are kept in topological order:
+    a component's fan-ins always reference lower indices.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._kinds: list[int] = [Kind.CONST]
+        self._fanins: list[tuple[int, ...]] = [()]
+        self._inputs: list[int] = []
+        self._input_names: list[str] = []
+        self._outputs: list[int] = []
+        self._output_names: list[str] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str = "") -> Signal:
+        """Append a primary input cell."""
+        index = len(self._kinds)
+        self._kinds.append(Kind.INPUT)
+        self._fanins.append(())
+        self._inputs.append(index)
+        self._input_names.append(name or f"in{len(self._inputs) - 1}")
+        return Signal.of(index)
+
+    def add_maj(self, a: int, b: int, c: int) -> Signal:
+        """Append a majority component (no simplification: physical netlist)."""
+        lits = tuple(sorted(int(self._check(x)) for x in (a, b, c)))
+        index = len(self._kinds)
+        self._kinds.append(Kind.MAJ)
+        self._fanins.append(lits)
+        return Signal.of(index)
+
+    def add_buf(self, source: int) -> Signal:
+        """Append a balancing buffer driven by *source*."""
+        return self._add_single(Kind.BUF, source)
+
+    def add_fog(self, source: int) -> Signal:
+        """Append a fan-out gate driven by *source*."""
+        return self._add_single(Kind.FOG, source)
+
+    def _add_single(self, kind: Kind, source: int) -> Signal:
+        lit = int(self._check(source))
+        if lit >> 1 == 0:
+            raise NetlistError(f"cannot drive a {kind.name} from a constant")
+        index = len(self._kinds)
+        self._kinds.append(kind)
+        self._fanins.append((lit,))
+        return Signal.of(index)
+
+    def add_output(self, signal: int, name: str = "") -> int:
+        """Register a primary output reading *signal*."""
+        self._outputs.append(int(self._check(signal)))
+        self._output_names.append(name or f"out{len(self._outputs) - 1}")
+        return len(self._outputs) - 1
+
+    def set_output(self, index: int, signal: int) -> None:
+        """Rewire output *index* to read *signal* (used by the transforms)."""
+        self._outputs[index] = int(self._check(signal))
+
+    def set_fanin(self, component: int, position: int, literal: int) -> None:
+        """Rewire one fan-in edge of *component* (used by the transforms)."""
+        fanins = list(self._fanins[component])
+        fanins[position] = int(self._check(literal))
+        self._fanins[component] = tuple(fanins)
+
+    def _check(self, signal: int) -> Signal:
+        sig = Signal(int(signal))
+        if not 0 <= sig.node < len(self._kinds):
+            raise NetlistError(f"signal references unknown component {sig.node}")
+        return sig
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_components(self) -> int:
+        """Total component count including constant and inputs."""
+        return len(self._kinds)
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of primary inputs."""
+        return len(self._inputs)
+
+    @property
+    def n_outputs(self) -> int:
+        """Number of primary outputs."""
+        return len(self._outputs)
+
+    @property
+    def inputs(self) -> list[int]:
+        """Indices of the primary-input cells."""
+        return list(self._inputs)
+
+    @property
+    def outputs(self) -> list[Signal]:
+        """Output literals in declaration order."""
+        return [Signal(lit) for lit in self._outputs]
+
+    @property
+    def input_names(self) -> list[str]:
+        """Names of the primary inputs."""
+        return list(self._input_names)
+
+    @property
+    def output_names(self) -> list[str]:
+        """Names of the primary outputs."""
+        return list(self._output_names)
+
+    def kind(self, component: int) -> Kind:
+        """Kind of *component*."""
+        return Kind(self._kinds[component])
+
+    def fanins(self, component: int) -> tuple[int, ...]:
+        """Fan-in literals of *component* (empty for sources)."""
+        return self._fanins[component]
+
+    def components(self) -> Iterator[int]:
+        """All component indices in topological order."""
+        return iter(range(len(self._kinds)))
+
+    def clocked_components(self) -> Iterator[int]:
+        """Indices of MAJ/BUF/FOG components in topological order."""
+        for index, kind in enumerate(self._kinds):
+            if kind in (Kind.MAJ, Kind.BUF, Kind.FOG):
+                yield index
+
+    def count(self, kind: Kind) -> int:
+        """Number of components of *kind*."""
+        return sum(1 for k in self._kinds if k == kind)
+
+    @property
+    def size(self) -> int:
+        """Component count in the paper's sense (MAJ + BUF + FOG)."""
+        return sum(1 for k in self._kinds if k in (Kind.MAJ, Kind.BUF, Kind.FOG))
+
+    def complemented_edge_count(self) -> int:
+        """Inverters to materialize: complemented fan-in plus output edges."""
+        count = sum(
+            sum(lit & 1 for lit in fanins) for fanins in self._fanins
+        )
+        count += sum(lit & 1 for lit in self._outputs)
+        return count
+
+    # ------------------------------------------------------------------
+    # levels / structure
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[int]:
+        """Clocked components in dependency order (Kahn's algorithm).
+
+        Construction appends components in topological index order, but the
+        transforms may rewire existing fan-ins to later-appended components,
+        so traversals must not rely on index order.
+        """
+        indegree = [0] * len(self._kinds)
+        dependents: list[list[int]] = [[] for _ in self._kinds]
+        for index, fanins in enumerate(self._fanins):
+            for lit in fanins:
+                node = lit >> 1
+                indegree[index] += 1
+                dependents[node].append(index)
+        ready = [
+            index
+            for index, kind in enumerate(self._kinds)
+            if kind in (Kind.CONST, Kind.INPUT)
+        ]
+        order: list[int] = []
+        while ready:
+            current = ready.pop()
+            if self._kinds[current] not in (Kind.CONST, Kind.INPUT):
+                order.append(current)
+            for dependent in dependents[current]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != sum(
+            1 for k in self._kinds if k not in (Kind.CONST, Kind.INPUT)
+        ):
+            raise NetlistError("netlist contains a combinational cycle")
+        return order
+
+    def levels(self) -> list[int]:
+        """Level of every component (sources at 0, unit delay per component).
+
+        Constant fan-ins are ignored: they do not carry waves.
+        """
+        levels = [0] * len(self._kinds)
+        for index in self.topological_order():
+            best = 0
+            for lit in self._fanins[index]:
+                node = lit >> 1
+                if node and levels[node] > best:
+                    best = levels[node]
+            # a component whose fan-ins are all constants/inputs is level 1
+            levels[index] = best + 1
+        return levels
+
+    def depth(self, levels: Optional[list[int]] = None) -> int:
+        """Critical path length (max output-driver level)."""
+        levels = levels if levels is not None else self.levels()
+        return max((levels[lit >> 1] for lit in self._outputs), default=0)
+
+    def consumer_map(self) -> tuple[list[list[tuple[int, int]]], list[list[int]]]:
+        """Fan-out edges of every component.
+
+        Returns ``(consumers, po_refs)`` where ``consumers[i]`` lists
+        ``(component, fanin_position)`` pairs and ``po_refs[i]`` lists output
+        indices reading component *i*.
+        """
+        consumers: list[list[tuple[int, int]]] = [[] for _ in self._kinds]
+        po_refs: list[list[int]] = [[] for _ in self._kinds]
+        for index, fanins in enumerate(self._fanins):
+            for position, lit in enumerate(fanins):
+                consumers[lit >> 1].append((index, position))
+        for po_index, lit in enumerate(self._outputs):
+            po_refs[lit >> 1].append(po_index)
+        return consumers, po_refs
+
+    def fanout_counts(self, include_outputs: bool = True) -> list[int]:
+        """Fan-out edge count per component (constant excluded from demand)."""
+        counts = [0] * len(self._kinds)
+        for fanins in self._fanins:
+            for lit in fanins:
+                counts[lit >> 1] += 1
+        if include_outputs:
+            for lit in self._outputs:
+                counts[lit >> 1] += 1
+        counts[0] = 0  # constants are replicated tie-off cells, not nets
+        return counts
+
+    def stats(self) -> NetlistStats:
+        """Component census (the quantities reported in Table II / Fig. 8)."""
+        return NetlistStats(
+            n_inputs=self.n_inputs,
+            n_maj=self.count(Kind.MAJ),
+            n_buf=self.count(Kind.BUF),
+            n_fog=self.count(Kind.FOG),
+            n_inverters=self.complemented_edge_count(),
+            n_outputs=self.n_outputs,
+            depth=self.depth(),
+        )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_mig(cls, mig: Mig, name: str = "") -> "WaveNetlist":
+        """Lower a MIG to a physical wave netlist (1:1, no buffers yet)."""
+        netlist = cls(name or mig.name)
+        mapping: dict[int, int] = {0: 0}
+        for node, pi_name in zip(mig.pis, mig.pi_names):
+            mapping[node] = int(netlist.add_input(pi_name)) >> 1
+        for node in mig.gates():
+            lits = tuple(
+                (mapping[lit >> 1] << 1) | (lit & 1) for lit in mig.fanins(node)
+            )
+            mapping[node] = int(netlist.add_maj(*lits)) >> 1
+        for sig, po_name in zip(mig.pos, mig.po_names):
+            netlist.add_output(
+                (mapping[sig.node] << 1) | (1 if sig.complemented else 0),
+                po_name,
+            )
+        return netlist
+
+    def to_mig(self) -> Mig:
+        """Collapse back to a MIG (BUF/FOG become wires) for equivalence."""
+        mig = Mig(self.name)
+        mapping: dict[int, Signal] = {0: Signal(0)}
+        for index, name in zip(self._inputs, self._input_names):
+            mapping[index] = mig.add_pi(name)
+        for index in self.topological_order():
+            kind = self._kinds[index]
+            fanins = self._fanins[index]
+            if kind == Kind.MAJ:
+                sigs = [mapping[lit >> 1] ^ bool(lit & 1) for lit in fanins]
+                mapping[index] = mig.add_maj(*sigs)
+            else:  # BUF / FOG are functional identity
+                (lit,) = fanins
+                mapping[index] = mapping[lit >> 1] ^ bool(lit & 1)
+        for lit, name in zip(self._outputs, self._output_names):
+            mig.add_po(mapping[lit >> 1] ^ bool(lit & 1), name)
+        return mig
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"WaveNetlist(name={self.name!r}, inputs={stats.n_inputs}, "
+            f"outputs={stats.n_outputs}, maj={stats.n_maj}, "
+            f"buf={stats.n_buf}, fog={stats.n_fog}, depth={stats.depth})"
+        )

@@ -1,0 +1,314 @@
+"""Fan-out restriction (Section IV of the paper).
+
+Emerging majority technologies have no intrinsic gain, so a component may
+drive only a small number of consumers (2 to 5).  Excess fan-out is served
+through *fan-out gates* (FOG, modelled as a reversed majority gate), each of
+which again drives at most ``limit`` consumers.
+
+The algorithm is level-aware (Fig. 6): consumers of an over-driven component
+sit at different levels, so FOGs are arranged in a chain/ladder whose depth
+tracks the consumer levels ("the algorithm ... tries to not leave residual
+paths that jump through graph levels").  Three effects follow, all visible
+in the paper's Figs. 6-8:
+
+* the minimal number of FOGs per driver is ``ceil((f - limit)/(limit - 1))``;
+* consumers whose level exceeds their assigned slot depth receive gap
+  buffers (the BUF of Fig. 6b);
+* consumers whose level is below their slot depth are *delayed* (their level
+  rises, which is why FOx+BUF inserts more buffers than FOx and BUF run
+  separately — the paper's observation (a) on Fig. 8).
+
+Per-driver procedure:
+
+1. collect consumer edges and output references; skip if within limit;
+2. plan FOG depths: one FOG per depth along a chain while demand remains,
+   widening a depth when the consumers due there would overflow its slots;
+3. assign consumers to slots, deepest slack first, each taking the free slot
+   whose depth is closest to its slack;
+4. rewire with gap buffers / delays and propagate level increases downstream
+   (safe because drivers are processed in topological order: level increases
+   only ever flow forward).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from ...errors import FanoutError
+from .buffer_insertion import _copy
+from .components import Kind, WaveNetlist
+
+#: Effective slack of a primary-output reference (reads are padded later).
+_PO_SLACK = 1 << 30
+
+
+@dataclass
+class FanoutRestrictionResult:
+    """Outcome of :func:`restrict_fanout`."""
+
+    netlist: WaveNetlist
+    limit: int
+    fogs_added: int
+    buffers_added: int
+    delayed_components: int
+    depth_before: int
+    depth_after: int
+    #: per-driver FOG counts (diagnostics)
+    fog_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def cpl_increase(self) -> float:
+        """Relative critical-path increase (the quantity of Fig. 7)."""
+        if self.depth_before == 0:
+            return 0.0
+        return (self.depth_after - self.depth_before) / self.depth_before
+
+
+def min_fogs(fanout: int, limit: int) -> int:
+    """Minimal FOG count for a net of *fanout* under *limit* (each FOG
+    consumes one slot and provides *limit* new ones)."""
+    if fanout <= limit:
+        return 0
+    return -(-(fanout - limit) // (limit - 1))  # ceil division
+
+
+class _Slot:
+    """One free drive slot of a carrier (driver or FOG)."""
+
+    __slots__ = ("depth", "carrier")
+
+    def __init__(self, depth: int, carrier: int):
+        self.depth = depth  # 0 = the driver itself
+        self.carrier = carrier  # literal delivering the value
+
+
+def restrict_fanout(netlist: WaveNetlist, limit: int) -> FanoutRestrictionResult:
+    """Limit every component's fan-out to *limit*, returning a new netlist."""
+    if limit < 2:
+        raise FanoutError(f"fan-out limit must be at least 2, got {limit}")
+
+    work = _copy(netlist)
+    levels = work.levels()
+    depth_before = work.depth(levels)
+    consumers, po_refs = work.consumer_map()
+
+    total_fogs = 0
+    total_buffers = 0
+    delayed: set[int] = set()
+    fog_counts: dict[int, int] = {}
+
+    original_count = netlist.n_components
+    for driver in range(1, original_count):
+        edges = consumers[driver]
+        pos = po_refs[driver]
+        fanout = len(edges) + len(pos)
+        if fanout <= limit:
+            continue
+        fogs, buffers = _serve_driver(
+            work, driver, edges, pos, levels, limit, delayed, consumers
+        )
+        total_fogs += fogs
+        total_buffers += buffers
+        fog_counts[driver] = fogs
+
+    depth_after = work.depth(levels)
+    return FanoutRestrictionResult(
+        netlist=work,
+        limit=limit,
+        fogs_added=total_fogs,
+        buffers_added=total_buffers,
+        delayed_components=len(delayed),
+        depth_before=depth_before,
+        depth_after=depth_after,
+        fog_counts=fog_counts,
+    )
+
+
+def _serve_driver(
+    work: WaveNetlist,
+    driver: int,
+    edges: list[tuple[int, int]],
+    pos: list[int],
+    levels: list[int],
+    limit: int,
+    delayed: set[int],
+    consumers: list[list[tuple[int, int]]],
+) -> tuple[int, int]:
+    """Restructure one over-driven net.  Returns (fogs, buffers) added."""
+    driver_level = levels[driver]
+    jobs: list[tuple[int, int, tuple[int, int] | int]] = []
+    for component, position in edges:
+        slack = levels[component] - driver_level - 1
+        jobs.append((slack, 0, (component, position)))
+    for po_index in pos:
+        jobs.append((_PO_SLACK, 1, po_index))
+    budget = min_fogs(len(jobs), limit)
+
+    slots, fogs = _plan_tree(work, driver, jobs, budget, limit, levels, consumers)
+
+    # Assign: deepest slack first, each taking the closest-depth free slot.
+    jobs.sort(key=lambda job: -job[0])
+    depths = sorted(slot.depth for slot in slots)
+    by_depth: dict[int, list[_Slot]] = {}
+    for slot in slots:
+        by_depth.setdefault(slot.depth, []).append(slot)
+
+    # consumers needing gap buffers are grouped per carrier so that one
+    # shared chain serves them all (the BUF of Fig. 6b, shared like the
+    # lastBD chains of Algorithm 1)
+    gap_groups: dict[int, list[tuple[int, tuple[int, int]]]] = {}
+    before_chains = work.n_components
+    for slack, is_po, payload in jobs:
+        depth = _closest_depth(depths, slack)
+        slot = by_depth[depth].pop()
+        depths.remove(depth)
+        tap = slot.carrier
+        if is_po:
+            original = int(work.outputs[payload])
+            work.set_output(payload, tap | (original & 1))
+            continue
+        component, position = payload
+        if slack > depth:
+            gap_groups.setdefault(tap, []).append(
+                (slack - depth, (component, position))
+            )
+            continue
+        original = work.fanins(component)[position]
+        work.set_fanin(component, position, tap | (original & 1))
+        if slack < depth:  # the consumer is pushed to a later level
+            delayed.add(component)
+            _propagate_delay(work, component, levels, consumers)
+
+    buffers = _build_gap_chains(work, gap_groups, limit, levels)
+    for _ in range(work.n_components - before_chains):
+        consumers.append([])
+    return fogs, buffers
+
+
+def _build_gap_chains(
+    work: WaveNetlist,
+    gap_groups: dict[int, list[tuple[int, tuple[int, int]]]],
+    limit: int,
+    levels: list[int],
+) -> int:
+    """Serve every (carrier -> consumer) gap through shared buffer chains.
+
+    Each group's consumers hold one drive slot of the carrier, so the chain
+    may load the carrier with at most ``len(group)`` edges; the shared
+    chain machinery of Algorithm 1 handles per-position tap capacity.
+    """
+    from .buffer_insertion import _Chain
+
+    buffers = 0
+    for carrier_lit, group in gap_groups.items():
+        before = work.n_components
+        chain = _Chain(work, carrier_lit >> 1, limit)
+        # the carrier's unassigned capacity belongs to other slots
+        chain.load[chain.driver_lit] = limit - len(group)
+        group.sort(key=lambda job: job[0])
+        for gap, (component, position) in group:
+            original = work.fanins(component)[position]
+            tap = chain.tap(gap)
+            work.set_fanin(component, position, tap | (original & 1))
+        for index in range(before, work.n_components):
+            # chain buffers reference lower-indexed sources by construction
+            (source,) = work.fanins(index)
+            levels.append(levels[source >> 1] + 1)
+        buffers += chain.buffers
+    return buffers
+
+
+def _plan_tree(
+    work: WaveNetlist,
+    driver: int,
+    jobs: list[tuple[int, int, tuple[int, int] | int]],
+    budget: int,
+    limit: int,
+    levels: list[int],
+    consumers: list[list[tuple[int, int]]],
+) -> tuple[list[_Slot], int]:
+    """Materialize the FOG ladder; returns its free slots and FOG count."""
+    driver_level = levels[driver]
+    slacks = sorted(min(job[0], budget + 1) for job in jobs)
+    slots: list[_Slot] = []
+    # carriers at the current depth with remaining capacity: (literal, free)
+    carriers: list[list[int]] = [[driver << 1, limit]]
+    fogs_left = budget
+    planted = 0
+    depth = 0
+    served = 0
+    while True:
+        capacity = sum(free for _, free in carriers)
+        due = bisect_right(slacks, depth) - served
+        future = len(slacks) - served - due
+        if fogs_left == 0 or future + max(0, due - capacity) == 0:
+            # chain ends: everything left is served from the spare pool
+            for lit, free in carriers:
+                for _ in range(free):
+                    slots.append(_Slot(depth, lit))
+            break
+        # FOGs at this depth: one continues the chain; widen when the
+        # consumers bumped past this depth plus those due right after it
+        # would overflow a single FOG's slots.
+        bumped_if_one = max(0, due - (capacity - 1))
+        exact_next = bisect_right(slacks, depth + 1) - bisect_right(slacks, depth)
+        wanted = -(-(bumped_if_one + exact_next) // limit)  # ceil
+        fogs_now = min(fogs_left, capacity, max(1, wanted))
+        next_carriers: list[list[int]] = []
+        for _ in range(fogs_now):
+            parent = next(c for c in carriers if c[1] > 0)
+            fog = int(work.add_fog(parent[0]))
+            parent[1] -= 1
+            levels.append(driver_level + depth + 1)
+            consumers.append([])
+            next_carriers.append([fog, limit])
+            planted += 1
+        # remaining capacity at this depth becomes consumer slots
+        spare = 0
+        for lit, free in carriers:
+            for _ in range(free):
+                slots.append(_Slot(depth, lit))
+                spare += 1
+        served += min(due, spare)
+        # consumers that did not fit here are implicitly bumped deeper;
+        # accounting happens at assignment time via closest-depth search
+        carriers = next_carriers
+        fogs_left -= fogs_now
+        depth += 1
+    return slots, planted
+
+
+def _closest_depth(depths: list[int], slack: int) -> int:
+    """Free slot depth closest to *slack* (ties prefer the shallower one)."""
+    index = bisect_right(depths, slack)
+    if index == 0:
+        return depths[0]
+    if index == len(depths):
+        return depths[-1]
+    below = depths[index - 1]
+    above = depths[index]
+    return below if (slack - below) <= (above - slack) else above
+
+
+def _propagate_delay(
+    work: WaveNetlist,
+    component: int,
+    levels: list[int],
+    consumers: list[list[tuple[int, int]]],
+) -> None:
+    """Recompute *component*'s level and push increases downstream."""
+    worklist = [component]
+    while worklist:
+        current = worklist.pop()
+        best = 0
+        for lit in work.fanins(current):
+            node = lit >> 1
+            if node and levels[node] > best:
+                best = levels[node]
+        new_level = best + 1
+        if new_level <= levels[current]:
+            continue
+        levels[current] = new_level
+        for consumer, _ in consumers[current]:
+            worklist.append(consumer)

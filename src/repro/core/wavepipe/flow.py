@@ -1,0 +1,145 @@
+"""The complete wave-pipelining enablement flow (FOx + BUF).
+
+The paper's order is mandatory: fan-out restriction increases netlist depth
+(delayed nodes), so "in order to fully enable a MIG netlist for wave
+pipelining it has to be performed before the buffer insertion algorithm"
+(Section IV).  :func:`wave_pipeline` runs both passes, optionally verifying
+every invariant, and returns a :class:`WavePipelineResult` carrying the
+statistics reported in Figs. 5, 7, 8 and Table II.
+
+An ablation hook (``order="buf-first"``) deliberately runs the passes in the
+wrong order to demonstrate why the paper's ordering is required: buffer
+insertion's balance guarantee is destroyed by subsequent fan-out delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import NetlistError
+from ..mig import Mig
+from .buffer_insertion import BufferInsertionResult, insert_buffers
+from .components import WaveNetlist
+from .fanout import FanoutRestrictionResult, restrict_fanout
+from .verify import assert_balanced, assert_fanout, check_equivalent_to_mig
+
+#: The paper's headline configuration (Section V: "we have only considered
+#: fan-out restriction to 3").
+PAPER_FANOUT_LIMIT = 3
+
+
+@dataclass
+class WavePipelineResult:
+    """Everything produced by the FOx+BUF flow on one benchmark."""
+
+    original: WaveNetlist
+    netlist: WaveNetlist
+    fanout_limit: Optional[int]
+    fanout_result: Optional[FanoutRestrictionResult]
+    buffer_result: Optional[BufferInsertionResult]
+
+    # ------------------------------------------------------------------
+    @property
+    def depth_before(self) -> int:
+        """Original netlist depth (paper: Depth/Original)."""
+        return self.original.depth()
+
+    @property
+    def depth_after(self) -> int:
+        """Wave-pipelined netlist depth (paper: Depth/WP)."""
+        return self.netlist.depth()
+
+    @property
+    def size_before(self) -> int:
+        """Original component count (paper: Size/Original)."""
+        return self.original.size
+
+    @property
+    def size_after(self) -> int:
+        """Wave-pipelined component count (paper: Size/WP)."""
+        return self.netlist.size
+
+    @property
+    def size_ratio(self) -> float:
+        """Normalized netlist size (the quantity averaged in Fig. 8)."""
+        return self.size_after / self.size_before if self.size_before else 1.0
+
+    @property
+    def buffers_added(self) -> int:
+        """Total BUF components inserted by both passes."""
+        total = 0
+        if self.fanout_result is not None:
+            total += self.fanout_result.buffers_added
+        if self.buffer_result is not None:
+            total += self.buffer_result.buffers_added
+        return total
+
+    @property
+    def fogs_added(self) -> int:
+        """Total FOG components inserted."""
+        return self.fanout_result.fogs_added if self.fanout_result else 0
+
+
+def wave_pipeline(
+    source: Mig | WaveNetlist,
+    fanout_limit: Optional[int] = PAPER_FANOUT_LIMIT,
+    balance: bool = True,
+    verify: bool = True,
+    order: str = "fo-first",
+) -> WavePipelineResult:
+    """Enable wave pipelining on a MIG or wave netlist.
+
+    Parameters
+    ----------
+    source:
+        The optimized input network (the paper assumes depth-optimized MIGs).
+    fanout_limit:
+        Fan-out restriction bound (2..5 in the paper; None skips the pass,
+        giving the BUF-only configuration of Figs. 5 and 8).
+    balance:
+        Run buffer insertion (False gives the FOx-only configuration).
+    verify:
+        Check balance, fan-out, and functional equivalence after the flow.
+    order:
+        "fo-first" (the paper's required order) or "buf-first" (ablation).
+    """
+    original = (
+        WaveNetlist.from_mig(source) if isinstance(source, Mig) else source
+    )
+    if order not in ("fo-first", "buf-first"):
+        raise NetlistError(f"unknown pass order {order!r}")
+
+    current = original
+    fanout_result: Optional[FanoutRestrictionResult] = None
+    buffer_result: Optional[BufferInsertionResult] = None
+
+    if order == "buf-first" and balance:
+        buffer_result = insert_buffers(current)
+        current = buffer_result.netlist
+    if fanout_limit is not None:
+        fanout_result = restrict_fanout(current, fanout_limit)
+        current = fanout_result.netlist
+    if order == "fo-first" and balance:
+        buffer_result = insert_buffers(current, fanout_limit=fanout_limit)
+        current = buffer_result.netlist
+
+    result = WavePipelineResult(
+        original=original,
+        netlist=current,
+        fanout_limit=fanout_limit,
+        fanout_result=fanout_result,
+        buffer_result=buffer_result,
+    )
+
+    if verify:
+        if balance and order == "fo-first":
+            assert_balanced(current, "wave_pipeline")
+        if fanout_limit is not None:
+            assert_fanout(current, fanout_limit, "wave_pipeline")
+        reference = source if isinstance(source, Mig) else original.to_mig()
+        if not check_equivalent_to_mig(current, reference):
+            raise NetlistError(
+                "wave_pipeline: transformed netlist is not equivalent"
+            )
+    return result

@@ -1,0 +1,209 @@
+"""Phase-accurate simulation of wave-pipelined netlists.
+
+This is the executable model of Fig. 4: every component is a clocked
+non-volatile cell; a component at level L latches on clock phase
+``L mod p``; the inputs latch a fresh data wave every ``p`` phases.
+
+The simulator tracks, per component, both the Boolean value and the *wave
+id* it belongs to.  On a balanced netlist every component always combines
+fan-ins of a single wave and the outputs retire one coherent wave every
+``p`` phases — which the simulator cross-checks against the golden
+(functional) model.  On an unbalanced netlist waves interfere: a component
+sees fan-ins from different waves, which the simulator reports as
+:class:`WaveInterference` events (and optionally raises).
+
+This gives the library an end-to-end, dynamic proof of the paper's premise:
+path balancing is exactly what makes multi-wave operation safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ...errors import SimulationError
+from .clocking import ClockingScheme
+from .components import Kind, WaveNetlist
+
+
+@dataclass(frozen=True)
+class WaveInterference:
+    """A component combined fan-ins belonging to different waves."""
+
+    step: int
+    component: int
+    wave_ids: tuple[int, ...]
+
+
+@dataclass
+class WaveSimulationReport:
+    """Outcome of :func:`simulate_waves`."""
+
+    outputs: list[list[bool]]
+    latency_steps: int
+    steps_run: int
+    waves_injected: int
+    waves_retired: int
+    interference: list[WaveInterference] = field(default_factory=list)
+
+    @property
+    def coherent(self) -> bool:
+        """True when no wave interference occurred."""
+        return not self.interference
+
+    def measured_throughput(self) -> float:
+        """Retired waves per simulation step (1/p when fully pipelined)."""
+        if self.steps_run == 0:
+            return 0.0
+        return self.waves_retired / self.steps_run
+
+
+def simulate_waves(
+    netlist: WaveNetlist,
+    vectors: Sequence[Sequence[bool]],
+    clocking: Optional[ClockingScheme] = None,
+    pipelined: bool = True,
+    strict: bool = False,
+) -> WaveSimulationReport:
+    """Drive *vectors* through *netlist* under a regeneration clock.
+
+    Parameters
+    ----------
+    vectors:
+        One input vector (bool per input) per wave, injected in order.
+    pipelined:
+        When True a new wave is injected every ``p`` phases (wave
+        pipelining); when False the next wave waits for the previous one to
+        retire (the paper's non-pipelined baseline).
+    strict:
+        Raise :class:`SimulationError` on the first interference instead of
+        recording it.
+
+    Returns
+    -------
+    A report whose ``outputs[w]`` is the output vector of wave *w*.
+    """
+    clocking = clocking or ClockingScheme()
+    p = clocking.n_phases
+    for wave, vector in enumerate(vectors):
+        if len(vector) != netlist.n_inputs:
+            raise SimulationError(
+                f"wave {wave} has {len(vector)} bits, expected "
+                f"{netlist.n_inputs}"
+            )
+
+    levels = netlist.levels()
+    depth = netlist.depth(levels)
+    if depth == 0:
+        raise SimulationError("cannot wave-simulate a depth-0 netlist")
+
+    # Components grouped by latching phase, deepest first within a phase:
+    # when an unbalanced netlist connects two same-phase components, the
+    # consumer must read the value *before* this step's update (all cells
+    # latch simultaneously in hardware).
+    by_phase: list[list[int]] = [[] for _ in range(p)]
+    for component in netlist.clocked_components():
+        by_phase[clocking.phase_of_level(levels[component])].append(component)
+    for group in by_phase:
+        group.sort(key=lambda component: -levels[component])
+
+    n = netlist.n_components
+    value = [False] * n
+    wave_of = [-1] * n
+    value[0] = False  # constant cell
+    wave_of[0] = -2  # sentinel: constants belong to every wave
+
+    inputs = netlist.inputs
+    outputs = netlist.outputs
+    output_level = depth  # balanced netlists retire at the common depth
+
+    # Inputs can only latch on their own phase, so the wave separation is
+    # always a whole number of clock cycles: p when pipelined, else the
+    # first cycle boundary at or after the full propagation delay.
+    separation = p if pipelined else -(-depth // p) * p
+    n_waves = len(vectors)
+    results: list[list[bool]] = [None] * n_waves  # type: ignore[list-item]
+    interference: list[WaveInterference] = []
+
+    retired = 0
+    injected = 0
+    last_injection_step = (n_waves - 1) * separation
+    total_steps = last_injection_step + depth + 1
+
+    for step in range(total_steps):
+        phase = step % p
+        # 1) inject: inputs latch on phase 0 of their separation slot
+        if step % separation == 0 and step <= last_injection_step:
+            wave = step // separation
+            vector = vectors[wave]
+            for position, component in enumerate(inputs):
+                value[component] = bool(vector[position])
+                wave_of[component] = wave
+            injected += 1
+        # 2) clocked components on this phase latch from their neighbours
+        # (deepest-first order, see above).
+        for component in by_phase[phase]:
+            fanins = netlist.fanins(component)
+            ids = set()
+            bits = []
+            warming_up = False
+            for lit in fanins:
+                node = lit >> 1
+                bit = value[node] ^ bool(lit & 1)
+                bits.append(bit)
+                if node == 0:
+                    continue
+                if wave_of[node] == -1:
+                    warming_up = True  # fan-in has not seen any wave yet
+                elif wave_of[node] >= 0:
+                    ids.add(wave_of[node])
+            if len(ids) > 1:
+                event = WaveInterference(step, component, tuple(sorted(ids)))
+                if strict:
+                    raise SimulationError(
+                        f"wave interference at step {step}, component "
+                        f"{component}: waves {event.wave_ids}"
+                    )
+                interference.append(event)
+            if netlist.kind(component) == Kind.MAJ:
+                a, b, c = bits
+                value[component] = (a and b) or (a and c) or (b and c)
+            else:  # BUF / FOG are identity
+                value[component] = bits[0]
+            if warming_up:
+                wave_of[component] = -1
+            else:
+                wave_of[component] = max(ids) if ids else -2
+        # 3) retire: read outputs when a wave reaches the output level
+        ready_wave = (step - output_level) // separation
+        if (
+            step >= output_level
+            and (step - output_level) % separation == 0
+            and ready_wave < n_waves
+            and output_level % p == phase
+        ):
+            results[ready_wave] = [
+                value[lit >> 1] ^ bool(lit & 1) for lit in outputs
+            ]
+            retired += 1
+
+    if any(result is None for result in results):
+        raise SimulationError("simulation ended before every wave retired")
+
+    return WaveSimulationReport(
+        outputs=results,
+        latency_steps=depth,
+        steps_run=total_steps,
+        waves_injected=injected,
+        waves_retired=retired,
+        interference=interference,
+    )
+
+
+def golden_outputs(
+    netlist: WaveNetlist, vectors: Sequence[Sequence[bool]]
+) -> list[list[bool]]:
+    """Reference (functional) outputs for comparison with the wave model."""
+    from ..simulate import simulate_vectors
+
+    return simulate_vectors(netlist.to_mig(), vectors)

@@ -1,0 +1,102 @@
+"""Invariant checkers for wave-pipelined netlists.
+
+These are the formal statements of the paper's two transform objectives:
+
+* :func:`check_balanced` — objective of buffer insertion: all paths between
+  any two connected components are equal length, and all outputs share one
+  base distance;
+* :func:`check_fanout` — objective of fan-out restriction: no component
+  drives more than ``limit`` consumers;
+* :func:`check_equivalent_to_mig` — both transforms preserve function.
+
+Checkers return a list of human-readable violation strings (empty = OK);
+``assert_*`` variants raise the matching library exception.
+"""
+
+from __future__ import annotations
+
+from ...errors import BalanceError, FanoutError
+from ..equivalence import check_equivalence
+from ..mig import Mig
+from .components import Kind, WaveNetlist
+
+
+def check_balanced(netlist: WaveNetlist) -> list[str]:
+    """Violations of the path-balance property.
+
+    Balanced means: every clocked component sees all of its wave-carrying
+    (non-constant) fan-ins at the same level — which is equivalent to all
+    paths between any two connected components having equal length — and
+    every primary output driver sits at the same level.
+    """
+    levels = netlist.levels()
+    violations: list[str] = []
+    for component in netlist.clocked_components():
+        fanin_levels = {
+            levels[lit >> 1]
+            for lit in netlist.fanins(component)
+            if lit >> 1 != 0
+        }
+        if len(fanin_levels) > 1:
+            violations.append(
+                f"component {component} ({netlist.kind(component).name}) "
+                f"sees fan-in levels {sorted(fanin_levels)}"
+            )
+    output_levels = {
+        levels[lit >> 1] for lit in netlist.outputs if lit >> 1 != 0
+    }
+    if len(output_levels) > 1:
+        violations.append(
+            f"outputs sit at different base distances {sorted(output_levels)}"
+        )
+    return violations
+
+
+def check_fanout(netlist: WaveNetlist, limit: int) -> list[str]:
+    """Violations of the fan-out bound (constants exempt)."""
+    violations: list[str] = []
+    for component, count in enumerate(netlist.fanout_counts()):
+        if component == 0:
+            continue
+        if count > limit:
+            violations.append(
+                f"component {component} ({netlist.kind(component).name}) "
+                f"drives {count} > {limit} consumers"
+            )
+    return violations
+
+
+def assert_balanced(netlist: WaveNetlist, context: str = "") -> None:
+    """Raise :class:`BalanceError` when the netlist is not path-balanced."""
+    violations = check_balanced(netlist)
+    if violations:
+        prefix = f"{context}: " if context else ""
+        sample = "; ".join(violations[:5])
+        raise BalanceError(
+            f"{prefix}{len(violations)} balance violations, e.g. {sample}"
+        )
+
+
+def assert_fanout(netlist: WaveNetlist, limit: int, context: str = "") -> None:
+    """Raise :class:`FanoutError` when the fan-out bound is violated."""
+    violations = check_fanout(netlist, limit)
+    if violations:
+        prefix = f"{context}: " if context else ""
+        sample = "; ".join(violations[:5])
+        raise FanoutError(
+            f"{prefix}{len(violations)} fan-out violations, e.g. {sample}"
+        )
+
+
+def check_equivalent_to_mig(netlist: WaveNetlist, reference: Mig) -> bool:
+    """True when the netlist still computes the reference MIG's function."""
+    return bool(check_equivalence(netlist.to_mig(), reference))
+
+
+def wave_ready(netlist: WaveNetlist, fanout_limit: int | None = None) -> bool:
+    """True when the netlist satisfies every wave-pipelining requirement."""
+    if check_balanced(netlist):
+        return False
+    if fanout_limit is not None and check_fanout(netlist, fanout_limit):
+        return False
+    return True

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MigError(ReproError):
+    """Structural misuse of a Majority-Inverter Graph (bad literal, cycle, ...)."""
+
+
+class NetlistError(ReproError):
+    """Structural misuse of a wave netlist (unknown component, bad edge, ...)."""
+
+
+class BalanceError(ReproError):
+    """A netlist that was expected to be path-balanced is not."""
+
+
+class FanoutError(ReproError):
+    """A netlist violates the configured fan-out restriction."""
+
+
+class TechnologyError(ReproError):
+    """Invalid or inconsistent technology model parameters."""
+
+
+class SimulationError(ReproError):
+    """Wave or Boolean simulation failed (interference, width mismatch, ...)."""
+
+
+class EquivalenceError(ReproError):
+    """Two networks that must be functionally equivalent are not."""
+
+
+class ParseError(ReproError):
+    """A netlist file (BLIF, .mig) could not be parsed."""
+
+
+class SatError(ReproError):
+    """The SAT substrate was used incorrectly (bad literal, empty clause set, ...)."""
+
+
+class GenerationError(ReproError):
+    """A benchmark generator could not satisfy its structural targets."""

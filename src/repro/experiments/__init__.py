@@ -1,0 +1,27 @@
+"""One module per paper artifact: table1, fig5, fig7, fig8, table2, fig9."""
+
+from . import fig5, fig7, fig8, fig9, table1, table2
+from .runner import SuiteRunner, active_suite, parse_config
+
+#: artifact name -> module with run()/Result.render()
+ARTIFACTS = {
+    "table1": table1,
+    "fig5": fig5,
+    "fig7": fig7,
+    "fig8": fig8,
+    "table2": table2,
+    "fig9": fig9,
+}
+
+__all__ = [
+    "ARTIFACTS",
+    "SuiteRunner",
+    "active_suite",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig9",
+    "parse_config",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,69 @@
+"""Fig. 5: balancing buffers added versus original netlist size.
+
+The paper runs buffer insertion alone over its 37 benchmarks and reports
+the power-law trend ``B(s) = 7.95 * s^0.9``.  This experiment regenerates
+the scatter and refits the trend on our suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.fitting import PowerLawFit, power_law_fit
+from ..analysis.plots import log_log_scatter
+from ..analysis.tables import render_table, write_csv
+from .runner import SuiteRunner
+
+#: the trend the paper reports
+PAPER_COEFFICIENT = 7.95
+PAPER_EXPONENT = 0.9
+
+_HEADERS = ("benchmark", "size", "buffers added")
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Scatter points and fitted trend."""
+
+    names: tuple[str, ...]
+    sizes: tuple[int, ...]
+    buffers: tuple[int, ...]
+    fit: PowerLawFit
+
+    def render(self) -> str:
+        rows = list(zip(self.names, self.sizes, self.buffers))
+        scatter = log_log_scatter(
+            self.sizes,
+            self.buffers,
+            x_label="circuit size",
+            y_label="buffers added",
+        )
+        table = render_table(_HEADERS, rows, title="Fig. 5 data")
+        return (
+            f"{scatter}\n\n{table}\n\n"
+            f"measured fit : {self.fit}\n"
+            f"paper fit    : B(s) = {PAPER_COEFFICIENT:.2f} * "
+            f"s^{PAPER_EXPONENT:.2f}"
+        )
+
+    def to_csv(self, path: str | Path) -> Path:
+        rows = list(zip(self.names, self.sizes, self.buffers))
+        return write_csv(path, _HEADERS, rows)
+
+
+def run(runner: SuiteRunner | None = None) -> Fig5Result:
+    """Run buffer insertion alone over the suite and fit the trend."""
+    runner = runner or SuiteRunner()
+    names, sizes, buffers = [], [], []
+    for name, result in runner.run_suite("BUF").items():
+        names.append(name)
+        sizes.append(result.size_before)
+        buffers.append(result.buffers_added)
+    fit = power_law_fit(sizes, buffers)
+    return Fig5Result(
+        names=tuple(names),
+        sizes=tuple(sizes),
+        buffers=tuple(buffers),
+        fit=fit,
+    )

@@ -1,0 +1,101 @@
+"""Fig. 7: critical-path increase after fan-out restriction.
+
+The paper shows a heatmap over eight benchmarks with original critical
+paths {6, 8, 15, 18, 19, 34, 77, 201} and fan-out limits 2..5, plus the
+suite-wide averages: +140 %, +57 %, +36 %, +26 % for limits 2, 3, 4, 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.plots import heatmap
+from ..analysis.stats import arithmetic_mean
+from ..analysis.tables import render_table, write_csv
+from ..suite.table import FIG7_SUITE
+from .runner import SuiteRunner
+
+#: fan-out limits on the heatmap's y axis
+LIMITS = (2, 3, 4, 5)
+
+#: suite-average CPL increases the paper reports, by limit
+PAPER_AVERAGES = {2: 1.40, 3: 0.57, 4: 0.36, 5: 0.26}
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Heatmap cells (absolute CPL growth) and suite averages."""
+
+    depths: tuple[int, ...]  # original CPL per column
+    columns: tuple[str, ...]  # benchmark names per column
+    #: increase[limit][column] = depth_after - depth_before
+    increase: dict[int, tuple[int, ...]]
+    #: suite-wide mean relative increase per limit
+    averages: dict[int, float]
+
+    def render(self) -> str:
+        art = heatmap(
+            [self.increase[limit] for limit in LIMITS],
+            row_labels=[str(limit) for limit in LIMITS],
+            col_labels=[str(d) for d in self.depths],
+            title=(
+                "Fig. 7: critical-path increase (levels added) — "
+                "fan-out restriction (rows) vs original CPL (columns)"
+            ),
+        )
+        rows = [
+            (
+                f"FO{limit}",
+                f"{self.averages[limit] * 100:.0f}%",
+                f"{PAPER_AVERAGES[limit] * 100:.0f}%",
+            )
+            for limit in LIMITS
+        ]
+        table = render_table(
+            ("restriction", "measured avg increase", "paper avg increase"),
+            rows,
+            title="suite-wide averages",
+        )
+        return f"{art}\n\n{table}"
+
+    def to_csv(self, path: str | Path) -> Path:
+        headers = ["fanout_limit"] + [
+            f"{name}(d={depth})"
+            for name, depth in zip(self.columns, self.depths)
+        ]
+        rows = [
+            [limit, *self.increase[limit]] for limit in LIMITS
+        ]
+        return write_csv(path, headers, rows)
+
+
+def run(runner: SuiteRunner | None = None) -> Fig7Result:
+    """Measure CPL growth for limits 2..5 (heatmap + suite averages)."""
+    runner = runner or SuiteRunner()
+    available = set(runner.names)
+    anchors = [spec for spec in FIG7_SUITE if spec.name in available]
+    if not anchors:  # reduced suites still produce a (smaller) heatmap
+        anchors = [runner.spec(name) for name in runner.names[:8]]
+        anchors.sort(key=lambda spec: spec.depth)
+
+    increase: dict[int, tuple[int, ...]] = {}
+    averages: dict[int, float] = {}
+    for limit in LIMITS:
+        cells = []
+        for spec in anchors:
+            result = runner.run(spec.name, f"FO{limit}")
+            cells.append(result.depth_after - result.depth_before)
+        increase[limit] = tuple(cells)
+        relative = [
+            runner.run(name, f"FO{limit}").fanout_result.cpl_increase
+            for name in runner.names
+        ]
+        averages[limit] = arithmetic_mean(relative)
+
+    return Fig7Result(
+        depths=tuple(spec.depth for spec in anchors),
+        columns=tuple(spec.name for spec in anchors),
+        increase=increase,
+        averages=averages,
+    )

@@ -1,0 +1,124 @@
+"""Fig. 8: netlist-size impact of the transforms, normalized and averaged.
+
+The paper's stacked bars (normalized to the original netlist size):
+
+* BUF alone:            3.81x
+* FO2..FO5 alone:       2.48x (.55 FOG), 1.61x (.26), 1.35x (.17), 1.25x (.13)
+* FO2+BUF..FO5+BUF:     9.74x, 6.21x, 5.30x, 4.91x (same FOG shares)
+
+and the three observations: (a) the combination inserts more buffers than
+the passes run individually, (b) the FOG count is independent of buffer
+insertion, (c) the best full-flow impact is ~5x netlist size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.stats import arithmetic_mean
+from ..analysis.plots import stacked_bar_chart
+from ..analysis.tables import render_table, write_csv
+from .runner import SuiteRunner
+
+LIMITS = (2, 3, 4, 5)
+
+#: total normalized size the paper reports per configuration
+PAPER_TOTALS = {
+    "BUF": 3.81,
+    "FO2": 2.48,
+    "FO3": 1.61,
+    "FO4": 1.35,
+    "FO5": 1.25,
+    "FO2+BUF": 9.74,
+    "FO3+BUF": 6.21,
+    "FO4+BUF": 5.30,
+    "FO5+BUF": 4.91,
+}
+
+#: FOG share of the original size the paper reports per fan-out limit
+PAPER_FOG_SHARE = {2: 0.55, 3: 0.26, 4: 0.17, 5: 0.13}
+
+CONFIGS = ("BUF",) + tuple(f"FO{k}" for k in LIMITS) + tuple(
+    f"FO{k}+BUF" for k in LIMITS
+)
+
+_HEADERS = (
+    "configuration",
+    "normalized size",
+    "maj share",
+    "fog share",
+    "buf share",
+    "paper total",
+)
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """Average normalized composition per configuration."""
+
+    #: config -> (maj, fog, buf) shares of the original size (maj = 1.0)
+    composition: dict[str, tuple[float, float, float]]
+
+    def total(self, config: str) -> float:
+        return sum(self.composition[config])
+
+    def rows(self) -> list[tuple]:
+        return [
+            (
+                config,
+                round(self.total(config), 2),
+                round(self.composition[config][0], 2),
+                round(self.composition[config][1], 2),
+                round(self.composition[config][2], 2),
+                PAPER_TOTALS[config],
+            )
+            for config in CONFIGS
+        ]
+
+    def render(self) -> str:
+        art = stacked_bar_chart(
+            list(CONFIGS),
+            [list(self.composition[config]) for config in CONFIGS],
+            segment_names=("MAJ", "FOG", "BUF"),
+            title="Fig. 8: components normalized to original size "
+            "(averaged over the suite)",
+        )
+        table = render_table(_HEADERS, self.rows(), title="Fig. 8 data")
+        return f"{art}\n\n{table}"
+
+    def to_csv(self, path: str | Path) -> Path:
+        return write_csv(path, _HEADERS, self.rows())
+
+    # the paper's three observations, as checkable predicates ------------
+    def combination_exceeds_parts(self, limit: int) -> bool:
+        """Observation (a): FOx+BUF buffers > FOx buffers + BUF buffers."""
+        combined_buf = self.composition[f"FO{limit}+BUF"][2]
+        fo_buf = self.composition[f"FO{limit}"][2]
+        buf_only = self.composition["BUF"][2]
+        return combined_buf >= max(fo_buf, buf_only)
+
+    def fog_share_independent(self, limit: int, tolerance: float = 1e-9) -> bool:
+        """Observation (b): the FOG share matches with and without BUF."""
+        alone = self.composition[f"FO{limit}"][1]
+        combined = self.composition[f"FO{limit}+BUF"][1]
+        return abs(alone - combined) <= tolerance
+
+
+def run(runner: SuiteRunner | None = None) -> Fig8Result:
+    """Average the normalized netlist composition over the suite."""
+    runner = runner or SuiteRunner()
+    composition: dict[str, tuple[float, float, float]] = {}
+    for config in CONFIGS:
+        fog_shares, buf_shares = [], []
+        for name, result in runner.run_suite(config).items():
+            original = result.size_before
+            stats = result.netlist.stats()
+            fog_shares.append(stats.n_fog / original)
+            buf_shares.append(stats.n_buf / original)
+        composition[config] = (
+            1.0,
+            arithmetic_mean(fog_shares),
+            arithmetic_mean(buf_shares),
+        )
+    return Fig8Result(composition=composition)

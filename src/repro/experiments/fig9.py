@@ -1,0 +1,108 @@
+"""Fig. 9: normalized T/A and T/P gains averaged over the whole suite.
+
+The paper's headline numbers: T/A gains of 5x (SWD), 8x (QCA), 3x (NML)
+and T/P gains of 23x (SWD), 13x (QCA), 5x (NML), averaged over all 37
+benchmarks under the FO3+BUF flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.plots import bar_chart
+from ..analysis.stats import arithmetic_mean, geometric_mean
+from ..analysis.tables import render_table, write_csv
+from ..tech import TECHNOLOGIES, evaluate_pair
+from .runner import SuiteRunner
+
+CONFIG = "FO3+BUF"
+
+#: the paper's averaged gains per technology: (T/A, T/P)
+PAPER_GAINS = {"SWD": (5.0, 23.0), "QCA": (8.0, 13.0), "NML": (3.0, 5.0)}
+
+_HEADERS = (
+    "technology",
+    "mean T/A (x)",
+    "mean T/P (x)",
+    "geomean T/A (x)",
+    "geomean T/P (x)",
+    "paper T/A",
+    "paper T/P",
+)
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Averaged gains per technology."""
+
+    #: technology -> list of per-benchmark (t_over_a, t_over_p)
+    per_benchmark: dict[str, tuple[tuple[float, float], ...]]
+
+    def mean_gains(self, technology: str) -> tuple[float, float]:
+        pairs = self.per_benchmark[technology]
+        return (
+            arithmetic_mean([p[0] for p in pairs]),
+            arithmetic_mean([p[1] for p in pairs]),
+        )
+
+    def geomean_gains(self, technology: str) -> tuple[float, float]:
+        pairs = self.per_benchmark[technology]
+        return (
+            geometric_mean([p[0] for p in pairs]),
+            geometric_mean([p[1] for p in pairs]),
+        )
+
+    def rows(self) -> list[tuple]:
+        rows = []
+        for tech in self.per_benchmark:
+            mean_ta, mean_tp = self.mean_gains(tech)
+            geo_ta, geo_tp = self.geomean_gains(tech)
+            paper_ta, paper_tp = PAPER_GAINS[tech]
+            rows.append(
+                (
+                    tech,
+                    round(mean_ta, 2),
+                    round(mean_tp, 2),
+                    round(geo_ta, 2),
+                    round(geo_tp, 2),
+                    paper_ta,
+                    paper_tp,
+                )
+            )
+        return rows
+
+    def render(self) -> str:
+        technologies = list(self.per_benchmark)
+        ta_chart = bar_chart(
+            technologies,
+            [self.mean_gains(tech)[0] for tech in technologies],
+            title="Fig. 9 (left): normalized T/A",
+        )
+        tp_chart = bar_chart(
+            technologies,
+            [self.mean_gains(tech)[1] for tech in technologies],
+            title="Fig. 9 (right): normalized T/P",
+        )
+        table = render_table(_HEADERS, self.rows(), title="Fig. 9 data")
+        return f"{ta_chart}\n\n{tp_chart}\n\n{table}"
+
+    def to_csv(self, path: str | Path) -> Path:
+        return write_csv(path, _HEADERS, self.rows())
+
+
+def run(runner: SuiteRunner | None = None) -> Fig9Result:
+    """Evaluate the FO3+BUF gains for every benchmark and technology."""
+    runner = runner or SuiteRunner()
+    per_benchmark: dict[str, tuple[tuple[float, float], ...]] = {}
+    results = runner.run_suite(CONFIG)
+    for tech in TECHNOLOGIES:
+        pairs = []
+        for name in runner.names:
+            result = results[name]
+            _, _, tech_gains = evaluate_pair(
+                result.original, result.netlist, tech
+            )
+            pairs.append((tech_gains.t_over_a, tech_gains.t_over_p))
+        per_benchmark[tech.name] = tuple(pairs)
+    return Fig9Result(per_benchmark=per_benchmark)

@@ -1,0 +1,138 @@
+"""Shared experiment driver: builds benchmarks and caches flow results.
+
+All of the paper's evaluation artifacts (Figs. 5, 7, 8, 9 and Table II)
+are derived from the same set of transformed netlists, so the experiments
+share a :class:`SuiteRunner` that builds each benchmark once and memoizes
+every (benchmark, configuration) flow result.
+
+Configurations are named the way the paper's Fig. 8 names them:
+
+* ``"BUF"``       — buffer insertion only;
+* ``"FO<k>"``     — fan-out restriction to k only;
+* ``"FO<k>+BUF"`` — the full wave-pipelining flow.
+
+Functional verification is skipped above a size threshold (the structural
+invariants — balance and fan-out bounds — are always asserted; they are the
+properties the algorithms guarantee, and equivalence is covered exhaustively
+by the unit tests on real circuits).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Iterable, Optional
+
+from ..core.mig import Mig
+from ..core.wavepipe import WaveNetlist, WavePipelineResult, wave_pipeline
+from ..errors import ReproError
+from ..suite.table import QUICK_SUITE, SUITE, BenchmarkSpec
+
+#: functional equivalence is checked only below this original size
+VERIFY_FUNCTION_LIMIT = 3000
+
+_CONFIG_PATTERN = re.compile(r"^(?:BUF|FO([2-9])(\+BUF)?)$")
+
+
+def parse_config(config: str) -> tuple[Optional[int], bool]:
+    """Decode a configuration name into (fanout_limit, balance)."""
+    match = _CONFIG_PATTERN.match(config)
+    if not match:
+        raise ReproError(
+            f"unknown configuration {config!r}; use 'BUF', 'FOk', 'FOk+BUF'"
+        )
+    if config == "BUF":
+        return None, True
+    limit = int(match.group(1))
+    return limit, match.group(2) is not None
+
+
+def active_suite() -> tuple[BenchmarkSpec, ...]:
+    """Benchmark set selected by the ``REPRO_SUITE`` environment variable.
+
+    ``REPRO_SUITE=full`` runs all 37 paper benchmarks; anything else (the
+    default) uses the quick subset so tests and smoke benches stay fast.
+    """
+    if os.environ.get("REPRO_SUITE", "").lower() == "full":
+        return SUITE
+    return QUICK_SUITE
+
+
+class SuiteRunner:
+    """Builds suite benchmarks and memoizes wave-pipelining flow results."""
+
+    def __init__(self, specs: Optional[Iterable[BenchmarkSpec]] = None):
+        self.specs: tuple[BenchmarkSpec, ...] = tuple(
+            specs if specs is not None else active_suite()
+        )
+        self._migs: dict[str, Mig] = {}
+        self._netlists: dict[str, WaveNetlist] = {}
+        self._results: dict[tuple[str, str], WavePipelineResult] = {}
+
+    # ------------------------------------------------------------------
+    def spec(self, name: str) -> BenchmarkSpec:
+        """Spec of one benchmark in this runner's suite."""
+        for spec in self.specs:
+            if spec.name == name:
+                return spec
+        raise ReproError(f"benchmark {name!r} is not in this runner's suite")
+
+    def mig(self, name: str) -> Mig:
+        """The benchmark MIG (built once)."""
+        if name not in self._migs:
+            self._migs[name] = self.spec(name).build()
+        return self._migs[name]
+
+    def netlist(self, name: str) -> WaveNetlist:
+        """The original (untransformed) wave netlist of a benchmark."""
+        if name not in self._netlists:
+            self._netlists[name] = WaveNetlist.from_mig(self.mig(name))
+        return self._netlists[name]
+
+    def run(self, name: str, config: str) -> WavePipelineResult:
+        """Run (or recall) one configuration on one benchmark."""
+        key = (name, config)
+        if key not in self._results:
+            limit, balance = parse_config(config)
+            source = self.netlist(name)
+            result = wave_pipeline(
+                source,
+                fanout_limit=limit,
+                balance=balance,
+                verify=False,
+                order="fo-first",
+            )
+            self._verify(result, limit, balance, name)
+            self._results[key] = result
+        return self._results[key]
+
+    def _verify(
+        self,
+        result: WavePipelineResult,
+        limit: Optional[int],
+        balance: bool,
+        name: str,
+    ) -> None:
+        from ..core.wavepipe.verify import (
+            assert_balanced,
+            assert_fanout,
+            check_equivalent_to_mig,
+        )
+
+        if balance:
+            assert_balanced(result.netlist, f"{name}")
+        if limit is not None:
+            assert_fanout(result.netlist, limit, f"{name}")
+        if result.size_before <= VERIFY_FUNCTION_LIMIT:
+            if not check_equivalent_to_mig(result.netlist, self.mig(name)):
+                raise ReproError(f"{name}: flow broke functional equivalence")
+
+    # ------------------------------------------------------------------
+    def run_suite(self, config: str) -> dict[str, WavePipelineResult]:
+        """Run one configuration across the whole suite."""
+        return {spec.name: self.run(spec.name, config) for spec in self.specs}
+
+    @property
+    def names(self) -> list[str]:
+        """Benchmark names in suite order."""
+        return [spec.name for spec in self.specs]

@@ -1,0 +1,72 @@
+"""Table I: technology cell and gate parameters (rendering of the inputs).
+
+This experiment has no computation — it renders the built-in technology
+constants so that a reader can diff them against the paper's Table I, and
+so the CSV export pipeline covers every artifact uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.tables import render_table, write_csv
+from ..tech import TECHNOLOGIES, Technology
+
+_HEADERS = (
+    "technology",
+    "cell area (um2)",
+    "cell delay (ns)",
+    "cell energy (fJ)",
+    "metric",
+    "INV",
+    "MAJ",
+    "BUF",
+    "FOG",
+)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Rows of the rendered Table I."""
+
+    rows: tuple[tuple, ...]
+
+    def render(self) -> str:
+        return render_table(
+            _HEADERS, self.rows, title="Table I: technology cell and gate parameters"
+        )
+
+    def to_csv(self, path: str | Path) -> Path:
+        return write_csv(path, _HEADERS, self.rows)
+
+
+def _rows_for(tech: Technology) -> list[tuple]:
+    rows = []
+    for metric, costs in (
+        ("area", tech.area),
+        ("delay", tech.delay),
+        ("energy", tech.energy),
+    ):
+        rows.append(
+            (
+                tech.name,
+                tech.cell_area_um2,
+                tech.cell_delay_ns,
+                tech.cell_energy_fj,
+                metric,
+                costs.inv,
+                costs.maj,
+                costs.buf,
+                costs.fog,
+            )
+        )
+    return rows
+
+
+def run() -> Table1Result:
+    """Collect the Table I rows for all built-in technologies."""
+    rows: list[tuple] = []
+    for tech in TECHNOLOGIES:
+        rows.extend(_rows_for(tech))
+    return Table1Result(rows=tuple(rows))

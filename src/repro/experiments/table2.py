@@ -1,0 +1,158 @@
+"""Table II: full benchmarking summary for selected benchmarks.
+
+For each of the seven named benchmarks and each technology (SWD, QCA, NML),
+the original and wave-pipelined (FO3+BUF) netlists are mapped onto the
+Table I cost model: depth, size, area, power, throughput, and the
+normalized T/A and T/P ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from ..analysis.tables import render_table, write_csv
+from ..tech import TECHNOLOGIES, MetricGains, TechMetrics, evaluate_pair
+from .runner import SuiteRunner
+
+#: the paper's headline configuration
+CONFIG = "FO3+BUF"
+
+#: benchmark order of the paper's Table II
+PAPER_ORDER = (
+    "sasc",
+    "des_area",
+    "mul32",
+    "hamming",
+    "mul64",
+    "revx",
+    "diffeq1",
+)
+
+#: T/A and T/P ratios printed in the paper, for side-by-side comparison
+PAPER_RATIOS: dict[tuple[str, str], tuple[float, float]] = {
+    ("SWD", "sasc"): (1.36, 3.00),
+    ("SWD", "des_area"): (3.75, 12.67),
+    ("SWD", "mul32"): (8.38, 19.33),
+    ("SWD", "hamming"): (8.02, 32.00),
+    ("SWD", "mul64"): (14.98, 45.00),
+    ("SWD", "revx"): (20.13, 75.00),
+    ("SWD", "diffeq1"): (12.74, 94.00),
+    ("QCA", "sasc"): (1.59, 2.38),
+    ("QCA", "des_area"): (5.33, 9.21),
+    ("QCA", "mul32"): (10.52, 16.95),
+    ("QCA", "hamming"): (13.93, 21.92),
+    ("QCA", "mul64"): (25.40, 31.46),
+    ("QCA", "revx"): (32.81, 51.62),
+    ("QCA", "diffeq1"): (29.73, 38.28),
+    ("NML", "sasc"): (0.76, 1.13),
+    ("NML", "des_area"): (2.46, 4.25),
+    ("NML", "mul32"): (6.36, 10.25),
+    ("NML", "hamming"): (4.65, 7.32),
+    ("NML", "mul64"): (8.59, 10.64),
+    ("NML", "revx"): (12.16, 19.14),
+    ("NML", "diffeq1"): (5.82, 7.49),
+}
+
+_HEADERS = (
+    "technology",
+    "benchmark",
+    "depth orig",
+    "depth WP",
+    "size orig",
+    "size WP",
+    "area orig (um2)",
+    "area WP (um2)",
+    "power orig (uW)",
+    "power WP (uW)",
+    "tput orig (MOPS)",
+    "tput WP (MOPS)",
+    "T/A (x)",
+    "T/P (x)",
+    "paper T/A",
+    "paper T/P",
+)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (technology, benchmark) block of Table II."""
+
+    technology: str
+    benchmark: str
+    original: TechMetrics
+    pipelined: TechMetrics
+    gains: MetricGains
+    paper_t_over_a: Optional[float]
+    paper_t_over_p: Optional[float]
+
+    def cells(self) -> tuple:
+        return (
+            self.technology,
+            self.benchmark,
+            self.original.depth,
+            self.pipelined.depth,
+            self.original.size,
+            self.pipelined.size,
+            self.original.area_um2,
+            self.pipelined.area_um2,
+            self.original.power_uw,
+            self.pipelined.power_uw,
+            self.original.throughput_mops,
+            self.pipelined.throughput_mops,
+            round(self.gains.t_over_a, 2),
+            round(self.gains.t_over_p, 2),
+            self.paper_t_over_a if self.paper_t_over_a is not None else "-",
+            self.paper_t_over_p if self.paper_t_over_p is not None else "-",
+        )
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All rows of the regenerated Table II."""
+
+    rows: tuple[Table2Row, ...]
+
+    def render(self) -> str:
+        return render_table(
+            _HEADERS,
+            [row.cells() for row in self.rows],
+            title="Table II: benchmarking summary (FO3+BUF)",
+        )
+
+    def to_csv(self, path: str | Path) -> Path:
+        return write_csv(path, _HEADERS, [row.cells() for row in self.rows])
+
+
+def run(
+    runner: SuiteRunner | None = None,
+    benchmarks: Optional[tuple[str, ...]] = None,
+) -> Table2Result:
+    """Map the selected benchmarks onto all three technologies."""
+    runner = runner or SuiteRunner()
+    if benchmarks is None:
+        available = set(runner.names)
+        benchmarks = tuple(n for n in PAPER_ORDER if n in available)
+        if not benchmarks:
+            benchmarks = tuple(runner.names[:5])
+    rows: list[Table2Row] = []
+    for tech in TECHNOLOGIES:
+        for name in benchmarks:
+            result = runner.run(name, CONFIG)
+            original, pipelined, tech_gains = evaluate_pair(
+                result.original, result.netlist, tech
+            )
+            paper = PAPER_RATIOS.get((tech.name, name), (None, None))
+            rows.append(
+                Table2Row(
+                    technology=tech.name,
+                    benchmark=name,
+                    original=original,
+                    pipelined=pipelined,
+                    gains=tech_gains,
+                    paper_t_over_a=paper[0],
+                    paper_t_over_p=paper[1],
+                )
+            )
+    return Table2Result(rows=tuple(rows))

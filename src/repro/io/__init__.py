@@ -1,0 +1,18 @@
+"""Netlist file I/O: BLIF, native .mig text format, structural Verilog."""
+
+from .blif import dumps_blif, loads_blif, read_blif, write_blif
+from .migfile import dumps, loads, read_mig, write_mig
+from .verilog import dumps_verilog, write_verilog
+
+__all__ = [
+    "dumps",
+    "dumps_blif",
+    "dumps_verilog",
+    "loads",
+    "loads_blif",
+    "read_blif",
+    "read_mig",
+    "write_blif",
+    "write_mig",
+    "write_verilog",
+]

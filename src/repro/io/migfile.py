@@ -1,0 +1,153 @@
+"""Native ``.mig`` text format: human-readable MIG interchange.
+
+Grammar (one statement per line, ``#`` comments)::
+
+    .model <name>
+    .inputs a b c
+    .outputs f g
+    n4 = MAJ(a, ~b, 0)
+    n5 = MAJ(n4, c, 1)
+    f = n5
+    g = ~n4
+
+Node identifiers are arbitrary; ``0``/``1`` are the constants; ``~``
+complements an operand or an output binding.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from ..core.mig import Mig
+from ..core.signal import FALSE, TRUE, Signal
+from ..errors import ParseError
+
+_GATE = re.compile(
+    r"^(?P<name>\S+)\s*=\s*MAJ\(\s*(?P<a>[^,]+?)\s*,\s*(?P<b>[^,]+?)\s*,"
+    r"\s*(?P<c>[^)]+?)\s*\)$"
+)
+_ALIAS = re.compile(r"^(?P<name>\S+)\s*=\s*(?P<expr>~?\S+)$")
+
+
+def write_mig(mig: Mig, path: str | Path) -> Path:
+    """Serialize *mig* to the native text format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps(mig))
+    return path
+
+
+def dumps(mig: Mig) -> str:
+    """Serialize to a string (see module docstring for the grammar)."""
+    names: dict[int, str] = {0: "0"}
+    lines = [f".model {mig.name or 'mig'}"]
+    pi_names = [_sanitize(n) for n in mig.pi_names]
+    for node, name in zip(mig.pis, pi_names):
+        names[node] = name
+    lines.append(".inputs " + " ".join(pi_names))
+    po_names = [_sanitize(n) for n in mig.po_names]
+    lines.append(".outputs " + " ".join(po_names))
+
+    def ref(literal: int) -> str:
+        node = literal >> 1
+        if node == 0:
+            return "1" if literal & 1 else "0"
+        return ("~" if literal & 1 else "") + names[node]
+
+    for gate in mig.gates():
+        names[gate] = f"n{gate}"
+        a, b, c = mig.fanins(gate)
+        lines.append(f"n{gate} = MAJ({ref(a)}, {ref(b)}, {ref(c)})")
+    for sig, name in zip(mig.pos, po_names):
+        lines.append(f"{name} = {ref(int(sig))}")
+    return "\n".join(lines) + "\n"
+
+
+def read_mig(path: str | Path) -> Mig:
+    """Parse a ``.mig`` file."""
+    return loads(Path(path).read_text())
+
+
+def loads(text: str) -> Mig:
+    """Parse the native text format from a string."""
+    name = "mig"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    gate_lines: list[tuple[str, str, str, str]] = []
+    aliases: dict[str, str] = {}
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".model"):
+            parts = line.split(maxsplit=1)
+            name = parts[1].strip() if len(parts) > 1 else name
+        elif line.startswith(".inputs"):
+            inputs.extend(line.split()[1:])
+        elif line.startswith(".outputs"):
+            outputs.extend(line.split()[1:])
+        else:
+            gate = _GATE.match(line)
+            if gate:
+                gate_lines.append(
+                    (gate["name"], gate["a"], gate["b"], gate["c"])
+                )
+                continue
+            alias = _ALIAS.match(line)
+            if alias:
+                aliases[alias["name"]] = alias["expr"]
+                continue
+            raise ParseError(f"line {line_no}: cannot parse {line!r}")
+
+    mig = Mig(name)
+    signals: dict[str, Signal] = {"0": FALSE, "1": TRUE}
+    for pi_name in inputs:
+        if pi_name in signals:
+            raise ParseError(f"duplicate input {pi_name!r}")
+        signals[pi_name] = mig.add_pi(pi_name)
+
+    def resolve(token: str) -> Signal:
+        token = token.strip()
+        complemented = token.startswith("~")
+        if complemented:
+            token = token[1:]
+        if token not in signals:
+            raise ParseError(f"unknown operand {token!r}")
+        sig = signals[token]
+        return ~sig if complemented else sig
+
+    pending = list(gate_lines)
+    progress = True
+    while pending and progress:
+        progress = False
+        remaining = []
+        for gate_name, a, b, c in pending:
+            try:
+                operands = [resolve(a), resolve(b), resolve(c)]
+            except ParseError:
+                remaining.append((gate_name, a, b, c))
+                continue
+            if gate_name in signals:
+                raise ParseError(f"duplicate definition of {gate_name!r}")
+            signals[gate_name] = mig.add_maj(*operands)
+            progress = True
+        pending = remaining
+    if pending:
+        unresolved = ", ".join(g[0] for g in pending[:5])
+        raise ParseError(f"unresolved gate definitions: {unresolved}")
+
+    for po_name in outputs:
+        if po_name not in aliases:
+            if po_name in signals:  # output binds a gate name directly
+                mig.add_po(signals[po_name], po_name)
+                continue
+            raise ParseError(f"output {po_name!r} has no binding")
+        mig.add_po(resolve(aliases[po_name]), po_name)
+    return mig
+
+
+def _sanitize(name: str) -> str:
+    """Make a name safe for the text format."""
+    return re.sub(r"[\s,()=~#]", "_", name) or "_"

@@ -1,0 +1,102 @@
+"""Structural Verilog writer for wave netlists.
+
+Emits a gate-level module instantiating ``MAJ3``/``BUF``/``FOG`` cells (cell
+definitions included in the same file so the output is self-contained and
+simulable), with inverters materialized as ``not`` primitives exactly where
+the technology mapping would place them.  Writer only: Verilog parsing is
+out of scope for this reproduction (BLIF and ``.mig`` are the read paths).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.wavepipe.components import Kind, WaveNetlist
+
+_CELLS = """\
+module MAJ3(input a, input b, input c, output y);
+  assign y = (a & b) | (a & c) | (b & c);
+endmodule
+
+module BUF(input a, output y);
+  assign y = a;
+endmodule
+
+module FOG(input a, output y);
+  assign y = a;
+endmodule
+"""
+
+
+def dumps_verilog(netlist: WaveNetlist, module_name: str = "") -> str:
+    """Structural Verilog text of *netlist*."""
+    name = module_name or _identifier(netlist.name or "top")
+    inputs = [_identifier(n) for n in netlist.input_names]
+    outputs = [_identifier(n) for n in netlist.output_names]
+
+    wire_of: dict[int, str] = {0: "const0"}
+    for component, port in zip(netlist.inputs, inputs):
+        wire_of[component] = port
+
+    lines = [
+        f"module {name}(",
+        "  input " + ",\n  input ".join(inputs) + ",",
+        "  output " + ",\n  output ".join(outputs),
+        ");",
+        "  wire const0 = 1'b0;",
+    ]
+
+    inverted: dict[int, str] = {}
+
+    def operand(literal: int) -> str:
+        node = literal >> 1
+        wire = wire_of[node]
+        if not literal & 1:
+            return wire
+        if node not in inverted:
+            inv_wire = f"{wire}_n"
+            lines.append(f"  wire {inv_wire};")
+            lines.append(f"  not inv_{node}({inv_wire}, {wire});")
+            inverted[node] = inv_wire
+        return inverted[node]
+
+    for component in netlist.topological_order():
+        kind = netlist.kind(component)
+        wire = f"w{component}"
+        wire_of[component] = wire
+        lines.append(f"  wire {wire};")
+        fanins = netlist.fanins(component)
+        if kind == Kind.MAJ:
+            a, b, c = (operand(lit) for lit in fanins)
+            lines.append(f"  MAJ3 g{component}({a}, {b}, {c}, {wire});")
+        elif kind == Kind.BUF:
+            lines.append(
+                f"  BUF g{component}({operand(fanins[0])}, {wire});"
+            )
+        elif kind == Kind.FOG:
+            lines.append(
+                f"  FOG g{component}({operand(fanins[0])}, {wire});"
+            )
+
+    for port, literal in zip(outputs, netlist.outputs):
+        lines.append(f"  assign {port} = {operand(int(literal))};")
+    lines.append("endmodule")
+    return _CELLS + "\n" + "\n".join(lines) + "\n"
+
+
+def write_verilog(
+    netlist: WaveNetlist, path: str | Path, module_name: str = ""
+) -> Path:
+    """Write structural Verilog to *path*."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_verilog(netlist, module_name))
+    return path
+
+
+def _identifier(name: str) -> str:
+    """Make a Verilog-safe identifier."""
+    safe = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not safe or safe[0].isdigit():
+        safe = "_" + safe
+    return safe

@@ -1,0 +1,15 @@
+"""SAT substrate: CNF, DPLL solver, Tseitin encoding, miter checking."""
+
+from .cnf import Cnf
+from .solver import SatResult, Solver, solve
+from .tseitin import build_miter, check_miter, encode_mig
+
+__all__ = [
+    "Cnf",
+    "SatResult",
+    "Solver",
+    "build_miter",
+    "check_miter",
+    "encode_mig",
+    "solve",
+]

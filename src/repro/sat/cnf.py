@@ -1,0 +1,101 @@
+"""CNF formulas and DIMACS interchange.
+
+A small, dependency-free CNF substrate supporting the SAT-based
+equivalence checking of :mod:`repro.core.equivalence`.  Literals follow the
+DIMACS convention: variables are positive integers, a negative literal is
+the variable's complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import SatError
+
+
+@dataclass
+class Cnf:
+    """A conjunctive normal form formula."""
+
+    n_vars: int = 0
+    clauses: list[tuple[int, ...]] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable, returning its (positive) index."""
+        self.n_vars += 1
+        return self.n_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause, validating its literals."""
+        clause = tuple(literals)
+        if not clause:
+            raise SatError("empty clause makes the formula trivially UNSAT")
+        for literal in clause:
+            if literal == 0:
+                raise SatError("0 is not a DIMACS literal")
+            if abs(literal) > self.n_vars:
+                raise SatError(
+                    f"literal {literal} references an unallocated variable"
+                )
+        self.clauses.append(clause)
+
+    @property
+    def n_clauses(self) -> int:
+        """Number of clauses."""
+        return len(self.clauses)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Evaluate under a full assignment (index 0 = variable 1)."""
+        if len(assignment) < self.n_vars:
+            raise SatError(
+                f"assignment covers {len(assignment)} of {self.n_vars} vars"
+            )
+
+        def lit_value(literal: int) -> bool:
+            value = assignment[abs(literal) - 1]
+            return value if literal > 0 else not value
+
+        return all(any(lit_value(lit) for lit in cl) for cl in self.clauses)
+
+    # ------------------------------------------------------------------
+    def to_dimacs(self) -> str:
+        """Serialize in DIMACS CNF format."""
+        lines = [f"p cnf {self.n_vars} {self.n_clauses}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def write_dimacs(self, path: str | Path) -> Path:
+        """Write the formula to a DIMACS file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_dimacs())
+        return path
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "Cnf":
+        """Parse a DIMACS CNF document."""
+        cnf = cls()
+        declared_clauses = None
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise SatError(f"malformed problem line: {line!r}")
+                cnf.n_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+                continue
+            literals = [int(token) for token in line.split()]
+            if literals and literals[-1] == 0:
+                literals.pop()
+            if literals:
+                cnf.add_clause(literals)
+        if declared_clauses is None:
+            raise SatError("missing problem line")
+        return cnf

@@ -1,0 +1,160 @@
+"""A DPLL SAT solver with unit propagation and activity ordering.
+
+Small but real: watched-literal-free unit propagation over clause indices,
+chronological backtracking, and a most-occurrences branching heuristic.
+It comfortably handles the miters our equivalence checker builds for
+circuits up to a few thousand gates — the scale at which SAT verification
+complements the bit-parallel simulation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SatError
+from .cnf import Cnf
+
+_UNASSIGNED = -1
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solver call."""
+
+    satisfiable: bool
+    #: full assignment (index 0 = variable 1) when satisfiable
+    model: Optional[list[bool]] = None
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+class Solver:
+    """DPLL with unit propagation; instantiate per formula."""
+
+    def __init__(self, cnf: Cnf, max_decisions: int = 2_000_000):
+        self.cnf = cnf
+        self.max_decisions = max_decisions
+        self._assign: list[int] = []
+        self._occurrences: list[list[int]] = []
+        self.decisions = 0
+        self.propagations = 0
+
+    def solve(self, assumptions: Optional[dict[int, bool]] = None) -> SatResult:
+        """Solve the formula, optionally under fixed variable assumptions."""
+        cnf = self.cnf
+        self._assign = [_UNASSIGNED] * (cnf.n_vars + 1)
+        self._occurrences = [[] for _ in range(cnf.n_vars + 1)]
+        for index, clause in enumerate(cnf.clauses):
+            for literal in clause:
+                self._occurrences[abs(literal)].append(index)
+        self.decisions = 0
+        self.propagations = 0
+
+        trail: list[int] = []
+        if assumptions:
+            for var, value in assumptions.items():
+                if not 1 <= var <= cnf.n_vars:
+                    raise SatError(f"assumption on unknown variable {var}")
+                if not self._set(var, value, trail):
+                    return SatResult(False)
+        if not self._propagate(trail):
+            return SatResult(False)
+
+        if self._search(trail):
+            model = [self._assign[v] == 1 for v in range(1, cnf.n_vars + 1)]
+            return SatResult(
+                True, model, self.decisions, self.propagations
+            )
+        return SatResult(False, None, self.decisions, self.propagations)
+
+    # ------------------------------------------------------------------
+    def _set(self, var: int, value: bool, trail: list[int]) -> bool:
+        current = self._assign[var]
+        if current != _UNASSIGNED:
+            return current == int(value)
+        self._assign[var] = int(value)
+        trail.append(var)
+        return True
+
+    def _clause_state(self, index: int) -> tuple[bool, Optional[int]]:
+        """(satisfied, unit-literal or None) of clause *index*."""
+        unassigned: Optional[int] = None
+        count = 0
+        for literal in self.cnf.clauses[index]:
+            value = self._assign[abs(literal)]
+            if value == _UNASSIGNED:
+                unassigned = literal
+                count += 1
+                if count > 1:
+                    return False, None
+            elif (value == 1) == (literal > 0):
+                return True, None
+        if count == 1:
+            return False, unassigned
+        return False, None if count else 0  # 0 sentinel: conflict
+
+    def _propagate(self, trail: list[int]) -> bool:
+        """Exhaustive unit propagation; False on conflict."""
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(self.cnf.clauses)):
+                satisfied, unit = self._clause_state(index)
+                if satisfied:
+                    continue
+                if unit == 0:  # conflict sentinel
+                    return False
+                if unit is not None:
+                    self.propagations += 1
+                    if not self._set(abs(unit), unit > 0, trail):
+                        return False
+                    changed = True
+        return True
+
+    def _search(self, trail: list[int]) -> bool:
+        # iterative DPLL: frames are [variable, values_tried, trail_mark]
+        stack: list[list[int]] = []
+        while True:
+            variable = self._pick_variable()
+            if variable is None:
+                return True  # complete assignment, no conflict
+            if self.decisions >= self.max_decisions:
+                raise SatError("decision budget exhausted")
+            self.decisions += 1
+            stack.append([variable, 0, len(trail)])
+            descended = False
+            while stack:
+                frame = stack[-1]
+                while len(trail) > frame[2]:  # undo this frame's effects
+                    self._assign[trail.pop()] = _UNASSIGNED
+                if frame[1] == 2:  # both values failed: backtrack
+                    stack.pop()
+                    continue
+                value = frame[1] == 0  # try True first
+                frame[1] += 1
+                if self._set(frame[0], value, trail) and self._propagate(
+                    trail
+                ):
+                    descended = True
+                    break
+            if not descended:
+                return False
+
+    def _pick_variable(self) -> Optional[int]:
+        """Branch on the unassigned variable with most occurrences."""
+        best, best_count = None, -1
+        for var in range(1, self.cnf.n_vars + 1):
+            if self._assign[var] == _UNASSIGNED:
+                count = len(self._occurrences[var])
+                if count > best_count:
+                    best, best_count = var, count
+        return best
+
+
+def solve(cnf: Cnf, assumptions: Optional[dict[int, bool]] = None) -> SatResult:
+    """One-shot convenience wrapper around :class:`Solver`."""
+    return Solver(cnf).solve(assumptions)

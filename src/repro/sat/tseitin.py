@@ -1,0 +1,94 @@
+"""Tseitin encoding of MIGs and SAT-based equivalence (miter) checking.
+
+A majority gate ``g = M(a, b, c)`` becomes the six clauses
+
+    (~a | ~b | g)  (~a | ~c | g)  (~b | ~c | g)
+    ( a |  b | ~g) ( a |  c | ~g) ( b |  c | ~g)
+
+(each pair of true inputs forces g true, each pair of false inputs forces
+g false).  The miter of two networks shares input variables, XORs each
+output pair, and asserts that at least one XOR is true — satisfiable iff
+the networks differ, with the model as a counterexample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.mig import Mig
+from ..errors import SatError
+from .cnf import Cnf
+from .solver import solve
+
+
+def encode_mig(
+    mig: Mig, cnf: Cnf, input_vars: Optional[list[int]] = None
+) -> tuple[list[int], list[int]]:
+    """Encode *mig* into *cnf*; returns (input_vars, output_literals).
+
+    Output literals are signed DIMACS literals (negative = complemented).
+    """
+    if input_vars is None:
+        input_vars = [cnf.new_var() for _ in range(mig.n_pis)]
+    elif len(input_vars) != mig.n_pis:
+        raise SatError(
+            f"got {len(input_vars)} input vars for {mig.n_pis} inputs"
+        )
+
+    # constant node: a fixed-false variable
+    const_var = cnf.new_var()
+    cnf.add_clause([-const_var])
+
+    node_var: dict[int, int] = {0: const_var}
+    for node, var in zip(mig.pis, input_vars):
+        node_var[node] = var
+
+    def lit_of(mig_literal: int) -> int:
+        var = node_var[mig_literal >> 1]
+        return -var if mig_literal & 1 else var
+
+    for gate in mig.gates():
+        a, b, c = (lit_of(lit) for lit in mig.fanins(gate))
+        g = cnf.new_var()
+        node_var[gate] = g
+        cnf.add_clause([-a, -b, g])
+        cnf.add_clause([-a, -c, g])
+        cnf.add_clause([-b, -c, g])
+        cnf.add_clause([a, b, -g])
+        cnf.add_clause([a, c, -g])
+        cnf.add_clause([b, c, -g])
+
+    outputs = [lit_of(int(sig)) for sig in mig.pos]
+    return input_vars, outputs
+
+
+def build_miter(first: Mig, second: Mig) -> tuple[Cnf, list[int]]:
+    """CNF that is satisfiable iff the two networks differ somewhere."""
+    if first.n_pis != second.n_pis or first.n_pos != second.n_pos:
+        raise SatError("miter requires matching interfaces")
+    cnf = Cnf()
+    inputs, outs_first = encode_mig(first, cnf)
+    _, outs_second = encode_mig(second, cnf, input_vars=inputs)
+
+    difference_vars = []
+    for lit_a, lit_b in zip(outs_first, outs_second):
+        diff = cnf.new_var()
+        difference_vars.append(diff)
+        # diff <-> (a XOR b)
+        cnf.add_clause([-diff, lit_a, lit_b])
+        cnf.add_clause([-diff, -lit_a, -lit_b])
+        cnf.add_clause([diff, -lit_a, lit_b])
+        cnf.add_clause([diff, lit_a, -lit_b])
+    cnf.add_clause(difference_vars)  # some output must differ
+    return cnf, inputs
+
+
+def check_miter(first: Mig, second: Mig) -> tuple[bool, Optional[list[bool]]]:
+    """SAT equivalence check: (equivalent, counterexample-or-None)."""
+    cnf, inputs = build_miter(first, second)
+    result = solve(cnf)
+    if not result:
+        return True, None
+    model = result.model or []
+    counterexample = [model[var - 1] for var in inputs]
+    return False, counterexample

@@ -1,0 +1,46 @@
+"""Benchmark suite: synthetic paper-profile netlists and real circuits."""
+
+from .circuits import (
+    CIRCUITS,
+    array_multiplier,
+    comparator,
+    hamming_corrector,
+    hamming_encoder,
+    majority_voter,
+    mux_tree,
+    parity_tree,
+    popcount,
+    ripple_carry_adder,
+)
+from .generators import GeneratorProfile, generate_mig
+from .table import (
+    FIG7_SUITE,
+    QUICK_SUITE,
+    SUITE,
+    TABLE2_SUITE,
+    BenchmarkSpec,
+    build_benchmark,
+    get_benchmark,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "CIRCUITS",
+    "FIG7_SUITE",
+    "GeneratorProfile",
+    "QUICK_SUITE",
+    "SUITE",
+    "TABLE2_SUITE",
+    "array_multiplier",
+    "build_benchmark",
+    "comparator",
+    "generate_mig",
+    "get_benchmark",
+    "hamming_corrector",
+    "hamming_encoder",
+    "majority_voter",
+    "mux_tree",
+    "parity_tree",
+    "popcount",
+    "ripple_carry_adder",
+]

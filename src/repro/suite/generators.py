@@ -1,0 +1,409 @@
+"""Synthetic MIG benchmark generation.
+
+The paper evaluates on the 37 MIG benchmarks of [16], which are not public.
+Both of the paper's algorithms are purely structural: their behaviour
+depends only on the netlist DAG shape — size, depth, level profile, fan-out
+distribution, and complement density — not on the Boolean functions
+computed.  This module therefore generates seeded random MIGs that pin the
+published structural targets exactly:
+
+* ``size``  — number of majority gates (exact);
+* ``depth`` — critical path length (exact);
+* ``n_pis`` / ``n_pos`` — interface width (exact);
+* a heavy-tailed fan-out distribution (Pólya-urn preferential attachment),
+  matching the skew real netlists show after structural hashing;
+* a complement density around 0.6-0.9 inverters per gate, the band implied
+  by the paper's Table II area columns.
+
+Construction is level-by-level: every gate takes one fan-in from the level
+directly below (pinning its level exactly) and two from lower levels with a
+locality bias.  Fan-in selection prefers not-yet-consumed nodes so that the
+finished graph has no dangling logic; any stragglers are folded in by a
+final fan-in rewiring pass, keeping ``n_pos`` exact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.mig import Mig
+from ..core.signal import Signal
+from ..core.view import MigView
+from ..errors import GenerationError
+
+
+@dataclass(frozen=True)
+class GeneratorProfile:
+    """Tunable shape knobs of the synthetic generator."""
+
+    #: probability that a fan-in edge is complemented (~3x this per gate)
+    complement_probability: float = 0.26
+    #: probability that a gate is an AND/OR-style majority with a constant
+    #: third fan-in (M(a, b, 0/1)) — AOIG-derived MIGs are full of these,
+    #: and the paper's Fig. 8 FOG shares are only reachable with them
+    constant_probability: float = 0.45
+    #: probability of drawing a fan-in from the preferential-attachment urn
+    skew: float = 0.5
+    #: probability of drawing a fan-in from the unconsumed pool
+    consume_bias: float = 0.55
+    #: geometric locality decay for the source level of free fan-ins
+    locality: float = 0.3
+    #: how many levels below the current one urn draws may reach
+    reach: int = 4
+    #: per-level-down decay of primary-output placement (1.0 = all at top)
+    po_decay: float = 0.45
+    #: probability of wiring to a global hub (high-fanout nets like enables
+    #: and carry rails: long edges + the fat fan-out tail of real netlists)
+    hub_probability: float = 0.08
+
+
+class _Workspace:
+    """Mutable generation state shared by the helper functions."""
+
+    def __init__(self, mig: Mig, rng: random.Random, profile: GeneratorProfile):
+        self.mig = mig
+        self.rng = rng
+        self.profile = profile
+        self.by_level: list[list[int]] = []  # node indices per level
+        self.level_of: dict[int, int] = {}
+        self.unconsumed: set[int] = set()  # node indices
+        # per-level Pólya urns: one entry per use -> preferential attachment
+        # without sacrificing edge locality
+        self.urns: list[list[int]] = []
+
+
+def generate_mig(
+    name: str,
+    size: int,
+    depth: int,
+    n_pis: int,
+    n_pos: int,
+    seed: int,
+    profile: GeneratorProfile | None = None,
+) -> Mig:
+    """Generate a seeded random MIG with exact size/depth/PI/PO counts."""
+    profile = profile or GeneratorProfile()
+    if n_pis < 3:
+        raise GenerationError("need at least 3 primary inputs")
+    if depth < 1 or size < depth:
+        raise GenerationError(
+            f"need size >= depth >= 1, got size={size}, depth={depth}"
+        )
+    if n_pos < 1:
+        raise GenerationError("need at least one primary output")
+
+    rng = random.Random(seed)
+    widths = _level_widths(size, depth, n_pos, rng)
+
+    mig = Mig(name)
+    state = _Workspace(mig, rng, profile)
+    pi_nodes = [sig.node for sig in mig.add_pis(n_pis)]
+    state.by_level.append(pi_nodes)
+    state.urns.append(list(pi_nodes))
+    for node in pi_nodes:
+        state.level_of[node] = 0
+        state.unconsumed.add(node)
+
+    for level in range(1, depth + 1):
+        created: list[int] = []
+        state.urns.append([])
+        attempts = 0
+        while len(created) < widths[level - 1]:
+            attempts += 1
+            if attempts > widths[level - 1] * 20 + 200:
+                raise GenerationError(
+                    f"{name}: cannot place {widths[level - 1]} gates at "
+                    f"level {level} (structural collision storm)"
+                )
+            gate = _make_gate(state, level)
+            if gate is None:
+                continue
+            created.append(gate)
+            state.level_of[gate] = level
+            state.unconsumed.add(gate)
+            state.urns[level].append(gate)
+        state.by_level.append(created)
+
+    _absorb_stragglers(state, n_pos)
+    _choose_outputs(state, n_pos)
+    return mig
+
+
+def _level_widths(
+    size: int, depth: int, n_pos: int, rng: random.Random
+) -> list[int]:
+    """Gates per level: wide at the bottom, tapering towards the outputs."""
+    base = [1] * depth
+    remaining = size - depth
+    # near-uniform profile with a mild bottom bias and noise: real deep
+    # netlists (adders, multipliers) keep roughly constant width, and a
+    # bottom-heavy profile forces long edges upward, inflating buffers
+    weights = [
+        1.0 + 0.5 * (depth - index) / depth + rng.random() * 0.25
+        for index in range(depth)
+    ]
+    total = sum(weights)
+    for index in range(depth):
+        base[index] += int(remaining * weights[index] / total)
+    base[0] += size - sum(base)  # fix rounding on level 1
+    # reserve room near the top so most primary outputs can sit there
+    # (real netlists have wide output layers; scattered outputs inflate
+    # the padding-buffer counts far beyond the paper's Fig. 8)
+    want_top = min(n_pos, max(1, size - 2 * depth))
+    deficit = want_top - base[depth - 1]
+    if deficit > 0 and depth > 1:
+        for donor in sorted(range(depth - 1), key=lambda i: -base[i]):
+            take = min(base[donor] - 1, deficit)
+            if take > 0:
+                base[donor] -= take
+                base[depth - 1] += take
+                deficit -= take
+            if deficit <= 0:
+                break
+    # taper: a level may not exceed what its consumers can absorb.  The top
+    # level is consumed by primary outputs only; every other level by the
+    # fan-ins of the level above (the PO budget is NOT re-counted per level
+    # — outputs can only absorb n_pos stragglers in total).  Overflow
+    # shifts downwards, which only makes the profile more bottom-heavy.
+    allowed = max(1, n_pos)
+    for index in range(depth - 1, -1, -1):
+        if base[index] > allowed:
+            overflow = base[index] - allowed
+            base[index] = allowed
+            base[max(index - 1, 0)] += overflow
+        allowed = max(3 * base[index], 1)
+    return base
+
+
+def _make_gate(state: _Workspace, level: int) -> int | None:
+    """Create one majority gate at exactly *level*; None on collision."""
+    rng = state.rng
+    # anchors prefer unconsumed nodes of the level below, keeping the
+    # stragglers that the absorption pass must fix to a minimum
+    below = state.by_level[level - 1]
+    unconsumed_below = [n for n in below if n in state.unconsumed]
+    anchor = rng.choice(unconsumed_below if unconsumed_below else below)
+    chosen = {anchor}
+    nodes = [anchor]
+    # AND/OR-style gate: third fan-in is a constant (no wave, no fan-out)
+    constant_gate = rng.random() < state.profile.constant_probability
+    for _ in range(1 if constant_gate else 2):
+        pick = _pick_source(state, level)
+        tries = 0
+        while pick in chosen and tries < 12:
+            pick = _pick_source(state, level)
+            tries += 1
+        if pick in chosen:
+            return None
+        chosen.add(pick)
+        nodes.append(pick)
+    signals = [
+        Signal.of(node, rng.random() < state.profile.complement_probability)
+        for node in nodes
+    ]
+    if constant_gate:
+        signals.append(Signal(rng.randint(0, 1)))
+    before = state.mig.size
+    gate = state.mig.add_maj(*signals)
+    if state.mig.size == before:  # structural-hash collision: exists already
+        return None
+    for node in nodes:
+        state.unconsumed.discard(node)
+        state.urns[state.level_of[node]].append(node)
+    return gate.node
+
+
+def _pick_source(state: _Workspace, level: int) -> int:
+    """Pick a fan-in node from any level strictly below *level*."""
+    rng = state.rng
+    profile = state.profile
+    if rng.random() < profile.hub_probability:
+        hubs = state.urns[0] if level <= 1 else None
+        if level > 1:
+            hub_level = rng.randrange(0, level)
+            hubs = state.urns[hub_level] or state.by_level[hub_level]
+        if hubs:
+            return rng.choice(hubs)
+    roll = rng.random()
+    if roll < profile.consume_bias and state.unconsumed:
+        # only *local* unconsumed nodes qualify: real netlists are
+        # dominated by short edges, and long edges directly inflate the
+        # buffer counts of Figs. 5 and 8.  Stragglers below the horizon
+        # are folded in by the absorption pass instead.
+        horizon = max(0, level - 1 - profile.reach)
+        candidates = [
+            node for node in state.unconsumed
+            if horizon <= state.level_of[node] < level
+        ]
+        if candidates:
+            sample = rng.sample(candidates, min(6, len(candidates)))
+            return max(sample, key=lambda node: state.level_of[node])
+    # locality first: geometric decay from the level directly below, then
+    # preferential attachment (per-level urn) or uniform within that level
+    source_level = level - 1
+    while source_level > 0 and rng.random() > profile.locality:
+        source_level -= 1
+    if roll < profile.consume_bias + profile.skew:
+        urn = state.urns[source_level]
+        if urn:
+            return rng.choice(urn)
+    return rng.choice(state.by_level[source_level])
+
+
+def _absorb_stragglers(state: _Workspace, n_pos: int) -> None:
+    """Rewire fan-ins so that at most *n_pos* gates remain unconsumed.
+
+    Every unconsumed gate must become a primary-output driver (otherwise it
+    would dangle); primary inputs may stay unused (common in real benchmark
+    interfaces).
+    """
+    mig = state.mig
+    gate_orphans = sorted(
+        (n for n in state.unconsumed if mig.is_maj(n)),
+        key=lambda node: state.level_of[node],
+    )
+    excess = len(gate_orphans) - n_pos
+    if excess <= 0:
+        return
+    # live fan-out counts: the view would go stale as edges move
+    fanout = [0] * mig.n_nodes
+    for gate in mig.gates():
+        for lit in mig.fanins(gate):
+            fanout[lit >> 1] += 1
+    worklist = list(gate_orphans)
+    rewired = 0
+    iterations = 0
+    while worklist and rewired < excess and iterations < 20 * len(gate_orphans):
+        iterations += 1
+        orphan = worklist.pop(0)
+        cascade = _rewire_into_consumer(state, fanout, orphan)
+        if cascade is None:
+            continue  # no candidate: the orphan stays a PO driver
+        state.unconsumed.discard(orphan)
+        if cascade >= 0 and mig.is_maj(cascade):
+            # unplugging created a new, strictly lower orphan: re-absorb it
+            state.unconsumed.add(cascade)
+            worklist.append(cascade)
+        else:
+            rewired += 1
+    remaining = sum(1 for n in state.unconsumed if mig.is_maj(n))
+    if remaining > n_pos:
+        raise GenerationError(
+            f"{mig.name}: {remaining} dangling gates exceed the {n_pos} "
+            "output slots; relax the profile or raise n_pos"
+        )
+
+
+def _rewire_into_consumer(
+    state: _Workspace, fanout: list[int], orphan: int
+) -> int | None:
+    """Point some gate's redundant fan-in at *orphan* (levels preserved).
+
+    Returns ``None`` when no candidate exists, ``-1`` on a clean rewire,
+    or the node index of a newly orphaned source (strictly below the
+    absorbed orphan's level) that the caller must re-absorb.
+    """
+    mig = state.mig
+    rng = state.rng
+    orphan_level = state.level_of[orphan]
+    # nearest consumers first: absorption edges should be short too
+    candidates: list[int] = []
+    for level in range(orphan_level + 1, len(state.by_level)):
+        members = list(state.by_level[level])
+        rng.shuffle(members)
+        candidates.extend(members)
+    fallback: tuple[int, int, int] | None = None  # (gate, position, source)
+    for gate in candidates:
+        fanins = mig.fanins(gate)
+        fanin_nodes = [lit >> 1 for lit in fanins]
+        if orphan in fanin_nodes:
+            continue
+        gate_level = state.level_of[gate]
+        pinned = [
+            node for node in fanin_nodes
+            if state.level_of.get(node, 0) == gate_level - 1
+        ]
+        for position, lit in enumerate(fanins):
+            source = lit >> 1
+            # keep the gate's level: never unplug its only level pin
+            if (
+                state.level_of.get(source, 0) == gate_level - 1
+                and len(pinned) == 1
+            ):
+                continue
+            if mig.is_maj(source) and fanout[source] < 2:
+                # unplugging would orphan the source; usable as a cascade
+                # only when it strictly descends (guarantees termination)
+                if (
+                    fallback is None
+                    and state.level_of.get(source, 0) < orphan_level
+                ):
+                    fallback = (gate, position, source)
+                continue
+            mig._replace_fanin(gate, position, Signal.of(orphan))
+            fanout[source] -= 1
+            fanout[orphan] += 1
+            return -1
+    if fallback is not None:
+        gate, position, source = fallback
+        mig._replace_fanin(gate, position, Signal.of(orphan))
+        fanout[source] -= 1
+        fanout[orphan] += 1
+        return source
+    return None
+
+
+def _choose_outputs(state: _Workspace, n_pos: int) -> None:
+    """Select exactly *n_pos* outputs.
+
+    Orphans are mandatory; at least one output pins the top level; the
+    remaining outputs are drawn from a geometric level distribution decaying
+    downward from the top (``profile.po_decay``), matching the clustered
+    output layers of real netlists.
+    """
+    mig = state.mig
+    rng = state.rng
+    decay = state.profile.po_decay
+    mandatory = [n for n in state.unconsumed if mig.is_maj(n)]
+    top = state.by_level[-1]
+    drivers = list(mandatory)
+    seen = set(drivers)
+    if not any(node in seen for node in top):
+        pick = rng.choice(top)
+        drivers.append(pick)
+        seen.add(pick)
+    if len(drivers) > n_pos:
+        raise GenerationError(
+            f"{mig.name}: {len(drivers)} mandatory outputs exceed n_pos="
+            f"{n_pos}"
+        )
+    depth = len(state.by_level) - 1
+    pools = {
+        level: [n for n in state.by_level[level] if n not in seen]
+        for level in range(1, depth + 1)
+    }
+    for pool in pools.values():
+        rng.shuffle(pool)
+    while len(drivers) < n_pos:
+        level = depth
+        while level > 1 and rng.random() > decay:
+            level -= 1
+        candidate_level = next(
+            (lv for lv in range(level, 0, -1) if pools.get(lv)),
+            None,
+        )
+        if candidate_level is None:
+            candidate_level = next(
+                (lv for lv in range(level + 1, depth + 1) if pools.get(lv)),
+                None,
+            )
+        if candidate_level is None:  # tiny graphs: duplicate-node outputs
+            drivers.append(rng.choice([n for n in mig.gates()]))
+            continue
+        node = pools[candidate_level].pop()
+        drivers.append(node)
+        seen.add(node)
+    for index, node in enumerate(drivers):
+        complemented = rng.random() < 0.2
+        mig.add_po(Signal.of(node, complemented), f"po{index}")

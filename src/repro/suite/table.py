@@ -1,0 +1,127 @@
+"""The 37-benchmark suite used throughout the paper's evaluation.
+
+The paper takes its netlists from the MIG flow of [16] (MCNC-derived plus
+arithmetic workloads).  Those exact netlists are not public; this table
+reconstructs the suite synthetically (see :mod:`repro.suite.generators`):
+
+* the seven benchmarks printed in Table II pin the exact size, depth and
+  output count that the paper reports or implies (output counts recovered
+  from the SWD power column, see DESIGN.md §4);
+* depths {6, 8, 15, 18, 19, 34, 77, 201} appear in the suite because Fig. 7
+  uses exactly these original critical-path lengths on its x-axis;
+* the remaining entries use names and plausible size/depth profiles from
+  the MCNC/arithmetic families cited by [16], spanning the paper's Fig. 5
+  size range of roughly 10^2 to 10^5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.mig import Mig
+from ..errors import GenerationError
+from .generators import generate_mig
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Structural targets of one suite benchmark."""
+
+    name: str
+    size: int
+    depth: int
+    n_pis: int
+    n_pos: int
+    seed: int
+    #: appears in the paper's Table II
+    in_table2: bool = False
+    #: original CPL used on Fig. 7's x-axis
+    in_fig7: bool = False
+
+    def build(self) -> Mig:
+        """Generate the benchmark netlist (deterministic via the seed)."""
+        return generate_mig(
+            self.name,
+            self.size,
+            self.depth,
+            self.n_pis,
+            self.n_pos,
+            self.seed,
+        )
+
+
+#: The full 37-benchmark suite.
+SUITE: tuple[BenchmarkSpec, ...] = (
+    # --- the seven Table II benchmarks (exact published profiles) --------
+    BenchmarkSpec("sasc", 622, 6, 133, 132, seed=101, in_table2=True,
+                  in_fig7=True),
+    BenchmarkSpec("des_area", 4187, 22, 368, 72, seed=102, in_table2=True),
+    BenchmarkSpec("mul32", 9097, 36, 64, 64, seed=103, in_table2=True),
+    BenchmarkSpec("hamming", 2072, 61, 200, 7, seed=104, in_table2=True),
+    BenchmarkSpec("mul64", 25773, 109, 128, 128, seed=105, in_table2=True),
+    BenchmarkSpec("revx", 7517, 143, 20, 25, seed=106, in_table2=True),
+    BenchmarkSpec("diffeq1", 17726, 219, 354, 289, seed=107, in_table2=True),
+    # --- Fig. 7 depth anchors (8, 15, 18, 19, 34, 77, 201) ---------------
+    BenchmarkSpec("ctrl", 174, 8, 7, 25, seed=108, in_fig7=True),
+    BenchmarkSpec("dec", 304, 15, 8, 256, seed=109, in_fig7=True),
+    BenchmarkSpec("i2c", 1342, 18, 147, 142, seed=110, in_fig7=True),
+    BenchmarkSpec("int2float", 260, 19, 11, 7, seed=111, in_fig7=True),
+    BenchmarkSpec("bar", 3336, 34, 135, 128, seed=112, in_fig7=True),
+    BenchmarkSpec("mem_ctrl", 11633, 77, 1198, 1225, seed=113, in_fig7=True),
+    BenchmarkSpec("log2", 30927, 201, 32, 32, seed=114, in_fig7=True),
+    # --- remaining MCNC/arithmetic-style entries --------------------------
+    BenchmarkSpec("adder32", 381, 73, 65, 33, seed=115),
+    BenchmarkSpec("adder64", 762, 145, 129, 65, seed=116),
+    BenchmarkSpec("adder128", 1524, 255, 257, 129, seed=117),
+    BenchmarkSpec("cavlc", 693, 16, 10, 11, seed=118),
+    BenchmarkSpec("priority", 978, 31, 128, 8, seed=119),
+    BenchmarkSpec("router", 257, 21, 60, 30, seed=120),
+    BenchmarkSpec("voter", 13758, 58, 1001, 1, seed=121),
+    BenchmarkSpec("arbiter", 11839, 87, 256, 129, seed=122),
+    BenchmarkSpec("max", 2865, 56, 512, 130, seed=123),
+    BenchmarkSpec("sin", 5416, 98, 24, 25, seed=124),
+    BenchmarkSpec("sqrt32", 3183, 155, 64, 32, seed=125),
+    BenchmarkSpec("sqrt64", 19437, 248, 128, 64, seed=126),
+    BenchmarkSpec("int_div16", 4764, 114, 32, 32, seed=127),
+    BenchmarkSpec("mac16", 2974, 43, 48, 33, seed=128),
+    BenchmarkSpec("crc32", 1430, 26, 64, 32, seed=129),
+    BenchmarkSpec("alu32", 6218, 47, 70, 33, seed=130),
+    BenchmarkSpec("spi", 3227, 29, 274, 276, seed=131),
+    BenchmarkSpec("ss_pcm", 462, 9, 104, 90, seed=132),
+    BenchmarkSpec("usb_phy", 452, 11, 114, 111, seed=133),
+    BenchmarkSpec("simple_spi", 930, 13, 164, 132, seed=134),
+    BenchmarkSpec("pci_bridge", 15291, 27, 3519, 3136, seed=135),
+    BenchmarkSpec("des_perf", 21891, 19, 9042, 1654, seed=136),
+    BenchmarkSpec("exp", 8690, 73, 16, 46, seed=137),
+)
+
+#: Benchmarks small enough for quick test/bench runs (size <= 3500).
+QUICK_SUITE: tuple[BenchmarkSpec, ...] = tuple(
+    spec for spec in SUITE if spec.size <= 3500
+)
+
+#: The seven Table II rows in paper order.
+TABLE2_SUITE: tuple[BenchmarkSpec, ...] = tuple(
+    spec for spec in SUITE if spec.in_table2
+)
+
+#: The Fig. 7 depth anchors, ordered by original critical path length.
+FIG7_SUITE: tuple[BenchmarkSpec, ...] = tuple(
+    sorted((s for s in SUITE if s.in_fig7), key=lambda s: s.depth)
+)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a suite benchmark by name."""
+    for spec in SUITE:
+        if spec.name == name:
+            return spec
+    known = ", ".join(spec.name for spec in SUITE)
+    raise GenerationError(f"unknown benchmark {name!r}; suite: {known}")
+
+
+@lru_cache(maxsize=64)
+def build_benchmark(name: str) -> Mig:
+    """Build (and memoize) a suite benchmark netlist by name."""
+    return get_benchmark(name).build()

@@ -1,0 +1,20 @@
+"""Technology models (Table I) and mapping metrics (Table II, Fig. 9)."""
+
+from .library import NML, QCA, SWD, TECHNOLOGIES, get_technology
+from .metrics import MetricGains, TechMetrics, evaluate, evaluate_pair, gains
+from .model import ComponentCosts, Technology
+
+__all__ = [
+    "ComponentCosts",
+    "MetricGains",
+    "NML",
+    "QCA",
+    "SWD",
+    "TECHNOLOGIES",
+    "TechMetrics",
+    "Technology",
+    "evaluate",
+    "evaluate_pair",
+    "gains",
+    "get_technology",
+]

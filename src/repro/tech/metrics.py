@@ -1,0 +1,144 @@
+"""Technology mapping metrics: the quantities of Table II and Fig. 9.
+
+Given a netlist census and a technology, this module computes area, energy,
+power, and throughput under both operating modes:
+
+* **original** (non-pipelined): one wave at a time, throughput 1/latency;
+* **wave-pipelined**: one wave per clock cycle (p phases), throughput
+  1/(p x level delay) regardless of depth.
+
+Power follows the paper's convention P = E_op / latency in *both* modes:
+the energy of processing one operation spread over the time it spends in
+the circuit (this is what makes the SWD/QCA "power" column *decrease* under
+wave pipelining — the same sense/readout energy is amortized over a longer
+pipeline, the artifact the paper explicitly discusses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.wavepipe.clocking import ClockingScheme
+from ..core.wavepipe.components import NetlistStats, WaveNetlist
+from ..errors import TechnologyError
+from .model import Technology
+
+
+@dataclass(frozen=True)
+class TechMetrics:
+    """Mapped metrics of one netlist on one technology in one mode."""
+
+    technology: str
+    pipelined: bool
+    depth: int
+    size: int
+    area_um2: float
+    energy_fj: float
+    power_uw: float
+    throughput_mops: float
+
+    @property
+    def throughput_per_area(self) -> float:
+        """Throughput over area (MOPS / µm²)."""
+        return self.throughput_mops / self.area_um2
+
+    @property
+    def throughput_per_power(self) -> float:
+        """Throughput over power (MOPS / µW)."""
+        return self.throughput_mops / self.power_uw
+
+
+@dataclass(frozen=True)
+class MetricGains:
+    """Wave-pipelined over original ratios (the paper's T/A and T/P)."""
+
+    technology: str
+    throughput: float
+    t_over_a: float
+    t_over_p: float
+
+
+def _stats_of(netlist: Union[WaveNetlist, NetlistStats]) -> NetlistStats:
+    if isinstance(netlist, WaveNetlist):
+        return netlist.stats()
+    return netlist
+
+
+def evaluate(
+    netlist: Union[WaveNetlist, NetlistStats],
+    technology: Technology,
+    pipelined: bool,
+    clocking: ClockingScheme | None = None,
+) -> TechMetrics:
+    """Map a netlist onto *technology* and compute its metrics."""
+    stats = _stats_of(netlist)
+    if stats.depth <= 0:
+        raise TechnologyError("cannot evaluate a netlist of depth 0")
+    clocking = clocking or ClockingScheme()
+
+    area = technology.area_um2(
+        stats.n_inverters, stats.n_maj, stats.n_buf, stats.n_fog
+    )
+    energy = technology.energy_fj(
+        stats.n_inverters,
+        stats.n_maj,
+        stats.n_buf,
+        stats.n_fog,
+        n_outputs=stats.n_outputs,
+    )
+    level_delay = technology.level_delay_ns
+    latency_ns = clocking.latency(stats.depth, level_delay)
+    if pipelined:
+        throughput = clocking.pipelined_throughput_mops(level_delay)
+    else:
+        throughput = clocking.unpipelined_throughput_mops(
+            stats.depth, level_delay
+        )
+    # fJ / ns = µW
+    power_uw = energy / latency_ns
+
+    return TechMetrics(
+        technology=technology.name,
+        pipelined=pipelined,
+        depth=stats.depth,
+        size=stats.size,
+        area_um2=area,
+        energy_fj=energy,
+        power_uw=power_uw,
+        throughput_mops=throughput,
+    )
+
+
+def gains(original: TechMetrics, pipelined: TechMetrics) -> MetricGains:
+    """Normalized WP/original ratios (Table II's last columns, Fig. 9)."""
+    if original.technology != pipelined.technology:
+        raise TechnologyError(
+            "gains must compare the same technology "
+            f"({original.technology} vs {pipelined.technology})"
+        )
+    if original.pipelined or not pipelined.pipelined:
+        raise TechnologyError(
+            "gains expects (original, wave-pipelined) in that order"
+        )
+    return MetricGains(
+        technology=original.technology,
+        throughput=pipelined.throughput_mops / original.throughput_mops,
+        t_over_a=pipelined.throughput_per_area / original.throughput_per_area,
+        t_over_p=pipelined.throughput_per_power
+        / original.throughput_per_power,
+    )
+
+
+def evaluate_pair(
+    original: Union[WaveNetlist, NetlistStats],
+    wave_pipelined: Union[WaveNetlist, NetlistStats],
+    technology: Technology,
+    clocking: ClockingScheme | None = None,
+) -> tuple[TechMetrics, TechMetrics, MetricGains]:
+    """Evaluate an (original, WP) netlist pair: one Table II row block."""
+    before = evaluate(original, technology, pipelined=False, clocking=clocking)
+    after = evaluate(
+        wave_pipelined, technology, pipelined=True, clocking=clocking
+    )
+    return before, after, gains(before, after)

@@ -1,0 +1,134 @@
+"""Technology cost models (Table I of the paper).
+
+A :class:`Technology` bundles the absolute per-cell constants (area, delay,
+energy) with the relative cost of each component kind (INV, MAJ, BUF, FOG).
+Inverters appear here even though they are edge attributes in the netlist:
+mapping onto a technology materializes one INV cell per complemented edge.
+
+The *level delay* deserves a note.  The paper clocks every component with
+the same phase duration, so the time per level is a single per-technology
+constant.  Its value is not stated explicitly but is exactly recoverable
+from the throughput columns of Table II:
+
+* SWD: 1 x cell delay (all components have relative delay 1);
+* QCA: 10/3 x cell delay (the mean INV/MAJ/BUF relative delay);
+* NML: 2 x cell delay (the MAJ/BUF/FOG relative delay).
+
+For user-defined technologies the default is the slowest clocked component
+(max of MAJ/BUF/FOG relative delays) — the conservative choice that keeps
+every phase long enough for any cell to settle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class ComponentCosts:
+    """Relative cost of each component kind, in units of one cell."""
+
+    inv: float
+    maj: float
+    buf: float
+    fog: float
+
+    def __post_init__(self):
+        for name in ("inv", "maj", "buf", "fog"):
+            if getattr(self, name) <= 0:
+                raise TechnologyError(
+                    f"relative {name} cost must be positive, got "
+                    f"{getattr(self, name)}"
+                )
+
+    def weighted(
+        self, n_inv: int, n_maj: int, n_buf: int, n_fog: int
+    ) -> float:
+        """Total relative cost of a component census."""
+        return (
+            n_inv * self.inv
+            + n_maj * self.maj
+            + n_buf * self.buf
+            + n_fog * self.fog
+        )
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A beyond-CMOS technology implementation model.
+
+    Parameters
+    ----------
+    name:
+        Short identifier ("SWD", "QCA", "NML", or a custom name).
+    cell_area_um2 / cell_delay_ns / cell_energy_fj:
+        Absolute per-cell constants (Table I, left column).
+    area / delay / energy:
+        Relative component costs (Table I, right columns).
+    level_delay_units:
+        Duration of one clocked level in units of the cell delay; defaults
+        to the slowest clocked component (see module docstring).
+    sense_energy_fj:
+        Readout energy per primary output and per operation.  Non-zero only
+        for SWD, whose power-dominant sense amplifier the paper highlights
+        as the cause of the counter-intuitive power column.
+    """
+
+    name: str
+    cell_area_um2: float
+    cell_delay_ns: float
+    cell_energy_fj: float
+    area: ComponentCosts
+    delay: ComponentCosts
+    energy: ComponentCosts
+    level_delay_units: Optional[float] = None
+    sense_energy_fj: float = 0.0
+
+    def __post_init__(self):
+        for attr in ("cell_area_um2", "cell_delay_ns", "cell_energy_fj"):
+            if getattr(self, attr) <= 0:
+                raise TechnologyError(
+                    f"{attr} must be positive, got {getattr(self, attr)}"
+                )
+        if self.sense_energy_fj < 0:
+            raise TechnologyError("sense_energy_fj must be non-negative")
+        if self.level_delay_units is not None and self.level_delay_units <= 0:
+            raise TechnologyError("level_delay_units must be positive")
+
+    @property
+    def effective_level_delay_units(self) -> float:
+        """Level duration in cell-delay units (explicit or conservative)."""
+        if self.level_delay_units is not None:
+            return self.level_delay_units
+        return max(self.delay.maj, self.delay.buf, self.delay.fog)
+
+    @property
+    def level_delay_ns(self) -> float:
+        """Wall-clock duration of one level (= one clock phase)."""
+        return self.effective_level_delay_units * self.cell_delay_ns
+
+    # ------------------------------------------------------------------
+    def area_um2(self, n_inv: int, n_maj: int, n_buf: int, n_fog: int) -> float:
+        """Total cell area of a component census in square micrometres."""
+        return self.area.weighted(n_inv, n_maj, n_buf, n_fog) * self.cell_area_um2
+
+    def energy_fj(
+        self,
+        n_inv: int,
+        n_maj: int,
+        n_buf: int,
+        n_fog: int,
+        n_outputs: int = 0,
+    ) -> float:
+        """Energy per operation in femtojoules (readout included)."""
+        circuit = (
+            self.energy.weighted(n_inv, n_maj, n_buf, n_fog)
+            * self.cell_energy_fj
+        )
+        return circuit + n_outputs * self.sense_energy_fj
+
+    def __str__(self) -> str:
+        return self.name

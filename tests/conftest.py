@@ -1,0 +1,15 @@
+"""Shared fixtures: small reference circuits used across the test suite."""
+
+import pytest
+
+from helpers import build_adder_mig, build_random_mig
+
+
+@pytest.fixture
+def random_mig():
+    return build_random_mig()
+
+
+@pytest.fixture
+def adder_mig():
+    return build_adder_mig()

@@ -1,0 +1,150 @@
+"""Unit tests for the analysis utilities (fitting, stats, tables, plots)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    arithmetic_mean,
+    bar_chart,
+    format_cell,
+    geometric_mean,
+    heatmap,
+    log_log_scatter,
+    median,
+    power_law_fit,
+    relative_increase,
+    render_table,
+    stacked_bar_chart,
+    write_csv,
+)
+from repro.errors import ReproError
+
+
+class TestPowerLawFit:
+    def test_exact_power_law_recovered(self):
+        xs = [10, 100, 1000, 10000]
+        ys = [7.95 * x**0.9 for x in xs]
+        fit = power_law_fit(xs, ys)
+        assert fit.coefficient == pytest.approx(7.95, rel=1e-6)
+        assert fit.exponent == pytest.approx(0.9, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = power_law_fit([1, 10, 100], [2, 20, 200])
+        assert fit.predict(1000) == pytest.approx(2000, rel=1e-6)
+
+    def test_noisy_fit_r_squared(self):
+        xs = [10, 30, 100, 300, 1000]
+        ys = [5 * x**0.8 * (1.1 if i % 2 else 0.9) for i, x in enumerate(xs)]
+        fit = power_law_fit(xs, ys)
+        assert 0.9 < fit.r_squared < 1.0
+        assert fit.exponent == pytest.approx(0.8, abs=0.1)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ReproError):
+            power_law_fit([1, 2], [1])
+        with pytest.raises(ReproError):
+            power_law_fit([1], [1])
+        with pytest.raises(ReproError):
+            power_law_fit([1, -2], [1, 2])
+
+    def test_str(self):
+        fit = power_law_fit([1, 10], [3, 30])
+        assert "s^" in str(fit)
+
+
+class TestStats:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10)
+
+    def test_geometric_mean_positive_only(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1, 0])
+
+    def test_median_odd_even(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_relative_increase(self):
+        assert relative_increase(100, 240) == pytest.approx(1.4)
+        with pytest.raises(ReproError):
+            relative_increase(0, 1)
+
+    def test_empty_rejected(self):
+        for fn in (arithmetic_mean, geometric_mean, median):
+            with pytest.raises(ReproError):
+                fn([])
+
+
+class TestTables:
+    def test_render_alignment(self):
+        text = render_table(
+            ("name", "value"), [("a", 1), ("bb", 22)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2]
+        assert lines[-1].startswith("bb")
+
+    def test_row_width_checked(self):
+        with pytest.raises(ReproError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_format_cell(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(1.5) == "1.50"
+        assert format_cell(1234567.0) == "1.23e+06"
+        assert format_cell(0.00001) == "1.00e-05"
+        assert format_cell(0.0) == "0"
+        assert format_cell("x") == "x"
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "t.csv", ("a", "b"), [(1, 2)])
+        assert path.read_text().splitlines() == ["a,b", "1,2"]
+
+
+class TestPlots:
+    def test_scatter_renders_points(self):
+        text = log_log_scatter([10, 100, 1000], [5, 50, 500])
+        assert "o" in text
+        assert "log" in text
+
+    def test_scatter_validates(self):
+        with pytest.raises(ReproError):
+            log_log_scatter([], [])
+        with pytest.raises(ReproError):
+            log_log_scatter([1, -1], [1, 1])
+
+    def test_heatmap_contains_values(self):
+        text = heatmap([[0, 50], [100, 150]], ["r1", "r2"], ["c1", "c2"])
+        assert "150" in text
+        assert "r2" in text
+
+    def test_heatmap_validates(self):
+        with pytest.raises(ReproError):
+            heatmap([[1]], ["a", "b"], ["c"])
+
+    def test_bar_chart(self):
+        text = bar_chart(["SWD", "QCA"], [5.0, 8.0])
+        assert "SWD" in text
+        assert "#" in text
+        assert "8.00x" in text
+
+    def test_bar_chart_validates(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [0.0])
+
+    def test_stacked_bars(self):
+        text = stacked_bar_chart(
+            ["BUF"], [[1.0, 0.5, 2.3]], ("MAJ", "FOG", "BUF")
+        )
+        assert "legend" in text
+        assert "3.80x" in text
+
+    def test_stacked_bars_validate(self):
+        with pytest.raises(ReproError):
+            stacked_bar_chart(["a"], [[1.0]], ("x", "y"))

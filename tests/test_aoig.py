@@ -1,0 +1,93 @@
+"""Unit tests for the AOIG builder and its lowering to MIG."""
+
+import pytest
+
+from repro.core.aoig import Aoig
+from repro.core.simulate import truth_tables
+
+
+class TestAoigConstruction:
+    def test_counts(self):
+        aoig = Aoig("t")
+        a, b = aoig.add_pi("a"), aoig.add_pi("b")
+        aoig.add_po(aoig.add_and(a, b))
+        assert aoig.n_pis == 2
+        assert aoig.n_pos == 1
+        assert aoig.size == 1
+
+    def test_strash_shares_gates(self):
+        aoig = Aoig()
+        a, b = aoig.add_pi(), aoig.add_pi()
+        assert aoig.add_and(a, b) == aoig.add_and(b, a)
+        assert aoig.size == 1
+
+    def test_and_or_distinct(self):
+        aoig = Aoig()
+        a, b = aoig.add_pi(), aoig.add_pi()
+        assert aoig.add_and(a, b) != aoig.add_or(a, b)
+        assert aoig.size == 2
+
+    def test_trivial_simplifications(self):
+        aoig = Aoig()
+        a = aoig.add_pi()
+        assert aoig.add_and(a, a) == a
+        assert int(aoig.add_and(a, ~a)) == 0
+        assert int(aoig.add_or(a, ~a)) == 1
+        assert aoig.size == 0
+
+    def test_constant_simplifications(self):
+        from repro.core.signal import FALSE, TRUE
+
+        aoig = Aoig()
+        a = aoig.add_pi()
+        assert aoig.add_and(FALSE, a) == FALSE
+        assert aoig.add_and(TRUE, a) == a
+        assert aoig.add_or(FALSE, a) == a
+        assert aoig.add_or(TRUE, a) == TRUE
+
+    def test_repr(self):
+        assert "pis=0" in repr(Aoig())
+
+
+class TestLowering:
+    def test_and_or_tables(self):
+        aoig = Aoig()
+        a, b = aoig.add_pi(), aoig.add_pi()
+        aoig.add_po(aoig.add_and(a, b), "and")
+        aoig.add_po(aoig.add_or(a, b), "or")
+        mig = aoig.to_mig()
+        assert truth_tables(mig) == [0b1000, 0b1110]
+
+    def test_xor_table(self):
+        aoig = Aoig()
+        a, b = aoig.add_pi(), aoig.add_pi()
+        aoig.add_po(aoig.add_xor(a, b))
+        assert truth_tables(aoig.to_mig()) == [0b0110]
+
+    def test_complemented_po(self):
+        aoig = Aoig()
+        a, b = aoig.add_pi(), aoig.add_pi()
+        aoig.add_po(~aoig.add_and(a, b), "nand")
+        assert truth_tables(aoig.to_mig()) == [0b0111]
+
+    def test_names_preserved(self):
+        aoig = Aoig("named")
+        a = aoig.add_pi("alpha")
+        aoig.add_po(a, "out")
+        mig = aoig.to_mig()
+        assert mig.name == "named"
+        assert mig.pi_names == ["alpha"]
+        assert mig.po_names == ["out"]
+
+    def test_size_matches_gate_count(self):
+        aoig = Aoig()
+        a, b, c = aoig.add_pi(), aoig.add_pi(), aoig.add_pi()
+        aoig.add_po(aoig.add_and(aoig.add_or(a, b), c))
+        mig = aoig.to_mig()
+        assert mig.size == aoig.size == 2
+
+    def test_pi_only_po(self):
+        aoig = Aoig()
+        a = aoig.add_pi()
+        aoig.add_po(~a)
+        assert truth_tables(aoig.to_mig()) == [0b01]

@@ -1,0 +1,90 @@
+"""CLI smoke tests (argument parsing and end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFlow:
+    def test_circuit_flow(self, capsys):
+        assert main(["flow", "circuit:adder:4"]) == 0
+        out = capsys.readouterr().out
+        assert "wave-ready" in out
+        assert "SWD" in out
+
+    def test_suite_benchmark_flow(self, capsys):
+        assert main(["flow", "ctrl", "--fanout-limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ctrl" in out
+
+    def test_fo_only(self, capsys):
+        assert main(["flow", "circuit:parity:8", "--no-balance"]) == 0
+        out = capsys.readouterr().out
+        assert "T/A" not in out  # gains reported only for full flows
+
+    def test_buf_only(self, capsys):
+        assert main(["flow", "circuit:mux:2", "--fanout-limit", "0"]) == 0
+
+    def test_export_mig(self, capsys, tmp_path):
+        target = tmp_path / "out.mig"
+        assert main(["flow", "circuit:adder:3", "--export", str(target)]) == 0
+        assert target.exists()
+        from repro.io import read_mig
+
+        assert read_mig(target).n_pos == 4  # 3 sum bits + carry out
+
+    def test_export_verilog(self, tmp_path):
+        target = tmp_path / "out.v"
+        assert main(["flow", "circuit:adder:3", "--export", str(target)]) == 0
+        assert "MAJ3" in target.read_text()
+
+    def test_unknown_circuit_fails(self, capsys):
+        assert main(["flow", "circuit:warpdrive"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_benchmark_fails(self, capsys):
+        assert main(["flow", "not_a_benchmark"]) == 1
+
+    def test_bad_export_format(self, capsys, tmp_path):
+        code = main(
+            ["flow", "circuit:adder:2", "--export", str(tmp_path / "x.xyz")]
+        )
+        assert code == 1
+
+    def test_mig_file_source(self, tmp_path, capsys):
+        from repro.io import write_mig
+        from helpers import build_adder_mig
+
+        path = tmp_path / "a.mig"
+        write_mig(build_adder_mig(3), path)
+        assert main(["flow", str(path)]) == 0
+
+
+class TestOtherCommands:
+    def test_suite_listing(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "sasc" in out
+        assert "diffeq1" in out
+
+    def test_techs(self, capsys):
+        assert main(["techs"]) == 0
+        out = capsys.readouterr().out
+        assert "SWD" in out
+        assert "0.42" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_experiments_table1_only(self, capsys, tmp_path):
+        assert main(
+            ["experiments", "--which", "table1", "--csv-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert (tmp_path / "table1.csv").exists()
+
+    def test_experiments_unknown_artifact(self, capsys):
+        assert main(["experiments", "--which", "fig99"]) == 1

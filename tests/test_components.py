@@ -1,0 +1,173 @@
+"""Unit tests for the WaveNetlist component graph."""
+
+import pytest
+
+from repro.core.mig import Mig
+from repro.core.simulate import truth_tables
+from repro.core.wavepipe.components import Kind, WaveNetlist
+from repro.errors import NetlistError
+
+
+@pytest.fixture
+def small():
+    netlist = WaveNetlist("small")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    c = netlist.add_input("c")
+    m = netlist.add_maj(a, b, c)
+    netlist.add_output(m, "m")
+    return netlist, (a, b, c), m
+
+
+class TestConstruction:
+    def test_constant_reserved(self):
+        netlist = WaveNetlist()
+        assert netlist.n_components == 1
+        assert netlist.kind(0) == Kind.CONST
+
+    def test_counts(self, small):
+        netlist, _, _ = small
+        assert netlist.n_inputs == 3
+        assert netlist.n_outputs == 1
+        assert netlist.size == 1
+        assert netlist.count(Kind.MAJ) == 1
+
+    def test_buf_and_fog(self, small):
+        netlist, (a, _, _), _ = small
+        buf = netlist.add_buf(a)
+        fog = netlist.add_fog(buf)
+        assert netlist.kind(buf.node) == Kind.BUF
+        assert netlist.kind(fog.node) == Kind.FOG
+        assert netlist.size == 3
+
+    def test_buf_from_constant_rejected(self):
+        netlist = WaveNetlist()
+        with pytest.raises(NetlistError):
+            netlist.add_buf(0)
+
+    def test_unknown_signal_rejected(self, small):
+        netlist, _, _ = small
+        with pytest.raises(NetlistError):
+            netlist.add_output(999)
+
+    def test_maj_keeps_duplicates(self):
+        # physical netlists do not simplify: M(a, a, b) stays a component
+        netlist = WaveNetlist()
+        a = netlist.add_input()
+        b = netlist.add_input()
+        m = netlist.add_maj(a, a, b)
+        assert netlist.kind(m.node) == Kind.MAJ
+        assert netlist.size == 1
+
+
+class TestLevels:
+    def test_source_levels_zero(self, small):
+        netlist, (a, _, _), m = small
+        levels = netlist.levels()
+        assert levels[a.node] == 0
+        assert levels[m.node] == 1
+
+    def test_depth(self, small):
+        netlist, _, m = small
+        buf = netlist.add_buf(m)
+        netlist.set_output(0, buf)
+        assert netlist.depth() == 2
+
+    def test_constant_fanin_ignored(self):
+        netlist = WaveNetlist()
+        a = netlist.add_input()
+        b = netlist.add_input()
+        m = netlist.add_maj(a, b, 0)  # AND via constant
+        netlist.add_output(m)
+        assert netlist.depth() == 1
+
+    def test_levels_follow_rewiring(self, small):
+        # rewiring a fan-in to a later-appended component must still level
+        netlist, (a, b, c), m = small
+        buf = netlist.add_buf(a)
+        netlist.set_fanin(m.node, 0, int(buf))
+        levels = netlist.levels()
+        assert levels[m.node] == 2
+
+    def test_cycle_detected(self, small):
+        netlist, _, m = small
+        buf = netlist.add_buf(m)
+        netlist.set_fanin(m.node, 0, int(buf))  # m <- buf <- m
+        with pytest.raises(NetlistError):
+            netlist.levels()
+
+
+class TestStructure:
+    def test_consumer_map(self, small):
+        netlist, (a, _, _), m = small
+        consumers, po_refs = netlist.consumer_map()
+        assert (m.node, 0) in consumers[a.node]
+        assert po_refs[m.node] == [0]
+
+    def test_fanout_counts(self, small):
+        netlist, (a, _, _), m = small
+        counts = netlist.fanout_counts()
+        assert counts[a.node] == 1
+        assert counts[m.node] == 1  # the PO reference
+
+    def test_fanout_counts_exclude_outputs(self, small):
+        netlist, _, m = small
+        counts = netlist.fanout_counts(include_outputs=False)
+        assert counts[m.node] == 0
+
+    def test_constant_fanout_exempt(self):
+        netlist = WaveNetlist()
+        a = netlist.add_input()
+        b = netlist.add_input()
+        for _ in range(5):
+            netlist.add_maj(a, b, 0)
+        assert netlist.fanout_counts()[0] == 0
+
+    def test_complemented_edge_count(self, small):
+        netlist, (a, b, c), m = small
+        n = netlist.add_maj(~a, ~b, c)
+        netlist.add_output(~n)
+        assert netlist.complemented_edge_count() == 3
+
+    def test_stats(self, small):
+        netlist, _, m = small
+        netlist.add_buf(m)
+        stats = netlist.stats()
+        assert stats.n_maj == 1
+        assert stats.n_buf == 1
+        assert stats.size == 2
+        assert stats.n_outputs == 1
+
+
+class TestConversions:
+    def test_round_trip_function(self, adder_mig):
+        netlist = WaveNetlist.from_mig(adder_mig)
+        back = netlist.to_mig()
+        assert truth_tables(back) == truth_tables(adder_mig)
+
+    def test_from_mig_counts(self, adder_mig):
+        netlist = WaveNetlist.from_mig(adder_mig)
+        assert netlist.size == adder_mig.size
+        assert netlist.n_inputs == adder_mig.n_pis
+        assert netlist.n_outputs == adder_mig.n_pos
+
+    def test_buffers_transparent_in_to_mig(self, small):
+        netlist, _, m = small
+        buf = netlist.add_buf(m)
+        fog = netlist.add_fog(buf)
+        netlist.set_output(0, ~fog)
+        mig = netlist.to_mig()
+        reference = Mig()
+        a, b, c = reference.add_pis(3)
+        reference.add_po(~reference.add_maj(a, b, c))
+        assert truth_tables(mig) == truth_tables(reference)
+
+    def test_names_preserved(self, small):
+        netlist, _, _ = small
+        mig = netlist.to_mig()
+        assert mig.pi_names == ["a", "b", "c"]
+        assert mig.po_names == ["m"]
+
+    def test_repr(self, small):
+        netlist, _, _ = small
+        assert "maj=1" in repr(netlist)

@@ -1,0 +1,83 @@
+"""Unit tests for the equivalence-checking ladder."""
+
+import pytest
+
+from repro.core.equivalence import (
+    EquivalenceResult,
+    assert_equivalent,
+    check_equivalence,
+)
+from repro.core.mig import Mig
+from repro.errors import EquivalenceError
+
+from helpers import build_adder_mig, build_random_mig
+
+
+def _pair(seed: int = 1, n_pis: int = 4):
+    mig = build_random_mig(n_pis=n_pis, n_gates=12, seed=seed)
+    return mig, mig.clone()
+
+
+class TestExhaustivePath:
+    def test_identical_clones_equivalent(self):
+        first, second = _pair()
+        result = check_equivalence(first, second)
+        assert result
+        assert result.method == "exhaustive"
+
+    def test_detects_flipped_output(self):
+        first, second = _pair()
+        second._pos[0] = ~second._pos[0]
+        result = check_equivalence(first, second)
+        assert not result
+        assert result.counterexample is not None
+        # the counterexample must really distinguish the networks
+        from repro.core.simulate import simulate_vectors
+
+        cex = result.counterexample
+        assert (
+            simulate_vectors(first, [cex]) != simulate_vectors(second, [cex])
+        )
+
+    def test_interface_mismatch_raises(self):
+        first = build_random_mig(n_pis=4, n_gates=8, seed=1)
+        second = build_random_mig(n_pis=5, n_gates=8, seed=1)
+        with pytest.raises(EquivalenceError):
+            check_equivalence(first, second)
+
+
+class TestRandomSimulationPath:
+    def test_large_inputs_use_random_words(self):
+        first = build_random_mig(n_pis=20, n_gates=40, seed=5)
+        second = first.clone()
+        result = check_equivalence(first, second)
+        assert result
+        assert result.method == "random-simulation"
+
+    def test_random_path_finds_differences(self):
+        first = build_random_mig(n_pis=20, n_gates=40, seed=5)
+        second = first.clone()
+        second._pos[0] = ~second._pos[0]
+        result = check_equivalence(first, second)
+        assert not result
+        assert len(result.counterexample) == 20
+
+    def test_word_budget_adapts_to_size(self):
+        # must not allocate gigabytes for big netlists: just run it
+        big = build_random_mig(n_pis=20, n_gates=3000, seed=6)
+        assert check_equivalence(big, big.clone())
+
+
+class TestAssertHelper:
+    def test_passes_silently(self, adder_mig):
+        assert_equivalent(adder_mig, adder_mig.clone())
+
+    def test_raises_with_context(self, adder_mig):
+        broken = adder_mig.clone()
+        broken._pos[0] = ~broken._pos[0]
+        with pytest.raises(EquivalenceError, match="mypass"):
+            assert_equivalent(adder_mig, broken, "mypass")
+
+    def test_result_truthiness(self):
+        assert EquivalenceResult(True, "x")
+        assert not EquivalenceResult(False, "x")

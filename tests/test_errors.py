@@ -1,0 +1,39 @@
+"""The exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.MigError,
+    errors.NetlistError,
+    errors.BalanceError,
+    errors.FanoutError,
+    errors.TechnologyError,
+    errors.SimulationError,
+    errors.EquivalenceError,
+    errors.ParseError,
+    errors.SatError,
+    errors.GenerationError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_derives_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+    assert issubclass(error_type, Exception)
+
+
+def test_catching_base_catches_all(adder_mig):
+    from repro.core.mig import Mig
+
+    with pytest.raises(errors.ReproError):
+        Mig().fanins(0)
+
+
+def test_errors_carry_messages():
+    try:
+        raise errors.BalanceError("component 7 unbalanced")
+    except errors.ReproError as caught:
+        assert "component 7" in str(caught)

@@ -1,0 +1,152 @@
+"""Integration tests for the experiment modules on a tiny suite."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import (
+    SuiteRunner,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    parse_config,
+    table1,
+    table2,
+)
+from repro.suite.table import SUITE, BenchmarkSpec
+
+#: five small benchmarks keep the experiment tests quick
+TINY = tuple(spec for spec in SUITE if spec.size <= 700)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(TINY)
+
+
+class TestRunner:
+    def test_parse_config(self):
+        assert parse_config("BUF") == (None, True)
+        assert parse_config("FO3") == (3, False)
+        assert parse_config("FO5+BUF") == (5, True)
+
+    def test_parse_config_rejects(self):
+        with pytest.raises(ReproError):
+            parse_config("FOO")
+
+    def test_results_cached(self, runner):
+        name = runner.names[0]
+        assert runner.run(name, "FO3+BUF") is runner.run(name, "FO3+BUF")
+
+    def test_unknown_benchmark(self, runner):
+        with pytest.raises(ReproError):
+            runner.run("nonexistent", "BUF")
+
+    def test_flow_invariants_enforced(self, runner):
+        from repro.core.wavepipe.verify import check_balanced, check_fanout
+
+        result = runner.run(runner.names[0], "FO3+BUF")
+        assert check_balanced(result.netlist) == []
+        assert check_fanout(result.netlist, 3) == []
+
+
+class TestTable1:
+    def test_rows_cover_all_technologies(self):
+        result = table1.run()
+        technologies = {row[0] for row in result.rows}
+        assert technologies == {"SWD", "QCA", "NML"}
+        assert len(result.rows) == 9  # 3 techs x 3 metrics
+
+    def test_render_and_csv(self, tmp_path):
+        result = table1.run()
+        assert "Table I" in result.render()
+        path = result.to_csv(tmp_path / "t1.csv")
+        assert path.exists()
+
+
+class TestFig5:
+    def test_points_and_fit(self, runner):
+        result = fig5.run(runner)
+        assert len(result.sizes) == len(TINY)
+        assert result.fit.coefficient > 0
+        assert 0.3 < result.fit.exponent < 2.0
+
+    def test_render_mentions_paper_fit(self, runner):
+        text = fig5.run(runner).render()
+        assert "7.95" in text
+        assert "buffers added" in text
+
+    def test_csv(self, runner, tmp_path):
+        path = fig5.run(runner).to_csv(tmp_path / "fig5.csv")
+        assert path.read_text().startswith("benchmark,")
+
+
+class TestFig7:
+    def test_monotone_in_limit(self, runner):
+        result = fig7.run(runner)
+        assert result.averages[2] >= result.averages[3] >= result.averages[5]
+
+    def test_heatmap_renders(self, runner):
+        text = fig7.run(runner).render()
+        assert "critical-path increase" in text
+        assert "paper avg increase" in text
+
+    def test_csv(self, runner, tmp_path):
+        path = fig7.run(runner).to_csv(tmp_path / "fig7.csv")
+        assert "fanout_limit" in path.read_text()
+
+
+class TestFig8:
+    def test_configuration_ordering(self, runner):
+        result = fig8.run(runner)
+        # combined flows dominate their parts; FO2 > FO5 in impact
+        assert result.total("FO2+BUF") > result.total("FO2")
+        assert result.total("FO3+BUF") > result.total("BUF")
+        assert result.total("FO2") > result.total("FO5")
+
+    def test_paper_observations(self, runner):
+        result = fig8.run(runner)
+        for limit in (2, 3, 4, 5):
+            assert result.combination_exceeds_parts(limit)
+            assert result.fog_share_independent(limit)
+
+    def test_render(self, runner):
+        text = fig8.run(runner).render()
+        assert "legend" in text
+        assert "FO3+BUF" in text
+
+
+class TestTable2AndFig9:
+    def test_rows_per_technology(self, runner):
+        result = table2.run(runner, benchmarks=(runner.names[0],))
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row.pipelined.throughput_mops > row.original.throughput_mops
+
+    def test_table2_render(self, runner):
+        result = table2.run(runner, benchmarks=tuple(runner.names[:2]))
+        text = result.render()
+        assert "Table II" in text
+        assert "T/P" in text
+
+    def test_fig9_gains_positive(self, runner):
+        result = fig9.run(runner)
+        for tech in ("SWD", "QCA", "NML"):
+            mean_ta, mean_tp = result.mean_gains(tech)
+            assert mean_tp > 1.0
+            geo_ta, geo_tp = result.geomean_gains(tech)
+            assert geo_ta <= mean_ta * 1.0001
+
+    def test_fig9_ordering_matches_paper(self, runner):
+        # SWD has the largest T/P gain, NML the smallest (paper Fig. 9)
+        result = fig9.run(runner)
+        assert (
+            result.mean_gains("SWD")[1]
+            > result.mean_gains("QCA")[1]
+            > result.mean_gains("NML")[1]
+        )
+
+    def test_fig9_render_and_csv(self, runner, tmp_path):
+        result = fig9.run(runner)
+        assert "T/P" in result.render()
+        assert result.to_csv(tmp_path / "fig9.csv").exists()

@@ -1,0 +1,158 @@
+"""Unit tests for the fan-out restriction algorithm."""
+
+import pytest
+
+from repro.core.equivalence import assert_equivalent
+from repro.core.wavepipe.components import Kind, WaveNetlist
+from repro.core.wavepipe.fanout import min_fogs, restrict_fanout
+from repro.core.wavepipe.verify import check_fanout
+from repro.errors import FanoutError
+
+from helpers import build_random_mig
+
+
+def _star_netlist(fanout: int, consumer_levels=None) -> WaveNetlist:
+    """One input driving *fanout* majority gates (optionally staggered)."""
+    netlist = WaveNetlist("star")
+    x = netlist.add_input("x")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    stagger = consumer_levels or [1] * fanout
+    pad = a
+    pads = {1: a}
+    for level in range(2, max(stagger) + 1):
+        pad = netlist.add_maj(pad, b, 0)
+        pads[level] = pad
+    for i in range(fanout):
+        level = stagger[i]
+        other = pads[level]
+        gate = netlist.add_maj(x, other, b)
+        netlist.add_output(gate, f"o{i}")
+    return netlist
+
+
+class TestMinFogs:
+    @pytest.mark.parametrize(
+        "fanout,limit,expected",
+        [
+            (1, 3, 0),
+            (3, 3, 0),
+            (4, 3, 1),
+            (5, 3, 1),
+            (6, 3, 2),  # the Fig. 6 case (capacity bound)
+            (7, 3, 2),
+            (8, 3, 3),
+            (4, 2, 2),
+            (10, 2, 8),
+            (10, 5, 2),
+        ],
+    )
+    def test_formula(self, fanout, limit, expected):
+        assert min_fogs(fanout, limit) == expected
+
+    def test_capacity_sufficient(self):
+        for fanout in range(1, 40):
+            for limit in range(2, 6):
+                fogs = min_fogs(fanout, limit)
+                assert limit + fogs * (limit - 1) >= fanout
+
+
+class TestRestriction:
+    @pytest.mark.parametrize("limit", [2, 3, 4, 5])
+    def test_fanout_bounded(self, limit):
+        netlist = _star_netlist(9)
+        result = restrict_fanout(netlist, limit)
+        assert check_fanout(result.netlist, limit) == []
+
+    @pytest.mark.parametrize("limit", [2, 3, 4, 5])
+    def test_minimal_fog_count_on_star(self, limit):
+        netlist = _star_netlist(9)
+        result = restrict_fanout(netlist, limit)
+        # star consumers all at one level: FOG count equals the capacity bound
+        assert result.fogs_added >= min_fogs(9 + 0, limit)
+
+    def test_within_limit_untouched(self):
+        netlist = _star_netlist(3)
+        result = restrict_fanout(netlist, 3)
+        assert result.fogs_added == 0
+        assert result.netlist.size == netlist.size
+
+    def test_rejects_limit_below_two(self):
+        with pytest.raises(FanoutError):
+            restrict_fanout(_star_netlist(4), 1)
+
+    def test_function_preserved(self, adder_mig):
+        netlist = WaveNetlist.from_mig(adder_mig)
+        for limit in (2, 3, 4):
+            result = restrict_fanout(netlist, limit)
+            assert_equivalent(result.netlist.to_mig(), adder_mig)
+
+    def test_random_graphs_restricted(self):
+        for seed in range(4):
+            mig = build_random_mig(seed=seed, n_gates=40)
+            netlist = WaveNetlist.from_mig(mig)
+            for limit in (2, 3):
+                result = restrict_fanout(netlist, limit)
+                assert check_fanout(result.netlist, limit) == []
+                assert_equivalent(result.netlist.to_mig(), mig)
+
+    def test_input_netlist_untouched(self):
+        netlist = _star_netlist(9)
+        before = netlist.size
+        restrict_fanout(netlist, 3)
+        assert netlist.size == before
+
+
+class TestLevelAwareness:
+    def test_staggered_consumers_absorb_fog_delay(self):
+        # consumers at levels 1..4: the FOG ladder can hide inside the slack
+        netlist = _star_netlist(8, consumer_levels=[1, 1, 2, 2, 3, 3, 4, 4])
+        result = restrict_fanout(netlist, 3)
+        # depth must grow far less than a naive balanced tree under the
+        # deepest consumer (which would add ceil(log3(8)) = 2 to every path)
+        assert result.depth_after <= result.depth_before + 2
+
+    def test_same_level_consumers_get_delayed(self):
+        netlist = _star_netlist(9)  # all consumers at level 1
+        result = restrict_fanout(netlist, 2)
+        assert result.delayed_components > 0
+        assert result.depth_after > result.depth_before
+
+    def test_cpl_increase_monotone_in_limit(self):
+        netlist = _star_netlist(12)
+        increases = [
+            restrict_fanout(netlist, limit).cpl_increase
+            for limit in (2, 3, 4, 5)
+        ]
+        assert increases[0] >= increases[-1]
+
+    def test_gap_buffers_fill_residual_jumps(self):
+        # a consumer with large slack assigned to a shallow slot receives
+        # buffers so its own level is preserved
+        netlist = _star_netlist(5, consumer_levels=[1, 1, 1, 4, 4])
+        result = restrict_fanout(netlist, 3)
+        assert result.buffers_added > 0
+
+    def test_stats_consistency(self):
+        netlist = _star_netlist(10)
+        result = restrict_fanout(netlist, 3)
+        stats = result.netlist.stats()
+        assert stats.n_fog == result.fogs_added
+        assert stats.n_buf == result.buffers_added
+        assert result.depth_after == result.netlist.depth()
+
+
+class TestOutputs:
+    def test_po_references_rewired(self):
+        netlist = WaveNetlist()
+        x = netlist.add_input("x")
+        for i in range(7):
+            netlist.add_output(x if i % 2 == 0 else ~x, f"o{i}")
+        result = restrict_fanout(netlist, 3)
+        assert check_fanout(result.netlist, 3) == []
+        # complements preserved on rewired outputs
+        mig = result.netlist.to_mig()
+        from repro.core.simulate import truth_tables
+
+        tables = truth_tables(mig)
+        assert tables == [0b10 if i % 2 == 0 else 0b01 for i in range(7)]

@@ -1,0 +1,100 @@
+"""Unit tests for the combined wave-pipelining flow."""
+
+import pytest
+
+from repro.core.equivalence import assert_equivalent
+from repro.core.wavepipe import (
+    WaveNetlist,
+    check_balanced,
+    check_fanout,
+    wave_pipeline,
+    wave_ready,
+)
+from repro.errors import NetlistError
+
+from helpers import build_adder_mig, build_random_mig
+
+
+class TestWavePipeline:
+    def test_full_flow_invariants(self, random_mig):
+        result = wave_pipeline(random_mig, fanout_limit=3)
+        assert check_balanced(result.netlist) == []
+        assert check_fanout(result.netlist, 3) == []
+        assert wave_ready(result.netlist, 3)
+
+    def test_function_preserved(self, adder_mig):
+        result = wave_pipeline(adder_mig, fanout_limit=3)
+        assert_equivalent(result.netlist.to_mig(), adder_mig)
+
+    @pytest.mark.parametrize("limit", [2, 3, 4, 5])
+    def test_all_paper_limits(self, random_mig, limit):
+        result = wave_pipeline(random_mig, fanout_limit=limit)
+        assert wave_ready(result.netlist, limit)
+
+    def test_buf_only_configuration(self, random_mig):
+        result = wave_pipeline(random_mig, fanout_limit=None)
+        assert check_balanced(result.netlist) == []
+        assert result.fogs_added == 0
+        assert result.fanout_result is None
+
+    def test_fo_only_configuration(self, random_mig):
+        result = wave_pipeline(random_mig, fanout_limit=3, balance=False)
+        assert check_fanout(result.netlist, 3) == []
+        assert result.buffer_result is None
+
+    def test_accepts_wave_netlist_input(self, random_mig):
+        netlist = WaveNetlist.from_mig(random_mig)
+        result = wave_pipeline(netlist, fanout_limit=3)
+        assert wave_ready(result.netlist, 3)
+
+    def test_unknown_order_rejected(self, random_mig):
+        with pytest.raises(NetlistError):
+            wave_pipeline(random_mig, order="sideways")
+
+    def test_buf_first_ablation_loses_balance(self):
+        # the paper's Section IV requirement: FO must run before BUF.
+        # A graph whose restriction delays nodes demonstrates it.
+        mig = build_random_mig(seed=3, n_pis=4, n_gates=40)
+        result = wave_pipeline(
+            mig, fanout_limit=2, order="buf-first", verify=False
+        )
+        assert check_fanout(result.netlist, 2) == []
+        assert check_balanced(result.netlist) != []
+
+
+class TestResultStatistics:
+    def test_size_accounting(self, random_mig):
+        result = wave_pipeline(random_mig, fanout_limit=3)
+        stats = result.netlist.stats()
+        assert result.size_after == stats.size
+        assert (
+            result.size_after
+            == result.size_before + result.buffers_added + result.fogs_added
+        )
+
+    def test_size_ratio(self, random_mig):
+        result = wave_pipeline(random_mig, fanout_limit=3)
+        assert result.size_ratio == result.size_after / result.size_before
+        assert result.size_ratio > 1.0
+
+    def test_combined_exceeds_individual_buffers(self):
+        # paper's observation (a) on Fig. 8: FOx+BUF inserts more buffers
+        # than the two passes run individually (fan-out delays imbalance)
+        mig = build_random_mig(seed=5, n_pis=5, n_gates=60)
+        buf_only = wave_pipeline(mig, fanout_limit=None)
+        combined = wave_pipeline(mig, fanout_limit=2)
+        assert combined.buffers_added >= buf_only.buffers_added
+
+    def test_fog_count_independent_of_buffers(self):
+        # paper's observation (b) on Fig. 8
+        mig = build_random_mig(seed=6, n_pis=5, n_gates=60)
+        fo_only = wave_pipeline(mig, fanout_limit=3, balance=False)
+        combined = wave_pipeline(mig, fanout_limit=3)
+        assert combined.fogs_added == fo_only.fogs_added
+
+    def test_depths(self, random_mig):
+        from repro.core.view import depth_of
+
+        result = wave_pipeline(random_mig, fanout_limit=3)
+        assert result.depth_before == depth_of(random_mig)
+        assert result.depth_after >= result.depth_before

@@ -1,0 +1,82 @@
+"""Unit tests for the synthetic benchmark generator."""
+
+import pytest
+
+from repro.core.view import MigView, depth_of
+from repro.errors import GenerationError
+from repro.suite.generators import GeneratorProfile, generate_mig
+
+
+class TestExactTargets:
+    @pytest.mark.parametrize(
+        "size,depth,n_pis,n_pos",
+        [
+            (50, 5, 8, 6),
+            (200, 20, 16, 10),
+            (622, 6, 133, 132),  # the SASC profile
+            (300, 40, 12, 4),  # deep and narrow
+        ],
+    )
+    def test_structural_targets_hit(self, size, depth, n_pis, n_pos):
+        mig = generate_mig("t", size, depth, n_pis, n_pos, seed=7)
+        assert mig.size == size
+        assert depth_of(mig) == depth
+        assert mig.n_pis == n_pis
+        assert mig.n_pos == n_pos
+
+    def test_no_dangling_gates(self):
+        mig = generate_mig("t", 150, 12, 10, 8, seed=3)
+        assert mig.dangling_gates() == []
+
+    def test_deterministic(self):
+        first = generate_mig("t", 100, 10, 8, 6, seed=5)
+        second = generate_mig("t", 100, 10, 8, 6, seed=5)
+        assert [first.fanins(g) for g in first.gates()] == [
+            second.fanins(g) for g in second.gates()
+        ]
+        assert first.pos == second.pos
+
+    def test_seed_changes_structure(self):
+        first = generate_mig("t", 100, 10, 8, 6, seed=5)
+        second = generate_mig("t", 100, 10, 8, 6, seed=6)
+        assert [first.fanins(g) for g in first.gates()] != [
+            second.fanins(g) for g in second.gates()
+        ]
+
+
+class TestShape:
+    def test_complement_density_in_paper_band(self):
+        mig = generate_mig("t", 2000, 25, 32, 32, seed=9)
+        density = mig.complemented_fanin_count() / mig.size
+        assert 0.5 < density < 1.0
+
+    def test_fanout_tail_exists(self):
+        mig = generate_mig("t", 2000, 25, 32, 32, seed=9)
+        view = MigView(mig)
+        max_fanout = view.max_fanout()
+        assert max_fanout > 6  # preferential attachment produces hubs
+
+    def test_profile_knobs(self):
+        calm = GeneratorProfile(complement_probability=0.05, skew=0.1)
+        mig = generate_mig("t", 500, 10, 16, 8, seed=4, profile=calm)
+        density = mig.complemented_fanin_count() / mig.size
+        assert density < 0.4
+
+    def test_po_at_top_level(self):
+        mig = generate_mig("t", 400, 30, 10, 5, seed=8)
+        view = MigView(mig)
+        assert max(view.level(sig.node) for sig in mig.pos) == 30
+
+
+class TestValidation:
+    def test_too_few_pis(self):
+        with pytest.raises(GenerationError):
+            generate_mig("t", 10, 2, 2, 1, seed=1)
+
+    def test_size_below_depth(self):
+        with pytest.raises(GenerationError):
+            generate_mig("t", 5, 10, 8, 2, seed=1)
+
+    def test_zero_outputs(self):
+        with pytest.raises(GenerationError):
+            generate_mig("t", 10, 2, 4, 0, seed=1)

@@ -1,0 +1,103 @@
+"""Unit tests for the structural graph analysis module."""
+
+import pytest
+
+from repro.analysis.graphs import (
+    is_dag,
+    longest_path_length,
+    mig_to_networkx,
+    netlist_to_networkx,
+    profile_mig,
+)
+from repro.core.view import depth_of
+from repro.core.wavepipe import WaveNetlist, wave_pipeline
+from repro.suite.generators import generate_mig
+
+from helpers import build_adder_mig, build_random_mig
+
+
+class TestProfile:
+    def test_counts_match_mig(self, adder_mig):
+        profile = profile_mig(adder_mig)
+        assert profile.size == adder_mig.size
+        assert profile.depth == depth_of(adder_mig)
+        assert profile.n_pis == adder_mig.n_pis
+        assert profile.n_pos == adder_mig.n_pos
+
+    def test_level_widths_sum_to_size(self, adder_mig):
+        profile = profile_mig(adder_mig)
+        assert sum(profile.level_widths) == adder_mig.size
+        assert len(profile.level_widths) == profile.depth
+
+    def test_constant_fraction(self, adder_mig):
+        # XOR-built adders are full of AND/OR (constant-fan-in) gates
+        profile = profile_mig(adder_mig)
+        assert profile.constant_fanin_fraction > 0.5
+
+    def test_fanout_histogram_totals(self, random_mig):
+        profile = profile_mig(random_mig)
+        counted = sum(
+            fanout * count
+            for fanout, count in profile.fanout_histogram.items()
+        )
+        # total edges = 3 * gates - constant edges + PO refs
+        assert counted == pytest.approx(
+            profile.mean_fanout * (random_mig.n_nodes - 1)
+        )
+
+    def test_generator_hits_profile_targets(self):
+        mig = generate_mig("p", 800, 12, 32, 20, seed=11)
+        profile = profile_mig(mig)
+        assert 0.5 < profile.complement_density < 1.0
+        assert 0.3 < profile.constant_fanin_fraction < 0.6
+        assert profile.mean_edge_gap < 2.0
+
+    def test_render(self, adder_mig):
+        text = profile_mig(adder_mig).render()
+        assert "fan-out" in text
+        assert "inverters" in text
+
+
+class TestNetworkxExport:
+    def test_mig_export_shape(self, adder_mig):
+        graph = mig_to_networkx(adder_mig)
+        maj_nodes = [
+            n for n, d in graph.nodes(data=True) if d["kind"] == "maj"
+        ]
+        assert len(maj_nodes) == adder_mig.size
+        assert graph.graph["pis"] == adder_mig.pis
+
+    def test_complement_attributes(self):
+        from repro.core.mig import Mig
+
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        g = mig.add_maj(~a, b, c)
+        mig.add_po(g)
+        graph = mig_to_networkx(mig)
+        assert graph.edges[a.node, g.node]["complemented"]
+        assert not graph.edges[b.node, g.node]["complemented"]
+
+    def test_is_dag(self, random_mig):
+        assert is_dag(random_mig)
+
+    def test_longest_path_cross_check(self):
+        for seed in range(3):
+            mig = build_random_mig(seed=seed, n_gates=30)
+            assert longest_path_length(mig) == depth_of(mig)
+
+    def test_netlist_export_includes_buffers(self, adder_mig):
+        result = wave_pipeline(adder_mig, fanout_limit=3)
+        graph = netlist_to_networkx(result.netlist)
+        kinds = {d["kind"] for _, d in graph.nodes(data=True)}
+        assert "BUF" in kinds
+        assert "MAJ" in kinds
+
+
+class TestCliStats:
+    def test_stats_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "circuit:adder:4"]) == 0
+        out = capsys.readouterr().out
+        assert "fan-out" in out

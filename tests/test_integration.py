@@ -1,0 +1,140 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test walks a realistic user journey: build or load a circuit, run
+the paper's flow, verify every invariant, map onto technologies, and/or
+stream waves through the result.
+"""
+
+import random
+
+import pytest
+
+from repro.core.equivalence import assert_equivalent
+from repro.core.rewrite import optimize
+from repro.core.view import depth_of
+from repro.core.wavepipe import (
+    WaveNetlist,
+    check_balanced,
+    check_fanout,
+    golden_outputs,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.io.migfile import dumps, loads
+from repro.suite.circuits import (
+    array_multiplier,
+    hamming_corrector,
+    majority_voter,
+    ripple_carry_adder,
+)
+from repro.suite.table import build_benchmark
+from repro.tech import TECHNOLOGIES, evaluate_pair
+
+
+class TestRealCircuitJourneys:
+    @pytest.mark.parametrize(
+        "builder,args",
+        [
+            (ripple_carry_adder, (4,)),
+            (array_multiplier, (3,)),
+            (hamming_corrector, ()),
+            (majority_voter, (7,)),
+        ],
+    )
+    def test_optimize_then_wave_pipeline(self, builder, args):
+        mig = builder(*args)
+        optimized = optimize(mig)
+        assert_equivalent(mig, optimized)
+        result = wave_pipeline(optimized, fanout_limit=3)
+        assert check_balanced(result.netlist) == []
+        assert check_fanout(result.netlist, 3) == []
+        assert_equivalent(result.netlist.to_mig(), mig)
+
+    def test_adder_waves_compute_real_sums(self):
+        width = 3
+        mig = ripple_carry_adder(width)
+        ready = wave_pipeline(mig, fanout_limit=3).netlist
+        rng = random.Random(9)
+        cases = [
+            (rng.randrange(8), rng.randrange(8), rng.randrange(2))
+            for _ in range(10)
+        ]
+        vectors = [
+            [bool((a >> i) & 1) for i in range(width)]
+            + [bool((b >> i) & 1) for i in range(width)]
+            + [bool(cin)]
+            for a, b, cin in cases
+        ]
+        report = simulate_waves(ready, vectors)
+        assert report.coherent
+        for (a, b, cin), bits in zip(cases, report.outputs):
+            value = sum(1 << i for i in range(width + 1) if bits[i])
+            assert value == a + b + cin
+
+    def test_file_round_trip_through_flow(self, tmp_path):
+        mig = ripple_carry_adder(3)
+        path = tmp_path / "adder.mig"
+        path.write_text(dumps(mig))
+        loaded = loads(path.read_text())
+        result = wave_pipeline(loaded, fanout_limit=3)
+        assert_equivalent(result.netlist.to_mig(), mig)
+
+
+class TestSuiteJourneys:
+    def test_benchmark_full_pipeline_with_metrics(self):
+        mig = build_benchmark("usb_phy")
+        result = wave_pipeline(mig, fanout_limit=3)
+        for tech in TECHNOLOGIES:
+            before, after, gains = evaluate_pair(
+                result.original, result.netlist, tech
+            )
+            assert after.throughput_mops > before.throughput_mops
+            assert gains.throughput == pytest.approx(
+                result.depth_before / 3, rel=1e-9
+            )
+            assert after.area_um2 > before.area_um2
+
+    def test_waves_in_flight_matches_depth(self):
+        from repro.core.wavepipe.clocking import ClockingScheme
+
+        mig = build_benchmark("ctrl")
+        result = wave_pipeline(mig, fanout_limit=3)
+        clock = ClockingScheme()
+        waves = clock.waves_in_flight(result.depth_after)
+        assert waves == -(-result.depth_after // 3)
+
+    def test_fanout_sweep_tradeoff(self):
+        # tighter limits always cost at least as many components
+        mig = build_benchmark("router")
+        sizes = [
+            wave_pipeline(mig, fanout_limit=k, verify=False).size_after
+            for k in (2, 3, 4, 5)
+        ]
+        assert sizes[0] >= sizes[1] >= sizes[2] >= sizes[3]
+
+    def test_unbalanced_netlist_fails_wave_pipelining(self):
+        mig = build_benchmark("ss_pcm")
+        raw = WaveNetlist.from_mig(mig)
+        rng = random.Random(3)
+        vectors = [
+            [rng.random() < 0.5 for _ in range(raw.n_inputs)]
+            for _ in range(6)
+        ]
+        raw_report = simulate_waves(raw, vectors)
+        assert not raw_report.coherent
+        ready = wave_pipeline(raw, fanout_limit=3).netlist
+        good_report = simulate_waves(ready, vectors)
+        assert good_report.coherent
+        assert good_report.outputs == golden_outputs(ready, vectors)
+
+
+class TestDepthOptimizationFeedsFlow:
+    def test_shallower_input_means_fewer_waves_needed(self):
+        mig = ripple_carry_adder(6)
+        optimized = optimize(mig)
+        assert depth_of(optimized) <= depth_of(mig)
+        raw_result = wave_pipeline(mig, fanout_limit=3)
+        opt_result = wave_pipeline(optimized, fanout_limit=3)
+        # throughput gain scales with depth: the optimized circuit needs
+        # fewer in-flight waves for the same throughput
+        assert opt_result.depth_after <= raw_result.depth_after

@@ -1,0 +1,70 @@
+"""Unit tests for inverter minimization."""
+
+from repro.core.equivalence import assert_equivalent
+from repro.core.inversion import count_inverters, minimize_inverters
+from repro.core.mig import Mig
+from repro.core.view import depth_of
+
+
+def _inverter_heavy() -> Mig:
+    """A small graph whose gates mostly see complemented fan-ins."""
+    mig = Mig("inv_heavy")
+    a, b, c, d = mig.add_pis(4)
+    g1 = mig.add_maj(~a, ~b, ~c)
+    g2 = mig.add_maj(~g1, ~c, ~d)
+    g3 = mig.add_maj(~g1, ~g2, ~a)
+    mig.add_po(g3)
+    return mig
+
+
+class TestMinimizeInverters:
+    def test_function_preserved(self):
+        mig = _inverter_heavy()
+        out, _ = minimize_inverters(mig)
+        assert_equivalent(mig, out)
+
+    def test_count_reduced(self):
+        mig = _inverter_heavy()
+        out, stats = minimize_inverters(mig)
+        assert stats.inverters_after < stats.inverters_before
+        assert count_inverters(out) <= stats.inverters_after
+
+    def test_stats_match_graph(self):
+        mig = _inverter_heavy()
+        before = count_inverters(mig)
+        out, stats = minimize_inverters(mig)
+        assert stats.inverters_before == before
+        assert stats.removed == before - stats.inverters_after
+
+    def test_size_and_depth_unchanged(self):
+        mig = _inverter_heavy()
+        out, _ = minimize_inverters(mig)
+        assert out.size <= mig.size  # strash may even merge duals
+        assert depth_of(out) == depth_of(mig)
+
+    def test_clean_graph_untouched(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        mig.add_po(mig.add_maj(a, b, c))
+        out, stats = minimize_inverters(mig)
+        assert stats.removed == 0
+        assert count_inverters(out) == 0
+
+    def test_po_complement_considered(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        g = mig.add_maj(~a, ~b, ~c)
+        mig.add_po(~g)
+        # dual storage turns ~M(~a,~b,~c) into M(a,b,c): zero inverters
+        out, stats = minimize_inverters(mig)
+        assert stats.inverters_after == 0
+        assert_equivalent(mig, out)
+
+
+class TestCountInverters:
+    def test_counts_fanins_and_pos(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        g = mig.add_maj(~a, b, c)
+        mig.add_po(~g)
+        assert count_inverters(mig) == 2

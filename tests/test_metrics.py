@@ -1,0 +1,137 @@
+"""Unit tests for technology mapping metrics against Table II's model.
+
+The headline check: with the exact census the paper's rows imply, our
+metric formulas reproduce the published area/power/throughput numbers.
+"""
+
+import pytest
+
+from repro.core.wavepipe.components import NetlistStats
+from repro.errors import TechnologyError
+from repro.tech import NML, QCA, SWD, evaluate, evaluate_pair, gains
+
+
+def stats(
+    n_maj=0, n_buf=0, n_fog=0, n_inv=0, n_out=1, depth=1, n_in=1
+) -> NetlistStats:
+    return NetlistStats(
+        n_inputs=n_in,
+        n_maj=n_maj,
+        n_buf=n_buf,
+        n_fog=n_fog,
+        n_inverters=n_inv,
+        n_outputs=n_out,
+        depth=depth,
+    )
+
+
+class TestPaperRowsReproduced:
+    """Original-netlist rows of Table II from the recovered census."""
+
+    def test_qca_mul32_original(self):
+        # MUL32: size 9097, depth 36; inverter count implied by the area
+        census = stats(n_maj=9097, n_inv=7141, n_out=64, depth=36)
+        metrics = evaluate(census, QCA, pipelined=False)
+        assert metrics.area_um2 == pytest.approx(39.48, rel=0.01)
+        assert metrics.power_uw == pytest.approx(0.67, rel=0.02)
+        assert metrics.throughput_mops == pytest.approx(6944.44, rel=1e-4)
+
+    def test_nml_mul32_original(self):
+        census = stats(n_maj=9097, n_inv=7141, n_out=64, depth=36)
+        metrics = evaluate(census, NML, pipelined=False)
+        assert metrics.area_um2 == pytest.approx(248.28, rel=0.01)
+        # 5% tolerance: the paper's NML power column is internally ~4% off
+        # the inverter count its own area column implies
+        assert metrics.power_uw == pytest.approx(1.69e-2, rel=0.05)
+        assert metrics.throughput_mops == pytest.approx(1.39, rel=0.01)
+
+    def test_swd_sasc_original_power(self):
+        # SWD power is dominated by the per-output sense amplifier
+        census = stats(n_maj=622, n_inv=476, n_out=132, depth=6)
+        metrics = evaluate(census, SWD, pipelined=False)
+        assert metrics.power_uw == pytest.approx(141.43, rel=0.01)
+        assert metrics.throughput_mops == pytest.approx(396.83, rel=1e-4)
+
+    def test_qca_sasc_original(self):
+        census = stats(n_maj=622, n_inv=476, n_out=132, depth=6)
+        metrics = evaluate(census, QCA, pipelined=False)
+        assert metrics.area_um2 == pytest.approx(2.65, rel=0.01)
+        assert metrics.power_uw == pytest.approx(0.27, rel=0.03)
+
+    def test_wave_pipelined_throughputs(self):
+        census = stats(n_maj=100, n_out=4, depth=9)
+        assert evaluate(census, SWD, True).throughput_mops == pytest.approx(
+            793.65, abs=0.01
+        )
+        assert evaluate(census, QCA, True).throughput_mops == pytest.approx(
+            83333.33, abs=0.34
+        )
+        assert evaluate(census, NML, True).throughput_mops == pytest.approx(
+            16.67, abs=0.01
+        )
+
+    def test_swd_sasc_wp_power(self):
+        # WP SASC: depth 9; sense energy amortized over the longer latency
+        census = stats(n_maj=622, n_buf=1033, n_fog=230, n_inv=476,
+                       n_out=132, depth=9)
+        metrics = evaluate(census, SWD, pipelined=True)
+        assert metrics.power_uw == pytest.approx(94.29, rel=0.01)
+
+
+class TestGains:
+    def test_t_over_ratios(self):
+        before = evaluate(stats(n_maj=100, n_out=4, depth=12), SWD, False)
+        after = evaluate(
+            stats(n_maj=100, n_buf=200, n_out=4, depth=12), SWD, True
+        )
+        result = gains(before, after)
+        assert result.throughput == pytest.approx(4.0)  # 12 / 3
+        expected_ta = (
+            after.throughput_per_area / before.throughput_per_area
+        )
+        assert result.t_over_a == pytest.approx(expected_ta)
+
+    def test_gains_requires_matching_technology(self):
+        before = evaluate(stats(n_maj=10, depth=3), SWD, False)
+        after = evaluate(stats(n_maj=10, depth=3), QCA, True)
+        with pytest.raises(TechnologyError):
+            gains(before, after)
+
+    def test_gains_requires_mode_order(self):
+        first = evaluate(stats(n_maj=10, depth=3), SWD, True)
+        second = evaluate(stats(n_maj=10, depth=3), SWD, False)
+        with pytest.raises(TechnologyError):
+            gains(first, second)
+
+    def test_evaluate_pair(self):
+        original = stats(n_maj=50, n_out=2, depth=9)
+        pipelined = stats(n_maj=50, n_buf=60, n_fog=10, n_out=2, depth=12)
+        before, after, ratio = evaluate_pair(original, pipelined, NML)
+        assert not before.pipelined
+        assert after.pipelined
+        assert ratio.throughput == pytest.approx(
+            after.throughput_mops / before.throughput_mops
+        )
+
+
+class TestValidation:
+    def test_depth_zero_rejected(self):
+        with pytest.raises(TechnologyError):
+            evaluate(stats(n_maj=1, depth=0), SWD, False)
+
+    def test_accepts_netlist_directly(self, adder_mig):
+        from repro.core.wavepipe import WaveNetlist
+
+        netlist = WaveNetlist.from_mig(adder_mig)
+        metrics = evaluate(netlist, SWD, pipelined=False)
+        assert metrics.size == netlist.size
+        assert metrics.area_um2 > 0
+
+    def test_throughput_per_metrics(self):
+        metrics = evaluate(stats(n_maj=10, n_out=1, depth=5), QCA, False)
+        assert metrics.throughput_per_area == pytest.approx(
+            metrics.throughput_mops / metrics.area_um2
+        )
+        assert metrics.throughput_per_power == pytest.approx(
+            metrics.throughput_mops / metrics.power_uw
+        )

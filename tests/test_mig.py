@@ -1,0 +1,205 @@
+"""Unit tests for the Mig data structure."""
+
+import pytest
+
+from repro.core.mig import Mig, maj3
+from repro.core.signal import FALSE, TRUE, Signal
+from repro.core.simulate import truth_tables
+from repro.errors import MigError
+
+
+@pytest.fixture
+def simple():
+    mig = Mig("simple")
+    a, b, c = mig.add_pis(3)
+    out = mig.add_maj(a, b, c)
+    mig.add_po(out, "m")
+    return mig, (a, b, c), out
+
+
+class TestConstruction:
+    def test_constant_node_reserved(self):
+        mig = Mig()
+        assert mig.n_nodes == 1
+        assert mig.is_const(0)
+        assert mig.size == 0
+
+    def test_add_pi_counts(self):
+        mig = Mig()
+        mig.add_pis(4)
+        assert mig.n_pis == 4
+        assert mig.size == 0
+
+    def test_pi_names_default(self):
+        mig = Mig()
+        mig.add_pi()
+        mig.add_pi("clk")
+        assert mig.pi_names == ["pi0", "clk"]
+
+    def test_add_maj_creates_gate(self, simple):
+        mig, _, out = simple
+        assert mig.is_maj(out.node)
+        assert mig.size == 1
+
+    def test_add_po_returns_index(self, simple):
+        mig, (a, _, _), _ = simple
+        assert mig.add_po(a, "x") == 1
+        assert mig.n_pos == 2
+
+    def test_fanins_sorted(self, simple):
+        mig, (a, b, c), out = simple
+        assert list(mig.fanins(out.node)) == sorted(
+            [int(a), int(b), int(c)]
+        )
+
+    def test_fanins_of_pi_raises(self, simple):
+        mig, (a, _, _), _ = simple
+        with pytest.raises(MigError):
+            mig.fanins(a.node)
+
+    def test_signal_out_of_range_rejected(self):
+        mig = Mig()
+        with pytest.raises(MigError):
+            mig.add_po(Signal.of(99))
+
+
+class TestStructuralHashing:
+    def test_identical_gates_shared(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        assert mig.add_maj(a, b, c) == mig.add_maj(c, a, b)
+        assert mig.size == 1
+
+    def test_strash_disabled(self):
+        mig = Mig(use_strash=False)
+        a, b, c = mig.add_pis(3)
+        assert mig.add_maj(a, b, c) != mig.add_maj(a, b, c)
+        assert mig.size == 2
+
+
+class TestSimplification:
+    def test_duplicate_input(self):
+        mig = Mig()
+        a, b = mig.add_pis(2)
+        assert mig.add_maj(a, a, b) == a
+        assert mig.size == 0
+
+    def test_complement_pair(self):
+        mig = Mig()
+        a, b = mig.add_pis(2)
+        assert mig.add_maj(a, ~a, b) == b
+
+    def test_constant_pair(self):
+        mig = Mig()
+        a = mig.add_pi()
+        assert mig.add_maj(FALSE, TRUE, a) == a
+
+    def test_and_or_kept_as_gates(self):
+        mig = Mig()
+        a, b = mig.add_pis(2)
+        assert mig.is_maj(mig.add_and(a, b).node)
+        assert mig.is_maj(mig.add_or(a, b).node)
+
+
+class TestCompositeOperators:
+    def test_and_table(self):
+        mig = Mig()
+        a, b = mig.add_pis(2)
+        mig.add_po(mig.add_and(a, b))
+        assert truth_tables(mig) == [0b1000]
+
+    def test_or_table(self):
+        mig = Mig()
+        a, b = mig.add_pis(2)
+        mig.add_po(mig.add_or(a, b))
+        assert truth_tables(mig) == [0b1110]
+
+    def test_xor_table(self):
+        mig = Mig()
+        a, b = mig.add_pis(2)
+        mig.add_po(mig.add_xor(a, b))
+        assert truth_tables(mig) == [0b0110]
+
+    def test_mux_table(self):
+        mig = Mig()
+        s, t, e = mig.add_pis(3)
+        mig.add_po(mig.add_mux(s, t, e))
+        # pattern bit order: s = x0, t = x1, e = x2
+        expected = 0
+        for p in range(8):
+            sv, tv, ev = p & 1, (p >> 1) & 1, (p >> 2) & 1
+            if (tv if sv else ev):
+                expected |= 1 << p
+        assert truth_tables(mig) == [expected]
+
+    def test_maj_n_five_inputs(self):
+        mig = Mig()
+        sigs = mig.add_pis(5)
+        mig.add_po(mig.add_maj_n(sigs))
+        (table,) = truth_tables(mig)
+        for p in range(32):
+            ones = bin(p).count("1")
+            assert bool((table >> p) & 1) == (ones >= 3)
+
+    def test_maj_n_rejects_even(self):
+        mig = Mig()
+        sigs = mig.add_pis(4)
+        with pytest.raises(MigError):
+            mig.add_maj_n(sigs)
+
+    def test_maj_n_single(self):
+        mig = Mig()
+        (a,) = mig.add_pis(1)
+        assert mig.add_maj_n([a]) == a
+
+
+class TestWholeGraphOperations:
+    def test_clone_independent(self, simple):
+        mig, _, _ = simple
+        copy = mig.clone()
+        copy.add_pi("extra")
+        assert mig.n_pis == 3
+        assert copy.n_pis == 4
+
+    def test_cleanup_removes_dangling(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        keep = mig.add_maj(a, b, c)
+        mig.add_and(a, b)  # dangling
+        mig.add_po(keep)
+        assert mig.size == 2
+        compact = mig.cleanup()
+        assert compact.size == 1
+        assert truth_tables(compact) == truth_tables(mig)
+
+    def test_cleanup_preserves_interface(self, simple):
+        mig, _, _ = simple
+        compact = mig.cleanup()
+        assert compact.pi_names == mig.pi_names
+        assert compact.po_names == mig.po_names
+
+    def test_dangling_gates_listed(self):
+        mig = Mig()
+        a, b = mig.add_pis(2)
+        dead = mig.add_and(a, b)
+        mig.add_po(a)
+        assert mig.dangling_gates() == [dead.node]
+
+    def test_complemented_fanin_count(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        out = mig.add_maj(~a, ~b, c)
+        mig.add_po(~out)
+        assert mig.complemented_fanin_count() == 3
+
+    def test_repr(self, simple):
+        mig, _, _ = simple
+        assert "size=1" in repr(mig)
+
+
+class TestMaj3Helper:
+    @pytest.mark.parametrize(
+        "a,b,c", [(x, y, z) for x in (0, 1) for y in (0, 1) for z in (0, 1)]
+    )
+    def test_matches_definition(self, a, b, c):
+        assert maj3(bool(a), bool(b), bool(c)) == (a + b + c >= 2)

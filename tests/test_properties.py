@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies generate small random MIGs; the properties are the formal
+guarantees of the paper's algorithms:
+
+* buffer insertion balances every path and preserves function;
+* fan-out restriction bounds fan-out, preserves function, and uses no
+  fewer FOGs than the capacity bound;
+* the combined flow satisfies everything at once and the wave simulator
+  retires coherent waves that match the golden model;
+* MIG rewriting, inverter minimization, and the I/O round-trips preserve
+  function.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import check_equivalence
+from repro.core.inversion import count_inverters, minimize_inverters
+from repro.core.mig import Mig
+from repro.core.rewrite import optimize_depth, optimize_size
+from repro.core.simulate import truth_tables
+from repro.core.view import depth_of
+from repro.core.wavepipe import (
+    WaveNetlist,
+    check_balanced,
+    check_fanout,
+    golden_outputs,
+    insert_buffers,
+    min_fogs,
+    restrict_fanout,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.io.blif import dumps_blif, loads_blif
+from repro.io.migfile import dumps, loads
+
+
+@st.composite
+def migs(draw, max_pis: int = 5, max_gates: int = 24):
+    """Random small MIG with complemented edges and constant fan-ins."""
+    n_pis = draw(st.integers(3, max_pis))
+    n_gates = draw(st.integers(1, max_gates))
+    seed = draw(st.integers(0, 2**20))
+    rng = random.Random(seed)
+    mig = Mig(f"hyp_{seed}")
+    signals = list(mig.add_pis(n_pis)) + [
+        mig._check_signal(0), mig._check_signal(1)
+    ]
+    guard = 0
+    while mig.size < n_gates and guard < n_gates * 10:
+        guard += 1
+        picks = rng.sample(signals, 3)
+        fanins = [~s if rng.random() < 0.3 else s for s in picks]
+        signals.append(mig.add_maj(*fanins))
+    n_pos = rng.randint(1, 4)
+    for _ in range(n_pos):
+        sig = rng.choice(signals)
+        mig.add_po(~sig if rng.random() < 0.3 else sig)
+    return mig
+
+
+def _equivalent(netlist: WaveNetlist, reference: Mig) -> bool:
+    return bool(check_equivalence(netlist.to_mig(), reference))
+
+
+class TestBufferInsertionProperties:
+    @given(migs())
+    @settings(max_examples=40, deadline=None)
+    def test_balances_and_preserves_function(self, mig):
+        netlist = WaveNetlist.from_mig(mig)
+        result = insert_buffers(netlist)
+        assert check_balanced(result.netlist) == []
+        assert _equivalent(result.netlist, mig)
+
+    @given(migs())
+    @settings(max_examples=30, deadline=None)
+    def test_depth_never_changes(self, mig):
+        netlist = WaveNetlist.from_mig(mig)
+        result = insert_buffers(netlist)
+        assert result.depth_after == result.depth_before
+
+    @given(migs())
+    @settings(max_examples=30, deadline=None)
+    def test_second_pass_is_noop(self, mig):
+        once = insert_buffers(WaveNetlist.from_mig(mig))
+        twice = insert_buffers(once.netlist)
+        assert twice.buffers_added == 0
+
+
+class TestFanoutRestrictionProperties:
+    @given(migs(), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_bounds_fanout_and_preserves_function(self, mig, limit):
+        netlist = WaveNetlist.from_mig(mig)
+        result = restrict_fanout(netlist, limit)
+        assert check_fanout(result.netlist, limit) == []
+        assert _equivalent(result.netlist, mig)
+
+    @given(migs(), st.integers(2, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_fog_count_meets_capacity_bound(self, mig, limit):
+        netlist = WaveNetlist.from_mig(mig)
+        counts = netlist.fanout_counts()
+        expected = sum(
+            min_fogs(count, limit) for count in counts[1:]
+        )
+        result = restrict_fanout(netlist, limit)
+        assert result.fogs_added == expected
+
+
+class TestFlowProperties:
+    @given(migs(), st.integers(2, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_full_flow_invariants(self, mig, limit):
+        result = wave_pipeline(mig, fanout_limit=limit, verify=False)
+        assert check_balanced(result.netlist) == []
+        assert check_fanout(result.netlist, limit) == []
+        assert _equivalent(result.netlist, mig)
+
+    @given(migs())
+    @settings(max_examples=10, deadline=None)
+    def test_waves_match_golden_model(self, mig):
+        result = wave_pipeline(mig, fanout_limit=3, verify=False)
+        if result.netlist.depth() == 0:
+            return
+        rng = random.Random(1)
+        vectors = [
+            [rng.random() < 0.5 for _ in range(mig.n_pis)] for _ in range(4)
+        ]
+        report = simulate_waves(result.netlist, vectors)
+        assert report.coherent
+        assert report.outputs == golden_outputs(result.netlist, vectors)
+
+
+class TestRewritingProperties:
+    @given(migs())
+    @settings(max_examples=30, deadline=None)
+    def test_optimize_size_preserves_function(self, mig):
+        assert truth_tables(optimize_size(mig)) == truth_tables(mig)
+
+    @given(migs())
+    @settings(max_examples=20, deadline=None)
+    def test_optimize_depth_preserves_and_never_worsens(self, mig):
+        optimized, _ = optimize_depth(mig)
+        assert truth_tables(optimized) == truth_tables(mig)
+        assert depth_of(optimized) <= depth_of(mig)
+
+    @given(migs())
+    @settings(max_examples=30, deadline=None)
+    def test_inverter_minimization(self, mig):
+        out, stats = minimize_inverters(mig)
+        assert truth_tables(out) == truth_tables(mig)
+        assert count_inverters(out) <= count_inverters(mig)
+        assert stats.inverters_after <= stats.inverters_before
+
+
+class TestIoProperties:
+    @given(migs())
+    @settings(max_examples=25, deadline=None)
+    def test_migfile_round_trip(self, mig):
+        assert truth_tables(loads(dumps(mig))) == truth_tables(mig)
+
+    @given(migs())
+    @settings(max_examples=25, deadline=None)
+    def test_blif_round_trip(self, mig):
+        assert truth_tables(loads_blif(dumps_blif(mig))) == truth_tables(mig)

@@ -1,0 +1,100 @@
+"""Unit tests for MIG algebraic rewriting (depth/size optimization)."""
+
+import pytest
+
+from repro.core.equivalence import assert_equivalent
+from repro.core.mig import Mig
+from repro.core.rewrite import optimize, optimize_depth, optimize_size
+from repro.core.view import depth_of
+
+
+def _deep_and_chain(n: int) -> Mig:
+    """AND of n inputs built as a linear (depth n-1) chain."""
+    mig = Mig("and_chain")
+    sigs = mig.add_pis(n)
+    acc = sigs[0]
+    for sig in sigs[1:]:
+        acc = mig.add_and(acc, sig)
+    mig.add_po(acc)
+    return mig
+
+
+def _fig1_example() -> Mig:
+    """The AOIG-derived MIG of Fig. 1: f = x3 AND (x0 OR x1) AND (x0 OR x2)."""
+    mig = Mig("fig1")
+    x0, x1, x2, x3 = mig.add_pis(4)
+    or1 = mig.add_or(x0, x1)
+    or2 = mig.add_or(x0, x2)
+    both = mig.add_and(or1, or2)
+    mig.add_po(mig.add_and(both, x3))
+    return mig
+
+
+class TestOptimizeSize:
+    def test_removes_dangling_and_shares(self):
+        mig = Mig(use_strash=False)
+        a, b, c = mig.add_pis(3)
+        g1 = mig.add_maj(a, b, c)
+        g2 = mig.add_maj(a, b, c)  # duplicate (no strash)
+        mig.add_maj(a, b, ~c)  # dangling
+        mig.add_po(mig.add_maj(g1, g2, a))
+        assert mig.size == 4
+        out = optimize_size(mig)
+        # duplicate merges, then M(g, g, a) = g simplifies, dangling dropped
+        assert out.size == 1
+        assert_equivalent(mig, out)
+
+    def test_idempotent_on_clean_graph(self):
+        mig = _fig1_example()
+        once = optimize_size(mig)
+        twice = optimize_size(once)
+        assert once.size == twice.size
+
+
+class TestOptimizeDepth:
+    def test_preserves_function_on_chain(self):
+        mig = _deep_and_chain(8)
+        out, stats = optimize_depth(mig)
+        assert_equivalent(mig, out)
+        assert stats.depth_after <= stats.depth_before
+
+    def test_reduces_and_chain_depth(self):
+        mig = _deep_and_chain(8)
+        out, stats = optimize_depth(mig, rounds=8)
+        # a linear chain of 7 ANDs can be rebalanced towards log depth
+        assert depth_of(out) < depth_of(mig)
+
+    def test_stats_consistency(self):
+        mig = _deep_and_chain(6)
+        out, stats = optimize_depth(mig)
+        assert stats.depth_before == depth_of(mig)
+        assert stats.depth_after == depth_of(out)
+        assert stats.depth_gain == stats.depth_before - stats.depth_after
+
+    def test_no_change_on_single_gate(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        mig.add_po(mig.add_maj(a, b, c))
+        out, stats = optimize_depth(mig)
+        assert depth_of(out) == 1
+        assert stats.depth_gain == 0
+
+    def test_fig1_example_depth(self):
+        mig = _fig1_example()
+        out, _ = optimize_depth(mig, rounds=8)
+        assert_equivalent(mig, out)
+        assert depth_of(out) <= depth_of(mig)
+
+
+class TestOptimizeRecipe:
+    @pytest.mark.parametrize("n", [4, 6, 10])
+    def test_equivalence_preserved(self, n):
+        mig = _deep_and_chain(n)
+        out = optimize(mig)
+        assert_equivalent(mig, out)
+
+    def test_interface_preserved(self):
+        mig = _fig1_example()
+        out = optimize(mig)
+        assert out.n_pis == mig.n_pis
+        assert out.po_names == mig.po_names

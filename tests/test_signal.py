@@ -1,0 +1,91 @@
+"""Unit tests for the literal/Signal encoding."""
+
+import pytest
+
+from repro.core.signal import (
+    CONST0,
+    CONST1,
+    FALSE,
+    TRUE,
+    Signal,
+    literal_complemented,
+    literal_negate,
+    literal_node,
+    literal_regular,
+    make_literal,
+)
+from repro.errors import MigError
+
+
+class TestLiteralFunctions:
+    def test_make_literal_regular(self):
+        assert make_literal(3) == 6
+
+    def test_make_literal_complemented(self):
+        assert make_literal(3, True) == 7
+
+    def test_make_literal_rejects_negative_node(self):
+        with pytest.raises(MigError):
+            make_literal(-1)
+
+    def test_literal_node(self):
+        assert literal_node(7) == 3
+
+    def test_literal_node_rejects_negative(self):
+        with pytest.raises(MigError):
+            literal_node(-2)
+
+    def test_literal_complemented(self):
+        assert literal_complemented(7)
+        assert not literal_complemented(6)
+
+    def test_literal_complemented_rejects_negative(self):
+        with pytest.raises(MigError):
+            literal_complemented(-1)
+
+    def test_negate_round_trip(self):
+        assert literal_negate(literal_negate(6)) == 6
+
+    def test_regular_strips_complement(self):
+        assert literal_regular(7) == 6
+        assert literal_regular(6) == 6
+
+
+class TestSignal:
+    def test_of_builds_literal(self):
+        assert int(Signal.of(5)) == 10
+        assert int(Signal.of(5, True)) == 11
+
+    def test_node_accessor(self):
+        assert Signal.of(5, True).node == 5
+
+    def test_complemented_accessor(self):
+        assert Signal.of(5, True).complemented
+        assert not Signal.of(5).complemented
+
+    def test_invert_flips_only_complement(self):
+        sig = Signal.of(9)
+        assert (~sig).node == 9
+        assert (~sig).complemented
+        assert ~~sig == sig
+
+    def test_regular_property(self):
+        assert Signal.of(4, True).regular == Signal.of(4)
+
+    def test_xor_with_bool(self):
+        sig = Signal.of(2)
+        assert (sig ^ True) == ~sig
+        assert (sig ^ False) == sig
+
+    def test_constants(self):
+        assert int(FALSE) == CONST0
+        assert int(TRUE) == CONST1
+        assert ~FALSE == TRUE
+
+    def test_signal_is_int(self):
+        assert isinstance(Signal.of(1), int)
+
+    def test_repr_mentions_complement(self):
+        assert "~" in repr(Signal.of(3, True))
+        assert repr(FALSE) == "Signal(0)"
+        assert repr(TRUE) == "Signal(1)"

@@ -1,0 +1,179 @@
+"""Unit tests for the benchmark suite table and the real circuits."""
+
+import pytest
+
+from repro.core.simulate import simulate_vectors, truth_tables
+from repro.core.view import depth_of
+from repro.errors import GenerationError
+from repro.suite import (
+    FIG7_SUITE,
+    QUICK_SUITE,
+    SUITE,
+    TABLE2_SUITE,
+    array_multiplier,
+    build_benchmark,
+    comparator,
+    get_benchmark,
+    hamming_corrector,
+    hamming_encoder,
+    majority_voter,
+    mux_tree,
+    parity_tree,
+    popcount,
+    ripple_carry_adder,
+)
+
+
+class TestSuiteTable:
+    def test_has_37_benchmarks(self):
+        assert len(SUITE) == 37
+
+    def test_names_unique(self):
+        names = [spec.name for spec in SUITE]
+        assert len(set(names)) == 37
+
+    def test_seeds_unique(self):
+        seeds = [spec.seed for spec in SUITE]
+        assert len(set(seeds)) == 37
+
+    def test_table2_members(self):
+        names = {spec.name for spec in TABLE2_SUITE}
+        assert names == {
+            "sasc", "des_area", "mul32", "hamming", "mul64", "revx",
+            "diffeq1",
+        }
+
+    def test_table2_published_profiles(self):
+        published = {
+            "sasc": (622, 6),
+            "des_area": (4187, 22),
+            "mul32": (9097, 36),
+            "hamming": (2072, 61),
+            "mul64": (25773, 109),
+            "revx": (7517, 143),
+            "diffeq1": (17726, 219),
+        }
+        for spec in TABLE2_SUITE:
+            assert (spec.size, spec.depth) == published[spec.name]
+
+    def test_fig7_depth_anchors(self):
+        depths = [spec.depth for spec in FIG7_SUITE]
+        assert depths == [6, 8, 15, 18, 19, 34, 77, 201]
+
+    def test_quick_suite_is_small_subset(self):
+        assert set(QUICK_SUITE) <= set(SUITE)
+        assert all(spec.size <= 3500 for spec in QUICK_SUITE)
+
+    def test_lookup(self):
+        assert get_benchmark("sasc").size == 622
+        with pytest.raises(GenerationError):
+            get_benchmark("warp_core")
+
+    @pytest.mark.parametrize(
+        "name", [spec.name for spec in SUITE if spec.size <= 1000]
+    )
+    def test_small_benchmarks_hit_targets(self, name):
+        spec = get_benchmark(name)
+        mig = build_benchmark(name)
+        assert mig.size == spec.size
+        assert depth_of(mig) == spec.depth
+        assert mig.n_pis == spec.n_pis
+        assert mig.n_pos == spec.n_pos
+        assert mig.dangling_gates() == []
+
+    def test_build_benchmark_memoized(self):
+        assert build_benchmark("ctrl") is build_benchmark("ctrl")
+
+
+class TestCircuits:
+    def test_adder_small_exhaustive(self):
+        mig = ripple_carry_adder(2)
+        for a in range(4):
+            for b in range(4):
+                for cin in (0, 1):
+                    vec = (
+                        [bool((a >> i) & 1) for i in range(2)]
+                        + [bool((b >> i) & 1) for i in range(2)]
+                        + [bool(cin)]
+                    )
+                    out = simulate_vectors(mig, [vec])[0]
+                    value = sum(1 << i for i in range(3) if out[i])
+                    assert value == a + b + cin
+
+    def test_multiplier_exhaustive(self):
+        mig = array_multiplier(3)
+        for a in range(8):
+            for b in range(8):
+                vec = [bool((a >> i) & 1) for i in range(3)] + [
+                    bool((b >> i) & 1) for i in range(3)
+                ]
+                out = simulate_vectors(mig, [vec])[0]
+                value = sum(1 << i for i in range(6) if out[i])
+                assert value == a * b
+
+    def test_hamming_corrects_any_single_error(self):
+        encoder, corrector = hamming_encoder(), hamming_corrector()
+        for data in range(16):
+            vec = [bool((data >> i) & 1) for i in range(4)]
+            code = simulate_vectors(encoder, [vec])[0]
+            for flip in range(7):
+                noisy = list(code)
+                noisy[flip] = not noisy[flip]
+                decoded = simulate_vectors(corrector, [noisy])[0]
+                value = sum(1 << i for i in range(4) if decoded[i])
+                assert value == data
+
+    def test_voter_is_threshold(self):
+        (table,) = truth_tables(majority_voter(7))
+        for p in range(128):
+            assert bool((table >> p) & 1) == (bin(p).count("1") >= 4)
+
+    def test_parity(self):
+        (table,) = truth_tables(parity_tree(5))
+        for p in range(32):
+            assert bool((table >> p) & 1) == (bin(p).count("1") % 2 == 1)
+
+    def test_comparator(self):
+        mig = comparator(3)
+        for a in range(8):
+            for b in range(8):
+                vec = [bool((a >> i) & 1) for i in range(3)] + [
+                    bool((b >> i) & 1) for i in range(3)
+                ]
+                lt, eq, gt = simulate_vectors(mig, [vec])[0]
+                assert (lt, eq, gt) == (a < b, a == b, a > b)
+
+    def test_mux(self):
+        mig = mux_tree(3)
+        for sel in range(8):
+            for bit in (0, 1):
+                data = bit << sel
+                vec = [bool((data >> i) & 1) for i in range(8)] + [
+                    bool((sel >> i) & 1) for i in range(3)
+                ]
+                (y,) = simulate_vectors(mig, [vec])[0]
+                assert y == bool(bit)
+
+    def test_popcount(self):
+        mig = popcount(6)
+        for p in range(64):
+            vec = [bool((p >> i) & 1) for i in range(6)]
+            out = simulate_vectors(mig, [vec])[0]
+            value = sum(1 << i for i in range(len(out)) if out[i])
+            assert value == bin(p).count("1")
+
+    def test_validation(self):
+        with pytest.raises(GenerationError):
+            ripple_carry_adder(0)
+        with pytest.raises(GenerationError):
+            majority_voter(4)
+        with pytest.raises(GenerationError):
+            mux_tree(0)
+        with pytest.raises(GenerationError):
+            popcount(0)
+        with pytest.raises(GenerationError):
+            comparator(0)
+        with pytest.raises(GenerationError):
+            parity_tree(1)
+        with pytest.raises(GenerationError):
+            array_multiplier(0)

@@ -1,0 +1,135 @@
+"""Unit tests for the technology models (Table I constants)."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import (
+    NML,
+    QCA,
+    SWD,
+    TECHNOLOGIES,
+    ComponentCosts,
+    Technology,
+    get_technology,
+)
+
+
+class TestComponentCosts:
+    def test_weighted_sum(self):
+        costs = ComponentCosts(inv=1, maj=3, buf=1, fog=3)
+        assert costs.weighted(n_inv=2, n_maj=4, n_buf=5, n_fog=1) == 22
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(TechnologyError):
+            ComponentCosts(inv=0, maj=1, buf=1, fog=1)
+
+
+class TestTableOneConstants:
+    def test_swd_cell(self):
+        assert SWD.cell_area_um2 == 0.002304
+        assert SWD.cell_delay_ns == 0.42
+        assert SWD.cell_energy_fj == 1.44e-8
+
+    def test_swd_relative(self):
+        assert (SWD.area.inv, SWD.area.maj, SWD.area.buf, SWD.area.fog) == (
+            2, 5, 2, 5,
+        )
+        assert SWD.delay.maj == 1
+        assert (SWD.energy.inv, SWD.energy.maj) == (1, 3)
+
+    def test_qca_cell(self):
+        assert QCA.cell_area_um2 == 0.0004
+        assert QCA.cell_delay_ns == 0.0012
+        assert QCA.cell_energy_fj == 9.80e-7
+
+    def test_qca_relative(self):
+        assert QCA.area.inv == 10
+        assert QCA.delay.inv == 7
+        assert QCA.energy.buf == 1
+
+    def test_nml_cell(self):
+        assert NML.cell_area_um2 == 0.0098
+        assert NML.cell_delay_ns == 10.0
+        assert NML.cell_energy_fj == 5.00e-4
+
+    def test_nml_relative_uniform(self):
+        for costs in (NML.area, NML.delay, NML.energy):
+            assert (costs.inv, costs.maj, costs.buf, costs.fog) == (1, 2, 2, 2)
+
+    def test_three_builtins(self):
+        assert tuple(t.name for t in TECHNOLOGIES) == ("SWD", "QCA", "NML")
+
+
+class TestLevelDelay:
+    def test_calibrated_level_delays(self):
+        # recovered from the Table II throughput columns (DESIGN.md §4)
+        assert SWD.level_delay_ns == pytest.approx(0.42)
+        assert QCA.level_delay_ns == pytest.approx(0.004)
+        assert NML.level_delay_ns == pytest.approx(20.0)
+
+    def test_default_level_delay_is_slowest_component(self):
+        tech = Technology(
+            name="custom",
+            cell_area_um2=1.0,
+            cell_delay_ns=2.0,
+            cell_energy_fj=1.0,
+            area=ComponentCosts(1, 1, 1, 1),
+            delay=ComponentCosts(inv=9, maj=3, buf=1, fog=2),
+            energy=ComponentCosts(1, 1, 1, 1),
+        )
+        # INV does not clock a level; MAJ=3 dominates
+        assert tech.effective_level_delay_units == 3
+        assert tech.level_delay_ns == 6.0
+
+
+class TestAreaEnergy:
+    def test_area_formula(self):
+        # 2 MAJ + 1 BUF + 1 inverter on SWD
+        area = SWD.area_um2(n_inv=1, n_maj=2, n_buf=1, n_fog=0)
+        assert area == pytest.approx((2 + 10 + 2) * 0.002304)
+
+    def test_energy_includes_sense_amplifier(self):
+        energy = SWD.energy_fj(n_inv=0, n_maj=1, n_buf=0, n_fog=0, n_outputs=2)
+        assert energy == pytest.approx(3 * 1.44e-8 + 2 * 2.7)
+
+    def test_qca_nml_have_no_sense_term(self):
+        assert QCA.sense_energy_fj == 0.0
+        assert NML.sense_energy_fj == 0.0
+
+
+class TestValidation:
+    def test_lookup(self):
+        assert get_technology("swd") is SWD
+        assert get_technology("QCA") is QCA
+
+    def test_unknown_lookup(self):
+        with pytest.raises(TechnologyError):
+            get_technology("cmos")
+
+    def test_rejects_bad_cell_constants(self):
+        with pytest.raises(TechnologyError):
+            Technology(
+                name="bad",
+                cell_area_um2=0.0,
+                cell_delay_ns=1.0,
+                cell_energy_fj=1.0,
+                area=ComponentCosts(1, 1, 1, 1),
+                delay=ComponentCosts(1, 1, 1, 1),
+                energy=ComponentCosts(1, 1, 1, 1),
+            )
+
+    def test_rejects_negative_sense_energy(self):
+        with pytest.raises(TechnologyError):
+            Technology(
+                name="bad",
+                cell_area_um2=1.0,
+                cell_delay_ns=1.0,
+                cell_energy_fj=1.0,
+                area=ComponentCosts(1, 1, 1, 1),
+                delay=ComponentCosts(1, 1, 1, 1),
+                energy=ComponentCosts(1, 1, 1, 1),
+                sense_energy_fj=-1.0,
+            )
+
+    def test_str(self):
+        assert str(SWD) == "SWD"

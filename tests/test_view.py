@@ -1,0 +1,144 @@
+"""Unit tests for MigView (levels, fan-out, base distances)."""
+
+import pytest
+
+from repro.core.mig import Mig
+from repro.core.view import MigView, depth_of, is_balanced
+
+
+@pytest.fixture
+def chain():
+    """A 3-gate chain: g1 = M(a,b,c); g2 = M(g1,b,c); g3 = M(g2,b,c)."""
+    mig = Mig("chain")
+    a, b, c = mig.add_pis(3)
+    g1 = mig.add_maj(a, b, c)
+    g2 = mig.add_maj(g1, b, c)
+    g3 = mig.add_maj(g2, b, c)
+    mig.add_po(g3)
+    return mig, (a, b, c), (g1, g2, g3)
+
+
+class TestLevels:
+    def test_pi_level_zero(self, chain):
+        mig, (a, _, _), _ = chain
+        assert MigView(mig).level(a.node) == 0
+
+    def test_chain_levels(self, chain):
+        mig, _, (g1, g2, g3) = chain
+        view = MigView(mig)
+        assert view.level(g1.node) == 1
+        assert view.level(g2.node) == 2
+        assert view.level(g3.node) == 3
+
+    def test_depth(self, chain):
+        mig, _, _ = chain
+        assert depth_of(mig) == 3
+
+    def test_depth_empty_pos(self):
+        assert depth_of(Mig()) == 0
+
+    def test_max_xbd_is_level_minus_one(self, chain):
+        mig, _, (g1, g2, _) = chain
+        view = MigView(mig)
+        assert view.max_xbd(g2.node) == view.level(g2.node) - 1
+
+    def test_max_xbd_of_pi_is_zero(self, chain):
+        mig, (a, _, _), _ = chain
+        assert MigView(mig).max_xbd(a.node) == 0
+
+    def test_weighted_levels(self, chain):
+        mig, _, (g1, g2, g3) = chain
+        view = MigView(mig, delay_of=lambda node: 2)
+        assert view.level(g3.node) == 6
+
+
+class TestFanout:
+    def test_fanout_lists_consumers(self, chain):
+        mig, (_, b, _), (g1, g2, g3) = chain
+        view = MigView(mig)
+        assert set(view.fanout(b.node)) == {g1.node, g2.node, g3.node}
+        assert view.fanout(g1.node) == [g2.node]
+
+    def test_fanout_size_counts_pos(self, chain):
+        mig, _, (_, _, g3) = chain
+        view = MigView(mig)
+        assert view.fanout_size(g3.node) == 0
+        assert view.fanout_size(g3.node, count_pos=True) == 1
+
+    def test_max_fanout(self, chain):
+        mig, _, _ = chain
+        assert MigView(mig).max_fanout() == 3  # b and c feed all gates
+
+    def test_duplicate_edges_counted(self):
+        mig = Mig()
+        a, b = mig.add_pis(2)
+        g = mig.add_and(a, b)  # M(a, b, 0)
+        h = mig.add_maj(g, ~g, b)  # simplifies; build one keeping dup edges
+        mig.add_po(mig.add_maj(g, a, b))
+        view = MigView(mig)
+        assert view.fanout_size(g.node) == 1
+
+
+class TestCriticalNodes:
+    def test_chain_fully_critical(self, chain):
+        mig, _, (g1, g2, g3) = chain
+        critical = MigView(mig).critical_nodes()
+        assert critical == {g1.node, g2.node, g3.node}
+
+    def test_off_path_node_not_critical(self):
+        mig = Mig()
+        a, b, c, d = mig.add_pis(4)
+        deep1 = mig.add_maj(a, b, c)
+        deep2 = mig.add_maj(deep1, b, c)
+        shallow = mig.add_and(a, d)
+        mig.add_po(mig.add_maj(deep2, shallow, d))
+        critical = MigView(mig).critical_nodes()
+        assert shallow.node not in critical
+        assert deep1.node in critical
+
+
+class TestDistances:
+    def test_distance_set_chain(self, chain):
+        mig, _, (g1, _, g3) = chain
+        view = MigView(mig)
+        assert view.distance_set(g1.node, g3.node) == {2}
+
+    def test_base_distance_set(self, chain):
+        mig, _, (_, g2, _) = chain
+        view = MigView(mig)
+        assert view.base_distance_set(g2.node) == {1, 2}
+
+    def test_level_histogram(self, chain):
+        mig, _, _ = chain
+        assert MigView(mig).level_histogram() == {1: 1, 2: 1, 3: 1}
+
+
+class TestBalance:
+    def test_chain_balanced_when_single_path(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        g = mig.add_maj(a, b, c)
+        mig.add_po(g)
+        assert is_balanced(mig)
+
+    def test_unbalanced_reconvergence(self, chain):
+        mig, _, _ = chain
+        # b reaches g2 directly (length 1) and through g1 (length 2)
+        assert not is_balanced(mig)
+
+    def test_constant_fanin_exempt(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        inner = mig.add_maj(a, b, c)
+        outer = mig.add_and(inner, c)  # const edge at level 0 is exempt...
+        mig.add_po(outer)
+        # ...but c at level 0 feeding a level-2 gate is a real imbalance.
+        assert not is_balanced(mig)
+
+    def test_po_levels_must_match(self):
+        mig = Mig()
+        a, b, c = mig.add_pis(3)
+        g = mig.add_maj(a, b, c)
+        mig.add_po(g)
+        mig.add_po(a)  # PO at level 0 vs level 1
+        assert not is_balanced(mig)

@@ -1,0 +1,115 @@
+"""Unit tests for the phase-accurate wave simulator (the Fig. 4 model)."""
+
+import random
+
+import pytest
+
+from repro.core.wavepipe import (
+    ClockingScheme,
+    WaveNetlist,
+    golden_outputs,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.errors import SimulationError
+
+from helpers import build_adder_mig, build_random_mig
+
+
+def _vectors(n_inputs: int, n_waves: int, seed: int = 0):
+    rng = random.Random(seed)
+    return [
+        [rng.random() < 0.5 for _ in range(n_inputs)] for _ in range(n_waves)
+    ]
+
+
+@pytest.fixture(scope="module")
+def pipelined_adder():
+    mig = build_adder_mig(3)
+    return wave_pipeline(mig, fanout_limit=3).netlist
+
+
+class TestCoherentOperation:
+    def test_outputs_match_golden(self, pipelined_adder):
+        vectors = _vectors(pipelined_adder.n_inputs, 8)
+        report = simulate_waves(pipelined_adder, vectors)
+        assert report.outputs == golden_outputs(pipelined_adder, vectors)
+
+    def test_no_interference_on_balanced(self, pipelined_adder):
+        vectors = _vectors(pipelined_adder.n_inputs, 8)
+        report = simulate_waves(pipelined_adder, vectors)
+        assert report.coherent
+        assert report.interference == []
+
+    def test_every_wave_retires(self, pipelined_adder):
+        vectors = _vectors(pipelined_adder.n_inputs, 5)
+        report = simulate_waves(pipelined_adder, vectors)
+        assert report.waves_injected == 5
+        assert report.waves_retired == 5
+
+    def test_latency_equals_depth(self, pipelined_adder):
+        report = simulate_waves(
+            pipelined_adder, _vectors(pipelined_adder.n_inputs, 2)
+        )
+        assert report.latency_steps == pipelined_adder.depth()
+
+    def test_throughput_approaches_one_third(self, pipelined_adder):
+        # with many waves, retirement rate tends to 1 per 3 phases
+        vectors = _vectors(pipelined_adder.n_inputs, 60)
+        report = simulate_waves(pipelined_adder, vectors)
+        assert report.measured_throughput() == pytest.approx(1 / 3, rel=0.15)
+
+    def test_pipelined_beats_sequential(self, pipelined_adder):
+        vectors = _vectors(pipelined_adder.n_inputs, 30)
+        pipelined = simulate_waves(pipelined_adder, vectors, pipelined=True)
+        sequential = simulate_waves(pipelined_adder, vectors, pipelined=False)
+        assert pipelined.steps_run < sequential.steps_run
+        assert sequential.outputs == pipelined.outputs
+
+
+class TestIncoherentOperation:
+    def test_unbalanced_interferes(self):
+        mig = build_random_mig(seed=11, n_gates=40)
+        netlist = WaveNetlist.from_mig(mig)
+        vectors = _vectors(netlist.n_inputs, 10, seed=1)
+        report = simulate_waves(netlist, vectors)
+        assert not report.coherent
+
+    def test_strict_mode_raises(self):
+        mig = build_random_mig(seed=11, n_gates=40)
+        netlist = WaveNetlist.from_mig(mig)
+        vectors = _vectors(netlist.n_inputs, 10, seed=1)
+        with pytest.raises(SimulationError):
+            simulate_waves(netlist, vectors, strict=True)
+
+    def test_unbalanced_safe_when_sequential(self):
+        # without pipelining, even an unbalanced netlist computes correctly
+        # once warm (each wave fully propagates before the next entry)...
+        mig = build_adder_mig(2)
+        netlist = WaveNetlist.from_mig(mig)
+        vectors = _vectors(netlist.n_inputs, 6, seed=2)
+        report = simulate_waves(netlist, vectors, pipelined=False)
+        assert report.outputs == golden_outputs(netlist, vectors)
+
+
+class TestValidation:
+    def test_wrong_vector_width(self, pipelined_adder):
+        with pytest.raises(SimulationError):
+            simulate_waves(pipelined_adder, [[True]])
+
+    def test_depth_zero_rejected(self):
+        netlist = WaveNetlist()
+        netlist.add_output(netlist.add_input())
+        with pytest.raises(SimulationError):
+            simulate_waves(netlist, [[True]])
+
+    def test_alternate_phase_counts(self):
+        mig = build_adder_mig(2)
+        netlist = wave_pipeline(mig, fanout_limit=3).netlist
+        vectors = _vectors(netlist.n_inputs, 6)
+        for phases in (2, 4):
+            report = simulate_waves(
+                netlist, vectors, clocking=ClockingScheme(phases)
+            )
+            assert report.outputs == golden_outputs(netlist, vectors)
+            assert report.coherent
