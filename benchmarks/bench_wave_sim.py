@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""JSON benchmark: scalar vs bit-packed wave-simulation engines.
+
+Runs both engines of :func:`repro.core.wavepipe.simulate_waves` on
+wave-pipelined suite benchmarks, verifies the reports are bit-identical,
+and emits one JSON document with the timings and speedups so the engine's
+performance is tracked in the bench trajectory.
+
+The headline case (``i2c``: 1342 majority gates, >7000 components after
+the FO3+BUF flow, 256 waves) is the ISSUE acceptance measurement: the
+packed engine must stay >= 20x faster than the scalar oracle.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wave_sim.py            # full
+    PYTHONPATH=src python benchmarks/bench_wave_sim.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_wave_sim.py -o out.json
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.wavepipe import (
+    compile_netlist,
+    random_vectors,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.suite.table import build_benchmark
+
+#: (suite benchmark, waves, scalar repeats, packed repeats)
+FULL_CASES = (
+    ("ctrl", 256, 3, 10),
+    ("i2c", 256, 1, 5),
+)
+QUICK_CASES = (("ctrl", 64, 1, 3),)
+
+
+def _time_best(function, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def bench_case(name: str, n_waves: int, scalar_repeats: int,
+               packed_repeats: int, seed: int = 7) -> dict:
+    """Time both engines on one wave-ready benchmark; verify bit-identity."""
+    mig = build_benchmark(name)
+    netlist = wave_pipeline(mig, fanout_limit=3, verify=False).netlist
+    vectors = random_vectors(netlist.n_inputs, n_waves, seed=seed)
+
+    compile_started = time.perf_counter()
+    compile_netlist(netlist)
+    compile_seconds = time.perf_counter() - compile_started
+
+    scalar_seconds, scalar = _time_best(
+        lambda: simulate_waves(netlist, vectors, engine="python"),
+        scalar_repeats,
+    )
+    packed_seconds, packed = _time_best(
+        lambda: simulate_waves(netlist, vectors, engine="packed"),
+        packed_repeats,
+    )
+
+    identical = scalar == packed  # dataclass ==: every report field
+    stats = netlist.stats()
+    return {
+        "benchmark": name,
+        "components": stats.size,
+        "total_cells": netlist.n_components,
+        "depth": stats.depth,
+        "waves": n_waves,
+        "steps": packed.steps_run,
+        "coherent": packed.coherent,
+        "compile_seconds": round(compile_seconds, 6),
+        "scalar_seconds": round(scalar_seconds, 6),
+        "packed_seconds": round(packed_seconds, 6),
+        "speedup": round(scalar_seconds / packed_seconds, 2),
+        "identical_reports": identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke configuration for CI",
+    )
+    parser.add_argument(
+        "--waves", type=int, default=None,
+        help="override the wave count of every case",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="also write the JSON document to this file",
+    )
+    args = parser.parse_args(argv)
+
+    cases = QUICK_CASES if args.quick else FULL_CASES
+    rows = [
+        bench_case(
+            name,
+            waves if args.waves is None else args.waves,
+            scalar_repeats,
+            packed_repeats,
+        )
+        for name, waves, scalar_repeats, packed_repeats in cases
+    ]
+    headline = max(rows, key=lambda row: row["components"])
+    document = {
+        "bench": "wave_sim_engines",
+        "mode": "quick" if args.quick else "full",
+        "cases": rows,
+        "headline": {
+            "benchmark": headline["benchmark"],
+            "components": headline["components"],
+            "waves": headline["waves"],
+            "speedup": headline["speedup"],
+            "identical_reports": headline["identical_reports"],
+        },
+    }
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+
+    if not all(row["identical_reports"] for row in rows):
+        print("FATAL: engines diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

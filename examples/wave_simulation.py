@@ -8,14 +8,19 @@ Simulates a 4x4 array multiplier under the three-phase regeneration clock:
   functional model;
 * on the raw (unbalanced) netlist, waves interfere — the simulator reports
   exactly where adjacent waves collide, demonstrating why the paper's
-  buffer insertion is necessary.
+  buffer insertion is necessary;
+* the bit-packed batched engine (``engine="packed"``) reproduces the
+  scalar model bit-for-bit while simulating a long wave stream orders of
+  magnitude faster.
 """
 
 import random
+import time
 
 from repro.core.wavepipe import (
     WaveNetlist,
     golden_outputs,
+    random_vectors,
     simulate_waves,
     wave_pipeline,
 )
@@ -77,6 +82,21 @@ def main() -> None:
     print(
         f"  first collision: step {first.step}, component "
         f"{first.component}, waves {first.wave_ids} arrived together"
+    )
+
+    # the packed engine: same physics, 64 bit-packed wave streams at a time
+    stream = random_vectors(ready.n_inputs, 512, seed=1)
+    started = time.perf_counter()
+    scalar = simulate_waves(ready, stream, engine="python")
+    scalar_elapsed = time.perf_counter() - started
+    started = time.perf_counter()
+    packed = simulate_waves(ready, stream, engine="packed")
+    packed_elapsed = time.perf_counter() - started
+    assert packed == scalar  # full report: outputs, events, counters
+    print(
+        f"\npacked engine: {len(stream)} waves bit-identical in "
+        f"{packed_elapsed * 1e3:.1f} ms vs {scalar_elapsed * 1e3:.1f} ms "
+        f"scalar ({scalar_elapsed / packed_elapsed:.0f}x)"
     )
 
 

@@ -54,6 +54,8 @@ class Mig:
         self._fanins: list[Optional[tuple[int, int, int]]] = [_CONST_MARK]
         self._pis: list[int] = []
         self._pi_names: list[str] = []
+        #: node index -> position in _pis (cached so pi_name stays O(1))
+        self._pi_index: dict[int, int] = {}
         self._pos: list[Signal] = []
         self._po_names: list[str] = []
         self._strash: dict[tuple[int, int, int], int] = {}
@@ -65,6 +67,7 @@ class Mig:
         """Append a primary input and return its (regular) signal."""
         index = len(self._fanins)
         self._fanins.append(_PI_MARK)
+        self._pi_index[index] = len(self._pis)
         self._pis.append(index)
         self._pi_names.append(name or f"pi{len(self._pis) - 1}")
         return Signal.of(index)
@@ -250,10 +253,11 @@ class Mig:
         return iter(range(len(self._fanins)))
 
     def pi_name(self, node: int) -> str:
-        """Name of the primary input *node*."""
-        if not self.is_pi(node):
+        """Name of the primary input *node* (O(1) via the cached index)."""
+        position = self._pi_index.get(node)
+        if position is None:
             raise MigError(f"node {node} is not a primary input")
-        return self._pi_names[self._pis.index(node)]
+        return self._pi_names[position]
 
     def _check_signal(self, signal: int) -> Signal:
         sig = Signal(int(signal))
@@ -266,18 +270,26 @@ class Mig:
 
         Used by the synthetic benchmark generator to fold dangling gates
         into consumers.  The caller is responsible for keeping the graph
-        acyclic; structural-hashing entries for the touched node are
-        invalidated.
+        acyclic.  Structural hashing stays consistent: the old fan-in key
+        is dropped (only when it still maps to *node*), and the new key is
+        re-registered so later ``add_maj`` calls reuse this gate.  When the
+        new key collides with an existing gate the earlier registrant is
+        kept — ``add_maj`` then shares that structurally identical gate
+        instead of silently diverging from the graph.
         """
         sig = self._check_signal(signal)
         fanins = self._fanins[node]
         if fanins is None or fanins == _PI_MARK:
             raise MigError(f"node {node} is not a majority gate")
-        if self.use_strash:
-            self._strash.pop(fanins, None)
         updated = list(fanins)
         updated[position] = int(sig)
-        self._fanins[node] = tuple(sorted(updated))  # type: ignore[assignment]
+        key = tuple(sorted(updated))
+        self._fanins[node] = key  # type: ignore[assignment]
+        if self.use_strash:
+            if self._strash.get(fanins) == node:
+                del self._strash[fanins]
+            if self._simplify_maj(key) is None:
+                self._strash.setdefault(key, node)
 
     # ------------------------------------------------------------------
     # whole-graph operations
@@ -288,6 +300,7 @@ class Mig:
         other._fanins = list(self._fanins)
         other._pis = list(self._pis)
         other._pi_names = list(self._pi_names)
+        other._pi_index = dict(self._pi_index)
         other._pos = list(self._pos)
         other._po_names = list(self._po_names)
         other._strash = dict(self._strash)

@@ -1,14 +1,21 @@
 """Wave-pipelining transforms, clocking, verification, and simulation."""
 
+from .batch import (
+    CompiledWaveNetlist,
+    compile_netlist,
+    simulate_waves_packed,
+)
 from .buffer_insertion import BufferInsertionResult, insert_buffers
 from .clocking import PAPER_PHASES, ClockingScheme
 from .components import Kind, NetlistStats, WaveNetlist
 from .fanout import FanoutRestrictionResult, min_fogs, restrict_fanout
 from .flow import PAPER_FANOUT_LIMIT, WavePipelineResult, wave_pipeline
 from .simulator import (
+    ENGINES,
     WaveInterference,
     WaveSimulationReport,
     golden_outputs,
+    random_vectors,
     simulate_waves,
 )
 from .verify import (
@@ -23,6 +30,8 @@ from .verify import (
 __all__ = [
     "BufferInsertionResult",
     "ClockingScheme",
+    "CompiledWaveNetlist",
+    "ENGINES",
     "FanoutRestrictionResult",
     "Kind",
     "NetlistStats",
@@ -37,11 +46,14 @@ __all__ = [
     "check_balanced",
     "check_equivalent_to_mig",
     "check_fanout",
+    "compile_netlist",
     "golden_outputs",
     "insert_buffers",
     "min_fogs",
+    "random_vectors",
     "restrict_fanout",
     "simulate_waves",
+    "simulate_waves_packed",
     "wave_pipeline",
     "wave_ready",
 ]

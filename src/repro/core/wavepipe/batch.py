@@ -1,0 +1,443 @@
+"""Bit-packed, batched engine for phase-accurate wave simulation.
+
+This module is the high-throughput implementation behind
+``simulate_waves(..., engine="packed")``.  It produces reports that are
+bit-identical to the scalar reference loop in
+:mod:`repro.core.wavepipe.simulator` — same outputs, same
+:class:`~repro.core.wavepipe.simulator.WaveInterference` events in the same
+order — while advancing the whole netlist with numpy word operations.
+
+Architecture
+------------
+**64 wave streams per word.**  The wave sequence of length ``W`` is split
+into up to 64 contiguous chunks ("lanes").  Lane *b* carries one bit of
+every ``uint64`` state word (the packing of the golden model in
+:mod:`repro.core.simulate`), so one majority update
+``(a & b) | (a & c) | (b & c)`` advances all lanes of a component at once,
+and one array operation advances every component of the active clock phase.
+
+**Compiled phase tables.**  :func:`compile_netlist` flattens the netlist
+once per structural revision (see :attr:`WaveNetlist.version`) into
+per-phase arrays: component indices, gathered fan-in node indices, and
+complement masks, separated into majority and buffer/fan-out groups.  The
+tables are memoized per ``(netlist, n_phases)`` in a weak cache.
+
+**Exact overlap windows.**  Waves in a pipeline are *coupled*: on an
+unbalanced netlist a component can combine data of adjacent waves, so the
+chunks cannot be simulated truly independently.  Each lane therefore
+re-simulates a short warm-up prefix (the waves injected during the last
+``depth`` clock steps when the netlist is path-balanced, ``depth * p``
+steps otherwise, rounded up to whole injection slots, plus one) and a
+forward suffix (``ceil(depth / separation)`` waves) before/after its chunk.
+Every value, wave id, and interference decision inside a lane's *kept*
+step region then depends only on injections the lane performed itself, so
+it equals the single-stream reference exactly.  The kept regions tile the
+reference timeline ``[0, total_steps)``, which makes merging trivial:
+events are filtered per lane and sorted by (absolute step, within-phase
+order) — the same order the scalar loop emits them.
+
+**Vectorized wave-id bookkeeping.**  Wave ids are tracked per component and
+lane in an ``int32`` matrix (``-1`` = warming up, ``-2`` = constants, which
+belong to every wave).  A majority update takes the elementwise maximum of
+the fan-in ids and flags interference wherever two non-negative fan-in ids
+differ — a handful of comparisons per step for all components and lanes.
+
+The scalar engine remains the oracle; ``tests/test_batch_engine.py``
+property-tests this module against it on balanced and deliberately
+unbalanced netlists across phase counts and injection modes.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ...errors import SimulationError
+from .clocking import ClockingScheme
+from .components import Kind, WaveNetlist
+from .simulator import (
+    WaveInterference,
+    WaveSimulationReport,
+    _empty_report,
+    _validate_vectors,
+    wave_separation,
+)
+
+_WORD = np.uint64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Wave streams carried per packed state word.
+LANES_PER_WORD = 64
+
+
+@dataclass(frozen=True)
+class _PhaseGroup:
+    """Components latching on one clock phase, in scalar update order."""
+
+    maj_idx: np.ndarray  # (n_maj,) component indices
+    maj_src: np.ndarray  # (3, n_maj) fan-in node indices
+    maj_neg: np.ndarray  # (3, n_maj) uint64 complement masks
+    buf_idx: np.ndarray  # (n_buf,) BUF/FOG component indices
+    buf_src: np.ndarray  # (n_buf,) fan-in node indices
+    buf_neg: np.ndarray  # (n_buf,) uint64 complement masks
+
+
+@dataclass(frozen=True)
+class CompiledWaveNetlist:
+    """Per-phase update tables of one netlist under one phase count."""
+
+    n_components: int
+    n_phases: int
+    depth: int
+    balanced: bool
+    inputs: np.ndarray  # (n_inputs,) input component indices
+    out_node: np.ndarray  # (n_outputs,) output driver node indices
+    out_neg: np.ndarray  # (n_outputs,) uint64 complement masks
+    phases: tuple[_PhaseGroup, ...]
+
+
+#: netlist -> {n_phases: (netlist.version, CompiledWaveNetlist)}
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[WaveNetlist, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_netlist(
+    netlist: WaveNetlist, clocking: Optional[ClockingScheme] = None
+) -> CompiledWaveNetlist:
+    """Flatten *netlist* into packed per-phase tables (memoized).
+
+    The cache is invalidated automatically when the netlist is mutated
+    (tracked through :attr:`WaveNetlist.version`).
+    """
+    clocking = clocking or ClockingScheme()
+    p = clocking.n_phases
+    per_netlist = _COMPILE_CACHE.setdefault(netlist, {})
+    cached = per_netlist.get(p)
+    if cached is not None and cached[0] == netlist.version:
+        return cached[1]
+    compiled = _compile(netlist, p)
+    per_netlist[p] = (netlist.version, compiled)
+    return compiled
+
+
+def _compile(netlist: WaveNetlist, p: int) -> CompiledWaveNetlist:
+    # direct access to the structure-of-arrays internals: compilation is
+    # the one O(n) pass, method-call overhead would dominate it
+    kinds = netlist._kinds
+    fanins = netlist._fanins
+    levels = netlist.levels()
+    depth = netlist.depth(levels)
+
+    # replicate the scalar grouping exactly: latching phase, deepest first
+    # (stable, so ties keep topological index order)
+    by_phase: list[list[int]] = [[] for _ in range(p)]
+    balanced = True
+    for component, kind in enumerate(kinds):
+        if kind not in (Kind.MAJ, Kind.BUF, Kind.FOG):
+            continue
+        by_phase[levels[component] % p].append(component)
+        if kind == Kind.MAJ and balanced:
+            fanin_levels = {
+                levels[lit >> 1] for lit in fanins[component] if lit >> 1
+            }
+            if len(fanin_levels) > 1:
+                balanced = False
+    output_levels = {
+        levels[lit >> 1] for lit in netlist._outputs if lit >> 1
+    }
+    if len(output_levels) > 1:
+        balanced = False
+
+    groups = []
+    for group in by_phase:
+        group.sort(key=lambda component: -levels[component])
+        maj = [c for c in group if kinds[c] == Kind.MAJ]
+        buf = [c for c in group if kinds[c] != Kind.MAJ]
+        maj_src = np.empty((3, len(maj)), dtype=np.int64)
+        maj_neg = np.empty((3, len(maj)), dtype=_WORD)
+        for column, component in enumerate(maj):
+            for row, lit in enumerate(fanins[component]):
+                maj_src[row, column] = lit >> 1
+                maj_neg[row, column] = _ALL_ONES if lit & 1 else 0
+        buf_src = np.empty(len(buf), dtype=np.int64)
+        buf_neg = np.empty(len(buf), dtype=_WORD)
+        for column, component in enumerate(buf):
+            (lit,) = fanins[component]
+            buf_src[column] = lit >> 1
+            buf_neg[column] = _ALL_ONES if lit & 1 else 0
+        groups.append(
+            _PhaseGroup(
+                maj_idx=np.asarray(maj, dtype=np.int64),
+                maj_src=maj_src,
+                maj_neg=maj_neg,
+                buf_idx=np.asarray(buf, dtype=np.int64),
+                buf_src=buf_src,
+                buf_neg=buf_neg,
+            )
+        )
+
+    out_lits = netlist._outputs
+    return CompiledWaveNetlist(
+        n_components=netlist.n_components,
+        n_phases=p,
+        depth=depth,
+        balanced=balanced,
+        inputs=np.asarray(netlist.inputs, dtype=np.int64),
+        out_node=np.asarray([lit >> 1 for lit in out_lits], dtype=np.int64),
+        out_neg=np.asarray(
+            [_ALL_ONES if lit & 1 else 0 for lit in out_lits], dtype=_WORD
+        ),
+        phases=tuple(groups),
+    )
+
+
+@dataclass(frozen=True)
+class _LanePlan:
+    """How the wave stream is distributed across packed lanes."""
+
+    n_lanes: int
+    chunk: np.ndarray  # waves owned per lane
+    start: np.ndarray  # first owned wave per lane
+    warm: np.ndarray  # warm-up waves re-simulated before the chunk
+    base: np.ndarray  # first *injected* wave per lane (start - warm)
+    n_inj: np.ndarray  # injection slots per lane (warm + chunk + forward)
+    offset: np.ndarray  # absolute step of a lane's local step 0
+    keep_lo: np.ndarray  # local step where the lane's kept region starts
+    keep_hi: np.ndarray  # local step where the lane's kept region ends
+    total_steps: int  # reference timeline length (scalar steps_run)
+    local_steps: int  # steps every lane actually advances
+
+
+def _plan_lanes(
+    n_waves: int, depth: int, n_phases: int, separation: int, balanced: bool
+) -> _LanePlan:
+    """Split *n_waves* into lanes with exact warm-up/forward overlap."""
+    n_lanes = min(LANES_PER_WORD, n_waves)
+    chunk = np.full(n_lanes, n_waves // n_lanes, dtype=np.int64)
+    chunk[: n_waves % n_lanes] += 1
+    start = np.concatenate(([0], np.cumsum(chunk)[:-1]))
+
+    # Dependence window of one state read, in clock steps: a fan-in chain
+    # has at most `depth` links, and a link steps back exactly one step per
+    # level on a balanced netlist but up to p steps in general (the fan-in
+    # cell's previous latch).  One extra slot absorbs the injection grid
+    # (an input holds its last wave for up to `separation` steps).
+    window_steps = depth if balanced else depth * n_phases
+    warm_slots = -(-window_steps // separation) + 1
+    # Forward overlap: on an unbalanced netlist a short path can deliver a
+    # *later* wave to an output driver while wave g retires.
+    forward_slots = -(-depth // separation)
+
+    warm = np.minimum(warm_slots, start)
+    base = start - warm
+    forward = np.minimum(forward_slots, n_waves - (start + chunk))
+    n_inj = warm + chunk + forward
+    offset = base * separation
+    total_steps = (n_waves - 1) * separation + depth + 1
+
+    keep_lo = warm * separation
+    keep_hi = (warm + chunk) * separation
+    keep_hi[-1] = total_steps - offset[-1]  # last lane owns the drain tail
+    lane_steps = np.maximum(
+        (warm + chunk - 1) * separation + depth + 1, keep_hi
+    )
+    return _LanePlan(
+        n_lanes=n_lanes,
+        chunk=chunk,
+        start=start,
+        warm=warm,
+        base=base,
+        n_inj=n_inj,
+        offset=offset,
+        keep_lo=keep_lo,
+        keep_hi=keep_hi,
+        total_steps=total_steps,
+        local_steps=int(lane_steps.max()),
+    )
+
+
+def _pack_injections(
+    vectors: Sequence[Sequence[bool]], n_inputs: int, plan: _LanePlan
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+    """Precompute per-slot packed input words and active-lane masks.
+
+    Returns ``(words, masks, active)`` where ``words[slot]`` holds one
+    uint64 per input (bit *b* = the bit lane *b* injects on that slot),
+    ``masks[slot]`` is the uint64 mask of lanes injecting on that slot, and
+    ``active[slot]`` lists those lanes' indices.
+    """
+    n_slots = int(plan.n_inj.max())
+    n_waves = len(vectors)
+    bits = np.zeros((n_waves, n_inputs), dtype=bool)
+    for wave, vector in enumerate(vectors):
+        bits[wave] = vector
+    slots = np.arange(n_slots, dtype=np.int64)
+    wave_of_slot = plan.base[None, :] + slots[:, None]  # (n_slots, n_lanes)
+    valid = slots[:, None] < plan.n_inj[None, :]
+    gathered = bits[np.clip(wave_of_slot, 0, n_waves - 1)]
+    gathered[~valid] = False
+    lane_bit = np.left_shift(
+        _WORD(1), np.arange(plan.n_lanes, dtype=_WORD)
+    )
+    words = np.bitwise_or.reduce(
+        np.where(gathered, lane_bit[None, :, None], _WORD(0)), axis=1
+    )
+    masks = np.bitwise_or.reduce(
+        np.where(valid, lane_bit[None, :], _WORD(0)), axis=1
+    )
+    active = [np.nonzero(valid[slot])[0] for slot in range(n_slots)]
+    return words, masks, active
+
+
+def simulate_waves_packed(
+    netlist: WaveNetlist,
+    vectors: Sequence[Sequence[bool]],
+    clocking: Optional[ClockingScheme] = None,
+    pipelined: bool = True,
+    strict: bool = False,
+) -> WaveSimulationReport:
+    """Packed-engine equivalent of :func:`~.simulator.simulate_waves`.
+
+    Accepts the same arguments (minus ``engine``) and returns a report that
+    is bit-identical to the scalar reference engine's, including the
+    interference event list and its ordering.
+    """
+    clocking = clocking or ClockingScheme()
+    _validate_vectors(netlist, vectors)
+    compiled = compile_netlist(netlist, clocking)
+    depth = compiled.depth
+    if depth == 0:
+        raise SimulationError("cannot wave-simulate a depth-0 netlist")
+    n_waves = len(vectors)
+    if n_waves == 0:
+        return _empty_report(depth)
+
+    p = compiled.n_phases
+    separation = wave_separation(depth, p, pipelined)
+    plan = _plan_lanes(n_waves, depth, p, separation, compiled.balanced)
+    inj_words, inj_masks, inj_active = _pack_injections(
+        vectors, netlist.n_inputs, plan
+    )
+    n_slots = inj_words.shape[0]
+
+    n = compiled.n_components
+    value = np.zeros(n, dtype=_WORD)
+    wave = np.full((n, plan.n_lanes), -1, dtype=np.int32)
+    wave[0, :] = -2  # sentinel: constants belong to every wave
+
+    results: list[Optional[list[bool]]] = [None] * n_waves
+    events: list[tuple[int, int, WaveInterference]] = []
+    earliest_event = None  # absolute step of the earliest kept event
+
+    inputs = compiled.inputs
+    keep_lo, keep_hi = plan.keep_lo, plan.keep_hi
+    offset, base = plan.offset, plan.base
+
+    for step in range(plan.local_steps):
+        # 1) inject: every lane latches its slot's wave simultaneously
+        if step % separation == 0:
+            slot = step // separation
+            if slot < n_slots:
+                value[inputs] = (value[inputs] & ~inj_masks[slot]) | (
+                    inj_words[slot]
+                )
+                lanes = inj_active[slot]
+                if lanes.size:
+                    wave[np.ix_(inputs, lanes)] = slot
+        # 2) clocked components of this phase latch from their neighbours.
+        # All gathers read the pre-step state (the scalar loop's
+        # deepest-first order has exactly these snapshot semantics).
+        group = compiled.phases[step % p]
+        has_maj = group.maj_idx.size > 0
+        has_buf = group.buf_idx.size > 0
+        if has_maj:
+            va = value[group.maj_src[0]] ^ group.maj_neg[0]
+            vb = value[group.maj_src[1]] ^ group.maj_neg[1]
+            vc = value[group.maj_src[2]] ^ group.maj_neg[2]
+            new_maj = (va & vb) | (va & vc) | (vb & vc)
+            wa = wave[group.maj_src[0]]
+            wb = wave[group.maj_src[1]]
+            wc = wave[group.maj_src[2]]
+            warming = (wa == -1) | (wb == -1) | (wc == -1)
+            top = np.maximum(np.maximum(wa, wb), wc)
+            new_wave = np.where(warming, -1, np.where(top < 0, -2, top))
+            hit = (
+                ((wa >= 0) & (wb >= 0) & (wa != wb))
+                | ((wa >= 0) & (wc >= 0) & (wa != wc))
+                | ((wb >= 0) & (wc >= 0) & (wb != wc))
+            )
+        if has_buf:
+            new_buf = value[group.buf_src] ^ group.buf_neg
+            new_buf_wave = wave[group.buf_src]
+        if has_maj:
+            if hit.any():
+                for row, lane in zip(*np.nonzero(hit)):
+                    if not keep_lo[lane] <= step < keep_hi[lane]:
+                        continue  # another lane owns this step of the tape
+                    absolute = int(step + offset[lane])
+                    ids = sorted(
+                        {
+                            int(w[row, lane]) + int(base[lane])
+                            for w in (wa, wb, wc)
+                            if w[row, lane] >= 0
+                        }
+                    )
+                    events.append(
+                        (
+                            absolute,
+                            int(row),
+                            WaveInterference(
+                                absolute,
+                                int(group.maj_idx[row]),
+                                tuple(ids),
+                            ),
+                        )
+                    )
+                    if earliest_event is None or absolute < earliest_event:
+                        earliest_event = absolute
+            value[group.maj_idx] = new_maj
+            wave[group.maj_idx] = new_wave
+        if has_buf:
+            value[group.buf_idx] = new_buf
+            wave[group.buf_idx] = new_buf_wave
+        # 3) retire: lanes whose slot reaches the output level read out
+        if step >= depth and (step - depth) % separation == 0:
+            slot = (step - depth) // separation
+            owners = np.nonzero(
+                (plan.warm <= slot) & (slot < plan.warm + plan.chunk)
+            )[0]
+            if owners.size:
+                out_words = value[compiled.out_node] ^ compiled.out_neg
+                bits = (
+                    (out_words[:, None] >> owners.astype(_WORD)[None, :])
+                    & _WORD(1)
+                ).astype(bool)
+                for column, lane in enumerate(owners):
+                    results[int(base[lane]) + slot] = bits[:, column].tolist()
+        # In strict mode stop as soon as no lane can still discover an
+        # earlier event (absolute = local + offset, offsets are >= 0).
+        if strict and earliest_event is not None and step > earliest_event:
+            break
+
+    events.sort(key=lambda item: item[:2])
+    if strict and events:
+        first = events[0][2]
+        raise SimulationError(
+            f"wave interference at step {first.step}, component "
+            f"{first.component}: waves {first.wave_ids}"
+        )
+    if any(result is None for result in results):
+        raise SimulationError("simulation ended before every wave retired")
+
+    return WaveSimulationReport(
+        outputs=results,  # type: ignore[arg-type]
+        latency_steps=depth,
+        steps_run=plan.total_steps,
+        waves_injected=n_waves,
+        waves_retired=n_waves,
+        interference=[event for _, _, event in events],
+    )

@@ -201,14 +201,7 @@ def insert_buffers(
 
 def _copy(netlist: WaveNetlist) -> WaveNetlist:
     """Cheap structural copy of a wave netlist."""
-    copy = WaveNetlist(netlist.name)
-    copy._kinds = list(netlist._kinds)
-    copy._fanins = list(netlist._fanins)
-    copy._inputs = list(netlist._inputs)
-    copy._input_names = list(netlist._input_names)
-    copy._outputs = list(netlist._outputs)
-    copy._output_names = list(netlist._output_names)
-    return copy
+    return netlist.clone()
 
 
 def _check_feasible(netlist: WaveNetlist, limit: int) -> None:

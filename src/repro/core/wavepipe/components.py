@@ -78,8 +78,14 @@ class WaveNetlist:
         self._fanins: list[tuple[int, ...]] = [()]
         self._inputs: list[int] = []
         self._input_names: list[str] = []
+        #: component index -> position in _inputs (cached O(1) name lookup)
+        self._input_index: dict[int, int] = {}
         self._outputs: list[int] = []
         self._output_names: list[str] = []
+        #: bumped on every structural mutation; lets engine-side caches
+        #: (e.g. the packed simulator's compiled phase tables) detect
+        #: staleness without hashing the whole netlist.
+        self._version: int = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -89,8 +95,10 @@ class WaveNetlist:
         index = len(self._kinds)
         self._kinds.append(Kind.INPUT)
         self._fanins.append(())
+        self._input_index[index] = len(self._inputs)
         self._inputs.append(index)
         self._input_names.append(name or f"in{len(self._inputs) - 1}")
+        self._version += 1
         return Signal.of(index)
 
     def add_maj(self, a: int, b: int, c: int) -> Signal:
@@ -99,6 +107,7 @@ class WaveNetlist:
         index = len(self._kinds)
         self._kinds.append(Kind.MAJ)
         self._fanins.append(lits)
+        self._version += 1
         return Signal.of(index)
 
     def add_buf(self, source: int) -> Signal:
@@ -116,23 +125,27 @@ class WaveNetlist:
         index = len(self._kinds)
         self._kinds.append(kind)
         self._fanins.append((lit,))
+        self._version += 1
         return Signal.of(index)
 
     def add_output(self, signal: int, name: str = "") -> int:
         """Register a primary output reading *signal*."""
         self._outputs.append(int(self._check(signal)))
         self._output_names.append(name or f"out{len(self._outputs) - 1}")
+        self._version += 1
         return len(self._outputs) - 1
 
     def set_output(self, index: int, signal: int) -> None:
         """Rewire output *index* to read *signal* (used by the transforms)."""
         self._outputs[index] = int(self._check(signal))
+        self._version += 1
 
     def set_fanin(self, component: int, position: int, literal: int) -> None:
         """Rewire one fan-in edge of *component* (used by the transforms)."""
         fanins = list(self._fanins[component])
         fanins[position] = int(self._check(literal))
         self._fanins[component] = tuple(fanins)
+        self._version += 1
 
     def _check(self, signal: int) -> Signal:
         sig = Signal(int(signal))
@@ -177,6 +190,24 @@ class WaveNetlist:
     def output_names(self) -> list[str]:
         """Names of the primary outputs."""
         return list(self._output_names)
+
+    @property
+    def version(self) -> int:
+        """Monotonic structural revision (bumped by every mutation)."""
+        return self._version
+
+    def input_name(self, component: int) -> str:
+        """Name of the primary-input *component* (O(1) via cached index)."""
+        position = self._input_index.get(component)
+        if position is None:
+            raise NetlistError(f"component {component} is not a primary input")
+        return self._input_names[position]
+
+    def output_name(self, index: int) -> str:
+        """Name of primary output *index*."""
+        if not 0 <= index < len(self._output_names):
+            raise NetlistError(f"no primary output with index {index}")
+        return self._output_names[index]
 
     def kind(self, component: int) -> Kind:
         """Kind of *component*."""
@@ -314,6 +345,19 @@ class WaveNetlist:
     # ------------------------------------------------------------------
     # conversions
     # ------------------------------------------------------------------
+    def clone(self) -> "WaveNetlist":
+        """Deep copy of this netlist (caches and revision included)."""
+        other = WaveNetlist(self.name)
+        other._kinds = list(self._kinds)
+        other._fanins = list(self._fanins)
+        other._inputs = list(self._inputs)
+        other._input_names = list(self._input_names)
+        other._input_index = dict(self._input_index)
+        other._outputs = list(self._outputs)
+        other._output_names = list(self._output_names)
+        other._version = self._version
+        return other
+
     @classmethod
     def from_mig(cls, mig: Mig, name: str = "") -> "WaveNetlist":
         """Lower a MIG to a physical wave netlist (1:1, no buffers yet)."""

@@ -14,16 +14,60 @@ sees fan-ins from different waves, which the simulator reports as
 
 This gives the library an end-to-end, dynamic proof of the paper's premise:
 path balancing is exactly what makes multi-wave operation safe.
+
+Engines
+-------
+:func:`simulate_waves` is a front-end over two interchangeable engines that
+produce identical :class:`WaveSimulationReport` objects (same outputs, same
+interference events, in the same order):
+
+``engine="python"``
+    The reference oracle implemented in this module: one Boolean and one
+    wave id per component, advanced with plain Python loops.  Simple to
+    audit, but it walks every component of the active phase on every clock
+    step, so it tops out around 10^3 components.
+
+``engine="packed"``
+    The bit-packed batched engine in :mod:`repro.core.wavepipe.batch`: the
+    wave stream is split across up to 64 lanes packed one-bit-per-lane into
+    ``uint64`` words (the layout of :mod:`repro.core.simulate`), per-phase
+    component/fan-in arrays are compiled once per netlist revision, and
+    every clock step is a handful of whole-array numpy operations.  Lanes
+    re-simulate a short warm-up/overlap window so that the coupled dynamics
+    of adjacent waves — including interference on unbalanced netlists — stay
+    bit-identical to the reference engine.  This is the engine that reaches
+    the paper's 10^5-component netlists (e.g. DIFFEQ1's 306 937 components).
+
+The scalar loop stays the semantic definition; the packed engine is
+property-tested against it (see ``tests/test_batch_engine.py``).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ...errors import SimulationError
 from .clocking import ClockingScheme
 from .components import Kind, WaveNetlist
+
+#: Engine names accepted by :func:`simulate_waves`.
+ENGINES = ("python", "packed")
+
+
+def random_vectors(
+    n_inputs: int, n_waves: int, seed: int = 0
+) -> list[list[bool]]:
+    """Seeded uniform random wave vectors (the drivers' shared convention).
+
+    The CLI, the experiment runner, and the benchmarks all generate their
+    stimulus through this one helper so their reports stay comparable.
+    """
+    rng = random.Random(seed)
+    return [
+        [rng.random() < 0.5 for _ in range(n_inputs)] for _ in range(n_waves)
+    ]
 
 
 @dataclass(frozen=True)
@@ -58,12 +102,49 @@ class WaveSimulationReport:
         return self.waves_retired / self.steps_run
 
 
+def _validate_vectors(
+    netlist: WaveNetlist, vectors: Sequence[Sequence[bool]]
+) -> None:
+    """Shared input validation (identical errors from both engines)."""
+    for wave, vector in enumerate(vectors):
+        if len(vector) != netlist.n_inputs:
+            raise SimulationError(
+                f"wave {wave} has {len(vector)} bits, expected "
+                f"{netlist.n_inputs}"
+            )
+
+
+def _empty_report(depth: int) -> WaveSimulationReport:
+    """Clean report for an empty wave list: zero steps, nothing retired."""
+    return WaveSimulationReport(
+        outputs=[],
+        latency_steps=depth,
+        steps_run=0,
+        waves_injected=0,
+        waves_retired=0,
+        interference=[],
+    )
+
+
+def wave_separation(depth: int, n_phases: int, pipelined: bool) -> int:
+    """Clock steps between consecutive wave injections.
+
+    Inputs can only latch on their own phase, so the separation is always a
+    whole number of clock cycles: ``p`` when pipelined, else the first cycle
+    boundary at or after the full propagation delay.
+    """
+    if pipelined:
+        return n_phases
+    return -(-depth // n_phases) * n_phases
+
+
 def simulate_waves(
     netlist: WaveNetlist,
     vectors: Sequence[Sequence[bool]],
     clocking: Optional[ClockingScheme] = None,
     pipelined: bool = True,
     strict: bool = False,
+    engine: str = "python",
 ) -> WaveSimulationReport:
     """Drive *vectors* through *netlist* under a regeneration clock.
 
@@ -78,24 +159,46 @@ def simulate_waves(
     strict:
         Raise :class:`SimulationError` on the first interference instead of
         recording it.
+    engine:
+        ``"python"`` for the scalar reference loop, ``"packed"`` for the
+        bit-packed batched numpy engine (identical reports, see the module
+        docstring).
 
     Returns
     -------
     A report whose ``outputs[w]`` is the output vector of wave *w*.
     """
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown simulation engine {engine!r}; choose from {ENGINES}"
+        )
     clocking = clocking or ClockingScheme()
-    p = clocking.n_phases
-    for wave, vector in enumerate(vectors):
-        if len(vector) != netlist.n_inputs:
-            raise SimulationError(
-                f"wave {wave} has {len(vector)} bits, expected "
-                f"{netlist.n_inputs}"
-            )
+    if engine == "packed":
+        from .batch import simulate_waves_packed
 
+        return simulate_waves_packed(
+            netlist, vectors, clocking=clocking,
+            pipelined=pipelined, strict=strict,
+        )
+    return _simulate_waves_python(netlist, vectors, clocking, pipelined, strict)
+
+
+def _simulate_waves_python(
+    netlist: WaveNetlist,
+    vectors: Sequence[Sequence[bool]],
+    clocking: ClockingScheme,
+    pipelined: bool,
+    strict: bool,
+) -> WaveSimulationReport:
+    """The scalar reference engine (semantic definition of the model)."""
+    _validate_vectors(netlist, vectors)
+    p = clocking.n_phases
     levels = netlist.levels()
     depth = netlist.depth(levels)
     if depth == 0:
         raise SimulationError("cannot wave-simulate a depth-0 netlist")
+    if not vectors:
+        return _empty_report(depth)
 
     # Components grouped by latching phase, deepest first within a phase:
     # when an unbalanced netlist connects two same-phase components, the
@@ -117,10 +220,7 @@ def simulate_waves(
     outputs = netlist.outputs
     output_level = depth  # balanced netlists retire at the common depth
 
-    # Inputs can only latch on their own phase, so the wave separation is
-    # always a whole number of clock cycles: p when pipelined, else the
-    # first cycle boundary at or after the full propagation delay.
-    separation = p if pipelined else -(-depth // p) * p
+    separation = wave_separation(depth, p, pipelined)
     n_waves = len(vectors)
     results: list[list[bool]] = [None] * n_waves  # type: ignore[list-item]
     interference: list[WaveInterference] = []

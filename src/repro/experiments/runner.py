@@ -24,7 +24,15 @@ import re
 from typing import Iterable, Optional
 
 from ..core.mig import Mig
-from ..core.wavepipe import WaveNetlist, WavePipelineResult, wave_pipeline
+from ..core.wavepipe import (
+    ClockingScheme,
+    WaveNetlist,
+    WavePipelineResult,
+    WaveSimulationReport,
+    random_vectors,
+    simulate_waves,
+    wave_pipeline,
+)
 from ..errors import ReproError
 from ..suite.table import QUICK_SUITE, SUITE, BenchmarkSpec
 
@@ -68,6 +76,7 @@ class SuiteRunner:
         self._migs: dict[str, Mig] = {}
         self._netlists: dict[str, WaveNetlist] = {}
         self._results: dict[tuple[str, str], WavePipelineResult] = {}
+        self._simulations: dict[tuple, WaveSimulationReport] = {}
 
     # ------------------------------------------------------------------
     def spec(self, name: str) -> BenchmarkSpec:
@@ -126,6 +135,37 @@ class SuiteRunner:
         if result.size_before <= VERIFY_FUNCTION_LIMIT:
             if not check_equivalent_to_mig(result.netlist, self.mig(name)):
                 raise ReproError(f"{name}: flow broke functional equivalence")
+
+    # ------------------------------------------------------------------
+    def simulate(
+        self,
+        name: str,
+        config: str = "FO3+BUF",
+        n_waves: int = 64,
+        engine: str = "packed",
+        n_phases: int = 3,
+        pipelined: bool = True,
+        seed: int = 0,
+    ) -> WaveSimulationReport:
+        """Phase-accurate simulation of one transformed benchmark (memoized).
+
+        Drives *n_waves* seeded random input waves through the netlist of
+        ``run(name, config)`` under an ``n_phases`` regeneration clock.  The
+        default ``engine="packed"`` uses the bit-packed batched engine, so
+        dynamic validation stays cheap even on the full suite.
+        """
+        key = (name, config, n_waves, engine, n_phases, pipelined, seed)
+        if key not in self._simulations:
+            netlist = self.run(name, config).netlist
+            vectors = random_vectors(netlist.n_inputs, n_waves, seed=seed)
+            self._simulations[key] = simulate_waves(
+                netlist,
+                vectors,
+                clocking=ClockingScheme(n_phases),
+                pipelined=pipelined,
+                engine=engine,
+            )
+        return self._simulations[key]
 
     # ------------------------------------------------------------------
     def run_suite(self, config: str) -> dict[str, WavePipelineResult]:

@@ -1,0 +1,179 @@
+"""Property tests: the packed engine is bit-identical to the scalar oracle.
+
+The scalar loop in ``simulator.py`` defines the semantics of the Fig. 4
+model; the packed engine in ``batch.py`` must reproduce it exactly — same
+outputs, same interference events (contents *and* order), same counters —
+on balanced and deliberately unbalanced netlists, across phase counts and
+injection modes, and across the 64-lane chunking boundaries.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wavepipe import (
+    ClockingScheme,
+    WaveNetlist,
+    compile_netlist,
+    golden_outputs,
+    random_vectors,
+    simulate_waves,
+    simulate_waves_packed,
+    wave_pipeline,
+)
+from repro.errors import SimulationError
+
+from helpers import build_adder_mig, build_random_mig
+
+_vectors = random_vectors  # the drivers' shared stimulus convention
+
+
+def _assert_identical(netlist, vectors, n_phases=3, pipelined=True):
+    clocking = ClockingScheme(n_phases)
+    scalar = simulate_waves(
+        netlist, vectors, clocking=clocking, pipelined=pipelined
+    )
+    packed = simulate_waves(
+        netlist, vectors, clocking=clocking, pipelined=pipelined,
+        engine="packed",
+    )
+    assert packed.outputs == scalar.outputs
+    assert packed.interference == scalar.interference
+    assert packed.steps_run == scalar.steps_run
+    assert packed.latency_steps == scalar.latency_steps
+    assert packed.waves_injected == scalar.waves_injected
+    assert packed.waves_retired == scalar.waves_retired
+    return scalar, packed
+
+
+@st.composite
+def netlists(draw):
+    """Random netlist: either raw (usually unbalanced) or wave-ready."""
+    n_gates = draw(st.integers(5, 40))
+    seed = draw(st.integers(0, 2**16))
+    mig = build_random_mig(
+        n_pis=draw(st.integers(3, 6)), n_gates=n_gates, seed=seed
+    )
+    if draw(st.booleans()):
+        return wave_pipeline(mig, fanout_limit=3, verify=False).netlist
+    return WaveNetlist.from_mig(mig)
+
+
+class TestEnginesAgree:
+    @given(
+        netlists(),
+        st.integers(2, 4),
+        st.booleans(),
+        st.integers(1, 80),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bit_identical_reports(
+        self, netlist, n_phases, pipelined, n_waves, seed
+    ):
+        vectors = _vectors(netlist.n_inputs, n_waves, seed)
+        _assert_identical(netlist, vectors, n_phases, pipelined)
+
+    @given(st.integers(2, 4), st.booleans())
+    @settings(max_examples=12, deadline=None)
+    def test_balanced_matches_golden(self, n_phases, pipelined):
+        netlist = wave_pipeline(build_adder_mig(3), fanout_limit=3).netlist
+        vectors = _vectors(netlist.n_inputs, 40, seed=n_phases)
+        scalar, packed = _assert_identical(
+            netlist, vectors, n_phases, pipelined
+        )
+        assert packed.coherent
+        assert packed.outputs == golden_outputs(netlist, vectors)
+        assert scalar.waves_retired == len(vectors)
+
+    @pytest.mark.parametrize("n_waves", [1, 63, 64, 65, 129, 200])
+    def test_lane_chunking_boundaries(self, n_waves):
+        # wave counts straddling the 64-lane packing must not disturb the
+        # chunk/warm-up bookkeeping, balanced or not
+        ready = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+        for netlist in (ready, raw):
+            vectors = _vectors(netlist.n_inputs, n_waves, seed=n_waves)
+            _assert_identical(netlist, vectors)
+
+    def test_unbalanced_interference_is_reproduced(self):
+        raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+        vectors = _vectors(raw.n_inputs, 32, seed=1)
+        scalar, packed = _assert_identical(raw, vectors)
+        assert not packed.coherent
+        assert len(packed.interference) == len(scalar.interference) > 0
+
+    def test_strict_mode_raises_same_message(self):
+        raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+        vectors = _vectors(raw.n_inputs, 10, seed=1)
+        messages = []
+        for engine in ("python", "packed"):
+            with pytest.raises(SimulationError) as exc_info:
+                simulate_waves(raw, vectors, strict=True, engine=engine)
+            messages.append(str(exc_info.value))
+        assert messages[0] == messages[1]
+
+
+class TestEmptyWaveList:
+    @pytest.mark.parametrize("engine", ["python", "packed"])
+    def test_empty_is_clean(self, engine):
+        # regression: this used to report steps_run == -1 and a negative
+        # measured throughput
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        report = simulate_waves(netlist, [], engine=engine)
+        assert report.outputs == []
+        assert report.steps_run == 0
+        assert report.waves_injected == 0
+        assert report.waves_retired == 0
+        assert report.interference == []
+        assert report.coherent
+        assert report.measured_throughput() == 0.0
+        assert report.latency_steps == netlist.depth()
+
+    @pytest.mark.parametrize("engine", ["python", "packed"])
+    def test_depth_zero_still_rejected(self, engine):
+        netlist = WaveNetlist()
+        netlist.add_output(netlist.add_input())
+        with pytest.raises(SimulationError):
+            simulate_waves(netlist, [], engine=engine)
+
+
+class TestFrontEnd:
+    def test_unknown_engine_rejected(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        with pytest.raises(SimulationError):
+            simulate_waves(netlist, [], engine="verilator")
+
+    def test_wrong_vector_width_same_error(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        for engine in ("python", "packed"):
+            with pytest.raises(SimulationError):
+                simulate_waves(netlist, [[True]], engine=engine)
+
+    def test_direct_packed_entry_point(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        vectors = _vectors(netlist.n_inputs, 8)
+        direct = simulate_waves_packed(netlist, vectors)
+        assert direct.outputs == golden_outputs(netlist, vectors)
+
+
+class TestCompileCache:
+    def test_cache_hits_same_version(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        assert compile_netlist(netlist) is compile_netlist(netlist)
+
+    def test_cache_invalidated_by_mutation(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        before = compile_netlist(netlist)
+        source = netlist.outputs[0]
+        netlist.set_output(0, int(netlist.add_buf(int(source))))
+        after = compile_netlist(netlist)
+        assert after is not before
+        assert after.depth == before.depth + 1
+
+    def test_distinct_phase_counts_cached_separately(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        two = compile_netlist(netlist, ClockingScheme(2))
+        three = compile_netlist(netlist, ClockingScheme(3))
+        assert two.n_phases == 2 and three.n_phases == 3
+        assert compile_netlist(netlist, ClockingScheme(2)) is two

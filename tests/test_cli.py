@@ -60,6 +60,40 @@ class TestFlow:
         assert main(["flow", str(path)]) == 0
 
 
+class TestSimulate:
+    def test_packed_engine_default(self, capsys):
+        assert main(["simulate", "circuit:adder:3", "--waves", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "packed" in out
+        assert "40 waves" in out
+        assert "golden    : ok" in out
+
+    def test_both_engines_cross_check(self, capsys):
+        assert main(
+            ["simulate", "circuit:adder:3", "--engine", "both",
+             "--waves", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "identical" in out
+        assert "speedup" in out
+
+    def test_raw_netlist_interferes(self, capsys):
+        assert main(
+            ["simulate", "circuit:adder:3", "--raw", "--waves", "20"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "interference events" in out
+        assert "golden    : MISMATCH" in out
+
+    def test_non_pipelined_and_phases(self, capsys):
+        assert main(
+            ["simulate", "circuit:mux:2", "--no-pipeline", "--phases", "4",
+             "--waves", "10", "--engine", "python"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "10 waves" in out
+
+
 class TestOtherCommands:
     def test_suite_listing(self, capsys):
         assert main(["suite"]) == 0

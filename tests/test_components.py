@@ -171,3 +171,47 @@ class TestConversions:
     def test_repr(self, small):
         netlist, _, _ = small
         assert "maj=1" in repr(netlist)
+
+
+class TestNameLookups:
+    def test_input_name(self, small):
+        netlist, (a, b, c), _ = small
+        assert [netlist.input_name(int(s) >> 1) for s in (a, b, c)] == [
+            "a", "b", "c"
+        ]
+
+    def test_input_name_rejects_non_input(self, small):
+        netlist, _, m = small
+        with pytest.raises(NetlistError):
+            netlist.input_name(int(m) >> 1)
+        with pytest.raises(NetlistError):
+            netlist.input_name(0)
+
+    def test_output_name(self, small):
+        netlist, _, _ = small
+        assert netlist.output_name(0) == "m"
+        with pytest.raises(NetlistError):
+            netlist.output_name(1)
+
+    def test_input_names_survive_clone_and_flow(self, small):
+        # regression: the transforms' structural copy used to skip the
+        # cached name index, breaking input_name on every flow result
+        from repro.core.wavepipe import wave_pipeline
+
+        netlist, _, _ = small
+        clone = netlist.clone()
+        assert [clone.input_name(c) for c in clone.inputs] == ["a", "b", "c"]
+        assert clone.version == netlist.version
+        ready = wave_pipeline(netlist, fanout_limit=3, verify=False).netlist
+        assert [ready.input_name(c) for c in ready.inputs] == ["a", "b", "c"]
+        extra = clone.add_input("d")
+        assert clone.input_name(int(extra) >> 1) == "d"
+        assert netlist.n_inputs == 3
+
+    def test_version_bumps_on_mutation(self, small):
+        netlist, (a, _, _), m = small
+        before = netlist.version
+        netlist.add_buf(m)
+        netlist.set_fanin(int(m) >> 1, 0, int(a))
+        netlist.set_output(0, m)
+        assert netlist.version >= before + 3

@@ -42,6 +42,21 @@ class TestRunner:
         with pytest.raises(ReproError):
             runner.run("nonexistent", "BUF")
 
+    def test_simulate_memoized_and_coherent(self, runner):
+        name = runner.names[0]
+        report = runner.simulate(name, n_waves=16)
+        assert report is runner.simulate(name, n_waves=16)
+        assert report.coherent
+        assert report.waves_retired == 16
+
+    def test_simulate_engines_agree(self, runner):
+        name = runner.names[0]
+        packed = runner.simulate(name, n_waves=12, engine="packed")
+        scalar = runner.simulate(name, n_waves=12, engine="python")
+        assert packed is not scalar
+        assert packed.outputs == scalar.outputs
+        assert packed.interference == scalar.interference
+
     def test_flow_invariants_enforced(self, runner):
         from repro.core.wavepipe.verify import check_balanced, check_fanout
 

@@ -76,6 +76,50 @@ class TestStructuralHashing:
         assert mig.add_maj(a, b, c) != mig.add_maj(a, b, c)
         assert mig.size == 2
 
+    def test_replace_fanin_reregisters_new_key(self):
+        # after surgery, add_maj of the *new* fan-in tuple must reuse the
+        # rewired gate instead of appending a structural duplicate
+        mig = Mig()
+        a, b, c, d = mig.add_pis(4)
+        gate = mig.add_maj(a, b, c)
+        mig._replace_fanin(gate.node, 2, d)
+        assert mig.fanins(gate.node) == tuple(sorted(map(int, (a, b, d))))
+        assert mig.add_maj(a, b, d) == gate
+        assert mig.size == 1
+
+    def test_replace_fanin_drops_old_key(self):
+        mig = Mig()
+        a, b, c, d = mig.add_pis(4)
+        gate = mig.add_maj(a, b, c)
+        mig._replace_fanin(gate.node, 0, d)
+        # the old tuple no longer describes any gate: a fresh node appears
+        fresh = mig.add_maj(a, b, c)
+        assert fresh != gate
+        assert mig.size == 2
+
+    def test_replace_fanin_merges_with_existing_entry(self):
+        # rewiring onto a tuple that already names another gate keeps the
+        # earlier registrant so add_maj shares one canonical node
+        mig = Mig()
+        a, b, c, d = mig.add_pis(4)
+        first = mig.add_maj(a, b, c)
+        second = mig.add_maj(a, b, d)
+        mig._replace_fanin(second.node, 2, c)
+        assert mig.fanins(second.node) == mig.fanins(first.node)
+        assert mig.add_maj(a, b, c) == first
+
+    def test_replace_fanin_keeps_other_nodes_entries(self):
+        # two gates may share a fan-in tuple after surgery; rewiring one of
+        # them must not evict the other's strash registration
+        mig = Mig()
+        a, b, c, d = mig.add_pis(4)
+        first = mig.add_maj(a, b, c)
+        second = mig.add_maj(a, b, d)
+        mig._replace_fanin(second.node, 2, c)  # duplicates first's tuple
+        mig._replace_fanin(second.node, 2, d)  # and moves away again
+        assert mig.add_maj(a, b, c) == first
+        assert mig.add_maj(a, b, d) == second
+
 
 class TestSimplification:
     def test_duplicate_input(self):
@@ -177,6 +221,32 @@ class TestWholeGraphOperations:
         compact = mig.cleanup()
         assert compact.pi_names == mig.pi_names
         assert compact.po_names == mig.po_names
+
+    def test_pi_name_lookup(self):
+        mig = Mig()
+        nodes = [mig.add_pi(f"n{i}").node for i in range(5)]
+        for i, node in enumerate(nodes):
+            assert mig.pi_name(node) == f"n{i}"
+
+    def test_pi_name_rejects_non_pi(self, simple):
+        mig, _, out = simple
+        with pytest.raises(MigError):
+            mig.pi_name(out.node)
+        with pytest.raises(MigError):
+            mig.pi_name(0)
+
+    def test_pi_names_survive_clone_and_cleanup(self):
+        mig = Mig()
+        a, b, c = (mig.add_pi(n) for n in ("alpha", "beta", "gamma"))
+        mig.add_maj(a, b, c)  # dangling on purpose
+        mig.add_po(mig.add_and(a, c), "y")
+        for copy in (mig.clone(), mig.cleanup(), mig.clone().cleanup()):
+            assert [copy.pi_name(n) for n in copy.pis] == [
+                "alpha", "beta", "gamma"
+            ]
+            extra = copy.add_pi("delta")
+            assert copy.pi_name(extra.node) == "delta"
+        assert mig.pi_names == ["alpha", "beta", "gamma"]
 
     def test_dangling_gates_listed(self):
         mig = Mig()
