@@ -13,7 +13,8 @@ Subcommands
     Phase-accurate wave simulation of a (transformed) benchmark under the
     regeneration clock — ``--engine packed`` uses the bit-packed batched
     engine, ``--engine both`` cross-checks the engines and reports the
-    speedup.
+    speedup, ``--streams N`` batches N independent wave streams through
+    the netlist in one packed pass (the serving scenario).
 ``suite``
     List the 37-benchmark suite with structural targets.
 ``techs``
@@ -74,7 +75,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument(
         "--which", nargs="+", default=["all"],
-        help="artifacts: table1 fig5 fig7 fig8 table2 fig9 (or 'all')",
+        help="artifacts: table1 fig5 fig7 fig8 table2 fig9 "
+        "fig9_throughput (or 'all')",
     )
     experiments.add_argument(
         "--csv-dir", type=Path, default=None,
@@ -93,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--waves", type=int, default=256,
         help="number of random data waves to inject (default: 256)",
+    )
+    simulate.add_argument(
+        "--streams", type=int, default=0,
+        help="batch this many independent wave streams of --waves each "
+        "through the netlist in one packed pass (0 = single stream)",
     )
     simulate.add_argument(
         "--phases", type=int, default=3,
@@ -218,11 +225,47 @@ def _run_flow(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _time_engines(engines, simulate, describe, out):
+    """Run *simulate* per engine, printing one described line each."""
+    results = {}
+    timings = {}
+    for engine in engines:
+        started = time.perf_counter()
+        results[engine] = simulate(engine)
+        timings[engine] = time.perf_counter() - started
+        line = describe(results[engine], timings[engine])
+        print(f"{engine:>9} : {line}", file=out)
+    return results, timings
+
+
+def _check_golden(matches: bool, raw: bool, out) -> None:
+    print(f"golden    : {'ok' if matches else 'MISMATCH'}", file=out)
+    if not matches and not raw:
+        # on a transformed netlist a golden mismatch is a real failure
+        # (with --raw it is the expected interference demonstration)
+        raise ReproError("simulation outputs diverged from the golden model")
+
+
+def _check_engines_identical(results, timings, out) -> None:
+    if len(results) != 2:
+        return
+    identical = results["python"] == results["packed"]  # every report field
+    speedup = timings["python"] / max(timings["packed"], 1e-9)
+    print(
+        f"engines   : {'identical' if identical else 'DIVERGED'}, "
+        f"packed speedup {speedup:.1f}x",
+        file=out,
+    )
+    if not identical:
+        raise ReproError("packed engine diverged from the scalar oracle")
+
+
 def _run_simulate(args: argparse.Namespace, out) -> int:
+    from .core.simulate import simulate_vectors
     from .core.wavepipe import (
         ClockingScheme,
-        golden_outputs,
         random_vectors,
+        simulate_streams,
         simulate_waves,
     )
 
@@ -238,48 +281,75 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     print(f"benchmark : {mig.name}", file=out)
     print(f"netlist   : {netlist}", file=out)
 
+    clocking = ClockingScheme(args.phases)
+    pipelined = not args.no_pipeline
+    engines = ("python", "packed") if args.engine == "both" else (args.engine,)
+    # one functional-model rebuild serves every golden comparison below
+    reference_mig = netlist.to_mig()
+
+    if args.streams > 0:
+        # serving scenario: independent streams batched across bit-lanes
+        streams = [
+            random_vectors(
+                netlist.n_inputs, max(0, args.waves), seed=args.seed + k
+            )
+            for k in range(args.streams)
+        ]
+
+        def describe(reports, seconds):
+            total_waves = sum(r.waves_retired for r in reports)
+            events = sum(len(r.interference) for r in reports)
+            steady = reports[0].steady_state_throughput() if reports else 0.0
+            return (
+                f"{len(reports)} streams, {total_waves} waves in "
+                f"{seconds:.3f}s, steady-state {steady:.3f} "
+                f"waves/step/stream, {events} interference events"
+            )
+
+        batches, timings = _time_engines(
+            engines,
+            lambda engine: simulate_streams(
+                netlist, streams, clocking=clocking,
+                pipelined=pipelined, engine=engine,
+            ),
+            describe,
+            out,
+        )
+        matches = all(
+            report.outputs == simulate_vectors(reference_mig, stream)
+            for report, stream in zip(batches[engines[0]], streams)
+        )
+        _check_golden(matches, args.raw, out)
+        _check_engines_identical(batches, timings, out)
+        return 0
+
     vectors = random_vectors(
         netlist.n_inputs, max(0, args.waves), seed=args.seed
     )
-    engines = ("python", "packed") if args.engine == "both" else (args.engine,)
-    reports = {}
-    timings = {}
-    for engine in engines:
-        started = time.perf_counter()
-        reports[engine] = simulate_waves(
-            netlist,
-            vectors,
-            clocking=ClockingScheme(args.phases),
-            pipelined=not args.no_pipeline,
-            engine=engine,
+
+    def describe(report, seconds):
+        return (
+            f"{report.waves_retired} waves in {report.steps_run} steps "
+            f"({seconds:.3f}s), throughput "
+            f"{report.measured_throughput():.3f} end-to-end / "
+            f"{report.steady_state_throughput():.3f} steady waves/step, "
+            f"{len(report.interference)} interference events"
         )
-        timings[engine] = time.perf_counter() - started
-        report = reports[engine]
-        print(
-            f"{engine:>9} : {report.waves_retired} waves in "
-            f"{report.steps_run} steps ({timings[engine]:.3f}s), "
-            f"throughput {report.measured_throughput():.3f} waves/step, "
-            f"{len(report.interference)} interference events",
-            file=out,
-        )
-    first = reports[engines[0]]
-    matches = first.outputs == golden_outputs(netlist, vectors)
-    print(f"golden    : {'ok' if matches else 'MISMATCH'}", file=out)
-    if not matches and not args.raw:
-        # on a transformed netlist a golden mismatch is a real failure
-        # (with --raw it is the expected interference demonstration)
-        raise ReproError("simulation outputs diverged from the golden model")
-    if len(engines) == 2:
-        scalar, packed = reports["python"], reports["packed"]
-        identical = scalar == packed  # dataclass ==: every report field
-        speedup = timings["python"] / max(timings["packed"], 1e-9)
-        print(
-            f"engines   : {'identical' if identical else 'DIVERGED'}, "
-            f"packed speedup {speedup:.1f}x",
-            file=out,
-        )
-        if not identical:
-            raise ReproError("packed engine diverged from the scalar oracle")
+
+    reports, timings = _time_engines(
+        engines,
+        lambda engine: simulate_waves(
+            netlist, vectors, clocking=clocking,
+            pipelined=pipelined, engine=engine,
+        ),
+        describe,
+        out,
+    )
+    matches = (
+        reports[engines[0]].outputs == simulate_vectors(reference_mig, vectors)
+    )
+    _check_golden(matches, args.raw, out)
+    _check_engines_identical(reports, timings, out)
     return 0
 
 

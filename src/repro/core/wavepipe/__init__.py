@@ -1,8 +1,10 @@
 """Wave-pipelining transforms, clocking, verification, and simulation."""
 
 from .batch import (
+    LANES_PER_WORD,
     CompiledWaveNetlist,
     compile_netlist,
+    simulate_streams_packed,
     simulate_waves_packed,
 )
 from .buffer_insertion import BufferInsertionResult, insert_buffers
@@ -16,6 +18,7 @@ from .simulator import (
     WaveSimulationReport,
     golden_outputs,
     random_vectors,
+    simulate_streams,
     simulate_waves,
 )
 from .verify import (
@@ -34,6 +37,7 @@ __all__ = [
     "ENGINES",
     "FanoutRestrictionResult",
     "Kind",
+    "LANES_PER_WORD",
     "NetlistStats",
     "PAPER_FANOUT_LIMIT",
     "PAPER_PHASES",
@@ -52,6 +56,8 @@ __all__ = [
     "min_fogs",
     "random_vectors",
     "restrict_fanout",
+    "simulate_streams",
+    "simulate_streams_packed",
     "simulate_waves",
     "simulate_waves_packed",
     "wave_pipeline",

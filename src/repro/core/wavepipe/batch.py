@@ -1,20 +1,29 @@
 """Bit-packed, batched engine for phase-accurate wave simulation.
 
 This module is the high-throughput implementation behind
-``simulate_waves(..., engine="packed")``.  It produces reports that are
-bit-identical to the scalar reference loop in
+``simulate_waves(..., engine="packed")`` and the batched multi-stream
+front-end :func:`~repro.core.wavepipe.simulator.simulate_streams`.  It
+produces reports that are bit-identical to the scalar reference loop in
 :mod:`repro.core.wavepipe.simulator` — same outputs, same
 :class:`~repro.core.wavepipe.simulator.WaveInterference` events in the same
 order — while advancing the whole netlist with numpy word operations.
 
 Architecture
 ------------
-**64 wave streams per word.**  The wave sequence of length ``W`` is split
-into up to 64 contiguous chunks ("lanes").  Lane *b* carries one bit of
-every ``uint64`` state word (the packing of the golden model in
-:mod:`repro.core.simulate`), so one majority update
-``(a & b) | (a & c) | (b & c)`` advances all lanes of a component at once,
-and one array operation advances every component of the active clock phase.
+**64 wave streams per word, unbounded words.**  The wave sequence of length
+``W`` is split into contiguous chunks ("lanes").  Lane *b* carries bit
+``b mod 64`` of word ``b // 64`` in every component's ``(n_words,)`` row of
+the ``(n_components, n_words)`` ``uint64`` state matrix (the packing of the
+golden model in :mod:`repro.core.simulate`, extended along a word axis), so
+one majority update ``(a & b) | (a & c) | (b & c)`` advances all lanes of a
+component at once and one array operation advances every component of the
+active clock phase.  The lane count is unbounded: the planner fills as many
+words as the stream needs, so 10^4–10^5-wave streams run in one pass.  The
+default plan keeps every lane's chunk around the warm-up length (adding
+lanes past that point no longer shortens the timeline) and caps itself at
+:data:`MAX_PLANNED_WORDS` words to bound the ``int32`` wave-id matrix; an
+explicit ``lanes=`` override bypasses the heuristic (used by the property
+tests to pin word-boundary behaviour and by the benchmarks).
 
 **Compiled phase tables.**  :func:`compile_netlist` flattens the netlist
 once per structural revision (see :attr:`WaveNetlist.version`) into
@@ -36,6 +45,22 @@ reference timeline ``[0, total_steps)``, which makes merging trivial:
 events are filtered per lane and sorted by (absolute step, within-phase
 order) — the same order the scalar loop emits them.
 
+**Independent streams share the lane axis.**  :func:`simulate_streams_packed`
+simulates many *independent* wave streams (the serving scenario: one
+request = one stream) in a single pass: every stream receives its own group
+of lanes — planned with the same warm-up/forward logic, budgeted
+proportionally to stream length — and because all streams share the
+netlist, clocking, and injection grid, the one phase-update loop advances
+them together.  Lanes of different streams never exchange data through the
+packing (each lane only ever reads bits it injected itself), so each
+stream's report equals running :func:`simulate_waves` on it alone.
+
+**Injection packing without the dense gather.**  Input words are packed one
+word at a time with shift/or reductions over at most 64 lanes, so the
+transient footprint is bounded by ``O(slots × 64 × n_inputs)`` regardless
+of the total lane and wave count (a dense ``(slots, lanes, inputs)``
+gather used to spike memory on large streams and defeat them).
+
 **Vectorized wave-id bookkeeping.**  Wave ids are tracked per component and
 lane in an ``int32`` matrix (``-1`` = warming up, ``-2`` = constants, which
 belong to every wave).  A majority update takes the elementwise maximum of
@@ -44,7 +69,8 @@ differ — a handful of comparisons per step for all components and lanes.
 
 The scalar engine remains the oracle; ``tests/test_batch_engine.py``
 property-tests this module against it on balanced and deliberately
-unbalanced netlists across phase counts and injection modes.
+unbalanced netlists across phase counts, injection modes, lane overrides
+straddling word boundaries, and multi-stream batches.
 """
 
 from __future__ import annotations
@@ -71,6 +97,13 @@ _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 #: Wave streams carried per packed state word.
 LANES_PER_WORD = 64
+
+#: Soft cap on the number of state words the *planner* chooses (the
+#: ``lanes=`` override and the one-lane-per-stream floor are unbounded).
+#: 16 words = 1024 lanes keeps the int32 wave-id matrix at 4 KiB per
+#: component — past that, widening words stops paying for the extra
+#: warm-up work and memory traffic.
+MAX_PLANNED_WORDS = 16
 
 
 @dataclass(frozen=True)
@@ -197,145 +230,298 @@ def _compile(netlist: WaveNetlist, p: int) -> CompiledWaveNetlist:
 
 @dataclass(frozen=True)
 class _LanePlan:
-    """How the wave stream is distributed across packed lanes."""
+    """How one or more wave streams are distributed across packed lanes.
+
+    All per-lane arrays are indexed by the *global* lane number; lanes of
+    one stream are contiguous.  ``base`` indexes the concatenated wave/bit
+    table shared by every stream, while ``wave0`` is the same quantity in
+    the lane's own stream's numbering (used for reported wave ids).
+    """
 
     n_lanes: int
+    n_words: int  # ceil(n_lanes / 64) packed state words
+    stream: np.ndarray  # stream id per lane
     chunk: np.ndarray  # waves owned per lane
-    start: np.ndarray  # first owned wave per lane
     warm: np.ndarray  # warm-up waves re-simulated before the chunk
-    base: np.ndarray  # first *injected* wave per lane (start - warm)
+    base: np.ndarray  # first injected wave per lane, global numbering
+    wave0: np.ndarray  # first injected wave per lane, stream numbering
     n_inj: np.ndarray  # injection slots per lane (warm + chunk + forward)
-    offset: np.ndarray  # absolute step of a lane's local step 0
+    offset: np.ndarray  # stream-absolute step of a lane's local step 0
     keep_lo: np.ndarray  # local step where the lane's kept region starts
     keep_hi: np.ndarray  # local step where the lane's kept region ends
-    total_steps: int  # reference timeline length (scalar steps_run)
+    stream_waves: np.ndarray  # waves per stream
+    stream_base: np.ndarray  # first global wave index per stream
+    stream_steps: np.ndarray  # reference timeline length per stream
     local_steps: int  # steps every lane actually advances
 
 
-def _plan_lanes(
-    n_waves: int, depth: int, n_phases: int, separation: int, balanced: bool
-) -> _LanePlan:
-    """Split *n_waves* into lanes with exact warm-up/forward overlap."""
-    n_lanes = min(LANES_PER_WORD, n_waves)
-    chunk = np.full(n_lanes, n_waves // n_lanes, dtype=np.int64)
-    chunk[: n_waves % n_lanes] += 1
-    start = np.concatenate(([0], np.cumsum(chunk)[:-1]))
+def _overlap_slots(
+    depth: int, n_phases: int, separation: int, balanced: bool
+) -> tuple[int, int]:
+    """Warm-up and forward overlap of one lane, in injection slots.
 
-    # Dependence window of one state read, in clock steps: a fan-in chain
-    # has at most `depth` links, and a link steps back exactly one step per
-    # level on a balanced netlist but up to p steps in general (the fan-in
-    # cell's previous latch).  One extra slot absorbs the injection grid
-    # (an input holds its last wave for up to `separation` steps).
+    Dependence window of one state read, in clock steps: a fan-in chain
+    has at most ``depth`` links, and a link steps back exactly one step per
+    level on a balanced netlist but up to ``p`` steps in general (the
+    fan-in cell's previous latch).  One extra slot absorbs the injection
+    grid (an input holds its last wave for up to ``separation`` steps).
+    The forward overlap covers the drain: on an unbalanced netlist a short
+    path can deliver a *later* wave to an output driver while a kept wave
+    retires.
+    """
     window_steps = depth if balanced else depth * n_phases
     warm_slots = -(-window_steps // separation) + 1
-    # Forward overlap: on an unbalanced netlist a short path can deliver a
-    # *later* wave to an output driver while wave g retires.
     forward_slots = -(-depth // separation)
+    return warm_slots, forward_slots
 
-    warm = np.minimum(warm_slots, start)
-    base = start - warm
-    forward = np.minimum(forward_slots, n_waves - (start + chunk))
-    n_inj = warm + chunk + forward
-    offset = base * separation
-    total_steps = (n_waves - 1) * separation + depth + 1
 
-    keep_lo = warm * separation
-    keep_hi = (warm + chunk) * separation
-    keep_hi[-1] = total_steps - offset[-1]  # last lane owns the drain tail
-    lane_steps = np.maximum(
-        (warm + chunk - 1) * separation + depth + 1, keep_hi
+#: Calibration of the planner's cost model: the fixed per-step cost
+#: (python dispatch + the width-independent array walks), expressed in
+#: component-lane units (one int32 wave-id element processed ≈ one unit).
+#: Measured on the suite's ctrl/i2c netlists; only the order of magnitude
+#: matters — the optimum below is flat around its minimum.
+_STEP_OVERHEAD_COMPONENT_LANES = 400_000
+
+
+def _default_lane_count(
+    n_waves: int, warm_slots: int, separation: int, depth: int,
+    n_components: int,
+) -> int:
+    """Planner heuristic: lanes for one stream of *n_waves* waves.
+
+    Up to 64 waves every wave gets its own lane (one word, the PR-1
+    layout).  Beyond that the planner balances two costs: each step pays a
+    fixed overhead (so fewer, wider steps are better) plus array traffic
+    proportional to ``n_components * lanes`` (so narrower is better).
+    With ``steps ≈ fill + n_waves * separation / lanes`` the optimum is
+    ``lanes* = sqrt(n_waves * separation * overhead / (fill * n))``,
+    floored to whole words so a marginal win never pays for a wider
+    wave-id matrix, and capped at :data:`MAX_PLANNED_WORDS` words.
+    """
+    if n_waves <= LANES_PER_WORD:
+        return n_waves
+    fill_steps = warm_slots * separation + depth
+    ideal = (
+        n_waves * separation * _STEP_OVERHEAD_COMPONENT_LANES
+        / (fill_steps * max(1, n_components))
+    ) ** 0.5
+    words = max(1, min(MAX_PLANNED_WORDS, int(ideal) // LANES_PER_WORD))
+    return min(n_waves, words * LANES_PER_WORD)
+
+
+def _stream_lane_counts(
+    waves_per_stream: Sequence[int], warm_slots: int
+) -> list[int]:
+    """Split the planner's lane budget across independent streams.
+
+    Every stream needs at least one lane; the remaining budget follows
+    each stream's ideal (``chunk ≈ warm_slots``) count, scaled down
+    proportionally when the ideals exceed :data:`MAX_PLANNED_WORDS` words.
+    With more streams than budgeted lanes the floor wins — one lane per
+    stream — and the word count grows beyond the soft cap.
+    """
+    budget = MAX_PLANNED_WORDS * LANES_PER_WORD
+    ideal = [
+        min(w, max(1, -(-w // max(1, warm_slots)))) for w in waves_per_stream
+    ]
+    total = sum(ideal)
+    if total <= budget:
+        return ideal
+    scale = budget / total
+    return [
+        max(1, min(w, int(lanes * scale)))
+        for lanes, w in zip(ideal, waves_per_stream)
+    ]
+
+
+def _plan_lanes(
+    waves_per_stream: Sequence[int],
+    depth: int,
+    n_phases: int,
+    separation: int,
+    balanced: bool,
+    n_components: int,
+    lanes: Optional[int] = None,
+) -> _LanePlan:
+    """Distribute one or more streams across lanes with exact overlap.
+
+    *lanes* (single-stream only) overrides the heuristic lane count —
+    clamped to ``[1, n_waves]`` — so tests and benchmarks can pin word
+    boundaries regardless of the planner's defaults.
+    """
+    warm_slots, forward_slots = _overlap_slots(
+        depth, n_phases, separation, balanced
     )
+    if lanes is not None:
+        if len(waves_per_stream) != 1:
+            raise SimulationError(
+                "explicit lane counts apply to single-stream runs only"
+            )
+        counts = [max(1, min(int(lanes), waves_per_stream[0]))]
+    elif len(waves_per_stream) == 1:
+        counts = [
+            _default_lane_count(
+                waves_per_stream[0], warm_slots, separation, depth,
+                n_components,
+            )
+        ]
+    else:
+        counts = _stream_lane_counts(waves_per_stream, warm_slots)
+
+    stream_parts = []
+    stream_waves = np.asarray(waves_per_stream, dtype=np.int64)
+    stream_base = np.concatenate(([0], np.cumsum(stream_waves)[:-1]))
+    stream_steps = (stream_waves - 1) * separation + depth + 1
+    for index, (n_waves, n_lanes) in enumerate(
+        zip(waves_per_stream, counts)
+    ):
+        chunk = np.full(n_lanes, n_waves // n_lanes, dtype=np.int64)
+        chunk[: n_waves % n_lanes] += 1
+        start = np.concatenate(([0], np.cumsum(chunk)[:-1]))
+        warm = np.minimum(warm_slots, start)
+        wave0 = start - warm
+        forward = np.minimum(forward_slots, n_waves - (start + chunk))
+        n_inj = warm + chunk + forward
+        offset = wave0 * separation
+        keep_lo = warm * separation
+        keep_hi = (warm + chunk) * separation
+        # the stream's last lane owns the drain tail of its timeline
+        keep_hi[-1] = int(stream_steps[index]) - offset[-1]
+        lane_steps = np.maximum(
+            (warm + chunk - 1) * separation + depth + 1, keep_hi
+        )
+        stream_parts.append(
+            (
+                np.full(n_lanes, index, dtype=np.int64),
+                chunk,
+                warm,
+                wave0 + stream_base[index],
+                wave0,
+                n_inj,
+                offset,
+                keep_lo,
+                keep_hi,
+                lane_steps,
+            )
+        )
+
+    columns = [np.concatenate(parts) for parts in zip(*stream_parts)]
+    (stream, chunk, warm, base, wave0, n_inj, offset,
+     keep_lo, keep_hi, lane_steps) = columns
+    n_lanes = int(stream.size)
     return _LanePlan(
         n_lanes=n_lanes,
+        n_words=-(-n_lanes // LANES_PER_WORD),
+        stream=stream,
         chunk=chunk,
-        start=start,
         warm=warm,
         base=base,
+        wave0=wave0,
         n_inj=n_inj,
         offset=offset,
         keep_lo=keep_lo,
         keep_hi=keep_hi,
-        total_steps=total_steps,
+        stream_waves=stream_waves,
+        stream_base=stream_base,
+        stream_steps=stream_steps,
         local_steps=int(lane_steps.max()),
     )
 
 
 def _pack_injections(
-    vectors: Sequence[Sequence[bool]], n_inputs: int, plan: _LanePlan
+    bits: np.ndarray, plan: _LanePlan
 ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
     """Precompute per-slot packed input words and active-lane masks.
 
     Returns ``(words, masks, active)`` where ``words[slot]`` holds one
-    uint64 per input (bit *b* = the bit lane *b* injects on that slot),
-    ``masks[slot]`` is the uint64 mask of lanes injecting on that slot, and
-    ``active[slot]`` lists those lanes' indices.
+    ``(n_inputs, n_words)`` block (bit *b* of word *w* = the bit lane
+    ``64*w + b`` injects on that slot), ``masks[slot]`` is the per-word
+    uint64 mask of lanes injecting on that slot, and ``active[slot]``
+    lists those lanes' indices.
+
+    The packing runs one word at a time with a shift/or reduction over at
+    most 64 lanes, so the transient gather is bounded regardless of the
+    total lane count (a dense ``(slots, lanes, inputs)`` uint64 broadcast
+    used to spike memory on 10^4+-wave streams).
     """
     n_slots = int(plan.n_inj.max())
-    n_waves = len(vectors)
-    bits = np.zeros((n_waves, n_inputs), dtype=bool)
-    for wave, vector in enumerate(vectors):
-        bits[wave] = vector
+    n_waves, n_inputs = bits.shape
     slots = np.arange(n_slots, dtype=np.int64)
-    wave_of_slot = plan.base[None, :] + slots[:, None]  # (n_slots, n_lanes)
-    valid = slots[:, None] < plan.n_inj[None, :]
-    gathered = bits[np.clip(wave_of_slot, 0, n_waves - 1)]
-    gathered[~valid] = False
-    lane_bit = np.left_shift(
-        _WORD(1), np.arange(plan.n_lanes, dtype=_WORD)
-    )
-    words = np.bitwise_or.reduce(
-        np.where(gathered, lane_bit[None, :, None], _WORD(0)), axis=1
-    )
-    masks = np.bitwise_or.reduce(
-        np.where(valid, lane_bit[None, :], _WORD(0)), axis=1
-    )
+    valid = slots[:, None] < plan.n_inj[None, :]  # (n_slots, n_lanes) bool
+    words = np.zeros((n_slots, n_inputs, plan.n_words), dtype=_WORD)
+    masks = np.zeros((n_slots, plan.n_words), dtype=_WORD)
+    for word in range(plan.n_words):
+        lo = word * LANES_PER_WORD
+        hi = min(lo + LANES_PER_WORD, plan.n_lanes)
+        shift = np.arange(hi - lo, dtype=_WORD)
+        bit = np.left_shift(_WORD(1), shift)
+        wave_of_slot = plan.base[None, lo:hi] + slots[:, None]
+        gathered = bits[np.clip(wave_of_slot, 0, n_waves - 1)]
+        gathered[~valid[:, lo:hi]] = False
+        words[:, :, word] = np.bitwise_or.reduce(
+            np.left_shift(gathered.astype(_WORD), shift[None, :, None]),
+            axis=1,
+        )
+        masks[:, word] = np.bitwise_or.reduce(
+            np.where(valid[:, lo:hi], bit[None, :], _WORD(0)), axis=1
+        )
     active = [np.nonzero(valid[slot])[0] for slot in range(n_slots)]
     return words, masks, active
 
 
-def simulate_waves_packed(
-    netlist: WaveNetlist,
-    vectors: Sequence[Sequence[bool]],
-    clocking: Optional[ClockingScheme] = None,
-    pipelined: bool = True,
-    strict: bool = False,
-) -> WaveSimulationReport:
-    """Packed-engine equivalent of :func:`~.simulator.simulate_waves`.
+def _vector_bits(
+    streams: Sequence[Sequence[Sequence[bool]]], n_inputs: int
+) -> np.ndarray:
+    """Concatenate every stream's vectors into one (waves, inputs) table."""
+    total = sum(len(vectors) for vectors in streams)
+    bits = np.zeros((total, n_inputs), dtype=bool)
+    row = 0
+    for vectors in streams:
+        for vector in vectors:
+            bits[row] = vector
+            row += 1
+    return bits
 
-    Accepts the same arguments (minus ``engine``) and returns a report that
-    is bit-identical to the scalar reference engine's, including the
-    interference event list and its ordering.
+
+def _run_plan(
+    compiled: CompiledWaveNetlist,
+    plan: _LanePlan,
+    bits: np.ndarray,
+    separation: int,
+    strict: bool,
+) -> tuple[list, list]:
+    """Advance every lane of *plan* and merge the kept step regions.
+
+    Returns ``(results, events)``: per-global-wave output vectors and
+    interference records ``(stream, absolute_step, order, event)`` sorted
+    the way the scalar loop emits them (per stream, then by step, then by
+    within-phase order).  In strict mode the loop stops as soon as no lane
+    can still discover an earlier event; the caller raises.
     """
-    clocking = clocking or ClockingScheme()
-    _validate_vectors(netlist, vectors)
-    compiled = compile_netlist(netlist, clocking)
     depth = compiled.depth
-    if depth == 0:
-        raise SimulationError("cannot wave-simulate a depth-0 netlist")
-    n_waves = len(vectors)
-    if n_waves == 0:
-        return _empty_report(depth)
-
     p = compiled.n_phases
-    separation = wave_separation(depth, p, pipelined)
-    plan = _plan_lanes(n_waves, depth, p, separation, compiled.balanced)
-    inj_words, inj_masks, inj_active = _pack_injections(
-        vectors, netlist.n_inputs, plan
-    )
+    inj_words, inj_masks, inj_active = _pack_injections(bits, plan)
     n_slots = inj_words.shape[0]
+    single_stream = plan.stream_waves.size == 1
 
     n = compiled.n_components
-    value = np.zeros(n, dtype=_WORD)
+    value = np.zeros((n, plan.n_words), dtype=_WORD)
     wave = np.full((n, plan.n_lanes), -1, dtype=np.int32)
     wave[0, :] = -2  # sentinel: constants belong to every wave
 
-    results: list[Optional[list[bool]]] = [None] * n_waves
-    events: list[tuple[int, int, WaveInterference]] = []
+    n_total = int(plan.stream_waves.sum())
+    results: list = [None] * n_total
+    events: list[tuple[int, int, int, WaveInterference]] = []
     earliest_event = None  # absolute step of the earliest kept event
 
     inputs = compiled.inputs
     keep_lo, keep_hi = plan.keep_lo, plan.keep_hi
-    offset, base = plan.offset, plan.base
+    offset, base, wave0 = plan.offset, plan.base, plan.wave0
+    stream = plan.stream
+    word_of = np.arange(plan.n_lanes, dtype=np.int64) // LANES_PER_WORD
+    bit_of = (
+        np.arange(plan.n_lanes, dtype=np.int64) % LANES_PER_WORD
+    ).astype(_WORD)
 
     for step in range(plan.local_steps):
         # 1) inject: every lane latches its slot's wave simultaneously
@@ -355,9 +541,9 @@ def simulate_waves_packed(
         has_maj = group.maj_idx.size > 0
         has_buf = group.buf_idx.size > 0
         if has_maj:
-            va = value[group.maj_src[0]] ^ group.maj_neg[0]
-            vb = value[group.maj_src[1]] ^ group.maj_neg[1]
-            vc = value[group.maj_src[2]] ^ group.maj_neg[2]
+            va = value[group.maj_src[0]] ^ group.maj_neg[0][:, None]
+            vb = value[group.maj_src[1]] ^ group.maj_neg[1][:, None]
+            vc = value[group.maj_src[2]] ^ group.maj_neg[2][:, None]
             new_maj = (va & vb) | (va & vc) | (vb & vc)
             wa = wave[group.maj_src[0]]
             wb = wave[group.maj_src[1]]
@@ -371,7 +557,7 @@ def simulate_waves_packed(
                 | ((wb >= 0) & (wc >= 0) & (wb != wc))
             )
         if has_buf:
-            new_buf = value[group.buf_src] ^ group.buf_neg
+            new_buf = value[group.buf_src] ^ group.buf_neg[:, None]
             new_buf_wave = wave[group.buf_src]
         if has_maj:
             if hit.any():
@@ -381,13 +567,14 @@ def simulate_waves_packed(
                     absolute = int(step + offset[lane])
                     ids = sorted(
                         {
-                            int(w[row, lane]) + int(base[lane])
+                            int(w[row, lane]) + int(wave0[lane])
                             for w in (wa, wb, wc)
                             if w[row, lane] >= 0
                         }
                     )
                     events.append(
                         (
+                            int(stream[lane]),
                             absolute,
                             int(row),
                             WaveInterference(
@@ -411,33 +598,154 @@ def simulate_waves_packed(
                 (plan.warm <= slot) & (slot < plan.warm + plan.chunk)
             )[0]
             if owners.size:
-                out_words = value[compiled.out_node] ^ compiled.out_neg
-                bits = (
-                    (out_words[:, None] >> owners.astype(_WORD)[None, :])
+                out_words = value[compiled.out_node] ^ compiled.out_neg[:, None]
+                out_bits = (
+                    (out_words[:, word_of[owners]] >> bit_of[owners][None, :])
                     & _WORD(1)
                 ).astype(bool)
                 for column, lane in enumerate(owners):
-                    results[int(base[lane]) + slot] = bits[:, column].tolist()
+                    results[int(base[lane]) + slot] = (
+                        out_bits[:, column].tolist()
+                    )
         # In strict mode stop as soon as no lane can still discover an
         # earlier event (absolute = local + offset, offsets are >= 0).
-        if strict and earliest_event is not None and step > earliest_event:
+        # With several streams the caller wants the *first stream's* first
+        # event, so the loop must run to completion.
+        if (
+            strict
+            and single_stream
+            and earliest_event is not None
+            and step > earliest_event
+        ):
             break
 
-    events.sort(key=lambda item: item[:2])
+    events.sort(key=lambda item: item[:3])
+    return results, events
+
+
+def _interference_error(event: WaveInterference) -> SimulationError:
+    """The scalar engine's strict-mode error, verbatim (message parity)."""
+    return SimulationError(
+        f"wave interference at step {event.step}, component "
+        f"{event.component}: waves {event.wave_ids}"
+    )
+
+
+def _packed_reports(
+    netlist: WaveNetlist,
+    streams: Sequence[Sequence[Sequence[bool]]],
+    clocking: Optional[ClockingScheme],
+    pipelined: bool,
+    strict: bool,
+    lanes: Optional[int],
+) -> list[WaveSimulationReport]:
+    """Shared prologue/epilogue of both packed entry points.
+
+    Validates, compiles, plans, runs, and slices one report per stream
+    (empty streams get clean empty reports).  ``simulate_waves_packed`` is
+    the single-stream slice of this; keeping one copy of the control flow
+    means strict-mode and retirement checks cannot drift between the
+    entry points.
+    """
+    clocking = clocking or ClockingScheme()
+    for vectors in streams:
+        _validate_vectors(netlist, vectors)
+    compiled = compile_netlist(netlist, clocking)
+    depth = compiled.depth
+    if depth == 0:
+        raise SimulationError("cannot wave-simulate a depth-0 netlist")
+
+    reports: list[Optional[WaveSimulationReport]] = [None] * len(streams)
+    live = [
+        index for index, vectors in enumerate(streams) if len(vectors) > 0
+    ]
+    for index, vectors in enumerate(streams):
+        if len(vectors) == 0:
+            reports[index] = _empty_report(depth)
+    if not live:
+        return reports  # type: ignore[return-value]  # every stream empty
+
+    p = compiled.n_phases
+    separation = wave_separation(depth, p, pipelined)
+    live_streams = [streams[index] for index in live]
+    plan = _plan_lanes(
+        [len(vectors) for vectors in live_streams],
+        depth,
+        p,
+        separation,
+        compiled.balanced,
+        compiled.n_components,
+        lanes=lanes,
+    )
+    bits = _vector_bits(live_streams, netlist.n_inputs)
+    results, events = _run_plan(compiled, plan, bits, separation, strict)
+
     if strict and events:
-        first = events[0][2]
-        raise SimulationError(
-            f"wave interference at step {first.step}, component "
-            f"{first.component}: waves {first.wave_ids}"
-        )
+        raise _interference_error(events[0][3])
     if any(result is None for result in results):
         raise SimulationError("simulation ended before every wave retired")
 
-    return WaveSimulationReport(
-        outputs=results,  # type: ignore[arg-type]
-        latency_steps=depth,
-        steps_run=plan.total_steps,
-        waves_injected=n_waves,
-        waves_retired=n_waves,
-        interference=[event for _, _, event in events],
+    for position, index in enumerate(live):
+        lo = int(plan.stream_base[position])
+        hi = lo + int(plan.stream_waves[position])
+        n_waves = hi - lo
+        reports[index] = WaveSimulationReport(
+            outputs=results[lo:hi],
+            latency_steps=depth,
+            steps_run=int(plan.stream_steps[position]),
+            waves_injected=n_waves,
+            waves_retired=n_waves,
+            interference=[
+                event
+                for event_stream, _, _, event in events
+                if event_stream == position
+            ],
+        )
+    return reports  # type: ignore[return-value]
+
+
+def simulate_waves_packed(
+    netlist: WaveNetlist,
+    vectors: Sequence[Sequence[bool]],
+    clocking: Optional[ClockingScheme] = None,
+    pipelined: bool = True,
+    strict: bool = False,
+    lanes: Optional[int] = None,
+) -> WaveSimulationReport:
+    """Packed-engine equivalent of :func:`~.simulator.simulate_waves`.
+
+    Accepts the same arguments (minus ``engine``) and returns a report that
+    is bit-identical to the scalar reference engine's, including the
+    interference event list and its ordering.  *lanes* overrides the
+    planner's lane count (clamped to ``[1, n_waves]``); the result is
+    bit-identical for every choice — only the speed/memory trade-off moves.
+    """
+    (report,) = _packed_reports(
+        netlist, [vectors], clocking, pipelined, strict, lanes
+    )
+    return report
+
+
+def simulate_streams_packed(
+    netlist: WaveNetlist,
+    streams: Sequence[Sequence[Sequence[bool]]],
+    clocking: Optional[ClockingScheme] = None,
+    pipelined: bool = True,
+    strict: bool = False,
+) -> list[WaveSimulationReport]:
+    """Simulate many independent wave streams in one packed pass.
+
+    Each element of *streams* is a full wave sequence (one vector per
+    wave); the returned list holds one report per stream, each
+    bit-identical to ``simulate_waves(netlist, stream, ...)`` on that
+    stream alone.  All streams share the netlist and clocking; they are
+    packed side by side across lanes/words so the whole batch advances in
+    a single phase-update loop (the serving scenario).
+
+    In strict mode the error matches what the scalar engine would raise
+    when the streams are simulated one after another: the first stream (in
+    order) with interference reports its earliest event.
+    """
+    return _packed_reports(
+        netlist, list(streams), clocking, pipelined, strict, None
     )

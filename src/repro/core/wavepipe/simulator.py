@@ -29,14 +29,23 @@ interference events, in the same order):
 
 ``engine="packed"``
     The bit-packed batched engine in :mod:`repro.core.wavepipe.batch`: the
-    wave stream is split across up to 64 lanes packed one-bit-per-lane into
-    ``uint64`` words (the layout of :mod:`repro.core.simulate`), per-phase
+    wave stream is split across lanes packed one-bit-per-lane into a
+    ``(n_components, n_words)`` matrix of ``uint64`` words (the layout of
+    :mod:`repro.core.simulate`, extended along a word axis), per-phase
     component/fan-in arrays are compiled once per netlist revision, and
-    every clock step is a handful of whole-array numpy operations.  Lanes
-    re-simulate a short warm-up/overlap window so that the coupled dynamics
-    of adjacent waves — including interference on unbalanced netlists — stay
-    bit-identical to the reference engine.  This is the engine that reaches
-    the paper's 10^5-component netlists (e.g. DIFFEQ1's 306 937 components).
+    every clock step is a handful of whole-array numpy operations.  The
+    lane count is unbounded — the planner fills as many 64-lane words as
+    the stream warrants — so 10^4–10^5-wave streams run in one pass.
+    Lanes re-simulate a short warm-up/overlap window so that the coupled
+    dynamics of adjacent waves — including interference on unbalanced
+    netlists — stay bit-identical to the reference engine.  This is the
+    engine that reaches the paper's 10^5-component netlists (e.g.
+    DIFFEQ1's 306 937 components) and the roadmap's 10^5-wave streams.
+
+:func:`simulate_streams` batches many *independent* wave streams (the
+serving scenario: one request = one stream) through the same netlist in a
+single packed pass; each returned report is bit-identical to running
+:func:`simulate_waves` on that stream alone.
 
 The scalar loop stays the semantic definition; the packed engine is
 property-tested against it (see ``tests/test_batch_engine.py``).
@@ -96,10 +105,41 @@ class WaveSimulationReport:
         return not self.interference
 
     def measured_throughput(self) -> float:
-        """Retired waves per simulation step (1/p when fully pipelined)."""
+        """Retired waves per simulation step, end to end.
+
+        The denominator includes the pipeline fill (the ``depth`` steps
+        before the first retirement) and the final drain step, so short
+        streams under-report the paper's sustained rate; use
+        :meth:`steady_state_throughput` for the 1/p steady-state claim.
+        """
         if self.steps_run == 0:
             return 0.0
         return self.waves_retired / self.steps_run
+
+    def steady_state_throughput(self) -> float:
+        """Waves retired per step between the first and last retirement.
+
+        This is the paper's sustained rate: the fill/drain latency is
+        excluded, so a pipelined run measures exactly ``1/p`` and a
+        non-pipelined run ``1/(ceil(depth/p) * p)`` regardless of stream
+        length.  With fewer than two retirements there is no steady-state
+        interval and the end-to-end rate is returned instead.
+        """
+        if self.waves_retired < 2:
+            return self.measured_throughput()
+        # retirements happen at steps depth, depth+s, ..., steps_run-1
+        span = self.steps_run - 1 - self.latency_steps
+        return (self.waves_retired - 1) / span
+
+
+def _check_engine(engine: str) -> None:
+    """Reject unknown engine names (the one shared message for every
+    front-end: :func:`simulate_waves`, :func:`simulate_streams`, and the
+    experiment runner)."""
+    if engine not in ENGINES:
+        raise SimulationError(
+            f"unknown simulation engine {engine!r}; choose from {ENGINES}"
+        )
 
 
 def _validate_vectors(
@@ -168,10 +208,7 @@ def simulate_waves(
     -------
     A report whose ``outputs[w]`` is the output vector of wave *w*.
     """
-    if engine not in ENGINES:
-        raise SimulationError(
-            f"unknown simulation engine {engine!r}; choose from {ENGINES}"
-        )
+    _check_engine(engine)
     clocking = clocking or ClockingScheme()
     if engine == "packed":
         from .batch import simulate_waves_packed
@@ -181,6 +218,51 @@ def simulate_waves(
             pipelined=pipelined, strict=strict,
         )
     return _simulate_waves_python(netlist, vectors, clocking, pipelined, strict)
+
+
+def simulate_streams(
+    netlist: WaveNetlist,
+    streams: Sequence[Sequence[Sequence[bool]]],
+    clocking: Optional[ClockingScheme] = None,
+    pipelined: bool = True,
+    strict: bool = False,
+    engine: str = "packed",
+) -> list[WaveSimulationReport]:
+    """Drive many independent wave streams through *netlist* in one batch.
+
+    Each element of *streams* is a complete wave sequence (the ``vectors``
+    argument of :func:`simulate_waves`); the result holds one report per
+    stream, bit-identical to simulating that stream alone.  This is the
+    serving front-end: with ``engine="packed"`` (the default) all streams
+    are packed side by side across bit-lanes and advance together in a
+    single pass, so the cost of one netlist sweep is shared by the whole
+    batch.  ``engine="python"`` simulates the streams one after another
+    with the scalar oracle (the reference for tests).
+
+    In strict mode the first stream (in order) with interference raises,
+    with the same message from both engines.
+    """
+    _check_engine(engine)
+    clocking = clocking or ClockingScheme()
+    if engine == "packed":
+        from .batch import simulate_streams_packed
+
+        return simulate_streams_packed(
+            netlist, streams, clocking=clocking,
+            pipelined=pipelined, strict=strict,
+        )
+    # validate the whole batch up front (the packed engine does the same),
+    # so a malformed later stream or an unsimulatable netlist reports
+    # before an earlier stream simulates — and identically for an empty
+    # batch, where the per-stream loop would never run the checks
+    for vectors in streams:
+        _validate_vectors(netlist, vectors)
+    if netlist.depth() == 0:
+        raise SimulationError("cannot wave-simulate a depth-0 netlist")
+    return [
+        _simulate_waves_python(netlist, vectors, clocking, pipelined, strict)
+        for vectors in streams
+    ]
 
 
 def _simulate_waves_python(

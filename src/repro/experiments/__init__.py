@@ -1,6 +1,7 @@
-"""One module per paper artifact: table1, fig5, fig7, fig8, table2, fig9."""
+"""One module per paper artifact: table1, fig5, fig7, fig8, table2, fig9,
+plus the dynamic fig9_throughput sweep measured on the wave simulator."""
 
-from . import fig5, fig7, fig8, fig9, table1, table2
+from . import fig5, fig7, fig8, fig9, fig9_throughput, table1, table2
 from .runner import SuiteRunner, active_suite, parse_config
 
 #: artifact name -> module with run()/Result.render()
@@ -11,6 +12,7 @@ ARTIFACTS = {
     "fig8": fig8,
     "table2": table2,
     "fig9": fig9,
+    "fig9_throughput": fig9_throughput,
 }
 
 __all__ = [
@@ -21,6 +23,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "fig9_throughput",
     "parse_config",
     "table1",
     "table2",

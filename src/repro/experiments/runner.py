@@ -30,6 +30,7 @@ from ..core.wavepipe import (
     WavePipelineResult,
     WaveSimulationReport,
     random_vectors,
+    simulate_streams,
     simulate_waves,
     wave_pipeline,
 )
@@ -76,7 +77,8 @@ class SuiteRunner:
         self._migs: dict[str, Mig] = {}
         self._netlists: dict[str, WaveNetlist] = {}
         self._results: dict[tuple[str, str], WavePipelineResult] = {}
-        self._simulations: dict[tuple, WaveSimulationReport] = {}
+        #: ("waves", ...) -> report; ("streams", ...) -> list of reports
+        self._simulations: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     def spec(self, name: str) -> BenchmarkSpec:
@@ -137,6 +139,13 @@ class SuiteRunner:
                 raise ReproError(f"{name}: flow broke functional equivalence")
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _check_engine(engine: str) -> None:
+        """Reject unknown engine names *before* the expensive flow runs."""
+        from ..core.wavepipe.simulator import _check_engine
+
+        _check_engine(engine)
+
     def simulate(
         self,
         name: str,
@@ -152,15 +161,58 @@ class SuiteRunner:
         Drives *n_waves* seeded random input waves through the netlist of
         ``run(name, config)`` under an ``n_phases`` regeneration clock.  The
         default ``engine="packed"`` uses the bit-packed batched engine, so
-        dynamic validation stays cheap even on the full suite.
+        dynamic validation stays cheap even on the full suite.  Both
+        engines return bit-identical reports, so the memo key deliberately
+        ignores *engine* — asking for the other engine recalls the cached
+        report instead of re-simulating.
         """
-        key = (name, config, n_waves, engine, n_phases, pipelined, seed)
+        self._check_engine(engine)
+        key = ("waves", name, config, n_waves, n_phases, pipelined, seed)
         if key not in self._simulations:
             netlist = self.run(name, config).netlist
             vectors = random_vectors(netlist.n_inputs, n_waves, seed=seed)
             self._simulations[key] = simulate_waves(
                 netlist,
                 vectors,
+                clocking=ClockingScheme(n_phases),
+                pipelined=pipelined,
+                engine=engine,
+            )
+        return self._simulations[key]
+
+    def simulate_streams(
+        self,
+        name: str,
+        config: str = "FO3+BUF",
+        n_streams: int = 8,
+        n_waves: int = 64,
+        engine: str = "packed",
+        n_phases: int = 3,
+        pipelined: bool = True,
+        seed: int = 0,
+    ) -> list[WaveSimulationReport]:
+        """Batched simulation of many independent wave streams (memoized).
+
+        The serving scenario: *n_streams* seeded random streams of
+        *n_waves* each (stream *k* uses ``seed + k``) are packed across
+        bit-lanes and driven through ``run(name, config)`` in one pass.
+        Returns one report per stream; as with :meth:`simulate`, the memo
+        key ignores *engine* because the reports are bit-identical.
+        """
+        self._check_engine(engine)
+        key = (
+            "streams", name, config, n_streams, n_waves, n_phases,
+            pipelined, seed,
+        )
+        if key not in self._simulations:
+            netlist = self.run(name, config).netlist
+            streams = [
+                random_vectors(netlist.n_inputs, n_waves, seed=seed + k)
+                for k in range(n_streams)
+            ]
+            self._simulations[key] = simulate_streams(
+                netlist,
+                streams,
                 clocking=ClockingScheme(n_phases),
                 pipelined=pipelined,
                 engine=engine,

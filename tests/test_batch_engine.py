@@ -4,7 +4,9 @@ The scalar loop in ``simulator.py`` defines the semantics of the Fig. 4
 model; the packed engine in ``batch.py`` must reproduce it exactly — same
 outputs, same interference events (contents *and* order), same counters —
 on balanced and deliberately unbalanced netlists, across phase counts and
-injection modes, and across the 64-lane chunking boundaries.
+injection modes, across the 64-lane word boundaries of the multi-word
+layout (explicit ``lanes=`` forcings pin the word count), and for batched
+independent streams (``simulate_streams``).
 """
 
 import pytest
@@ -17,6 +19,8 @@ from repro.core.wavepipe import (
     compile_netlist,
     golden_outputs,
     random_vectors,
+    simulate_streams,
+    simulate_streams_packed,
     simulate_waves,
     simulate_waves_packed,
     wave_pipeline,
@@ -28,15 +32,22 @@ from helpers import build_adder_mig, build_random_mig
 _vectors = random_vectors  # the drivers' shared stimulus convention
 
 
-def _assert_identical(netlist, vectors, n_phases=3, pipelined=True):
+def _assert_identical(netlist, vectors, n_phases=3, pipelined=True,
+                      lanes=None):
     clocking = ClockingScheme(n_phases)
     scalar = simulate_waves(
         netlist, vectors, clocking=clocking, pipelined=pipelined
     )
-    packed = simulate_waves(
-        netlist, vectors, clocking=clocking, pipelined=pipelined,
-        engine="packed",
-    )
+    if lanes is None:
+        packed = simulate_waves(
+            netlist, vectors, clocking=clocking, pipelined=pipelined,
+            engine="packed",
+        )
+    else:
+        packed = simulate_waves_packed(
+            netlist, vectors, clocking=clocking, pipelined=pipelined,
+            lanes=lanes,
+        )
     assert packed.outputs == scalar.outputs
     assert packed.interference == scalar.interference
     assert packed.steps_run == scalar.steps_run
@@ -66,13 +77,15 @@ class TestEnginesAgree:
         st.booleans(),
         st.integers(1, 80),
         st.integers(0, 2**16),
+        st.none() | st.integers(1, 160),
     )
     @settings(max_examples=60, deadline=None)
     def test_bit_identical_reports(
-        self, netlist, n_phases, pipelined, n_waves, seed
+        self, netlist, n_phases, pipelined, n_waves, seed, lanes
     ):
+        # lanes > 64 forces the multi-word layout even on short streams
         vectors = _vectors(netlist.n_inputs, n_waves, seed)
-        _assert_identical(netlist, vectors, n_phases, pipelined)
+        _assert_identical(netlist, vectors, n_phases, pipelined, lanes=lanes)
 
     @given(st.integers(2, 4), st.booleans())
     @settings(max_examples=12, deadline=None)
@@ -96,11 +109,40 @@ class TestEnginesAgree:
             vectors = _vectors(netlist.n_inputs, n_waves, seed=n_waves)
             _assert_identical(netlist, vectors)
 
+    @pytest.mark.parametrize("n_waves", [63, 64, 65, 128, 129])
+    @pytest.mark.parametrize("pipelined", [True, False])
+    def test_word_boundaries_multi_word(self, n_waves, pipelined):
+        # one lane per wave pins the word count: 65 waves -> 2 words,
+        # 129 -> 3; outputs and events must not notice the word seams,
+        # in pipelined and non-pipelined injection alike
+        ready = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+        for netlist in (ready, raw):
+            vectors = _vectors(netlist.n_inputs, n_waves, seed=n_waves)
+            _assert_identical(
+                netlist, vectors, pipelined=pipelined, lanes=n_waves
+            )
+
+    def test_1024_waves_bit_identical(self):
+        # the planner chooses the multi-word layout on its own here; the
+        # report must still match the scalar oracle bit for bit
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        vectors = _vectors(netlist.n_inputs, 1030, seed=5)
+        scalar, packed = _assert_identical(netlist, vectors)
+        assert packed.coherent
+        assert packed.outputs == golden_outputs(netlist, vectors)
+
     def test_unbalanced_interference_is_reproduced(self):
         raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
         vectors = _vectors(raw.n_inputs, 32, seed=1)
         scalar, packed = _assert_identical(raw, vectors)
         assert not packed.coherent
+        assert len(packed.interference) == len(scalar.interference) > 0
+
+    def test_unbalanced_interference_multi_word(self):
+        raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+        vectors = _vectors(raw.n_inputs, 130, seed=1)
+        scalar, packed = _assert_identical(raw, vectors, lanes=130)
         assert len(packed.interference) == len(scalar.interference) > 0
 
     def test_strict_mode_raises_same_message(self):
@@ -112,6 +154,124 @@ class TestEnginesAgree:
                 simulate_waves(raw, vectors, strict=True, engine=engine)
             messages.append(str(exc_info.value))
         assert messages[0] == messages[1]
+
+    @pytest.mark.parametrize("lanes", [1, 7, 70, 100])
+    def test_strict_message_identical_across_lane_plans(self, lanes):
+        # the raised event must be the scalar loop's first event no matter
+        # how the stream is chunked (including multi-word forcings)
+        raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+        vectors = _vectors(raw.n_inputs, 100, seed=1)
+        with pytest.raises(SimulationError) as reference:
+            simulate_waves(raw, vectors, strict=True, engine="python")
+        with pytest.raises(SimulationError) as forced:
+            simulate_waves_packed(raw, vectors, strict=True, lanes=lanes)
+        assert str(forced.value) == str(reference.value)
+
+
+class TestStreams:
+    """simulate_streams: batched independent streams == one-at-a-time."""
+
+    def _assert_streams_identical(self, netlist, streams, **kwargs):
+        oracle = simulate_streams(
+            netlist, streams, engine="python", **kwargs
+        )
+        batched = simulate_streams(
+            netlist, streams, engine="packed", **kwargs
+        )
+        assert len(batched) == len(oracle) == len(streams)
+        for got, expected in zip(batched, oracle):
+            assert got == expected  # dataclass ==: every report field
+        return batched
+
+    @given(
+        netlists(),
+        st.lists(st.integers(0, 70), min_size=1, max_size=5),
+        st.booleans(),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_streams_match_sequential_oracle(
+        self, netlist, lengths, pipelined, seed
+    ):
+        streams = [
+            _vectors(netlist.n_inputs, length, seed=seed + index)
+            for index, length in enumerate(lengths)
+        ]
+        self._assert_streams_identical(
+            netlist, streams, pipelined=pipelined
+        )
+
+    def test_streams_span_word_boundaries(self):
+        # enough streams that the lane table crosses several words
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        streams = [
+            _vectors(netlist.n_inputs, 3, seed=index) for index in range(150)
+        ]
+        reports = self._assert_streams_identical(netlist, streams)
+        for report, stream in zip(reports, streams):
+            assert report.outputs == golden_outputs(netlist, stream)
+
+    def test_empty_streams_mixed_in(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        streams = [
+            _vectors(netlist.n_inputs, 4, seed=1),
+            [],
+            _vectors(netlist.n_inputs, 9, seed=2),
+        ]
+        reports = self._assert_streams_identical(netlist, streams)
+        assert reports[1].steps_run == 0
+        assert reports[1].outputs == []
+
+    def test_no_streams(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        assert simulate_streams(netlist, [], engine="packed") == []
+        assert simulate_streams(netlist, [], engine="python") == []
+
+    @pytest.mark.parametrize("engine", ["python", "packed"])
+    @pytest.mark.parametrize("streams", [[], [[]], [[], []]])
+    def test_depth_zero_rejected_even_for_empty_batches(
+        self, engine, streams
+    ):
+        # parity: both engines must refuse a depth-0 netlist before
+        # looking at the batch, even when there is nothing to simulate
+        netlist = WaveNetlist()
+        netlist.add_output(netlist.add_input())
+        with pytest.raises(SimulationError):
+            simulate_streams(netlist, streams, engine=engine)
+
+    def test_unbalanced_events_attributed_per_stream(self):
+        raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+        streams = [
+            _vectors(raw.n_inputs, length, seed=length)
+            for length in (12, 30, 7)
+        ]
+        reports = self._assert_streams_identical(raw, streams)
+        assert any(not report.coherent for report in reports)
+
+    def test_strict_mode_same_error_as_sequential(self):
+        raw = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+        streams = [
+            _vectors(raw.n_inputs, length, seed=length)
+            for length in (10, 25)
+        ]
+        messages = []
+        for engine in ("python", "packed"):
+            with pytest.raises(SimulationError) as exc_info:
+                simulate_streams(raw, streams, strict=True, engine=engine)
+            messages.append(str(exc_info.value))
+        assert messages[0] == messages[1]
+
+    def test_unknown_engine_rejected(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        with pytest.raises(SimulationError):
+            simulate_streams(netlist, [], engine="verilator")
+
+    def test_direct_entry_point_matches_front_end(self):
+        netlist = wave_pipeline(build_adder_mig(2), fanout_limit=3).netlist
+        streams = [_vectors(netlist.n_inputs, 6, seed=s) for s in range(3)]
+        assert simulate_streams_packed(netlist, streams) == simulate_streams(
+            netlist, streams
+        )
 
 
 class TestEmptyWaveList:

@@ -93,6 +93,17 @@ class TestSimulate:
         out = capsys.readouterr().out
         assert "10 waves" in out
 
+    def test_streams_batch(self, capsys):
+        assert main(
+            ["simulate", "circuit:adder:3", "--waves", "12",
+             "--streams", "5", "--engine", "both"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "5 streams, 60 waves" in out
+        assert "steady-state" in out
+        assert "golden    : ok" in out
+        assert "identical" in out
+
 
 class TestOtherCommands:
     def test_suite_listing(self, capsys):

@@ -9,6 +9,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig9,
+    fig9_throughput,
     parse_config,
     table1,
     table2,
@@ -49,13 +50,33 @@ class TestRunner:
         assert report.coherent
         assert report.waves_retired == 16
 
-    def test_simulate_engines_agree(self, runner):
+    def test_simulate_cache_is_engine_agnostic(self, runner):
+        # both engines return bit-identical reports, so asking for the
+        # other engine must hit the memo instead of re-simulating
         name = runner.names[0]
         packed = runner.simulate(name, n_waves=12, engine="packed")
         scalar = runner.simulate(name, n_waves=12, engine="python")
-        assert packed is not scalar
-        assert packed.outputs == scalar.outputs
-        assert packed.interference == scalar.interference
+        assert packed is scalar
+
+    def test_simulate_rejects_engine_before_running_flow(self):
+        # validation happens before the expensive flow: even an unknown
+        # benchmark reports the bad engine, and nothing gets built
+        runner = SuiteRunner(TINY)
+        with pytest.raises(ReproError, match="engine"):
+            runner.simulate("nonexistent", engine="verilator")
+        assert not runner._results
+        assert not runner._simulations
+
+    def test_simulate_streams_memoized_and_identical_to_solo(self, runner):
+        name = runner.names[0]
+        reports = runner.simulate_streams(name, n_streams=3, n_waves=8)
+        assert reports is runner.simulate_streams(
+            name, n_streams=3, n_waves=8, engine="python"
+        )
+        assert len(reports) == 3
+        # stream k uses seed+k, so stream 0 equals the single-stream memo
+        assert reports[0] == runner.simulate(name, n_waves=8, seed=0)
+        assert reports[1] == runner.simulate(name, n_waves=8, seed=1)
 
     def test_flow_invariants_enforced(self, runner):
         from repro.core.wavepipe.verify import check_balanced, check_fanout
@@ -165,3 +186,38 @@ class TestTable2AndFig9:
         result = fig9.run(runner)
         assert "T/P" in result.render()
         assert result.to_csv(tmp_path / "fig9.csv").exists()
+
+
+class TestFig9Throughput:
+    def test_steady_state_matches_analytic(self, runner):
+        result = fig9_throughput.run(runner, n_waves=24)
+        assert len(result.per_benchmark) == len(TINY)
+        for row in result.per_benchmark:
+            # sustained pipelined rate is exactly 1/p; non-pipelined is
+            # exactly one wave per ceil(depth/p) cycles
+            assert row.pipelined_steady == pytest.approx(
+                row.analytic_pipelined
+            )
+            assert row.non_pipelined_steady == pytest.approx(
+                row.analytic_non_pipelined
+            )
+
+    def test_end_to_end_under_reports_short_streams(self, runner):
+        result = fig9_throughput.run(runner, n_waves=24)
+        for row in result.per_benchmark:
+            # the former metric includes the fill/drain latency
+            assert row.pipelined_end_to_end < row.pipelined_steady
+
+    def test_gain_grows_with_depth(self, runner):
+        result = fig9_throughput.run(runner, n_waves=24)
+        by_depth = sorted(result.per_benchmark, key=lambda row: row.depth)
+        assert by_depth[0].gain <= by_depth[-1].gain
+        assert result.mean_gain() > 1.0
+
+    def test_render_and_csv(self, runner, tmp_path):
+        result = fig9_throughput.run(runner, n_waves=24)
+        text = result.render()
+        assert "waves/step" in text
+        assert "mean sustained gain" in text
+        path = result.to_csv(tmp_path / "fig9_throughput.csv")
+        assert path.read_text().startswith("benchmark,")

@@ -59,6 +59,38 @@ class TestCoherentOperation:
         report = simulate_waves(pipelined_adder, vectors)
         assert report.measured_throughput() == pytest.approx(1 / 3, rel=0.15)
 
+    def test_steady_state_throughput_is_exactly_one_third(
+        self, pipelined_adder
+    ):
+        # the sustained rate excludes the fill/drain latency, so it hits
+        # the paper's 1/p exactly even on a short stream — where the
+        # end-to-end rate still under-reports
+        vectors = _vectors(pipelined_adder.n_inputs, 8)
+        report = simulate_waves(pipelined_adder, vectors)
+        assert report.steady_state_throughput() == pytest.approx(1 / 3)
+        assert report.measured_throughput() < report.steady_state_throughput()
+
+    def test_steady_state_throughput_non_pipelined(self, pipelined_adder):
+        # one wave per ceil(depth/p) cycles when waiting for retirement
+        vectors = _vectors(pipelined_adder.n_inputs, 8)
+        report = simulate_waves(pipelined_adder, vectors, pipelined=False)
+        depth = pipelined_adder.depth()
+        separation = -(-depth // 3) * 3
+        assert report.steady_state_throughput() == pytest.approx(
+            1 / separation
+        )
+
+    def test_steady_state_throughput_single_wave_falls_back(
+        self, pipelined_adder
+    ):
+        # a single retirement has no steady-state interval
+        report = simulate_waves(
+            pipelined_adder, _vectors(pipelined_adder.n_inputs, 1)
+        )
+        assert (
+            report.steady_state_throughput() == report.measured_throughput()
+        )
+
     def test_pipelined_beats_sequential(self, pipelined_adder):
         vectors = _vectors(pipelined_adder.n_inputs, 30)
         pipelined = simulate_waves(pipelined_adder, vectors, pipelined=True)
