@@ -14,6 +14,13 @@ Simulates a 4x4 array multiplier under the three-phase regeneration clock:
   magnitude faster — the stream is spread across bit-lanes packed into a
   ``(components, words)`` uint64 matrix, and the planner adds state words
   as the stream grows (64 lanes per word, unbounded words);
+* the packed engine's step loop runs as a compiled kernel
+  (``repro.core.wavepipe.kernels``): fused zero-allocation numpy by
+  default, a numba-JIT loop nest when numba is installed (the
+  ``repro[jit]`` extra; ``REPRO_JIT=0`` opts out) — and on *balanced*
+  netlists the per-lane wave-id tracking is elided entirely, because the
+  clocking discipline makes interference provably impossible.  Every
+  variant returns the same report, bit for bit;
 * ``simulate_streams`` batches many independent wave streams (think: one
   request per stream) through the netlist in a single packed pass.
 """
@@ -23,10 +30,12 @@ import time
 
 from repro.core.wavepipe import (
     WaveNetlist,
+    describe_packed_run,
     golden_outputs,
     random_vectors,
     simulate_streams,
     simulate_waves,
+    simulate_waves_packed,
     wave_pipeline,
 )
 from repro.suite.circuits import array_multiplier
@@ -105,6 +114,22 @@ def main() -> None:
         f"{packed_elapsed * 1e3:.1f} ms vs {scalar_elapsed * 1e3:.1f} ms "
         f"scalar ({scalar_elapsed / packed_elapsed:.0f}x)"
     )
+
+    # the kernel matrix: the balanced netlist lets the engine drop the
+    # wave-id tracking entirely (interference is provably impossible);
+    # forcing the tracked kernels changes nothing but the speed
+    info = describe_packed_run(ready, len(stream))
+    tracked = simulate_waves_packed(ready, stream, track=True)
+    assert tracked == packed
+    print(
+        f"kernels: backend={info['backend']} "
+        f"(jit {'compiled' if info['jit_compiled'] else 'unavailable'}), "
+        f"tracking {'elided' if info['elided_tracking'] else 'tracked'}, "
+        f"plan {info['lanes']} lanes x {info['words']} words; forced "
+        "tracked kernels agree bit-for-bit"
+    )
+    naive_info = describe_packed_run(raw, len(stream))
+    assert not naive_info["elided_tracking"]  # unbalanced: proof fails
 
     # the serving scenario: many independent wave streams, one batch.
     # each report equals simulating that stream alone.

@@ -1,5 +1,35 @@
-"""Legacy shim so `pip install -e .` works without the `wheel` package."""
+"""Packaging for the DATE-2017 wave-pipelining reproduction.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` (no ``pyproject.toml``) so ``pip install
+-e .`` works without the ``wheel``/``build`` packages in minimal
+containers.  The ``jit`` extra pulls in numba for the compiled step-loop
+kernels of the packed wave-simulation engine
+(:mod:`repro.core.wavepipe.kernels`); without it the engine falls back
+to the pure-numpy fused kernels with identical results.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-wave-pipelining",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Wave pipelining for majority-based "
+        "beyond-CMOS technologies' (DATE 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "networkx",
+    ],
+    extras_require={
+        # optional numba-JIT backend for the packed engine's step loop;
+        # auto-detected at import time, REPRO_JIT=0 / --no-jit opt out
+        "jit": ["numba>=0.57"],
+    },
+    entry_points={
+        "console_scripts": ["repro = repro.cli:main"],
+    },
+)

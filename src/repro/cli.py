@@ -12,9 +12,11 @@ Subcommands
 ``simulate``
     Phase-accurate wave simulation of a (transformed) benchmark under the
     regeneration clock — ``--engine packed`` uses the bit-packed batched
-    engine, ``--engine both`` cross-checks the engines and reports the
-    speedup, ``--streams N`` batches N independent wave streams through
-    the netlist in one packed pass (the serving scenario).
+    engine (numba-JIT step kernels when numba is installed, fused numpy
+    otherwise; ``--no-jit`` forces the latter), ``--engine both``
+    cross-checks the engines and reports the speedup, ``--streams N``
+    batches N independent wave streams through the netlist in one packed
+    pass (the serving scenario).
 ``suite``
     List the 37-benchmark suite with structural targets.
 ``techs``
@@ -84,13 +86,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     simulate = commands.add_parser(
-        "simulate", help="phase-accurate wave simulation of a benchmark"
+        "simulate", help="phase-accurate wave simulation of a benchmark",
+        description="Phase-accurate wave simulation under the "
+        "regeneration clock.  The packed engine picks its step-loop "
+        "kernel automatically: the numba-JIT loop nest when numba is "
+        "installed (the repro[jit] extra), else fused pure-numpy "
+        "kernels; on balanced netlists the per-lane wave-id tracking is "
+        "elided entirely (interference is provably impossible), on "
+        "unbalanced ones the tracked kernels reproduce the scalar "
+        "oracle's interference events bit for bit.",
     )
     simulate.add_argument("source", help="same source syntax as 'flow'")
     simulate.add_argument(
         "--engine", choices=("python", "packed", "both"), default="packed",
         help="simulation engine (default: packed); 'both' cross-checks "
         "the packed engine against the scalar oracle",
+    )
+    simulate.add_argument(
+        "--no-jit", action="store_true",
+        help="never use the numba-JIT step kernels: force the fused "
+        "pure-numpy backend (same reports, bit for bit); equivalent to "
+        "REPRO_JIT=0",
     )
     simulate.add_argument(
         "--waves", type=int, default=256,
@@ -264,11 +280,15 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     from .core.simulate import simulate_vectors
     from .core.wavepipe import (
         ClockingScheme,
+        describe_packed_run,
         random_vectors,
+        set_default_backend,
         simulate_streams,
         simulate_waves,
     )
 
+    if args.no_jit:
+        set_default_backend("fused")
     mig = _load_source(args.source)
     if args.raw:
         netlist = WaveNetlist.from_mig(mig)
@@ -282,6 +302,20 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     print(f"netlist   : {netlist}", file=out)
 
     clocking = ClockingScheme(args.phases)
+    if args.engine != "python":
+        info = describe_packed_run(
+            netlist, max(0, args.waves), clocking=clocking,
+            pipelined=not args.no_pipeline,
+            n_streams=max(1, args.streams),
+        )
+        print(
+            f"kernel    : backend={info['backend']}"
+            f"{' (jit)' if info['jit_compiled'] else ''}, "
+            f"tracking={'elided' if info['elided_tracking'] else 'tracked'}, "
+            f"plan={info['lanes']} lanes / {info['words']} words / "
+            f"{info['steps']} steps",
+            file=out,
+        )
     pipelined = not args.no_pipeline
     engines = ("python", "packed") if args.engine == "both" else (args.engine,)
     # one functional-model rebuild serves every golden comparison below

@@ -2,10 +2,17 @@
 
 from .batch import (
     LANES_PER_WORD,
-    CompiledWaveNetlist,
-    compile_netlist,
+    describe_packed_run,
     simulate_streams_packed,
     simulate_waves_packed,
+)
+from .kernels import (
+    BACKENDS,
+    CompiledWaveNetlist,
+    can_elide_tracking,
+    compile_netlist,
+    jit_available,
+    set_default_backend,
 )
 from .buffer_insertion import BufferInsertionResult, insert_buffers
 from .clocking import PAPER_PHASES, ClockingScheme
@@ -31,6 +38,7 @@ from .verify import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BufferInsertionResult",
     "ClockingScheme",
     "CompiledWaveNetlist",
@@ -47,15 +55,19 @@ __all__ = [
     "WaveSimulationReport",
     "assert_balanced",
     "assert_fanout",
+    "can_elide_tracking",
     "check_balanced",
     "check_equivalent_to_mig",
     "check_fanout",
     "compile_netlist",
+    "describe_packed_run",
     "golden_outputs",
     "insert_buffers",
+    "jit_available",
     "min_fogs",
     "random_vectors",
     "restrict_fanout",
+    "set_default_backend",
     "simulate_streams",
     "simulate_streams_packed",
     "simulate_waves",

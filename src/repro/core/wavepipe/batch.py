@@ -6,7 +6,16 @@ front-end :func:`~repro.core.wavepipe.simulator.simulate_streams`.  It
 produces reports that are bit-identical to the scalar reference loop in
 :mod:`repro.core.wavepipe.simulator` — same outputs, same
 :class:`~repro.core.wavepipe.simulator.WaveInterference` events in the same
-order — while advancing the whole netlist with numpy word operations.
+order — while advancing the whole netlist with compiled word operations.
+
+Since the kernelized-step-loop refactor this module owns only the
+*planning* half of the engine: lane planning, injection packing, and
+report merging.  The per-clock-step hot loop lives in
+:mod:`repro.core.wavepipe.kernels`, which provides four interchangeable
+variants — pure-numpy fused kernels and an optional numba-JIT loop nest,
+each with or without wave-id tracking (tracking is *elided* whenever the
+netlist's balance proves interference impossible; see the kernels module
+docstring for the backend matrix and the elision proof).
 
 Architecture
 ------------
@@ -15,21 +24,17 @@ Architecture
 ``b mod 64`` of word ``b // 64`` in every component's ``(n_words,)`` row of
 the ``(n_components, n_words)`` ``uint64`` state matrix (the packing of the
 golden model in :mod:`repro.core.simulate`, extended along a word axis), so
-one majority update ``(a & b) | (a & c) | (b & c)`` advances all lanes of a
-component at once and one array operation advances every component of the
-active clock phase.  The lane count is unbounded: the planner fills as many
-words as the stream needs, so 10^4–10^5-wave streams run in one pass.  The
-default plan keeps every lane's chunk around the warm-up length (adding
-lanes past that point no longer shortens the timeline) and caps itself at
-:data:`MAX_PLANNED_WORDS` words to bound the ``int32`` wave-id matrix; an
-explicit ``lanes=`` override bypasses the heuristic (used by the property
-tests to pin word-boundary behaviour and by the benchmarks).
-
-**Compiled phase tables.**  :func:`compile_netlist` flattens the netlist
-once per structural revision (see :attr:`WaveNetlist.version`) into
-per-phase arrays: component indices, gathered fan-in node indices, and
-complement masks, separated into majority and buffer/fan-out groups.  The
-tables are memoized per ``(netlist, n_phases)`` in a weak cache.
+one majority update advances all lanes of a component at once and one
+array operation advances every component of the active clock phase.  The
+lane count is unbounded: the planner fills as many words as the stream
+needs, so 10^4–10^5-wave streams run in one pass.  The planner balances
+the kernel's fixed per-step cost against ``components x lanes`` array
+traffic using a **per-backend calibration constant**
+(:data:`~repro.core.wavepipe.kernels.PLANNER_STEP_OVERHEAD` — elided and
+JIT kernels move far less data per lane, so their plans go wider), caps
+itself at :data:`MAX_PLANNED_WORDS` words, and is bypassed entirely by an
+explicit ``lanes=`` override (used by the property tests to pin
+word-boundary behaviour and by the benchmarks).
 
 **Exact overlap windows.**  Waves in a pipeline are *coupled*: on an
 unbalanced netlist a component can combine data of adjacent waves, so the
@@ -43,7 +48,10 @@ step region then depends only on injections the lane performed itself, so
 it equals the single-stream reference exactly.  The kept regions tile the
 reference timeline ``[0, total_steps)``, which makes merging trivial:
 events are filtered per lane and sorted by (absolute step, within-phase
-order) — the same order the scalar loop emits them.
+order) — the same order the scalar loop emits them — and the retired
+output words snapshotted by the kernel are bit-extracted in one
+vectorized pass (the kept (lane, slot) pairs enumerate the global wave
+sequence in order).
 
 **Independent streams share the lane axis.**  :func:`simulate_streams_packed`
 simulates many *independent* wave streams (the serving scenario: one
@@ -61,21 +69,15 @@ transient footprint is bounded by ``O(slots × 64 × n_inputs)`` regardless
 of the total lane and wave count (a dense ``(slots, lanes, inputs)``
 gather used to spike memory on large streams and defeat them).
 
-**Vectorized wave-id bookkeeping.**  Wave ids are tracked per component and
-lane in an ``int32`` matrix (``-1`` = warming up, ``-2`` = constants, which
-belong to every wave).  A majority update takes the elementwise maximum of
-the fan-in ids and flags interference wherever two non-negative fan-in ids
-differ — a handful of comparisons per step for all components and lanes.
-
-The scalar engine remains the oracle; ``tests/test_batch_engine.py``
-property-tests this module against it on balanced and deliberately
-unbalanced netlists across phase counts, injection modes, lane overrides
-straddling word boundaries, and multi-stream batches.
+The scalar engine remains the oracle; ``tests/test_batch_engine.py`` and
+``tests/test_kernels.py`` property-test this module against it on
+balanced and deliberately unbalanced netlists across phase counts,
+injection modes, lane overrides straddling word boundaries, multi-stream
+batches, and every kernel backend.
 """
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -83,7 +85,15 @@ import numpy as np
 
 from ...errors import SimulationError
 from .clocking import ClockingScheme
-from .components import Kind, WaveNetlist
+from .kernels import (
+    CompiledWaveNetlist,
+    compile_netlist,
+    jit_available,
+    planner_step_overhead,
+    resolve_backend,
+    resolve_tracking,
+    run_plan,
+)
 from .simulator import (
     WaveInterference,
     WaveSimulationReport,
@@ -93,139 +103,16 @@ from .simulator import (
 )
 
 _WORD = np.uint64
-_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 #: Wave streams carried per packed state word.
 LANES_PER_WORD = 64
 
 #: Soft cap on the number of state words the *planner* chooses (the
 #: ``lanes=`` override and the one-lane-per-stream floor are unbounded).
-#: 16 words = 1024 lanes keeps the int32 wave-id matrix at 4 KiB per
-#: component — past that, widening words stops paying for the extra
-#: warm-up work and memory traffic.
+#: 16 words = 1024 lanes keeps the tracked kernels' int32 wave-id matrix
+#: at 4 KiB per component; past that, widening words stops paying for the
+#: extra warm-up work and memory traffic even in the elided kernels.
 MAX_PLANNED_WORDS = 16
-
-
-@dataclass(frozen=True)
-class _PhaseGroup:
-    """Components latching on one clock phase, in scalar update order."""
-
-    maj_idx: np.ndarray  # (n_maj,) component indices
-    maj_src: np.ndarray  # (3, n_maj) fan-in node indices
-    maj_neg: np.ndarray  # (3, n_maj) uint64 complement masks
-    buf_idx: np.ndarray  # (n_buf,) BUF/FOG component indices
-    buf_src: np.ndarray  # (n_buf,) fan-in node indices
-    buf_neg: np.ndarray  # (n_buf,) uint64 complement masks
-
-
-@dataclass(frozen=True)
-class CompiledWaveNetlist:
-    """Per-phase update tables of one netlist under one phase count."""
-
-    n_components: int
-    n_phases: int
-    depth: int
-    balanced: bool
-    inputs: np.ndarray  # (n_inputs,) input component indices
-    out_node: np.ndarray  # (n_outputs,) output driver node indices
-    out_neg: np.ndarray  # (n_outputs,) uint64 complement masks
-    phases: tuple[_PhaseGroup, ...]
-
-
-#: netlist -> {n_phases: (netlist.version, CompiledWaveNetlist)}
-_COMPILE_CACHE: "weakref.WeakKeyDictionary[WaveNetlist, dict]" = (
-    weakref.WeakKeyDictionary()
-)
-
-
-def compile_netlist(
-    netlist: WaveNetlist, clocking: Optional[ClockingScheme] = None
-) -> CompiledWaveNetlist:
-    """Flatten *netlist* into packed per-phase tables (memoized).
-
-    The cache is invalidated automatically when the netlist is mutated
-    (tracked through :attr:`WaveNetlist.version`).
-    """
-    clocking = clocking or ClockingScheme()
-    p = clocking.n_phases
-    per_netlist = _COMPILE_CACHE.setdefault(netlist, {})
-    cached = per_netlist.get(p)
-    if cached is not None and cached[0] == netlist.version:
-        return cached[1]
-    compiled = _compile(netlist, p)
-    per_netlist[p] = (netlist.version, compiled)
-    return compiled
-
-
-def _compile(netlist: WaveNetlist, p: int) -> CompiledWaveNetlist:
-    # direct access to the structure-of-arrays internals: compilation is
-    # the one O(n) pass, method-call overhead would dominate it
-    kinds = netlist._kinds
-    fanins = netlist._fanins
-    levels = netlist.levels()
-    depth = netlist.depth(levels)
-
-    # replicate the scalar grouping exactly: latching phase, deepest first
-    # (stable, so ties keep topological index order)
-    by_phase: list[list[int]] = [[] for _ in range(p)]
-    balanced = True
-    for component, kind in enumerate(kinds):
-        if kind not in (Kind.MAJ, Kind.BUF, Kind.FOG):
-            continue
-        by_phase[levels[component] % p].append(component)
-        if kind == Kind.MAJ and balanced:
-            fanin_levels = {
-                levels[lit >> 1] for lit in fanins[component] if lit >> 1
-            }
-            if len(fanin_levels) > 1:
-                balanced = False
-    output_levels = {
-        levels[lit >> 1] for lit in netlist._outputs if lit >> 1
-    }
-    if len(output_levels) > 1:
-        balanced = False
-
-    groups = []
-    for group in by_phase:
-        group.sort(key=lambda component: -levels[component])
-        maj = [c for c in group if kinds[c] == Kind.MAJ]
-        buf = [c for c in group if kinds[c] != Kind.MAJ]
-        maj_src = np.empty((3, len(maj)), dtype=np.int64)
-        maj_neg = np.empty((3, len(maj)), dtype=_WORD)
-        for column, component in enumerate(maj):
-            for row, lit in enumerate(fanins[component]):
-                maj_src[row, column] = lit >> 1
-                maj_neg[row, column] = _ALL_ONES if lit & 1 else 0
-        buf_src = np.empty(len(buf), dtype=np.int64)
-        buf_neg = np.empty(len(buf), dtype=_WORD)
-        for column, component in enumerate(buf):
-            (lit,) = fanins[component]
-            buf_src[column] = lit >> 1
-            buf_neg[column] = _ALL_ONES if lit & 1 else 0
-        groups.append(
-            _PhaseGroup(
-                maj_idx=np.asarray(maj, dtype=np.int64),
-                maj_src=maj_src,
-                maj_neg=maj_neg,
-                buf_idx=np.asarray(buf, dtype=np.int64),
-                buf_src=buf_src,
-                buf_neg=buf_neg,
-            )
-        )
-
-    out_lits = netlist._outputs
-    return CompiledWaveNetlist(
-        n_components=netlist.n_components,
-        n_phases=p,
-        depth=depth,
-        balanced=balanced,
-        inputs=np.asarray(netlist.inputs, dtype=np.int64),
-        out_node=np.asarray([lit >> 1 for lit in out_lits], dtype=np.int64),
-        out_neg=np.asarray(
-            [_ALL_ONES if lit & 1 else 0 for lit in out_lits], dtype=_WORD
-        ),
-        phases=tuple(groups),
-    )
 
 
 @dataclass(frozen=True)
@@ -275,17 +162,9 @@ def _overlap_slots(
     return warm_slots, forward_slots
 
 
-#: Calibration of the planner's cost model: the fixed per-step cost
-#: (python dispatch + the width-independent array walks), expressed in
-#: component-lane units (one int32 wave-id element processed ≈ one unit).
-#: Measured on the suite's ctrl/i2c netlists; only the order of magnitude
-#: matters — the optimum below is flat around its minimum.
-_STEP_OVERHEAD_COMPONENT_LANES = 400_000
-
-
 def _default_lane_count(
     n_waves: int, warm_slots: int, separation: int, depth: int,
-    n_components: int,
+    n_components: int, step_overhead: int,
 ) -> int:
     """Planner heuristic: lanes for one stream of *n_waves* waves.
 
@@ -296,13 +175,17 @@ def _default_lane_count(
     With ``steps ≈ fill + n_waves * separation / lanes`` the optimum is
     ``lanes* = sqrt(n_waves * separation * overhead / (fill * n))``,
     floored to whole words so a marginal win never pays for a wider
-    wave-id matrix, and capped at :data:`MAX_PLANNED_WORDS` words.
+    state matrix, and capped at :data:`MAX_PLANNED_WORDS` words.
+    *step_overhead* is the per-backend calibration constant from
+    :func:`~repro.core.wavepipe.kernels.planner_step_overhead`: kernels
+    with cheaper per-lane traffic (elided tracking, JIT loop nests) carry
+    a larger constant and therefore plan wider.
     """
     if n_waves <= LANES_PER_WORD:
         return n_waves
     fill_steps = warm_slots * separation + depth
     ideal = (
-        n_waves * separation * _STEP_OVERHEAD_COMPONENT_LANES
+        n_waves * separation * step_overhead
         / (fill_steps * max(1, n_components))
     ) ** 0.5
     words = max(1, min(MAX_PLANNED_WORDS, int(ideal) // LANES_PER_WORD))
@@ -342,12 +225,17 @@ def _plan_lanes(
     balanced: bool,
     n_components: int,
     lanes: Optional[int] = None,
+    *,
+    step_overhead: int,
 ) -> _LanePlan:
     """Distribute one or more streams across lanes with exact overlap.
 
     *lanes* (single-stream only) overrides the heuristic lane count —
     clamped to ``[1, n_waves]`` — so tests and benchmarks can pin word
-    boundaries regardless of the planner's defaults.
+    boundaries regardless of the planner's defaults.  *step_overhead* is
+    the per-backend cost-model constant (see :func:`_default_lane_count`);
+    it is required so the calibration has exactly one source of truth,
+    :data:`~repro.core.wavepipe.kernels.PLANNER_STEP_OVERHEAD`.
     """
     warm_slots, forward_slots = _overlap_slots(
         depth, n_phases, separation, balanced
@@ -362,7 +250,7 @@ def _plan_lanes(
         counts = [
             _default_lane_count(
                 waves_per_stream[0], warm_slots, separation, depth,
-                n_components,
+                n_components, step_overhead,
             )
         ]
     else:
@@ -483,144 +371,33 @@ def _vector_bits(
     return bits
 
 
-def _run_plan(
-    compiled: CompiledWaveNetlist,
-    plan: _LanePlan,
-    bits: np.ndarray,
-    separation: int,
-    strict: bool,
-) -> tuple[list, list]:
-    """Advance every lane of *plan* and merge the kept step regions.
+def _unpack_outputs(
+    ret_words: np.ndarray, plan: _LanePlan
+) -> list[list[bool]]:
+    """Bit-extract every kept (lane, slot) retirement in one pass.
 
-    Returns ``(results, events)``: per-global-wave output vectors and
-    interference records ``(stream, absolute_step, order, event)`` sorted
-    the way the scalar loop emits them (per stream, then by step, then by
-    within-phase order).  In strict mode the loop stops as soon as no lane
-    can still discover an earlier event; the caller raises.
+    Lanes are ordered by stream and chunk start, so the kept pairs
+    enumerate the global wave sequence exactly in order — row *k* of the
+    extracted bit matrix IS wave *k*'s output vector.
     """
-    depth = compiled.depth
-    p = compiled.n_phases
-    inj_words, inj_masks, inj_active = _pack_injections(bits, plan)
-    n_slots = inj_words.shape[0]
-    single_stream = plan.stream_waves.size == 1
-
-    n = compiled.n_components
-    value = np.zeros((n, plan.n_words), dtype=_WORD)
-    wave = np.full((n, plan.n_lanes), -1, dtype=np.int32)
-    wave[0, :] = -2  # sentinel: constants belong to every wave
-
-    n_total = int(plan.stream_waves.sum())
-    results: list = [None] * n_total
-    events: list[tuple[int, int, int, WaveInterference]] = []
-    earliest_event = None  # absolute step of the earliest kept event
-
-    inputs = compiled.inputs
-    keep_lo, keep_hi = plan.keep_lo, plan.keep_hi
-    offset, base, wave0 = plan.offset, plan.base, plan.wave0
-    stream = plan.stream
-    word_of = np.arange(plan.n_lanes, dtype=np.int64) // LANES_PER_WORD
-    bit_of = (
-        np.arange(plan.n_lanes, dtype=np.int64) % LANES_PER_WORD
-    ).astype(_WORD)
-
-    for step in range(plan.local_steps):
-        # 1) inject: every lane latches its slot's wave simultaneously
-        if step % separation == 0:
-            slot = step // separation
-            if slot < n_slots:
-                value[inputs] = (value[inputs] & ~inj_masks[slot]) | (
-                    inj_words[slot]
-                )
-                lanes = inj_active[slot]
-                if lanes.size:
-                    wave[np.ix_(inputs, lanes)] = slot
-        # 2) clocked components of this phase latch from their neighbours.
-        # All gathers read the pre-step state (the scalar loop's
-        # deepest-first order has exactly these snapshot semantics).
-        group = compiled.phases[step % p]
-        has_maj = group.maj_idx.size > 0
-        has_buf = group.buf_idx.size > 0
-        if has_maj:
-            va = value[group.maj_src[0]] ^ group.maj_neg[0][:, None]
-            vb = value[group.maj_src[1]] ^ group.maj_neg[1][:, None]
-            vc = value[group.maj_src[2]] ^ group.maj_neg[2][:, None]
-            new_maj = (va & vb) | (va & vc) | (vb & vc)
-            wa = wave[group.maj_src[0]]
-            wb = wave[group.maj_src[1]]
-            wc = wave[group.maj_src[2]]
-            warming = (wa == -1) | (wb == -1) | (wc == -1)
-            top = np.maximum(np.maximum(wa, wb), wc)
-            new_wave = np.where(warming, -1, np.where(top < 0, -2, top))
-            hit = (
-                ((wa >= 0) & (wb >= 0) & (wa != wb))
-                | ((wa >= 0) & (wc >= 0) & (wa != wc))
-                | ((wb >= 0) & (wc >= 0) & (wb != wc))
-            )
-        if has_buf:
-            new_buf = value[group.buf_src] ^ group.buf_neg[:, None]
-            new_buf_wave = wave[group.buf_src]
-        if has_maj:
-            if hit.any():
-                for row, lane in zip(*np.nonzero(hit)):
-                    if not keep_lo[lane] <= step < keep_hi[lane]:
-                        continue  # another lane owns this step of the tape
-                    absolute = int(step + offset[lane])
-                    ids = sorted(
-                        {
-                            int(w[row, lane]) + int(wave0[lane])
-                            for w in (wa, wb, wc)
-                            if w[row, lane] >= 0
-                        }
-                    )
-                    events.append(
-                        (
-                            int(stream[lane]),
-                            absolute,
-                            int(row),
-                            WaveInterference(
-                                absolute,
-                                int(group.maj_idx[row]),
-                                tuple(ids),
-                            ),
-                        )
-                    )
-                    if earliest_event is None or absolute < earliest_event:
-                        earliest_event = absolute
-            value[group.maj_idx] = new_maj
-            wave[group.maj_idx] = new_wave
-        if has_buf:
-            value[group.buf_idx] = new_buf
-            wave[group.buf_idx] = new_buf_wave
-        # 3) retire: lanes whose slot reaches the output level read out
-        if step >= depth and (step - depth) % separation == 0:
-            slot = (step - depth) // separation
-            owners = np.nonzero(
-                (plan.warm <= slot) & (slot < plan.warm + plan.chunk)
-            )[0]
-            if owners.size:
-                out_words = value[compiled.out_node] ^ compiled.out_neg[:, None]
-                out_bits = (
-                    (out_words[:, word_of[owners]] >> bit_of[owners][None, :])
-                    & _WORD(1)
-                ).astype(bool)
-                for column, lane in enumerate(owners):
-                    results[int(base[lane]) + slot] = (
-                        out_bits[:, column].tolist()
-                    )
-        # In strict mode stop as soon as no lane can still discover an
-        # earlier event (absolute = local + offset, offsets are >= 0).
-        # With several streams the caller wants the *first stream's* first
-        # event, so the loop must run to completion.
-        if (
-            strict
-            and single_stream
-            and earliest_event is not None
-            and step > earliest_event
-        ):
-            break
-
-    events.sort(key=lambda item: item[:3])
-    return results, events
+    # every owned slot must have been snapshotted by the kernel; a plan
+    # whose local timeline is too short to retire its deepest slot is a
+    # planner bug, reported cleanly instead of as an IndexError below
+    last_owned_slot = int((plan.warm + plan.chunk - 1).max())
+    if last_owned_slot >= ret_words.shape[0]:
+        raise SimulationError("simulation ended before every wave retired")
+    n_total = int(plan.chunk.sum())
+    lane_of = np.repeat(np.arange(plan.n_lanes, dtype=np.int64), plan.chunk)
+    pair_start = np.concatenate(([0], np.cumsum(plan.chunk)[:-1]))
+    slot_of = (
+        np.arange(n_total, dtype=np.int64)
+        - np.repeat(pair_start, plan.chunk)
+        + np.repeat(plan.warm, plan.chunk)
+    )
+    word_of = lane_of // LANES_PER_WORD
+    bit_of = (lane_of % LANES_PER_WORD).astype(_WORD)
+    bits = (ret_words[slot_of, :, word_of] >> bit_of[:, None]) & _WORD(1)
+    return bits.astype(bool).tolist()
 
 
 def _interference_error(event: WaveInterference) -> SimulationError:
@@ -631,21 +408,69 @@ def _interference_error(event: WaveInterference) -> SimulationError:
     )
 
 
+def describe_packed_run(
+    netlist,
+    n_waves: int,
+    clocking: Optional[ClockingScheme] = None,
+    pipelined: bool = True,
+    lanes: Optional[int] = None,
+    backend: Optional[str] = None,
+    track: Optional[bool] = None,
+    n_streams: int = 1,
+) -> dict:
+    """Resolve the kernel/plan one packed run would use, without running.
+
+    Returns a JSON-friendly dict — backend, JIT availability, tracking
+    elision, and the chosen lane plan — used by the benchmark metadata,
+    the CLI's kernel line, and the planner tests.  *n_streams* > 1
+    describes a :func:`simulate_streams_packed` batch of equal-length
+    streams (``lanes`` overrides apply to single-stream runs only).
+    """
+    clocking = clocking or ClockingScheme()
+    compiled = compile_netlist(netlist, clocking)
+    if compiled.depth == 0:
+        raise SimulationError("cannot wave-simulate a depth-0 netlist")
+    backend = resolve_backend(backend)
+    separation = wave_separation(compiled.depth, compiled.n_phases, pipelined)
+    elided = resolve_tracking(compiled, separation, track)
+    plan = _plan_lanes(
+        [n_waves] * max(1, n_streams),
+        compiled.depth,
+        compiled.n_phases,
+        separation,
+        compiled.balanced,
+        compiled.n_components,
+        lanes=lanes,
+        step_overhead=planner_step_overhead(backend, elided),
+    ) if n_waves > 0 else None
+    return {
+        "backend": backend,
+        "jit_compiled": backend == "jit" and jit_available(),
+        "elided_tracking": elided,
+        "balanced": compiled.balanced,
+        "lanes": plan.n_lanes if plan else 0,
+        "words": plan.n_words if plan else 0,
+        "steps": plan.local_steps if plan else 0,
+    }
+
+
 def _packed_reports(
-    netlist: WaveNetlist,
+    netlist,
     streams: Sequence[Sequence[Sequence[bool]]],
     clocking: Optional[ClockingScheme],
     pipelined: bool,
     strict: bool,
     lanes: Optional[int],
+    backend: Optional[str] = None,
+    track: Optional[bool] = None,
 ) -> list[WaveSimulationReport]:
     """Shared prologue/epilogue of both packed entry points.
 
-    Validates, compiles, plans, runs, and slices one report per stream
-    (empty streams get clean empty reports).  ``simulate_waves_packed`` is
-    the single-stream slice of this; keeping one copy of the control flow
-    means strict-mode and retirement checks cannot drift between the
-    entry points.
+    Validates, compiles, plans, runs the selected kernel, and slices one
+    report per stream (empty streams get clean empty reports).
+    ``simulate_waves_packed`` is the single-stream slice of this; keeping
+    one copy of the control flow means strict-mode and retirement checks
+    cannot drift between the entry points.
     """
     clocking = clocking or ClockingScheme()
     for vectors in streams:
@@ -654,6 +479,7 @@ def _packed_reports(
     depth = compiled.depth
     if depth == 0:
         raise SimulationError("cannot wave-simulate a depth-0 netlist")
+    backend = resolve_backend(backend)
 
     reports: list[Optional[WaveSimulationReport]] = [None] * len(streams)
     live = [
@@ -667,6 +493,7 @@ def _packed_reports(
 
     p = compiled.n_phases
     separation = wave_separation(depth, p, pipelined)
+    elide = resolve_tracking(compiled, separation, track)
     live_streams = [streams[index] for index in live]
     plan = _plan_lanes(
         [len(vectors) for vectors in live_streams],
@@ -676,14 +503,18 @@ def _packed_reports(
         compiled.balanced,
         compiled.n_components,
         lanes=lanes,
+        step_overhead=planner_step_overhead(backend, elide),
     )
     bits = _vector_bits(live_streams, netlist.n_inputs)
-    results, events = _run_plan(compiled, plan, bits, separation, strict)
+    inj_words, inj_masks, inj_active = _pack_injections(bits, plan)
+    ret_words, events = run_plan(
+        compiled, plan, inj_words, inj_masks, inj_active, separation,
+        strict, backend=backend, elide=elide,
+    )
 
     if strict and events:
         raise _interference_error(events[0][3])
-    if any(result is None for result in results):
-        raise SimulationError("simulation ended before every wave retired")
+    results = _unpack_outputs(ret_words, plan)
 
     for position, index in enumerate(live):
         lo = int(plan.stream_base[position])
@@ -705,33 +536,42 @@ def _packed_reports(
 
 
 def simulate_waves_packed(
-    netlist: WaveNetlist,
+    netlist,
     vectors: Sequence[Sequence[bool]],
     clocking: Optional[ClockingScheme] = None,
     pipelined: bool = True,
     strict: bool = False,
     lanes: Optional[int] = None,
+    backend: Optional[str] = None,
+    track: Optional[bool] = None,
 ) -> WaveSimulationReport:
     """Packed-engine equivalent of :func:`~.simulator.simulate_waves`.
 
     Accepts the same arguments (minus ``engine``) and returns a report that
     is bit-identical to the scalar reference engine's, including the
     interference event list and its ordering.  *lanes* overrides the
-    planner's lane count (clamped to ``[1, n_waves]``); the result is
-    bit-identical for every choice — only the speed/memory trade-off moves.
+    planner's lane count (clamped to ``[1, n_waves]``); *backend* selects
+    the step-loop kernel (``"fused"`` numpy / ``"jit"`` numba loop nest,
+    ``None`` = auto); *track* forces (``True``) or demands the elision of
+    (``False``) wave-id tracking, ``None`` elides exactly when the static
+    interference-freedom proof holds.  The result is bit-identical for
+    every choice — only the speed/memory trade-off moves.
     """
     (report,) = _packed_reports(
-        netlist, [vectors], clocking, pipelined, strict, lanes
+        netlist, [vectors], clocking, pipelined, strict, lanes,
+        backend=backend, track=track,
     )
     return report
 
 
 def simulate_streams_packed(
-    netlist: WaveNetlist,
+    netlist,
     streams: Sequence[Sequence[Sequence[bool]]],
     clocking: Optional[ClockingScheme] = None,
     pipelined: bool = True,
     strict: bool = False,
+    backend: Optional[str] = None,
+    track: Optional[bool] = None,
 ) -> list[WaveSimulationReport]:
     """Simulate many independent wave streams in one packed pass.
 
@@ -740,12 +580,15 @@ def simulate_streams_packed(
     bit-identical to ``simulate_waves(netlist, stream, ...)`` on that
     stream alone.  All streams share the netlist and clocking; they are
     packed side by side across lanes/words so the whole batch advances in
-    a single phase-update loop (the serving scenario).
+    a single phase-update loop (the serving scenario).  *backend* and
+    *track* select the kernel variant exactly as in
+    :func:`simulate_waves_packed`.
 
     In strict mode the error matches what the scalar engine would raise
     when the streams are simulated one after another: the first stream (in
     order) with interference reports its earliest event.
     """
     return _packed_reports(
-        netlist, list(streams), clocking, pipelined, strict, None
+        netlist, list(streams), clocking, pipelined, strict, None,
+        backend=backend, track=track,
     )

@@ -1,0 +1,976 @@
+"""Compiled step-loop kernels for the packed wave-simulation engine.
+
+:mod:`repro.core.wavepipe.batch` owns the *planning* side of the packed
+engine — lane plans, injection packing, report merging.  This module owns
+the *execution* side: the per-clock-step hot loop that advances the
+``(n_components, n_words)`` uint64 state matrix, in four interchangeable
+variants spanning two axes.
+
+Backend axis (``backend=``)
+---------------------------
+``"fused"``
+    Whole-array numpy kernels.  All scratch buffers are preallocated once
+    per plan and every gather / complement / majority / scatter runs
+    in place (``np.take(..., out=)``, ufunc ``out=``), so the loop
+    performs **zero per-step allocations** and a fixed, small number of
+    C-dispatched array calls per step.  This is the default backend and
+    the fallback whenever numba is unavailable.
+``"jit"``
+    The same step loop written as a plain loop nest and compiled with
+    numba's ``@njit`` when numba is importable (install the ``[jit]``
+    extra).  Auto-selected over ``"fused"`` when numba is present;
+    ``repro simulate --no-jit``, ``REPRO_JIT=0``, or
+    :func:`set_default_backend` force the pure-numpy kernels.  Without
+    numba an explicit ``backend="jit"`` request still runs — as the
+    *uncompiled* loop nest — so the JIT code path stays testable (and
+    bit-identical) in numba-less environments; it is simply never
+    auto-selected there.
+
+Tracking axis (elision)
+-----------------------
+The scalar oracle tracks a wave id per component to detect interference.
+The packed engine mirrors that with an ``(n_components, n_lanes)`` int32
+matrix — which is by far the widest data the tracked loop touches (a lane
+is 4 bytes of wave id but only 1 *bit* of value).  The paper's own
+clocking discipline makes that tracking statically unnecessary on the
+netlists the flow produces (:func:`can_elide_tracking`):
+
+    On a *balanced* netlist every BUF/FOG sits exactly one level above
+    its fan-in (levels are ``1 + max(fan-in levels)``, single fan-in) and
+    every MAJ's non-constant fan-ins share one level, so every clocked
+    component reads cells exactly one level — one clock step — behind
+    it.  With injections at least ``p`` steps apart, every cell at level
+    L therefore holds exactly the wave injected ``L`` steps before it
+    latched: all fan-ins of any component always belong to one wave, and
+    no interference event can ever fire.  (Section IV of the paper; the
+    same separation >= p argument wave pipelining rests on in Mahmoud et
+    al. 2021 for spin waves.)
+
+When that proof applies, the *elided* kernels drop the wave-id matrix
+entirely — the report's interference list is empty exactly as the scalar
+oracle's would be, in strict and non-strict mode alike.  Whenever the
+proof does not apply (unbalanced netlist, or a separation below ``p``
+handed to :func:`run_plan` directly), the *tracked* kernels run instead
+and reproduce the oracle's events bit for bit.  The choice is per run and
+automatic; ``track=True`` on the packed entry points forces the tracked
+kernels (used by the identity benchmarks), ``track=False`` demands
+elision and raises when it would be unsound.
+
+Compiled layout
+---------------
+:func:`compile_netlist` (moved here from ``batch.py``) flattens a netlist
+into per-phase tables and — new with the kernel layer — **permutes the
+state rows** so that every phase's MAJ block, every phase's BUF/FOG
+block, and the primary inputs are each *contiguous*: all per-step
+scatters become slice assignments (memcpy) instead of fancy indexing.
+Reported component ids stay in the netlist's own numbering
+(``maj_comp``); the permutation is invisible outside this module.
+
+All four kernel variants retire waves by snapshotting the output words
+into a preallocated ``(n_retire_slots, n_outputs, n_words)`` array; the
+per-wave bit extraction happens once, vectorized, after the loop (in
+``batch.py``'s report merging) instead of per retirement inside it.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ...errors import SimulationError
+from .clocking import ClockingScheme
+from .components import Kind, WaveNetlist
+from .simulator import WaveInterference
+
+if TYPE_CHECKING:  # the plan type lives with the planner
+    from .batch import _LanePlan
+
+try:  # optional JIT backend (the `repro[jit]` extra)
+    import numba
+except ImportError:  # pragma: no cover - exercised by the no-numba CI job
+    numba = None
+
+_WORD = np.uint64
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Step-loop backends accepted by the packed entry points.
+BACKENDS = ("fused", "jit")
+
+#: Process-wide backend override (``repro simulate --no-jit`` sets it).
+_BACKEND_OVERRIDE: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+def jit_available() -> bool:
+    """True when numba is importable (the ``jit`` backend compiles)."""
+    return numba is not None
+
+
+def set_default_backend(backend: Optional[str]) -> None:
+    """Pin the process-wide default backend (``None`` restores auto).
+
+    The CLI's ``--no-jit`` escape hatch calls
+    ``set_default_backend("fused")``; libraries should prefer the
+    explicit ``backend=`` argument of the packed entry points.
+    """
+    if backend is not None and backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown kernel backend {backend!r}; choose from {BACKENDS}"
+        )
+    global _BACKEND_OVERRIDE
+    _BACKEND_OVERRIDE = backend
+
+
+def default_backend() -> str:
+    """Backend used when none is requested explicitly.
+
+    Resolution order: :func:`set_default_backend` override, then the
+    ``REPRO_JIT`` environment variable (``0``/``off`` forces the fused
+    numpy kernels, ``1``/``on`` requests the JIT loop nest), then
+    auto-detection: ``"jit"`` when numba is importable, else ``"fused"``.
+    """
+    if _BACKEND_OVERRIDE is not None:
+        return _BACKEND_OVERRIDE
+    env = os.environ.get("REPRO_JIT", "").strip().lower()
+    if env in ("0", "off", "false", "no"):
+        return "fused"
+    if env in ("1", "on", "true", "yes") and numba is not None:
+        return "jit"
+    # REPRO_JIT=1 without numba falls through to auto-detection (fused):
+    # the env var states a *preference*, and silently running the
+    # uncompiled loop nest would be orders of magnitude slower than
+    # fused.  An explicit backend="jit" argument still runs uncompiled
+    # (that is how the JIT code path is tested without numba).
+    return "jit" if numba is not None else "fused"
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Validate an explicit backend choice or fall back to the default."""
+    if backend is None:
+        return default_backend()
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown kernel backend {backend!r}; choose from {BACKENDS}"
+        )
+    return backend
+
+
+#: Planner calibration: the fixed per-step cost of each kernel variant
+#: (interpreter dispatch plus the width-independent array walks), in
+#: component-lane units — one tracked int32 wave-id element processed is
+#: one unit, the normalization of the PR-2 cost model.  A variant that
+#: moves *less* data per component-lane has a proportionally *larger*
+#: constant, pushing the planner toward wider plans (fewer, wider
+#: steps).  Measured on the suite's ctrl/i2c netlists; only the order of
+#: magnitude matters, the optimum is flat around its minimum.
+PLANNER_STEP_OVERHEAD = {
+    # tracked fused: the PR-2 loop's calibration (int32 matrix dominates)
+    ("fused", False): 400_000,
+    # elided fused: a lane is one bit of uint64 across ~10 in-place ops,
+    # ~30x cheaper than a tracked wave-id element
+    ("fused", True): 4_000_000,
+    # jit loop nests: near-zero dispatch, but scalar per-lane work; the
+    # compiled loop's fixed cost per step is ~100x below fused's
+    ("jit", False): 1_000_000,
+    ("jit", True): 8_000_000,
+}
+
+
+def planner_step_overhead(backend: str, elided: bool) -> int:
+    """Cost-model constant for one (backend, tracking) kernel variant."""
+    return PLANNER_STEP_OVERHEAD[(resolve_backend(backend), bool(elided))]
+
+
+# ----------------------------------------------------------------------
+# netlist compilation (per-phase tables, permuted contiguous layout)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class CompiledWaveNetlist:
+    """Per-phase update tables of one netlist under one phase count.
+
+    All ``*_src``/``out_node``/``inputs`` indices refer to the *permuted*
+    state layout (inputs and per-phase blocks contiguous, constants at
+    row 0); ``maj_comp``/``buf_comp`` translate back to the netlist's own
+    component numbering for reporting.  Phase ``ph`` owns the flat index
+    ranges ``maj_ptr[ph]:maj_ptr[ph+1]`` and ``buf_ptr[ph]:buf_ptr[ph+1]``,
+    whose destination state rows start at ``maj_pos[ph]`` / ``buf_pos[ph]``.
+    """
+
+    n_components: int
+    n_phases: int
+    depth: int
+    balanced: bool
+    inputs: np.ndarray  # (n_inputs,) permuted state rows, PI order
+    inputs_contiguous: bool  # inputs form one state-row slice
+    out_node: np.ndarray  # (n_outputs,) permuted output driver rows
+    out_neg: np.ndarray  # (n_outputs,) uint64 complement masks
+    maj_ptr: np.ndarray  # (p+1,) flat MAJ ranges per phase
+    maj_pos: np.ndarray  # (p,) state row of each phase's MAJ block
+    maj_comp: np.ndarray  # (M,) original component ids (reporting)
+    maj_src: np.ndarray  # (3, M) permuted fan-in state rows
+    maj_neg: np.ndarray  # (3, M) uint64 complement masks
+    buf_ptr: np.ndarray  # (p+1,) flat BUF/FOG ranges per phase
+    buf_pos: np.ndarray  # (p,) state row of each phase's BUF block
+    buf_comp: np.ndarray  # (B,) original component ids
+    buf_src: np.ndarray  # (B,) permuted fan-in state rows
+    buf_neg: np.ndarray  # (B,) uint64 complement masks
+
+
+#: netlist -> {n_phases: (netlist.version, CompiledWaveNetlist)}
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[WaveNetlist, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_netlist(
+    netlist: WaveNetlist, clocking: Optional[ClockingScheme] = None
+) -> CompiledWaveNetlist:
+    """Flatten *netlist* into packed per-phase tables (memoized).
+
+    The cache is invalidated automatically when the netlist is mutated
+    (tracked through :attr:`WaveNetlist.version`).
+    """
+    clocking = clocking or ClockingScheme()
+    p = clocking.n_phases
+    per_netlist = _COMPILE_CACHE.setdefault(netlist, {})
+    cached = per_netlist.get(p)
+    if cached is not None and cached[0] == netlist.version:
+        return cached[1]
+    compiled = _compile(netlist, p)
+    per_netlist[p] = (netlist.version, compiled)
+    return compiled
+
+
+def _compile(netlist: WaveNetlist, p: int) -> CompiledWaveNetlist:
+    # direct access to the structure-of-arrays internals: compilation is
+    # the one O(n) pass, method-call overhead would dominate it
+    kinds = netlist._kinds
+    fanins = netlist._fanins
+    levels = netlist.levels()
+    depth = netlist.depth(levels)
+    n = netlist.n_components
+    clocked_kinds = (Kind.MAJ, Kind.BUF, Kind.FOG)
+
+    # replicate the scalar grouping exactly: latching phase, deepest first
+    # (stable, so ties keep topological index order)
+    by_phase: list[list[int]] = [[] for _ in range(p)]
+    balanced = True
+    for component, kind in enumerate(kinds):
+        if kind not in clocked_kinds:
+            continue
+        by_phase[levels[component] % p].append(component)
+        if kind == Kind.MAJ and balanced:
+            fanin_levels = {
+                levels[lit >> 1] for lit in fanins[component] if lit >> 1
+            }
+            if len(fanin_levels) > 1:
+                balanced = False
+    output_levels = {
+        levels[lit >> 1] for lit in netlist._outputs if lit >> 1
+    }
+    if len(output_levels) > 1:
+        balanced = False
+
+    # permuted state layout: unclocked cells (constant 0, inputs, in
+    # index order) first, then per phase the MAJ block and the BUF/FOG
+    # block — every scatter target becomes a contiguous row slice
+    maj_by_phase: list[list[int]] = []
+    buf_by_phase: list[list[int]] = []
+    for group in by_phase:
+        group.sort(key=lambda component: -levels[component])
+        maj_by_phase.append([c for c in group if kinds[c] == Kind.MAJ])
+        buf_by_phase.append([c for c in group if kinds[c] != Kind.MAJ])
+    order = [i for i in range(n) if kinds[i] not in clocked_kinds]
+    maj_pos = np.empty(p, dtype=np.int64)
+    buf_pos = np.empty(p, dtype=np.int64)
+    for ph in range(p):
+        maj_pos[ph] = len(order)
+        order.extend(maj_by_phase[ph])
+        buf_pos[ph] = len(order)
+        order.extend(buf_by_phase[ph])
+    new_row = np.empty(n, dtype=np.int64)
+    new_row[np.asarray(order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+
+    maj_counts = [len(group) for group in maj_by_phase]
+    buf_counts = [len(group) for group in buf_by_phase]
+    maj_ptr = np.concatenate(
+        ([0], np.cumsum(maj_counts))
+    ).astype(np.int64)
+    buf_ptr = np.concatenate(
+        ([0], np.cumsum(buf_counts))
+    ).astype(np.int64)
+    maj_flat = [c for group in maj_by_phase for c in group]
+    buf_flat = [c for group in buf_by_phase for c in group]
+
+    maj_src = np.empty((3, len(maj_flat)), dtype=np.int64)
+    maj_neg = np.empty((3, len(maj_flat)), dtype=_WORD)
+    for column, component in enumerate(maj_flat):
+        for row, lit in enumerate(fanins[component]):
+            maj_src[row, column] = new_row[lit >> 1]
+            maj_neg[row, column] = _ALL_ONES if lit & 1 else 0
+    buf_src = np.empty(len(buf_flat), dtype=np.int64)
+    buf_neg = np.empty(len(buf_flat), dtype=_WORD)
+    for column, component in enumerate(buf_flat):
+        (lit,) = fanins[component]
+        buf_src[column] = new_row[lit >> 1]
+        buf_neg[column] = _ALL_ONES if lit & 1 else 0
+
+    inputs = new_row[np.asarray(netlist.inputs, dtype=np.int64)]
+    inputs_contiguous = bool(
+        inputs.size == 0 or np.all(np.diff(inputs) == 1)
+    )
+    out_lits = netlist._outputs
+    return CompiledWaveNetlist(
+        n_components=n,
+        n_phases=p,
+        depth=depth,
+        balanced=balanced,
+        inputs=inputs,
+        inputs_contiguous=inputs_contiguous,
+        out_node=new_row[
+            np.asarray([lit >> 1 for lit in out_lits], dtype=np.int64)
+        ],
+        out_neg=np.asarray(
+            [_ALL_ONES if lit & 1 else 0 for lit in out_lits], dtype=_WORD
+        ),
+        maj_ptr=maj_ptr,
+        maj_pos=maj_pos,
+        maj_comp=np.asarray(maj_flat, dtype=np.int64),
+        maj_src=maj_src,
+        maj_neg=maj_neg,
+        buf_ptr=buf_ptr,
+        buf_pos=buf_pos,
+        buf_comp=np.asarray(buf_flat, dtype=np.int64),
+        buf_src=buf_src,
+        buf_neg=buf_neg,
+    )
+
+
+def can_elide_tracking(
+    compiled: CompiledWaveNetlist, separation: int
+) -> bool:
+    """True when no interference event can ever fire (proof above).
+
+    Balanced netlist (every fan-in exactly one level behind its consumer)
+    plus injections at least ``p`` steps apart means every component only
+    ever combines fan-ins of a single wave — the elided kernels are then
+    bit-identical to the tracked ones with an empty event list, in strict
+    mode too.  Every separation the public entry points produce is a
+    multiple of ``p``; the explicit check guards direct kernel callers.
+    """
+    return compiled.balanced and separation >= compiled.n_phases
+
+
+def resolve_tracking(
+    compiled: CompiledWaveNetlist, separation: int, track: Optional[bool]
+) -> bool:
+    """Decide wave-id elision for one run, returning ``elided``.
+
+    ``track=None`` elides exactly when :func:`can_elide_tracking` proves
+    interference impossible; ``track=True`` forces the tracked kernels;
+    ``track=False`` *demands* elision and raises when the proof fails.
+    The one shared implementation keeps the entry points' semantics and
+    error message from drifting.
+    """
+    safe = can_elide_tracking(compiled, separation)
+    if track is None:
+        return safe
+    if not track and not safe:
+        raise SimulationError(
+            "wave-id tracking cannot be elided: interference is possible "
+            "(unbalanced netlist or wave separation below the phase count)"
+        )
+    return not track
+
+
+# ----------------------------------------------------------------------
+# shared retirement arithmetic
+# ----------------------------------------------------------------------
+def _retire_slot_count(local_steps: int, depth: int, separation: int) -> int:
+    """Retire steps (``step >= depth``, aligned) inside the local loop."""
+    if local_steps <= depth:
+        return 0
+    return (local_steps - 1 - depth) // separation + 1
+
+
+# ----------------------------------------------------------------------
+# fused numpy kernels
+# ----------------------------------------------------------------------
+class _PhaseScratch:
+    """Preallocated per-phase buffers of the fused kernels.
+
+    One combined gather serves the whole phase: rows ``[0:3m)`` hold the
+    three MAJ fan-in planes, rows ``[3m:3m+b)`` the BUF/FOG fan-ins, so a
+    single ``np.take`` + one masked xor replaces four allocations of the
+    PR-2 loop.  The tracked variant mirrors the layout for the int32
+    wave-id planes.
+    """
+
+    __slots__ = (
+        "src", "neg", "gather", "a", "b", "c", "bufs", "acc", "n_maj",
+        "n_buf", "maj_lo", "maj_hi", "buf_lo", "buf_hi", "wgather", "wa",
+        "wb", "wc", "wbufs", "wacc", "warming", "scratch_bool1",
+        "scratch_bool2", "ge_a", "ge_b", "ge_c", "hit", "flat_lo",
+    )
+
+    def __init__(self, compiled: CompiledWaveNetlist, phase: int,
+                 n_words: int, n_lanes: int, tracked: bool):
+        m0, m1 = int(compiled.maj_ptr[phase]), int(compiled.maj_ptr[phase + 1])
+        b0, b1 = int(compiled.buf_ptr[phase]), int(compiled.buf_ptr[phase + 1])
+        n_maj, n_buf = m1 - m0, b1 - b0
+        self.n_maj, self.n_buf = n_maj, n_buf
+        self.flat_lo = m0
+        self.maj_lo = int(compiled.maj_pos[phase])
+        self.maj_hi = self.maj_lo + n_maj
+        self.buf_lo = int(compiled.buf_pos[phase])
+        self.buf_hi = self.buf_lo + n_buf
+        self.src = np.concatenate(
+            [
+                compiled.maj_src[0, m0:m1],
+                compiled.maj_src[1, m0:m1],
+                compiled.maj_src[2, m0:m1],
+                compiled.buf_src[b0:b1],
+            ]
+        )
+        self.neg = np.concatenate(
+            [
+                compiled.maj_neg[0, m0:m1],
+                compiled.maj_neg[1, m0:m1],
+                compiled.maj_neg[2, m0:m1],
+                compiled.buf_neg[b0:b1],
+            ]
+        )[:, None]
+        rows = 3 * n_maj + n_buf
+        self.gather = np.empty((rows, n_words), dtype=_WORD)
+        self.a = self.gather[:n_maj]
+        self.b = self.gather[n_maj:2 * n_maj]
+        self.c = self.gather[2 * n_maj:3 * n_maj]
+        self.bufs = self.gather[3 * n_maj:]
+        self.acc = np.empty((n_maj, n_words), dtype=_WORD)
+        if tracked:
+            self.wgather = np.empty((rows, n_lanes), dtype=np.int32)
+            self.wa = self.wgather[:n_maj]
+            self.wb = self.wgather[n_maj:2 * n_maj]
+            self.wc = self.wgather[2 * n_maj:3 * n_maj]
+            self.wbufs = self.wgather[3 * n_maj:]
+            self.wacc = np.empty((n_maj, n_lanes), dtype=np.int32)
+            shape = (n_maj, n_lanes)
+            self.warming = np.empty(shape, dtype=bool)
+            self.scratch_bool1 = np.empty(shape, dtype=bool)
+            self.scratch_bool2 = np.empty(shape, dtype=bool)
+            self.ge_a = np.empty(shape, dtype=bool)
+            self.ge_b = np.empty(shape, dtype=bool)
+            self.ge_c = np.empty(shape, dtype=bool)
+            self.hit = np.empty(shape, dtype=bool)
+
+
+def _input_writer(compiled: CompiledWaveNetlist):
+    """(slice | index array) used to scatter freshly injected inputs."""
+    if compiled.inputs_contiguous and compiled.inputs.size:
+        lo = int(compiled.inputs[0])
+        return slice(lo, lo + compiled.inputs.size)
+    return compiled.inputs
+
+
+def _run_fused(
+    compiled: CompiledWaveNetlist,
+    plan: "_LanePlan",
+    inj_words: np.ndarray,
+    inj_masks: np.ndarray,
+    inj_active: list,
+    separation: int,
+    strict: bool,
+    elide: bool,
+) -> tuple[np.ndarray, list]:
+    """Fused numpy step loop; returns ``(ret_words, raw_events)``.
+
+    ``raw_events`` rows are ``(flat_maj_index, step, lane, wa, wb, wc)``
+    in the tracked variant (empty when elided); event materialization and
+    ordering live in :func:`run_plan`.
+    """
+    p = compiled.n_phases
+    depth = compiled.depth
+    n_words = plan.n_words
+    n_lanes = plan.n_lanes
+    local_steps = plan.local_steps
+    n_slots = inj_words.shape[0]
+    single_stream = plan.stream_waves.size == 1
+
+    value = np.zeros((compiled.n_components, n_words), dtype=_WORD)
+    phases = [
+        _PhaseScratch(compiled, ph, n_words, n_lanes, tracked=not elide)
+        for ph in range(p)
+    ]
+    inv_masks = ~inj_masks
+    in_rows = _input_writer(compiled)
+    in_rows_col = (
+        in_rows if isinstance(in_rows, slice) else in_rows[:, None]
+    )
+    in_buf = np.empty((compiled.inputs.size, n_words), dtype=_WORD)
+    n_ret = _retire_slot_count(local_steps, depth, separation)
+    ret_words = np.empty(
+        (n_ret, compiled.out_node.size, n_words), dtype=_WORD
+    )
+    out_node = compiled.out_node
+    out_neg = compiled.out_neg[:, None]
+    inputs_idx = compiled.inputs
+
+    wave = None
+    if not elide:
+        wave = np.full((compiled.n_components, n_lanes), -1, dtype=np.int32)
+        wave[0, :] = -2  # constants belong to every wave (permuted row 0)
+    keep_lo, keep_hi, offset = plan.keep_lo, plan.keep_hi, plan.offset
+
+    raw_events: list[tuple[int, int, int, int, int, int]] = []
+    earliest_event = None
+
+    take = np.take
+    band = np.bitwise_and
+    bor = np.bitwise_or
+    bxor = np.bitwise_xor
+
+    for step in range(local_steps):
+        # 1) inject: every lane latches its slot's wave simultaneously
+        if step % separation == 0:
+            slot = step // separation
+            if slot < n_slots:
+                take(value, inputs_idx, axis=0, out=in_buf, mode="clip")
+                band(in_buf, inv_masks[slot], out=in_buf)
+                bor(in_buf, inj_words[slot], out=in_buf)
+                value[in_rows] = in_buf
+                if not elide:
+                    lanes = inj_active[slot]
+                    if lanes.size:
+                        wave[in_rows_col, lanes] = slot
+        # 2) clocked components of this phase latch from their
+        # neighbours; one combined gather reads the pre-step snapshot
+        # (the scalar loop's deepest-first order has exactly these
+        # snapshot semantics)
+        ps = phases[step % p]
+        n_maj = ps.n_maj
+        if n_maj or ps.n_buf:
+            take(value, ps.src, axis=0, out=ps.gather, mode="clip")
+            bxor(ps.gather, ps.neg, out=ps.gather)
+            if not elide:
+                # the BUF rows of the wave-id gather are scattered below
+                # even when the phase has no MAJ — gather unconditionally
+                take(wave, ps.src, axis=0, out=ps.wgather, mode="clip")
+        if n_maj:
+            a, b, c, acc = ps.a, ps.b, ps.c, ps.acc
+            band(a, b, out=acc)
+            band(a, c, out=a)  # a's raw plane is no longer needed
+            bor(acc, a, out=acc)
+            band(b, c, out=b)
+            bor(acc, b, out=acc)
+            if not elide:
+                wa, wb, wc = ps.wa, ps.wb, ps.wc
+                # warming: any fan-in that has not seen a wave yet
+                m1, m2 = ps.scratch_bool1, ps.scratch_bool2
+                np.equal(wa, -1, out=m1)
+                np.equal(wb, -1, out=m2)
+                np.logical_or(m1, m2, out=m1)
+                np.equal(wc, -1, out=m2)
+                np.logical_or(m1, m2, out=ps.warming)
+                # interference: two non-negative fan-in ids differ
+                ga, gb, gc, hit = ps.ge_a, ps.ge_b, ps.ge_c, ps.hit
+                np.greater_equal(wa, 0, out=ga)
+                np.greater_equal(wb, 0, out=gb)
+                np.greater_equal(wc, 0, out=gc)
+                np.not_equal(wa, wb, out=m1)
+                np.logical_and(m1, ga, out=m1)
+                np.logical_and(m1, gb, out=hit)
+                np.not_equal(wa, wc, out=m1)
+                np.logical_and(m1, ga, out=m1)
+                np.logical_and(m1, gc, out=m1)
+                np.logical_or(hit, m1, out=hit)
+                np.not_equal(wb, wc, out=m1)
+                np.logical_and(m1, gb, out=m1)
+                np.logical_and(m1, gc, out=m1)
+                np.logical_or(hit, m1, out=hit)
+                # latched id: max id, warming dominates, all-constant = -2
+                wacc = ps.wacc
+                np.maximum(wa, wb, out=wacc)
+                np.maximum(wacc, wc, out=wacc)
+                np.less(wacc, 0, out=m1)
+                np.copyto(wacc, np.int32(-2), where=m1)
+                np.copyto(wacc, np.int32(-1), where=ps.warming)
+                if hit.any():
+                    flat_lo = ps.flat_lo
+                    for row, lane in zip(*np.nonzero(hit)):
+                        if not keep_lo[lane] <= step < keep_hi[lane]:
+                            continue  # another lane owns this tape step
+                        raw_events.append(
+                            (
+                                flat_lo + int(row),
+                                step,
+                                int(lane),
+                                int(wa[row, lane]),
+                                int(wb[row, lane]),
+                                int(wc[row, lane]),
+                            )
+                        )
+                        absolute = step + int(offset[lane])
+                        if earliest_event is None or absolute < earliest_event:
+                            earliest_event = absolute
+        if n_maj:
+            value[ps.maj_lo:ps.maj_hi] = ps.acc
+            if not elide:
+                wave[ps.maj_lo:ps.maj_hi] = ps.wacc
+        if ps.n_buf:
+            value[ps.buf_lo:ps.buf_hi] = ps.bufs
+            if not elide:
+                wave[ps.buf_lo:ps.buf_hi] = ps.wbufs
+        # 3) retire: snapshot the output words; bits are extracted
+        # vectorized after the loop
+        if step >= depth and (step - depth) % separation == 0:
+            ret = ret_words[(step - depth) // separation]
+            take(value, out_node, axis=0, out=ret, mode="clip")
+            bxor(ret, out_neg, out=ret)
+        # In strict mode stop as soon as no lane can still discover an
+        # earlier event (absolute = local + offset, offsets are >= 0).
+        # With several streams the caller wants the *first stream's*
+        # first event, so the loop must run to completion.
+        if (
+            strict
+            and single_stream
+            and earliest_event is not None
+            and step > earliest_event
+        ):
+            break
+
+    return ret_words, raw_events
+
+
+# ----------------------------------------------------------------------
+# loop-nest kernels (numba-compiled when available)
+# ----------------------------------------------------------------------
+def _kernel_elided(
+    value, new_maj, new_buf, local_steps, p, separation, depth,
+    maj_ptr, maj_pos, maj_a, maj_b, maj_c, neg_a, neg_b, neg_c,
+    buf_ptr, buf_pos, buf_src, buf_neg,
+    inputs, inj_words, inj_masks, n_slots,
+    out_node, out_neg, ret_words,
+):
+    """Elided step loop as a plain loop nest (numba-compilable).
+
+    Mutates ``value`` and fills ``ret_words``; ``new_maj``/``new_buf``
+    buffer one phase's updates so all reads see the pre-step snapshot.
+    """
+    n_words = value.shape[1]
+    for step in range(local_steps):
+        if step % separation == 0:
+            slot = step // separation
+            if slot < n_slots:
+                for i in range(inputs.shape[0]):
+                    comp = inputs[i]
+                    for w in range(n_words):
+                        value[comp, w] = (
+                            value[comp, w] & ~inj_masks[slot, w]
+                        ) | inj_words[slot, i, w]
+        ph = step % p
+        m0, m1 = maj_ptr[ph], maj_ptr[ph + 1]
+        for k in range(m0, m1):
+            ra, rb, rc = maj_a[k], maj_b[k], maj_c[k]
+            na, nb, nc = neg_a[k], neg_b[k], neg_c[k]
+            for w in range(n_words):
+                va = value[ra, w] ^ na
+                vb = value[rb, w] ^ nb
+                vc = value[rc, w] ^ nc
+                new_maj[k, w] = (va & vb) | (va & vc) | (vb & vc)
+        b0, b1 = buf_ptr[ph], buf_ptr[ph + 1]
+        for k in range(b0, b1):
+            rs, ng = buf_src[k], buf_neg[k]
+            for w in range(n_words):
+                new_buf[k, w] = value[rs, w] ^ ng
+        for k in range(m0, m1):
+            row = maj_pos[ph] + (k - m0)
+            for w in range(n_words):
+                value[row, w] = new_maj[k, w]
+        for k in range(b0, b1):
+            row = buf_pos[ph] + (k - b0)
+            for w in range(n_words):
+                value[row, w] = new_buf[k, w]
+        if step >= depth and (step - depth) % separation == 0:
+            ret = (step - depth) // separation
+            for o in range(out_node.shape[0]):
+                for w in range(n_words):
+                    ret_words[ret, o, w] = value[out_node[o], w] ^ out_neg[o]
+    return 0
+
+
+def _kernel_tracked(
+    value, wave, new_maj, new_buf, wacc_maj, wacc_buf,
+    local_steps, p, separation, depth,
+    maj_ptr, maj_pos, maj_a, maj_b, maj_c, neg_a, neg_b, neg_c,
+    buf_ptr, buf_pos, buf_src, buf_neg,
+    inputs, inj_words, inj_masks, n_slots,
+    out_node, out_neg, ret_words,
+    n_inj, keep_lo, keep_hi, offset, strict_single,
+    ev_k, ev_step, ev_lane, ev_a, ev_b, ev_c,
+):
+    """Tracked step loop as a plain loop nest (numba-compilable).
+
+    Records kept interference events as raw ``(flat index, step, lane,
+    wa, wb, wc)`` rows into the ``ev_*`` arrays; returns the total kept
+    event count, which may exceed the arrays' capacity — the caller then
+    retries with larger buffers (counting continues past capacity so one
+    retry always suffices).
+    """
+    n_words = value.shape[1]
+    n_lanes = wave.shape[1]
+    cap = ev_k.shape[0]
+    n_events = 0
+    earliest = -1
+    for step in range(local_steps):
+        if step % separation == 0:
+            slot = step // separation
+            if slot < n_slots:
+                for i in range(inputs.shape[0]):
+                    comp = inputs[i]
+                    for w in range(n_words):
+                        value[comp, w] = (
+                            value[comp, w] & ~inj_masks[slot, w]
+                        ) | inj_words[slot, i, w]
+                    for lane in range(n_lanes):
+                        if slot < n_inj[lane]:
+                            wave[comp, lane] = np.int32(slot)
+        ph = step % p
+        m0, m1 = maj_ptr[ph], maj_ptr[ph + 1]
+        for k in range(m0, m1):
+            ra, rb, rc = maj_a[k], maj_b[k], maj_c[k]
+            na, nb, nc = neg_a[k], neg_b[k], neg_c[k]
+            for w in range(n_words):
+                va = value[ra, w] ^ na
+                vb = value[rb, w] ^ nb
+                vc = value[rc, w] ^ nc
+                new_maj[k, w] = (va & vb) | (va & vc) | (vb & vc)
+        b0, b1 = buf_ptr[ph], buf_ptr[ph + 1]
+        for k in range(b0, b1):
+            rs, ng = buf_src[k], buf_neg[k]
+            for w in range(n_words):
+                new_buf[k, w] = value[rs, w] ^ ng
+            for lane in range(n_lanes):
+                wacc_buf[k, lane] = wave[rs, lane]
+        for k in range(m0, m1):
+            ra, rb, rc = maj_a[k], maj_b[k], maj_c[k]
+            for lane in range(n_lanes):
+                wa = wave[ra, lane]
+                wb = wave[rb, lane]
+                wc = wave[rc, lane]
+                if wa == -1 or wb == -1 or wc == -1:
+                    nw = np.int32(-1)
+                else:
+                    top = wa
+                    if wb > top:
+                        top = wb
+                    if wc > top:
+                        top = wc
+                    nw = top if top >= 0 else np.int32(-2)
+                wacc_maj[k, lane] = nw
+                hit = (
+                    (wa >= 0 and wb >= 0 and wa != wb)
+                    or (wa >= 0 and wc >= 0 and wa != wc)
+                    or (wb >= 0 and wc >= 0 and wb != wc)
+                )
+                if hit and keep_lo[lane] <= step and step < keep_hi[lane]:
+                    if n_events < cap:
+                        ev_k[n_events] = k
+                        ev_step[n_events] = step
+                        ev_lane[n_events] = lane
+                        ev_a[n_events] = wa
+                        ev_b[n_events] = wb
+                        ev_c[n_events] = wc
+                    n_events += 1
+                    absolute = step + offset[lane]
+                    if earliest < 0 or absolute < earliest:
+                        earliest = absolute
+        for k in range(m0, m1):
+            row = maj_pos[ph] + (k - m0)
+            for w in range(n_words):
+                value[row, w] = new_maj[k, w]
+            for lane in range(n_lanes):
+                wave[row, lane] = wacc_maj[k, lane]
+        for k in range(b0, b1):
+            row = buf_pos[ph] + (k - b0)
+            for w in range(n_words):
+                value[row, w] = new_buf[k, w]
+            for lane in range(n_lanes):
+                wave[row, lane] = wacc_buf[k, lane]
+        if step >= depth and (step - depth) % separation == 0:
+            ret = (step - depth) // separation
+            for o in range(out_node.shape[0]):
+                for w in range(n_words):
+                    ret_words[ret, o, w] = value[out_node[o], w] ^ out_neg[o]
+        if strict_single and earliest >= 0 and step > earliest:
+            break
+    return n_events
+
+
+#: kernel name -> compiled (or plain, without numba) callable
+_LOOP_KERNELS: dict[str, object] = {}
+
+
+def _loop_kernel(name: str):
+    """The elided/tracked loop nest, numba-compiled when importable."""
+    kernel = _LOOP_KERNELS.get(name)
+    if kernel is None:
+        kernel = _kernel_elided if name == "elided" else _kernel_tracked
+        if numba is not None:
+            kernel = numba.njit(cache=False)(kernel)
+        _LOOP_KERNELS[name] = kernel
+    return kernel
+
+
+def _run_loop_nest(
+    compiled: CompiledWaveNetlist,
+    plan: "_LanePlan",
+    inj_words: np.ndarray,
+    inj_masks: np.ndarray,
+    separation: int,
+    strict: bool,
+    elide: bool,
+) -> tuple[np.ndarray, list]:
+    """Drive the loop-nest kernels; same contract as :func:`_run_fused`."""
+    p = compiled.n_phases
+    depth = compiled.depth
+    n_words = plan.n_words
+    n_ret = _retire_slot_count(plan.local_steps, depth, separation)
+    ret_words = np.empty(
+        (n_ret, compiled.out_node.size, n_words), dtype=_WORD
+    )
+    n_maj_total = compiled.maj_comp.size
+    n_buf_total = compiled.buf_comp.size
+    new_maj = np.empty((n_maj_total, n_words), dtype=_WORD)
+    new_buf = np.empty((n_buf_total, n_words), dtype=_WORD)
+    common = (
+        plan.local_steps, p, separation, depth,
+        compiled.maj_ptr, compiled.maj_pos,
+        np.ascontiguousarray(compiled.maj_src[0]),
+        np.ascontiguousarray(compiled.maj_src[1]),
+        np.ascontiguousarray(compiled.maj_src[2]),
+        np.ascontiguousarray(compiled.maj_neg[0]),
+        np.ascontiguousarray(compiled.maj_neg[1]),
+        np.ascontiguousarray(compiled.maj_neg[2]),
+        compiled.buf_ptr, compiled.buf_pos,
+        compiled.buf_src, compiled.buf_neg,
+        compiled.inputs, inj_words, inj_masks, inj_words.shape[0],
+        compiled.out_node, compiled.out_neg, ret_words,
+    )
+    if elide:
+        value = np.zeros((compiled.n_components, n_words), dtype=_WORD)
+        _loop_kernel("elided")(value, new_maj, new_buf, *common)
+        return ret_words, []
+
+    strict_single = bool(strict and plan.stream_waves.size == 1)
+    wacc_maj = np.empty((n_maj_total, plan.n_lanes), dtype=np.int32)
+    wacc_buf = np.empty((n_buf_total, plan.n_lanes), dtype=np.int32)
+    capacity = 1024
+    while True:
+        value = np.zeros((compiled.n_components, n_words), dtype=_WORD)
+        wave = np.full(
+            (compiled.n_components, plan.n_lanes), -1, dtype=np.int32
+        )
+        wave[0, :] = -2  # constants belong to every wave (permuted row 0)
+        ev_k = np.empty(capacity, dtype=np.int64)
+        ev_step = np.empty(capacity, dtype=np.int64)
+        ev_lane = np.empty(capacity, dtype=np.int64)
+        ev_a = np.empty(capacity, dtype=np.int64)
+        ev_b = np.empty(capacity, dtype=np.int64)
+        ev_c = np.empty(capacity, dtype=np.int64)
+        n_events = _loop_kernel("tracked")(
+            value, wave, new_maj, new_buf, wacc_maj, wacc_buf,
+            *common,
+            plan.n_inj, plan.keep_lo, plan.keep_hi, plan.offset,
+            strict_single,
+            ev_k, ev_step, ev_lane, ev_a, ev_b, ev_c,
+        )
+        if n_events <= capacity:
+            break
+        capacity = 2 * n_events  # one retry always suffices
+
+    raw_events = [
+        (
+            int(ev_k[i]), int(ev_step[i]), int(ev_lane[i]),
+            int(ev_a[i]), int(ev_b[i]), int(ev_c[i]),
+        )
+        for i in range(n_events)
+    ]
+    return ret_words, raw_events
+
+
+# ----------------------------------------------------------------------
+# dispatch + event materialization
+# ----------------------------------------------------------------------
+def run_plan(
+    compiled: CompiledWaveNetlist,
+    plan: "_LanePlan",
+    inj_words: np.ndarray,
+    inj_masks: np.ndarray,
+    inj_active: list,
+    separation: int,
+    strict: bool,
+    backend: Optional[str] = None,
+    elide: Optional[bool] = None,
+) -> tuple[np.ndarray, list]:
+    """Advance every lane of *plan* with the selected kernel variant.
+
+    Returns ``(ret_words, events)``: the per-retire-slot output-word
+    snapshots (bit extraction happens in the caller's report merging) and
+    the kept interference records ``(stream, absolute_step, order,
+    WaveInterference)`` sorted the way the scalar loop emits them (per
+    stream, then by step, then by within-phase order).  *elide* of
+    ``None`` applies :func:`can_elide_tracking`; an explicit ``True`` is
+    rejected when the static proof does not hold.
+    """
+    backend = resolve_backend(backend)
+    elide = resolve_tracking(
+        compiled, separation, None if elide is None else not elide
+    )
+    if backend == "jit":
+        ret_words, raw = _run_loop_nest(
+            compiled, plan, inj_words, inj_masks, separation, strict, elide
+        )
+    else:
+        ret_words, raw = _run_fused(
+            compiled, plan, inj_words, inj_masks, inj_active, separation,
+            strict, elide,
+        )
+    return ret_words, _materialize_events(compiled, plan, raw)
+
+
+def _materialize_events(
+    compiled: CompiledWaveNetlist, plan: "_LanePlan", raw_events: list
+) -> list:
+    """Raw kernel event rows -> sorted scalar-ordered event records.
+
+    Kept step regions tile each stream's timeline, so ``(stream,
+    absolute step)`` pairs are unique across lanes and sorting restores
+    the scalar loop's emission order regardless of the order the kernel
+    discovered the events in.
+    """
+    events = []
+    maj_ptr = compiled.maj_ptr
+    p = compiled.n_phases
+    for flat, step, lane, wa, wb, wc in raw_events:
+        order = flat - int(maj_ptr[step % p])
+        absolute = step + int(plan.offset[lane])
+        wave0 = int(plan.wave0[lane])
+        ids = sorted({w + wave0 for w in (wa, wb, wc) if w >= 0})
+        events.append(
+            (
+                int(plan.stream[lane]),
+                absolute,
+                order,
+                WaveInterference(
+                    absolute, int(compiled.maj_comp[flat]), tuple(ids)
+                ),
+            )
+        )
+    events.sort(key=lambda item: item[:3])
+    return events

@@ -28,19 +28,26 @@ interference events, in the same order):
     step, so it tops out around 10^3 components.
 
 ``engine="packed"``
-    The bit-packed batched engine in :mod:`repro.core.wavepipe.batch`: the
-    wave stream is split across lanes packed one-bit-per-lane into a
-    ``(n_components, n_words)`` matrix of ``uint64`` words (the layout of
-    :mod:`repro.core.simulate`, extended along a word axis), per-phase
-    component/fan-in arrays are compiled once per netlist revision, and
-    every clock step is a handful of whole-array numpy operations.  The
-    lane count is unbounded — the planner fills as many 64-lane words as
-    the stream warrants — so 10^4–10^5-wave streams run in one pass.
-    Lanes re-simulate a short warm-up/overlap window so that the coupled
-    dynamics of adjacent waves — including interference on unbalanced
-    netlists — stay bit-identical to the reference engine.  This is the
-    engine that reaches the paper's 10^5-component netlists (e.g.
-    DIFFEQ1's 306 937 components) and the roadmap's 10^5-wave streams.
+    The bit-packed batched engine: :mod:`repro.core.wavepipe.batch` plans
+    the run (the wave stream is split across lanes packed
+    one-bit-per-lane into a ``(n_components, n_words)`` matrix of
+    ``uint64`` words — the layout of :mod:`repro.core.simulate`, extended
+    along a word axis) and :mod:`repro.core.wavepipe.kernels` executes
+    the per-clock-step hot loop with zero-allocation compiled kernels:
+    pure-numpy fused kernels by default, a numba-JIT loop nest when numba
+    is installed (the ``[jit]`` extra; ``REPRO_JIT=0`` or ``repro
+    simulate --no-jit`` opt out), and with the per-lane wave-id tracking
+    *elided* whenever the netlist's balance statically proves
+    interference impossible.  Per-phase component/fan-in tables are
+    compiled once per netlist revision; the lane count is unbounded — the
+    planner fills as many 64-lane words as the stream warrants, using
+    per-backend cost constants — so 10^4–10^5-wave streams run in one
+    pass.  Lanes re-simulate a short warm-up/overlap window so that the
+    coupled dynamics of adjacent waves — including interference on
+    unbalanced netlists — stay bit-identical to the reference engine.
+    This is the engine that reaches the paper's 10^5-component netlists
+    (e.g. DIFFEQ1's 306 937 components) and the roadmap's 10^5-wave
+    streams.
 
 :func:`simulate_streams` batches many *independent* wave streams (the
 serving scenario: one request = one stream) through the same netlist in a

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import re
+from collections import OrderedDict
 from typing import Iterable, Optional
 
 from ..core.mig import Mig
@@ -39,6 +40,38 @@ from ..suite.table import QUICK_SUITE, SUITE, BenchmarkSpec
 
 #: functional equivalence is checked only below this original size
 VERIFY_FUNCTION_LIMIT = 3000
+
+#: Cap on memoized simulation reports per runner (see :class:`_LruCache`).
+#: Reports are per-(benchmark, config, waves, ...) key; under a serving
+#: workload the key space is unbounded, so the memo evicts
+#: least-recently-used entries past this many.  64 comfortably covers
+#: every artifact of one `repro experiments` run (the artifacts revisit
+#: the same few keys) while bounding a long-lived runner's footprint.
+SIMULATION_CACHE_LIMIT = 64
+
+
+class _LruCache(OrderedDict):
+    """Least-recently-used mapping with a fixed capacity.
+
+    A plain :class:`OrderedDict` with recency maintained on lookup and
+    eviction on insert — enough for the runner's memo; not thread-safe
+    (neither is the rest of the runner).
+    """
+
+    def __init__(self, limit: int):
+        super().__init__()
+        self.limit = limit
+
+    def __getitem__(self, key):
+        value = super().__getitem__(key)
+        self.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        while len(self) > self.limit:
+            self.popitem(last=False)
 
 _CONFIG_PATTERN = re.compile(r"^(?:BUF|FO([2-9])(\+BUF)?)$")
 
@@ -77,8 +110,10 @@ class SuiteRunner:
         self._migs: dict[str, Mig] = {}
         self._netlists: dict[str, WaveNetlist] = {}
         self._results: dict[tuple[str, str], WavePipelineResult] = {}
-        #: ("waves", ...) -> report; ("streams", ...) -> list of reports
-        self._simulations: dict[tuple, object] = {}
+        #: ("waves", ...) -> report; ("streams", ...) -> list of reports.
+        #: LRU-bounded: serving-style workloads sweep an unbounded key
+        #: space (seeds, wave counts), and reports can be large.
+        self._simulations: _LruCache = _LruCache(SIMULATION_CACHE_LIMIT)
 
     # ------------------------------------------------------------------
     def spec(self, name: str) -> BenchmarkSpec:
@@ -164,7 +199,9 @@ class SuiteRunner:
         dynamic validation stays cheap even on the full suite.  Both
         engines return bit-identical reports, so the memo key deliberately
         ignores *engine* — asking for the other engine recalls the cached
-        report instead of re-simulating.
+        report instead of re-simulating.  The memo holds at most
+        :data:`SIMULATION_CACHE_LIMIT` reports (least-recently-used
+        eviction), so long-lived runners stay bounded.
         """
         self._check_engine(engine)
         key = ("waves", name, config, n_waves, n_phases, pipelined, seed)
@@ -197,7 +234,9 @@ class SuiteRunner:
         *n_waves* each (stream *k* uses ``seed + k``) are packed across
         bit-lanes and driven through ``run(name, config)`` in one pass.
         Returns one report per stream; as with :meth:`simulate`, the memo
-        key ignores *engine* because the reports are bit-identical.
+        key ignores *engine* because the reports are bit-identical, and
+        the shared memo is LRU-bounded at :data:`SIMULATION_CACHE_LIMIT`
+        entries.
         """
         self._check_engine(engine)
         key = (

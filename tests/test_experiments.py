@@ -78,6 +78,30 @@ class TestRunner:
         assert reports[0] == runner.simulate(name, n_waves=8, seed=0)
         assert reports[1] == runner.simulate(name, n_waves=8, seed=1)
 
+    def test_simulation_cache_is_lru_bounded(self):
+        # satellite (ISSUE 3): the simulate/simulate_streams memo must
+        # not grow without limit under serving-style workloads
+        from repro.experiments.runner import SIMULATION_CACHE_LIMIT
+
+        local = SuiteRunner(TINY)
+        assert local._simulations.limit == SIMULATION_CACHE_LIMIT
+        local._simulations.limit = 2
+        name = local.names[0]
+        first = local.simulate(name, n_waves=4)
+        local.simulate(name, n_waves=5)
+        assert len(local._simulations) == 2
+        local.simulate(name, n_waves=6)  # evicts the LRU entry (n_waves=4)
+        assert len(local._simulations) == 2
+        keys = list(local._simulations)
+        assert all(key[3] in (5, 6) for key in keys)
+        # a hit refreshes recency: n_waves=5 survives the next insert
+        local.simulate(name, n_waves=5)
+        local.simulate(name, n_waves=7)
+        assert {key[3] for key in local._simulations} == {5, 7}
+        # the evicted report is re-simulated, not recalled
+        assert local.simulate(name, n_waves=4) is not first
+        assert local.simulate(name, n_waves=4) == first
+
     def test_flow_invariants_enforced(self, runner):
         from repro.core.wavepipe.verify import check_balanced, check_fanout
 
