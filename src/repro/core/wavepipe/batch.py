@@ -256,47 +256,43 @@ def _plan_lanes(
     else:
         counts = _stream_lane_counts(waves_per_stream, warm_slots)
 
-    stream_parts = []
+    # All per-lane columns are computed segment-wise across every stream
+    # at once (a serving batch plans hundreds of streams per pass; the
+    # per-stream python loop this replaces dominated the batch prologue).
     stream_waves = np.asarray(waves_per_stream, dtype=np.int64)
     stream_base = np.concatenate(([0], np.cumsum(stream_waves)[:-1]))
     stream_steps = (stream_waves - 1) * separation + depth + 1
-    for index, (n_waves, n_lanes) in enumerate(
-        zip(waves_per_stream, counts)
-    ):
-        chunk = np.full(n_lanes, n_waves // n_lanes, dtype=np.int64)
-        chunk[: n_waves % n_lanes] += 1
-        start = np.concatenate(([0], np.cumsum(chunk)[:-1]))
-        warm = np.minimum(warm_slots, start)
-        wave0 = start - warm
-        forward = np.minimum(forward_slots, n_waves - (start + chunk))
-        n_inj = warm + chunk + forward
-        offset = wave0 * separation
-        keep_lo = warm * separation
-        keep_hi = (warm + chunk) * separation
-        # the stream's last lane owns the drain tail of its timeline
-        keep_hi[-1] = int(stream_steps[index]) - offset[-1]
-        lane_steps = np.maximum(
-            (warm + chunk - 1) * separation + depth + 1, keep_hi
-        )
-        stream_parts.append(
-            (
-                np.full(n_lanes, index, dtype=np.int64),
-                chunk,
-                warm,
-                wave0 + stream_base[index],
-                wave0,
-                n_inj,
-                offset,
-                keep_lo,
-                keep_hi,
-                lane_steps,
-            )
-        )
-
-    columns = [np.concatenate(parts) for parts in zip(*stream_parts)]
-    (stream, chunk, warm, base, wave0, n_inj, offset,
-     keep_lo, keep_hi, lane_steps) = columns
-    n_lanes = int(stream.size)
+    counts_arr = np.asarray(counts, dtype=np.int64)
+    n_lanes = int(counts_arr.sum())
+    lane_start = np.concatenate(([0], np.cumsum(counts_arr)[:-1]))
+    stream = np.repeat(
+        np.arange(counts_arr.size, dtype=np.int64), counts_arr
+    )
+    # lane's index within its own stream's lane group
+    lane_in_stream = np.arange(n_lanes, dtype=np.int64) - lane_start[stream]
+    # chunk: n_waves // n_lanes everywhere, +1 on the first (n_waves %
+    # n_lanes) lanes of the stream — same split the scalar loop used
+    chunk = (stream_waves // counts_arr)[stream]
+    chunk += lane_in_stream < (stream_waves % counts_arr)[stream]
+    # start: exclusive cumsum of chunk, restarted per stream
+    running = np.concatenate(([0], np.cumsum(chunk)[:-1]))
+    start = running - running[lane_start][stream]
+    warm = np.minimum(warm_slots, start)
+    wave0 = start - warm
+    forward = np.minimum(
+        forward_slots, stream_waves[stream] - (start + chunk)
+    )
+    n_inj = warm + chunk + forward
+    offset = wave0 * separation
+    keep_lo = warm * separation
+    keep_hi = (warm + chunk) * separation
+    # each stream's last lane owns the drain tail of its timeline
+    last_lane = lane_start + counts_arr - 1
+    keep_hi[last_lane] = stream_steps - offset[last_lane]
+    lane_steps = np.maximum(
+        (warm + chunk - 1) * separation + depth + 1, keep_hi
+    )
+    base = wave0 + stream_base[stream]
     return _LanePlan(
         n_lanes=n_lanes,
         n_words=-(-n_lanes // LANES_PER_WORD),
@@ -360,14 +356,29 @@ def _pack_injections(
 def _vector_bits(
     streams: Sequence[Sequence[Sequence[bool]]], n_inputs: int
 ) -> np.ndarray:
-    """Concatenate every stream's vectors into one (waves, inputs) table."""
+    """Concatenate every stream's vectors into one (waves, inputs) table.
+
+    One C-side conversion per stream (not per wave): a serving batch of
+    hundreds of streams used to spend more time row-assigning vectors
+    here than the kernel spent simulating them.
+    """
     total = sum(len(vectors) for vectors in streams)
+    if len(streams) > 1 and all(
+        len(vectors) == len(streams[0]) for vectors in streams
+    ):
+        # rectangular batch (the serving case: equal-length requests):
+        # one C-side conversion for the whole (streams, waves, inputs)
+        # block instead of one per stream
+        return np.asarray(streams, dtype=bool).reshape(total, n_inputs)
     bits = np.zeros((total, n_inputs), dtype=bool)
     row = 0
     for vectors in streams:
-        for vector in vectors:
-            bits[row] = vector
-            row += 1
+        if len(vectors):
+            block = np.asarray(vectors, dtype=bool).reshape(
+                len(vectors), n_inputs
+            )
+            bits[row:row + len(vectors)] = block
+            row += len(vectors)
     return bits
 
 
@@ -454,6 +465,55 @@ def describe_packed_run(
     }
 
 
+def plan_stream_batch(
+    netlist,
+    waves_per_stream: Sequence[int],
+    clocking: Optional[ClockingScheme] = None,
+    pipelined: bool = True,
+    backend: Optional[str] = None,
+    track: Optional[bool] = None,
+) -> dict:
+    """Resolve the lane plan one :func:`simulate_streams_packed` batch
+    would use, without running it.
+
+    This is the sizing hook of the serving layer: the micro-batcher asks
+    the *existing* lane planner how a candidate batch of per-stream wave
+    counts would pack (lanes, state words, local steps) and records the
+    answer in its metrics, so batch sizing has exactly one source of
+    truth — the planner that will execute the batch.  Zero-wave streams
+    are planned as the empty streams they are (they occupy no lanes).
+
+    Returns a JSON-friendly dict: ``backend``, ``elided_tracking``,
+    ``n_streams``, ``total_waves``, ``lanes``, ``words``, ``steps``.
+    """
+    clocking = clocking or ClockingScheme()
+    compiled = compile_netlist(netlist, clocking)
+    if compiled.depth == 0:
+        raise SimulationError("cannot wave-simulate a depth-0 netlist")
+    backend = resolve_backend(backend)
+    separation = wave_separation(compiled.depth, compiled.n_phases, pipelined)
+    elided = resolve_tracking(compiled, separation, track)
+    live = [int(waves) for waves in waves_per_stream if waves > 0]
+    plan = _plan_lanes(
+        live,
+        compiled.depth,
+        compiled.n_phases,
+        separation,
+        compiled.balanced,
+        compiled.n_components,
+        step_overhead=planner_step_overhead(backend, elided),
+    ) if live else None
+    return {
+        "backend": backend,
+        "elided_tracking": elided,
+        "n_streams": len(waves_per_stream),
+        "total_waves": sum(live),
+        "lanes": plan.n_lanes if plan else 0,
+        "words": plan.n_words if plan else 0,
+        "steps": plan.local_steps if plan else 0,
+    }
+
+
 def _packed_reports(
     netlist,
     streams: Sequence[Sequence[Sequence[bool]]],
@@ -463,6 +523,7 @@ def _packed_reports(
     lanes: Optional[int],
     backend: Optional[str] = None,
     track: Optional[bool] = None,
+    validate: bool = True,
 ) -> list[WaveSimulationReport]:
     """Shared prologue/epilogue of both packed entry points.
 
@@ -473,8 +534,9 @@ def _packed_reports(
     cannot drift between the entry points.
     """
     clocking = clocking or ClockingScheme()
-    for vectors in streams:
-        _validate_vectors(netlist, vectors)
+    if validate:
+        for vectors in streams:
+            _validate_vectors(netlist, vectors)
     compiled = compile_netlist(netlist, clocking)
     depth = compiled.depth
     if depth == 0:
@@ -572,6 +634,7 @@ def simulate_streams_packed(
     strict: bool = False,
     backend: Optional[str] = None,
     track: Optional[bool] = None,
+    validate: bool = True,
 ) -> list[WaveSimulationReport]:
     """Simulate many independent wave streams in one packed pass.
 
@@ -587,8 +650,12 @@ def simulate_streams_packed(
     In strict mode the error matches what the scalar engine would raise
     when the streams are simulated one after another: the first stream (in
     order) with interference reports its earliest event.
+
+    *validate* may be set to ``False`` by callers that already validated
+    every stream against this netlist (the serving layer validates at
+    submit time); the per-wave width checks are then skipped.
     """
     return _packed_reports(
         netlist, list(streams), clocking, pipelined, strict, None,
-        backend=backend, track=track,
+        backend=backend, track=track, validate=validate,
     )

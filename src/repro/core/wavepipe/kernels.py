@@ -75,6 +75,7 @@ per-wave bit extraction happens once, vectorized, after the loop (in
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
@@ -227,6 +228,35 @@ _COMPILE_CACHE: "weakref.WeakKeyDictionary[WaveNetlist, dict]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: Guards the compile cache and its counters: the serving layer's shard
+#: threads compile concurrently (the cache itself is the serving layer's
+#: per-``WaveNetlist.version`` compiled-plan store).
+_COMPILE_LOCK = threading.Lock()
+
+#: Process-wide compile-cache telemetry, see :func:`compile_cache_stats`.
+_COMPILE_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_cache_stats() -> dict:
+    """Process-wide compile-cache counters, ``{"hits": n, "misses": n}``.
+
+    A *miss* is one actual netlist flattening (a new netlist, a new phase
+    count, or a mutated :attr:`WaveNetlist.version`); a *hit* recalled the
+    memoized tables.  The serving layer's metrics read these to prove the
+    compiled plan is reused across batches instead of being rebuilt per
+    request; tests and benches may call :func:`reset_compile_cache_stats`
+    to scope the counters to one scenario.
+    """
+    with _COMPILE_LOCK:
+        return dict(_COMPILE_STATS)
+
+
+def reset_compile_cache_stats() -> None:
+    """Zero the :func:`compile_cache_stats` counters (cache kept intact)."""
+    with _COMPILE_LOCK:
+        _COMPILE_STATS["hits"] = 0
+        _COMPILE_STATS["misses"] = 0
+
 
 def compile_netlist(
     netlist: WaveNetlist, clocking: Optional[ClockingScheme] = None
@@ -234,17 +264,25 @@ def compile_netlist(
     """Flatten *netlist* into packed per-phase tables (memoized).
 
     The cache is invalidated automatically when the netlist is mutated
-    (tracked through :attr:`WaveNetlist.version`).
+    (tracked through :attr:`WaveNetlist.version`) and is safe to use from
+    multiple threads: the serving layer's shards share one compiled plan
+    per netlist version, and :func:`compile_cache_stats` exposes the
+    hit/miss counters their metrics report.  Compilation runs under the
+    cache lock — an O(n) pass, so serialized compiles are preferable to
+    two threads flattening the same netlist twice.
     """
     clocking = clocking or ClockingScheme()
     p = clocking.n_phases
-    per_netlist = _COMPILE_CACHE.setdefault(netlist, {})
-    cached = per_netlist.get(p)
-    if cached is not None and cached[0] == netlist.version:
-        return cached[1]
-    compiled = _compile(netlist, p)
-    per_netlist[p] = (netlist.version, compiled)
-    return compiled
+    with _COMPILE_LOCK:
+        per_netlist = _COMPILE_CACHE.setdefault(netlist, {})
+        cached = per_netlist.get(p)
+        if cached is not None and cached[0] == netlist.version:
+            _COMPILE_STATS["hits"] += 1
+            return cached[1]
+        _COMPILE_STATS["misses"] += 1
+        compiled = _compile(netlist, p)
+        per_netlist[p] = (netlist.version, compiled)
+        return compiled
 
 
 def _compile(netlist: WaveNetlist, p: int) -> CompiledWaveNetlist:

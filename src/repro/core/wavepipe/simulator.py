@@ -64,6 +64,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ...errors import SimulationError
 from .clocking import ClockingScheme
 from .components import Kind, WaveNetlist
@@ -153,11 +155,26 @@ def _validate_vectors(
     netlist: WaveNetlist, vectors: Sequence[Sequence[bool]]
 ) -> None:
     """Shared input validation (identical errors from both engines)."""
+    # hoisted out of the loop: a 10^4-wave serving batch validates every
+    # wave, and the property access is pure overhead beside len()
+    n_inputs = netlist.n_inputs
+    if (
+        isinstance(vectors, np.ndarray)
+        and vectors.ndim == 2
+    ):
+        # rectangular block (the serving wire format): one shape check
+        # stands in for every per-wave check, same error text
+        if vectors.shape[0] and vectors.shape[1] != n_inputs:
+            raise SimulationError(
+                f"wave 0 has {vectors.shape[1]} bits, expected "
+                f"{n_inputs}"
+            )
+        return
     for wave, vector in enumerate(vectors):
-        if len(vector) != netlist.n_inputs:
+        if len(vector) != n_inputs:
             raise SimulationError(
                 f"wave {wave} has {len(vector)} bits, expected "
-                f"{netlist.n_inputs}"
+                f"{n_inputs}"
             )
 
 

@@ -39,6 +39,24 @@ class EquivalenceError(ReproError):
     """Two networks that must be functionally equivalent are not."""
 
 
+class ServeError(ReproError):
+    """Misuse or failure of the micro-batching simulation server."""
+
+
+class ServerQueueFull(ServeError):
+    """Backpressure: the server's bounded request queue is at capacity.
+
+    Raised by :meth:`repro.serve.SimulationServer.submit` when admitting
+    the request would exceed ``max_pending``.  Callers are expected to
+    retry after draining some of their outstanding futures (closed-loop
+    clients never see this unless they overrun their own concurrency).
+    """
+
+
+class ServerClosed(ServeError):
+    """A request was submitted to a server that is closed or closing."""
+
+
 class ParseError(ReproError):
     """A netlist file (BLIF, .mig) could not be parsed."""
 

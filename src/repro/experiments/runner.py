@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 import re
 from collections import OrderedDict
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from ..core.mig import Mig
 from ..core.wavepipe import (
@@ -72,6 +72,22 @@ class _LruCache(OrderedDict):
         self.move_to_end(key)
         while len(self) > self.limit:
             self.popitem(last=False)
+
+def _stream_digest(stream) -> tuple:
+    """Exact, compact memo-key component for one wave stream.
+
+    ``(shape, packed bytes)`` is injective over boolean payloads — the
+    shape disambiguates :func:`numpy.packbits` zero-padding — and costs
+    one C pass instead of building a nested Python tuple per call.
+    """
+    import numpy as np
+
+    block = np.asarray(stream, dtype=bool)
+    return (
+        block.shape,
+        np.packbits(block, axis=None).tobytes() if block.size else b"",
+    )
+
 
 _CONFIG_PATTERN = re.compile(r"^(?:BUF|FO([2-9])(\+BUF)?)$")
 
@@ -227,31 +243,53 @@ class SuiteRunner:
         n_phases: int = 3,
         pipelined: bool = True,
         seed: int = 0,
+        streams: Optional[
+            Sequence[Sequence[Sequence[bool]]]
+        ] = None,
     ) -> list[WaveSimulationReport]:
         """Batched simulation of many independent wave streams (memoized).
 
         The serving scenario: *n_streams* seeded random streams of
         *n_waves* each (stream *k* uses ``seed + k``) are packed across
         bit-lanes and driven through ``run(name, config)`` in one pass.
-        Returns one report per stream; as with :meth:`simulate`, the memo
-        key ignores *engine* because the reports are bit-identical, and
-        the shared memo is LRU-bounded at :data:`SIMULATION_CACHE_LIMIT`
-        entries.
+        Explicit *streams* payloads (the serving layer drives the runner
+        this way) override the seeded generation; *n_streams*, *n_waves*
+        and *seed* are then ignored.
+
+        Returns one report per stream.  As with :meth:`simulate`, the
+        memo key ignores *engine* because the reports are bit-identical,
+        and the shared memo is LRU-bounded at
+        :data:`SIMULATION_CACHE_LIMIT` entries.  Seeded generation keys
+        on the generating parameters (which fully determine the
+        payload); explicit *streams* key on an **exact digest of the
+        full payload** (per-stream shape + bit-packed bytes, one C pass)
+        — two stream sets with equal counts and lengths but different
+        payloads must never alias one memo entry, which a
+        ``(count, length, seed)``-style key would silently allow.
         """
         self._check_engine(engine)
-        key = (
-            "streams", name, config, n_streams, n_waves, n_phases,
-            pipelined, seed,
-        )
+        if streams is None:
+            key = (
+                "streams", name, config, n_streams, n_waves, n_phases,
+                pipelined, seed,
+            )
+        else:
+            key = (
+                "streams-payload", name, config, n_phases, pipelined,
+                tuple(_stream_digest(stream) for stream in streams),
+            )
         if key not in self._simulations:
             netlist = self.run(name, config).netlist
-            streams = [
-                random_vectors(netlist.n_inputs, n_waves, seed=seed + k)
-                for k in range(n_streams)
-            ]
+            if streams is None:
+                streams = [
+                    random_vectors(
+                        netlist.n_inputs, n_waves, seed=seed + k
+                    )
+                    for k in range(n_streams)
+                ]
             self._simulations[key] = simulate_streams(
                 netlist,
-                streams,
+                list(streams),
                 clocking=ClockingScheme(n_phases),
                 pipelined=pipelined,
                 engine=engine,

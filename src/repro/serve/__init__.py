@@ -1,0 +1,56 @@
+"""Micro-batching serving layer over the packed wave-simulation engine.
+
+Public surface:
+
+* :class:`SimulationServer` — bounded request queue, per-netlist
+  coalescing batcher, shard thread pool, ``submit``/``Future`` plus an
+  asyncio façade (see :mod:`repro.serve.server` for the architecture);
+* :class:`ServerMetrics` — batching/plan-cache counters
+  (``server.metrics.snapshot()``);
+* :func:`run_closed_loop` / :class:`LoadReport` — the closed-loop load
+  generator behind ``repro serve-bench`` and
+  ``benchmarks/bench_serving.py``;
+* batching knobs re-exported from :mod:`repro.serve.batcher`.
+
+Quick start (and see ``examples/serving.py`` for the walkthrough)::
+
+    from repro.serve import SimulationServer
+
+    with SimulationServer(shards=2) as server:
+        future = server.submit(netlist, vectors)   # -> Future
+        report = future.result()                   # bit-identical to a
+                                                   #    solo simulate_waves
+"""
+
+from .batcher import (
+    DEFAULT_MAX_BATCH_REQUESTS,
+    DEFAULT_MAX_BATCH_WAVES,
+    Batch,
+    Batcher,
+)
+from .loadgen import LoadReport, run_closed_loop
+from .metrics import ServerMetrics
+from .queue import GroupKey, RequestQueue, SimulationRequest
+from .server import (
+    DEFAULT_LINGER_WAIT_S,
+    DEFAULT_MAX_LINGER_STEPS,
+    DEFAULT_MAX_PENDING,
+    SimulationServer,
+)
+
+__all__ = [
+    "Batch",
+    "Batcher",
+    "DEFAULT_LINGER_WAIT_S",
+    "DEFAULT_MAX_BATCH_REQUESTS",
+    "DEFAULT_MAX_BATCH_WAVES",
+    "DEFAULT_MAX_LINGER_STEPS",
+    "DEFAULT_MAX_PENDING",
+    "GroupKey",
+    "LoadReport",
+    "RequestQueue",
+    "ServerMetrics",
+    "SimulationRequest",
+    "SimulationServer",
+    "run_closed_loop",
+]

@@ -1,0 +1,171 @@
+"""Coalescing micro-batcher: pending requests -> one packed pass.
+
+The batcher is pure batching *policy*.  It decides which group a shard
+serves next (round-robin via the queue), how many requests one batch
+carries (``max_batch_requests``), and how many total waves
+(``max_batch_waves``) — and it asks the packed engine's own lane planner
+(:func:`~repro.core.wavepipe.batch.plan_stream_batch`) how the batch will
+pack, so sizing and execution share one source of truth.  Locking, the
+linger wait, and running the batch belong to the server.
+
+Why these defaults: every stream in a packed pass occupies at least one
+lane, so a batch of ``n`` requests needs at least ``ceil(n / 64)`` state
+words.  :data:`DEFAULT_MAX_BATCH_REQUESTS` = 256 keeps a worst-case
+one-lane-per-stream batch at 4 words, comfortably inside the planner's
+:data:`~repro.core.wavepipe.batch.MAX_PLANNED_WORDS` soft cap (16 words),
+while :data:`DEFAULT_MAX_BATCH_WAVES` bounds the injection-packing
+footprint of one pass regardless of per-request stream lengths.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..core.wavepipe.batch import plan_stream_batch
+from .queue import GroupKey, RequestQueue, SimulationRequest
+
+#: Default cap on requests coalesced into one packed pass (see module
+#: docstring for the lane-planner rationale).
+DEFAULT_MAX_BATCH_REQUESTS = 256
+
+#: Default cap on the total waves of one packed pass.
+DEFAULT_MAX_BATCH_WAVES = 65_536
+
+
+@dataclass
+class Batch:
+    """One group of requests about to share a single packed pass."""
+
+    key: GroupKey
+    requests: list[SimulationRequest] = field(default_factory=list)
+
+    @property
+    def netlist(self):
+        """The shared netlist (every request in a batch agrees on it)."""
+        return self.requests[0].netlist
+
+    @property
+    def clocking(self):
+        """The shared clocking scheme (part of the group key)."""
+        return self.requests[0].clocking
+
+    @property
+    def pipelined(self) -> bool:
+        """The shared injection mode (part of the group key)."""
+        return self.key.pipelined
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def n_waves(self) -> int:
+        """Total waves across every request of the batch."""
+        return sum(request.n_waves for request in self.requests)
+
+
+class Batcher:
+    """Forms per-netlist batches from a :class:`RequestQueue`.
+
+    The queue-touching methods (:meth:`start_batch`, :meth:`top_up`)
+    must be called with the server's lock held — the queue is not
+    thread-safe.  :meth:`plan` and :meth:`is_full` touch no queue state;
+    ``plan`` is called by shard workers *outside* the server lock and
+    guards its own memo with a dedicated lock.
+    """
+
+    def __init__(
+        self,
+        queue: RequestQueue,
+        max_batch_requests: int = DEFAULT_MAX_BATCH_REQUESTS,
+        max_batch_waves: int = DEFAULT_MAX_BATCH_WAVES,
+    ):
+        if max_batch_requests < 1:
+            raise ValueError("max_batch_requests must be at least 1")
+        if max_batch_waves < 1:
+            raise ValueError("max_batch_waves must be at least 1")
+        self.queue = queue
+        self.max_batch_requests = int(max_batch_requests)
+        self.max_batch_waves = int(max_batch_waves)
+        self._plan_memo: dict = {}
+        self._plan_lock = threading.Lock()
+
+    #: Bound on the memoized batch plans (see :meth:`plan`).
+    _PLAN_MEMO_LIMIT = 64
+
+    def start_batch(self, busy: Iterable[GroupKey]) -> Optional[Batch]:
+        """Seed a batch from the next non-busy group, or ``None``.
+
+        Groups in *busy* are being simulated by another shard right now;
+        skipping them is what lets independent netlist groups run
+        concurrently without ever splitting one group across shards
+        (which would reorder responses and defeat coalescing).
+        """
+        key = self.queue.next_key(skip=busy)
+        if key is None:
+            return None
+        requests = self.queue.take(
+            key, self.max_batch_requests, self.max_batch_waves
+        )
+        return Batch(key=key, requests=requests)
+
+    def top_up(self, batch: Batch) -> int:
+        """Extend *batch* with requests that arrived since it was seeded.
+
+        Called between linger waits; respects both caps strictly (a
+        request that would overflow the wave budget stays queued for the
+        next batch).  Returns the number of requests added.
+        """
+        more = self.queue.take(
+            batch.key,
+            self.max_batch_requests - batch.n_requests,
+            self.max_batch_waves - batch.n_waves,
+            always_take_first=False,
+        )
+        batch.requests.extend(more)
+        return len(more)
+
+    def is_full(self, batch: Batch) -> bool:
+        """True when neither cap leaves room to coalesce more requests."""
+        return (
+            batch.n_requests >= self.max_batch_requests
+            or batch.n_waves >= self.max_batch_waves
+        )
+
+    def plan(self, batch: Batch, backend=None, track=None) -> dict:
+        """Lane plan of *batch* as the packed engine will run it.
+
+        Thin wrapper over
+        :func:`~repro.core.wavepipe.batch.plan_stream_batch` — the
+        serving metrics record the planner's words/lanes per batch so
+        operators can see how traffic actually packs.  Serving traffic
+        is highly repetitive (the same netlist and request shape batch
+        after batch), so the result is memoized per (group, per-stream
+        lengths) with a small bounded table.
+        """
+        lengths = tuple(request.n_waves for request in batch.requests)
+        # the netlist object itself (identity-hashed) is part of the
+        # key: GroupKey's id(netlist) alone could alias a new netlist
+        # allocated at a recycled address after the old one was
+        # collected; holding the reference in the bounded memo keeps
+        # the id stable for exactly as long as the entry lives
+        cache_key = (batch.netlist, batch.key, lengths, backend, track)
+        with self._plan_lock:
+            cached = self._plan_memo.get(cache_key)
+        if cached is not None:
+            return cached
+        plan = plan_stream_batch(
+            batch.netlist,
+            list(lengths),
+            clocking=batch.clocking,
+            pipelined=batch.pipelined,
+            backend=backend,
+            track=track,
+        )
+        with self._plan_lock:
+            if len(self._plan_memo) >= self._PLAN_MEMO_LIMIT:
+                self._plan_memo.clear()  # tiny table; reset is fine
+            self._plan_memo[cache_key] = plan
+        return plan

@@ -1,0 +1,147 @@
+"""Closed-loop load generator for the serving layer.
+
+Shared by ``repro serve-bench`` and ``benchmarks/bench_serving.py`` so
+the CLI demo and the CI-gated bench measure the exact same thing.
+
+The generator models multiplexed serving clients: *clients* threads each
+keep a window of *burst* requests in flight (submitted together through
+:meth:`~repro.serve.server.SimulationServer.submit_many`, collected in
+FIFO order, then the next burst goes out), so the total in-flight
+request count is ``clients x burst = concurrency`` — closed loop at a
+fixed concurrency level.  Per-request latency runs from the burst's
+submission to that request's resolved future, queueing and batching
+included.  All client threads are started *before* the clock and
+released together through an event, so thread spawn cost never pollutes
+the throughput measurement.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.wavepipe.clocking import ClockingScheme
+from ..core.wavepipe.simulator import WaveSimulationReport
+from .server import SimulationServer
+
+#: Default client-thread count (windows widen to reach the requested
+#: concurrency; more OS threads would only add GIL churn).
+DEFAULT_CLIENTS = 16
+
+#: Safety bound for one request's future under load (seconds); hitting
+#: it means a wedged shard, which should fail loudly, not hang the run.
+REQUEST_TIMEOUT_S = 300.0
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one closed-loop run against a server."""
+
+    reports: list[WaveSimulationReport]  # per request, submission order
+    latencies_s: list[float]  # burst submit -> resolved future
+    elapsed_s: float  # gate release -> last client done
+    total_waves: int
+    concurrency: int  # requests in flight (clients x burst)
+    clients: int
+
+    @property
+    def waves_per_s(self) -> float:
+        """Sustained throughput of the run."""
+        return self.total_waves / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def requests_per_s(self) -> float:
+        return (
+            len(self.reports) / self.elapsed_s if self.elapsed_s else 0.0
+        )
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Nearest-rank latency percentile, in seconds."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = max(1, int(round(quantile * len(ordered))))
+        return ordered[min(len(ordered), rank) - 1]
+
+    @property
+    def p50_s(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def p99_s(self) -> float:
+        return self.latency_percentile(0.99)
+
+
+def run_closed_loop(
+    server: SimulationServer,
+    netlist,
+    requests: Sequence[Sequence[Sequence[bool]]],
+    *,
+    clocking: Optional[ClockingScheme] = None,
+    concurrency: Optional[int] = None,
+    clients: int = DEFAULT_CLIENTS,
+) -> LoadReport:
+    """Drive *requests* (one wave stream each) through *server*.
+
+    *concurrency* is the target number of requests in flight (default:
+    every request at once); it is served by *clients* threads whose
+    per-burst window is ``concurrency / clients``.  Results come back
+    indexed by submission position regardless of scheduling, so callers
+    can compare each report against its solo-run counterpart directly.
+    """
+    n_requests = len(requests)
+    if n_requests == 0:
+        return LoadReport([], [], 0.0, 0, 0, 0)
+    concurrency = min(n_requests, concurrency or n_requests)
+    n_clients = max(1, min(clients, concurrency))
+    burst = max(1, concurrency // n_clients)
+    reports: list[Optional[WaveSimulationReport]] = [None] * n_requests
+    latencies: list[float] = [0.0] * n_requests
+    errors: list[BaseException] = []
+    gate = threading.Event()
+
+    def client(client_id: int) -> None:
+        try:
+            gate.wait()
+            indices = range(client_id, n_requests, n_clients)
+            for chunk_start in range(0, len(indices), burst):
+                chunk = indices[chunk_start:chunk_start + burst]
+                started = time.perf_counter()
+                futures = server.submit_many(
+                    netlist,
+                    [requests[index] for index in chunk],
+                    clocking=clocking,
+                )
+                for index, future in zip(chunk, futures):
+                    reports[index] = future.result(
+                        timeout=REQUEST_TIMEOUT_S
+                    )
+                    latencies[index] = time.perf_counter() - started
+        except BaseException as error:  # surface in the caller thread
+            errors.append(error)
+
+    threads = [
+        threading.Thread(
+            target=client, args=(client_id,), name=f"loadgen-{client_id}"
+        )
+        for client_id in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    started = time.perf_counter()
+    gate.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return LoadReport(
+        reports=reports,  # type: ignore[arg-type]  # all filled or raised
+        latencies_s=latencies,
+        elapsed_s=elapsed,
+        total_waves=sum(len(stream) for stream in requests),
+        concurrency=n_clients * burst,
+        clients=n_clients,
+    )

@@ -1,0 +1,105 @@
+"""Thread-safe counters of one :class:`~repro.serve.server.SimulationServer`.
+
+The metrics answer the two operational questions of the serving layer:
+*is batching happening* (``batches`` vs ``batched_requests``, the mean
+batch size, the planner's words per batch) and *is the compiled plan
+being reused* (``plan_cache_hits`` vs ``plan_cache_misses`` — one miss
+per distinct netlist version, everything else hits; the process-wide
+kernel-compile counters are additionally available through
+:func:`repro.core.wavepipe.compile_cache_stats`).
+
+Counters are updated from submitter threads and shard workers alike, so
+every mutation takes the internal lock; :meth:`snapshot` returns a plain
+dict so callers never observe a torn update.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class ServerMetrics:
+    """Monotonic counters, written by the server, read via :meth:`snapshot`."""
+
+    _FIELDS = (
+        "submitted",            # requests admitted into the queue
+        "submitted_waves",      # total waves across admitted requests
+        "rejected_queue_full",  # submissions refused by backpressure
+        "completed",            # requests whose future got a report
+        "failed",               # requests whose future got an exception
+        "cancelled",            # requests cancelled before dispatch
+        "batches",              # packed passes executed
+        "batched_requests",     # requests across all executed batches
+        "batched_waves",        # waves across all executed batches
+        "batch_words",          # planner state words across all batches
+        "max_batch_requests",   # largest batch observed (requests)
+        "plan_cache_hits",      # submissions reusing a compiled plan
+        "plan_cache_misses",    # submissions that compiled a new plan
+    )
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {field: 0 for field in self._FIELDS}
+
+    def record_submitted(self, n_requests: int, n_waves: int) -> None:
+        """One admission burst: *n_requests* requests, *n_waves* waves."""
+        with self._lock:
+            self._counts["submitted"] += n_requests
+            self._counts["submitted_waves"] += n_waves
+
+    def record_rejected(self) -> None:
+        """One submission refused by queue-full backpressure."""
+        with self._lock:
+            self._counts["rejected_queue_full"] += 1
+
+    def record_plan_cache(self, hit: bool) -> None:
+        """One submission's compiled-plan lookup (hit = reused)."""
+        with self._lock:
+            key = "plan_cache_hits" if hit else "plan_cache_misses"
+            self._counts[key] += 1
+
+    def record_batch(
+        self, n_requests: int, n_waves: int, n_words: int
+    ) -> None:
+        """One packed pass dispatched (sizes as the planner saw them)."""
+        with self._lock:
+            self._counts["batches"] += 1
+            self._counts["batched_requests"] += n_requests
+            self._counts["batched_waves"] += n_waves
+            self._counts["batch_words"] += n_words
+            if n_requests > self._counts["max_batch_requests"]:
+                self._counts["max_batch_requests"] = n_requests
+
+    def record_completed(self, n_requests: int) -> None:
+        """*n_requests* futures resolved with reports."""
+        with self._lock:
+            self._counts["completed"] += n_requests
+
+    def record_failed(self, n_requests: int) -> None:
+        """*n_requests* futures resolved with an exception."""
+        with self._lock:
+            self._counts["failed"] += n_requests
+
+    def record_cancelled(self, n_requests: int) -> None:
+        """*n_requests* requests cancelled before their batch ran."""
+        with self._lock:
+            self._counts["cancelled"] += n_requests
+
+    def snapshot(self) -> dict:
+        """Consistent copy of every counter plus derived ratios.
+
+        Adds ``mean_batch_requests`` (coalescing factor actually
+        achieved) and ``plan_cache_hit_rate`` — the two numbers the
+        serve bench and the concurrency tests assert on.
+        """
+        with self._lock:
+            counts = dict(self._counts)
+        batches = counts["batches"]
+        counts["mean_batch_requests"] = (
+            counts["batched_requests"] / batches if batches else 0.0
+        )
+        lookups = counts["plan_cache_hits"] + counts["plan_cache_misses"]
+        counts["plan_cache_hit_rate"] = (
+            counts["plan_cache_hits"] / lookups if lookups else 0.0
+        )
+        return counts

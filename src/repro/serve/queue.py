@@ -1,0 +1,173 @@
+"""Bounded, netlist-grouped request queue of the serving layer.
+
+One :class:`RequestQueue` holds every request a
+:class:`~repro.serve.server.SimulationServer` has admitted but not yet
+dispatched.  Requests are grouped by :class:`GroupKey` — only requests
+that can legally share one
+:func:`~repro.core.wavepipe.batch.simulate_streams_packed` pass (same
+netlist object at the same mutation version, same phase count, same
+injection mode) land in the same group — and the groups are drained in
+round-robin order so one hot netlist cannot starve the others.
+
+The queue performs **no locking**: the server serializes every access
+under its own condition variable (the queue is pure data structure, the
+server is the only synchronization point of the serving layer).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..core.wavepipe.clocking import ClockingScheme
+from ..errors import ServerQueueFull
+
+
+@dataclass(frozen=True)
+class GroupKey:
+    """Identity of one batchable request group.
+
+    Two requests may be coalesced into one packed pass exactly when they
+    agree on all four fields; the netlist is identified by object id *and*
+    mutation version, so mutating a netlist between submissions starts a
+    fresh group (and a fresh compiled plan) instead of mixing state
+    layouts.
+    """
+
+    netlist_id: int
+    version: int
+    n_phases: int
+    pipelined: bool
+
+
+@dataclass
+class SimulationRequest:
+    """One admitted wave-simulation request and its completion future.
+
+    The request holds a strong reference to its netlist (keeping the
+    per-version compiled-plan cache entry alive while the request is in
+    flight) and a snapshot of the submission time so closed-loop load
+    generators can attribute queueing delay to the request's latency.
+    """
+
+    netlist: object  # WaveNetlist
+    vectors: Sequence[Sequence[bool]]
+    clocking: ClockingScheme
+    pipelined: bool
+    future: Future
+    key: GroupKey
+    submitted_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def n_waves(self) -> int:
+        """Stream length of this request, in waves."""
+        return len(self.vectors)
+
+
+class RequestQueue:
+    """Per-netlist FIFO queues under one bounded pending budget.
+
+    ``max_pending`` bounds the *total* number of queued requests across
+    all groups — the server's backpressure limit; :meth:`push` raises
+    :class:`~repro.errors.ServerQueueFull` past it.  :meth:`next_key`
+    rotates through the groups (round-robin) so multi-netlist traffic
+    shares the shards fairly.  Not thread-safe by design — see the module
+    docstring.
+    """
+
+    def __init__(self, max_pending: int):
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.max_pending = int(max_pending)
+        self._groups: "OrderedDict[GroupKey, deque]" = OrderedDict()
+        self._pending = 0
+
+    def __len__(self) -> int:
+        return self._pending
+
+    @property
+    def n_groups(self) -> int:
+        """Number of distinct netlist groups with pending requests."""
+        return len(self._groups)
+
+    def ensure_room(self, n_requests: int) -> None:
+        """Raise :class:`ServerQueueFull` unless *n_requests* fit.
+
+        The one copy of the backpressure check and its message: the
+        server pre-checks whole bursts through this (all-or-nothing
+        admission) and :meth:`push` re-checks per request.
+        """
+        if self._pending + n_requests > self.max_pending:
+            raise ServerQueueFull(
+                f"server queue is full ({self.max_pending} pending "
+                "requests); drain some outstanding futures and retry"
+            )
+
+    def push(self, request: SimulationRequest) -> None:
+        """Admit one request, or raise :class:`ServerQueueFull`."""
+        self.ensure_room(1)
+        group = self._groups.get(request.key)
+        if group is None:
+            group = self._groups[request.key] = deque()
+        group.append(request)
+        self._pending += 1
+
+    def next_key(self, skip: Iterable[GroupKey] = ()) -> Optional[GroupKey]:
+        """Round-robin: the next group with pending work, or ``None``.
+
+        Groups in *skip* (currently being simulated by another shard) are
+        passed over.  The chosen group is rotated to the back so the next
+        call prefers a different netlist — multi-netlist traffic is
+        served fairly instead of by arrival order.
+        """
+        skip = set(skip)
+        for key in self._groups:
+            if key not in skip:
+                self._groups.move_to_end(key)
+                return key
+        return None
+
+    def take(
+        self,
+        key: GroupKey,
+        max_requests: int,
+        max_waves: int,
+        always_take_first: bool = True,
+    ) -> list[SimulationRequest]:
+        """Pop up to *max_requests* from *key*'s FIFO, bounded by waves.
+
+        Requests are taken in arrival order while the running wave total
+        stays within *max_waves*.  With *always_take_first* (batch
+        seeding) the first request is taken even when it alone exceeds
+        the wave budget — an oversized request must still be served, as
+        its own batch; topping up an existing batch passes ``False`` so
+        the budget is strict.
+        """
+        group = self._groups.get(key)
+        if group is None:
+            return []
+        taken: list[SimulationRequest] = []
+        waves = 0
+        while group and len(taken) < max_requests:
+            head = group[0]
+            over_budget = waves + head.n_waves > max_waves
+            if over_budget and (taken or not always_take_first):
+                break
+            taken.append(group.popleft())
+            waves += head.n_waves
+        if not group:
+            del self._groups[key]
+        self._pending -= len(taken)
+        return taken
+
+    def drain(self) -> list[SimulationRequest]:
+        """Pop every pending request (used to cancel on shutdown)."""
+        drained = [
+            request for group in self._groups.values() for request in group
+        ]
+        self._groups.clear()
+        self._pending = 0
+        return drained

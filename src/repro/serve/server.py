@@ -1,0 +1,517 @@
+"""Micro-batching simulation server over the packed wave engine.
+
+:class:`SimulationServer` turns the one-shot
+:func:`~repro.core.wavepipe.simulator.simulate_streams` API into a
+serving subsystem — the deployment model the paper's wave pipelining
+exists for: many independent requests amortized over one pipeline sweep.
+
+Architecture
+------------
+**Bounded admission.**  :meth:`SimulationServer.submit` validates the
+request, warms the per-``WaveNetlist.version`` compiled-plan cache
+(:func:`~repro.core.wavepipe.kernels.compile_netlist` — shared across
+batches, requests, and shards), and enqueues it into a bounded
+:class:`~repro.serve.queue.RequestQueue`; past ``max_pending`` requests
+the submit raises :class:`~repro.errors.ServerQueueFull` (backpressure —
+the caller retries after draining futures).  The caller immediately gets
+a :class:`concurrent.futures.Future` that resolves to the request's own
+:class:`~repro.core.wavepipe.simulator.WaveSimulationReport`.
+
+**Per-netlist coalescing.**  Pending requests are grouped per
+(netlist, version, phase count, injection mode); the
+:class:`~repro.serve.batcher.Batcher` drains the groups round-robin and
+coalesces each into one
+:func:`~repro.core.wavepipe.batch.simulate_streams_packed` pass, sized by
+the packed engine's own lane planner
+(:func:`~repro.core.wavepipe.batch.plan_stream_batch`).  Batching **never
+changes results**: every stream in a packed pass gets its own lane group,
+so each report is bit-identical to a solo ``simulate_waves`` run — the
+property ``tests/test_serving.py`` locks down.
+
+**Shard dispatch.**  ``shards`` worker threads each serve one group at a
+time; a group being simulated is marked busy so two shards never split
+one netlist's queue (order-preserving), while *independent* netlist
+groups simulate concurrently.  A shard that seeds a non-full batch may
+*linger* — up to ``max_linger_steps`` waits of ``linger_wait_s`` each —
+to coalesce requests that arrive moments later (the classic micro-batch
+latency/throughput knob).
+
+**Sync and async façades.**  ``submit`` / ``Future.result`` is the
+thread-world API; :meth:`SimulationServer.submit_async` awaits the same
+future on an asyncio loop.  :meth:`SimulationServer.simulate` is the
+one-call convenience (submit + result).
+
+The server is deliberately *thread*-sharded, not process-sharded: the
+packed kernels spend their time in numpy ufuncs that release the GIL, so
+independent groups overlap on multicore hosts, and one shared
+compiled-plan cache serves every shard.  Process sharding (one server per
+core, a front router) stacks on top — see ROADMAP.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from concurrent.futures import Future
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.wavepipe.batch import simulate_streams_packed
+from ..core.wavepipe.clocking import ClockingScheme
+from ..core.wavepipe.kernels import compile_netlist
+from ..core.wavepipe.simulator import (
+    WaveSimulationReport,
+    _validate_vectors,
+)
+from ..errors import (
+    ServeError,
+    ServerClosed,
+    ServerQueueFull,
+    SimulationError,
+)
+from .batcher import (
+    DEFAULT_MAX_BATCH_REQUESTS,
+    DEFAULT_MAX_BATCH_WAVES,
+    Batch,
+    Batcher,
+)
+from .metrics import ServerMetrics
+from .queue import GroupKey, RequestQueue, SimulationRequest
+
+#: Default bound on admitted-but-undispatched requests (backpressure).
+DEFAULT_MAX_PENDING = 1024
+
+#: Default linger rounds a non-full batch waits for late arrivals.
+DEFAULT_MAX_LINGER_STEPS = 1
+
+#: Default upper bound of one linger round, in seconds.
+DEFAULT_LINGER_WAIT_S = 0.002
+
+#: Bound on the server's per-netlist plan-reuse records: serving
+#: netlist-churn traffic must not pin every netlist (and its weakly
+#: cached compiled tables) forever.  Eviction only forgets accounting —
+#: a re-submission simply counts one fresh miss; in-flight requests
+#: keep their own strong netlist references regardless.
+PLAN_CACHE_LIMIT = 256
+
+
+class SimulationServer:
+    """Micro-batching request scheduler over ``simulate_streams_packed``.
+
+    Parameters
+    ----------
+    shards:
+        Worker threads.  Each serves one netlist group at a time;
+        sharding pays off exactly when traffic spans several netlists
+        (or clocking configurations) — single-netlist traffic is
+        order-preserved on one shard and extra shards idle.
+    max_pending:
+        Queue bound; :meth:`submit` raises
+        :class:`~repro.errors.ServerQueueFull` past it.
+    max_batch_requests / max_batch_waves:
+        Coalescing caps of one packed pass (see
+        :mod:`repro.serve.batcher` for the lane-planner rationale).
+    max_linger_steps / linger_wait_s:
+        How long a non-full batch waits for late arrivals: linger
+        rounds are condition waits of at most ``linger_wait_s`` seconds
+        each, and the batch dispatches after ``max_linger_steps``
+        *consecutive rounds that coalesced nothing* (rounds that grew
+        the batch reset the budget, so an in-flight burst is absorbed
+        whole).  ``0`` steps dispatches immediately (lowest latency,
+        least coalescing); the idle-traffic latency cost is bounded by
+        ``max_linger_steps * linger_wait_s``.
+    clocking / pipelined / backend / track:
+        Server-wide simulation defaults; ``clocking`` and ``pipelined``
+        can be overridden per request in :meth:`submit` (the group key
+        keeps incompatible requests apart), ``backend``/``track`` select
+        the kernel variant for every batch.
+    start:
+        Spawn the shard threads immediately (default).  ``start=False``
+        leaves the server paused — submissions queue up (backpressure
+        included) until :meth:`start` — which the tests use to pin
+        queue-full behaviour deterministically.
+    """
+
+    def __init__(
+        self,
+        *,
+        shards: int = 2,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        max_batch_requests: int = DEFAULT_MAX_BATCH_REQUESTS,
+        max_batch_waves: int = DEFAULT_MAX_BATCH_WAVES,
+        max_linger_steps: int = DEFAULT_MAX_LINGER_STEPS,
+        linger_wait_s: float = DEFAULT_LINGER_WAIT_S,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: bool = True,
+        backend: Optional[str] = None,
+        track: Optional[bool] = None,
+        start: bool = True,
+    ):
+        if shards < 1:
+            raise ServeError("a server needs at least one shard")
+        if max_linger_steps < 0:
+            raise ServeError("max_linger_steps must be >= 0")
+        if linger_wait_s < 0:
+            raise ServeError("linger_wait_s must be >= 0")
+        self._shards = int(shards)
+        self._clocking = clocking or ClockingScheme()
+        self._pipelined = bool(pipelined)
+        self._backend = backend
+        self._track = track
+        self._max_linger_steps = int(max_linger_steps)
+        self._linger_wait_s = float(linger_wait_s)
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._queue = RequestQueue(max_pending)
+        self._batcher = Batcher(
+            self._queue, max_batch_requests, max_batch_waves
+        )
+        self._busy: set[GroupKey] = set()
+        #: (netlist id, phase count) -> (netlist ref, version): the
+        #: LRU-bounded record behind the plan-cache hit metrics; the
+        #: strong netlist reference pins the weak kernel-compile cache
+        #: entry (and keeps object ids stable) while the entry lives,
+        #: and :data:`PLAN_CACHE_LIMIT` keeps netlist churn bounded.
+        self._plans: "OrderedDict[tuple[int, int], tuple[object, int]]" = (
+            OrderedDict()
+        )
+        self._threads: list[threading.Thread] = []
+        self._started = False
+        self._closing = False
+        self.metrics = ServerMetrics()
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the shard workers (idempotent)."""
+        with self._cond:
+            if self._closing:
+                raise ServerClosed("cannot start a closed server")
+            if self._started:
+                return
+            self._started = True
+            for index in range(self._shards):
+                thread = threading.Thread(
+                    target=self._worker,
+                    name=f"repro-serve-shard-{index}",
+                    daemon=True,
+                )
+                self._threads.append(thread)
+                thread.start()
+
+    def close(
+        self,
+        *,
+        cancel_pending: bool = False,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Stop accepting requests and shut the shards down.
+
+        By default every already-admitted request is still served (drain
+        semantics); ``cancel_pending=True`` cancels queued futures
+        instead (in-flight batches always finish).  *timeout* bounds the
+        join per shard; expiry raises :class:`~repro.errors.ServeError`
+        — the deadlock guard the stress tests rely on.  Idempotent.
+        """
+        with self._cond:
+            self._closing = True
+            if cancel_pending or not self._started:
+                # an unstarted server has nothing to drain the queue with
+                dropped = self._queue.drain()
+                for request in dropped:
+                    request.future.cancel()
+                if dropped:
+                    self.metrics.record_cancelled(len(dropped))
+            self._cond.notify_all()
+            threads, self._threads = self._threads, []
+        for thread in threads:
+            thread.join(timeout)
+            if thread.is_alive():
+                raise ServeError(
+                    f"shard {thread.name} did not stop within {timeout}s"
+                )
+
+    def __enter__(self) -> "SimulationServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        with self._lock:
+            return self._closing
+
+    @property
+    def pending(self) -> int:
+        """Requests admitted but not yet picked into a batch."""
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def _admit(
+        self,
+        netlist,
+        streams: Sequence[Sequence[Sequence[bool]]],
+        clocking: Optional[ClockingScheme],
+        pipelined: Optional[bool],
+    ) -> list[SimulationRequest]:
+        """Validate, compile, and enqueue a burst under one lock hold.
+
+        The shared admission path of :meth:`submit` (burst of one) and
+        :meth:`submit_many`.  Admission is all-or-nothing: if the burst
+        does not fit under ``max_pending`` nothing is enqueued and
+        :class:`~repro.errors.ServerQueueFull` carries the whole burst
+        back to the caller.
+        """
+        clocking = clocking or self._clocking
+        pipelined = (
+            self._pipelined if pipelined is None else bool(pipelined)
+        )
+        # snapshot list payloads row-deep (callers may reuse and mutate
+        # their buffers — including the inner rows — after submitting);
+        # ndarray payloads are taken by reference: the documented wire
+        # format is an immutable-by-convention (waves, inputs) block,
+        # and copying it per request would dominate the admission cost
+        snapshots = [
+            vectors if isinstance(vectors, np.ndarray)
+            else [list(row) for row in vectors]
+            for vectors in streams
+        ]
+        for vectors in snapshots:
+            _validate_vectors(netlist, vectors)
+        compiled = compile_netlist(netlist, clocking)
+        if compiled.depth == 0:
+            raise SimulationError("cannot wave-simulate a depth-0 netlist")
+        key = GroupKey(
+            netlist_id=id(netlist),
+            version=netlist.version,
+            n_phases=clocking.n_phases,
+            pipelined=pipelined,
+        )
+        requests = [
+            SimulationRequest(
+                netlist=netlist,
+                vectors=vectors,
+                clocking=clocking,
+                pipelined=pipelined,
+                future=Future(),
+                key=key,
+            )
+            for vectors in snapshots
+        ]
+        if len(requests) > self._queue.max_pending:
+            # no amount of draining can ever admit this burst — a
+            # retry loop on ServerQueueFull would spin forever, so
+            # report the misuse distinctly
+            raise ServeError(
+                f"burst of {len(requests)} requests exceeds the "
+                f"server's capacity ({self._queue.max_pending}); "
+                "split the burst"
+            )
+        with self._cond:
+            if self._closing:
+                raise ServerClosed("server is closed")
+            try:
+                self._queue.ensure_room(len(requests))
+            except ServerQueueFull:
+                self.metrics.record_rejected()
+                raise
+            # plan-cache accounting only for admitted submissions, so
+            # hits + misses == admission bursts and rejected traffic
+            # never pins a netlist
+            plan_key = (id(netlist), clocking.n_phases)
+            known = self._plans.get(plan_key)
+            if known is not None and known[1] == netlist.version:
+                self._plans.move_to_end(plan_key)
+                self.metrics.record_plan_cache(hit=True)
+            else:
+                self._plans[plan_key] = (netlist, netlist.version)
+                self.metrics.record_plan_cache(hit=False)
+                while len(self._plans) > PLAN_CACHE_LIMIT:
+                    self._plans.popitem(last=False)
+            for request in requests:
+                self._queue.push(request)
+            self.metrics.record_submitted(
+                len(requests),
+                sum(request.n_waves for request in requests),
+            )
+            self._cond.notify_all()
+        return requests
+
+    def submit(
+        self,
+        netlist,
+        vectors: Sequence[Sequence[bool]],
+        *,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: Optional[bool] = None,
+    ) -> "Future[WaveSimulationReport]":
+        """Enqueue one wave stream; returns its completion future.
+
+        Validation (vector widths, unsimulatable netlist) happens here,
+        in the caller's thread, so malformed requests fail fast with the
+        engine's own :class:`~repro.errors.SimulationError` instead of
+        poisoning a batch.  The netlist is compiled (memoized per
+        :attr:`~repro.core.wavepipe.components.WaveNetlist.version`) at
+        most once per version — later submissions and every batch reuse
+        the cached plan, which the ``plan_cache_*`` metrics record.
+
+        Raises :class:`~repro.errors.ServerClosed` after :meth:`close`
+        and :class:`~repro.errors.ServerQueueFull` when the bounded
+        queue is at capacity.
+        """
+        (request,) = self._admit(netlist, [vectors], clocking, pipelined)
+        return request.future
+
+    def submit_many(
+        self,
+        netlist,
+        streams: Sequence[Sequence[Sequence[bool]]],
+        *,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: Optional[bool] = None,
+    ) -> "list[Future[WaveSimulationReport]]":
+        """Enqueue a burst of wave streams; one future per stream.
+
+        The multiplexed-client API: one admission (one lock hold, one
+        compiled-plan lookup, all-or-nothing backpressure) admits the
+        whole burst, which the batcher is then free to coalesce with
+        everyone else's traffic.  Semantically identical to calling
+        :meth:`submit` per stream — every report is still bit-identical
+        to that stream's solo run — just with the per-request admission
+        overhead amortized.
+        """
+        if not streams:
+            return []
+        requests = self._admit(netlist, streams, clocking, pipelined)
+        return [request.future for request in requests]
+
+    async def submit_async(
+        self,
+        netlist,
+        vectors: Sequence[Sequence[bool]],
+        *,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: Optional[bool] = None,
+    ) -> WaveSimulationReport:
+        """Asyncio façade: await the report of one submitted stream.
+
+        Submission itself (validation, compile, backpressure) runs
+        inline in the event-loop thread — it is cheap and raising
+        :class:`~repro.errors.ServerQueueFull` synchronously is exactly
+        the backpressure an async caller wants — while the simulation
+        happens on the shard threads and the returned future is awaited
+        without blocking the loop.
+        """
+        future = self.submit(
+            netlist, vectors, clocking=clocking, pipelined=pipelined
+        )
+        return await asyncio.wrap_future(future)
+
+    def simulate(
+        self,
+        netlist,
+        vectors: Sequence[Sequence[bool]],
+        *,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: Optional[bool] = None,
+        timeout: Optional[float] = None,
+    ) -> WaveSimulationReport:
+        """Submit one stream and block for its report (submit + result)."""
+        return self.submit(
+            netlist, vectors, clocking=clocking, pipelined=pipelined
+        ).result(timeout)
+
+    # ------------------------------------------------------------------
+    # shard workers
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        """One shard: seed a batch, linger, simulate, resolve futures."""
+        while True:
+            with self._cond:
+                while True:
+                    batch = self._batcher.start_batch(self._busy)
+                    if batch is not None:
+                        # claim the group *before* lingering: another
+                        # shard must not split this netlist's queue into
+                        # a concurrent batch (responses would reorder
+                        # and coalescing would fragment)
+                        self._busy.add(batch.key)
+                        break
+                    if self._closing and len(self._queue) == 0:
+                        return
+                    self._cond.wait()
+                if (
+                    self._max_linger_steps
+                    and not self._closing
+                    and not self._batcher.is_full(batch)
+                ):
+                    # adaptive linger: a round that coalesced something
+                    # resets the budget, so a burst mid-arrival keeps
+                    # growing the batch; only max_linger_steps *empty*
+                    # rounds in a row dispatch a non-full batch
+                    empty_rounds = 0
+                    while empty_rounds < self._max_linger_steps:
+                        self._cond.wait(timeout=self._linger_wait_s)
+                        added = self._batcher.top_up(batch)
+                        if self._closing or self._batcher.is_full(batch):
+                            break
+                        empty_rounds = 0 if added else empty_rounds + 1
+            try:
+                self._run_batch(batch)
+            finally:
+                with self._cond:
+                    self._busy.discard(batch.key)
+                    self._cond.notify_all()
+
+    def _run_batch(self, batch: Batch) -> None:
+        """Execute one coalesced batch and resolve its futures."""
+        live = [
+            request
+            for request in batch.requests
+            if request.future.set_running_or_notify_cancel()
+        ]
+        if dropped := len(batch.requests) - len(live):
+            self.metrics.record_cancelled(dropped)
+        if not live:
+            return
+        try:
+            plan = self._batcher.plan(
+                batch, backend=self._backend, track=self._track
+            )
+            reports = simulate_streams_packed(
+                batch.netlist,
+                [request.vectors for request in live],
+                clocking=batch.clocking,
+                pipelined=batch.pipelined,
+                strict=False,
+                backend=self._backend,
+                track=self._track,
+                validate=False,  # every stream was validated at submit
+            )
+        except BaseException as error:  # resolve futures, never kill a shard
+            for request in live:
+                request.future.set_exception(error)
+            self.metrics.record_failed(len(live))
+            return
+        # metrics first: a client that observes its resolved future may
+        # immediately read metrics.snapshot() and must not see the
+        # completed batch under-counted
+        self.metrics.record_batch(
+            len(live),
+            sum(request.n_waves for request in live),
+            plan["words"],
+        )
+        self.metrics.record_completed(len(live))
+        for request, report in zip(live, reports):
+            request.future.set_result(report)

@@ -105,6 +105,36 @@ class TestSimulate:
         assert "identical" in out
 
 
+class TestServeBench:
+    def test_serve_bench_small_load(self, capsys):
+        # a tiny closed-loop run: identity is asserted internally, so
+        # exit 0 plus the report lines prove the serving path end to end
+        assert main(
+            ["serve-bench", "circuit:adder:3", "--requests", "12",
+             "--waves", "8", "--concurrency", "4", "--shards", "1",
+             "--trials", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "served" in out
+        assert "identity  : ok" in out
+        assert "plan cache" in out
+
+    def test_serve_bench_knobs_accepted(self, capsys):
+        assert main(
+            ["serve-bench", "circuit:adder:3", "--requests", "6",
+             "--waves", "4", "--max-batch-requests", "3",
+             "--max-batch-waves", "64", "--max-linger-steps", "0",
+             "--trials", "1", "--no-jit"]
+        ) == 0
+        assert "identity  : ok" in capsys.readouterr().out
+
+    def test_serve_bench_rejects_empty_load(self, capsys):
+        assert main(
+            ["serve-bench", "circuit:adder:3", "--requests", "0"]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_suite_listing(self, capsys):
         assert main(["suite"]) == 0

@@ -78,6 +78,36 @@ class TestRunner:
         assert reports[0] == runner.simulate(name, n_waves=8, seed=0)
         assert reports[1] == runner.simulate(name, n_waves=8, seed=1)
 
+    def test_simulate_streams_memo_keys_on_payload(self, runner):
+        # satellite (ISSUE 4): the memo must key on the full stream
+        # payload — two stream sets with equal counts and lengths but
+        # different payloads used to alias one (count, length, seed)
+        # cache entry once explicit streams entered through the serving
+        # layer, silently returning another payload's reports
+        from repro.core.wavepipe import simulate_streams
+
+        name = runner.names[0]
+        netlist = runner.run(name, "FO3+BUF").netlist
+        lit = [
+            [[bool(bit)] * netlist.n_inputs for bit in (0, 1, 0)],
+            [[bool(bit)] * netlist.n_inputs for bit in (1, 1, 0)],
+        ]
+        flipped = [
+            [[not value for value in wave] for wave in stream]
+            for stream in lit
+        ]
+        first = runner.simulate_streams(name, streams=lit)
+        second = runner.simulate_streams(name, streams=flipped)
+        # every report equals its own solo-run counterpart — the second
+        # set was really simulated, not recalled from the first's entry
+        assert first == simulate_streams(netlist, lit)
+        assert second == simulate_streams(netlist, flipped)
+        # and equal payloads still share one memo entry (identity)
+        assert runner.simulate_streams(name, streams=lit) is first
+        assert runner.simulate_streams(
+            name, streams=[list(map(list, s)) for s in lit]
+        ) is first
+
     def test_simulation_cache_is_lru_bounded(self):
         # satellite (ISSUE 3): the simulate/simulate_streams memo must
         # not grow without limit under serving-style workloads

@@ -19,6 +19,8 @@ exact code numba would compile — so these tests exercise the JIT code
 path in both CI configurations.
 """
 
+from functools import lru_cache
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -185,6 +187,64 @@ class TestBackendMatrix:
                 pipelined=pipelined, backend=backend,
             )
             assert packed == scalar
+
+
+class TestKernelMatrixOnRandomNetlists:
+    """ISSUE-4 satellite: the full kernel matrix on *random* netlists.
+
+    The PR-3 matrix tests sweep hand-picked suite circuits; this class
+    sweeps every (backend x tracking) variant x {balanced, unbalanced}
+    x {1, 3} state words against the scalar oracle on randomly
+    generated netlists, so word-boundary behaviour is pinned on
+    structures nobody curated.
+    """
+
+    N_WAVES = 150
+    #: lanes=30 keeps one state word; lanes=150 forces three.
+    WORDS_TO_LANES = {1: 30, 3: 150}
+
+    @staticmethod
+    @lru_cache(maxsize=None)
+    def _case(balanced: bool, seed: int):
+        """(netlist, vectors, scalar oracle report), memoized.
+
+        The scalar oracle is the expensive part of every sweep cell;
+        cells sharing (balanced, seed) reuse one run.
+        """
+        mig = build_random_mig(n_gates=24, seed=seed, n_pis=5)
+        if balanced:
+            netlist = wave_pipeline(mig, fanout_limit=3).netlist
+        else:
+            netlist = WaveNetlist.from_mig(mig)
+        vectors = _vectors(
+            netlist.n_inputs,
+            TestKernelMatrixOnRandomNetlists.N_WAVES,
+            seed=seed + 1,
+        )
+        scalar = simulate_waves(netlist, vectors, engine="python")
+        return netlist, vectors, scalar
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("balanced", [True, False])
+    @pytest.mark.parametrize("words", [1, 3])
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_variant_parity(self, backend, balanced, words, seed):
+        netlist, vectors, scalar = self._case(balanced, seed)
+        lanes = self.WORDS_TO_LANES[words]
+        assert describe_packed_run(
+            netlist, self.N_WAVES, lanes=lanes, backend=backend
+        )["words"] == words
+        # balanced netlists run the elided (auto) AND tracked variants;
+        # unbalanced ones only track (elision is statically unsound
+        # there, which TestElisionSafety pins separately)
+        for track in ([None, True] if balanced else [None]):
+            packed = simulate_waves_packed(
+                netlist, vectors, backend=backend, track=track,
+                lanes=lanes,
+            )
+            assert packed == scalar
+        if not balanced and seed == 23:
+            assert not scalar.coherent  # the sweep includes real events
 
 
 class TestElisionSafety:

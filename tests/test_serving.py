@@ -1,0 +1,316 @@
+"""Serving-layer correctness: batching must never change results.
+
+The contract under test (ISSUE 4): any interleaving of N submitted
+requests — random netlists, stream lengths, and seeds, scheduled across
+any shard count — returns reports **bit-identical** to solo
+``simulate_waves`` runs.  A fixed regression corpus pins deterministic
+mixes; a Hypothesis property randomizes the request mix, the submission
+schedule (burst sizes, shard count, collection order), and the payload
+shapes.  ``tests/test_serving_concurrency.py`` covers the threading
+stress / backpressure / metrics side.
+"""
+
+import asyncio
+from functools import lru_cache
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wavepipe import (
+    ClockingScheme,
+    WaveNetlist,
+    random_vectors,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.errors import ServeError, ServerClosed, SimulationError
+from repro.serve import SimulationServer, run_closed_loop
+
+from helpers import build_adder_mig, build_random_mig
+
+
+@lru_cache(maxsize=None)
+def _netlists():
+    """(balanced, unbalanced) shared across the module (compile reuse)."""
+    balanced = wave_pipeline(build_adder_mig(3), fanout_limit=3).netlist
+    unbalanced = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+    return balanced, unbalanced
+
+
+@lru_cache(maxsize=None)
+def _solo(netlist_index: int, n_waves: int, seed: int):
+    """Solo scalar-oracle report for one (netlist, length, seed) request.
+
+    The scalar engine is the strongest possible reference: serving goes
+    through the packed engine, so equality here transitively re-proves
+    the engine identity under every batch composition the server forms.
+    """
+    netlist = _netlists()[netlist_index]
+    vectors = random_vectors(netlist.n_inputs, n_waves, seed=seed)
+    return simulate_waves(netlist, vectors, engine="python")
+
+
+def _vectors(netlist_index: int, n_waves: int, seed: int):
+    netlist = _netlists()[netlist_index]
+    return random_vectors(netlist.n_inputs, n_waves, seed=seed)
+
+
+#: Fixed regression corpus: (netlist index, n_waves, seed) per request.
+#: Mixes balanced/unbalanced netlists (so batches carry interference
+#: events), empty and one-wave streams, and >64-wave streams (multi-lane
+#: chunking inside a shared batch).
+CORPUS = [
+    (0, 0, 0),
+    (0, 1, 1),
+    (1, 5, 2),
+    (0, 17, 3),
+    (1, 17, 3),
+    (0, 64, 4),
+    (1, 40, 5),
+    (0, 70, 6),
+    (1, 1, 7),
+    (0, 8, 8),
+]
+
+
+class TestServedReportsAreBitIdentical:
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_fixed_corpus(self, shards):
+        balanced, unbalanced = _netlists()
+        with SimulationServer(shards=shards) as server:
+            futures = [
+                server.submit(
+                    _netlists()[index], _vectors(index, waves, seed)
+                )
+                for index, waves, seed in CORPUS
+            ]
+            for future, (index, waves, seed) in zip(futures, CORPUS):
+                assert future.result(timeout=60) == _solo(
+                    index, waves, seed
+                )
+
+    def test_interference_events_preserved(self):
+        # unbalanced requests keep their scalar-oracle interference
+        # events (count, order, wave ids) through a coalesced batch
+        _, unbalanced = _netlists()
+        solo = _solo(1, 40, 5)
+        assert solo.interference  # the case actually interferes
+        with SimulationServer(shards=1) as server:
+            futures = [
+                server.submit(unbalanced, _vectors(1, 40, 5))
+                for _ in range(5)
+            ]
+            for future in futures:
+                report = future.result(timeout=60)
+                assert report.interference == solo.interference
+                assert report == solo
+
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.integers(0, 1),  # netlist
+                st.integers(0, 12),  # waves
+                st.integers(0, 9),  # seed
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        shards=st.integers(1, 3),
+        burst=st.integers(1, 7),
+        collect_reversed=st.booleans(),
+        linger=st.integers(0, 2),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_schedule_property(
+        self, requests, shards, burst, collect_reversed, linger
+    ):
+        # the Hypothesis-randomized schedule: request mix, shard count,
+        # burst-sized submission interleaving, linger knob, and
+        # completion-collection order are all drawn — results must be
+        # solo-identical in every interleaving
+        with SimulationServer(
+            shards=shards, max_linger_steps=linger
+        ) as server:
+            futures = []
+            for chunk_start in range(0, len(requests), burst):
+                chunk = requests[chunk_start:chunk_start + burst]
+                if len(chunk) > 1 and len({r[0] for r in chunk}) == 1:
+                    index = chunk[0][0]
+                    futures.extend(
+                        server.submit_many(
+                            _netlists()[index],
+                            [_vectors(*request) for request in chunk],
+                        )
+                    )
+                else:
+                    futures.extend(
+                        server.submit(
+                            _netlists()[request[0]], _vectors(*request)
+                        )
+                        for request in chunk
+                    )
+            order = list(zip(futures, requests))
+            if collect_reversed:
+                order.reverse()
+            for future, request in order:
+                assert future.result(timeout=60) == _solo(*request)
+
+
+class TestServerApi:
+    def test_submit_validates_before_queueing(self):
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(SimulationError, match="expected"):
+                server.submit(balanced, [[True, False]])  # wrong width
+            assert server.metrics.snapshot()["submitted"] == 0
+
+    def test_depth_zero_netlist_rejected_at_submit(self):
+        degenerate = WaveNetlist()
+        inp = degenerate.add_input("a")
+        degenerate.add_output(int(inp))
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(SimulationError, match="depth-0"):
+                server.submit(degenerate, [[True]])
+
+    def test_empty_stream_gets_empty_report(self):
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1) as server:
+            report = server.simulate(balanced, [], timeout=60)
+        assert report.waves_retired == 0
+        assert report == _solo(0, 0, 0)
+
+    def test_submit_after_close_raises(self):
+        balanced, _ = _netlists()
+        server = SimulationServer(shards=1)
+        server.close(timeout=30)
+        with pytest.raises(ServerClosed):
+            server.submit(balanced, _vectors(0, 3, 0))
+
+    def test_close_is_idempotent_and_context_managed(self):
+        with SimulationServer(shards=1) as server:
+            future = server.submit(_netlists()[0], _vectors(0, 4, 1))
+        # __exit__ drained the queue before stopping the shards
+        assert future.result(timeout=1) == _solo(0, 4, 1)
+        server.close(timeout=30)  # second close: no-op
+
+    def test_close_cancel_pending_cancels_queued_futures(self):
+        balanced, _ = _netlists()
+        server = SimulationServer(shards=1, start=False)
+        futures = [
+            server.submit(balanced, _vectors(0, 3, seed))
+            for seed in range(4)
+        ]
+        server.close(cancel_pending=True, timeout=30)
+        assert all(future.cancelled() for future in futures)
+        assert server.metrics.snapshot()["cancelled"] == 4
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ServeError):
+            SimulationServer(shards=0)
+        with pytest.raises(ServeError):
+            SimulationServer(max_linger_steps=-1)
+
+    def test_per_request_clocking_and_pipelining(self):
+        # requests under different clocking/injection settings are
+        # grouped apart and each still matches its own solo run
+        balanced, _ = _netlists()
+        vectors = _vectors(0, 12, 3)
+        four_phase = ClockingScheme(4)
+        solo_pipelined = simulate_waves(
+            balanced, vectors, clocking=four_phase, engine="python"
+        )
+        solo_sequential = simulate_waves(
+            balanced, vectors, pipelined=False, engine="python"
+        )
+        with SimulationServer(shards=2) as server:
+            got_pipelined = server.submit(
+                balanced, vectors, clocking=four_phase
+            )
+            got_sequential = server.submit(
+                balanced, vectors, pipelined=False
+            )
+            assert got_pipelined.result(timeout=60) == solo_pipelined
+            assert got_sequential.result(timeout=60) == solo_sequential
+
+    def test_ndarray_payloads_match_list_payloads(self):
+        # the serving wire format (one bool block per request) must be
+        # indistinguishable from list payloads, bit for bit
+        balanced, _ = _netlists()
+        vectors = _vectors(0, 20, 9)
+        block = np.asarray(vectors, dtype=bool)
+        with SimulationServer(shards=1) as server:
+            from_block = server.simulate(balanced, block, timeout=60)
+            from_lists = server.simulate(balanced, vectors, timeout=60)
+        assert from_block == from_lists == _solo(0, 20, 9)
+
+    def test_ndarray_payload_width_validated(self):
+        balanced, _ = _netlists()
+        wrong = np.zeros((4, balanced.n_inputs + 1), dtype=bool)
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(SimulationError, match="expected"):
+                server.submit(balanced, wrong)
+
+    def test_submit_many_empty_burst(self):
+        with SimulationServer(shards=1) as server:
+            assert server.submit_many(_netlists()[0], []) == []
+
+    def test_caller_may_mutate_its_buffer_after_submit(self):
+        # list payloads are snapshotted row-deep at admission: a client
+        # that reuses (and overwrites) its buffer — outer list AND
+        # inner rows — must not corrupt the in-flight request
+        balanced, _ = _netlists()
+        vectors = _vectors(0, 10, 4)
+        buffer = [list(row) for row in vectors]
+        with SimulationServer(shards=1, start=False) as server:
+            future = server.submit(balanced, buffer)
+            for row in buffer:  # in-place reuse of every inner row
+                for position in range(len(row)):
+                    row[position] = not row[position]
+            server.start()
+            assert future.result(timeout=60) == _solo(0, 10, 4)
+
+
+class TestAsyncFacade:
+    def test_submit_async_gather(self):
+        balanced, unbalanced = _netlists()
+        corpus = CORPUS[:6]
+
+        async def main(server):
+            reports = await asyncio.gather(
+                *(
+                    server.submit_async(
+                        _netlists()[index], _vectors(index, waves, seed)
+                    )
+                    for index, waves, seed in corpus
+                )
+            )
+            return reports
+
+        with SimulationServer(shards=2) as server:
+            reports = asyncio.run(main(server))
+        for report, request in zip(reports, corpus):
+            assert report == _solo(*request)
+
+
+class TestLoadGenerator:
+    def test_closed_loop_reports_in_submission_order(self):
+        balanced, _ = _netlists()
+        requests = [_vectors(0, 6, seed) for seed in range(12)]
+        with SimulationServer(shards=1) as server:
+            load = run_closed_loop(
+                server, balanced, requests, concurrency=4
+            )
+        assert load.concurrency == 4
+        assert len(load.reports) == 12
+        for seed, report in enumerate(load.reports):
+            assert report == _solo(0, 6, seed)
+        assert load.total_waves == 72
+        assert load.waves_per_s > 0
+        assert 0.0 <= load.p50_s <= load.p99_s
+
+    def test_empty_run(self):
+        with SimulationServer(shards=1) as server:
+            load = run_closed_loop(server, _netlists()[0], [])
+        assert load.reports == [] and load.elapsed_s == 0.0
