@@ -16,6 +16,12 @@ turns the diff against a committed reference
 (``benchmarks/baselines/bench_serving_quick.json``) into a CI gate,
 exactly like ``bench_wave_sim.py``.
 
+The ISSUE-5 cases drive a **two-netlist mix** through thread shards and
+through ``process_shards`` worker processes on the same payloads (the
+``vs_threads_speedup`` field compares them), with the mixed-case
+reports additionally verified bit-identical against solo
+*scalar-oracle* runs — the strongest identity reference the repo has.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_serving.py            # full
@@ -37,6 +43,7 @@ from repro.core.wavepipe import (
     ClockingScheme,
     jit_available,
     random_vectors,
+    simulate_waves,
     simulate_waves_packed,
     wave_pipeline,
 )
@@ -44,14 +51,23 @@ from repro.core.wavepipe.kernels import default_backend
 from repro.serve import SimulationServer, run_closed_loop
 from repro.suite.table import build_benchmark
 
-#: (suite benchmark, requests, waves/request, concurrency, shards)
+#: (benchmarks, requests, waves/request, concurrency, shards,
+#:  process_shards, oracle_check).  process_shards 0 = thread shards;
+#:  a multi-benchmark tuple interleaves the netlists per request (the
+#:  traffic shape where sharding — thread or process — pays off).
 FULL_CASES = (
-    ("ctrl", 256, 64, 256, 2),  # the ISSUE-4 acceptance scenario
-    ("ctrl", 512, 32, 256, 2),  # shorter streams, sustained (2 windows)
-    ("i2c", 128, 64, 128, 2),  # larger netlist, fewer requests
+    (("ctrl",), 256, 64, 256, 2, 0, False),  # ISSUE-4 acceptance
+    (("ctrl",), 512, 32, 256, 2, 0, False),  # shorter streams (2 windows)
+    (("i2c",), 128, 64, 128, 2, 0, False),  # larger netlist
+    # ISSUE-5 acceptance pair: the same 2-netlist mix through thread
+    # shards and through 2 worker processes, scalar-oracle verified
+    (("ctrl", "i2c"), 128, 32, 128, 2, 0, True),
+    (("ctrl", "i2c"), 128, 32, 128, 2, 2, True),
 )
 QUICK_CASES = (
-    ("ctrl", 96, 32, 96, 2),
+    (("ctrl",), 96, 32, 96, 2, 0, False),
+    (("ctrl", "i2c"), 48, 16, 48, 2, 0, True),
+    (("ctrl", "i2c"), 48, 16, 48, 2, 2, True),
 )
 
 #: Closed-loop trials per case; the best sustained rate is kept (the
@@ -60,44 +76,80 @@ TRIALS = 3
 
 
 def bench_case(
-    name: str, n_requests: int, n_waves: int, concurrency: int,
-    shards: int, seed: int = 7,
+    names, n_requests: int, n_waves: int, concurrency: int,
+    shards: int, process_shards: int = 0, oracle_check: bool = False,
+    seed: int = 7,
 ) -> dict:
     """Serve one load case; verify every report against its solo run."""
-    mig = build_benchmark(name)
-    netlist = wave_pipeline(mig, fanout_limit=3, verify=False).netlist
+    netlists = [
+        wave_pipeline(build_benchmark(name), fanout_limit=3,
+                      verify=False).netlist
+        for name in names
+    ]
     clocking = ClockingScheme()
+    mixed = len(netlists) > 1
+    models = [netlists[index % len(netlists)]
+              for index in range(n_requests)]
     # payloads in the serving wire format: one (waves, inputs) bool
     # block per request, shared verbatim with the solo baseline
     requests = [
         numpy.asarray(
-            random_vectors(netlist.n_inputs, n_waves, seed=seed + index),
+            random_vectors(
+                models[index].n_inputs, n_waves, seed=seed + index
+            ),
             dtype=bool,
-        ).reshape(n_waves, netlist.n_inputs)
+        ).reshape(n_waves, models[index].n_inputs)
         for index in range(n_requests)
     ]
     total_waves = n_requests * n_waves
 
-    simulate_waves_packed(netlist, requests[0], clocking=clocking)  # warm
+    # warm-up must run the kernel (empty streams short-circuit before
+    # it): compile, scratch setup, and JIT compilation stay out of
+    # both measured windows — one real stream per netlist
+    warm_streams = [
+        numpy.asarray(
+            random_vectors(netlist.n_inputs, n_waves, seed=seed),
+            dtype=bool,
+        ).reshape(n_waves, netlist.n_inputs)
+        for netlist in netlists
+    ]
+    for netlist, warm in zip(netlists, warm_streams):
+        simulate_waves_packed(netlist, warm, clocking=clocking)
     solo_started = time.perf_counter()
     solo = [
-        simulate_waves_packed(netlist, stream, clocking=clocking)
-        for stream in requests
+        simulate_waves_packed(model, stream, clocking=clocking)
+        for model, stream in zip(models, requests)
     ]
     solo_seconds = time.perf_counter() - solo_started
     solo_rate = total_waves / solo_seconds
+    oracle_identical = None
+    if oracle_check:
+        # the scalar oracle as the identity reference (row lists — the
+        # scalar loop does not consume ndarray blocks)
+        oracle = [
+            simulate_waves(model, stream.tolist(), clocking=clocking,
+                           engine="python")
+            for model, stream in zip(models, requests)
+        ]
+        oracle_identical = oracle == solo
 
     identical = True
     best = None
     with SimulationServer(
         shards=shards,
+        process_shards=process_shards,
         max_pending=max(n_requests, 1024),
         clocking=clocking,
     ) as server:
-        server.submit(netlist, requests[0]).result()  # warm the shards
+        for netlist, warm in zip(netlists, warm_streams):
+            server.submit(netlist, warm).result()  # warm shards/workers
         for _ in range(TRIALS):
             load = run_closed_loop(
-                server, netlist, requests, clocking=clocking,
+                server,
+                None if mixed else netlists[0],
+                requests,
+                netlists=models if mixed else None,
+                clocking=clocking,
                 concurrency=concurrency,
             )
             identical = identical and load.reports == solo
@@ -106,12 +158,13 @@ def bench_case(
         metrics = server.metrics.snapshot()
 
     return {
-        "benchmark": name,
-        "components": netlist.stats().size,
+        "benchmark": "+".join(names),
+        "components": sum(n.stats().size for n in netlists),
         "requests": n_requests,
         "waves_per_request": n_waves,
         "concurrency": concurrency,
         "shards": shards,
+        "process_shards": process_shards,
         "total_waves": total_waves,
         "solo_seconds": round(solo_seconds, 6),
         "served_seconds": round(best.elapsed_s, 6),
@@ -123,7 +176,11 @@ def bench_case(
         "batches": metrics["batches"],
         "mean_batch_requests": round(metrics["mean_batch_requests"], 2),
         "plan_cache_hit_rate": round(metrics["plan_cache_hit_rate"], 4),
-        "identical_reports": identical,
+        "worker_restarts": metrics["worker_restarts"],
+        "identical_reports": (
+            identical and (oracle_identical is not False)
+        ),
+        "oracle_checked": oracle_check,
     }
 
 
@@ -141,7 +198,34 @@ def _metadata(mode: str) -> dict:
 
 
 def _case_key(row: dict) -> tuple:
-    return (row["benchmark"], row["requests"], row["waves_per_request"])
+    return (
+        row["benchmark"],
+        row["requests"],
+        row["waves_per_request"],
+        row.get("process_shards", 0),
+    )
+
+
+def annotate_process_rows(rows: list[dict]) -> None:
+    """Add ``vs_threads_speedup`` to each process-shard row.
+
+    The thread twin is the row with the same mix/load and
+    ``process_shards == 0`` — the ISSUE-5 acceptance comparison
+    (process shards must reach at least the thread-shard rate).
+    """
+    threads = {
+        _case_key(row)[:3]: row["served_waves_per_s"]
+        for row in rows
+        if not row.get("process_shards")
+    }
+    for row in rows:
+        if not row.get("process_shards"):
+            continue
+        twin = threads.get(_case_key(row)[:3])
+        if twin:
+            row["vs_threads_speedup"] = round(
+                row["served_waves_per_s"] / twin, 2
+            )
 
 
 def diff_against_baseline(document: dict, baseline: dict) -> list[str]:
@@ -155,6 +239,8 @@ def diff_against_baseline(document: dict, baseline: dict) -> list[str]:
     for row in document["cases"]:
         key = _case_key(row)
         label = f"{key[0]}/{key[1]}x{key[2]}"
+        if key[3]:
+            label += f"/mp{key[3]}"
         old = old_cases.get(key)
         new_speedup = row["throughput_speedup"]
         if old is None:
@@ -196,6 +282,7 @@ def main(argv=None) -> int:
 
     cases = QUICK_CASES if args.quick else FULL_CASES
     rows = [bench_case(*case) for case in cases]
+    annotate_process_rows(rows)
     # the acceptance scenario (largest request x wave product) leads
     headline = max(
         rows, key=lambda row: (row["total_waves"], row["components"])

@@ -23,8 +23,23 @@ covers:
    right for single-model traffic and more shards pay off exactly when
    traffic mixes models — as shown with two netlists below;
 5. backpressure (``ServerQueueFull``) and the asyncio façade;
-6. every served report is bit-identical to a solo ``simulate_waves``
-   run — batching is an execution detail, never a semantic one.
+6. deadline scheduling — ``submit(..., deadline_s=...)`` or a
+   server-wide ``default_deadline_s``: a request still queued past its
+   deadline fails fast with ``DeadlineExceeded`` *without ever being
+   simulated* (the ``expired`` metric counts it), and queue drains are
+   ordered earliest-deadline-first.  Deadlines turn an overloaded
+   server from "everything slow" into "fresh traffic on time, stale
+   traffic rejected cheaply" — the latency-bound serving trade;
+7. process shards — ``SimulationServer(process_shards=N)`` routes each
+   netlist group to one of N worker *processes* (own interpreter, own
+   GIL, own compile cache) over the numpy wire format.  Threads are
+   enough while the time is spent inside numpy ufuncs (they release
+   the GIL); processes win once Python-side batching glue or mixed
+   models contend — and they survive worker crashes (respawn + retry,
+   bit-identically);
+8. every served report is bit-identical to a solo ``simulate_waves``
+   run — batching, sharding, and crash recovery are execution details,
+   never semantic ones.
 
 Run with::
 
@@ -40,7 +55,7 @@ from repro.core.wavepipe import (
     simulate_waves,
     wave_pipeline,
 )
-from repro.errors import ServerQueueFull
+from repro.errors import DeadlineExceeded, ServerQueueFull
 from repro.serve import SimulationServer, run_closed_loop
 from repro.suite.circuits import array_multiplier, ripple_carry_adder
 
@@ -170,6 +185,60 @@ def main() -> None:
     with SimulationServer(shards=1) as server:
         waves = asyncio.run(async_clients(server))
     print(f"async façade: 10 coroutine clients retired {waves} waves")
+
+    # ------------------------------------------------------------------
+    # 6. deadlines: stale requests fail fast instead of being simulated
+    # ------------------------------------------------------------------
+    # start=False stages the scenario: with the shards paused, the
+    # 0-deadline request is guaranteed stale by the time serving begins
+    # (in production the same thing happens whenever queueing delay
+    # exceeds the caller's latency budget)
+    with SimulationServer(shards=1, start=False) as server:
+        stale = server.submit(
+            adder, random_vectors(adder.n_inputs, 8, seed=0),
+            deadline_s=0.0,
+        )
+        fresh = server.submit(
+            adder, random_vectors(adder.n_inputs, 8, seed=1),
+            deadline_s=30.0,
+        )
+        server.start()
+        fresh.result()
+        try:
+            stale.result()
+        except DeadlineExceeded as error:
+            print(f"deadlines   : {error}")
+        m = server.metrics.snapshot()
+        # the stale request never reached a kernel: only the fresh one
+        # was batched
+        print(
+            f"deadlines   : {m['expired']} expired, "
+            f"{m['batched_requests']} simulated (of {m['submitted']} "
+            "submitted)"
+        )
+
+    # ------------------------------------------------------------------
+    # 7. process shards: true multi-core sharding, crash-safe
+    # ------------------------------------------------------------------
+    # same API, worker *processes* underneath; the trade-off: ~IPC cost
+    # per batch bought back by real parallelism across netlist groups
+    # and zero GIL contention with the batching glue.  Throughput-wise:
+    # threads suffice for single-model numpy-bound traffic; processes
+    # pay off for multi-model mixes and many-core hosts (compare
+    # `repro serve-bench ctrl,i2c` with and without --process-shards).
+    with SimulationServer(shards=2, process_shards=2) as server:
+        for netlist in (multiplier, adder):  # warm each worker's cache
+            server.simulate(netlist, [])
+        started = time.perf_counter()
+        futures = [server.submit(n, v) for n, v in mixed]
+        for f in futures:
+            f.result()
+        elapsed = time.perf_counter() - started
+        m = server.metrics.snapshot()
+    print(
+        f"process x2  : mixed 48-request burst in {elapsed * 1e3:.1f} ms "
+        f"({m['worker_restarts']} worker restarts)"
+    )
 
 
 if __name__ == "__main__":

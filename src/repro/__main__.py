@@ -1,7 +1,15 @@
-"""Allow ``python -m repro``."""
+"""Allow ``python -m repro``.
+
+The ``__main__`` guard is load-bearing: the serving layer's process
+shards use the ``spawn`` start method, which re-imports the parent's
+main module in every worker (as ``__mp_main__``) — without the guard a
+``python -m repro serve-bench --process-shards N`` worker would re-run
+the CLI instead of starting its shard loop.
+"""
 
 import sys
 
 from .cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    sys.exit(main())

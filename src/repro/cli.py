@@ -151,11 +151,17 @@ def build_parser() -> argparse.ArgumentParser:
         "micro-batching SimulationServer (repro.serve) and compare the "
         "sustained throughput and latency against simulating the same "
         "requests one at a time with the packed engine.  Every served "
-        "report is verified bit-identical to its solo-run counterpart.",
+        "report is verified bit-identical to its solo-run counterpart.  "
+        "A comma-separated source list (e.g. 'ctrl,i2c') drives a "
+        "multi-netlist mix — the traffic shape where sharding pays — "
+        "and --process-shards N additionally times a process-sharded "
+        "server against the thread-sharded one on the same payloads.",
     )
     serve.add_argument(
         "source", nargs="?", default="ctrl",
-        help="same source syntax as 'flow' (default: ctrl)",
+        help="benchmark (same source syntax as 'flow'), or a "
+        "comma-separated list for a multi-netlist request mix "
+        "(default: ctrl)",
     )
     serve.add_argument(
         "--requests", type=int, default=256,
@@ -174,6 +180,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=2,
         help="server shard threads (default: 2); pays off with "
         "multi-netlist traffic",
+    )
+    serve.add_argument(
+        "--process-shards", type=int, default=0,
+        help="also time a server with this many worker *processes* "
+        "(true multi-core sharding, no GIL) against the thread-sharded "
+        "run on the same payloads (default: 0 = threads only)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-request deadline in seconds (server-side deadline "
+        "scheduling; expired requests fail with DeadlineExceeded and "
+        "are reported, not simulated)",
+    )
+    serve.add_argument(
+        "--oracle", action="store_true",
+        help="verify served reports against solo *scalar-oracle* runs "
+        "(engine='python') instead of solo packed runs — the strongest "
+        "identity check, but slow on large request sets",
     )
     serve.add_argument(
         "--max-batch-requests", type=int, default=None,
@@ -463,6 +487,7 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
         ClockingScheme,
         random_vectors,
         set_default_backend,
+        simulate_waves,
         simulate_waves_packed,
     )
     from .serve import SimulationServer, run_closed_loop
@@ -473,41 +498,61 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
         raise ReproError("serve-bench needs at least one request")
     import numpy as np
 
-    mig = _load_source(args.source)
-    netlist = wave_pipeline(
-        mig, fanout_limit=args.fanout_limit or None, verify=False
-    ).netlist
+    migs = [_load_source(token) for token in args.source.split(",")]
+    netlists = [
+        wave_pipeline(
+            mig, fanout_limit=args.fanout_limit or None, verify=False
+        ).netlist
+        for mig in migs
+    ]
     clocking = ClockingScheme(args.phases)
     # request payloads are numpy bool blocks — the wire format a real
-    # client would send — built once, outside both timed windows; the
-    # solo baseline consumes the exact same payload objects
+    # client would send — built once, outside every timed window; the
+    # solo baseline consumes the exact same payload objects.  Multi-
+    # netlist mixes interleave the models round-robin per request.
+    models = [netlists[index % len(netlists)]
+              for index in range(args.requests)]
     requests = [
         np.asarray(
             random_vectors(
-                netlist.n_inputs, max(0, args.waves),
+                models[index].n_inputs, max(0, args.waves),
                 seed=args.seed + index,
             ),
             dtype=bool,
-        ).reshape(max(0, args.waves), netlist.n_inputs)
+        ).reshape(max(0, args.waves), models[index].n_inputs)
         for index in range(args.requests)
     ]
     total_waves = sum(len(stream) for stream in requests)
-    print(f"benchmark : {mig.name}", file=out)
-    print(f"netlist   : {netlist}", file=out)
+    for mig, netlist in zip(migs, netlists):
+        print(f"benchmark : {mig.name}", file=out)
+        print(f"netlist   : {netlist}", file=out)
     print(
-        f"load      : {args.requests} requests x {args.waves} waves, "
+        f"load      : {args.requests} requests x {args.waves} waves"
+        f"{f' across {len(netlists)} netlists' if len(netlists) > 1 else ''}, "
         f"concurrency {args.concurrency or args.requests}",
         file=out,
     )
 
-    # baseline: the same requests, one packed pass each, back to back
-    # (one warm-up run first so compile/scratch setup is excluded from
-    # both measured windows alike)
-    simulate_waves_packed(netlist, requests[0], clocking=clocking)
+    # baseline: the same requests, one packed pass each, back to back.
+    # The warm-up must *run the kernel* (an empty stream would
+    # short-circuit before it), so compile, scratch setup, and any
+    # numba JIT compilation are excluded from every measured window
+    # alike — one real stream per netlist
+    warm_streams = [
+        np.asarray(
+            random_vectors(
+                netlist.n_inputs, max(1, args.waves), seed=args.seed
+            ),
+            dtype=bool,
+        )
+        for netlist in netlists
+    ]
+    for netlist, warm in zip(netlists, warm_streams):
+        simulate_waves_packed(netlist, warm, clocking=clocking)
     started = time.perf_counter()
     solo = [
-        simulate_waves_packed(netlist, stream, clocking=clocking)
-        for stream in requests
+        simulate_waves_packed(model, stream, clocking=clocking)
+        for model, stream in zip(models, requests)
     ]
     solo_elapsed = time.perf_counter() - started
     solo_rate = total_waves / solo_elapsed if solo_elapsed else 0.0
@@ -516,6 +561,16 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
         f"({solo_rate:,.0f} waves/s one request at a time)",
         file=out,
     )
+    reference = solo
+    if args.oracle:
+        # the strongest identity reference: the scalar oracle, stream
+        # by stream (slow — this is a verification mode, not a
+        # baseline); the scalar loop consumes row lists, not blocks
+        reference = [
+            simulate_waves(model, stream.tolist(), clocking=clocking,
+                           engine="python")
+            for model, stream in zip(models, requests)
+        ]
 
     knobs = {}
     if args.max_batch_requests is not None:
@@ -524,57 +579,102 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
         knobs["max_batch_waves"] = args.max_batch_waves
     if args.max_linger_steps is not None:
         knobs["max_linger_steps"] = args.max_linger_steps
-    identical = True
-    with SimulationServer(
-        shards=args.shards,
-        max_pending=max(args.requests, 1024),
-        clocking=clocking,
-        **knobs,
-    ) as server:
-        # warm the serving path (shard wake-up, plan compile) the same
-        # way the solo loop was warmed
-        server.submit(netlist, requests[0], clocking=clocking).result()
-        load = None
-        for _ in range(max(1, args.trials)):
-            trial = run_closed_loop(
-                server,
-                netlist,
-                requests,
-                clocking=clocking,
-                concurrency=args.concurrency or None,
+
+    def serve_once(label: str, process_shards: int):
+        """One serving configuration: trials, identity, report lines."""
+        identical = True
+        with SimulationServer(
+            shards=args.shards,
+            process_shards=process_shards,
+            max_pending=max(args.requests, 1024),
+            clocking=clocking,
+            **knobs,
+        ) as server:
+            # warm the serving path (shard/worker wake-up, plan
+            # compile, worker-side kernel warm) the same way the solo
+            # loop was warmed — real streams, not empty ones
+            for netlist, warm in zip(netlists, warm_streams):
+                server.submit(netlist, warm, clocking=clocking).result()
+            load = None
+            for _ in range(max(1, args.trials)):
+                trial = run_closed_loop(
+                    server,
+                    None if len(netlists) > 1 else netlists[0],
+                    requests,
+                    netlists=models if len(netlists) > 1 else None,
+                    clocking=clocking,
+                    concurrency=args.concurrency or None,
+                    deadline_s=args.deadline,
+                )
+                identical = identical and all(
+                    got == want
+                    for got, want in zip(trial.reports, reference)
+                    if got is not None
+                ) and (args.deadline is not None or None not in trial.reports)
+                if load is None or trial.waves_per_s > load.waves_per_s:
+                    load = trial
+            metrics = server.metrics.snapshot()
+        speedup = load.waves_per_s / solo_rate if solo_rate else 0.0
+        print(
+            f"{label:<10}: {load.total_waves} waves in "
+            f"{load.elapsed_s:.3f}s ({load.waves_per_s:,.0f} waves/s "
+            f"sustained, {speedup:.1f}x over solo; best of "
+            f"{max(1, args.trials)} trials)",
+            file=out,
+        )
+        print(
+            f"latency   : p50 {load.p50_s * 1e3:.1f} ms, "
+            f"p99 {load.p99_s * 1e3:.1f} ms (closed loop, queueing "
+            "included)",
+            file=out,
+        )
+        print(
+            f"batching  : {metrics['batches']} batches, mean "
+            f"{metrics['mean_batch_requests']:.1f} requests/batch "
+            f"(max {metrics['max_batch_requests']}), plan cache "
+            f"{metrics['plan_cache_hits']} hits / "
+            f"{metrics['plan_cache_misses']} misses",
+            file=out,
+        )
+        if args.deadline is not None:
+            print(
+                f"deadlines : {metrics['expired']} expired "
+                f"(deadline {args.deadline * 1e3:.1f} ms)",
+                file=out,
             )
-            identical = identical and trial.reports == solo
-            if load is None or trial.waves_per_s > load.waves_per_s:
-                load = trial
-        metrics = server.metrics.snapshot()
-    speedup = load.waves_per_s / solo_rate if solo_rate else 0.0
-    print(
-        f"served    : {total_waves} waves in {load.elapsed_s:.3f}s "
-        f"({load.waves_per_s:,.0f} waves/s sustained, "
-        f"{speedup:.1f}x over solo; best of {max(1, args.trials)} "
-        "trials)",
-        file=out,
-    )
-    print(
-        f"latency   : p50 {load.p50_s * 1e3:.1f} ms, "
-        f"p99 {load.p99_s * 1e3:.1f} ms (closed loop, queueing included)",
-        file=out,
-    )
-    print(
-        f"batching  : {metrics['batches']} batches, mean "
-        f"{metrics['mean_batch_requests']:.1f} requests/batch "
-        f"(max {metrics['max_batch_requests']}), plan cache "
-        f"{metrics['plan_cache_hits']} hits / "
-        f"{metrics['plan_cache_misses']} misses",
-        file=out,
-    )
+        if metrics["worker_restarts"]:
+            print(
+                f"workers   : {metrics['worker_restarts']} restarts",
+                file=out,
+            )
+        return load, identical
+
+    thread_load, identical = serve_once("served", 0)
+    if args.process_shards:
+        process_load, process_identical = serve_once(
+            "processes", args.process_shards
+        )
+        identical = identical and process_identical
+        ratio = (
+            process_load.waves_per_s / thread_load.waves_per_s
+            if thread_load.waves_per_s else 0.0
+        )
+        print(
+            f"sharding  : {args.process_shards} worker processes at "
+            f"{ratio:.2f}x the thread-shard rate "
+            f"({process_load.waves_per_s:,.0f} vs "
+            f"{thread_load.waves_per_s:,.0f} waves/s)",
+            file=out,
+        )
     print(
         f"identity  : {'ok' if identical else 'MISMATCH'} "
-        "(every served report vs its solo run, every trial)",
+        f"(every served report vs its solo "
+        f"{'scalar-oracle' if args.oracle else 'packed'} run, "
+        "every trial)",
         file=out,
     )
     if not identical:
-        raise ReproError("served reports diverged from solo packed runs")
+        raise ReproError("served reports diverged from solo runs")
     return 0
 
 

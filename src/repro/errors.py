@@ -57,6 +57,18 @@ class ServerClosed(ServeError):
     """A request was submitted to a server that is closed or closing."""
 
 
+class DeadlineExceeded(ServeError):
+    """A request's deadline passed before it could be dispatched.
+
+    Raised *through the request's future* by
+    :class:`repro.serve.SimulationServer` when a request submitted with
+    ``deadline_s`` (or under a server-wide ``default_deadline_s``) is
+    still queued past its deadline.  Expired requests are dropped at
+    batch-formation time — before any packing or simulation work is
+    spent on them — and counted by the ``expired`` server metric.
+    """
+
+
 class ParseError(ReproError):
     """A netlist file (BLIF, .mig) could not be parsed."""
 

@@ -3,9 +3,14 @@
 Public surface:
 
 * :class:`SimulationServer` — bounded request queue, per-netlist
-  coalescing batcher, shard thread pool, ``submit``/``Future`` plus an
+  coalescing batcher, deadline-aware scheduling (``deadline_s`` /
+  ``default_deadline_s`` / :class:`~repro.errors.DeadlineExceeded`),
+  thread- or process-sharded dispatch, ``submit``/``Future`` plus an
   asyncio façade (see :mod:`repro.serve.server` for the architecture);
-* :class:`ServerMetrics` — batching/plan-cache counters
+* :class:`ProcessShardPool` — the worker-process pool behind
+  ``SimulationServer(process_shards=N)`` (sticky netlist routing,
+  per-worker compile caches, dead-worker respawn + retry);
+* :class:`ServerMetrics` — batching/plan-cache/expiry counters
   (``server.metrics.snapshot()``);
 * :func:`run_closed_loop` / :class:`LoadReport` — the closed-loop load
   generator behind ``repro serve-bench`` and
@@ -28,7 +33,7 @@ from .batcher import (
     Batch,
     Batcher,
 )
-from .loadgen import LoadReport, run_closed_loop
+from .loadgen import REQUEST_TIMEOUT_S, LoadReport, run_closed_loop
 from .metrics import ServerMetrics
 from .queue import GroupKey, RequestQueue, SimulationRequest
 from .server import (
@@ -37,6 +42,7 @@ from .server import (
     DEFAULT_MAX_PENDING,
     SimulationServer,
 )
+from .shards import ProcessShardPool
 
 __all__ = [
     "Batch",
@@ -48,6 +54,8 @@ __all__ = [
     "DEFAULT_MAX_PENDING",
     "GroupKey",
     "LoadReport",
+    "ProcessShardPool",
+    "REQUEST_TIMEOUT_S",
     "RequestQueue",
     "ServerMetrics",
     "SimulationRequest",

@@ -95,13 +95,27 @@ class Batcher:
     #: Bound on the memoized batch plans (see :meth:`plan`).
     _PLAN_MEMO_LIMIT = 64
 
+    def expire(self, now: float, key=None) -> list[SimulationRequest]:
+        """Batch admission, step zero: evict requests past their deadline.
+
+        Called (with the server's lock held, like every queue-touching
+        method) before seeding a batch and between linger top-ups, so an
+        expired request is never packed — no lane planning, no injection
+        packing, no kernel step is ever spent on it.  The server fails
+        the returned requests' futures with
+        :class:`~repro.errors.DeadlineExceeded` outside the lock.
+        """
+        return self.queue.expire(now, key=key)
+
     def start_batch(self, busy: Iterable[GroupKey]) -> Optional[Batch]:
         """Seed a batch from the next non-busy group, or ``None``.
 
         Groups in *busy* are being simulated by another shard right now;
         skipping them is what lets independent netlist groups run
         concurrently without ever splitting one group across shards
-        (which would reorder responses and defeat coalescing).
+        (which would reorder responses and defeat coalescing).  Group
+        choice is the queue's: round-robin for deadline-free traffic,
+        earliest-deadline-first once deadlines are queued.
         """
         key = self.queue.next_key(skip=busy)
         if key is None:

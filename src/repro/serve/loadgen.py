@@ -13,48 +13,78 @@ submission to that request's resolved future, queueing and batching
 included.  All client threads are started *before* the clock and
 released together through an event, so thread spawn cost never pollutes
 the throughput measurement.
+
+Failure accounting: a request that outlives *request_timeout_s* or its
+server-side deadline does **not** raise out of the client thread — it is
+recorded in the :class:`LoadReport` (``timed_out`` / ``expired`` index
+lists, a ``None`` placeholder in ``reports``) and the run carries on,
+the way a real load generator keeps hammering through stragglers.  Any
+other error (validation, backpressure misuse, engine failure) still
+propagates to the caller.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..core.wavepipe.clocking import ClockingScheme
 from ..core.wavepipe.simulator import WaveSimulationReport
+from ..errors import DeadlineExceeded
 from .server import SimulationServer
 
 #: Default client-thread count (windows widen to reach the requested
 #: concurrency; more OS threads would only add GIL churn).
 DEFAULT_CLIENTS = 16
 
-#: Safety bound for one request's future under load (seconds); hitting
-#: it means a wedged shard, which should fail loudly, not hang the run.
+#: Default bound for one request's future under load (seconds); hitting
+#: it means a wedged shard.  Overridable per run through
+#: :func:`run_closed_loop`'s ``request_timeout_s`` — timed-out requests
+#: are recorded in the :class:`LoadReport`, not raised.
 REQUEST_TIMEOUT_S = 300.0
 
 
 @dataclass
 class LoadReport:
-    """Outcome of one closed-loop run against a server."""
+    """Outcome of one closed-loop run against a server.
 
-    reports: list[WaveSimulationReport]  # per request, submission order
-    latencies_s: list[float]  # burst submit -> resolved future
+    ``reports`` is indexed by submission position; a slot is ``None``
+    exactly when that request timed out client-side (its index is in
+    ``timed_out``) or expired server-side (``expired``).  Latency and
+    throughput figures cover completed requests only.
+    """
+
+    reports: list[Optional[WaveSimulationReport]]  # per request
+    latencies_s: list[float]  # completed requests, submission order
     elapsed_s: float  # gate release -> last client done
-    total_waves: int
+    total_waves: int  # waves across *completed* requests
     concurrency: int  # requests in flight (clients x burst)
     clients: int
+    timed_out: list[int] = field(default_factory=list)
+    expired: list[int] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        """Requests driven, completed or not."""
+        return len(self.reports)
+
+    @property
+    def n_completed(self) -> int:
+        """Requests whose future resolved with a report."""
+        return len(self.reports) - len(self.timed_out) - len(self.expired)
 
     @property
     def waves_per_s(self) -> float:
-        """Sustained throughput of the run."""
+        """Sustained throughput of the run (completed waves)."""
         return self.total_waves / self.elapsed_s if self.elapsed_s else 0.0
 
     @property
     def requests_per_s(self) -> float:
         return (
-            len(self.reports) / self.elapsed_s if self.elapsed_s else 0.0
+            self.n_completed / self.elapsed_s if self.elapsed_s else 0.0
         )
 
     def latency_percentile(self, quantile: float) -> float:
@@ -82,6 +112,9 @@ def run_closed_loop(
     clocking: Optional[ClockingScheme] = None,
     concurrency: Optional[int] = None,
     clients: int = DEFAULT_CLIENTS,
+    request_timeout_s: float = REQUEST_TIMEOUT_S,
+    deadline_s: Optional[float] = None,
+    netlists: Optional[Sequence] = None,
 ) -> LoadReport:
     """Drive *requests* (one wave stream each) through *server*.
 
@@ -90,17 +123,63 @@ def run_closed_loop(
     per-burst window is ``concurrency / clients``.  Results come back
     indexed by submission position regardless of scheduling, so callers
     can compare each report against its solo-run counterpart directly.
+
+    *request_timeout_s* bounds one future's client-side wait;
+    *deadline_s* is forwarded to the server per submission (server-side
+    deadline scheduling) — both failure modes are *recorded* in the
+    returned :class:`LoadReport` rather than raised, while every other
+    error still propagates.
+
+    *netlists* (optional) assigns request *i* the netlist
+    ``netlists[i]`` instead of the shared *netlist* — the multi-model
+    mix the process-shard bench drives; within one burst, requests are
+    grouped per netlist so each group still lands as one
+    ``submit_many`` admission.
     """
     n_requests = len(requests)
     if n_requests == 0:
         return LoadReport([], [], 0.0, 0, 0, 0)
+    if netlists is not None and len(netlists) != n_requests:
+        raise ValueError("netlists must pair 1:1 with requests")
     concurrency = min(n_requests, concurrency or n_requests)
     n_clients = max(1, min(clients, concurrency))
     burst = max(1, concurrency // n_clients)
     reports: list[Optional[WaveSimulationReport]] = [None] * n_requests
-    latencies: list[float] = [0.0] * n_requests
+    latencies: list[Optional[float]] = [None] * n_requests
+    timed_out: list[int] = []
+    expired: list[int] = []
     errors: list[BaseException] = []
     gate = threading.Event()
+
+    def submit_chunk(chunk) -> list:
+        """Admit one burst window; returns (index, future) pairs."""
+        if netlists is None:
+            futures = server.submit_many(
+                netlist,
+                [requests[index] for index in chunk],
+                clocking=clocking,
+                deadline_s=deadline_s,
+            )
+            return list(zip(chunk, futures))
+        pairs = []
+        position = 0
+        while position < len(chunk):  # group runs of one netlist
+            group = [chunk[position]]
+            model = netlists[chunk[position]]
+            while (
+                position + len(group) < len(chunk)
+                and netlists[chunk[position + len(group)]] is model
+            ):
+                group.append(chunk[position + len(group)])
+            futures = server.submit_many(
+                model,
+                [requests[index] for index in group],
+                clocking=clocking,
+                deadline_s=deadline_s,
+            )
+            pairs.extend(zip(group, futures))
+            position += len(group)
+        return pairs
 
     def client(client_id: int) -> None:
         try:
@@ -109,16 +188,18 @@ def run_closed_loop(
             for chunk_start in range(0, len(indices), burst):
                 chunk = indices[chunk_start:chunk_start + burst]
                 started = time.perf_counter()
-                futures = server.submit_many(
-                    netlist,
-                    [requests[index] for index in chunk],
-                    clocking=clocking,
-                )
-                for index, future in zip(chunk, futures):
-                    reports[index] = future.result(
-                        timeout=REQUEST_TIMEOUT_S
-                    )
-                    latencies[index] = time.perf_counter() - started
+                for index, future in submit_chunk(chunk):
+                    try:
+                        reports[index] = future.result(
+                            timeout=request_timeout_s
+                        )
+                        latencies[index] = (
+                            time.perf_counter() - started
+                        )
+                    except FutureTimeout:
+                        timed_out.append(index)  # keep hammering
+                    except DeadlineExceeded:
+                        expired.append(index)
         except BaseException as error:  # surface in the caller thread
             errors.append(error)
 
@@ -138,10 +219,18 @@ def run_closed_loop(
     if errors:
         raise errors[0]
     return LoadReport(
-        reports=reports,  # type: ignore[arg-type]  # all filled or raised
-        latencies_s=latencies,
+        reports=reports,
+        latencies_s=[
+            latency for latency in latencies if latency is not None
+        ],
         elapsed_s=elapsed,
-        total_waves=sum(len(stream) for stream in requests),
+        total_waves=sum(
+            len(stream)
+            for stream, report in zip(requests, reports)
+            if report is not None
+        ),
         concurrency=n_clients * burst,
         clients=n_clients,
+        timed_out=sorted(timed_out),
+        expired=sorted(expired),
     )

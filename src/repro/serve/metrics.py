@@ -28,6 +28,8 @@ class ServerMetrics:
         "completed",            # requests whose future got a report
         "failed",               # requests whose future got an exception
         "cancelled",            # requests cancelled before dispatch
+        "expired",              # requests dropped past their deadline
+        "worker_restarts",      # dead shard processes respawned
         "batches",              # packed passes executed
         "batched_requests",     # requests across all executed batches
         "batched_waves",        # waves across all executed batches
@@ -84,6 +86,21 @@ class ServerMetrics:
         """*n_requests* requests cancelled before their batch ran."""
         with self._lock:
             self._counts["cancelled"] += n_requests
+
+    def record_expired(self, n_requests: int) -> None:
+        """*n_requests* futures failed with ``DeadlineExceeded``.
+
+        Expired requests never reach a kernel: they are dropped at
+        batch-formation time, so they appear here and in ``failed``-like
+        accounting *without* ever counting toward ``batched_requests``.
+        """
+        with self._lock:
+            self._counts["expired"] += n_requests
+
+    def record_worker_restart(self) -> None:
+        """One dead shard process was detected and respawned."""
+        with self._lock:
+            self._counts["worker_restarts"] += 1
 
     def snapshot(self) -> dict:
         """Consistent copy of every counter plus derived ratios.

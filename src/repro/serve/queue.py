@@ -51,6 +51,10 @@ class SimulationRequest:
     per-version compiled-plan cache entry alive while the request is in
     flight) and a snapshot of the submission time so closed-loop load
     generators can attribute queueing delay to the request's latency.
+    ``deadline_at`` is an absolute :func:`time.perf_counter` instant (or
+    ``None`` for no deadline): once it passes, the request must fail
+    with :class:`~repro.errors.DeadlineExceeded` instead of being
+    simulated.
     """
 
     netlist: object  # WaveNetlist
@@ -60,11 +64,16 @@ class SimulationRequest:
     future: Future
     key: GroupKey
     submitted_at: float = field(default_factory=time.perf_counter)
+    deadline_at: Optional[float] = None
 
     @property
     def n_waves(self) -> int:
         """Stream length of this request, in waves."""
         return len(self.vectors)
+
+    def expired(self, now: float) -> bool:
+        """True once *now* has reached this request's deadline."""
+        return self.deadline_at is not None and now >= self.deadline_at
 
 
 class RequestQueue:
@@ -84,6 +93,17 @@ class RequestQueue:
         self.max_pending = int(max_pending)
         self._groups: "OrderedDict[GroupKey, deque]" = OrderedDict()
         self._pending = 0
+        #: queued requests carrying a deadline; keeps the expiry sweep
+        #: and the earliest-deadline drain order O(1) no-ops for
+        #: deadline-free traffic (the common case keeps PR-4 behaviour)
+        self._deadlined = 0
+        #: per-group share of ``_deadlined``: the EDF scan and the
+        #: expiry sweep walk only groups with a positive count, so a
+        #: deep deadline-free backlog costs nothing even while some
+        #: other group carries deadlines.  The remaining per-deque
+        #: scans are bounded by ``max_pending`` (backpressure is the
+        #: design bound of everything under the server lock).
+        self._group_deadlined: dict[GroupKey, int] = {}
 
     def __len__(self) -> int:
         return self._pending
@@ -114,21 +134,125 @@ class RequestQueue:
             group = self._groups[request.key] = deque()
         group.append(request)
         self._pending += 1
+        if request.deadline_at is not None:
+            self._deadlined += 1
+            self._group_deadlined[request.key] = (
+                self._group_deadlined.get(request.key, 0) + 1
+            )
+
+    def _forget_deadlines(
+        self, key: GroupKey, requests: Sequence[SimulationRequest]
+    ) -> None:
+        """Unaccount removed *requests* of *key* from the counters."""
+        removed = sum(
+            1 for request in requests if request.deadline_at is not None
+        )
+        if not removed:
+            return
+        self._deadlined -= removed
+        remaining = self._group_deadlined.get(key, 0) - removed
+        if remaining > 0:
+            self._group_deadlined[key] = remaining
+        else:
+            self._group_deadlined.pop(key, None)
+
+    def _group_deadline(self, key: GroupKey) -> Optional[float]:
+        """Earliest deadline among *key*'s queued requests, if any.
+
+        O(1) for groups without deadlines; only a group actually
+        holding deadlined requests pays the deque scan.
+        """
+        if not self._group_deadlined.get(key):
+            return None
+        group = self._groups.get(key)
+        if group is None:
+            return None
+        return min(
+            (
+                request.deadline_at
+                for request in group
+                if request.deadline_at is not None
+            ),
+            default=None,
+        )
 
     def next_key(self, skip: Iterable[GroupKey] = ()) -> Optional[GroupKey]:
-        """Round-robin: the next group with pending work, or ``None``.
+        """The next group a shard should drain, or ``None``.
 
         Groups in *skip* (currently being simulated by another shard) are
-        passed over.  The chosen group is rotated to the back so the next
-        call prefers a different netlist — multi-netlist traffic is
-        served fairly instead of by arrival order.
+        passed over.  Deadline-free traffic is served round-robin — the
+        chosen group is rotated to the back so the next call prefers a
+        different netlist and multi-netlist traffic shares the shards
+        fairly.  As soon as any queued request carries a deadline, drains
+        are ordered earliest-deadline-first (EDF): the group holding the
+        most urgent request is served before deadline-free groups, which
+        fall back to the round-robin rotation among themselves.
         """
         skip = set(skip)
+        if self._deadlined:
+            urgent: Optional[GroupKey] = None
+            urgent_deadline = float("inf")
+            # only groups actually holding deadlines are scanned
+            for key in self._group_deadlined:
+                if key in skip:
+                    continue
+                deadline = self._group_deadline(key)
+                if deadline is not None and deadline < urgent_deadline:
+                    urgent, urgent_deadline = key, deadline
+            if urgent is not None:
+                self._groups.move_to_end(urgent)
+                return urgent
         for key in self._groups:
             if key not in skip:
                 self._groups.move_to_end(key)
                 return key
         return None
+
+    def expire(
+        self, now: float, key: Optional[GroupKey] = None
+    ) -> list[SimulationRequest]:
+        """Remove and return every queued request whose deadline passed.
+
+        With *key* the sweep is restricted to that group (the linger
+        path re-sweeps only the group it is topping up); without it all
+        groups are swept.  Deadline-free queues return immediately —
+        the ``_deadlined`` counter makes the common case free.  The
+        caller (the server, outside its lock) fails the returned
+        requests' futures with
+        :class:`~repro.errors.DeadlineExceeded`.
+        """
+        if not self._deadlined:
+            return []
+        # only groups actually holding deadlines can have expiries
+        keys = (
+            (key,) if key is not None else tuple(self._group_deadlined)
+        )
+        expired: list[SimulationRequest] = []
+        for group_key in keys:
+            if not self._group_deadlined.get(group_key):
+                continue
+            group = self._groups.get(group_key)
+            if group is None:
+                continue
+            kept = deque()
+            newly_expired: list[SimulationRequest] = []
+            for request in group:
+                if request.expired(now):
+                    newly_expired.append(request)
+                else:
+                    kept.append(request)
+            if newly_expired:
+                if kept:
+                    # rebuild in place so the OrderedDict rotation
+                    # (round-robin fairness) is left untouched
+                    group.clear()
+                    group.extend(kept)
+                else:
+                    del self._groups[group_key]
+                self._forget_deadlines(group_key, newly_expired)
+                expired.extend(newly_expired)
+        self._pending -= len(expired)
+        return expired
 
     def take(
         self,
@@ -161,6 +285,7 @@ class RequestQueue:
         if not group:
             del self._groups[key]
         self._pending -= len(taken)
+        self._forget_deadlines(key, taken)
         return taken
 
     def drain(self) -> list[SimulationRequest]:
@@ -170,4 +295,6 @@ class RequestQueue:
         ]
         self._groups.clear()
         self._pending = 0
+        self._deadlined = 0
+        self._group_deadlined.clear()
         return drained

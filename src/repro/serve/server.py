@@ -41,17 +41,31 @@ thread-world API; :meth:`SimulationServer.submit_async` awaits the same
 future on an asyncio loop.  :meth:`SimulationServer.simulate` is the
 one-call convenience (submit + result).
 
-The server is deliberately *thread*-sharded, not process-sharded: the
-packed kernels spend their time in numpy ufuncs that release the GIL, so
-independent groups overlap on multicore hosts, and one shared
-compiled-plan cache serves every shard.  Process sharding (one server per
-core, a front router) stacks on top — see ROADMAP.
+**Deadline scheduling.**  ``submit(..., deadline_s=...)`` (or a
+server-wide ``default_deadline_s``) attaches a deadline to a request.
+Expired requests are dropped at batch-formation time — before any
+packing or kernel work — and their futures fail with
+:class:`~repro.errors.DeadlineExceeded` (the ``expired`` metric counts
+them); pending groups are drained earliest-deadline-first whenever any
+queued request carries a deadline (see
+:meth:`~repro.serve.queue.RequestQueue.next_key`).
+
+**Thread or process shards.**  By default the server is *thread*-sharded:
+the packed kernels spend their time in numpy ufuncs that release the
+GIL, so independent groups overlap on multicore hosts and one shared
+compiled-plan cache serves every shard.  ``process_shards=N`` escapes
+the GIL entirely: batches are routed (sticky per netlist group) to a
+:class:`~repro.serve.shards.ProcessShardPool` of worker processes over
+the numpy wire format, each worker holding its own compile cache; dead
+workers are respawned and their batch retried, bit-identically.  The
+batcher, deadline logic, and metrics stay in the parent either way.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import Future
 from typing import Optional, Sequence
@@ -66,6 +80,7 @@ from ..core.wavepipe.simulator import (
     _validate_vectors,
 )
 from ..errors import (
+    DeadlineExceeded,
     ServeError,
     ServerClosed,
     ServerQueueFull,
@@ -79,6 +94,7 @@ from .batcher import (
 )
 from .metrics import ServerMetrics
 from .queue import GroupKey, RequestQueue, SimulationRequest
+from .shards import ProcessShardPool
 
 #: Default bound on admitted-but-undispatched requests (backpressure).
 DEFAULT_MAX_PENDING = 1024
@@ -122,6 +138,18 @@ class SimulationServer:
         whole).  ``0`` steps dispatches immediately (lowest latency,
         least coalescing); the idle-traffic latency cost is bounded by
         ``max_linger_steps * linger_wait_s``.
+    default_deadline_s:
+        Server-wide request timeout: every submission without an
+        explicit ``deadline_s`` inherits this budget (``None`` = no
+        deadline).  A request still queued past its deadline is dropped
+        before packing and its future fails with
+        :class:`~repro.errors.DeadlineExceeded`.
+    process_shards:
+        ``0`` (default) keeps PR-4 thread sharding.  ``N > 0`` spawns a
+        :class:`~repro.serve.shards.ProcessShardPool` of N worker
+        processes and dispatches every batch there (sticky per netlist
+        group); the shard *thread* count is raised to at least N so
+        every worker can be driven concurrently.
     clocking / pipelined / backend / track:
         Server-wide simulation defaults; ``clocking`` and ``pipelined``
         can be overridden per request in :meth:`submit` (the group key
@@ -143,6 +171,8 @@ class SimulationServer:
         max_batch_waves: int = DEFAULT_MAX_BATCH_WAVES,
         max_linger_steps: int = DEFAULT_MAX_LINGER_STEPS,
         linger_wait_s: float = DEFAULT_LINGER_WAIT_S,
+        default_deadline_s: Optional[float] = None,
+        process_shards: int = 0,
         clocking: Optional[ClockingScheme] = None,
         pipelined: bool = True,
         backend: Optional[str] = None,
@@ -155,13 +185,22 @@ class SimulationServer:
             raise ServeError("max_linger_steps must be >= 0")
         if linger_wait_s < 0:
             raise ServeError("linger_wait_s must be >= 0")
-        self._shards = int(shards)
+        if default_deadline_s is not None and default_deadline_s < 0:
+            raise ServeError("default_deadline_s must be >= 0")
+        if process_shards < 0:
+            raise ServeError("process_shards must be >= 0")
+        # every worker process needs its own dispatching thread to be
+        # driven concurrently (the thread blocks on the worker's pipe)
+        self._shards = max(int(shards), int(process_shards))
         self._clocking = clocking or ClockingScheme()
         self._pipelined = bool(pipelined)
         self._backend = backend
         self._track = track
         self._max_linger_steps = int(max_linger_steps)
         self._linger_wait_s = float(linger_wait_s)
+        self._default_deadline_s = (
+            None if default_deadline_s is None else float(default_deadline_s)
+        )
 
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
@@ -182,6 +221,12 @@ class SimulationServer:
         self._started = False
         self._closing = False
         self.metrics = ServerMetrics()
+        self._pool: Optional[ProcessShardPool] = None
+        if process_shards:
+            self._pool = ProcessShardPool(
+                int(process_shards),
+                on_restart=self.metrics.record_worker_restart,
+            )
         if start:
             self.start()
 
@@ -236,6 +281,25 @@ class SimulationServer:
                 raise ServeError(
                     f"shard {thread.name} did not stop within {timeout}s"
                 )
+        if self._pool is not None:
+            # after the shard threads joined no batch is in flight, so
+            # the workers are idle and stop gracefully
+            self._pool.close(timeout)
+
+    def stop(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """Shut the server down; *drain* picks the queued requests' fate.
+
+        ``drain=True`` (default) serves every already-admitted request
+        before stopping — :meth:`close`'s drain semantics.
+        ``drain=False`` cancels queued futures instead (in-flight
+        batches still finish).  Either way **no future is left
+        unresolved**: by the time ``stop`` returns, every admitted
+        future holds a report, an exception, or a cancellation — the
+        invariant the chaos suite pins under concurrent load.
+        """
+        self.close(cancel_pending=not drain, timeout=timeout)
 
     def __enter__(self) -> "SimulationServer":
         return self
@@ -264,6 +328,7 @@ class SimulationServer:
         streams: Sequence[Sequence[Sequence[bool]]],
         clocking: Optional[ClockingScheme],
         pipelined: Optional[bool],
+        deadline_s: Optional[float] = None,
     ) -> list[SimulationRequest]:
         """Validate, compile, and enqueue a burst under one lock hold.
 
@@ -271,12 +336,21 @@ class SimulationServer:
         :meth:`submit_many`.  Admission is all-or-nothing: if the burst
         does not fit under ``max_pending`` nothing is enqueued and
         :class:`~repro.errors.ServerQueueFull` carries the whole burst
-        back to the caller.
+        back to the caller.  *deadline_s* (``None`` inherits the
+        server's ``default_deadline_s``) is resolved to an absolute
+        deadline against the submission clock; an already-expired
+        request is still admitted — it fails fast with
+        :class:`~repro.errors.DeadlineExceeded` at batch formation,
+        never reaching a kernel.
         """
         clocking = clocking or self._clocking
         pipelined = (
             self._pipelined if pipelined is None else bool(pipelined)
         )
+        if deadline_s is None:
+            deadline_s = self._default_deadline_s
+        elif deadline_s < 0:
+            raise ServeError("deadline_s must be >= 0")
         # snapshot list payloads row-deep (callers may reuse and mutate
         # their buffers — including the inner rows — after submitting);
         # ndarray payloads are taken by reference: the documented wire
@@ -298,6 +372,10 @@ class SimulationServer:
             n_phases=clocking.n_phases,
             pipelined=pipelined,
         )
+        submitted_at = time.perf_counter()
+        deadline_at = (
+            None if deadline_s is None else submitted_at + deadline_s
+        )
         requests = [
             SimulationRequest(
                 netlist=netlist,
@@ -306,6 +384,8 @@ class SimulationServer:
                 pipelined=pipelined,
                 future=Future(),
                 key=key,
+                submitted_at=submitted_at,
+                deadline_at=deadline_at,
             )
             for vectors in snapshots
         ]
@@ -355,6 +435,7 @@ class SimulationServer:
         *,
         clocking: Optional[ClockingScheme] = None,
         pipelined: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
     ) -> "Future[WaveSimulationReport]":
         """Enqueue one wave stream; returns its completion future.
 
@@ -366,11 +447,19 @@ class SimulationServer:
         most once per version — later submissions and every batch reuse
         the cached plan, which the ``plan_cache_*`` metrics record.
 
+        *deadline_s* bounds how long the request may wait for dispatch
+        (``None`` inherits the server's ``default_deadline_s``); past
+        it the future fails with
+        :class:`~repro.errors.DeadlineExceeded` without the request
+        ever being simulated.
+
         Raises :class:`~repro.errors.ServerClosed` after :meth:`close`
         and :class:`~repro.errors.ServerQueueFull` when the bounded
         queue is at capacity.
         """
-        (request,) = self._admit(netlist, [vectors], clocking, pipelined)
+        (request,) = self._admit(
+            netlist, [vectors], clocking, pipelined, deadline_s
+        )
         return request.future
 
     def submit_many(
@@ -380,6 +469,7 @@ class SimulationServer:
         *,
         clocking: Optional[ClockingScheme] = None,
         pipelined: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
     ) -> "list[Future[WaveSimulationReport]]":
         """Enqueue a burst of wave streams; one future per stream.
 
@@ -389,11 +479,14 @@ class SimulationServer:
         everyone else's traffic.  Semantically identical to calling
         :meth:`submit` per stream — every report is still bit-identical
         to that stream's solo run — just with the per-request admission
-        overhead amortized.
+        overhead amortized.  *deadline_s* applies to every stream of
+        the burst, measured from this one admission.
         """
         if not streams:
             return []
-        requests = self._admit(netlist, streams, clocking, pipelined)
+        requests = self._admit(
+            netlist, streams, clocking, pipelined, deadline_s
+        )
         return [request.future for request in requests]
 
     async def submit_async(
@@ -403,6 +496,7 @@ class SimulationServer:
         *,
         clocking: Optional[ClockingScheme] = None,
         pipelined: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
     ) -> WaveSimulationReport:
         """Asyncio façade: await the report of one submitted stream.
 
@@ -414,7 +508,8 @@ class SimulationServer:
         without blocking the loop.
         """
         future = self.submit(
-            netlist, vectors, clocking=clocking, pipelined=pipelined
+            netlist, vectors, clocking=clocking, pipelined=pipelined,
+            deadline_s=deadline_s,
         )
         return await asyncio.wrap_future(future)
 
@@ -425,21 +520,34 @@ class SimulationServer:
         *,
         clocking: Optional[ClockingScheme] = None,
         pipelined: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
         timeout: Optional[float] = None,
     ) -> WaveSimulationReport:
         """Submit one stream and block for its report (submit + result)."""
         return self.submit(
-            netlist, vectors, clocking=clocking, pipelined=pipelined
+            netlist, vectors, clocking=clocking, pipelined=pipelined,
+            deadline_s=deadline_s,
         ).result(timeout)
 
     # ------------------------------------------------------------------
     # shard workers
     # ------------------------------------------------------------------
     def _worker(self) -> None:
-        """One shard: seed a batch, linger, simulate, resolve futures."""
+        """One shard: expire, seed a batch, linger, simulate, resolve."""
         while True:
+            batch: Optional[Batch] = None
+            expired: list[SimulationRequest] = []
+            stop = False
             with self._cond:
                 while True:
+                    # deadline admission: requests already past their
+                    # deadline leave the queue *before* a batch is
+                    # packed around them, so they never cost kernel or
+                    # packing work; their futures are failed outside
+                    # the lock (Future callbacks may re-enter submit)
+                    expired.extend(
+                        self._batcher.expire(time.perf_counter())
+                    )
                     batch = self._batcher.start_batch(self._busy)
                     if batch is not None:
                         # claim the group *before* lingering: another
@@ -448,11 +556,15 @@ class SimulationServer:
                         # and coalescing would fragment)
                         self._busy.add(batch.key)
                         break
+                    if expired:
+                        break  # fail them promptly, then come back
                     if self._closing and len(self._queue) == 0:
-                        return
+                        stop = True
+                        break
                     self._cond.wait()
                 if (
-                    self._max_linger_steps
+                    batch is not None
+                    and self._max_linger_steps
                     and not self._closing
                     and not self._batcher.is_full(batch)
                 ):
@@ -463,10 +575,21 @@ class SimulationServer:
                     empty_rounds = 0
                     while empty_rounds < self._max_linger_steps:
                         self._cond.wait(timeout=self._linger_wait_s)
+                        expired.extend(
+                            self._batcher.expire(
+                                time.perf_counter(), key=batch.key
+                            )
+                        )
                         added = self._batcher.top_up(batch)
                         if self._closing or self._batcher.is_full(batch):
                             break
                         empty_rounds = 0 if added else empty_rounds + 1
+            if expired:
+                self._fail_expired(expired)
+            if stop:
+                return
+            if batch is None:
+                continue
             try:
                 self._run_batch(batch)
             finally:
@@ -474,8 +597,45 @@ class SimulationServer:
                     self._busy.discard(batch.key)
                     self._cond.notify_all()
 
+    def _fail_expired(self, requests: list[SimulationRequest]) -> None:
+        """Resolve expired requests: ``DeadlineExceeded``, never a kernel.
+
+        Called outside the server lock.  Requests whose futures were
+        already cancelled by the caller count as cancellations, exactly
+        like cancelled requests reaped at dispatch.
+        """
+        live = [
+            request
+            for request in requests
+            if request.future.set_running_or_notify_cancel()
+        ]
+        if dropped := len(requests) - len(live):
+            self.metrics.record_cancelled(dropped)
+        if not live:
+            return
+        now = time.perf_counter()
+        for request in live:
+            late_ms = (now - request.deadline_at) * 1e3
+            request.future.set_exception(
+                DeadlineExceeded(
+                    f"request deadline passed {late_ms:.1f} ms before "
+                    "dispatch; the request was dropped without being "
+                    "simulated"
+                )
+            )
+        self.metrics.record_expired(len(live))
+
     def _run_batch(self, batch: Batch) -> None:
         """Execute one coalesced batch and resolve its futures."""
+        # last deadline check before any packing work: the linger (or a
+        # long wait for a busy shard) may have outlasted a deadline
+        now = time.perf_counter()
+        overdue = [r for r in batch.requests if r.expired(now)]
+        if overdue:
+            batch.requests = [
+                r for r in batch.requests if not r.expired(now)
+            ]
+            self._fail_expired(overdue)
         live = [
             request
             for request in batch.requests
@@ -489,16 +649,28 @@ class SimulationServer:
             plan = self._batcher.plan(
                 batch, backend=self._backend, track=self._track
             )
-            reports = simulate_streams_packed(
-                batch.netlist,
-                [request.vectors for request in live],
-                clocking=batch.clocking,
-                pipelined=batch.pipelined,
-                strict=False,
-                backend=self._backend,
-                track=self._track,
-                validate=False,  # every stream was validated at submit
-            )
+            streams = [request.vectors for request in live]
+            if self._pool is not None:
+                reports = self._pool.simulate(
+                    batch.netlist,
+                    streams,
+                    n_phases=batch.clocking.n_phases,
+                    pipelined=batch.pipelined,
+                    backend=self._backend,
+                    track=self._track,
+                    route_key=batch.key,
+                )
+            else:
+                reports = simulate_streams_packed(
+                    batch.netlist,
+                    streams,
+                    clocking=batch.clocking,
+                    pipelined=batch.pipelined,
+                    strict=False,
+                    backend=self._backend,
+                    track=self._track,
+                    validate=False,  # every stream validated at submit
+                )
         except BaseException as error:  # resolve futures, never kill a shard
             for request in live:
                 request.future.set_exception(error)

@@ -1,0 +1,390 @@
+"""Process-level sharding: netlist groups routed to worker processes.
+
+The PR-4 server is *thread*-sharded: independent netlist groups overlap
+only where the packed kernels release the GIL inside numpy.  That covers
+the ufunc-heavy step loop, but batching, packing, report slicing, and
+every piece of Python glue still serialize on one core.
+:class:`ProcessShardPool` removes that ceiling: each shard is a separate
+OS process with its own interpreter, GIL, and
+:func:`~repro.core.wavepipe.kernels.compile_netlist` cache.
+
+Design
+------
+* **Wire format.**  The serve package is transport-agnostic by design —
+  a request's payload is one ``(waves, inputs)`` bool block (or an empty
+  list), exactly what :func:`~repro.core.wavepipe.batch.
+  simulate_streams_packed` consumes.  Dispatching a batch to a worker
+  sends that same representation over a :class:`multiprocessing.Pipe`
+  (numpy arrays pickle to flat buffers); the reply is the list of
+  :class:`~repro.core.wavepipe.simulator.WaveSimulationReport` objects,
+  bit-identical to an in-process run because the kernels are
+  deterministic.
+* **Sticky routing.**  A netlist group is always routed to the same
+  worker (``hash(route key) % n_workers``), so each worker compiles a
+  netlist at most once per version: the netlist itself is shipped only
+  on the worker's first batch for that ``(id, version)`` — later batches
+  send the key alone and hit the worker-side cache (a small LRU).
+* **Crash recovery.**  A worker that dies mid-batch (OOM killer,
+  segfault, ``kill -9`` in the chaos tests) surfaces as a broken pipe in
+  the parent.  The pool respawns the worker, re-ships the netlist (the
+  fresh process has an empty cache), and re-runs the batch once — the
+  retry is bit-identical because simulation is deterministic.  A second
+  consecutive death for the same batch raises
+  :class:`~repro.errors.ServeError` (the batch itself is the likely
+  killer).  Restarts are reported through the ``on_restart`` callback
+  (the server counts them in its metrics).
+* **Spawn, not fork.**  Workers use the ``spawn`` start method: the
+  parent runs shard *threads*, and forking a threaded process can
+  deadlock on arbitrarily-held locks.  Spawned children import
+  :mod:`repro` fresh, which is exactly the per-process compile cache the
+  routing exploits.
+
+The pool is usable on its own (``pool.simulate(...)`` is a synchronous
+call, safe from concurrent threads — per-worker pipes are locked), but
+its intended seat is ``SimulationServer(process_shards=N)``, where each
+shard thread drives one worker process and the batcher/deadline logic
+stays in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ServeError
+
+#: Worker-side cap on cached netlists (serving netlist churn must not
+#: grow a worker without bound; eviction only costs a re-ship).
+WORKER_NETLIST_CACHE = 32
+
+#: Seconds a graceful worker shutdown may take before escalating to
+#: terminate()/kill().
+DEFAULT_STOP_TIMEOUT_S = 10.0
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - runs in a child
+    """Loop of one shard process: receive batches, simulate, reply.
+
+    (Excluded from coverage measurement: this body runs in spawned
+    child processes, outside the parent's coverage tracer.)
+    """
+    # imported here so the spawn-time module import stays cheap and the
+    # child resolves its *own* kernel backend (numba may differ)
+    from ..core.wavepipe.batch import simulate_streams_packed
+    from ..core.wavepipe.clocking import ClockingScheme
+
+    netlists: "OrderedDict[tuple, object]" = OrderedDict()
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent went away; nothing sane left to do
+        kind = message[0]
+        if kind == "stop":
+            conn.close()
+            return
+        if kind == "ping":
+            conn.send(("pong", os.getpid()))
+            continue
+        # ("run", key, netlist | None, n_phases, pipelined, streams,
+        #  backend, track)
+        _, key, netlist, n_phases, pipelined, streams, backend, track = (
+            message
+        )
+        try:
+            if netlist is not None:
+                netlists[key] = netlist
+                netlists.move_to_end(key)  # re-ship of an old key
+                while len(netlists) > WORKER_NETLIST_CACHE:
+                    netlists.popitem(last=False)
+            cached = netlists.get(key)
+            if cached is None:
+                # cache desync (e.g. this side evicted the key while
+                # the parent still advertises it): ask for a re-ship
+                # instead of failing the batch
+                conn.send(("miss", key))
+                continue
+            netlists.move_to_end(key)  # LRU hit
+            reports = simulate_streams_packed(
+                cached,
+                streams,
+                clocking=ClockingScheme(n_phases),
+                pipelined=pipelined,
+                strict=False,
+                backend=backend,
+                track=track,
+                validate=False,  # validated in the parent at submit time
+            )
+            reply = ("ok", reports)
+        except BaseException as error:
+            reply = ("error", error)
+        try:
+            conn.send(reply)
+        except OSError:
+            return  # pipe gone: the parent is closing or died
+        except Exception:
+            # unpicklable payload (pickle.PicklingError, or any other
+            # serialization failure an exotic exception object can
+            # produce): degrade to a picklable description rather than
+            # killing the worker and losing the error entirely
+            try:
+                conn.send(
+                    ("error", ServeError(f"worker error: {reply[1]!r}"))
+                )
+            except OSError:
+                return
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one shard process."""
+
+    process: multiprocessing.process.BaseProcess
+    conn: object  # multiprocessing.connection.Connection
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: (netlist id, version) -> netlist: the keys this worker is known
+    #: to have cached, holding a *strong* netlist reference.  The pin
+    #: matters for correctness, not just speed: the key contains
+    #: ``id(netlist)``, and only the pinned reference guarantees that
+    #: id cannot be recycled by a different netlist while the worker
+    #: still holds the old one under that key.  Bounded like the
+    #: worker-side cache; reset on respawn (a fresh process has a
+    #: fresh cache).  Desync in either direction is harmless — the
+    #: worker answers ``miss`` and the batch is re-shipped.
+    known: "OrderedDict[tuple, object]" = field(
+        default_factory=OrderedDict
+    )
+
+
+def _wire_streams(
+    streams: Sequence[Sequence[Sequence[bool]]],
+) -> list:
+    """Payloads in the numpy wire format: one bool block per stream.
+
+    ndarray payloads pass through untouched; list payloads are packed
+    into ``(waves, inputs)`` bool blocks (pickling a flat buffer beats
+    pickling nested lists of Python bools several-fold).  Empty streams
+    stay the empty list — their report is synthesized without touching
+    the kernels on either side.
+    """
+    wire = []
+    for vectors in streams:
+        if isinstance(vectors, np.ndarray) or len(vectors) == 0:
+            wire.append(vectors if len(vectors) else [])
+        else:
+            wire.append(np.asarray(vectors, dtype=bool))
+    return wire
+
+
+class ProcessShardPool:
+    """Fixed pool of simulation worker processes with sticky routing.
+
+    Parameters
+    ----------
+    n_workers:
+        Shard processes to spawn (eagerly, so routing and the chaos
+        tests see live pids immediately).
+    on_restart:
+        Optional zero-argument callback invoked once per dead-worker
+        respawn (the server wires its ``worker_restarts`` metric here).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        on_restart: Optional[Callable[[], None]] = None,
+    ):
+        if n_workers < 1:
+            raise ServeError("a process pool needs at least one worker")
+        self._ctx = multiprocessing.get_context("spawn")
+        self._on_restart = on_restart
+        self._closed = False
+        self._state_lock = threading.Lock()
+        self._workers: list[Optional[_Worker]] = [None] * int(n_workers)
+        for index in range(n_workers):
+            self._workers[index] = self._spawn()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn,),
+            name="repro-serve-worker",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the child holds its own copy
+        return _Worker(process=process, conn=parent_conn)
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    def worker_pids(self) -> list[int]:
+        """Live worker pids (the chaos tests' kill targets)."""
+        return [
+            worker.process.pid
+            for worker in self._workers
+            if worker is not None and worker.process.is_alive()
+        ]
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop every worker: graceful stop, then terminate, then kill."""
+        timeout = DEFAULT_STOP_TIMEOUT_S if timeout is None else timeout
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for worker in self._workers:
+            if worker is None:
+                continue
+            # the per-worker lock serializes this stop frame against a
+            # simulate() mid-send from another thread (interleaving two
+            # writers would corrupt the pipe stream); holding it means
+            # graceful close waits for the in-flight batch, which is
+            # the drain semantics close promises
+            with worker.lock:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass  # already dead or pipe gone: terminate below
+        for worker in self._workers:
+            if worker is None:
+                continue
+            worker.process.join(timeout)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            if worker.process.is_alive():  # pragma: no cover - last resort
+                worker.process.kill()
+                worker.process.join(1.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _worker_for(self, route_key) -> int:
+        return hash(route_key) % len(self._workers)
+
+    def _revive(self, index: int) -> _Worker:
+        """Replace a dead worker in place (caller holds its lock slot)."""
+        if self._closed:
+            raise ServeError("process shard pool is closed")
+        old = self._workers[index]
+        if old is not None:
+            try:
+                old.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            if old.process.is_alive():  # pragma: no cover - defensive
+                old.process.terminate()
+            old.process.join(1.0)
+        fresh = self._spawn()
+        # carry the in-flight dispatch lock over: the caller already
+        # holds old.lock, and per-index serialization must continue to
+        # funnel through that same lock object
+        if old is not None:
+            fresh.lock = old.lock
+        self._workers[index] = fresh
+        if self._on_restart is not None:
+            self._on_restart()
+        return fresh
+
+    def simulate(
+        self,
+        netlist,
+        streams: Sequence[Sequence[Sequence[bool]]],
+        *,
+        n_phases: int = 3,
+        pipelined: bool = True,
+        backend: Optional[str] = None,
+        track: Optional[bool] = None,
+        route_key=None,
+    ) -> list:
+        """Run one batch on this group's worker; returns the reports.
+
+        Synchronous: blocks until the worker replies (concurrent calls
+        for *different* groups proceed in parallel on their own
+        workers).  Worker death is absorbed by one respawn-and-retry;
+        worker-side simulation errors re-raise here exactly as the
+        in-process engine would have raised them.
+        """
+        if self._closed:
+            raise ServeError("process shard pool is closed")
+        key = (id(netlist), netlist.version)
+        index = self._worker_for(route_key if route_key is not None else key)
+        wire = _wire_streams(streams)
+        worker = self._workers[index]
+        with worker.lock:
+            deaths = 0
+            ship_netlist = False
+            while True:
+                worker = self._workers[index]
+                if not worker.process.is_alive():
+                    worker = self._revive(index)
+                # identity check, not just key membership: the pinned
+                # reference is what keeps id(netlist) unrecycled, so a
+                # key whose pin is a *different* object must re-ship
+                ship_netlist = (
+                    ship_netlist or worker.known.get(key) is not netlist
+                )
+                try:
+                    worker.conn.send(
+                        (
+                            "run",
+                            key,
+                            netlist if ship_netlist else None,
+                            int(n_phases),
+                            bool(pipelined),
+                            wire,
+                            backend,
+                            track,
+                        )
+                    )
+                    status, payload = worker.conn.recv()
+                except (EOFError, BrokenPipeError, ConnectionResetError,
+                        OSError):
+                    # the worker died under this batch: respawn; the
+                    # retry re-ships the netlist (fresh empty cache) and
+                    # is bit-identical because the kernels are
+                    # deterministic
+                    self._revive(index)
+                    deaths += 1
+                    if deaths >= 2:
+                        raise ServeError(
+                            "shard worker died twice running one batch "
+                            f"({len(wire)} streams); giving up on it"
+                        )
+                    continue
+                if status == "miss":
+                    # the worker evicted (or never had) this key while
+                    # the parent advertised it: re-ship and retry —
+                    # self-healing against any cache desync
+                    ship_netlist = True
+                    continue
+                if status == "error":
+                    raise payload
+                worker.known[key] = netlist
+                worker.known.move_to_end(key)
+                while len(worker.known) > WORKER_NETLIST_CACHE:
+                    worker.known.popitem(last=False)
+                return payload

@@ -28,6 +28,7 @@ from repro.core.wavepipe import (
 from repro.errors import SimulationError
 
 from helpers import build_adder_mig, build_random_mig
+from strategies import netlists, stream_lengths
 
 _vectors = random_vectors  # the drivers' shared stimulus convention
 
@@ -55,19 +56,6 @@ def _assert_identical(netlist, vectors, n_phases=3, pipelined=True,
     assert packed.waves_injected == scalar.waves_injected
     assert packed.waves_retired == scalar.waves_retired
     return scalar, packed
-
-
-@st.composite
-def netlists(draw):
-    """Random netlist: either raw (usually unbalanced) or wave-ready."""
-    n_gates = draw(st.integers(5, 40))
-    seed = draw(st.integers(0, 2**16))
-    mig = build_random_mig(
-        n_pis=draw(st.integers(3, 6)), n_gates=n_gates, seed=seed
-    )
-    if draw(st.booleans()):
-        return wave_pipeline(mig, fanout_limit=3, verify=False).netlist
-    return WaveNetlist.from_mig(mig)
 
 
 class TestEnginesAgree:
@@ -185,7 +173,7 @@ class TestStreams:
 
     @given(
         netlists(),
-        st.lists(st.integers(0, 70), min_size=1, max_size=5),
+        stream_lengths(max_streams=5, max_waves=70),
         st.booleans(),
         st.integers(0, 2**16),
     )

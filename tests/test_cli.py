@@ -134,6 +134,33 @@ class TestServeBench:
         ) == 1
         assert "error" in capsys.readouterr().err
 
+    def test_serve_bench_mix_with_process_shards(self, capsys):
+        # the ISSUE-5 acceptance shape: a 2-netlist mix served by
+        # thread shards and process shards on identical payloads, with
+        # every report verified against its solo scalar-oracle run
+        assert main(
+            ["serve-bench", "circuit:adder:3,circuit:adder:2",
+             "--requests", "8", "--waves", "4", "--shards", "2",
+             "--process-shards", "2", "--trials", "1", "--oracle"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "across 2 netlists" in out
+        assert "processes" in out
+        assert "sharding" in out and "worker processes" in out
+        assert "identity  : ok" in out
+        assert "scalar-oracle" in out
+
+    def test_serve_bench_deadline_expires_stale_requests(self, capsys):
+        # deadline 0: every request is stale at dispatch — all expire,
+        # none simulated, and the bench reports it instead of failing
+        assert main(
+            ["serve-bench", "circuit:adder:3", "--requests", "6",
+             "--waves", "4", "--trials", "1", "--deadline", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "6 expired" in out
+        assert "identity  : ok" in out
+
 
 class TestOtherCommands:
     def test_suite_listing(self, capsys):

@@ -55,6 +55,7 @@ from repro.core.wavepipe.kernels import (
 from repro.errors import SimulationError
 
 from helpers import build_adder_mig, build_random_mig
+from strategies import raw_netlists
 
 _vectors = random_vectors
 
@@ -281,21 +282,18 @@ class TestElisionSafety:
             )
 
     @given(
-        st.integers(5, 40),
+        raw_netlists(),
         st.integers(0, 2**16),
         st.integers(2, 4),
         st.integers(2, 40),
     )
     @settings(max_examples=30, deadline=None)
     def test_interfering_netlists_never_elide(
-        self, n_gates, seed, n_phases, n_waves
+        self, netlist, seed, n_phases, n_waves
     ):
         # satellite property: wherever the scalar oracle reports
         # interference, the static proof must have refused elision (and
         # the auto path, which follows the proof, reproduces the events)
-        netlist = WaveNetlist.from_mig(
-            build_random_mig(n_gates=n_gates, seed=seed)
-        )
         clocking = ClockingScheme(n_phases)
         vectors = _vectors(netlist.n_inputs, n_waves, seed=seed)
         scalar = simulate_waves(

@@ -1,0 +1,170 @@
+"""Direct tests for the closed-loop load generator (``serve/loadgen.py``).
+
+Previously exercised only through the serving bench; this suite pins the
+pieces the bench's numbers depend on: the nearest-rank percentile math
+on known latency vectors, error propagation out of client threads, the
+``request_timeout_s`` knob (timed-out requests are *recorded*, not
+raised), server-side deadline recording, and the multi-netlist pairing
+used by the process-shard bench mix.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.wavepipe import (
+    WaveNetlist,
+    random_vectors,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.errors import SimulationError
+from repro.serve import LoadReport, SimulationServer, run_closed_loop
+
+from helpers import build_adder_mig, build_random_mig
+
+TIMEOUT_S = 120.0
+
+
+@lru_cache(maxsize=None)
+def _netlists():
+    balanced = wave_pipeline(build_adder_mig(3), fanout_limit=3).netlist
+    unbalanced = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+    return balanced, unbalanced
+
+
+def _report(latencies):
+    """LoadReport with pinned latencies (the math under test)."""
+    return LoadReport(
+        reports=[None] * len(latencies),
+        latencies_s=list(latencies),
+        elapsed_s=1.0,
+        total_waves=0,
+        concurrency=1,
+        clients=1,
+    )
+
+
+class TestPercentileMath:
+    def test_nearest_rank_on_known_vector(self):
+        # 10 known latencies: nearest-rank p50 is the 5th ordered value,
+        # p90 the 9th, p99 and p100 the maximum
+        load = _report([0.010 * step for step in range(1, 11)])
+        assert load.latency_percentile(0.50) == pytest.approx(0.050)
+        assert load.latency_percentile(0.90) == pytest.approx(0.090)
+        assert load.latency_percentile(0.99) == pytest.approx(0.100)
+        assert load.latency_percentile(1.00) == pytest.approx(0.100)
+
+    def test_order_invariance(self):
+        shuffled = [0.03, 0.01, 0.05, 0.02, 0.04]
+        load = _report(shuffled)
+        # rank = round(0.5 * 5) = 2 (round-half-even): 2nd ordered value
+        assert load.latency_percentile(0.50) == pytest.approx(0.02)
+        assert load.p50_s <= load.p99_s
+
+    def test_single_sample_is_every_percentile(self):
+        load = _report([0.042])
+        for quantile in (0.01, 0.5, 0.99):
+            assert load.latency_percentile(quantile) == pytest.approx(0.042)
+
+    def test_empty_latencies_are_zero(self):
+        load = _report([])
+        assert load.latency_percentile(0.5) == 0.0
+        assert load.p50_s == 0.0 and load.p99_s == 0.0
+
+    def test_throughput_figures(self):
+        load = LoadReport(
+            reports=[object()] * 4,
+            latencies_s=[0.1] * 4,
+            elapsed_s=2.0,
+            total_waves=64,
+            concurrency=4,
+            clients=2,
+        )
+        assert load.waves_per_s == pytest.approx(32.0)
+        assert load.requests_per_s == pytest.approx(2.0)
+        assert load.n_completed == 4
+
+    def test_zero_elapsed_guard(self):
+        load = _report([])
+        assert load.waves_per_s == 0.0
+        assert load.requests_per_s == 0.0
+
+
+class TestClosedLoop:
+    def test_errors_propagate_to_the_caller(self):
+        # a malformed payload fails validation inside a client thread;
+        # the error must surface in the calling thread, not vanish
+        balanced, _ = _netlists()
+        wrong_width = [[True] * (balanced.n_inputs + 1)] * 3
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(SimulationError, match="expected"):
+                run_closed_loop(server, balanced, [wrong_width])
+
+    def test_request_timeouts_recorded_not_raised(self):
+        # start=False: nothing ever drains, so every future times out
+        # client-side — the run must complete and record them
+        balanced, _ = _netlists()
+        requests = [
+            random_vectors(balanced.n_inputs, 3, seed=seed)
+            for seed in range(5)
+        ]
+        server = SimulationServer(shards=1, start=False)
+        load = run_closed_loop(
+            server, balanced, requests, request_timeout_s=0.05
+        )
+        assert load.timed_out == list(range(5))
+        assert load.reports == [None] * 5
+        assert load.latencies_s == []
+        assert load.total_waves == 0 and load.n_completed == 0
+        server.stop(drain=False, timeout=TIMEOUT_S)
+
+    def test_deadline_expiries_recorded_not_raised(self):
+        balanced, _ = _netlists()
+        requests = [
+            random_vectors(balanced.n_inputs, 3, seed=seed)
+            for seed in range(6)
+        ]
+        with SimulationServer(shards=1) as server:
+            load = run_closed_loop(
+                server, balanced, requests, deadline_s=0.0
+            )
+        assert load.expired == list(range(6))
+        assert load.reports == [None] * 6
+        assert server.metrics.snapshot()["expired"] == 6
+
+    def test_multi_netlist_mix_pairs_requests(self):
+        balanced, unbalanced = _netlists()
+        models = [balanced if index % 2 == 0 else unbalanced
+                  for index in range(8)]
+        requests = [
+            random_vectors(models[index].n_inputs, 4, seed=index)
+            for index in range(8)
+        ]
+        with SimulationServer(shards=2) as server:
+            load = run_closed_loop(
+                server, None, requests, netlists=models, concurrency=4
+            )
+        assert load.n_completed == 8
+        for index, report in enumerate(load.reports):
+            solo = simulate_waves(
+                models[index], requests[index], engine="python"
+            )
+            assert report == solo
+
+    def test_netlists_length_mismatch_rejected(self):
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(ValueError, match="1:1"):
+                run_closed_loop(
+                    server,
+                    None,
+                    [random_vectors(balanced.n_inputs, 2, seed=0)],
+                    netlists=[balanced, balanced],
+                )
+
+    def test_empty_run_shape(self):
+        with SimulationServer(shards=1) as server:
+            load = run_closed_loop(server, _netlists()[0], [])
+        assert load.reports == [] and load.elapsed_s == 0.0
+        assert load.timed_out == [] and load.expired == []

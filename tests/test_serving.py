@@ -29,6 +29,7 @@ from repro.errors import ServeError, ServerClosed, SimulationError
 from repro.serve import SimulationServer, run_closed_loop
 
 from helpers import build_adder_mig, build_random_mig
+from strategies import request_mixes
 
 
 @lru_cache(maxsize=None)
@@ -108,14 +109,8 @@ class TestServedReportsAreBitIdentical:
                 assert report == solo
 
     @given(
-        requests=st.lists(
-            st.tuples(
-                st.integers(0, 1),  # netlist
-                st.integers(0, 12),  # waves
-                st.integers(0, 9),  # seed
-            ),
-            min_size=1,
-            max_size=20,
+        requests=request_mixes(
+            n_netlists=2, max_requests=20, max_waves=12, max_seed=9
         ),
         shards=st.integers(1, 3),
         burst=st.integers(1, 7),

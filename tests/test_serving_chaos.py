@@ -1,0 +1,458 @@
+"""Chaos/property suite for the serving tier (ISSUE 5).
+
+Three failure families, each pinned to an invariant:
+
+* **Mid-flight shutdown** — ``server.stop(drain=True/False)`` racing
+  concurrent submitters: by the time ``stop`` returns, *every* admitted
+  future is resolved (report, exception, or cancellation — never left
+  hanging), and the metrics ledger balances
+  (``submitted == completed + failed + cancelled + expired``).
+* **Worker-process death** — a SIGKILLed shard process is respawned and
+  its batch re-run, with the retried reports bit-identical to solo
+  scalar-oracle runs (simulation is deterministic, so crash recovery is
+  invisible to clients).
+* **Deadline mixes** — Hypothesis-randomized blends of live and
+  already-expired requests: expired futures fail with
+  :class:`~repro.errors.DeadlineExceeded` and are *never simulated*
+  (the ``batched_requests`` metric counts live requests only), live
+  ones stay bit-identical to their solo runs, and queue drains are
+  ordered earliest-deadline-first.
+"""
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import Future
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wavepipe import (
+    ClockingScheme,
+    WaveNetlist,
+    random_vectors,
+    simulate_waves,
+    wave_pipeline,
+)
+from repro.errors import DeadlineExceeded, ServerClosed, SimulationError
+from repro.serve import (
+    GroupKey,
+    ProcessShardPool,
+    RequestQueue,
+    SimulationRequest,
+    SimulationServer,
+)
+
+from helpers import build_adder_mig, build_random_mig
+from strategies import request_mixes
+
+#: Deadlock guard for every blocking wait in this module.
+TIMEOUT_S = 120.0
+
+
+@lru_cache(maxsize=None)
+def _netlists():
+    balanced = wave_pipeline(build_adder_mig(3), fanout_limit=3).netlist
+    unbalanced = WaveNetlist.from_mig(build_random_mig(seed=11, n_gates=40))
+    return balanced, unbalanced
+
+
+@lru_cache(maxsize=None)
+def _solo(netlist_index: int, n_waves: int, seed: int):
+    """Scalar-oracle report of one (netlist, length, seed) request."""
+    netlist = _netlists()[netlist_index]
+    vectors = random_vectors(netlist.n_inputs, n_waves, seed=seed)
+    return simulate_waves(netlist, vectors, engine="python")
+
+
+def _vectors(netlist_index: int, n_waves: int, seed: int):
+    netlist = _netlists()[netlist_index]
+    return random_vectors(netlist.n_inputs, n_waves, seed=seed)
+
+
+def _assert_ledger_balances(metrics: dict) -> None:
+    """Every admitted request is accounted for exactly once."""
+    assert metrics["submitted"] == (
+        metrics["completed"]
+        + metrics["failed"]
+        + metrics["cancelled"]
+        + metrics["expired"]
+    ), metrics
+
+
+class TestStopUnderLoad:
+    """stop(drain=...) mid-flight never strands a future."""
+
+    N_SUBMITTERS = 3
+    REQUESTS_EACH = 25
+
+    @pytest.mark.parametrize("drain", [True, False])
+    def test_no_future_left_unresolved(self, drain):
+        server = SimulationServer(shards=2, max_linger_steps=1)
+        futures: list[tuple[tuple, Future]] = []
+        futures_lock = threading.Lock()
+        unexpected: list[BaseException] = []
+
+        def submitter(thread_id: int) -> None:
+            try:
+                for index in range(self.REQUESTS_EACH):
+                    request = (
+                        (thread_id + index) % 2,
+                        1 + (thread_id + index) % 5,
+                        index,
+                    )
+                    try:
+                        future = server.submit(
+                            _netlists()[request[0]], _vectors(*request)
+                        )
+                    except ServerClosed:
+                        return  # the race we are provoking
+                    with futures_lock:
+                        futures.append((request, future))
+            except BaseException as error:  # pragma: no cover
+                unexpected.append(error)
+
+        threads = [
+            threading.Thread(target=submitter, args=(thread_id,))
+            for thread_id in range(self.N_SUBMITTERS)
+        ]
+        for thread in threads:
+            thread.start()
+        # let some batches get in flight, then pull the plug mid-race
+        time.sleep(0.02)
+        server.stop(drain=drain, timeout=TIMEOUT_S)
+        for thread in threads:
+            thread.join(TIMEOUT_S)
+        assert not any(thread.is_alive() for thread in threads)
+        assert not unexpected, unexpected[:3]
+
+        # the chaos invariant: every admitted future is resolved
+        for request, future in futures:
+            assert future.done(), f"future stranded for {request}"
+            if future.cancelled():
+                assert not drain, "drain must serve admitted requests"
+                continue
+            assert future.exception(timeout=0) is None
+            assert future.result(timeout=0) == _solo(*request)
+
+        metrics = server.metrics.snapshot()
+        assert metrics["submitted"] == len(futures)
+        if drain:
+            assert metrics["cancelled"] == 0
+            assert metrics["completed"] == len(futures)
+        _assert_ledger_balances(metrics)
+
+    def test_stop_is_idempotent_and_restop_safe(self):
+        server = SimulationServer(shards=1)
+        future = server.submit(_netlists()[0], _vectors(0, 4, 1))
+        server.stop(timeout=TIMEOUT_S)
+        assert future.result(timeout=0) == _solo(0, 4, 1)
+        server.stop(drain=False, timeout=TIMEOUT_S)  # second stop: no-op
+
+
+class TestDeadlineQueueOrder:
+    """Queue-level EDF drains and expiry sweeps (no threads involved)."""
+
+    @staticmethod
+    def _request(key: GroupKey, deadline_at=None) -> SimulationRequest:
+        return SimulationRequest(
+            netlist=object(),
+            vectors=[[True]],
+            clocking=ClockingScheme(),
+            pipelined=True,
+            future=Future(),
+            key=key,
+            deadline_at=deadline_at,
+        )
+
+    @staticmethod
+    def _keys(n: int) -> list[GroupKey]:
+        return [GroupKey(index, 0, 3, True) for index in range(n)]
+
+    def test_deadline_free_traffic_stays_round_robin(self):
+        queue = RequestQueue(max_pending=16)
+        key_a, key_b = self._keys(2)
+        for key in (key_a, key_b, key_a):
+            queue.push(self._request(key))
+        first = queue.next_key()
+        second = queue.next_key()
+        assert {first, second} == {key_a, key_b}  # rotation, not repeats
+
+    def test_earliest_deadline_group_drains_first(self):
+        queue = RequestQueue(max_pending=16)
+        key_a, key_b, key_c = self._keys(3)
+        now = time.perf_counter()
+        queue.push(self._request(key_a))                      # no deadline
+        queue.push(self._request(key_b, deadline_at=now + 60))
+        queue.push(self._request(key_c, deadline_at=now + 30))
+        assert queue.next_key() == key_c  # most urgent first
+        queue.take(key_c, 10, 10**9)
+        assert queue.next_key() == key_b
+        queue.take(key_b, 10, 10**9)
+        assert queue.next_key() == key_a  # deadline-free fallback
+
+    def test_busy_urgent_group_is_skipped(self):
+        queue = RequestQueue(max_pending=16)
+        key_a, key_b = self._keys(2)
+        now = time.perf_counter()
+        queue.push(self._request(key_a, deadline_at=now + 10))
+        queue.push(self._request(key_b, deadline_at=now + 99))
+        assert queue.next_key(skip={key_a}) == key_b
+
+    def test_expire_sweeps_only_past_deadlines(self):
+        queue = RequestQueue(max_pending=16)
+        (key,) = self._keys(1)
+        now = time.perf_counter()
+        late = self._request(key, deadline_at=now - 1)
+        live = self._request(key, deadline_at=now + 60)
+        free = self._request(key)
+        for request in (late, live, free):
+            queue.push(request)
+        expired = queue.expire(now)
+        assert expired == [late]
+        assert len(queue) == 2
+        assert queue.expire(now) == []  # idempotent
+        # FIFO order of the survivors is preserved
+        taken = queue.take(key, 10, 10**9)
+        assert taken == [live, free]
+        assert queue.expire(now) == []  # counter drained with the take
+
+    def test_expire_restricted_to_one_group(self):
+        queue = RequestQueue(max_pending=16)
+        key_a, key_b = self._keys(2)
+        now = time.perf_counter()
+        queue.push(self._request(key_a, deadline_at=now - 1))
+        queue.push(self._request(key_b, deadline_at=now - 1))
+        expired = queue.expire(now, key=key_a)
+        assert [request.key for request in expired] == [key_a]
+        assert len(queue) == 1
+
+
+class TestDeadlineMixes:
+    """Randomized live/expired blends: expired never reach a kernel."""
+
+    @given(
+        mix=request_mixes(
+            n_netlists=2, max_requests=12, max_waves=8, max_seed=5
+        ),
+        expire_mask=st.lists(
+            st.booleans(), min_size=12, max_size=12
+        ),
+        shards=st.integers(1, 2),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_expired_fail_fast_live_stay_identical(
+        self, mix, expire_mask, shards
+    ):
+        # start=False pins the scenario: every deadline-0 request is
+        # expired with certainty by the time the shards spin up
+        server = SimulationServer(shards=shards, start=False)
+        entries = []
+        for request, expired in zip(mix, expire_mask):
+            future = server.submit(
+                _netlists()[request[0]],
+                _vectors(*request),
+                deadline_s=0.0 if expired else 60.0,
+            )
+            entries.append((request, expired, future))
+        server.start()
+        n_expired = 0
+        for request, expired, future in entries:
+            if expired:
+                n_expired += 1
+                with pytest.raises(DeadlineExceeded, match="never.*simulated|dropped"):
+                    future.result(timeout=TIMEOUT_S)
+            else:
+                assert future.result(timeout=TIMEOUT_S) == _solo(*request)
+        server.stop(timeout=TIMEOUT_S)
+
+        metrics = server.metrics.snapshot()
+        assert metrics["expired"] == n_expired
+        assert metrics["completed"] == len(entries) - n_expired
+        # the headline property: expired requests were never packed
+        # into any batch, hence never simulated
+        assert metrics["batched_requests"] == len(entries) - n_expired
+        _assert_ledger_balances(metrics)
+
+    def test_default_deadline_applies_serverwide(self):
+        server = SimulationServer(
+            shards=1, default_deadline_s=0.0, start=False
+        )
+        future = server.submit(_netlists()[0], _vectors(0, 4, 0))
+        override = server.submit(
+            _netlists()[0], _vectors(0, 4, 0), deadline_s=60.0
+        )
+        server.start()
+        with pytest.raises(DeadlineExceeded):
+            future.result(timeout=TIMEOUT_S)
+        assert override.result(timeout=TIMEOUT_S) == _solo(0, 4, 0)
+        server.stop(timeout=TIMEOUT_S)
+
+    def test_negative_deadline_rejected(self):
+        from repro.errors import ServeError
+
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(ServeError, match="deadline_s"):
+                server.submit(
+                    _netlists()[0], _vectors(0, 2, 0), deadline_s=-1.0
+                )
+
+
+class TestProcessShardPool:
+    """Worker processes: identity, caching, crash recovery, shutdown."""
+
+    def test_reports_bit_identical_to_scalar_oracle(self):
+        balanced, unbalanced = _netlists()
+        with ProcessShardPool(2) as pool:
+            for index, netlist in enumerate((balanced, unbalanced)):
+                streams = [_vectors(index, waves, seed) for waves, seed in
+                           ((5, 0), (0, 1), (17, 2))]
+                reports = pool.simulate(netlist, streams, n_phases=3)
+                for (waves, seed), report in zip(
+                    ((5, 0), (0, 1), (17, 2)), reports
+                ):
+                    assert report == _solo(index, waves, seed)
+
+    def test_netlist_shipped_once_per_worker(self):
+        balanced, _ = _netlists()
+        with ProcessShardPool(1) as pool:
+            streams = [_vectors(0, 6, 3)]
+            first = pool.simulate(balanced, streams, n_phases=3)
+            second = pool.simulate(balanced, streams, n_phases=3)
+            assert first == second
+            worker = pool._workers[0]
+            # the parent's mirror pins the netlist under its key (the
+            # strong reference is what keeps the id un-recyclable)
+            assert worker.known.get(
+                (id(balanced), balanced.version)
+            ) is balanced
+
+    def test_cache_desync_heals_via_miss_reply(self):
+        # force the worst cache desync: the parent claims the worker
+        # holds a netlist it was never shipped.  The worker must answer
+        # "miss", the parent re-ships, and the batch still completes —
+        # no failed futures, no wrong-netlist simulation
+        balanced, _ = _netlists()
+        with ProcessShardPool(1) as pool:
+            worker = pool._workers[0]
+            worker.known[(id(balanced), balanced.version)] = balanced
+            reports = pool.simulate(
+                balanced, [_vectors(0, 5, 7)], n_phases=3
+            )
+            assert reports == [_solo(0, 5, 7)]
+
+    def test_netlist_churn_beyond_worker_cache(self):
+        # more distinct netlists than one worker caches: the oldest are
+        # evicted on both sides in lockstep and transparently re-shipped
+        # when they come back — every report still oracle-identical
+        from repro.serve.shards import WORKER_NETLIST_CACHE
+
+        churn = [
+            WaveNetlist.from_mig(
+                build_random_mig(n_pis=3, n_gates=6, seed=1000 + index)
+            )
+            for index in range(WORKER_NETLIST_CACHE + 2)
+        ]
+        with ProcessShardPool(1) as pool:
+            for netlist in churn:
+                vectors = random_vectors(netlist.n_inputs, 2, seed=0)
+                (report,) = pool.simulate(netlist, [vectors], n_phases=3)
+                assert report == simulate_waves(
+                    netlist, vectors, engine="python"
+                )
+            # the first netlist was evicted from the worker (and the
+            # parent mirror agrees); serving it again re-ships it
+            evicted = churn[0]
+            worker = pool._workers[0]
+            assert (id(evicted), evicted.version) not in worker.known
+            vectors = random_vectors(evicted.n_inputs, 3, seed=1)
+            (report,) = pool.simulate(evicted, [vectors], n_phases=3)
+            assert report == simulate_waves(
+                evicted, vectors, engine="python"
+            )
+
+    def test_worker_error_propagates(self):
+        degenerate = WaveNetlist()
+        degenerate.add_output(degenerate.add_input())
+        with ProcessShardPool(1) as pool:
+            with pytest.raises(SimulationError, match="depth-0"):
+                pool.simulate(degenerate, [[]], n_phases=3)
+            # the worker survived the error and still serves
+            balanced, _ = _netlists()
+            reports = pool.simulate(
+                balanced, [_vectors(0, 4, 1)], n_phases=3
+            )
+            assert reports == [_solo(0, 4, 1)]
+
+    def test_dead_worker_is_respawned_and_batch_retried(self):
+        restarts = []
+        balanced, _ = _netlists()
+        with ProcessShardPool(1, on_restart=lambda: restarts.append(1)) as pool:
+            (pid,) = pool.worker_pids()
+            os.kill(pid, signal.SIGKILL)
+            # the death is discovered at the next dispatch: respawn,
+            # re-ship the netlist, and the retried batch is
+            # bit-identical to the scalar oracle
+            reports = pool.simulate(
+                balanced, [_vectors(0, 9, 4)], n_phases=3
+            )
+            assert reports == [_solo(0, 9, 4)]
+            assert len(restarts) == 1
+            assert pool.worker_pids() and pool.worker_pids() != [pid]
+
+    def test_worker_killed_mid_batch_retries_bit_identically(self):
+        balanced, _ = _netlists()
+        big = _vectors(0, 4000, 8)
+        solo = simulate_waves(balanced, big, engine="packed")
+        with ProcessShardPool(1) as pool:
+            pool.simulate(balanced, [_vectors(0, 2, 0)], n_phases=3)  # warm
+            result: list = []
+            worker_thread = threading.Thread(
+                target=lambda: result.append(
+                    pool.simulate(balanced, [big], n_phases=3)
+                )
+            )
+            (pid,) = pool.worker_pids()
+            worker_thread.start()
+            time.sleep(0.01)  # let the batch reach the worker
+            os.kill(pid, signal.SIGKILL)
+            worker_thread.join(TIMEOUT_S)
+            assert not worker_thread.is_alive()
+            # whether the kill landed before or after the reply, the
+            # caller sees exactly the solo-run report
+            assert result and result[0] == [solo]
+
+    def test_server_with_process_shards_survives_worker_murder(self):
+        balanced, unbalanced = _netlists()
+        with SimulationServer(shards=2, process_shards=2) as server:
+            warm = server.submit(balanced, _vectors(0, 4, 0))
+            assert warm.result(timeout=TIMEOUT_S) == _solo(0, 4, 0)
+            for pid in server._pool.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            requests = [
+                (index % 2, 3 + index % 4, index) for index in range(12)
+            ]
+            futures = [
+                server.submit(_netlists()[n], _vectors(n, w, s))
+                for n, w, s in requests
+            ]
+            for future, request in zip(futures, requests):
+                assert future.result(timeout=TIMEOUT_S) == _solo(*request)
+            metrics = server.metrics.snapshot()
+            assert metrics["worker_restarts"] >= 1
+            _assert_ledger_balances(metrics)
+
+    def test_pool_close_is_idempotent_and_kills_workers(self):
+        pool = ProcessShardPool(2)
+        pids = pool.worker_pids()
+        assert len(pids) == 2
+        pool.close(timeout=TIMEOUT_S)
+        pool.close(timeout=TIMEOUT_S)  # second close: no-op
+        assert pool.worker_pids() == []
+        from repro.errors import ServeError
+
+        with pytest.raises(ServeError, match="closed"):
+            pool.simulate(_netlists()[0], [_vectors(0, 2, 0)], n_phases=3)
