@@ -28,6 +28,11 @@ Subcommands
     List the 37-benchmark suite with structural targets.
 ``techs``
     Show the built-in technology models (Table I).
+``lint``
+    Run the :mod:`repro.devtools` static analyzers (concurrency
+    lock-guard/lock-order lint, hot-path allocation lint, runtime
+    sanitizer self-check) over the serving tier and the kernels;
+    exits nonzero on unsuppressed findings — the CI lint gate.
 """
 
 from __future__ import annotations
@@ -239,6 +244,35 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="structural profile of a benchmark/circuit/file"
     )
     stats.add_argument("source", help="same source syntax as 'flow'")
+
+    lint = commands.add_parser(
+        "lint",
+        help="static concurrency + hot-path analysis (CI gate)",
+        description="Run the repro.devtools analyzers: lock-guard "
+        "inference and the lock-order graph over repro.serve and the "
+        "kernel compile cache, the zero-allocation check of the "
+        "'# lint: hot' kernel loops, and the runtime lock sanitizer's "
+        "self-check.  Exits 1 when any unsuppressed finding remains; "
+        "findings are silenced in-source with "
+        "'# lint: <family>-ok(reason)' and the reason is mandatory.",
+    )
+    lint.add_argument(
+        "--json", action="store_true",
+        help="machine-readable report (findings + summary)",
+    )
+    lint.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print suppressed findings with their reasons",
+    )
+    lint.add_argument(
+        "--paths", nargs="+", type=Path, default=None,
+        help="analyze these files instead of the default surface "
+        "(repro.serve + the wavepipe kernels)",
+    )
+    lint.add_argument(
+        "--no-self-check", action="store_true",
+        help="skip the runtime sanitizer self-check",
+    )
     return parser
 
 
@@ -731,6 +765,22 @@ def _run_techs(out) -> int:
     return 0
 
 
+def _run_lint(args: argparse.Namespace, out) -> int:
+    from .devtools import render_json, render_text, run_lint, summarize
+
+    findings = run_lint(
+        args.paths, sanitizer_check=not args.no_self_check
+    )
+    if args.json:
+        print(render_json(findings), file=out)
+    else:
+        print(
+            render_text(findings, show_suppressed=args.show_suppressed),
+            file=out,
+        )
+    return 1 if summarize(findings)["unsuppressed"] else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
@@ -756,6 +806,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"benchmark: {mig.name}", file=out)
             print(profile_mig(mig).render(), file=out)
             return 0
+        if args.command == "lint":
+            return _run_lint(args, out)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

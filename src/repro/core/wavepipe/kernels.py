@@ -170,6 +170,22 @@ def resolve_backend(backend: Optional[str]) -> str:
 #: constant, pushing the planner toward wider plans (fewer, wider
 #: steps).  Measured on the suite's ctrl/i2c netlists; only the order of
 #: magnitude matters, the optimum is flat around its minimum.
+#:
+#: The jit constants are kept as calibrated at PR 3 (they are *not*
+#: re-derived from the fused ones): a compiled loop nest has near-zero
+#: per-step dispatch, so its fixed cost is dominated by the Python-side
+#: driver frame around each kernel call — which the hot-path lint now
+#: pins down to exactly the argument marshalling in ``_run_loop_nest``
+#: (no per-step Python work exists inside the nest at all).  That makes
+#: the jit constants *plan-shape* knobs rather than timing estimates:
+#: they only have to be large enough relative to the per-element cost
+#: that the planner prefers one wide plan over many narrow ones, and
+#: the optimum is flat for roughly a decade around each value
+#: (``benchmarks/bench_planner_overhead.py`` sweeps the constants and
+#: shows the plateau; re-run it under numba if the loop nests gain any
+#: per-step driver work).  Re-measuring inside a numba-less container
+#: would calibrate the *uncompiled* nests — orders of magnitude off —
+#: so the committed values deliberately stay the numba-measured ones.
 PLANNER_STEP_OVERHEAD = {
     # tracked fused: the PR-2 loop's calibration (int32 matrix dominates)
     ("fused", False): 400_000,
@@ -516,6 +532,7 @@ def _input_writer(compiled: CompiledWaveNetlist):
     return compiled.inputs
 
 
+# lint: hot
 def _run_fused(
     compiled: CompiledWaveNetlist,
     plan: "_LanePlan",
@@ -559,8 +576,11 @@ def _run_fused(
     out_neg = compiled.out_neg[:, None]
     inputs_idx = compiled.inputs
 
-    wave = None
-    if not elide:
+    if elide:
+        # placeholder so `wave` is an ndarray on both paths; the elided
+        # loop never touches it
+        wave = np.empty((0, 0), dtype=np.int32)
+    else:
         wave = np.full((compiled.n_components, n_lanes), -1, dtype=np.int32)
         wave[0, :] = -2  # constants belong to every wave (permuted row 0)
     keep_lo, keep_hi, offset = plan.keep_lo, plan.keep_hi, plan.offset
@@ -640,6 +660,7 @@ def _run_fused(
                 np.copyto(wacc, np.int32(-1), where=ps.warming)
                 if hit.any():
                     flat_lo = ps.flat_lo
+                    # lint: alloc-ok(interference-event path: reached only when hit.any is true — never on the balanced netlists the flow produces; per-event cost is irrelevant next to materializing the events)
                     for row, lane in zip(*np.nonzero(hit)):
                         if not keep_lo[lane] <= step < keep_hi[lane]:
                             continue  # another lane owns this tape step
@@ -688,6 +709,7 @@ def _run_fused(
 # ----------------------------------------------------------------------
 # loop-nest kernels (numba-compiled when available)
 # ----------------------------------------------------------------------
+# lint: hot
 def _kernel_elided(
     value, new_maj, new_buf, local_steps, p, separation, depth,
     maj_ptr, maj_pos, maj_a, maj_b, maj_c, neg_a, neg_b, neg_c,
@@ -742,6 +764,7 @@ def _kernel_elided(
     return 0
 
 
+# lint: hot
 def _kernel_tracked(
     value, wave, new_maj, new_buf, wacc_maj, wacc_buf,
     local_steps, p, separation, depth,
@@ -853,16 +876,24 @@ def _kernel_tracked(
 #: kernel name -> compiled (or plain, without numba) callable
 _LOOP_KERNELS: dict[str, object] = {}
 
+#: Guards ``_LOOP_KERNELS``: the serving layer's shard threads request
+#: loop kernels concurrently, and without the lock two threads could
+#: each wrap (and later numba-compile) their own copy of a kernel —
+#: harmless for results, wasteful for compile time, and an unguarded
+#: dict mutation the concurrency lint would rightly treat as a smell.
+_LOOP_KERNELS_LOCK = threading.Lock()
+
 
 def _loop_kernel(name: str):
     """The elided/tracked loop nest, numba-compiled when importable."""
-    kernel = _LOOP_KERNELS.get(name)
-    if kernel is None:
-        kernel = _kernel_elided if name == "elided" else _kernel_tracked
-        if numba is not None:
-            kernel = numba.njit(cache=False)(kernel)
-        _LOOP_KERNELS[name] = kernel
-    return kernel
+    with _LOOP_KERNELS_LOCK:
+        kernel = _LOOP_KERNELS.get(name)
+        if kernel is None:
+            kernel = _kernel_elided if name == "elided" else _kernel_tracked
+            if numba is not None:
+                kernel = numba.njit(cache=False)(kernel)
+            _LOOP_KERNELS[name] = kernel
+        return kernel
 
 
 def _run_loop_nest(

@@ -1,0 +1,91 @@
+"""Static analysis & sanitizers for the concurrent parts of the repo.
+
+Three coordinated analyzers, surfaced as ``repro lint`` (CI-gated):
+
+:mod:`repro.devtools.concurrency`
+    AST lock-guard inference + lock-order graph over the serving tier
+    and the kernel compile cache (rules ``unguarded-write``,
+    ``unguarded-read``, ``lock-order``).
+:mod:`repro.devtools.hotpath`
+    Zero-allocation check of the ``# lint: hot`` kernel step loops
+    (rules ``alloc-call``, ``alloc-ufunc``, ``alloc-comprehension``,
+    ``alloc-builtin``).
+:mod:`repro.devtools.sanitize`
+    Runtime lock sanitizer (``REPRO_SANITIZE=1``); ``repro lint`` runs
+    its :func:`~repro.devtools.sanitize.self_check` so broken detection
+    machinery is itself a finding.
+
+:func:`run_lint` is the one entry point the CLI and the self-check
+tests share.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from .concurrency import analyze_concurrency, build_model
+from .hotpath import analyze_hotpath
+from .report import (
+    Finding,
+    Suppressions,
+    render_json,
+    render_text,
+    summarize,
+)
+from .sanitize import self_check
+
+__all__ = [
+    "Finding",
+    "analyze_concurrency",
+    "analyze_hotpath",
+    "build_model",
+    "default_lint_paths",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "self_check",
+    "summarize",
+]
+
+_PACKAGE_ROOT = Path(__file__).resolve().parent.parent  # src/repro
+
+
+def default_lint_paths() -> list[Path]:
+    """The concurrent surface the lint gate covers by default."""
+    serve = sorted((_PACKAGE_ROOT / "serve").glob("*.py"))
+    kernels = _PACKAGE_ROOT / "core" / "wavepipe" / "kernels.py"
+    return [path for path in serve if path.name != "__init__.py"] + [
+        kernels
+    ]
+
+
+def run_lint(
+    paths: Optional[Sequence[Union[str, Path]]] = None,
+    *,
+    sanitizer_check: bool = True,
+) -> list[Finding]:
+    """Run every analyzer; returns merged findings (suppressed marked).
+
+    Both AST analyzers see every file: the hot-path rules only engage
+    on ``# lint: hot`` functions, so running them repo-wide costs
+    nothing and means a hot marker added anywhere is honored.  Reason-
+    less suppression comments are reported once per file from here (not
+    per analyzer, which would double-count shared files).
+    """
+    targets = [Path(path) for path in (paths or default_lint_paths())]
+    sources = [
+        (str(path), path.read_text(encoding="utf-8")) for path in targets
+    ]
+    findings = list(analyze_concurrency(sources))
+    findings.extend(analyze_hotpath(sources))
+    for path, text in sources:
+        findings.extend(
+            Suppressions.scan(text).bad_suppression_findings(
+                path, "report"
+            )
+        )
+    if sanitizer_check:
+        findings.extend(self_check())
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

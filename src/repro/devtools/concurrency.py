@@ -1,0 +1,939 @@
+"""Static concurrency lint: lock-guard inference + lock-order graph.
+
+The serving tier (:mod:`repro.serve`) and the kernel compile cache
+(:mod:`repro.core.wavepipe.kernels`) are real concurrent code:
+``threading.Lock``/``Condition`` state mutated from submitter threads,
+shard workers, and worker-respawn paths at once.  The chaos tests catch
+races only probabilistically; this AST pass makes the locking
+discipline *checkable*:
+
+1. **Lock discovery.**  Per class, attributes assigned
+   ``threading.Lock()`` / ``RLock()`` / ``Condition(...)`` in
+   ``__init__`` (or as dataclass ``field(default_factory=...)``) are
+   the class's locks; module-level ``NAME = threading.Lock()`` globals
+   are module locks.  ``Condition(self._lock)`` is aliased to the lock
+   it wraps, so ``with self._cond:`` and ``with self._lock:`` count as
+   the same guard.
+
+2. **Guard inference.**  Every method body is walked with the set of
+   locks lexically held (``with self._lock:`` scopes).  An attribute
+   whose mutations *sometimes* hold a lock and sometimes do not is
+   reported per unguarded site (rule ``unguarded-write``); an attribute
+   *consistently* write-guarded by a lock but read without it from a
+   thread-entry-reachable method is reported as ``unguarded-read``.
+   Attributes never written under any lock are assumed
+   single-threaded-by-design and stay silent — the analyzer flags
+   *inconsistency*, not style.
+
+3. **Thread entries.**  Methods passed as ``threading.Thread(target=
+   self.x)`` or ``executor.submit(self.x, ...)``, plus the public API
+   (including dunders) of lock-holding classes, are thread entries;
+   private helpers reachable from them (class-internal call closure)
+   inherit the entry property.  Read findings are restricted to
+   entry-reachable code so construction-time plumbing stays quiet.
+
+4. **Lock-order graph.**  Acquiring lock B while holding lock A adds
+   the edge ``A -> B`` — including *transitively* through calls the
+   analyzer can resolve (``self.m()``, ``self.attr.m()`` with the
+   attr's class inferred from its ``__init__`` constructor call, and
+   module-level functions by name).  Cycles in the graph are potential
+   deadlocks (rule ``lock-order``); re-acquiring a non-reentrant lock
+   already held is reported the same way.
+
+Known limits (by design, documented so suppressions stay honest):
+guards held by *callers* are invisible (``RequestQueue`` is lock-free
+by contract — the server serializes access — and holds no locks, so it
+is skipped entirely); mutations through aliases (``worker.known[...]``)
+are attributed to the alias's class only when the final attribute name
+maps to exactly one analyzed class; dynamic dispatch through callbacks
+(``on_restart=...``) is not traced.
+
+Findings are suppressed in-source with
+``# lint: unguarded-ok(reason)`` / ``# lint: lock-order-ok(reason)``
+(see :mod:`repro.devtools.report`).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from .report import Finding, Suppressions, apply_suppressions
+
+#: Methods that mutate the common containers in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "appendleft", "extend", "extendleft", "insert",
+        "add", "discard", "remove", "pop", "popleft", "popitem",
+        "clear", "update", "setdefault", "move_to_end", "sort",
+        "reverse", "rotate",
+    }
+)
+
+_LOCK_FACTORIES = {"Lock": "lock", "RLock": "rlock", "Condition": "cond"}
+
+#: Methods whose writes never count (object construction is
+#: single-threaded by definition).
+_INIT_METHODS = frozenset({"__init__", "__new__", "__post_init__"})
+
+#: (owner, attr) — owner is a class name or a module name.
+LockKey = tuple[str, str]
+
+_FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _label(key: LockKey) -> str:
+    return f"{key[0]}.{key[1]}"
+
+
+@dataclass
+class _Event:
+    """One attribute access / lock acquisition / call, with held locks."""
+
+    name: str  # attribute, lock label, or callee description
+    line: int
+    held: frozenset
+    method: str
+
+
+@dataclass
+class _MethodModel:
+    name: str
+    line: int
+    writes: list = field(default_factory=list)  # _Event (attr)
+    reads: list = field(default_factory=list)  # _Event (attr)
+    acquisitions: list = field(default_factory=list)  # (key, line, held)
+    calls: list = field(default_factory=list)  # (ref, line, held)
+    global_writes: list = field(default_factory=list)  # _Event (global)
+
+
+@dataclass
+class _ClassModel:
+    name: str
+    module: str
+    path: str
+    line: int
+    locks: dict = field(default_factory=dict)  # attr -> (kind, canonical)
+    attr_types: dict = field(default_factory=dict)  # attr -> class name
+    methods: dict = field(default_factory=dict)  # name -> _MethodModel
+    thread_entries: set = field(default_factory=set)
+
+    def canonical(self, attr: str) -> str:
+        return self.locks[attr][1]
+
+    def lock_kind(self, key: LockKey) -> Optional[str]:
+        for attr, (kind, canonical) in self.locks.items():
+            if canonical == key[1] and attr == canonical:
+                return kind
+        kinds = [
+            kind
+            for attr, (kind, canonical) in self.locks.items()
+            if canonical == key[1]
+        ]
+        return kinds[0] if kinds else None
+
+
+@dataclass
+class _ModuleModel:
+    name: str
+    path: str
+    classes: dict = field(default_factory=dict)
+    functions: dict = field(default_factory=dict)  # name -> _MethodModel
+    locks: dict = field(default_factory=dict)  # global name -> kind
+    globals: set = field(default_factory=set)  # module-level names
+
+
+@dataclass
+class ConcurrencyModel:
+    """The inferred locking model of one analysis run (introspectable)."""
+
+    modules: dict = field(default_factory=dict)  # name -> _ModuleModel
+    #: attr guard map: (class, attr) -> LockKey, consistent guards only
+    guards: dict = field(default_factory=dict)
+    #: lock-order edges: (from key, to key) -> (path, line, method)
+    edges: dict = field(default_factory=dict)
+    findings: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human summary: locks, guards, entries, and the order graph."""
+        lines = []
+        for module in self.modules.values():
+            for cls in module.classes.values():
+                if not cls.locks:
+                    continue
+                locks = ", ".join(
+                    f"self.{attr}"
+                    + (f" (aliases self.{canon})" if canon != attr else "")
+                    for attr, (_, canon) in sorted(cls.locks.items())
+                )
+                lines.append(f"{cls.name}: locks {locks}")
+                entries = sorted(cls.thread_entries)
+                if entries:
+                    lines.append(
+                        f"  thread entries: {', '.join(entries)}"
+                    )
+                for (owner, attr), key in sorted(self.guards.items()):
+                    if owner == cls.name:
+                        lines.append(
+                            f"  self.{attr} guarded by {_label(key)}"
+                        )
+        if self.edges:
+            lines.append("lock-order edges:")
+            for (src, dst), (path, line, _) in sorted(self.edges.items()):
+                lines.append(
+                    f"  {_label(src)} -> {_label(dst)}  ({path}:{line})"
+                )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# pass A: locks, attribute types, module globals
+# ----------------------------------------------------------------------
+def _factory_kind(node: ast.AST) -> Optional[str]:
+    """``threading.Lock`` / ``Lock`` -> kind, else ``None``."""
+    if isinstance(node, ast.Attribute):
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "threading"
+        ):
+            return _LOCK_FACTORIES.get(node.attr)
+        return None
+    if isinstance(node, ast.Name):
+        return _LOCK_FACTORIES.get(node.id)
+    return None
+
+
+def _lock_call_kind(node: ast.AST) -> Optional[tuple[str, ast.Call]]:
+    """``threading.Lock()``-style call -> (kind, call node)."""
+    if not isinstance(node, ast.Call):
+        return None
+    kind = _factory_kind(node.func)
+    return (kind, node) if kind else None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _scan_class_locks(cls_node: ast.ClassDef, model: _ClassModel) -> None:
+    """Find the class's lock attributes and self-attr constructor types."""
+    raw: dict[str, tuple[str, ast.Call]] = {}
+    for stmt in cls_node.body:
+        # dataclass fields: lock: ... = field(default_factory=<factory>)
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            value = stmt.value
+            if isinstance(value, ast.Call) and (
+                (isinstance(value.func, ast.Name)
+                 and value.func.id == "field")
+                or (isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "field")
+            ):
+                for keyword in value.keywords:
+                    if keyword.arg != "default_factory":
+                        continue
+                    factory = keyword.value
+                    kind = _factory_kind(factory)
+                    if kind is None and isinstance(factory, ast.Lambda):
+                        inner = _lock_call_kind(factory.body)
+                        kind = inner[0] if inner else None
+                    if kind:
+                        model.locks[stmt.target.id] = (
+                            kind, stmt.target.id
+                        )
+        if not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) or stmt.name not in _INIT_METHODS:
+            continue
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                lock = _lock_call_kind(node.value)
+                if lock is not None:
+                    raw[attr] = lock
+                elif isinstance(node.value, ast.Call) and isinstance(
+                    node.value.func, ast.Name
+                ):
+                    # self.X = ClassName(...): remember for call
+                    # resolution (self.X.m() -> ClassName.m)
+                    model.attr_types[attr] = node.value.func.id
+    # canonicalize Condition(self._lock) onto the wrapped lock
+    for attr, (kind, call) in raw.items():
+        canonical = attr
+        if kind == "cond" and call.args:
+            wrapped = _self_attr(call.args[0])
+            if wrapped is not None and wrapped in raw:
+                canonical = wrapped
+        model.locks[attr] = (kind, canonical)
+
+
+def _scan_module_level(
+    tree: ast.Module, model: _ModuleModel
+) -> None:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    model.globals.add(target.id)
+                    lock = _lock_call_kind(stmt.value)
+                    if lock is not None:
+                        model.locks[target.id] = lock[0]
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            model.globals.add(stmt.target.id)
+            if stmt.value is not None:
+                lock = _lock_call_kind(stmt.value)
+                if lock is not None:
+                    model.locks[stmt.target.id] = lock[0]
+
+
+# ----------------------------------------------------------------------
+# pass B: walk function bodies with the lexically-held lock set
+# ----------------------------------------------------------------------
+class _FunctionWalker:
+    """Collects events of one function/method body."""
+
+    def __init__(
+        self,
+        module: _ModuleModel,
+        cls: Optional[_ClassModel],
+        method: _MethodModel,
+        all_classes: dict,
+    ) -> None:
+        self.module = module
+        self.cls = cls
+        self.method = method
+        self.all_classes = all_classes
+        self.global_decls: set[str] = set()
+
+    # -- guard resolution ------------------------------------------------
+    def resolve_guard(self, expr: ast.AST) -> Optional[LockKey]:
+        attr = _self_attr(expr)
+        if attr is not None:
+            if self.cls is not None and attr in self.cls.locks:
+                return (self.cls.name, self.cls.canonical(attr))
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in self.module.locks:
+                return (self.module.name, expr.id)
+            return None
+        if isinstance(expr, ast.Attribute):
+            # x.lock / self.x.lock: unique final-attr match across the
+            # analyzed classes' lock attributes
+            owners = [
+                cls
+                for cls in self.all_classes.values()
+                if expr.attr in cls.locks
+            ]
+            if len(owners) == 1:
+                return (owners[0].name, owners[0].canonical(expr.attr))
+        return None
+
+    # -- statement walk --------------------------------------------------
+    def walk(self, body: Sequence[ast.stmt], held: frozenset) -> None:
+        for stmt in body:
+            self._stmt(stmt, held)
+
+    def _stmt(self, stmt: ast.stmt, held: frozenset) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in stmt.items:
+                self._expr(item.context_expr, frozenset(inner))
+                key = self.resolve_guard(item.context_expr)
+                if key is not None:
+                    self.method.acquisitions.append(
+                        (key, item.context_expr.lineno, frozenset(inner))
+                    )
+                    inner.add(key)
+            self.walk(stmt.body, frozenset(inner))
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # nested definitions execute later, in an unknown lock
+            # context: walk them with nothing held (conservative for
+            # guard inference, silent for the order graph)
+            self.walk(stmt.body, frozenset())
+        elif isinstance(stmt, ast.Global):
+            self.global_decls.update(stmt.names)
+        elif isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, held)
+            for target in stmt.targets:
+                self._store(target, held)
+        elif isinstance(stmt, ast.AugAssign):
+            self._expr(stmt.value, held)
+            self._store(stmt.target, held)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._expr(stmt.value, held)
+            self._store(stmt.target, held)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._store(target, held)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held)
+            self._store(stmt.target, held)
+            self.walk(stmt.body, held)
+            self.walk(stmt.orelse, held)
+        elif isinstance(stmt, ast.Try):
+            self.walk(stmt.body, held)
+            for handler in stmt.handlers:
+                self.walk(handler.body, held)
+            self.walk(stmt.orelse, held)
+            self.walk(stmt.finalbody, held)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value, held)
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value, held)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._expr(stmt.exc, held)
+            if stmt.cause is not None:
+                self._expr(stmt.cause, held)
+        elif isinstance(stmt, ast.Assert):
+            self._expr(stmt.test, held)
+            if stmt.msg is not None:
+                self._expr(stmt.msg, held)
+        elif hasattr(ast, "Match") and isinstance(stmt, ast.Match):
+            self._expr(stmt.subject, held)
+            for case in stmt.cases:
+                self.walk(case.body, held)
+        # Pass / Break / Continue / Import / Nonlocal: nothing to do
+
+    # -- store targets ---------------------------------------------------
+    def _store(self, target: ast.AST, held: frozenset) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store(element, held)
+            return
+        if isinstance(target, ast.Starred):
+            self._store(target.value, held)
+            return
+        attr = _self_attr(target)
+        if attr is not None:
+            self._write(attr, target.lineno, held)
+            return
+        if isinstance(target, ast.Subscript):
+            self._expr(target.slice, held)
+            base = target.value
+            attr = _self_attr(base)
+            if attr is not None:
+                self._write(attr, target.lineno, held)
+            elif (
+                isinstance(base, ast.Name)
+                and base.id in self.module.globals
+            ):
+                self._global_write(base.id, target.lineno, held)
+            else:
+                self._expr(base, held)
+        elif isinstance(target, ast.Name):
+            if (
+                target.id in self.global_decls
+                and target.id in self.module.globals
+            ):
+                self._global_write(target.id, target.lineno, held)
+        elif isinstance(target, ast.Attribute):
+            # obj.attr = ... on a non-self object: record the value
+            # reads; the mutation itself is outside this class's state
+            self._expr(target.value, held)
+
+    def _write(self, attr: str, line: int, held: frozenset) -> None:
+        self.method.writes.append(
+            _Event(attr, line, held, self.method.name)
+        )
+
+    def _global_write(
+        self, name: str, line: int, held: frozenset
+    ) -> None:
+        self.method.global_writes.append(
+            _Event(name, line, held, self.method.name)
+        )
+
+    # -- expressions -----------------------------------------------------
+    def _expr(self, expr: ast.AST, held: frozenset) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._call(node, held)
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                attr = _self_attr(node)
+                if attr is not None:
+                    self.method.reads.append(
+                        _Event(attr, node.lineno, held, self.method.name)
+                    )
+
+    def _call(self, call: ast.Call, held: frozenset) -> None:
+        func = call.func
+        # thread-entry discovery: Thread(target=self.m) / submit(self.m)
+        if self.cls is not None:
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "Thread"
+            ) or (isinstance(func, ast.Name) and func.id == "Thread"):
+                for keyword in call.keywords:
+                    if keyword.arg == "target":
+                        target = _self_attr(keyword.value)
+                        if target is not None:
+                            self.cls.thread_entries.add(target)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "submit"
+                and call.args
+            ):
+                target = _self_attr(call.args[0])
+                if target is not None:
+                    self.cls.thread_entries.add(target)
+        # in-place mutator methods on self attrs / module globals
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATOR_METHODS
+        ):
+            attr = _self_attr(func.value)
+            if attr is not None:
+                self._write(attr, call.lineno, held)
+            elif (
+                isinstance(func.value, ast.Name)
+                and func.value.id in self.module.globals
+            ):
+                self._global_write(func.value.id, call.lineno, held)
+        # call sites for transitive lock propagation
+        ref = None
+        if isinstance(func, ast.Name):
+            ref = ("func", func.id)
+        elif isinstance(func, ast.Attribute):
+            base_attr = _self_attr(func.value)
+            if isinstance(func.value, ast.Name) and (
+                func.value.id == "self"
+            ):
+                ref = ("method", func.attr)
+            elif base_attr is not None:
+                ref = ("attrmethod", base_attr, func.attr)
+        if ref is not None:
+            self.method.calls.append((ref, call.lineno, held))
+
+
+# ----------------------------------------------------------------------
+# analysis driver
+# ----------------------------------------------------------------------
+def _parse_sources(
+    sources: Sequence[tuple[str, str]],
+) -> dict:
+    modules: dict[str, _ModuleModel] = {}
+    for path, text in sources:
+        name = Path(path).stem
+        tree = ast.parse(text, filename=path)
+        module = _ModuleModel(name=name, path=path)
+        _scan_module_level(tree, module)
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                cls = _ClassModel(
+                    name=stmt.name,
+                    module=name,
+                    path=path,
+                    line=stmt.lineno,
+                )
+                _scan_class_locks(stmt, cls)
+                module.classes[stmt.name] = cls
+        modules[name] = module
+        module._tree = tree  # type: ignore[attr-defined]
+    return modules
+
+
+def _collect_events(modules: dict) -> dict:
+    all_classes = {
+        cls.name: cls
+        for module in modules.values()
+        for cls in module.classes.values()
+    }
+    for module in modules.values():
+        tree = module._tree  # type: ignore[attr-defined]
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = _MethodModel(stmt.name, stmt.lineno)
+                walker = _FunctionWalker(
+                    module, None, method, all_classes
+                )
+                walker.walk(stmt.body, frozenset())
+                module.functions[stmt.name] = method
+            elif isinstance(stmt, ast.ClassDef):
+                cls = module.classes[stmt.name]
+                for sub in stmt.body:
+                    if isinstance(
+                        sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        method = _MethodModel(sub.name, sub.lineno)
+                        walker = _FunctionWalker(
+                            module, cls, method, all_classes
+                        )
+                        walker.walk(sub.body, frozenset())
+                        cls.methods[sub.name] = method
+    return all_classes
+
+
+def _resolve_callee(
+    ref: tuple,
+    module: _ModuleModel,
+    cls: Optional[_ClassModel],
+    modules: dict,
+    all_classes: dict,
+) -> Optional[tuple]:
+    """A call ref -> the (owner kind, model) of the callee, if known."""
+    if ref[0] == "method" and cls is not None:
+        target = cls.methods.get(ref[1])
+        if target is not None:
+            return ("cls", cls, target)
+        return None
+    if ref[0] == "attrmethod" and cls is not None:
+        type_name = cls.attr_types.get(ref[1])
+        target_cls = all_classes.get(type_name) if type_name else None
+        if target_cls is not None:
+            target = target_cls.methods.get(ref[2])
+            if target is not None:
+                return ("cls", target_cls, target)
+        return None
+    if ref[0] == "func":
+        target = module.functions.get(ref[1])
+        if target is not None:
+            return ("mod", module, target)
+        owners = [
+            other
+            for other in modules.values()
+            if ref[1] in other.functions
+        ]
+        if len(owners) == 1:
+            return ("mod", owners[0], owners[0].functions[ref[1]])
+    return None
+
+
+def _transitive_locks(modules: dict, all_classes: dict) -> dict:
+    """Fixpoint: method -> every lock key it may acquire (deep)."""
+    acquires: dict[int, set] = {}
+    contexts = []  # (module, cls-or-None, method)
+    for module in modules.values():
+        for function in module.functions.values():
+            contexts.append((module, None, function))
+        for cls in module.classes.values():
+            for method in cls.methods.values():
+                contexts.append((module, cls, method))
+    for _, _, method in contexts:
+        acquires[id(method)] = {
+            key for key, _, _ in method.acquisitions
+        }
+    changed = True
+    while changed:
+        changed = False
+        for module, cls, method in contexts:
+            current = acquires[id(method)]
+            for ref, _, _ in method.calls:
+                resolved = _resolve_callee(
+                    ref, module, cls, modules, all_classes
+                )
+                if resolved is None:
+                    continue
+                extra = acquires[id(resolved[2])] - current
+                if extra:
+                    current |= extra
+                    changed = True
+    return acquires
+
+
+def _entry_reachable(cls: _ClassModel) -> set:
+    """Methods reachable from the class's thread entries."""
+    entries = set(cls.thread_entries)
+    for name in cls.methods:
+        if not name.startswith("_"):
+            entries.add(name)
+        elif name.startswith("__") and name.endswith("__"):
+            if name not in _INIT_METHODS and name != "__del__":
+                entries.add(name)
+    reachable = set(entries)
+    frontier = list(entries)
+    while frontier:
+        current = cls.methods.get(frontier.pop())
+        if current is None:
+            continue
+        for ref, _, _ in current.calls:
+            if ref[0] == "method" and ref[1] not in reachable:
+                if ref[1] in cls.methods:
+                    reachable.add(ref[1])
+                    frontier.append(ref[1])
+    return reachable
+
+
+def _guard_findings(
+    owner_label: str,
+    path: str,
+    writes_by_attr: dict,
+    reads_by_attr: dict,
+    entry_methods: Optional[set],
+    guards_out: dict,
+    findings: list,
+    lock_names: Iterable[str] = (),
+) -> None:
+    """The unguarded-write / unguarded-read rules for one scope."""
+    for attr, writes in sorted(writes_by_attr.items()):
+        if attr in lock_names:
+            continue
+        cover: Counter = Counter()
+        for event in writes:
+            for key in event.held:
+                cover[key] += 1
+        if not cover:
+            continue  # never guarded: single-threaded by design
+        guard, guarded_count = cover.most_common(1)[0]
+        if guarded_count == len(writes):
+            guards_out[(owner_label, attr)] = guard
+            # consistent writes: check entry-reachable naked reads
+            for event in reads_by_attr.get(attr, ()):
+                if guard in event.held:
+                    continue
+                if (
+                    entry_methods is not None
+                    and event.method not in entry_methods
+                ):
+                    continue
+                if event.method in _INIT_METHODS:
+                    continue
+                findings.append(
+                    Finding(
+                        rule="unguarded-read",
+                        path=path,
+                        line=event.line,
+                        message=(
+                            f"{owner_label}.{attr} is consistently "
+                            f"written under {_label(guard)} but read "
+                            f"here (in thread-entry-reachable "
+                            f"'{event.method}') without it; the read "
+                            "may observe a torn or stale update"
+                        ),
+                        analyzer="concurrency",
+                    )
+                )
+            continue
+        for event in writes:
+            if guard in event.held:
+                continue
+            findings.append(
+                Finding(
+                    rule="unguarded-write",
+                    path=path,
+                    line=event.line,
+                    message=(
+                        f"{owner_label}.{attr} is written under "
+                        f"{_label(guard)} at {guarded_count} other "
+                        f"site(s) but mutated here (in "
+                        f"'{event.method}') without it"
+                    ),
+                    analyzer="concurrency",
+                )
+            )
+
+
+def _order_graph(
+    modules: dict, all_classes: dict, acquires: dict, model: ConcurrencyModel
+) -> list:
+    """Build lock-order edges and report cycles / re-acquisitions."""
+    findings: list[Finding] = []
+    contexts = []
+    for module in modules.values():
+        for function in module.functions.values():
+            contexts.append((module, None, function))
+        for cls in module.classes.values():
+            for method in cls.methods.values():
+                contexts.append((module, cls, method))
+    for module, cls, method in contexts:
+        for key, line, held in method.acquisitions:
+            for prior in held:
+                if prior == key:
+                    kind = None
+                    owner_cls = all_classes.get(key[0])
+                    if owner_cls is not None:
+                        kind = owner_cls.lock_kind(key)
+                    else:
+                        owner_mod = modules.get(key[0])
+                        if owner_mod is not None:
+                            kind = owner_mod.locks.get(key[1])
+                    if kind != "rlock":
+                        findings.append(
+                            Finding(
+                                rule="lock-order",
+                                path=module.path,
+                                line=line,
+                                message=(
+                                    f"non-reentrant {_label(key)} is "
+                                    "re-acquired while already held: "
+                                    "guaranteed self-deadlock"
+                                ),
+                                analyzer="concurrency",
+                            )
+                        )
+                    continue
+                model.edges.setdefault(
+                    (prior, key), (module.path, line, method.name)
+                )
+        for ref, line, held in method.calls:
+            if not held:
+                continue
+            resolved = _resolve_callee(
+                ref, module, cls, modules, all_classes
+            )
+            if resolved is None:
+                continue
+            for target in acquires[id(resolved[2])]:
+                for prior in held:
+                    if prior == target:
+                        continue
+                    model.edges.setdefault(
+                        (prior, target),
+                        (module.path, line, method.name),
+                    )
+    # cycle detection (iterative DFS, no external deps)
+    graph: dict[LockKey, list[LockKey]] = {}
+    for src, dst in model.edges:
+        graph.setdefault(src, []).append(dst)
+    state: dict[LockKey, int] = {}  # 0 visiting, 1 done
+    reported: set[frozenset] = set()
+
+    def visit(node: LockKey, stack: list) -> None:
+        state[node] = 0
+        stack.append(node)
+        for succ in graph.get(node, ()):
+            if succ not in state:
+                visit(succ, stack)
+            elif state[succ] == 0:
+                cycle = stack[stack.index(succ):] + [succ]
+                identity = frozenset(cycle)
+                if identity not in reported:
+                    reported.add(identity)
+                    closing = model.edges[(node, succ)]
+                    chain = " -> ".join(_label(key) for key in cycle)
+                    findings.append(
+                        Finding(
+                            rule="lock-order",
+                            path=closing[0],
+                            line=closing[1],
+                            message=(
+                                f"lock-acquisition-order cycle "
+                                f"{chain}: two threads taking these "
+                                "locks in opposite orders can "
+                                "deadlock"
+                            ),
+                            analyzer="concurrency",
+                        )
+                    )
+        stack.pop()
+        state[node] = 1
+
+    for node in list(graph):
+        if node not in state:
+            visit(node, [])
+    return findings
+
+
+def build_model(
+    sources: Sequence[tuple[str, str]],
+) -> ConcurrencyModel:
+    """Run the full analysis; returns the introspectable model."""
+    modules = _parse_sources(sources)
+    all_classes = _collect_events(modules)
+    acquires = _transitive_locks(modules, all_classes)
+    model = ConcurrencyModel(modules=modules)
+    findings: list[Finding] = []
+    for module in modules.values():
+        # module-global guard inference (writes only: module globals
+        # have too many legitimate single-threaded readers to make a
+        # read rule precise)
+        writes_by_name: dict[str, list] = {}
+        for scope in list(module.functions.values()) + [
+            method
+            for cls in module.classes.values()
+            for method in cls.methods.values()
+        ]:
+            for event in scope.global_writes:
+                writes_by_name.setdefault(event.name, []).append(event)
+        _guard_findings(
+            module.name,
+            module.path,
+            writes_by_name,
+            {},
+            None,
+            model.guards,
+            findings,
+            lock_names=module.locks,
+        )
+        for cls in module.classes.values():
+            if not cls.locks:
+                continue  # lock-free classes are guarded by callers
+            writes_by_attr: dict[str, list] = {}
+            reads_by_attr: dict[str, list] = {}
+            for name, method in cls.methods.items():
+                if name in _INIT_METHODS:
+                    continue
+                for event in method.writes:
+                    writes_by_attr.setdefault(event.name, []).append(
+                        event
+                    )
+                for event in method.reads:
+                    reads_by_attr.setdefault(event.name, []).append(
+                        event
+                    )
+            _guard_findings(
+                cls.name,
+                cls.path,
+                writes_by_attr,
+                reads_by_attr,
+                _entry_reachable(cls),
+                model.guards,
+                findings,
+                lock_names=cls.locks,
+            )
+    findings.extend(_order_graph(modules, all_classes, acquires, model))
+    model.findings = findings
+    return model
+
+
+def analyze_concurrency(
+    sources: Sequence[tuple[str, str]],
+) -> list[Finding]:
+    """Concurrency findings over *sources*, suppressions applied."""
+    model = build_model(sources)
+    by_path = {path: text for path, text in sources}
+    findings: list[Finding] = []
+    for path, text in by_path.items():
+        suppressions = Suppressions.scan(text)
+        own = [f for f in model.findings if f.path == path]
+        findings.extend(apply_suppressions(own, suppressions))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def analyze_concurrency_paths(
+    paths: Sequence[Union[str, Path]],
+) -> list[Finding]:
+    """:func:`analyze_concurrency` over files on disk."""
+    sources = [
+        (str(path), Path(path).read_text(encoding="utf-8"))
+        for path in paths
+    ]
+    return analyze_concurrency(sources)

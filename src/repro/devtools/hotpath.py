@@ -1,0 +1,269 @@
+"""Hot-path allocation lint: machine-checks the zero-allocation loop.
+
+PR 3's fused kernels promise **zero per-step allocations**: every
+scratch buffer is preallocated per plan and every array op inside the
+step loop runs in place (``np.take(..., out=)``, ufunc ``out=``).  That
+guarantee held by code review so far; this AST rule makes it hold by
+construction as the kernels grow.
+
+A function opts in with a ``# lint: hot`` comment on its ``def`` line
+or the line above.  Inside a hot function, every statement lexically
+inside a ``for``/``while`` loop is hot-path; the rule flags
+
+``alloc-call``
+    Calls that always return a fresh array: ``np.zeros``, ``np.empty``,
+    ``np.concatenate``, ``np.nonzero``, ... (:data:`ALWAYS_ALLOCATES`).
+``alloc-ufunc``
+    Out-capable numpy calls (ufuncs, ``np.take``) missing their
+    ``out=`` keyword — the allocation is silent but per-step.
+``alloc-comprehension``
+    List/set/dict comprehensions (one fresh container per step).
+``alloc-builtin``
+    ``list()``/``dict()``/``set()``/``sorted()``/``tuple()`` calls.
+
+Aliased numpy functions are resolved through plain assignments
+(``take = np.take`` hoisted above the loop — the kernels do exactly
+this to skip attribute lookups) and ``from numpy import ...``.  Code
+outside loops — per-plan buffer setup — is intentionally out of scope:
+allocating *once* is the design.
+
+Rare-path escapes are suppressed in place with
+``# lint: alloc-ok(reason)``; the reason is mandatory (see
+:mod:`repro.devtools.report`).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Union
+
+from .report import Finding, HOT_MARK_RE, Suppressions, apply_suppressions
+
+#: numpy callables that always materialize a fresh array.
+ALWAYS_ALLOCATES = frozenset(
+    {
+        "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+        "ones_like", "full_like", "array", "asarray", "asanyarray",
+        "ascontiguousarray", "arange", "linspace", "concatenate",
+        "stack", "vstack", "hstack", "column_stack", "dstack", "tile",
+        "repeat", "copy", "where", "nonzero", "flatnonzero", "argwhere",
+        "unique", "sort", "argsort", "diff", "cumsum", "cumprod",
+        "outer", "meshgrid", "pad", "split", "reshape", "ravel",
+        "frombuffer", "fromiter", "packbits", "unpackbits",
+    }
+)
+
+#: numpy callables that write in place when given ``out=`` — calling
+#: them without it allocates the result array.
+OUT_CAPABLE = frozenset(
+    {
+        "take", "add", "subtract", "multiply", "divide", "true_divide",
+        "floor_divide", "mod", "remainder", "power", "matmul", "dot",
+        "negative", "positive", "absolute", "abs", "sign", "rint",
+        "bitwise_and", "bitwise_or", "bitwise_xor", "invert",
+        "left_shift", "right_shift", "logical_and", "logical_or",
+        "logical_xor", "logical_not", "minimum", "maximum", "fmin",
+        "fmax", "clip", "equal", "not_equal", "greater",
+        "greater_equal", "less", "less_equal", "sum", "prod", "min",
+        "max", "mean", "sqrt", "exp", "log",
+    }
+)
+
+#: builtins whose call sites build a fresh container.
+ALLOC_BUILTINS = frozenset({"list", "dict", "set", "tuple", "sorted"})
+
+
+def _numpy_names(tree: ast.Module) -> set:
+    """Local names the numpy module is bound to (``np``, ``numpy``)."""
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy":
+                    names.add(item.asname or "numpy")
+    return names
+
+
+def _alias_map(tree: ast.Module, numpy_names: set) -> dict:
+    """``take = np.take`` / ``from numpy import take`` alias resolution."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for item in node.names:
+                aliases[item.asname or item.name] = item.name
+        elif isinstance(node, ast.Assign):
+            value = node.value
+            if not (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_names
+            ):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    aliases[target.id] = value.attr
+    return aliases
+
+
+def _hot_functions(tree: ast.Module, source: str) -> list:
+    """Functions carrying the ``# lint: hot`` marker."""
+    marked = {
+        lineno
+        for lineno, text in enumerate(source.splitlines(), start=1)
+        if HOT_MARK_RE.search(text)
+    }
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and (node.lineno in marked or node.lineno - 1 in marked)
+    ]
+
+
+def _loop_nodes(fn: ast.AST) -> Iterator[ast.AST]:
+    """Every AST node lexically inside a loop body of *fn*.
+
+    The outermost ``for``'s iterable runs once and is excluded; a
+    ``while`` condition runs per iteration and is included.  Nested
+    loops sit entirely inside the outer body, so their headers are
+    covered automatically.
+    """
+    seen: set[int] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            roots = list(node.body) + list(node.orelse)
+            if isinstance(node, ast.While):
+                roots.append(node.test)
+            for root in roots:
+                for sub in ast.walk(root):
+                    if id(sub) not in seen:
+                        seen.add(id(sub))
+                        yield sub
+
+
+def _np_func_name(
+    call: ast.Call, numpy_names: set, aliases: dict
+) -> Optional[str]:
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in numpy_names
+    ):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return aliases.get(func.id)
+    return None
+
+
+def _has_out(call: ast.Call) -> bool:
+    return any(keyword.arg == "out" for keyword in call.keywords)
+
+
+def _check_function(
+    fn: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    path: str,
+    numpy_names: set,
+    aliases: dict,
+    findings: list,
+) -> None:
+    for node in _loop_nodes(fn):
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            kind = type(node).__name__[:-4].lower()
+            findings.append(
+                Finding(
+                    rule="alloc-comprehension",
+                    path=path,
+                    line=node.lineno,
+                    message=(
+                        f"{kind} comprehension inside the hot loop of "
+                        f"'{fn.name}' builds a fresh container every "
+                        "step; hoist it or fill a preallocated buffer"
+                    ),
+                    analyzer="hotpath",
+                )
+            )
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        np_name = _np_func_name(node, numpy_names, aliases)
+        if np_name in ALWAYS_ALLOCATES:
+            findings.append(
+                Finding(
+                    rule="alloc-call",
+                    path=path,
+                    line=node.lineno,
+                    message=(
+                        f"np.{np_name} inside the hot loop of "
+                        f"'{fn.name}' allocates a fresh array every "
+                        "step, breaking the zero-allocation kernel "
+                        "invariant"
+                    ),
+                    analyzer="hotpath",
+                )
+            )
+        elif np_name in OUT_CAPABLE and not _has_out(node):
+            findings.append(
+                Finding(
+                    rule="alloc-ufunc",
+                    path=path,
+                    line=node.lineno,
+                    message=(
+                        f"np.{np_name} inside the hot loop of "
+                        f"'{fn.name}' is called without out=; the "
+                        "result array is allocated every step — pass "
+                        "a preallocated out= buffer"
+                    ),
+                    analyzer="hotpath",
+                )
+            )
+        elif (
+            np_name is None
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ALLOC_BUILTINS
+            and node.func.id not in aliases
+        ):
+            findings.append(
+                Finding(
+                    rule="alloc-builtin",
+                    path=path,
+                    line=node.lineno,
+                    message=(
+                        f"{node.func.id}() inside the hot loop of "
+                        f"'{fn.name}' builds a fresh container every "
+                        "step; hoist it out of the loop"
+                    ),
+                    analyzer="hotpath",
+                )
+            )
+
+
+def analyze_hotpath(
+    sources: Sequence[tuple[str, str]],
+) -> list[Finding]:
+    """Hot-path findings over ``(path, source)`` pairs, suppressed."""
+    findings: list[Finding] = []
+    for path, text in sources:
+        tree = ast.parse(text, filename=path)
+        numpy_names = _numpy_names(tree)
+        aliases = _alias_map(tree, numpy_names)
+        raw: list[Finding] = []
+        for fn in _hot_functions(tree, text):
+            _check_function(fn, path, numpy_names, aliases, raw)
+        findings.extend(
+            apply_suppressions(raw, Suppressions.scan(text))
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def analyze_hotpath_paths(
+    paths: Sequence[Union[str, Path]],
+) -> list[Finding]:
+    """:func:`analyze_hotpath` over files on disk."""
+    sources = [
+        (str(path), Path(path).read_text(encoding="utf-8"))
+        for path in paths
+    ]
+    return analyze_hotpath(sources)

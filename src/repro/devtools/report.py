@@ -1,0 +1,192 @@
+"""Finding model, suppression comments, and report rendering.
+
+Every devtools analyzer (:mod:`repro.devtools.concurrency`,
+:mod:`repro.devtools.hotpath`, the :mod:`repro.devtools.sanitize`
+self-check) emits the same :class:`Finding` record, so ``repro lint``
+can merge, filter, and render them uniformly — human text by default,
+``--json`` for machines (the CI gate reads the exit code either way).
+
+Suppressions
+------------
+A finding is silenced in the source it points at, never in a config
+file, so every suppression is visible in review next to the code it
+excuses::
+
+    self._closed = True  # lint: unguarded-ok(latch flag, set once under close)
+
+The general syntax is ``# lint: <family>-ok(reason)`` placed on the
+offending line or the line directly above it.  *family* matches a rule
+by prefix: ``unguarded-ok`` covers ``unguarded-write`` and
+``unguarded-read``, ``alloc-ok`` covers every ``alloc-*`` hot-path
+rule, ``lock-order-ok`` covers ``lock-order``.  The *reason* is
+mandatory — an empty pair of parentheses turns into a
+``bad-suppression`` finding of its own, which keeps the "every
+suppression carries a written reason" invariant machine-checked.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+#: ``# lint: <family>-ok(reason)`` — the suppression comment.
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*([a-z][a-z0-9-]*?)-ok\(([^)]*)\)"
+)
+
+#: ``# lint: hot`` — marks a function whose loops the hot-path
+#: allocation rules apply to (see :mod:`repro.devtools.hotpath`).
+HOT_MARK_RE = re.compile(r"#\s*lint:\s*hot\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding, anchored to ``path:line``."""
+
+    rule: str  # e.g. "unguarded-write", "lock-order", "alloc-call"
+    path: str
+    line: int
+    message: str
+    analyzer: str  # "concurrency" | "hotpath" | "sanitize"
+    suppressed: bool = False
+    reason: Optional[str] = None  # the suppression's written reason
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "analyzer": self.analyzer,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Suppression comments of one source file, by line number."""
+
+    #: line -> [(rule family, reason)]
+    by_line: dict = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        by_line: dict[int, list[tuple[str, str]]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            for match in _SUPPRESS_RE.finditer(text):
+                family, reason = match.group(1), match.group(2).strip()
+                by_line.setdefault(lineno, []).append((family, reason))
+        return cls(by_line)
+
+    def match(self, rule: str, line: int) -> Optional[tuple[str, str]]:
+        """The ``(family, reason)`` suppressing *rule* at *line*, if any.
+
+        A suppression applies to its own line and to the line directly
+        below it (comment-above-the-statement style).  A family matches
+        a rule exactly or as a dash-separated prefix.
+        """
+        for candidate in (line, line - 1):
+            for family, reason in self.by_line.get(candidate, ()):
+                if rule == family or rule.startswith(family + "-"):
+                    return family, reason
+        return None
+
+    def bad_suppression_findings(self, path: str, analyzer: str) -> list:
+        """``bad-suppression`` findings for reason-less suppressions."""
+        findings = []
+        for lineno, entries in sorted(self.by_line.items()):
+            for family, reason in entries:
+                if not reason:
+                    findings.append(
+                        Finding(
+                            rule="bad-suppression",
+                            path=path,
+                            line=lineno,
+                            message=(
+                                f"suppression '{family}-ok()' has no "
+                                "written reason; every suppression "
+                                "must say why the finding is safe"
+                            ),
+                            analyzer=analyzer,
+                        )
+                    )
+        return findings
+
+
+def apply_suppressions(
+    findings: Sequence[Finding], suppressions: Suppressions
+) -> list[Finding]:
+    """Mark findings silenced by *suppressions* (same file assumed)."""
+    out = []
+    for finding in findings:
+        matched = suppressions.match(finding.rule, finding.line)
+        if matched is not None:
+            out.append(
+                replace(finding, suppressed=True, reason=matched[1])
+            )
+        else:
+            out.append(finding)
+    return out
+
+
+def summarize(findings: Sequence[Finding]) -> dict:
+    """Counts the lint gate and the renderers share."""
+    unsuppressed = [f for f in findings if not f.suppressed]
+    by_analyzer: dict[str, int] = {}
+    for finding in unsuppressed:
+        by_analyzer[finding.analyzer] = (
+            by_analyzer.get(finding.analyzer, 0) + 1
+        )
+    return {
+        "total": len(findings),
+        "unsuppressed": len(unsuppressed),
+        "suppressed": len(findings) - len(unsuppressed),
+        "by_analyzer": by_analyzer,
+    }
+
+
+def render_text(
+    findings: Sequence[Finding], *, show_suppressed: bool = False
+) -> str:
+    """Human-readable report, one ``path:line: rule: message`` per line."""
+    lines = []
+    for finding in findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        mark = " [suppressed]" if finding.suppressed else ""
+        lines.append(
+            f"{finding.location}: {finding.rule}: "
+            f"{finding.message}{mark}"
+        )
+        if finding.suppressed and finding.reason:
+            lines.append(f"    reason: {finding.reason}")
+    counts = summarize(findings)
+    if counts["unsuppressed"]:
+        lines.append(
+            f"{counts['unsuppressed']} finding(s) "
+            f"({counts['suppressed']} suppressed)"
+        )
+    else:
+        lines.append(
+            f"clean: 0 findings ({counts['suppressed']} suppressed)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: findings plus the summary block."""
+    return json.dumps(
+        {
+            "findings": [finding.to_dict() for finding in findings],
+            "summary": summarize(findings),
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..core.wavepipe.batch import plan_stream_batch
+from ..core.wavepipe.clocking import ClockingScheme
+from ..core.wavepipe.components import WaveNetlist
 from .queue import GroupKey, RequestQueue, SimulationRequest
 
 #: Default cap on requests coalesced into one packed pass (see module
@@ -42,12 +44,12 @@ class Batch:
     requests: list[SimulationRequest] = field(default_factory=list)
 
     @property
-    def netlist(self):
+    def netlist(self) -> WaveNetlist:
         """The shared netlist (every request in a batch agrees on it)."""
         return self.requests[0].netlist
 
     @property
-    def clocking(self):
+    def clocking(self) -> ClockingScheme:
         """The shared clocking scheme (part of the group key)."""
         return self.requests[0].clocking
 
@@ -81,7 +83,7 @@ class Batcher:
         queue: RequestQueue,
         max_batch_requests: int = DEFAULT_MAX_BATCH_REQUESTS,
         max_batch_waves: int = DEFAULT_MAX_BATCH_WAVES,
-    ):
+    ) -> None:
         if max_batch_requests < 1:
             raise ValueError("max_batch_requests must be at least 1")
         if max_batch_waves < 1:
@@ -95,7 +97,9 @@ class Batcher:
     #: Bound on the memoized batch plans (see :meth:`plan`).
     _PLAN_MEMO_LIMIT = 64
 
-    def expire(self, now: float, key=None) -> list[SimulationRequest]:
+    def expire(
+        self, now: float, key: Optional[GroupKey] = None
+    ) -> list[SimulationRequest]:
         """Batch admission, step zero: evict requests past their deadline.
 
         Called (with the server's lock held, like every queue-touching
@@ -148,7 +152,12 @@ class Batcher:
             or batch.n_waves >= self.max_batch_waves
         )
 
-    def plan(self, batch: Batch, backend=None, track=None) -> dict:
+    def plan(
+        self,
+        batch: Batch,
+        backend: Optional[str] = None,
+        track: Optional[bool] = None,
+    ) -> dict:
         """Lane plan of *batch* as the packed engine will run it.
 
         Thin wrapper over

@@ -27,11 +27,13 @@ from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..core.wavepipe.clocking import ClockingScheme
+from ..core.wavepipe.components import WaveNetlist
 from ..core.wavepipe.simulator import WaveSimulationReport
 from ..errors import DeadlineExceeded
 from .server import SimulationServer
@@ -106,7 +108,7 @@ class LoadReport:
 
 def run_closed_loop(
     server: SimulationServer,
-    netlist,
+    netlist: WaveNetlist,
     requests: Sequence[Sequence[Sequence[bool]]],
     *,
     clocking: Optional[ClockingScheme] = None,
@@ -114,7 +116,7 @@ def run_closed_loop(
     clients: int = DEFAULT_CLIENTS,
     request_timeout_s: float = REQUEST_TIMEOUT_S,
     deadline_s: Optional[float] = None,
-    netlists: Optional[Sequence] = None,
+    netlists: Optional[Sequence[WaveNetlist]] = None,
 ) -> LoadReport:
     """Drive *requests* (one wave stream each) through *server*.
 
@@ -151,7 +153,9 @@ def run_closed_loop(
     errors: list[BaseException] = []
     gate = threading.Event()
 
-    def submit_chunk(chunk) -> list:
+    def submit_chunk(
+        chunk: Sequence[int],
+    ) -> "list[tuple[int, Future[WaveSimulationReport]]]":
         """Admit one burst window; returns (index, future) pairs."""
         if netlists is None:
             futures = server.submit_many(
@@ -161,7 +165,7 @@ def run_closed_loop(
                 deadline_s=deadline_s,
             )
             return list(zip(chunk, futures))
-        pairs = []
+        pairs: "list[tuple[int, Future[WaveSimulationReport]]]" = []
         position = 0
         while position < len(chunk):  # group runs of one netlist
             group = [chunk[position]]

@@ -39,9 +39,9 @@ class ServerMetrics:
         "plan_cache_misses",    # submissions that compiled a new plan
     )
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counts = {field: 0 for field in self._FIELDS}
+        self._counts: dict[str, int] = {field: 0 for field in self._FIELDS}
 
     def record_submitted(self, n_requests: int, n_waves: int) -> None:
         """One admission burst: *n_requests* requests, *n_waves* waves."""
@@ -102,15 +102,17 @@ class ServerMetrics:
         with self._lock:
             self._counts["worker_restarts"] += 1
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, float]:
         """Consistent copy of every counter plus derived ratios.
 
         Adds ``mean_batch_requests`` (coalescing factor actually
         achieved) and ``plan_cache_hit_rate`` — the two numbers the
-        serve bench and the concurrency tests assert on.
+        serve bench and the concurrency tests assert on.  (Counter
+        values stay ints at runtime; the ``float`` value type covers
+        the two derived ratios.)
         """
         with self._lock:
-            counts = dict(self._counts)
+            counts: dict[str, float] = {**self._counts}
         batches = counts["batches"]
         counts["mean_batch_requests"] = (
             counts["batched_requests"] / batches if batches else 0.0

@@ -20,10 +20,17 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
 
 from ..core.wavepipe.clocking import ClockingScheme
+from ..core.wavepipe.components import WaveNetlist
 from ..errors import ServerQueueFull
+
+#: One request's wave payload: nested bool rows, or the packed bool
+#: block of the numpy wire format (taken by reference at admission).
+WaveStream = Union[Sequence[Sequence[bool]], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -57,8 +64,8 @@ class SimulationRequest:
     simulated.
     """
 
-    netlist: object  # WaveNetlist
-    vectors: Sequence[Sequence[bool]]
+    netlist: WaveNetlist
+    vectors: WaveStream
     clocking: ClockingScheme
     pipelined: bool
     future: Future
@@ -87,7 +94,7 @@ class RequestQueue:
     docstring.
     """
 
-    def __init__(self, max_pending: int):
+    def __init__(self, max_pending: int) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be at least 1")
         self.max_pending = int(max_pending)
@@ -234,7 +241,7 @@ class RequestQueue:
             group = self._groups.get(group_key)
             if group is None:
                 continue
-            kept = deque()
+            kept: "deque[SimulationRequest]" = deque()
             newly_expired: list[SimulationRequest] = []
             for request in group:
                 if request.expired(now):

@@ -68,12 +68,14 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
+from types import TracebackType
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..core.wavepipe.batch import simulate_streams_packed
 from ..core.wavepipe.clocking import ClockingScheme
+from ..core.wavepipe.components import WaveNetlist
 from ..core.wavepipe.kernels import compile_netlist
 from ..core.wavepipe.simulator import (
     WaveSimulationReport,
@@ -93,7 +95,7 @@ from .batcher import (
     Batcher,
 )
 from .metrics import ServerMetrics
-from .queue import GroupKey, RequestQueue, SimulationRequest
+from .queue import GroupKey, RequestQueue, SimulationRequest, WaveStream
 from .shards import ProcessShardPool
 
 #: Default bound on admitted-but-undispatched requests (backpressure).
@@ -178,7 +180,7 @@ class SimulationServer:
         backend: Optional[str] = None,
         track: Optional[bool] = None,
         start: bool = True,
-    ):
+    ) -> None:
         if shards < 1:
             raise ServeError("a server needs at least one shard")
         if max_linger_steps < 0:
@@ -214,7 +216,7 @@ class SimulationServer:
         #: strong netlist reference pins the weak kernel-compile cache
         #: entry (and keeps object ids stable) while the entry lives,
         #: and :data:`PLAN_CACHE_LIMIT` keeps netlist churn bounded.
-        self._plans: "OrderedDict[tuple[int, int], tuple[object, int]]" = (
+        self._plans: "OrderedDict[tuple[int, int], tuple[WaveNetlist, int]]" = (
             OrderedDict()
         )
         self._threads: list[threading.Thread] = []
@@ -304,7 +306,12 @@ class SimulationServer:
     def __enter__(self) -> "SimulationServer":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     @property
@@ -324,8 +331,8 @@ class SimulationServer:
     # ------------------------------------------------------------------
     def _admit(
         self,
-        netlist,
-        streams: Sequence[Sequence[Sequence[bool]]],
+        netlist: WaveNetlist,
+        streams: Sequence[WaveStream],
         clocking: Optional[ClockingScheme],
         pipelined: Optional[bool],
         deadline_s: Optional[float] = None,
@@ -430,8 +437,8 @@ class SimulationServer:
 
     def submit(
         self,
-        netlist,
-        vectors: Sequence[Sequence[bool]],
+        netlist: WaveNetlist,
+        vectors: WaveStream,
         *,
         clocking: Optional[ClockingScheme] = None,
         pipelined: Optional[bool] = None,
@@ -464,8 +471,8 @@ class SimulationServer:
 
     def submit_many(
         self,
-        netlist,
-        streams: Sequence[Sequence[Sequence[bool]]],
+        netlist: WaveNetlist,
+        streams: Sequence[WaveStream],
         *,
         clocking: Optional[ClockingScheme] = None,
         pipelined: Optional[bool] = None,
@@ -491,8 +498,8 @@ class SimulationServer:
 
     async def submit_async(
         self,
-        netlist,
-        vectors: Sequence[Sequence[bool]],
+        netlist: WaveNetlist,
+        vectors: WaveStream,
         *,
         clocking: Optional[ClockingScheme] = None,
         pipelined: Optional[bool] = None,
@@ -515,8 +522,8 @@ class SimulationServer:
 
     def simulate(
         self,
-        netlist,
-        vectors: Sequence[Sequence[bool]],
+        netlist: WaveNetlist,
+        vectors: WaveStream,
         *,
         clocking: Optional[ClockingScheme] = None,
         pipelined: Optional[bool] = None,
@@ -615,6 +622,7 @@ class SimulationServer:
             return
         now = time.perf_counter()
         for request in live:
+            assert request.deadline_at is not None  # only deadlined expire
             late_ms = (now - request.deadline_at) * 1e3
             request.future.set_exception(
                 DeadlineExceeded(

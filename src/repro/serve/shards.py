@@ -53,11 +53,16 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
+from types import TracebackType
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from ..core.wavepipe.components import WaveNetlist
 from ..errors import ServeError
+from .queue import WaveStream
 
 #: Worker-side cap on cached netlists (serving netlist churn must not
 #: grow a worker without bound; eviction only costs a re-ship).
@@ -68,7 +73,7 @@ WORKER_NETLIST_CACHE = 32
 DEFAULT_STOP_TIMEOUT_S = 10.0
 
 
-def _worker_main(conn) -> None:  # pragma: no cover - runs in a child
+def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a child
     """Loop of one shard process: receive batches, simulate, reply.
 
     (Excluded from coverage measurement: this body runs in spawned
@@ -97,6 +102,7 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a child
         _, key, netlist, n_phases, pipelined, streams, backend, track = (
             message
         )
+        reply: tuple[str, object]
         try:
             if netlist is not None:
                 netlists[key] = netlist
@@ -145,9 +151,14 @@ def _worker_main(conn) -> None:  # pragma: no cover - runs in a child
 class _Worker:
     """Parent-side handle of one shard process."""
 
-    process: multiprocessing.process.BaseProcess
-    conn: object  # multiprocessing.connection.Connection
-    lock: threading.Lock = field(default_factory=threading.Lock)
+    process: BaseProcess
+    conn: Connection
+    # the lambda (rather than `threading.Lock` itself) resolves the
+    # module's `threading` binding at *instantiation* time, so the
+    # REPRO_SANITIZE=1 lock sanitizer instruments worker locks too
+    lock: threading.Lock = field(
+        default_factory=lambda: threading.Lock()
+    )
     #: (netlist id, version) -> netlist: the keys this worker is known
     #: to have cached, holding a *strong* netlist reference.  The pin
     #: matters for correctness, not just speed: the key contains
@@ -163,7 +174,7 @@ class _Worker:
 
 
 def _wire_streams(
-    streams: Sequence[Sequence[Sequence[bool]]],
+    streams: Sequence[WaveStream],
 ) -> list:
     """Payloads in the numpy wire format: one bool block per stream.
 
@@ -173,7 +184,7 @@ def _wire_streams(
     stay the empty list — their report is synthesized without touching
     the kernels on either side.
     """
-    wire = []
+    wire: list[object] = []
     for vectors in streams:
         if isinstance(vectors, np.ndarray) or len(vectors) == 0:
             wire.append(vectors if len(vectors) else [])
@@ -200,16 +211,16 @@ class ProcessShardPool:
         n_workers: int,
         *,
         on_restart: Optional[Callable[[], None]] = None,
-    ):
+    ) -> None:
         if n_workers < 1:
             raise ServeError("a process pool needs at least one worker")
         self._ctx = multiprocessing.get_context("spawn")
         self._on_restart = on_restart
         self._closed = False
         self._state_lock = threading.Lock()
-        self._workers: list[Optional[_Worker]] = [None] * int(n_workers)
-        for index in range(n_workers):
-            self._workers[index] = self._spawn()
+        self._workers: list[_Worker] = [
+            self._spawn() for _ in range(int(n_workers))
+        ]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -235,7 +246,7 @@ class ProcessShardPool:
         return [
             worker.process.pid
             for worker in self._workers
-            if worker is not None and worker.process.is_alive()
+            if worker.process.is_alive() and worker.process.pid is not None
         ]
 
     def close(self, timeout: Optional[float] = None) -> None:
@@ -246,8 +257,6 @@ class ProcessShardPool:
                 return
             self._closed = True
         for worker in self._workers:
-            if worker is None:
-                continue
             # the per-worker lock serializes this stop frame against a
             # simulate() mid-send from another thread (interleaving two
             # writers would corrupt the pipe stream); holding it means
@@ -259,8 +268,6 @@ class ProcessShardPool:
                 except (OSError, ValueError):
                     pass  # already dead or pipe gone: terminate below
         for worker in self._workers:
-            if worker is None:
-                continue
             worker.process.join(timeout)
             if worker.process.is_alive():
                 worker.process.terminate()
@@ -276,34 +283,38 @@ class ProcessShardPool:
     def __enter__(self) -> "ProcessShardPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
-    def _worker_for(self, route_key) -> int:
+    def _worker_for(self, route_key: object) -> int:
         return hash(route_key) % len(self._workers)
 
     def _revive(self, index: int) -> _Worker:
         """Replace a dead worker in place (caller holds its lock slot)."""
-        if self._closed:
-            raise ServeError("process shard pool is closed")
+        with self._state_lock:
+            if self._closed:
+                raise ServeError("process shard pool is closed")
         old = self._workers[index]
-        if old is not None:
-            try:
-                old.conn.close()
-            except OSError:  # pragma: no cover
-                pass
-            if old.process.is_alive():  # pragma: no cover - defensive
-                old.process.terminate()
-            old.process.join(1.0)
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        if old.process.is_alive():  # pragma: no cover - defensive
+            old.process.terminate()
+        old.process.join(1.0)
         fresh = self._spawn()
         # carry the in-flight dispatch lock over: the caller already
         # holds old.lock, and per-index serialization must continue to
         # funnel through that same lock object
-        if old is not None:
-            fresh.lock = old.lock
+        fresh.lock = old.lock
         self._workers[index] = fresh
         if self._on_restart is not None:
             self._on_restart()
@@ -311,14 +322,14 @@ class ProcessShardPool:
 
     def simulate(
         self,
-        netlist,
-        streams: Sequence[Sequence[Sequence[bool]]],
+        netlist: WaveNetlist,
+        streams: Sequence[WaveStream],
         *,
         n_phases: int = 3,
         pipelined: bool = True,
         backend: Optional[str] = None,
         track: Optional[bool] = None,
-        route_key=None,
+        route_key: object = None,
     ) -> list:
         """Run one batch on this group's worker; returns the reports.
 
@@ -328,8 +339,9 @@ class ProcessShardPool:
         worker-side simulation errors re-raise here exactly as the
         in-process engine would have raised them.
         """
-        if self._closed:
-            raise ServeError("process shard pool is closed")
+        with self._state_lock:
+            if self._closed:
+                raise ServeError("process shard pool is closed")
         key = (id(netlist), netlist.version)
         index = self._worker_for(route_key if route_key is not None else key)
         wire = _wire_streams(streams)

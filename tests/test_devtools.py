@@ -1,0 +1,643 @@
+"""The devtools analyzers: fixture violations, suppressions, self-check.
+
+Each static rule is proven against a seeded fixture snippet (the
+violation *must* be caught), the suppression syntax is proven to
+silence exactly what it names, the runtime sanitizer is driven through
+a real inversion/hold/Condition-wait, and the repo itself is asserted
+lint-clean — the same gate CI runs via ``repro lint``.
+"""
+
+import json
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import (
+    analyze_concurrency,
+    analyze_hotpath,
+    build_model,
+    run_lint,
+    summarize,
+)
+from repro.devtools.report import (
+    Finding,
+    Suppressions,
+    render_json,
+    render_text,
+)
+from repro.devtools import sanitize
+from repro.devtools.sanitize import (
+    LockRegistry,
+    SanitizedCondition,
+    _SanitizedLock,
+)
+
+
+def _conc(source):
+    return analyze_concurrency(
+        [("fixture.py", textwrap.dedent(source))]
+    )
+
+
+def _hot(source):
+    return analyze_hotpath([("fixture.py", textwrap.dedent(source))])
+
+
+def _rules(findings, suppressed=False):
+    return [
+        finding.rule
+        for finding in findings
+        if finding.suppressed == suppressed
+    ]
+
+
+# ----------------------------------------------------------------------
+# concurrency lint
+# ----------------------------------------------------------------------
+UNGUARDED_WRITE = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._count = 0
+
+        def bump(self):
+            with self._lock:
+                self._count += 1
+
+        def reset(self):
+            self._count = 0
+"""
+
+
+def test_unguarded_write_is_caught():
+    findings = _conc(UNGUARDED_WRITE)
+    assert _rules(findings) == ["unguarded-write"]
+    (finding,) = findings
+    assert "Counter._count" in finding.message
+    assert "Counter._lock" in finding.message
+    assert finding.path == "fixture.py"
+    assert finding.line > 0
+
+
+def test_init_writes_are_exempt_and_consistent_guards_are_clean():
+    findings = _conc(
+        """
+        import threading
+
+        class Clean:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = []
+
+            def add(self, item):
+                with self._lock:
+                    self._items.append(item)
+
+            def drain(self):
+                with self._lock:
+                    items, self._items = self._items, []
+                return items
+        """
+    )
+    assert findings == []
+
+
+def test_unguarded_read_from_thread_entry_is_caught():
+    findings = _conc(
+        """
+        import threading
+
+        class Gauge:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._value = 0
+
+            def set(self, value):
+                with self._lock:
+                    self._value = value
+
+            def peek(self):
+                return self._value
+        """
+    )
+    assert _rules(findings) == ["unguarded-read"]
+    assert "peek" in findings[0].message
+
+
+def test_private_helpers_are_not_thread_entries():
+    # the naked read sits in a private method no entry point reaches,
+    # so the read rule stays quiet (construction-time plumbing)
+    findings = _conc(
+        """
+        import threading
+
+        class Plumbing:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._state = 0
+                self._debug()
+
+            def poke(self):
+                with self._lock:
+                    self._state = 1
+
+            def _debug(self):
+                return self._state
+        """
+    )
+    assert findings == []
+
+
+def test_condition_aliases_its_wrapped_lock():
+    # `with self._cond:` and `with self._lock:` are the same guard
+    findings = _conc(
+        """
+        import threading
+
+        class Server:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._cond = threading.Condition(self._lock)
+                self._queue = []
+
+            def put(self, item):
+                with self._cond:
+                    self._queue.append(item)
+                    self._cond.notify_all()
+
+            def drop(self):
+                with self._lock:
+                    self._queue.clear()
+        """
+    )
+    assert findings == []
+
+
+def test_never_guarded_attribute_is_silent():
+    # no write ever holds a lock -> single-threaded by design, no guard
+    findings = _conc(
+        """
+        import threading
+
+        class Loose:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._scratch = 0
+
+            def work(self):
+                self._scratch += 1
+                with self._lock:
+                    pass
+        """
+    )
+    assert findings == []
+
+
+def test_lock_order_cycle_is_caught():
+    findings = _conc(
+        """
+        import threading
+
+        class Deadlocky:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """
+    )
+    assert _rules(findings) == ["lock-order"]
+    assert "cycle" in findings[0].message
+
+
+def test_lock_order_cycle_through_calls_is_caught():
+    # the second lock is taken inside a callee: the transitive
+    # acquisition closure must still close the cycle
+    findings = _conc(
+        """
+        import threading
+
+        class Indirect:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    self._take_b()
+
+            def _take_b(self):
+                with self._b:
+                    pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+        """
+    )
+    assert _rules(findings) == ["lock-order"]
+
+
+def test_reacquiring_nonreentrant_lock_is_caught_rlock_is_not():
+    source = """
+        import threading
+
+        class Reenter:
+            def __init__(self):
+                self._lock = threading.{factory}()
+
+            def work(self):
+                with self._lock:
+                    with self._lock:
+                        pass
+    """
+    assert _rules(_conc(source.format(factory="Lock"))) == ["lock-order"]
+    assert _conc(source.format(factory="RLock")) == []
+
+
+def test_dataclass_field_lock_and_unique_attr_guard_resolution():
+    # a dataclass default_factory lock, acquired as `worker.lock` from
+    # another class, still guards that class's attribute writes
+    findings = _conc(
+        """
+        import threading
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Worker:
+            lock: threading.Lock = field(
+                default_factory=lambda: threading.Lock()
+            )
+
+        class Pool:
+            def __init__(self):
+                self._guard = threading.Lock()
+                self._jobs = 0
+
+            def run(self, worker):
+                with worker.lock:
+                    pass
+                with self._guard:
+                    self._jobs += 1
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_silences_and_carries_reason():
+    findings = _conc(
+        UNGUARDED_WRITE.replace(
+            "self._count = 0\n",
+            "self._count = 0  "
+            "# lint: unguarded-ok(reset is main-thread only)\n",
+            # only the second occurrence is in reset(); replace both is
+            # fine — __init__ writes are exempt anyway
+        )
+    )
+    assert _rules(findings) == []  # nothing unsuppressed
+    suppressed = [f for f in findings if f.suppressed]
+    assert len(suppressed) == 1
+    assert suppressed[0].reason == "reset is main-thread only"
+
+
+def test_suppression_on_line_above_applies():
+    findings = _conc(
+        UNGUARDED_WRITE.replace(
+            "        def reset(self):\n            self._count = 0",
+            "        def reset(self):\n"
+            "            # lint: unguarded-ok(single-owner reset)\n"
+            "            self._count = 0",
+        )
+    )
+    assert _rules(findings) == []
+    assert any(finding.suppressed for finding in findings)
+
+
+def test_empty_suppression_reason_is_a_finding():
+    suppressions = Suppressions.scan(
+        "x = 1  # lint: unguarded-ok()\n"
+    )
+    findings = suppressions.bad_suppression_findings("f.py", "report")
+    assert [finding.rule for finding in findings] == ["bad-suppression"]
+
+
+def test_model_describe_names_guards_entries_and_edges():
+    model = build_model(
+        [
+            (
+                "fixture.py",
+                textwrap.dedent(
+                    """
+                    import threading
+
+                    class Box:
+                        def __init__(self):
+                            self._lock = threading.Lock()
+                            self._cond = threading.Condition(self._lock)
+                            self._data = 0
+
+                        def start(self):
+                            threading.Thread(target=self._spin).start()
+
+                        def _spin(self):
+                            with self._cond:
+                                self._data += 1
+                    """
+                ),
+            )
+        ]
+    )
+    text = model.describe()
+    assert "Box" in text
+    assert "_spin" in text  # Thread target discovered as an entry
+    assert "aliases self._lock" in text
+    assert ("Box", "_data") in model.guards
+
+
+# ----------------------------------------------------------------------
+# hot-path lint
+# ----------------------------------------------------------------------
+def test_hot_loop_allocation_is_caught():
+    findings = _hot(
+        """
+        import numpy as np
+
+        # lint: hot
+        def step(state, steps):
+            for _ in range(steps):
+                scratch = np.zeros(state.shape)
+                state += scratch
+            return state
+        """
+    )
+    assert "alloc-call" in _rules(findings)
+    assert "np.zeros" in findings[0].message
+
+
+def test_unmarked_function_is_ignored():
+    findings = _hot(
+        """
+        import numpy as np
+
+        def step(state, steps):
+            for _ in range(steps):
+                state = state + np.zeros(state.shape)
+            return state
+        """
+    )
+    assert findings == []
+
+
+def test_ufunc_without_out_is_caught_with_out_is_clean():
+    source = """
+        import numpy as np
+
+        def prepare(n):
+            return np.zeros(n)
+
+        # lint: hot
+        def step(a, b, out, steps):
+            for _ in range(steps):
+                np.bitwise_and(a, b{out_arg})
+    """
+    dirty = _hot(source.format(out_arg=""))
+    assert _rules(dirty) == ["alloc-ufunc"]
+    assert "out=" in dirty[0].message
+    assert _hot(source.format(out_arg=", out=out")) == []
+
+
+def test_aliased_numpy_functions_are_resolved():
+    findings = _hot(
+        """
+        import numpy as np
+
+        # lint: hot
+        def step(value, rows, buffer, steps):
+            take = np.take
+            for _ in range(steps):
+                take(value, rows, axis=0)
+        """
+    )
+    assert _rules(findings) == ["alloc-ufunc"]
+    assert "np.take" in findings[0].message
+
+
+def test_comprehension_and_builtin_in_hot_loop_are_caught():
+    findings = _hot(
+        """
+        # lint: hot
+        def step(items, steps):
+            for _ in range(steps):
+                doubled = [item * 2 for item in items]
+                ordered = sorted(items)
+            return doubled, ordered
+        """
+    )
+    assert sorted(_rules(findings)) == [
+        "alloc-builtin", "alloc-comprehension",
+    ]
+
+
+def test_setup_outside_the_loop_is_not_flagged():
+    findings = _hot(
+        """
+        import numpy as np
+
+        # lint: hot
+        def step(n, steps):
+            scratch = np.zeros(n)  # per-plan setup: allocating is fine
+            for _ in range(steps):
+                np.add(scratch, 1, out=scratch)
+            return scratch
+        """
+    )
+    assert findings == []
+
+
+def test_hot_marker_on_def_line_and_alloc_suppression():
+    findings = _hot(
+        """
+        import numpy as np
+
+        def step(state, steps):  # lint: hot
+            for _ in range(steps):
+                # lint: alloc-ok(rare diagnostic path)
+                snapshot = np.copy(state)
+            return snapshot
+        """
+    )
+    assert _rules(findings) == []
+    assert [f.reason for f in findings if f.suppressed] == [
+        "rare diagnostic path"
+    ]
+
+
+def test_while_loop_condition_is_hot_path():
+    findings = _hot(
+        """
+        import numpy as np
+
+        # lint: hot
+        def drain(queue):
+            while len(list(queue)):
+                queue.pop()
+        """
+    )
+    assert _rules(findings) == ["alloc-builtin"]
+
+
+# ----------------------------------------------------------------------
+# runtime sanitizer
+# ----------------------------------------------------------------------
+def test_sanitizer_detects_lock_order_inversion():
+    registry = LockRegistry(hold_threshold_s=60.0)
+    lock_a = _SanitizedLock(registry, site=("a.py", 1))
+    lock_b = _SanitizedLock(registry, site=("b.py", 2))
+
+    def forward():
+        with lock_a:
+            with lock_b:
+                pass
+
+    thread = threading.Thread(target=forward)
+    thread.start()
+    thread.join()
+    with lock_b:
+        with lock_a:
+            pass
+    rules = [finding.rule for finding in registry.findings()]
+    assert rules == ["lock-inversion"]
+    assert "opposite order" in registry.findings()[0].message
+
+
+def test_sanitizer_detects_long_hold_and_ignores_short():
+    registry = LockRegistry(hold_threshold_s=0.05)
+    lock = _SanitizedLock(registry, site=("x.py", 1))
+    with lock:
+        pass  # held for ~0: quiet
+    assert registry.findings() == []
+    with lock:
+        time.sleep(0.08)
+    assert [f.rule for f in registry.findings()] == ["lock-hold"]
+
+
+def test_condition_wait_releases_the_tracked_hold():
+    # blocking in wait() must not count as holding the lock
+    registry = LockRegistry(hold_threshold_s=0.05)
+    lock = _SanitizedLock(registry, site=("cond.py", 1))
+    condition = SanitizedCondition(registry, lock)
+    with condition:
+        condition.wait(timeout=0.12)  # > threshold, but lock released
+    assert registry.findings() == []
+
+
+def test_sanitizer_reset_clears_state():
+    registry = LockRegistry(hold_threshold_s=0.01)
+    lock = _SanitizedLock(registry, site=("x.py", 1))
+    with lock:
+        time.sleep(0.03)
+    assert registry.findings()
+    registry.reset()
+    assert registry.findings() == []
+    assert registry.edges == {}
+
+
+def test_install_swaps_target_module_bindings():
+    if sanitize.active_registry() is not None:
+        pytest.skip("sanitizer already installed session-wide")
+    import repro.serve.server as server_module
+    import repro.core.wavepipe.kernels as kernels_module
+
+    registry = sanitize.install()
+    try:
+        assert sanitize.install() is registry  # idempotent
+        assert isinstance(
+            server_module.threading.Lock(), _SanitizedLock
+        )
+        assert isinstance(
+            kernels_module.threading.Lock(), _SanitizedLock
+        )
+        # non-constructor attributes delegate to the real module
+        assert server_module.threading.current_thread is (
+            threading.current_thread
+        )
+    finally:
+        sanitize.uninstall()
+    assert server_module.threading is threading
+
+
+def test_sanitizer_self_check_is_clean():
+    assert sanitize.self_check() == []
+
+
+# ----------------------------------------------------------------------
+# report rendering
+# ----------------------------------------------------------------------
+def test_render_text_and_json_round_trip():
+    findings = [
+        Finding("demo-rule", "a.py", 3, "something off", "concurrency"),
+        Finding(
+            "quiet-rule", "a.py", 9, "silenced", "hotpath",
+            suppressed=True, reason="known",
+        ),
+    ]
+    text = render_text(findings)
+    assert "a.py:3: demo-rule: something off" in text
+    assert "silenced" not in text  # hidden unless --show-suppressed
+    shown = render_text(findings, show_suppressed=True)
+    assert "[suppressed]" in shown and "reason: known" in shown
+    payload = json.loads(render_json(findings))
+    assert payload["summary"] == {
+        "total": 2,
+        "unsuppressed": 1,
+        "suppressed": 1,
+        "by_analyzer": {"concurrency": 1},
+    }
+    assert payload["findings"][0]["rule"] == "demo-rule"
+
+
+# ----------------------------------------------------------------------
+# the repo gate itself
+# ----------------------------------------------------------------------
+def test_repo_is_lint_clean():
+    findings = run_lint()
+    unsuppressed = [f for f in findings if not f.suppressed]
+    assert unsuppressed == []
+    # every surviving suppression carries its written reason
+    assert all(f.reason for f in findings if f.suppressed)
+
+
+def test_cli_lint_exits_zero_on_clean_repo(capsys):
+    assert main(["lint"]) == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_cli_lint_json_reports_summary(capsys):
+    assert main(["lint", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["unsuppressed"] == 0
+
+
+def test_cli_lint_exits_nonzero_on_seeded_violation(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(textwrap.dedent(UNGUARDED_WRITE))
+    assert main(["lint", "--paths", str(bad), "--no-self-check"]) == 1
+    out = capsys.readouterr().out
+    assert "unguarded-write" in out
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert main(["lint", "--paths", str(good), "--no-self-check"]) == 0
