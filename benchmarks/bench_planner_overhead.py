@@ -161,6 +161,44 @@ def sweep_variant(
     return result
 
 
+def print_sweep_table(variants, file=sys.stderr) -> None:
+    """The full per-variant sweep, for humans reading a CI failure.
+
+    A bare "committed constant is N% below best" line is not actionable
+    without seeing the shape of the sweep — whether the plateau moved,
+    how far, and what lane/word plan each multiplier chose.
+    """
+    for variant in variants:
+        header = (
+            f"{variant['backend']}/elided={variant['elided']}"
+            f" (committed overhead {variant['committed_overhead']:g})"
+        )
+        if not variant["timed"]:
+            print(f"{header}: not timed on this runner", file=file)
+            continue
+        print(header, file=file)
+        print(
+            f"  {'mult':>6} {'overhead':>10} {'lanes':>6} "
+            f"{'words':>6} {'steps':>7} {'waves/s':>12}",
+            file=file,
+        )
+        for point in variant["points"]:
+            rate = point.get("waves_per_s")
+            rate_text = f"{rate:12.0f}" if rate is not None else " " * 12
+            marker = " <- committed" if point["multiplier"] == 1 else ""
+            print(
+                f"  {point['multiplier']:>6g} {point['overhead']:>10.3g} "
+                f"{point['lanes']:>6} {point['words']:>6} "
+                f"{point['steps']:>7} {rate_text}{marker}",
+                file=file,
+            )
+        print(
+            f"  committed-vs-best: "
+            f"{variant['committed_vs_best']:.1%}",
+            file=file,
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -226,6 +264,9 @@ def main(argv=None) -> int:
     json.dump(document, sys.stdout, indent=2, sort_keys=True)
     sys.stdout.write("\n")
     if args.check and failures:
+        # show the whole sweep before the verdict: a plateau gate that
+        # fails with only a percentage is undebuggable from CI logs
+        print_sweep_table(variants)
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1

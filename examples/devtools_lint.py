@@ -16,11 +16,19 @@ discipline *checkable*; this walkthrough covers:
    in and what the rules flag inside its loops;
 4. suppressions — ``# lint: <family>-ok(reason)``, why the reason is
    mandatory, and how a reason-less suppression becomes a finding;
-5. the runtime lock sanitizer — installing the instrumented
+5. the determinism lint — dataflow taint from unordered collections,
+   wall-clock reads, unseeded RNG and ``hash()`` into result paths,
+   and the ``sorted()``/seed/keyword escapes that keep it quiet;
+6. the lifecycle lint — the CFG must-release analysis that catches
+   stranded futures and leaked processes/pipes on exception paths
+   (the rule that found real bugs in ``ProcessShardPool._spawn`` and
+   ``SimulationServer.close``);
+7. the runtime lock sanitizer — installing the instrumented
    Lock/Condition wrappers (what ``REPRO_SANITIZE=1`` does at import
    time), driving a live server under them, and reading the acquisition
    edges it recorded;
-6. the ``repro lint`` gate itself, run in-process exactly as CI runs it.
+8. the ``repro lint`` gate itself, run in-process exactly as CI runs
+   it, plus the SARIF document ``--sarif`` uploads to code scanning.
 
 Run with::
 
@@ -33,8 +41,10 @@ from repro.core.wavepipe import ClockingScheme, random_vectors, wave_pipeline
 from repro.devtools import default_lint_paths, run_lint
 from repro.devtools import sanitize
 from repro.devtools.concurrency import analyze_concurrency, build_model
+from repro.devtools.determinism import analyze_determinism
 from repro.devtools.hotpath import analyze_hotpath
-from repro.devtools.report import render_text
+from repro.devtools.lifecycle import analyze_lifecycle
+from repro.devtools.report import render_sarif, render_text
 from repro.serve import SimulationServer
 from repro.suite.table import build_benchmark
 
@@ -159,7 +169,122 @@ print(render_text(findings, show_suppressed=True))
 
 
 # ----------------------------------------------------------------------
-# 5. the runtime lock sanitizer on a live server
+# 5. the determinism lint: taint from unordered / clocked / random
+# ----------------------------------------------------------------------
+banner("seeded violations: determinism")
+# Batch formation is bit-identity-critical: the same submissions must
+# produce the same lane packing on every run.  Each function below
+# breaks that a different way.
+NONDET = textwrap.dedent(
+    """
+    import random
+    import time
+
+    def pack_lanes(nets):
+        chosen = set(nets)
+        lanes = []
+        for net in chosen:           # determinism-unordered-iter
+            lanes.append(net)
+        return lanes
+
+    def total_weight(weights):
+        pending = set(weights)
+        return sum(pending)          # determinism-float-reduction
+
+    def plan(nets):
+        stamp = time.time()          # fine by itself...
+        return stamp                 # determinism-wallclock (result path)
+
+    def jitter():
+        return random.random()       # determinism-unseeded-rng
+
+    def route(key, n):
+        return hash(key) % n         # determinism-hash
+    """
+)
+for finding in analyze_determinism([("nondet.py", NONDET)]):
+    print(f"  {finding.location}: {finding.rule}: {finding.message}")
+
+# the escapes: sorting, seeding, and timing-named destinations
+CANONICAL = textwrap.dedent(
+    """
+    import random
+    import time
+
+    def pack_lanes(nets):
+        return [net for net in sorted(set(nets))]
+
+    def jitter(seed):
+        return random.Random(seed).random()
+
+    def admit(request, budget):
+        request.deadline_at = time.perf_counter() + budget
+        return request
+    """
+)
+print(
+    "  canonical variants: "
+    f"{len(analyze_determinism([('ok.py', CANONICAL)]))} findings"
+)
+
+
+# ----------------------------------------------------------------------
+# 6. the lifecycle lint: must-release on every CFG path
+# ----------------------------------------------------------------------
+banner("seeded violations: lifecycle")
+# This is (shape-for-shape) the bug the analyzer found in the real
+# ProcessShardPool._spawn: if Process() or start() raises, both pipe
+# ends leak — and the future variant strands a waiter forever.
+LEAKY = textwrap.dedent(
+    """
+    from concurrent.futures import Future
+
+    def spawn(ctx, task, make_worker):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(target=task, args=(child_conn,))
+        process.start()
+        child_conn.close()
+        return make_worker(process=process, conn=parent_conn)
+
+    def run(work):
+        fut = Future()
+        value = work()         # raises -> fut never resolves
+        fut.set_result(value)
+        return fut
+    """
+)
+for finding in analyze_lifecycle([("leaky.py", LEAKY)]):
+    print(f"  {finding.location}: {finding.rule}: {finding.message}")
+
+# the fix: guard the partial-construction window explicitly
+GUARDED = textwrap.dedent(
+    """
+    def spawn(ctx, task, make_worker):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        try:
+            process = ctx.Process(target=task, args=(child_conn,))
+            process.start()
+        except BaseException:
+            parent_conn.close()
+            child_conn.close()
+            raise
+        try:
+            child_conn.close()
+        except BaseException:
+            process.terminate()
+            parent_conn.close()
+            raise
+        return make_worker(process=process, conn=parent_conn)
+    """
+)
+print(
+    "  guarded spawn: "
+    f"{len(analyze_lifecycle([('fixed.py', GUARDED)]))} findings"
+)
+
+
+# ----------------------------------------------------------------------
+# 7. the runtime lock sanitizer on a live server
 # ----------------------------------------------------------------------
 banner("runtime lock sanitizer (what REPRO_SANITIZE=1 installs)")
 registry = sanitize.install()
@@ -191,10 +316,24 @@ finally:
 
 
 # ----------------------------------------------------------------------
-# 6. the CI gate, in-process
+# 8. the CI gate, in-process
 # ----------------------------------------------------------------------
 banner("repro lint (the CI gate)")
 findings = run_lint()
 print(render_text(findings, show_suppressed=True))
 unsuppressed = [f for f in findings if not f.suppressed]
 print(f"\n  exit code would be {1 if unsuppressed else 0}")
+
+# --sarif renders the same findings as a SARIF 2.1.0 document; CI
+# uploads it so suppressed results show up as dismissed alerts in
+# GitHub code scanning instead of vanishing without their reason
+import json
+
+sarif = json.loads(render_sarif(findings))
+run = sarif["runs"][0]
+print(
+    f"  SARIF: {len(run['tool']['driver']['rules'])} rules, "
+    f"{len(run['results'])} results "
+    f"({sum(1 for r in run['results'] if r.get('suppressions'))} "
+    "suppressed)"
+)

@@ -30,9 +30,11 @@ Subcommands
     Show the built-in technology models (Table I).
 ``lint``
     Run the :mod:`repro.devtools` static analyzers (concurrency
-    lock-guard/lock-order lint, hot-path allocation lint, runtime
-    sanitizer self-check) over the serving tier and the kernels;
+    lock-guard/lock-order lint, hot-path allocation lint, the
+    determinism and lifecycle dataflow families, runtime sanitizer
+    self-check) over the serving tier and the wave-pipeline engine;
     exits nonzero on unsuppressed findings — the CI lint gate.
+    ``--sarif`` emits the GitHub code-scanning report CI uploads.
 """
 
 from __future__ import annotations
@@ -247,18 +249,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = commands.add_parser(
         "lint",
-        help="static concurrency + hot-path analysis (CI gate)",
-        description="Run the repro.devtools analyzers: lock-guard "
-        "inference and the lock-order graph over repro.serve and the "
-        "kernel compile cache, the zero-allocation check of the "
-        "'# lint: hot' kernel loops, and the runtime lock sanitizer's "
-        "self-check.  Exits 1 when any unsuppressed finding remains; "
-        "findings are silenced in-source with "
-        "'# lint: <family>-ok(reason)' and the reason is mandatory.",
+        help="static concurrency/determinism/lifecycle analysis (CI gate)",
+        description="Run the repro.devtools analyzers over repro.serve "
+        "and repro.core.wavepipe: lock-guard inference and the "
+        "lock-order graph, the zero-allocation check of the "
+        "'# lint: hot' kernel loops, the determinism family (unordered "
+        "iteration on result paths, unseeded RNG, wall-clock taint, "
+        "order-dependent float reductions), the CFG/dataflow lifecycle "
+        "family (stranded futures, leaked processes/pipes/files), and "
+        "the runtime lock sanitizer's self-check.  Exits 1 when any "
+        "unsuppressed finding remains; findings are silenced in-source "
+        "with '# lint: <family>-ok(reason)' and the reason is "
+        "mandatory.",
     )
-    lint.add_argument(
+    report_format = lint.add_mutually_exclusive_group()
+    report_format.add_argument(
         "--json", action="store_true",
         help="machine-readable report (findings + summary)",
+    )
+    report_format.add_argument(
+        "--sarif", action="store_true",
+        help="SARIF 2.1.0 report (GitHub code-scanning upload format; "
+        "suppressed findings carry inSource suppressions)",
     )
     lint.add_argument(
         "--show-suppressed", action="store_true",
@@ -267,7 +279,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--paths", nargs="+", type=Path, default=None,
         help="analyze these files instead of the default surface "
-        "(repro.serve + the wavepipe kernels)",
+        "(repro.serve + repro.core.wavepipe)",
     )
     lint.add_argument(
         "--no-self-check", action="store_true",
@@ -766,12 +778,20 @@ def _run_techs(out) -> int:
 
 
 def _run_lint(args: argparse.Namespace, out) -> int:
-    from .devtools import render_json, render_text, run_lint, summarize
+    from .devtools import (
+        render_json,
+        render_sarif,
+        render_text,
+        run_lint,
+        summarize,
+    )
 
     findings = run_lint(
         args.paths, sanitizer_check=not args.no_self_check
     )
-    if args.json:
+    if args.sarif:
+        print(render_sarif(findings), file=out)
+    elif args.json:
         print(render_json(findings), file=out)
     else:
         print(

@@ -85,6 +85,7 @@ import numpy as np
 
 from ...errors import SimulationError
 from .clocking import ClockingScheme
+from .components import WaveNetlist
 from .kernels import (
     CompiledWaveNetlist,
     compile_netlist,
@@ -420,7 +421,7 @@ def _interference_error(event: WaveInterference) -> SimulationError:
 
 
 def describe_packed_run(
-    netlist,
+    netlist: WaveNetlist,
     n_waves: int,
     clocking: Optional[ClockingScheme] = None,
     pipelined: bool = True,
@@ -466,7 +467,7 @@ def describe_packed_run(
 
 
 def plan_stream_batch(
-    netlist,
+    netlist: WaveNetlist,
     waves_per_stream: Sequence[int],
     clocking: Optional[ClockingScheme] = None,
     pipelined: bool = True,
@@ -515,7 +516,7 @@ def plan_stream_batch(
 
 
 def _packed_reports(
-    netlist,
+    netlist: WaveNetlist,
     streams: Sequence[Sequence[Sequence[bool]]],
     clocking: Optional[ClockingScheme],
     pipelined: bool,
@@ -598,7 +599,7 @@ def _packed_reports(
 
 
 def simulate_waves_packed(
-    netlist,
+    netlist: WaveNetlist,
     vectors: Sequence[Sequence[bool]],
     clocking: Optional[ClockingScheme] = None,
     pipelined: bool = True,
@@ -627,7 +628,7 @@ def simulate_waves_packed(
 
 
 def simulate_streams_packed(
-    netlist,
+    netlist: WaveNetlist,
     streams: Sequence[Sequence[Sequence[bool]]],
     clocking: Optional[ClockingScheme] = None,
     pipelined: bool = True,

@@ -59,7 +59,9 @@ class _Chain:
     carrier literal.
     """
 
-    def __init__(self, netlist: WaveNetlist, driver: int, limit: int | None):
+    def __init__(
+        self, netlist: WaveNetlist, driver: int, limit: int | None
+    ) -> None:
         self.netlist = netlist
         self.driver_lit = driver << 1
         self.limit = limit

@@ -43,7 +43,7 @@ class ClockingScheme:
 
     n_phases: int = PAPER_PHASES
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_phases < 2:
             raise SimulationError(
                 f"a regeneration clock needs >= 2 phases, got {self.n_phases}"

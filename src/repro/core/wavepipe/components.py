@@ -72,7 +72,7 @@ class WaveNetlist:
     a component's fan-ins always reference lower indices.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._kinds: list[int] = [Kind.CONST]
         self._fanins: list[tuple[int, ...]] = [()]

@@ -78,7 +78,7 @@ class _Slot:
 
     __slots__ = ("depth", "carrier")
 
-    def __init__(self, depth: int, carrier: int):
+    def __init__(self, depth: int, carrier: int) -> None:
         self.depth = depth  # 0 = the driver itself
         self.carrier = carrier  # literal delivering the value
 

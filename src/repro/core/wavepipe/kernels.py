@@ -474,7 +474,7 @@ class _PhaseScratch:
     )
 
     def __init__(self, compiled: CompiledWaveNetlist, phase: int,
-                 n_words: int, n_lanes: int, tracked: bool):
+                 n_words: int, n_lanes: int, tracked: bool) -> None:
         m0, m1 = int(compiled.maj_ptr[phase]), int(compiled.maj_ptr[phase + 1])
         b0, b1 = int(compiled.buf_ptr[phase]), int(compiled.buf_ptr[phase + 1])
         n_maj, n_buf = m1 - m0, b1 - b0

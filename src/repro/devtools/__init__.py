@@ -1,6 +1,6 @@
 """Static analysis & sanitizers for the concurrent parts of the repo.
 
-Three coordinated analyzers, surfaced as ``repro lint`` (CI-gated):
+Five coordinated analyzers, surfaced as ``repro lint`` (CI-gated):
 
 :mod:`repro.devtools.concurrency`
     AST lock-guard inference + lock-order graph over the serving tier
@@ -10,10 +10,23 @@ Three coordinated analyzers, surfaced as ``repro lint`` (CI-gated):
     Zero-allocation check of the ``# lint: hot`` kernel step loops
     (rules ``alloc-call``, ``alloc-ufunc``, ``alloc-comprehension``,
     ``alloc-builtin``).
+:mod:`repro.devtools.determinism`
+    Bit-identity guard over ``core/wavepipe`` + ``serve``: unordered
+    iteration feeding result paths, unseeded RNG, wall-clock taint,
+    order-dependent float reductions, process-seeded ``hash()``
+    (rules ``determinism-*``).
+:mod:`repro.devtools.lifecycle`
+    CFG/dataflow must-release check: every future resolved and every
+    acquired resource released (or escaped to an owner) on all paths,
+    exception edges included (rules ``lifecycle-stranded-future``,
+    ``lifecycle-leak``).
 :mod:`repro.devtools.sanitize`
     Runtime lock sanitizer (``REPRO_SANITIZE=1``); ``repro lint`` runs
     its :func:`~repro.devtools.sanitize.self_check` so broken detection
     machinery is itself a finding.
+
+The determinism and lifecycle families share the intraprocedural CFG +
+fixpoint engine in :mod:`repro.devtools.dataflow`.
 
 :func:`run_lint` is the one entry point the CLI and the self-check
 tests share.
@@ -25,11 +38,14 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from .concurrency import analyze_concurrency, build_model
+from .determinism import analyze_determinism
 from .hotpath import analyze_hotpath
+from .lifecycle import analyze_lifecycle
 from .report import (
     Finding,
     Suppressions,
     render_json,
+    render_sarif,
     render_text,
     summarize,
 )
@@ -38,10 +54,13 @@ from .sanitize import self_check
 __all__ = [
     "Finding",
     "analyze_concurrency",
+    "analyze_determinism",
     "analyze_hotpath",
+    "analyze_lifecycle",
     "build_model",
     "default_lint_paths",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "self_check",
@@ -52,11 +71,21 @@ _PACKAGE_ROOT = Path(__file__).resolve().parent.parent  # src/repro
 
 
 def default_lint_paths() -> list[Path]:
-    """The concurrent surface the lint gate covers by default."""
+    """The surface the lint gate covers by default.
+
+    All of ``repro.serve`` (the concurrent/lifecycle-heavy tier) and
+    all of ``repro.core.wavepipe`` (the bit-identity-critical engine);
+    each analyzer engages only where its preconditions hold, so the
+    broad surface costs nothing where a family has nothing to say.
+    """
     serve = sorted((_PACKAGE_ROOT / "serve").glob("*.py"))
-    kernels = _PACKAGE_ROOT / "core" / "wavepipe" / "kernels.py"
-    return [path for path in serve if path.name != "__init__.py"] + [
-        kernels
+    wavepipe = sorted(
+        (_PACKAGE_ROOT / "core" / "wavepipe").glob("*.py")
+    )
+    return [
+        path
+        for path in serve + wavepipe
+        if path.name != "__init__.py"
     ]
 
 
@@ -79,6 +108,8 @@ def run_lint(
     ]
     findings = list(analyze_concurrency(sources))
     findings.extend(analyze_hotpath(sources))
+    findings.extend(analyze_determinism(sources))
+    findings.extend(analyze_lifecycle(sources))
     for path, text in sources:
         findings.extend(
             Suppressions.scan(text).bad_suppression_findings(

@@ -1,0 +1,529 @@
+"""Intraprocedural CFG + fixpoint dataflow over Python ``ast``.
+
+The shared analysis core behind :mod:`repro.devtools.determinism` and
+:mod:`repro.devtools.lifecycle`: a statement-level control-flow graph
+built from a function's AST, plus generic forward/backward fixpoint
+solvers that clients drive with their own lattice (``init`` /
+``transfer`` / ``join``).
+
+CFG shape
+---------
+One :class:`Node` per simple statement or compound-statement *header*
+(the ``if``/``while`` test, the ``for`` iterable, the ``with`` context
+expressions, ...).  Three synthetic nodes frame the function: ``entry``,
+``exit`` (normal return / fall-off-the-end), and ``raise_exit`` (an
+exception leaves the function).  Edges carry a kind:
+
+``"normal"``
+    Ordinary fall-through / branch / loop-back control flow.
+``"exception"``
+    *Implicit* may-raise flow: a statement containing a call (or an
+    ``assert``) may raise before or after its effect, so it gets an
+    extra edge to the innermost handler / ``finally`` / ``raise_exit``.
+    Solvers propagate the client's ``transfer_exc`` state (pre-state by
+    default) along these edges.
+``"raise"``
+    *Explicit* ``raise`` statements, and the re-raise continuation of a
+    ``finally`` block (a finally runs on both the normal and the
+    exceptional path, so its exits connect to both continuations).
+
+Path-condition-lite semantics
+-----------------------------
+The graph is deliberately conservative rather than path-sensitive:
+
+* ``try``/``finally``: the finally body is built once; every way in
+  (normal completion, handler completion, exception, ``return``) merges
+  at its entry, and its exits connect to *both* the normal continuation
+  and the enclosing exception target.  Extra merged paths may arise;
+  must-style analyses stay sound, may-style clients accept the noise.
+* ``except``: an exception inside ``try`` flows to every handler
+  header.  When no handler is a catch-all (bare ``except``,
+  ``BaseException``, ``Exception``), the unmatched exception
+  additionally flows past the handlers to the enclosing target.
+* ``return`` routes through enclosing ``finally`` blocks (so a release
+  in a finally counts on the return path) before reaching ``exit``.
+* ``break``/``continue`` jump straight to the loop exit/header —
+  intervening finallys are not modeled on these two jumps.
+
+Nested ``def``/``class``/``lambda`` bodies are opaque single statements
+(clients analyze each function separately).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+#: Edge kinds (see module docstring).
+NORMAL = "normal"
+EXCEPTION = "exception"
+RAISE = "raise"
+
+#: Handlers catching these names swallow *any* exception for edge
+#: purposes ("path-condition-lite": KeyboardInterrupt escaping an
+#: ``except Exception`` is out of scope for a lint).
+_CATCH_ALL_NAMES = frozenset({"BaseException", "Exception"})
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement, a handler header, or a frame marker."""
+
+    index: int
+    #: The statement (or ``ast.ExceptHandler``) this node evaluates;
+    #: ``None`` for the synthetic entry/exit/join nodes.
+    stmt: Optional[ast.AST]
+    #: ``"entry" | "exit" | "raise-exit" | "stmt" | "handler" | "join"``
+    kind: str
+    #: Outgoing ``(successor index, edge kind)`` edges.
+    succ: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def line(self) -> Optional[int]:
+        return getattr(self.stmt, "lineno", None)
+
+
+class CFG:
+    """Control-flow graph of one function (see module docstring)."""
+
+    def __init__(
+        self,
+        nodes: List[Node],
+        entry: int,
+        exit: int,
+        raise_exit: int,
+        function: FunctionNode,
+    ) -> None:
+        self.nodes = nodes
+        self.entry = entry
+        self.exit = exit
+        self.raise_exit = raise_exit
+        self.function = function
+
+    @classmethod
+    def from_function(cls, function: FunctionNode) -> "CFG":
+        return _Builder(function).build()
+
+    def predecessors(self) -> Dict[int, List[Tuple[int, str]]]:
+        """``node index -> [(predecessor index, edge kind)]``."""
+        preds: Dict[int, List[Tuple[int, str]]] = {
+            node.index: [] for node in self.nodes
+        }
+        for node in self.nodes:
+            for succ, kind in node.succ:
+                preds[succ].append((node.index, kind))
+        return preds
+
+
+def may_raise(stmt: ast.AST) -> bool:
+    """Whether *stmt* gets an implicit ``"exception"`` edge.
+
+    Deliberately narrower than Python's "almost anything can raise":
+    only statements containing a call (or an ``assert``, which is a
+    conditional raise) are treated as may-raise, which keeps exception
+    edges — and the findings that ride on them — anchored to the
+    operations that fail in practice.
+    """
+    if isinstance(stmt, (ast.Assert, ast.Raise)):
+        return True
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False  # defining a function evaluates nothing risky
+
+    class _Finder(ast.NodeVisitor):
+        found = False
+
+        def visit_Call(self, node: ast.Call) -> None:
+            self.found = True
+
+        def visit_Await(self, node: ast.Await) -> None:
+            self.found = True
+
+        # nested bodies are opaque: calls inside them do not raise here
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            pass
+
+        def visit_AsyncFunctionDef(
+            self, node: ast.AsyncFunctionDef
+        ) -> None:
+            pass
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass
+
+    finder = _Finder()
+    finder.visit(stmt)
+    return finder.found
+
+
+class _Builder:
+    """Single-use CFG builder (recursive descent over statement lists)."""
+
+    def __init__(self, function: FunctionNode) -> None:
+        self.function = function
+        self.nodes: List[Node] = []
+        # stack of exception destinations: each frame is the list of
+        # (node index, edge kind) an exception raised "here" flows to
+        self.exc_frames: List[List[Tuple[int, str]]] = []
+        # stack of finally entry nodes a return must route through
+        self.finally_entries: List[int] = []
+        # loop stack: (header index, list collecting break edges)
+        self.loops: List[Tuple[int, List[Tuple[int, str]]]] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _new(self, stmt: Optional[ast.AST], kind: str = "stmt") -> int:
+        node = Node(index=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        return node.index
+
+    def _connect(
+        self, frontier: List[Tuple[int, str]], target: int
+    ) -> None:
+        for source, kind in frontier:
+            self.nodes[source].succ.append((target, kind))
+
+    def _exc_dests(self) -> List[Tuple[int, str]]:
+        return self.exc_frames[-1]
+
+    def _add_exception_edges(self, index: int, stmt: ast.AST) -> None:
+        if may_raise(stmt):
+            for target, _ in self._exc_dests():
+                self.nodes[index].succ.append((target, EXCEPTION))
+
+    # -- build ---------------------------------------------------------
+    def build(self) -> CFG:
+        entry = self._new(None, "entry")
+        exit_ = self._new(None, "exit")
+        raise_exit = self._new(None, "raise-exit")
+        self.exit = exit_
+        self.exc_frames.append([(raise_exit, EXCEPTION)])
+        frontier = self._block(self.function.body, [(entry, NORMAL)])
+        self._connect(frontier, exit_)
+        self.exc_frames.pop()
+        return CFG(self.nodes, entry, exit_, raise_exit, self.function)
+
+    def _block(
+        self,
+        stmts: List[ast.stmt],
+        frontier: List[Tuple[int, str]],
+    ) -> List[Tuple[int, str]]:
+        for stmt in stmts:
+            frontier = self._statement(stmt, frontier)
+        return frontier
+
+    def _statement(
+        self, stmt: ast.stmt, frontier: List[Tuple[int, str]]
+    ) -> List[Tuple[int, str]]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            return self._return(stmt, frontier)
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt, frontier)
+        if isinstance(stmt, ast.Break):
+            index = self._new(stmt)
+            self._connect(frontier, index)
+            self.loops[-1][1].append((index, NORMAL))
+            return []
+        if isinstance(stmt, ast.Continue):
+            index = self._new(stmt)
+            self._connect(frontier, index)
+            self.nodes[index].succ.append((self.loops[-1][0], NORMAL))
+            return []
+        # simple statement (assignments, expressions, nested defs, ...)
+        index = self._new(stmt)
+        self._connect(frontier, index)
+        self._add_exception_edges(index, stmt)
+        return [(index, NORMAL)]
+
+    def _if(
+        self, stmt: ast.If, frontier: List[Tuple[int, str]]
+    ) -> List[Tuple[int, str]]:
+        header = self._new(stmt)
+        self._connect(frontier, header)
+        self._add_exception_edges(header, stmt.test)
+        then = self._block(stmt.body, [(header, NORMAL)])
+        if stmt.orelse:
+            other = self._block(stmt.orelse, [(header, NORMAL)])
+        else:
+            other = [(header, NORMAL)]
+        return then + other
+
+    def _loop(
+        self,
+        stmt: Union[ast.While, ast.For, ast.AsyncFor],
+        frontier: List[Tuple[int, str]],
+    ) -> List[Tuple[int, str]]:
+        header = self._new(stmt)
+        self._connect(frontier, header)
+        raise_source = (
+            stmt.test if isinstance(stmt, ast.While) else stmt.iter
+        )
+        self._add_exception_edges(header, raise_source)
+        breaks: List[Tuple[int, str]] = []
+        self.loops.append((header, breaks))
+        body_exit = self._block(stmt.body, [(header, NORMAL)])
+        self._connect(body_exit, header)
+        self.loops.pop()
+        after: List[Tuple[int, str]] = breaks
+        # loop exit: condition false / iterator exhausted (a
+        # ``while True`` with no break genuinely never falls through,
+        # but modeling that would need constant folding — accept the
+        # spurious fall-through edge)
+        after = after + [(header, NORMAL)]
+        if stmt.orelse:
+            after = self._block(stmt.orelse, [(header, NORMAL)]) + breaks
+        return after
+
+    def _with(
+        self,
+        stmt: Union[ast.With, ast.AsyncWith],
+        frontier: List[Tuple[int, str]],
+    ) -> List[Tuple[int, str]]:
+        header = self._new(stmt)
+        self._connect(frontier, header)
+        # entering a context manager evaluates calls
+        for item in stmt.items:
+            self._add_exception_edges(header, item.context_expr)
+        return self._block(stmt.body, [(header, NORMAL)])
+
+    def _try(
+        self, stmt: ast.Try, frontier: List[Tuple[int, str]]
+    ) -> List[Tuple[int, str]]:
+        outer_dests = self._exc_dests()
+        finally_entry: Optional[int] = None
+        if stmt.finalbody:
+            finally_entry = self._new(None, "join")
+            self.finally_entries.append(finally_entry)
+
+        # where do exceptions raised in the try body go?
+        handler_headers: List[int] = []
+        for handler in stmt.handlers:
+            handler_headers.append(self._new(handler, "handler"))
+        body_exc: List[Tuple[int, str]] = [
+            (header, EXCEPTION) for header in handler_headers
+        ]
+        catch_all = any(
+            handler.type is None
+            or (
+                isinstance(handler.type, ast.Name)
+                and handler.type.id in _CATCH_ALL_NAMES
+            )
+            or (
+                isinstance(handler.type, ast.Attribute)
+                and handler.type.attr in _CATCH_ALL_NAMES
+            )
+            for handler in stmt.handlers
+        )
+        if not catch_all:
+            # unmatched exceptions skip the handlers: through the
+            # finally when there is one, else straight out
+            if finally_entry is not None:
+                body_exc.append((finally_entry, EXCEPTION))
+            else:
+                body_exc.extend(outer_dests)
+
+        self.exc_frames.append(body_exc)
+        body_exit = self._block(stmt.body, frontier)
+        self.exc_frames.pop()
+
+        if stmt.orelse:
+            body_exit = self._block(stmt.orelse, body_exit)
+
+        # handler bodies: exceptions raised inside them go through the
+        # finally (if any) or to the enclosing destinations
+        handler_dests: List[Tuple[int, str]]
+        if finally_entry is not None:
+            handler_dests = [(finally_entry, EXCEPTION)]
+        else:
+            handler_dests = outer_dests
+        handler_exits: List[Tuple[int, str]] = []
+        self.exc_frames.append(handler_dests)
+        for header_index, handler in zip(handler_headers, stmt.handlers):
+            handler_exits.extend(
+                self._block(handler.body, [(header_index, NORMAL)])
+            )
+        self.exc_frames.pop()
+
+        completed = body_exit + handler_exits
+        if finally_entry is None:
+            return completed
+        self._connect(completed, finally_entry)
+        self.finally_entries.pop()
+        final_exit = self._block(
+            stmt.finalbody, [(finally_entry, NORMAL)]
+        )
+        # dual continuation: the finally ran either on the normal path
+        # (fall through) or with an exception in flight (re-raise to
+        # the enclosing destinations)
+        for target, _ in outer_dests:
+            for source, _kind in final_exit:
+                self.nodes[source].succ.append((target, RAISE))
+        return final_exit
+
+    def _return(
+        self, stmt: ast.Return, frontier: List[Tuple[int, str]]
+    ) -> List[Tuple[int, str]]:
+        index = self._new(stmt)
+        self._connect(frontier, index)
+        self._add_exception_edges(index, stmt)
+        if self.finally_entries:
+            # route through the innermost finally; its normal exit also
+            # reaches the code after the try (a spurious continuation
+            # the path-condition-lite model accepts)
+            self.nodes[index].succ.append(
+                (self.finally_entries[-1], NORMAL)
+            )
+        else:
+            self.nodes[index].succ.append((self.exit, NORMAL))
+        return []
+
+    def _raise(
+        self, stmt: ast.Raise, frontier: List[Tuple[int, str]]
+    ) -> List[Tuple[int, str]]:
+        index = self._new(stmt)
+        self._connect(frontier, index)
+        for target, _ in self._exc_dests():
+            self.nodes[index].succ.append((target, RAISE))
+        return []
+
+
+# ----------------------------------------------------------------------
+# fixpoint solvers
+# ----------------------------------------------------------------------
+
+Transfer = Callable[[Node, Any], Any]
+Join = Callable[[Any, Any], Any]
+
+#: Iteration safety valve: a well-formed client lattice converges in
+#: O(nodes * lattice height); a client whose join is not monotone would
+#: otherwise spin forever inside the lint.
+MAX_VISITS_PER_NODE = 256
+
+
+def solve_forward(
+    cfg: CFG,
+    *,
+    init: Any,
+    transfer: Transfer,
+    join: Join,
+    transfer_exc: Optional[Transfer] = None,
+) -> Dict[int, Any]:
+    """Forward fixpoint: returns the state *entering* each node.
+
+    ``transfer(node, state)`` produces the post-state propagated along
+    ``"normal"`` and ``"raise"`` edges.  Along ``"exception"`` edges the
+    statement may have raised before completing, so ``transfer_exc``
+    decides what survives: by default the pre-state (the statement's
+    effect is not assumed); returning ``None`` from a supplied
+    ``transfer_exc`` suppresses propagation along that edge entirely
+    (used by clients that only reason about explicit raises).
+
+    States must support ``==`` (fixpoint detection); ``join`` must be
+    monotone over a finite lattice for termination (a per-node visit cap
+    guards against client bugs).
+    """
+    states: Dict[int, Any] = {cfg.entry: init}
+    visits: Dict[int, int] = {}
+    worklist = deque([cfg.entry])
+    queued = {cfg.entry}
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        visits[index] = visits.get(index, 0) + 1
+        if visits[index] > MAX_VISITS_PER_NODE:
+            continue
+        node = cfg.nodes[index]
+        state = states[index]
+        post = transfer(node, state)
+        for succ, kind in node.succ:
+            if kind == EXCEPTION:
+                if transfer_exc is None:
+                    out = state
+                else:
+                    out = transfer_exc(node, state)
+                    if out is None:
+                        continue
+            else:
+                out = post
+            old = states.get(succ)
+            merged = out if old is None else join(old, out)
+            if old is None or merged != old:
+                states[succ] = merged
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return states
+
+
+def solve_backward(
+    cfg: CFG,
+    *,
+    init: Any,
+    transfer: Transfer,
+    join: Join,
+) -> Dict[int, Any]:
+    """Backward fixpoint: returns the state *leaving* each node.
+
+    The state flowing out of a node is ``transfer(node, join of the
+    states entering its successors)``; both exit nodes seed with
+    ``init``.  Edge kinds are not distinguished backwards — a backward
+    client (liveness and friends) treats every path alike.
+    """
+    preds = cfg.predecessors()
+    states: Dict[int, Any] = {cfg.exit: init, cfg.raise_exit: init}
+    visits: Dict[int, int] = {}
+    worklist = deque([cfg.exit, cfg.raise_exit])
+    queued = set(worklist)
+    while worklist:
+        index = worklist.popleft()
+        queued.discard(index)
+        visits[index] = visits.get(index, 0) + 1
+        if visits[index] > MAX_VISITS_PER_NODE:
+            continue
+        node = cfg.nodes[index]
+        state = states[index]
+        out = transfer(node, state)
+        for pred, _kind in preds[index]:
+            old = states.get(pred)
+            merged = out if old is None else join(old, out)
+            if old is None or merged != old:
+                states[pred] = merged
+                if pred not in queued:
+                    worklist.append(pred)
+                    queued.add(pred)
+    return states
+
+
+def function_defs(tree: ast.AST) -> List[Tuple[FunctionNode, Optional[ast.ClassDef]]]:
+    """Every function in *tree* with its enclosing class (or ``None``).
+
+    Nested functions are included (each analyzed on its own); the
+    enclosing class is the innermost one, for clients that resolve
+    ``self`` attributes.
+    """
+    found: List[Tuple[FunctionNode, Optional[ast.ClassDef]]] = []
+
+    def walk(node: ast.AST, cls: Optional[ast.ClassDef]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                walk(child, child)
+            elif isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                found.append((child, cls))
+                walk(child, cls)
+            else:
+                walk(child, cls)
+
+    walk(tree, None)
+    return found

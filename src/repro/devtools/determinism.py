@@ -1,0 +1,580 @@
+"""Determinism lint: machine-checking the bit-identity invariant.
+
+The reproduction's core claim is that the packed/kernelized engine is
+**bit-identical** to the scalar oracle — interference ordering exact,
+reports reproducible run to run, worker to worker.  Everything that
+threatens that is some flavor of hidden nondeterminism; this analyzer
+flags the four flavors that actually bite, over ``core/wavepipe`` and
+``serve``:
+
+``determinism-unordered-iter``
+    Iteration over an inferred-unordered collection (``set`` literals,
+    ``set()``/``frozenset()`` results, set comprehensions, set-typed
+    annotations, set operators) in an order-sensitive position: a
+    ``for`` loop, a list/generator/dict comprehension, ``list()`` /
+    ``tuple()`` / ``enumerate()`` / ``zip()`` / ``join()`` /
+    ``reversed()`` / ``dict()``, or an argument to packing/merging/
+    planning code.  ``sorted(...)`` canonicalizes and silences the
+    rule; membership tests, ``len``, ``min``/``max``, ``any``/``all``
+    and set-to-set comprehensions are order-insensitive and never flag.
+``determinism-unseeded-rng``
+    Module-global RNG state (``random.random()``, ``np.random.*``) or
+    an RNG constructed without a seed (``random.Random()``,
+    ``np.random.default_rng()``): results change run to run.
+``determinism-wallclock``
+    A wall-clock read (``time.time``/``perf_counter``/``monotonic``,
+    ``datetime.now``) flowing somewhere other than metrics/deadline
+    plumbing: returned from a non-timing function, stored into a
+    non-timing attribute, or passed positionally into packing/
+    simulation code.  Deadlines, latency metrics, and linger logic are
+    the legitimate uses and are recognized by name.
+``determinism-float-reduction``
+    A float reduction (``sum``, ``math.fsum``, ``np.sum``, ``mean``)
+    over an inferred-unordered iterable: float addition is not
+    associative, so the result depends on iteration order.
+``determinism-hash``
+    Builtin ``hash()``: seeded per process (``PYTHONHASHSEED``), so
+    any cross-process or cross-run meaning is nondeterministic.
+    Within-process uses are legitimate and carry a suppression.
+
+Unordered-ness and wall-clock taint are tracked through assignments
+with a forward dataflow pass over :mod:`repro.devtools.dataflow`'s CFG,
+so a set bound three statements before the loop that iterates it is
+still caught.  Suppress with ``# lint: determinism-ok(reason)`` (or a
+rule-specific ``determinism-unordered-iter-ok(...)`` etc.).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .dataflow import CFG, FunctionNode, Node, function_defs, solve_forward
+from .report import Finding, Suppressions, apply_suppressions
+
+#: names whose value is a timestamp when called
+_WALLCLOCK_FUNCS = frozenset(
+    {
+        "time",
+        "perf_counter",
+        "monotonic",
+        "time_ns",
+        "perf_counter_ns",
+        "monotonic_ns",
+        "now",
+        "utcnow",
+        "today",
+    }
+)
+
+#: identifiers that legitimately hold/receive timestamps
+_TIMING_NAME_RE = re.compile(
+    r"(time|clock|now|deadline|elapsed|latency|timeout|linger|expir"
+    r"|start|began|end|duration|budget|wall|uptime|age|stamp|wait"
+    r"|_s$|_ns$|_at$)",
+    re.IGNORECASE,
+)
+
+#: callees where a nondeterministic argument corrupts results
+_RESULT_SINK_RE = re.compile(
+    r"(pack|merge|plan|inject|batch|simulate)", re.IGNORECASE
+)
+
+#: order-sensitive builtins: materialize/enumerate their argument
+_ORDER_SENSITIVE = frozenset(
+    {"list", "tuple", "enumerate", "zip", "reversed", "dict", "join"}
+)
+
+_REDUCTIONS = frozenset(
+    {"sum", "fsum", "mean", "nansum", "average", "prod", "cumsum"}
+)
+
+#: module-global RNG entry points on ``random`` / ``np.random``
+_GLOBAL_RNG = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "seed",
+        "getrandbits",
+        "rand",
+        "randn",
+        "normal",
+        "permutation",
+    }
+)
+
+_UNORDERED = "unordered"
+_WALLCLOCK = "wallclock"
+
+#: var -> taint flags
+_State = Dict[str, FrozenSet[str]]
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_wallclock_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        base_name = (
+            base.id
+            if isinstance(base, ast.Name)
+            else base.attr if isinstance(base, ast.Attribute) else None
+        )
+        return (
+            func.attr in _WALLCLOCK_FUNCS
+            and base_name in {"time", "datetime", "date"}
+        )
+    if isinstance(func, ast.Name):
+        return func.id in _WALLCLOCK_FUNCS - {"time", "now", "today"}
+    return False
+
+
+def _is_set_annotation(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    if isinstance(annotation, ast.Name):
+        return annotation.id in {"set", "frozenset", "Set", "FrozenSet"}
+    if isinstance(annotation, ast.Subscript):
+        return _is_set_annotation(annotation.value)
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in {"Set", "FrozenSet"}
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        return bool(
+            re.match(r"\s*(set|frozenset|Set|FrozenSet)\b", annotation.value)
+        )
+    return False
+
+
+def _class_unordered_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Attributes annotated set-typed anywhere in the class body."""
+    attrs: Set[str] = set()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.AnnAssign):
+            continue
+        if not _is_set_annotation(node.annotation):
+            continue
+        target = node.target
+        if isinstance(target, ast.Name):
+            attrs.add(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            attrs.add(target.attr)
+    return attrs
+
+
+class _FunctionAnalysis:
+    """Taint/unordered dataflow + sink checks over one function."""
+
+    def __init__(
+        self,
+        path: str,
+        function: FunctionNode,
+        unordered_attrs: Set[str],
+    ) -> None:
+        self.path = path
+        self.function = function
+        self.unordered_attrs = unordered_attrs
+        self.cfg = CFG.from_function(function)
+
+    # -- inference -----------------------------------------------------
+    def _flags(self, expr: ast.expr, state: _State) -> FrozenSet[str]:
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, frozenset())
+        if isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in self.unordered_attrs
+            ):
+                return frozenset({_UNORDERED})
+            return frozenset()
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return frozenset({_UNORDERED})
+        if isinstance(expr, ast.Call):
+            name = _callee_name(expr)
+            if name in {"set", "frozenset"}:
+                return frozenset({_UNORDERED})
+            if name == "sorted":
+                return frozenset()  # canonicalized
+            if _is_wallclock_call(expr):
+                return frozenset({_WALLCLOCK})
+            return frozenset()
+        if isinstance(expr, ast.BinOp):
+            return self._flags(expr.left, state) | self._flags(
+                expr.right, state
+            )
+        if isinstance(expr, ast.IfExp):
+            return self._flags(expr.body, state) | self._flags(
+                expr.orelse, state
+            )
+        if isinstance(expr, (ast.NamedExpr,)):
+            return self._flags(expr.value, state)
+        return frozenset()
+
+    # -- transfer ------------------------------------------------------
+    def _transfer(self, node: Node, state: _State) -> _State:
+        stmt = node.stmt
+        if stmt is None:
+            return state
+        out = state
+
+        def bind(name: str, flags: FrozenSet[str]) -> None:
+            nonlocal out
+            if flags or name in out:
+                out = dict(out)
+                if flags:
+                    out[name] = flags
+                else:
+                    out.pop(name, None)
+
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                bind(target.id, self._flags(stmt.value, state))
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            flags = (
+                self._flags(stmt.value, state)
+                if stmt.value is not None
+                else frozenset()
+            )
+            if _is_set_annotation(stmt.annotation):
+                flags = flags | {_UNORDERED}
+            bind(stmt.target.id, frozenset(flags))
+        elif isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            merged = state.get(
+                stmt.target.id, frozenset()
+            ) | self._flags(stmt.value, state)
+            bind(stmt.target.id, merged)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)) and isinstance(
+            stmt.target, ast.Name
+        ):
+            bind(stmt.target.id, frozenset())  # elements are values
+        return out
+
+    @staticmethod
+    def _join(a: _State, b: _State) -> _State:
+        if a == b:
+            return a
+        out = dict(a)
+        for var, flags in b.items():
+            out[var] = out.get(var, frozenset()) | flags
+        return out
+
+    # -- sinks ---------------------------------------------------------
+    def _evaluated(self, node: Node) -> List[ast.AST]:
+        stmt = node.stmt
+        if stmt is None:
+            return []
+        if isinstance(stmt, ast.If):
+            return [stmt.test]
+        if isinstance(stmt, ast.While):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(stmt, ast.ExceptHandler):
+            return []
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return []  # nested scopes are analyzed separately
+        return [stmt]
+
+    def _check_node(
+        self, node: Node, state: _State, findings: List[Finding]
+    ) -> None:
+        stmt = node.stmt
+
+        def unordered(expr: ast.expr) -> bool:
+            return _UNORDERED in self._flags(expr, state)
+
+        def clocked(expr: ast.expr) -> bool:
+            if _WALLCLOCK in self._flags(expr, state):
+                return True
+            return any(
+                isinstance(n, ast.Call) and _is_wallclock_call(n)
+                for n in ast.walk(expr)
+            )
+
+        def emit(rule: str, line: int, message: str) -> None:
+            findings.append(
+                Finding(
+                    rule=rule,
+                    path=self.path,
+                    line=line,
+                    message=message,
+                    analyzer="determinism",
+                )
+            )
+
+        # direct iteration
+        if isinstance(stmt, (ast.For, ast.AsyncFor)) and unordered(
+            stmt.iter
+        ):
+            what = (
+                f"'{stmt.iter.id}'"
+                if isinstance(stmt.iter, ast.Name)
+                else "an unordered collection"
+            )
+            emit(
+                "determinism-unordered-iter",
+                stmt.lineno,
+                f"iterating {what} (unordered): the visit order "
+                "changes run to run — sort (or use an ordered "
+                "container) before anything order-sensitive consumes "
+                "it",
+            )
+
+        for tree in self._evaluated(node):
+            # comprehensions drawing from unordered sources (set-to-set
+            # comprehensions are order-insensitive and stay quiet)
+            for comp in (
+                n
+                for n in ast.walk(tree)
+                if isinstance(
+                    n, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+                )
+            ):
+                for gen in comp.generators:
+                    if unordered(gen.iter):
+                        emit(
+                            "determinism-unordered-iter",
+                            comp.lineno,
+                            "comprehension over an unordered "
+                            "collection materializes a "
+                            "nondeterministic order — sort the "
+                            "source first",
+                        )
+            for call in (
+                n for n in ast.walk(tree) if isinstance(n, ast.Call)
+            ):
+                name = _callee_name(call)
+                if name is None:
+                    continue
+                first = call.args[0] if call.args else None
+                if name in _REDUCTIONS:
+                    if first is not None and unordered(first):
+                        emit(
+                            "determinism-float-reduction",
+                            call.lineno,
+                            f"{name}() over an unordered collection: "
+                            "float accumulation is order-dependent, "
+                            "so the reduction is not reproducible — "
+                            "sort the operands first",
+                        )
+                elif name in _ORDER_SENSITIVE:
+                    if any(unordered(arg) for arg in call.args):
+                        emit(
+                            "determinism-unordered-iter",
+                            call.lineno,
+                            f"{name}() materializes an unordered "
+                            "collection in nondeterministic order — "
+                            "wrap the source in sorted(...)",
+                        )
+                elif name == "hash" and isinstance(
+                    call.func, ast.Name
+                ):
+                    emit(
+                        "determinism-hash",
+                        call.lineno,
+                        "builtin hash() is seeded per process "
+                        "(PYTHONHASHSEED): its value has no meaning "
+                        "across runs or across worker processes",
+                    )
+                elif _RESULT_SINK_RE.search(name):
+                    for arg in call.args:
+                        if unordered(arg):
+                            emit(
+                                "determinism-unordered-iter",
+                                call.lineno,
+                                f"unordered collection passed into "
+                                f"{name}(): result-path code must "
+                                "see a canonical order",
+                            )
+                        elif clocked(arg):
+                            emit(
+                                "determinism-wallclock",
+                                call.lineno,
+                                f"wall-clock value passed into "
+                                f"{name}(): timestamps belong in "
+                                "metrics/deadline plumbing, never "
+                                "on a result path",
+                            )
+
+        # wall-clock escaping to non-timing destinations
+        if (
+            isinstance(stmt, ast.Return)
+            and stmt.value is not None
+            and clocked(stmt.value)
+            and not _TIMING_NAME_RE.search(self.function.name)
+        ):
+            emit(
+                "determinism-wallclock",
+                stmt.lineno,
+                f"'{self.function.name}' returns a wall-clock "
+                "value but is not named like a timing helper — "
+                "results derived from it will differ run to run",
+            )
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and not _TIMING_NAME_RE.search(target.attr)
+                    and clocked(stmt.value)
+                ):
+                    emit(
+                        "determinism-wallclock",
+                        stmt.lineno,
+                        f"wall-clock value stored into non-timing "
+                        f"attribute '{target.attr}' — name it like "
+                        "a timestamp or keep the clock out of it",
+                    )
+
+    def findings(self) -> List[Finding]:
+        states = solve_forward(
+            self.cfg,
+            init={},
+            transfer=self._transfer,
+            join=self._join,
+        )
+        found: List[Finding] = []
+        for node in self.cfg.nodes:
+            state = states.get(node.index)
+            if state is None:
+                continue
+            self._check_node(node, state, found)
+        return found
+
+
+def _rng_findings(path: str, tree: ast.AST) -> List[Finding]:
+    """Whole-file scan: module-global / unseeded RNG construction."""
+    findings: List[Finding] = []
+
+    def emit(line: int, message: str) -> None:
+        findings.append(
+            Finding(
+                rule="determinism-unseeded-rng",
+                path=path,
+                line=line,
+                message=message,
+                analyzer="determinism",
+            )
+        )
+
+    for call in (n for n in ast.walk(tree) if isinstance(n, ast.Call)):
+        func = call.func
+        seeded = bool(call.args or call.keywords)
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            base, attr = func.value.id, func.attr
+            if base == "random" and attr in _GLOBAL_RNG:
+                emit(
+                    call.lineno,
+                    f"random.{attr}() uses the module-global RNG: "
+                    "shared, unseeded state — construct a seeded "
+                    "random.Random(seed) instead",
+                )
+            elif base == "random" and attr == "Random" and not seeded:
+                emit(
+                    call.lineno,
+                    "random.Random() without a seed: results change "
+                    "run to run — pass an explicit seed",
+                )
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Attribute
+        ):
+            inner = func.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id in {"np", "numpy"}
+                and inner.attr == "random"
+            ):
+                if func.attr == "default_rng" and not seeded:
+                    emit(
+                        call.lineno,
+                        "np.random.default_rng() without a seed: "
+                        "results change run to run — pass an "
+                        "explicit seed",
+                    )
+                elif func.attr in _GLOBAL_RNG:
+                    emit(
+                        call.lineno,
+                        f"np.random.{func.attr}() uses numpy's "
+                        "global RNG state — use a seeded "
+                        "np.random.default_rng(seed)",
+                    )
+        if (
+            isinstance(func, ast.Name)
+            and func.id in {"Random", "RandomState"}
+            and not seeded
+        ):
+            emit(
+                call.lineno,
+                f"{func.id}() without a seed: results change run "
+                "to run — pass an explicit seed",
+            )
+    return findings
+
+
+def analyze_determinism(
+    sources: Sequence[Tuple[str, str]]
+) -> List[Finding]:
+    """Run the determinism rules over ``(path, source)`` pairs."""
+    findings: List[Finding] = []
+    for path, text in sources:
+        tree = ast.parse(text, filename=path)
+        raw = _rng_findings(path, tree)
+        unordered_by_class: Dict[Optional[ast.ClassDef], Set[str]] = {}
+        for function, cls in function_defs(tree):
+            if cls not in unordered_by_class:
+                unordered_by_class[cls] = (
+                    _class_unordered_attrs(cls) if cls else set()
+                )
+            raw.extend(
+                _FunctionAnalysis(
+                    path, function, unordered_by_class[cls]
+                ).findings()
+            )
+        raw.sort(key=lambda f: (f.line, f.rule))
+        findings.extend(
+            apply_suppressions(raw, Suppressions.scan(text))
+        )
+    return findings
+
+
+def analyze_determinism_paths(paths: Sequence[str]) -> List[Finding]:
+    """Disk-path variant of :func:`analyze_determinism`."""
+    return analyze_determinism(
+        [
+            (str(path), Path(path).read_text(encoding="utf-8"))
+            for path in paths
+        ]
+    )

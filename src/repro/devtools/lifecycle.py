@@ -1,0 +1,535 @@
+"""Lifecycle lint: futures resolved and resources released on all paths.
+
+The serving ledger's core promise — *no future is left unresolved, no
+worker/pipe/file leaks* — is chaos-tested dynamically; this analyzer
+machine-checks it statically.  Built on :mod:`repro.devtools.dataflow`:
+per function, a forward must-release analysis tracks every resource
+created in that function across the CFG, exception edges included, and
+reports anything that can leave the function neither released nor
+escaped to an owner.
+
+Rules
+-----
+``lifecycle-stranded-future``
+    A ``Future()`` created here can leave the function without
+    ``set_result`` / ``set_exception`` / ``cancel`` on some path.
+``lifecycle-leak``
+    An acquired resource — ``Popen``/spawned ``Process``, ``Pipe``
+    connections, ``open()`` files, ``*Pool``/``*Executor`` objects —
+    can leave the function unreleased on some path (exception paths
+    reported separately).  Also: a close-like method (``close`` /
+    ``shutdown`` / ``stop`` / ``__exit__``) that releases an owned
+    ``self.<attr>`` on its normal path but can exit through an explicit
+    ``raise`` without doing so.
+
+What counts as resolution
+-------------------------
+* a release method call on the tracked name (``close``, ``terminate``,
+  ``kill``, ``join``, ``shutdown``, ``release``, ``stop``,
+  ``set_result``, ``set_exception``, ``cancel``);
+* **escape to an owner**: passing the name as a call argument, storing
+  it into an attribute/subscript or a container, returning or yielding
+  it, or capturing it in a nested function — ownership moved, the
+  creating function is off the hook;
+* ``with``-managed creation (``with open(p) as f:``) — the context
+  manager releases it.
+
+A ``Process`` object is tracked from construction but only *reportable*
+once ``.start()`` succeeded: before that no OS resource exists, and the
+exception edge of ``start()`` itself deliberately keeps the
+not-yet-started state (start raising means nothing was spawned).
+
+Findings anchor at the creation line and are suppressed in-source with
+``# lint: lifecycle-ok(reason)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .dataflow import (
+    CFG,
+    FunctionNode,
+    Node,
+    function_defs,
+    solve_forward,
+)
+from .report import Finding, Suppressions, apply_suppressions
+
+#: method names whose call on a tracked object counts as release
+RELEASE_METHODS = frozenset(
+    {
+        "set_result",
+        "set_exception",
+        "cancel",
+        "close",
+        "terminate",
+        "kill",
+        "join",
+        "shutdown",
+        "release",
+        "stop",
+    }
+)
+
+#: close-like methods the owner-release rule applies to
+_CLOSE_LIKE = frozenset({"close", "shutdown", "stop", "__exit__"})
+
+_POOLISH_RE = re.compile(r"(Pool|Executor)$")
+
+#: resource phase: reportable when still "pending" at an exit
+_PENDING = "pending"
+_CONSTRUCTED = "constructed"  # Process built but not started
+
+#: var -> (phase, resource kind, creation line)
+_State = Dict[str, Tuple[str, str, int]]
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _creator(call: ast.Call) -> Optional[Tuple[str, str]]:
+    """``(resource kind, initial phase)`` if *call* acquires a resource."""
+    name = _callee_name(call)
+    if name is None:
+        return None
+    if name == "Future":
+        return "future", _PENDING
+    if name == "Popen":
+        return "process", _PENDING
+    if name == "Process":
+        return "process", _CONSTRUCTED
+    if name == "open":
+        return "file", _PENDING
+    if _POOLISH_RE.search(name):
+        return "pool", _PENDING
+    return None
+
+
+def _is_pipe(call: ast.Call) -> bool:
+    return _callee_name(call) == "Pipe"
+
+
+def _evaluated(node: Node) -> List[ast.AST]:
+    """The sub-ASTs actually evaluated *at* this node.
+
+    Compound statements own their bodies in the AST but not in the CFG
+    (body statements have their own nodes), so headers contribute only
+    their test/iterable/context expressions.
+    """
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if isinstance(stmt, ast.If):
+        return [stmt.test]
+    if isinstance(stmt, ast.While):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in stmt.items]
+    if isinstance(stmt, ast.ExceptHandler):
+        return []
+    if isinstance(stmt, ast.Try):  # pragma: no cover - headers split
+        return []
+    return [stmt]
+
+
+def _tracked_names(tree: ast.AST, state: _State) -> List[str]:
+    return [
+        node.id
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Name) and node.id in state
+    ]
+
+
+def _escaped_names(expr: ast.AST, state: _State) -> List[str]:
+    """Tracked names escaping to an owner within *expr*.
+
+    Escape positions: call arguments/keywords (ownership handed to the
+    callee — ``_Worker(conn=parent_conn)``, ``Process(args=(conn,))``),
+    and anything referenced from a nested function (closure capture).
+    Receiver position (``conn.send(...)``) is *not* an escape.
+    """
+    escaped: List[str] = []
+    for call in (
+        n for n in ast.walk(expr) if isinstance(n, ast.Call)
+    ):
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            escaped.extend(_tracked_names(arg, state))
+    for nested in (
+        n
+        for n in ast.walk(expr)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+        and n is not expr
+    ):
+        escaped.extend(_tracked_names(nested, state))
+    return escaped
+
+
+class _FunctionAnalysis:
+    """Must-release dataflow over one function."""
+
+    def __init__(self, path: str, function: FunctionNode) -> None:
+        self.path = path
+        self.function = function
+        self.cfg = CFG.from_function(function)
+
+    # -- transfer ------------------------------------------------------
+    def _apply_releases(self, node: Node, state: _State) -> _State:
+        out = state
+        for tree in _evaluated(node):
+            for call in (
+                n for n in ast.walk(tree) if isinstance(n, ast.Call)
+            ):
+                func = call.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in out
+                ):
+                    continue
+                if func.attr in RELEASE_METHODS:
+                    out = dict(out)
+                    del out[func.value.id]
+        return out
+
+    def _apply_escapes(self, node: Node, state: _State) -> _State:
+        # escapes: ownership handed off resolves our obligation
+        out = state
+        stmt = node.stmt
+        escaped: List[str] = []
+        for tree in _evaluated(node):
+            escaped.extend(_escaped_names(tree, out))
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            escaped.extend(_tracked_names(stmt.value, out))
+        if isinstance(stmt, (ast.Expr, ast.Assign)) and isinstance(
+            stmt.value, (ast.Yield, ast.YieldFrom)
+        ):
+            escaped.extend(_tracked_names(stmt.value, out))
+        if isinstance(stmt, ast.Assign):
+            target_is_plain_name = len(stmt.targets) == 1 and isinstance(
+                stmt.targets[0], ast.Name
+            )
+            if not target_is_plain_name:
+                # stored into an attribute/subscript/unpacking — owner
+                # (or container) takes over
+                escaped.extend(_tracked_names(stmt.value, out))
+            elif not isinstance(stmt.value, ast.Name):
+                # packed into a tuple/list/dict/call expression bound
+                # to a fresh name: the container owns it now
+                escaped.extend(_tracked_names(stmt.value, out))
+        if escaped:
+            out = {k: v for k, v in out.items() if k not in escaped}
+        return out
+
+    def _transfer(self, node: Node, state: _State) -> _State:
+        out = self._apply_releases(node, state)
+        stmt = node.stmt
+        if stmt is None:
+            return out
+
+        # .start() promotes a constructed Process to a live resource
+        for tree in _evaluated(node):
+            for call in (
+                n for n in ast.walk(tree) if isinstance(n, ast.Call)
+            ):
+                func = call.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "start"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in out
+                    and out[func.value.id][0] == _CONSTRUCTED
+                ):
+                    phase, kind, line = out[func.value.id]
+                    out = dict(out)
+                    out[func.value.id] = (_PENDING, kind, line)
+
+        out = self._apply_escapes(node, out)
+
+        # aliases move the obligation to the new name
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Name)
+            and stmt.value.id in out
+        ):
+            out = dict(out)
+            out[stmt.targets[0].id] = out.pop(stmt.value.id)
+
+        # creations (with-managed ones are auto-released: skipped)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets
+                if isinstance(stmt, ast.Assign)
+                else [stmt.target]
+            )
+            value = stmt.value
+            if isinstance(value, ast.Call) and len(targets) == 1:
+                target = targets[0]
+                made = _creator(value)
+                if made is not None and isinstance(target, ast.Name):
+                    kind, phase = made
+                    out = dict(out)
+                    out[target.id] = (phase, kind, value.lineno)
+                elif (
+                    _is_pipe(value)
+                    and isinstance(target, ast.Tuple)
+                    and all(
+                        isinstance(el, ast.Name) for el in target.elts
+                    )
+                ):
+                    out = dict(out)
+                    for el in target.elts:
+                        out[el.id] = (
+                            _PENDING,
+                            "connection",
+                            value.lineno,
+                        )
+        if isinstance(stmt, ast.Delete):
+            dropped = [
+                t.id
+                for t in stmt.targets
+                if isinstance(t, ast.Name) and t.id in out
+            ]
+            if dropped:
+                out = {
+                    k: v for k, v in out.items() if k not in dropped
+                }
+        return out
+
+    def _transfer_exc(self, node: Node, state: _State) -> Optional[_State]:
+        # a statement that is nothing but cleanup does not propagate an
+        # exception edge: the analyzer asks that cleanup is *invoked*
+        # on every path, not that cleanup is itself exception-proof —
+        # otherwise ``a.close()`` next to ``b.close()`` is an
+        # unsatisfiable infinite regress (each close "leaks" the other)
+        if self._is_pure_release(node.stmt):
+            return None
+        # the statement may have raised mid-way: assume no creation and
+        # no start-promotion happened, but give releases *and escapes*
+        # the benefit of the doubt — ``conn.close()`` raising still
+        # counts as an attempt (anything else makes every
+        # ``finally: x.close()`` a finding), and ``return Owner(conn)``
+        # raising after handoff would otherwise make the final handoff
+        # statement an unfixable finding
+        return self._apply_escapes(
+            node, self._apply_releases(node, state)
+        )
+
+    @staticmethod
+    def _is_pure_release(stmt: Optional[ast.AST]) -> bool:
+        """True for a bare ``<expr>.<release_method>(...)`` statement."""
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Attribute)
+            and stmt.value.func.attr in RELEASE_METHODS
+        )
+
+    # -- drive ---------------------------------------------------------
+    @staticmethod
+    def _join(a: _State, b: _State) -> _State:
+        if a == b:
+            return a
+        out = dict(a)
+        for var, info in b.items():
+            current = out.get(var)
+            if current is None:
+                out[var] = info
+            elif current[0] == _CONSTRUCTED and info[0] == _PENDING:
+                out[var] = info
+        return out
+
+    def findings(self) -> List[Finding]:
+        states = solve_forward(
+            self.cfg,
+            init={},
+            transfer=self._transfer,
+            join=self._join,
+            transfer_exc=self._transfer_exc,
+        )
+        reported: Dict[Tuple[str, int], bool] = {}
+        findings: List[Finding] = []
+        for exit_index, on_exception in (
+            (self.cfg.exit, False),
+            (self.cfg.raise_exit, True),
+        ):
+            for var, (phase, kind, line) in sorted(
+                states.get(exit_index, {}).items()
+            ):
+                if phase != _PENDING:
+                    continue
+                if (var, line) in reported:
+                    continue
+                reported[(var, line)] = True
+                findings.append(
+                    self._pending_finding(
+                        var, kind, line, on_exception
+                    )
+                )
+        return findings
+
+    def _pending_finding(
+        self, var: str, kind: str, line: int, on_exception: bool
+    ) -> Finding:
+        where = (
+            "on an exception path"
+            if on_exception
+            else "on some path"
+        )
+        if kind == "future":
+            rule = "lifecycle-stranded-future"
+            message = (
+                f"future '{var}' can leave '{self.function.name}' "
+                f"{where} without set_result/set_exception/cancel — "
+                "a waiter would block forever"
+            )
+        else:
+            rule = "lifecycle-leak"
+            message = (
+                f"{kind} '{var}' can leave '{self.function.name}' "
+                f"{where} without being released or handed to an owner"
+            )
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            message=message,
+            analyzer="lifecycle",
+        )
+
+
+def _owner_release_findings(
+    path: str, function: FunctionNode, cls: ast.ClassDef
+) -> List[Finding]:
+    """Close-like methods must release owned attrs on explicit raises."""
+    if function.name not in _CLOSE_LIKE:
+        return []
+    released_attrs = set()
+    for call in (
+        n for n in ast.walk(function) if isinstance(n, ast.Call)
+    ):
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in RELEASE_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "self"
+        ):
+            released_attrs.add(func.value.attr)
+    if not released_attrs:
+        return []
+
+    cfg = CFG.from_function(function)
+    everything = frozenset(released_attrs)
+
+    def released_in(trees) -> frozenset:
+        attrs = set()
+        for tree in trees:
+            for call in (
+                n for n in ast.walk(tree) if isinstance(n, ast.Call)
+            ):
+                func = call.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in RELEASE_METHODS
+                    and isinstance(func.value, ast.Attribute)
+                    and isinstance(func.value.value, ast.Name)
+                    and func.value.value.id == "self"
+                    and func.value.attr in everything
+                ):
+                    attrs.add(func.value.attr)
+        return frozenset(attrs)
+
+    def transfer(node: Node, state: frozenset) -> frozenset:
+        out = state | released_in(_evaluated(node))
+        if isinstance(node.stmt, ast.If):
+            # guard idiom: ``if self.x is not None: self.x.release()``
+            # releases on *both* branches — the branch that skips the
+            # call has nothing to release.  Path-condition-lite: any
+            # release of a tested attr anywhere under the If counts.
+            tested = frozenset(
+                n.attr
+                for n in ast.walk(node.stmt.test)
+                if isinstance(n, ast.Attribute)
+                and isinstance(n.value, ast.Name)
+                and n.value.id == "self"
+            )
+            out = out | (
+                released_in(node.stmt.body + node.stmt.orelse) & tested
+            )
+        return out
+
+    states = solve_forward(
+        cfg,
+        init=frozenset(),
+        transfer=transfer,
+        join=lambda a, b: a & b,  # must-released: all paths agree
+        # only explicit raises matter here: every may-raise call would
+        # otherwise demand cleanup handlers around trivial teardown
+        transfer_exc=lambda node, state: None,
+    )
+    raise_state = states.get(cfg.raise_exit)
+    if raise_state is None:
+        return []  # no explicit raise reaches the exceptional exit
+    findings = []
+    for attr in sorted(everything - raise_state):
+        findings.append(
+            Finding(
+                rule="lifecycle-leak",
+                path=path,
+                line=function.lineno,
+                message=(
+                    f"'{cls.name}.{function.name}' can exit by raise "
+                    f"without releasing self.{attr} (it is released "
+                    "on the other paths) — the teardown must run even "
+                    "when the method fails"
+                ),
+                analyzer="lifecycle",
+            )
+        )
+    return findings
+
+
+def analyze_lifecycle(
+    sources: Sequence[Tuple[str, str]]
+) -> List[Finding]:
+    """Run the lifecycle rules over ``(path, source)`` pairs."""
+    findings: List[Finding] = []
+    for path, text in sources:
+        tree = ast.parse(text, filename=path)
+        raw: List[Finding] = []
+        for function, cls in function_defs(tree):
+            raw.extend(_FunctionAnalysis(path, function).findings())
+            if cls is not None:
+                raw.extend(
+                    _owner_release_findings(path, function, cls)
+                )
+        raw.sort(key=lambda f: (f.line, f.rule))
+        findings.extend(
+            apply_suppressions(raw, Suppressions.scan(text))
+        )
+    return findings
+
+
+def analyze_lifecycle_paths(paths: Sequence[str]) -> List[Finding]:
+    """Disk-path variant of :func:`analyze_lifecycle`."""
+    return analyze_lifecycle(
+        [
+            (str(path), Path(path).read_text(encoding="utf-8"))
+            for path in paths
+        ]
+    )

@@ -190,3 +190,120 @@ def render_json(findings: Sequence[Finding]) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+#: one-line rule descriptions for the SARIF rule metadata; rules not
+#: listed fall back to the rule id itself
+_RULE_DESCRIPTIONS = {
+    "unguarded-write": "attribute written without its guarding lock",
+    "unguarded-read": "attribute read without its guarding lock",
+    "lock-order": "locks acquired in conflicting orders (deadlock risk)",
+    "alloc-call": "allocating call inside a hot loop",
+    "alloc-ufunc": "out-less ufunc allocates inside a hot loop",
+    "alloc-comprehension": "comprehension allocates inside a hot loop",
+    "alloc-builtin": "allocating builtin inside a hot loop",
+    "bad-suppression": "suppression comment without a written reason",
+    "determinism-unordered-iter": (
+        "unordered collection consumed in an order-sensitive position"
+    ),
+    "determinism-unseeded-rng": "module-global or unseeded RNG use",
+    "determinism-wallclock": "wall-clock value on a result path",
+    "determinism-float-reduction": (
+        "float reduction over an unordered collection"
+    ),
+    "determinism-hash": "builtin hash() is process-seeded",
+    "lifecycle-stranded-future": (
+        "future can leave scope unresolved on some path"
+    ),
+    "lifecycle-leak": (
+        "resource can leave scope unreleased on some path"
+    ),
+    "sanitizer-self-check": "runtime lock sanitizer self-check failed",
+}
+
+_SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _sarif_uri(path: str) -> str:
+    """Repo-relative forward-slash URI when possible (CI uploads from
+    the repo root; absolute analyzer paths would break annotation)."""
+    from pathlib import Path
+
+    candidate = Path(path)
+    try:
+        candidate = candidate.resolve().relative_to(Path.cwd())
+    except (ValueError, OSError):
+        pass
+    return candidate.as_posix()
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 report (GitHub code-scanning upload format).
+
+    Unsuppressed findings become ``warning``-level results; suppressed
+    ones are carried with an ``inSource`` suppression object (so code
+    scanning shows them as dismissed rather than dropping the record
+    and its written reason).
+    """
+    rule_ids = sorted({finding.rule for finding in findings})
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id.replace("-", " ").title().replace(" ", ""),
+            "shortDescription": {
+                "text": _RULE_DESCRIPTIONS.get(rule_id, rule_id)
+            },
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for rule_id in rule_ids
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = []
+    for finding in findings:
+        result: dict = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(finding.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": finding.line},
+                    }
+                }
+            ],
+            "properties": {"analyzer": finding.analyzer},
+        }
+        if finding.suppressed:
+            suppression: dict = {"kind": "inSource"}
+            if finding.reason:
+                suppression["justification"] = finding.reason
+            result["suppressions"] = [suppression]
+        results.append(result)
+    document = {
+        "$schema": _SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/wave-pipelining"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

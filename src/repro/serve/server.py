@@ -277,12 +277,23 @@ class SimulationServer:
                     self.metrics.record_cancelled(len(dropped))
             self._cond.notify_all()
             threads, self._threads = self._threads, []
+        stuck = []
         for thread in threads:
             thread.join(timeout)
             if thread.is_alive():
-                raise ServeError(
-                    f"shard {thread.name} did not stop within {timeout}s"
-                )
+                stuck.append(thread.name)
+        if stuck:
+            # deadlock guard: a stuck shard may be blocked inside a
+            # worker conversation still holding that worker's dispatch
+            # lock, so the graceful pool close below could hang behind
+            # it — tear the workers down without taking any lock, then
+            # report the stuck shard(s)
+            if self._pool is not None:
+                self._pool.kill()
+            raise ServeError(
+                f"shard {', '.join(stuck)} did not stop within "
+                f"{timeout}s"
+            )
         if self._pool is not None:
             # after the shard threads joined no batch is in flight, so
             # the workers are idle and stop gracefully
@@ -555,6 +566,7 @@ class SimulationServer:
                     expired.extend(
                         self._batcher.expire(time.perf_counter())
                     )
+                    # lint: determinism-unordered-ok(membership-only skip set; start_batch never iterates it)
                     batch = self._batcher.start_batch(self._busy)
                     if batch is not None:
                         # claim the group *before* lingering: another

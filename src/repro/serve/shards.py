@@ -227,14 +227,28 @@ class ProcessShardPool:
     # ------------------------------------------------------------------
     def _spawn(self) -> _Worker:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn,),
-            name="repro-serve-worker",
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()  # the child holds its own copy
+        try:
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn,),
+                name="repro-serve-worker",
+                daemon=True,
+            )
+            process.start()
+        except BaseException:
+            # a failed spawn (fork/exec error, interpreter shutdown)
+            # must not leak the pipe pair
+            parent_conn.close()
+            child_conn.close()
+            raise
+        try:
+            child_conn.close()  # the child holds its own copy
+        except BaseException:
+            # close failing leaves a started worker nobody owns yet:
+            # reap it before propagating
+            process.terminate()
+            parent_conn.close()
+            raise
         return _Worker(process=process, conn=parent_conn)
 
     @property
@@ -280,6 +294,30 @@ class ProcessShardPool:
             except OSError:  # pragma: no cover
                 pass
 
+    def kill(self) -> None:
+        """Hard teardown: SIGKILL every worker, close pipes, **no locks**.
+
+        The deadlock-guard path of ``SimulationServer.close`` calls
+        this when a shard thread failed to stop: that thread may be
+        blocked mid-conversation still *holding its worker's dispatch
+        lock*, so the graceful :meth:`close` (which takes every worker
+        lock to drain in-flight batches) could hang behind it forever.
+        Killing without the locks is safe here — the workers are being
+        discarded, not drained, and a SIGKILL'd child cannot corrupt
+        parent state.  Idempotent, and safe to call after
+        :meth:`close`.
+        """
+        with self._state_lock:
+            self._closed = True
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(1.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
     def __enter__(self) -> "ProcessShardPool":
         return self
 
@@ -295,6 +333,7 @@ class ProcessShardPool:
     # dispatch
     # ------------------------------------------------------------------
     def _worker_for(self, route_key: object) -> int:
+        # lint: determinism-hash-ok(sticky routing only needs within-process consistency; the hash never crosses a run or a process)
         return hash(route_key) % len(self._workers)
 
     def _revive(self, index: int) -> _Worker:

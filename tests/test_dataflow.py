@@ -1,0 +1,376 @@
+"""CFG construction + fixpoint solver tests for devtools.dataflow.
+
+The determinism and lifecycle analyzers ride on this engine, so the
+graph shapes they depend on — diamond joins, loop back-edges, exception
+edges into handlers, the dual finally continuation, return-through-
+finally — are pinned here directly, with tiny line-collecting and
+liveness lattices standing in for the real clients.
+"""
+
+import ast
+import textwrap
+
+from repro.devtools.dataflow import (
+    CFG,
+    EXCEPTION,
+    NORMAL,
+    RAISE,
+    function_defs,
+    may_raise,
+    solve_backward,
+    solve_forward,
+)
+
+
+def _fn(source):
+    tree = ast.parse(textwrap.dedent(source))
+    functions = [f for f, _cls in function_defs(tree)]
+    return functions[0]
+
+
+def _cfg(source):
+    return CFG.from_function(_fn(source))
+
+
+def _line(source, fragment):
+    """1-based line number of the first line containing *fragment*."""
+    for lineno, text in enumerate(
+        textwrap.dedent(source).splitlines(), start=1
+    ):
+        if fragment in text:
+            return lineno
+    raise AssertionError(f"{fragment!r} not in fixture")
+
+
+def _reaching_lines(cfg):
+    """May-analysis: set of statement lines executed entering each node."""
+
+    def transfer(node, state):
+        if node.line is None:
+            return state
+        return state | {node.line}
+
+    return solve_forward(
+        cfg,
+        init=frozenset(),
+        transfer=transfer,
+        join=lambda a, b: a | b,
+    )
+
+
+def _node_at(cfg, line):
+    for node in cfg.nodes:
+        if node.kind == "stmt" and node.line == line:
+            return node
+    raise AssertionError(f"no stmt node at line {line}")
+
+
+# ----------------------------------------------------------------------
+# CFG shapes (forward, line-collecting lattice)
+# ----------------------------------------------------------------------
+DIAMOND = """
+    def f(cond):
+        if cond:
+            a = 1
+        else:
+            b = 2
+        c = 3
+"""
+
+
+def test_diamond_branches_merge_at_the_join():
+    cfg = _cfg(DIAMOND)
+    states = _reaching_lines(cfg)
+    a, b, c = (_line(DIAMOND, x) for x in ("a = 1", "b = 2", "c = 3"))
+    # both branch lines flow into the statement after the if
+    assert {a, b} <= states[_node_at(cfg, c).index]
+    assert {a, b, c} <= states[cfg.exit]
+    # nothing raises here: the exceptional exit is unreachable
+    assert cfg.raise_exit not in states
+
+
+LOOP = """
+    def f(items):
+        total = 0
+        for item in items:
+            total = total + 1
+        return total
+"""
+
+
+def test_loop_back_edge_reaches_fixpoint():
+    cfg = _cfg(LOOP)
+    states = _reaching_lines(cfg)
+    header = _line(LOOP, "for item")
+    body = _line(LOOP, "total + 1")
+    # the loop-back edge feeds the body line into the header's own
+    # entry state — only a converged fixpoint produces that
+    header_node = next(
+        node for node in cfg.nodes if node.line == header
+    )
+    assert body in states[header_node.index]
+    assert body in states[cfg.exit]
+
+
+BREAK_CONTINUE = """
+    def f(items):
+        for item in items:
+            if item:
+                break
+            continue
+        tail = 1
+"""
+
+
+def test_break_and_continue_edges():
+    cfg = _cfg(BREAK_CONTINUE)
+    states = _reaching_lines(cfg)
+    assert _line(BREAK_CONTINUE, "tail = 1") in states[cfg.exit]
+    # continue jumps to the loop header, not past the loop
+    continue_node = _node_at(cfg, _line(BREAK_CONTINUE, "continue"))
+    header_node = next(
+        node
+        for node in cfg.nodes
+        if node.line == _line(BREAK_CONTINUE, "for item")
+    )
+    assert (header_node.index, NORMAL) in continue_node.succ
+
+
+# ----------------------------------------------------------------------
+# exception edges
+# ----------------------------------------------------------------------
+TRY_NARROW = """
+    def f(work):
+        try:
+            x = work()
+        except ValueError:
+            x = 0
+        return x
+"""
+
+
+def test_narrow_handler_lets_unmatched_exceptions_out():
+    cfg = _cfg(TRY_NARROW)
+    states = _reaching_lines(cfg)
+    # the handler body is reachable via the exception edge...
+    assert _line(TRY_NARROW, "x = 0") in states[cfg.exit]
+    # ...and a non-ValueError still escapes the function
+    assert cfg.raise_exit in states
+
+
+TRY_CATCH_ALL = """
+    def f(work):
+        try:
+            x = work()
+        except Exception:
+            x = 0
+        return x
+"""
+
+
+def test_catch_all_handler_swallows_the_exception_edge():
+    cfg = _cfg(TRY_CATCH_ALL)
+    states = _reaching_lines(cfg)
+    assert cfg.raise_exit not in states
+
+
+TRY_FINALLY = """
+    def f(work):
+        try:
+            x = work()
+        finally:
+            cleanup = 1
+        return x
+"""
+
+
+def test_finally_runs_on_both_the_normal_and_exception_path():
+    cfg = _cfg(TRY_FINALLY)
+    states = _reaching_lines(cfg)
+    cleanup = _line(TRY_FINALLY, "cleanup = 1")
+    assert cleanup in states[cfg.exit]
+    assert cleanup in states[cfg.raise_exit]
+    # the dual continuation out of the finally is an explicit-raise edge
+    cleanup_node = _node_at(cfg, cleanup)
+    kinds = {kind for target, kind in cleanup_node.succ}
+    assert RAISE in kinds and NORMAL in kinds
+
+
+RETURN_THROUGH_FINALLY = """
+    def f(work):
+        try:
+            return work()
+        finally:
+            flag = 1
+"""
+
+
+def test_return_routes_through_the_enclosing_finally():
+    cfg = _cfg(RETURN_THROUGH_FINALLY)
+    states = _reaching_lines(cfg)
+    assert _line(RETURN_THROUGH_FINALLY, "flag = 1") in states[cfg.exit]
+
+
+def test_explicit_raise_reaches_the_exceptional_exit():
+    cfg = _cfg(
+        """
+        def f(flag):
+            if flag:
+                raise ValueError("no")
+            done = 1
+        """
+    )
+    states = _reaching_lines(cfg)
+    assert cfg.raise_exit in states
+    assert cfg.exit in states
+
+
+# ----------------------------------------------------------------------
+# may_raise classification
+# ----------------------------------------------------------------------
+def _stmt(source):
+    return ast.parse(textwrap.dedent(source)).body[0]
+
+
+def test_may_raise_is_anchored_to_calls_asserts_and_raises():
+    assert may_raise(_stmt("x = f()"))
+    assert may_raise(_stmt("assert x"))
+    assert may_raise(_stmt("raise ValueError"))
+    assert not may_raise(_stmt("x = 1"))
+    assert not may_raise(_stmt("x = y + z"))
+
+
+def test_calls_inside_nested_bodies_do_not_raise_here():
+    assert not may_raise(_stmt("def g():\n    f()"))
+    assert not may_raise(_stmt("g = lambda: f()"))
+
+
+def test_exception_edges_only_on_may_raise_statements():
+    cfg = _cfg(
+        """
+        def f(work):
+            try:
+                a = 1
+                b = work()
+            except Exception:
+                b = 0
+        """
+    )
+    plain = _node_at(cfg, 4)  # a = 1
+    risky = _node_at(cfg, 5)  # b = work()
+    assert all(kind != EXCEPTION for _t, kind in plain.succ)
+    assert any(kind == EXCEPTION for _t, kind in risky.succ)
+
+
+# ----------------------------------------------------------------------
+# solvers
+# ----------------------------------------------------------------------
+def test_transfer_exc_veto_suppresses_the_edge():
+    cfg = _cfg(TRY_CATCH_ALL)
+
+    def transfer(node, state):
+        if node.line is None:
+            return state
+        return state | {node.line}
+
+    states = solve_forward(
+        cfg,
+        init=frozenset(),
+        transfer=transfer,
+        join=lambda a, b: a | b,
+        transfer_exc=lambda node, state: None,
+    )
+    # with every implicit edge vetoed the handler is unreachable
+    handler_body = _node_at(cfg, _line(TRY_CATCH_ALL, "x = 0"))
+    assert handler_body.index not in states
+
+
+def test_backward_liveness():
+    source = """
+        def f(a):
+            b = a + 1
+            c = b + 1
+            return c
+    """
+    cfg = _cfg(source)
+
+    def transfer(node, live_out):
+        stmt = node.stmt
+        if stmt is None:
+            return live_out
+        defs = set()
+        uses = set()
+        if isinstance(stmt, ast.Assign):
+            defs = {
+                t.id for t in stmt.targets if isinstance(t, ast.Name)
+            }
+            uses = {
+                n.id
+                for n in ast.walk(stmt.value)
+                if isinstance(n, ast.Name)
+            }
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            uses = {
+                n.id
+                for n in ast.walk(stmt.value)
+                if isinstance(n, ast.Name)
+            }
+        return frozenset((live_out - defs) | uses)
+
+    states = solve_backward(
+        cfg,
+        init=frozenset(),
+        transfer=transfer,
+        join=lambda x, y: x | y,
+    )
+    b_def = _node_at(cfg, _line(source, "b = a + 1"))
+    c_def = _node_at(cfg, _line(source, "c = b + 1"))
+    assert states[b_def.index] == {"b"}  # live after b's definition
+    assert states[c_def.index] == {"c"}
+    assert states[cfg.entry] == {"a"}  # live into the function
+
+
+def test_non_monotone_client_still_terminates():
+    # a client bug (ever-growing integer "lattice") must not spin the
+    # lint forever: the per-node visit cap cuts the loop
+    cfg = _cfg(LOOP)
+    states = solve_forward(
+        cfg,
+        init=0,
+        transfer=lambda node, state: state + 1,
+        join=max,
+    )
+    assert cfg.exit in states
+
+
+# ----------------------------------------------------------------------
+# function discovery
+# ----------------------------------------------------------------------
+def test_function_defs_finds_methods_and_nested_functions():
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def top():
+                def inner():
+                    pass
+
+            class C:
+                def method(self):
+                    pass
+
+                class D:
+                    def deep(self):
+                        pass
+            """
+        )
+    )
+    found = {
+        fn.name: (cls.name if cls is not None else None)
+        for fn, cls in function_defs(tree)
+    }
+    assert found == {
+        "top": None,
+        "inner": None,
+        "method": "C",
+        "deep": "D",
+    }

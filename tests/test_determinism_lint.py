@@ -1,0 +1,267 @@
+"""Fixture tests for the determinism analyzer (devtools.determinism).
+
+Each rule gets a seeded violation plus the closest clean variant, so
+both the catch and the noise floor are pinned: an analyzer that flags
+``sorted(chosen)`` or a timing-named deadline field is as broken as one
+that misses set iteration feeding lane packing.
+"""
+
+import textwrap
+
+from repro.devtools import analyze_determinism
+
+
+def _det(source):
+    return analyze_determinism(
+        [("fixture.py", textwrap.dedent(source))]
+    )
+
+
+def _rules(findings, suppressed=False):
+    return [
+        finding.rule
+        for finding in findings
+        if finding.suppressed == suppressed
+    ]
+
+
+# ----------------------------------------------------------------------
+# unordered iteration
+# ----------------------------------------------------------------------
+SET_INTO_PACKING = """
+    def pack_lanes(nets):
+        chosen = set(nets)
+        lanes = []
+        for net in chosen:
+            lanes.append(net)
+        return lanes
+"""
+
+
+def test_set_iteration_feeding_packing_is_caught():
+    findings = _det(SET_INTO_PACKING)
+    assert _rules(findings) == ["determinism-unordered-iter"]
+    (finding,) = findings
+    assert finding.line == 5  # the for statement
+    assert "chosen" in finding.message
+
+
+def test_sorted_neutralizes_the_unordered_taint():
+    findings = _det(
+        """
+        def pack_lanes(nets):
+            chosen = set(nets)
+            lanes = []
+            for net in sorted(chosen):
+                lanes.append(net)
+            return lanes
+        """
+    )
+    assert findings == []
+
+
+def test_membership_and_len_are_order_insensitive():
+    findings = _det(
+        """
+        def admit(seen, key):
+            busy = set(seen)
+            if key in busy and len(busy) < 8:
+                busy.add(key)
+            return key
+        """
+    )
+    assert findings == []
+
+
+def test_unordered_positional_arg_into_sink_named_call_is_caught():
+    findings = _det(
+        """
+        def plan(batcher, groups):
+            busy = set(groups)
+            return batcher.start_batch(busy)
+        """
+    )
+    assert _rules(findings) == ["determinism-unordered-iter"]
+
+
+def test_keyword_args_into_sink_calls_stay_quiet():
+    # keyword passing is how deadlines/timestamps ride along request
+    # records; only positional data feeds packing order
+    findings = _det(
+        """
+        import time
+
+        def admit(make_request, payload):
+            submitted_at = time.perf_counter()
+            return make_request(payload, submitted_at=submitted_at)
+        """
+    )
+    assert findings == []
+
+
+def test_set_typed_attribute_is_tracked_through_self():
+    findings = _det(
+        """
+        class Batcher:
+            def __init__(self):
+                self._busy: set = set()
+
+            def merge_busy(self):
+                return list(self._busy)
+        """
+    )
+    assert _rules(findings) == ["determinism-unordered-iter"]
+
+
+# ----------------------------------------------------------------------
+# float reductions
+# ----------------------------------------------------------------------
+def test_float_reduction_over_unordered_is_caught():
+    findings = _det(
+        """
+        def total_weight(weights):
+            pending = set(weights)
+            return sum(pending)
+        """
+    )
+    assert _rules(findings) == ["determinism-float-reduction"]
+
+
+def test_reduction_over_a_list_is_clean():
+    findings = _det(
+        """
+        def total_weight(weights):
+            pending = list(weights)
+            return sum(pending)
+        """
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# wall clock
+# ----------------------------------------------------------------------
+def test_wallclock_flowing_into_a_result_is_caught():
+    findings = _det(
+        """
+        import time
+
+        def plan(nets):
+            stamp = time.time()
+            return stamp
+        """
+    )
+    assert _rules(findings) == ["determinism-wallclock"]
+
+
+def test_wallclock_into_timing_named_slots_is_allowed():
+    findings = _det(
+        """
+        import time
+
+        class Request:
+            def __init__(self):
+                self.deadline_at = 0.0
+
+        def admit(request, budget):
+            request.deadline_at = time.perf_counter() + budget
+            return request
+        """
+    )
+    assert findings == []
+
+
+def test_wallclock_returned_from_timing_named_function_is_allowed():
+    findings = _det(
+        """
+        import time
+
+        def elapsed_s(started):
+            return time.perf_counter() - started
+        """
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RNG
+# ----------------------------------------------------------------------
+def test_module_global_and_unseeded_rng_are_caught():
+    findings = _det(
+        """
+        import random
+        import numpy as np
+
+        def jitter():
+            return random.random()
+
+        def shuffle(items):
+            rng = np.random.default_rng()
+            return rng.permutation(items)
+        """
+    )
+    assert _rules(findings) == [
+        "determinism-unseeded-rng",
+        "determinism-unseeded-rng",
+    ]
+
+
+def test_seeded_rng_is_clean():
+    findings = _det(
+        """
+        import random
+        import numpy as np
+
+        def jitter(seed):
+            rng = random.Random(seed)
+            return rng.random()
+
+        def shuffle(items, seed):
+            rng = np.random.default_rng(seed)
+            return rng.permutation(items)
+        """
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# hash
+# ----------------------------------------------------------------------
+def test_builtin_hash_is_caught_and_suppressible():
+    findings = _det(
+        """
+        def route(key, n):
+            return hash(key) % n
+        """
+    )
+    assert _rules(findings) == ["determinism-hash"]
+
+    findings = _det(
+        """
+        def route(key, n):
+            # lint: determinism-hash-ok(within-process stickiness only)
+            return hash(key) % n
+        """
+    )
+    assert _rules(findings) == []
+    (finding,) = findings
+    assert finding.suppressed
+    assert finding.reason == "within-process stickiness only"
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_family_suppression_covers_every_determinism_rule():
+    findings = _det(
+        """
+        def pack_lanes(nets):
+            chosen = set(nets)
+            # lint: determinism-ok(fixture exercises the family prefix)
+            for net in chosen:
+                yield net
+        """
+    )
+    assert _rules(findings) == []
+    assert [f.rule for f in findings] == ["determinism-unordered-iter"]
+    assert findings[0].suppressed

@@ -26,6 +26,7 @@ from repro.devtools.report import (
     Finding,
     Suppressions,
     render_json,
+    render_sarif,
     render_text,
 )
 from repro.devtools import sanitize
@@ -641,3 +642,100 @@ def test_cli_lint_exits_nonzero_on_seeded_violation(tmp_path, capsys):
     good = tmp_path / "good.py"
     good.write_text("x = 1\n")
     assert main(["lint", "--paths", str(good), "--no-self-check"]) == 0
+
+
+def test_cli_lint_catches_seeded_dataflow_violations(tmp_path, capsys):
+    bad = tmp_path / "bad_flow.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            from concurrent.futures import Future
+
+            def run(work):
+                fut = Future()
+                fut.set_result(work())
+                return fut
+
+            def pack(nets):
+                for net in set(nets):
+                    yield net
+            """
+        )
+    )
+    assert main(["lint", "--paths", str(bad), "--no-self-check"]) == 1
+    out = capsys.readouterr().out
+    assert "determinism-unordered-iter" in out
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+def _sarif_fixture_findings():
+    return [
+        Finding(
+            "lifecycle-leak", "src/a.py", 3, "pipe leaked", "lifecycle"
+        ),
+        Finding(
+            "determinism-hash",
+            "src/a.py",
+            9,
+            "hash is seeded",
+            "determinism",
+            suppressed=True,
+            reason="within-process only",
+        ),
+    ]
+
+
+def test_sarif_document_structure():
+    doc = json.loads(render_sarif(_sarif_fixture_findings()))
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert set(rule_ids) == {"determinism-hash", "lifecycle-leak"}
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] == "warning"
+    results = run["results"]
+    assert len(results) == 2
+    for result in results:
+        # ruleIndex must point back at the matching rules[] entry —
+        # GitHub code scanning resolves metadata through it
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/a.py"
+        assert location["region"]["startLine"] in (3, 9)
+
+
+def test_sarif_carries_suppressions_with_justification():
+    doc = json.loads(render_sarif(_sarif_fixture_findings()))
+    results = doc["runs"][0]["results"]
+    by_rule = {result["ruleId"]: result for result in results}
+    assert "suppressions" not in by_rule["lifecycle-leak"]
+    (suppression,) = by_rule["determinism-hash"]["suppressions"]
+    assert suppression["kind"] == "inSource"
+    assert suppression["justification"] == "within-process only"
+
+
+def test_sarif_of_an_empty_report_is_valid():
+    doc = json.loads(render_sarif([]))
+    assert doc["runs"][0]["results"] == []
+    assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+
+def test_cli_lint_sarif_round_trip(capsys):
+    assert main(["lint", "--sarif"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    results = doc["runs"][0]["results"]
+    # the repo is clean, so every carried result is a suppression
+    assert all(result.get("suppressions") for result in results)
+
+
+def test_cli_lint_sarif_and_json_are_mutually_exclusive(capsys):
+    with pytest.raises(SystemExit):
+        main(["lint", "--sarif", "--json"])

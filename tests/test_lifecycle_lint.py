@@ -1,0 +1,321 @@
+"""Fixture tests for the lifecycle analyzer (devtools.lifecycle).
+
+The must-release dataflow has to walk a narrow path: catch a future
+stranded on an exception edge or a pipe leaked by an early return,
+while staying silent on ``with``/``finally`` releases, ownership
+handoffs, and cleanup code that could itself raise (an infinite regress
+no code structure can satisfy).  Both sides are pinned here, including
+fixtures shaped like the real ``_spawn``/``close`` bugs this analyzer
+caught in the serving tier.
+"""
+
+import textwrap
+
+from repro.devtools import analyze_lifecycle
+
+
+def _life(source):
+    return analyze_lifecycle(
+        [("fixture.py", textwrap.dedent(source))]
+    )
+
+
+def _rules(findings, suppressed=False):
+    return [
+        finding.rule
+        for finding in findings
+        if finding.suppressed == suppressed
+    ]
+
+
+# ----------------------------------------------------------------------
+# stranded futures
+# ----------------------------------------------------------------------
+STRANDED_ON_EXCEPTION = """
+    from concurrent.futures import Future
+
+    def run(work):
+        fut = Future()
+        value = work()
+        fut.set_result(value)
+        return fut
+"""
+
+
+def test_future_stranded_on_the_exception_path_is_caught():
+    findings = _life(STRANDED_ON_EXCEPTION)
+    assert _rules(findings) == ["lifecycle-stranded-future"]
+    (finding,) = findings
+    assert "fut" in finding.message
+    assert "exception path" in finding.message
+
+
+def test_future_resolved_on_both_paths_is_clean():
+    findings = _life(
+        """
+        from concurrent.futures import Future
+
+        def run(work):
+            fut = Future()
+            try:
+                value = work()
+            except Exception as exc:
+                fut.set_exception(exc)
+            else:
+                fut.set_result(value)
+            return fut
+        """
+    )
+    assert findings == []
+
+
+def test_future_cancelled_on_the_bail_out_path_is_clean():
+    findings = _life(
+        """
+        from concurrent.futures import Future
+
+        def admit(queue, closed):
+            fut = Future()
+            if closed:
+                fut.cancel()
+                return fut
+            queue.append(fut)
+            return fut
+        """
+    )
+    assert findings == []
+
+
+def test_future_escaping_at_birth_is_the_owners_problem():
+    # a future handed straight into a request record is owned by
+    # whoever drains the queue; this function has no obligation
+    findings = _life(
+        """
+        from concurrent.futures import Future
+
+        def admit(make_request, payload):
+            return make_request(payload, future=Future())
+        """
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# resource leaks
+# ----------------------------------------------------------------------
+LEAK_IN_EARLY_RETURN = """
+    def read_header(path, quick):
+        handle = open(path)
+        if quick:
+            return None
+        data = handle.read()
+        handle.close()
+        return data
+"""
+
+
+def test_leak_in_early_return_is_caught():
+    findings = _life(LEAK_IN_EARLY_RETURN)
+    assert _rules(findings) == ["lifecycle-leak"]
+    (finding,) = findings
+    assert "handle" in finding.message
+
+
+def test_with_managed_resources_are_auto_released():
+    findings = _life(
+        """
+        def read_header(path):
+            with open(path) as handle:
+                return handle.read()
+        """
+    )
+    assert findings == []
+
+
+def test_finally_release_counts_on_every_path():
+    findings = _life(
+        """
+        def read_header(path):
+            handle = open(path)
+            try:
+                return handle.read()
+            finally:
+                handle.close()
+        """
+    )
+    assert findings == []
+
+
+def test_escape_to_an_attribute_transfers_ownership():
+    findings = _life(
+        """
+        def attach(self, path):
+            handle = open(path)
+            self._handle = handle
+        """
+    )
+    assert findings == []
+
+
+def test_pipe_unpack_tracks_both_ends():
+    findings = _life(
+        """
+        def make_pipe(ctx):
+            parent, child = ctx.Pipe()
+            return parent
+        """
+    )
+    assert _rules(findings) == ["lifecycle-leak"]
+    (finding,) = findings
+    assert "child" in finding.message
+
+
+def test_started_process_must_be_reaped_but_failed_start_is_quiet():
+    findings = _life(
+        """
+        def run_detached(ctx, task):
+            proc = ctx.Process(target=task)
+            proc.start()
+            proc = None
+        """
+    )
+    assert _rules(findings) == ["lifecycle-leak"]
+
+    # before .start() succeeds there is no OS resource: the exception
+    # edge out of start() must not demand a terminate()
+    findings = _life(
+        """
+        def run(ctx, task):
+            proc = ctx.Process(target=task)
+            proc.start()
+            proc.join()
+        """
+    )
+    assert findings == []
+
+
+def test_cleanup_code_is_not_required_to_be_exception_proof():
+    # a.close() raising would "leak" b — demanding handlers around
+    # every close is an unsatisfiable regress, so pure-release
+    # statements do not propagate exception edges
+    findings = _life(
+        """
+        def shut(path):
+            first = open(path)
+            try:
+                second = open(path)
+            except BaseException:
+                first.close()
+                raise
+            first.close()
+            second.close()
+        """
+    )
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# regression fixtures: the serving-tier bugs this analyzer caught
+# ----------------------------------------------------------------------
+SPAWN_LEAK = """
+    def spawn(ctx, task, make_worker):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        process = ctx.Process(target=task, args=(child_conn,))
+        process.start()
+        child_conn.close()
+        return make_worker(process=process, conn=parent_conn)
+"""
+
+
+def test_spawn_without_guards_leaks_the_parent_pipe_end():
+    findings = _life(SPAWN_LEAK)
+    assert _rules(findings) == ["lifecycle-leak"]
+    (finding,) = findings
+    assert "parent_conn" in finding.message
+    assert "exception path" in finding.message
+
+
+SPAWN_FIXED = """
+    def spawn(ctx, task, make_worker):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        try:
+            process = ctx.Process(target=task, args=(child_conn,))
+            process.start()
+        except BaseException:
+            parent_conn.close()
+            child_conn.close()
+            raise
+        try:
+            child_conn.close()
+        except BaseException:
+            process.terminate()
+            parent_conn.close()
+            raise
+        return make_worker(process=process, conn=parent_conn)
+"""
+
+
+def test_guarded_spawn_is_clean():
+    assert _life(SPAWN_FIXED) == []
+
+
+CLOSE_LEAKS_POOL = """
+    class Server:
+        def close(self, timeout):
+            for thread in self._threads:
+                thread.join(timeout)
+                if thread.is_alive():
+                    raise RuntimeError("stuck")
+            self._pool.close()
+"""
+
+
+def test_close_that_raises_before_releasing_the_pool_is_caught():
+    findings = _life(CLOSE_LEAKS_POOL)
+    assert _rules(findings) == ["lifecycle-leak"]
+    (finding,) = findings
+    assert "Server.close" in finding.message
+    assert "self._pool" in finding.message
+
+
+CLOSE_FIXED = """
+    class Server:
+        def close(self, timeout):
+            stuck = []
+            for thread in self._threads:
+                thread.join(timeout)
+                if thread.is_alive():
+                    stuck.append(thread.name)
+            if stuck:
+                if self._pool is not None:
+                    self._pool.kill()
+                raise RuntimeError("stuck")
+            if self._pool is not None:
+                self._pool.close(timeout)
+"""
+
+
+def test_close_that_kills_the_pool_before_raising_is_clean():
+    # also pins the ``if self.x is not None: self.x.release()`` guard
+    # idiom: the None branch has nothing to release
+    assert _life(CLOSE_FIXED) == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_lifecycle_suppression_carries_its_reason():
+    findings = _life(
+        """
+        def warm(path):
+            # lint: lifecycle-ok(process-lifetime handle, closed at exit)
+            handle = open(path)
+            handle.seek(0)
+        """
+    )
+    assert _rules(findings) == []
+    (finding,) = findings
+    assert finding.suppressed
+    assert (
+        finding.reason == "process-lifetime handle, closed at exit"
+    )

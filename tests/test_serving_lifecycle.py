@@ -1,0 +1,155 @@
+"""Regression tests for the serving-tier lifecycle fixes.
+
+The lifecycle analyzer (PR: dataflow lint) surfaced two genuine bugs:
+``ProcessShardPool._spawn`` leaked the pipe pair (and a just-started
+worker) when spawning failed partway, and ``SimulationServer.close``
+raised its stuck-shard deadlock guard *before* releasing the process
+pool, stranding live worker processes.  These tests pin the fixed
+behavior with stub contexts/threads — no real processes needed.
+"""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.server import SimulationServer
+from repro.serve.shards import ProcessShardPool
+
+
+class _RecordingConn:
+    def __init__(self, fail_close=False):
+        self.closed = False
+        self.fail_close = fail_close
+
+    def close(self):
+        if self.fail_close and not self.closed:
+            self.closed = True
+            raise OSError("close failed")
+        self.closed = True
+
+
+class _StubProcess:
+    def __init__(self, fail_start=False):
+        self.fail_start = fail_start
+        self.started = False
+        self.terminated = False
+
+    def start(self):
+        if self.fail_start:
+            raise OSError("spawn failed")
+        self.started = True
+
+    def terminate(self):
+        self.terminated = True
+
+
+class _StubCtx:
+    """multiprocessing-context stand-in driving _spawn's failure paths."""
+
+    def __init__(self, fail_start=False, fail_child_close=False):
+        self.fail_start = fail_start
+        self.fail_child_close = fail_child_close
+        self.parent = None
+        self.child = None
+        self.process = None
+
+    def Pipe(self, duplex=True):
+        self.parent = _RecordingConn()
+        self.child = _RecordingConn(fail_close=self.fail_child_close)
+        return self.parent, self.child
+
+    def Process(self, **kwargs):
+        self.process = _StubProcess(fail_start=self.fail_start)
+        return self.process
+
+
+def _bare_pool(ctx):
+    """A ProcessShardPool shell with *ctx* injected, no real workers."""
+    pool = object.__new__(ProcessShardPool)
+    pool._ctx = ctx
+    return pool
+
+
+def test_spawn_closes_both_pipe_ends_when_start_fails():
+    ctx = _StubCtx(fail_start=True)
+    pool = _bare_pool(ctx)
+    with pytest.raises(OSError, match="spawn failed"):
+        pool._spawn()
+    assert ctx.parent.closed
+    assert ctx.child.closed
+    assert not ctx.process.started
+
+
+def test_spawn_reaps_the_started_worker_when_child_close_fails():
+    ctx = _StubCtx(fail_child_close=True)
+    pool = _bare_pool(ctx)
+    with pytest.raises(OSError, match="close failed"):
+        pool._spawn()
+    assert ctx.process.started
+    assert ctx.process.terminated
+    assert ctx.parent.closed
+
+
+def test_spawn_happy_path_closes_only_the_child_end():
+    ctx = _StubCtx()
+    pool = _bare_pool(ctx)
+    worker = pool._spawn()
+    assert worker.process is ctx.process
+    assert worker.conn is ctx.parent
+    assert ctx.child.closed
+    assert not ctx.parent.closed
+
+
+class _StuckThread:
+    name = "repro-serve-shard-stuck"
+
+    def join(self, timeout=None):
+        pass
+
+    def is_alive(self):
+        return True
+
+
+class _RecordingPool:
+    def __init__(self):
+        self.killed = False
+        self.closed = False
+
+    def kill(self):
+        self.killed = True
+
+    def close(self, timeout=None):
+        self.closed = True
+
+
+def test_close_kills_the_pool_when_a_shard_is_stuck():
+    server = SimulationServer(shards=1, start=False)
+    pool = _RecordingPool()
+    server._pool = pool
+    server._threads = [_StuckThread()]
+    with pytest.raises(ServeError, match="did not stop"):
+        server.close(timeout=0.01)
+    # the deadlock guard must not strand live worker processes: the
+    # pool is torn down (lock-free) before the error propagates
+    assert pool.killed
+    assert not pool.closed
+
+
+def test_close_without_stuck_shards_closes_the_pool_gracefully():
+    server = SimulationServer(shards=1, start=False)
+    pool = _RecordingPool()
+    server._pool = pool
+    server.close(timeout=1.0)
+    assert pool.closed
+    assert not pool.killed
+
+
+def test_pool_kill_is_lock_free_and_idempotent():
+    # kill() must not touch worker dispatch locks (a stuck shard may
+    # hold one) — holding a worker lock here would deadlock the guard
+    with ProcessShardPool(1) as pool:
+        (worker,) = pool._workers
+        with worker.lock:  # simulate a shard stuck mid-conversation
+            pool.kill()
+        assert not worker.process.is_alive()
+        pool.kill()  # second call is a no-op
+        pool.close()  # close after kill is a no-op too
