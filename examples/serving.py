@@ -37,7 +37,12 @@ covers:
    the GIL); processes win once Python-side batching glue or mixed
    models contend — and they survive worker crashes (respawn + retry,
    bit-identically);
-8. every served report is bit-identical to a solo ``simulate_waves``
+8. fault injection and supervision — a seeded ``FaultPlan`` replays
+   the same worker crashes/hangs on every run, supervised respawn
+   (backoff, crash-loop circuit breakers, poison-batch quarantine via
+   ``ShardFailed``) absorbs them, and ``server.health()`` snapshots
+   the per-worker state an operator would page on;
+9. every served report is bit-identical to a solo ``simulate_waves``
    run — batching, sharding, and crash recovery are execution details,
    never semantic ones.
 
@@ -55,8 +60,14 @@ from repro.core.wavepipe import (
     simulate_waves,
     wave_pipeline,
 )
-from repro.errors import DeadlineExceeded, ServerQueueFull
-from repro.serve import SimulationServer, run_closed_loop
+from repro.errors import DeadlineExceeded, ServerQueueFull, ShardFailed
+from repro.serve import (
+    FaultPlan,
+    FaultRates,
+    SimulationServer,
+    SupervisorConfig,
+    run_closed_loop,
+)
 from repro.suite.circuits import array_multiplier, ripple_carry_adder
 
 
@@ -238,6 +249,55 @@ def main() -> None:
     print(
         f"process x2  : mixed 48-request burst in {elapsed * 1e3:.1f} ms "
         f"({m['worker_restarts']} worker restarts)"
+    )
+
+    # ------------------------------------------------------------------
+    # 8. fault injection + supervision: seeded chaos, health snapshots
+    # ------------------------------------------------------------------
+    # a FaultPlan is a *replayable* chaos schedule: every decision is a
+    # pure function of (seed, kind, visit), so a failure seen once is a
+    # test case forever.  Here every second-or-so dispatch kills its
+    # worker mid-batch; supervision respawns the slot (exponential
+    # backoff, circuit breaker on crash loops) and retries the batch —
+    # the client just sees a correct, bit-identical report, slower.
+    plan = FaultPlan(7, FaultRates(crash_mid_batch=0.4))
+    with SimulationServer(
+        shards=2,
+        process_shards=1,
+        dispatch_timeout_s=5.0,       # hung workers are reaped past this
+        faults=plan,
+        supervision=SupervisorConfig(  # fast lab policy; defaults are
+            backoff_base_s=0.01,       # production-shaped
+            backoff_cap_s=0.05,
+            max_batch_retries=6,
+        ),
+    ) as server:
+        request = random_vectors(adder.n_inputs, 16, seed=3)
+        solo = simulate_waves(adder, request, engine="python")
+        for _ in range(6):
+            try:
+                assert server.simulate(adder, request) == solo
+            except ShardFailed as error:
+                # the quarantine outcome: a batch that kills every
+                # worker it touches fails alone, typed — the server
+                # keeps serving
+                print(f"quarantined : {error}")
+        health = server.health()
+        m = server.metrics.snapshot()
+    print(
+        f"chaos       : injected {plan.injected()['crash_mid_batch']} "
+        f"crashes (plan '{plan.describe()}'), "
+        f"{m['worker_restarts']} supervised restarts, reports still "
+        "bit-identical"
+    )
+    # health() is the operator view: per-worker slot state (healthy /
+    # broken / probing), restart and breaker counters, queue depth,
+    # and the full metrics snapshot in one call
+    worker_states = [w["state"] for w in health["workers"]]
+    print(
+        f"health      : workers {worker_states}, "
+        f"{health['hung_reaped']} hung reaped, "
+        f"{health['quarantined_batches']} batches quarantined"
     )
 
 

@@ -48,7 +48,7 @@ from typing import Optional, Sequence
 from . import __version__
 from .core.mig import Mig
 from .core.wavepipe import WaveNetlist, wave_pipeline
-from .errors import ReproError
+from .errors import ReproError, ServerClosed, ShardFailed
 from .tech import TECHNOLOGIES, evaluate_pair
 
 
@@ -237,6 +237,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-jit", action="store_true",
         help="force the fused pure-numpy kernels (same reports)",
+    )
+    serve.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="inject seeded chaos into the dispatch path, e.g. "
+        "'crash=0.1,hang=0.05,slow=0.2,slow-s=0.01' (keys: crash/"
+        "crash-mid, crash-pre, eof, hang, slow; delays slow-s/hang-s; "
+        "'seed=N' overrides --fault-seed).  The printed seed line "
+        "replays the exact fault schedule",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0, metavar="N",
+        help="seed of the fault schedule (default: 0); every fault "
+        "decision is a pure function of this seed",
+    )
+    serve.add_argument(
+        "--dispatch-timeout", type=float, default=None, metavar="S",
+        help="hang detection for process shards: a worker silent for "
+        "this many seconds under a batch is SIGKILL-reaped and the "
+        "batch retried (default: off)",
     )
 
     commands.add_parser("suite", help="list the benchmark suite")
@@ -536,7 +555,12 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
         simulate_waves,
         simulate_waves_packed,
     )
-    from .serve import SimulationServer, run_closed_loop
+    from .serve import (
+        FaultPlan,
+        SimulationServer,
+        graceful_drain,
+        run_closed_loop,
+    )
 
     if args.no_jit:
         set_default_backend("fused")
@@ -625,41 +649,76 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
         knobs["max_batch_waves"] = args.max_batch_waves
     if args.max_linger_steps is not None:
         knobs["max_linger_steps"] = args.max_linger_steps
+    if args.dispatch_timeout is not None:
+        knobs["dispatch_timeout_s"] = args.dispatch_timeout
 
     def serve_once(label: str, process_shards: int):
         """One serving configuration: trials, identity, report lines."""
         identical = True
+        # a fresh plan per configuration: both runs see the identical
+        # seeded fault schedule, and the printed line replays either
+        plan = (
+            None if args.faults is None
+            else FaultPlan.parse(args.faults, seed=args.fault_seed)
+        )
+        if plan is not None:
+            print(f"faults    : {plan.describe()} (replayable)", file=out)
+        drained = False
         with SimulationServer(
             shards=args.shards,
             process_shards=process_shards,
             max_pending=max(args.requests, 1024),
             clocking=clocking,
+            faults=plan,
             **knobs,
-        ) as server:
+        ) as server, graceful_drain(server):
             # warm the serving path (shard/worker wake-up, plan
             # compile, worker-side kernel warm) the same way the solo
-            # loop was warmed — real streams, not empty ones
+            # loop was warmed — real streams, not empty ones.  Chaos
+            # may quarantine a warm-up batch; that is fine, the warm-up
+            # is best-effort
             for netlist, warm in zip(netlists, warm_streams):
-                server.submit(netlist, warm, clocking=clocking).result()
+                try:
+                    server.submit(
+                        netlist, warm, clocking=clocking
+                    ).result()
+                except ShardFailed:
+                    pass
             load = None
             for _ in range(max(1, args.trials)):
-                trial = run_closed_loop(
-                    server,
-                    None if len(netlists) > 1 else netlists[0],
-                    requests,
-                    netlists=models if len(netlists) > 1 else None,
-                    clocking=clocking,
-                    concurrency=args.concurrency or None,
-                    deadline_s=args.deadline,
-                )
+                try:
+                    trial = run_closed_loop(
+                        server,
+                        None if len(netlists) > 1 else netlists[0],
+                        requests,
+                        netlists=models if len(netlists) > 1 else None,
+                        clocking=clocking,
+                        concurrency=args.concurrency or None,
+                        deadline_s=args.deadline,
+                    )
+                except ServerClosed:
+                    # SIGTERM mid-trial: the drain served everything
+                    # already admitted, later submissions were refused
+                    drained = True
+                    break
                 identical = identical and all(
                     got == want
                     for got, want in zip(trial.reports, reference)
                     if got is not None
-                ) and (args.deadline is not None or None not in trial.reports)
+                ) and (
+                    args.deadline is not None
+                    or plan is not None
+                    or None not in trial.reports
+                )
                 if load is None or trial.waves_per_s > load.waves_per_s:
                     load = trial
             metrics = server.metrics.snapshot()
+        if drained and load is None:
+            print(
+                f"{label:<10}: drained on SIGTERM before a full trial",
+                file=out,
+            )
+            return None, identical
         speedup = load.waves_per_s / solo_rate if solo_rate else 0.0
         print(
             f"{label:<10}: {load.total_waves} waves in "
@@ -688,30 +747,48 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
                 f"(deadline {args.deadline * 1e3:.1f} ms)",
                 file=out,
             )
-        if metrics["worker_restarts"]:
+        supervision = (
+            metrics["worker_restarts"]
+            or metrics["hung_workers"]
+            or metrics["breaker_opens"]
+            or metrics["shard_failed"]
+        )
+        if supervision:
             print(
-                f"workers   : {metrics['worker_restarts']} restarts",
+                f"workers   : {metrics['worker_restarts']} restarts, "
+                f"{metrics['hung_workers']} hung reaped, "
+                f"{metrics['breaker_opens']} breaker trips, "
+                f"{metrics['shard_failed']} requests quarantined",
                 file=out,
             )
+        if plan is not None:
+            fired = plan.injected()
+            summary = ", ".join(
+                f"{kind}={count}"
+                for kind, count in fired.items()
+                if count
+            ) or "none fired"
+            print(f"injected  : {summary}", file=out)
         return load, identical
 
     thread_load, identical = serve_once("served", 0)
-    if args.process_shards:
+    if args.process_shards and thread_load is not None:
         process_load, process_identical = serve_once(
             "processes", args.process_shards
         )
         identical = identical and process_identical
-        ratio = (
-            process_load.waves_per_s / thread_load.waves_per_s
-            if thread_load.waves_per_s else 0.0
-        )
-        print(
-            f"sharding  : {args.process_shards} worker processes at "
-            f"{ratio:.2f}x the thread-shard rate "
-            f"({process_load.waves_per_s:,.0f} vs "
-            f"{thread_load.waves_per_s:,.0f} waves/s)",
-            file=out,
-        )
+        if process_load is not None:
+            ratio = (
+                process_load.waves_per_s / thread_load.waves_per_s
+                if thread_load.waves_per_s else 0.0
+            )
+            print(
+                f"sharding  : {args.process_shards} worker processes at "
+                f"{ratio:.2f}x the thread-shard rate "
+                f"({process_load.waves_per_s:,.0f} vs "
+                f"{thread_load.waves_per_s:,.0f} waves/s)",
+                file=out,
+            )
     print(
         f"identity  : {'ok' if identical else 'MISMATCH'} "
         f"(every served report vs its solo "

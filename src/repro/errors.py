@@ -57,6 +57,19 @@ class ServerClosed(ServeError):
     """A request was submitted to a server that is closed or closing."""
 
 
+class ShardFailed(ServeError):
+    """A batch was abandoned by the shard supervision machinery.
+
+    Raised *through the affected requests' futures* when a batch
+    exhausts its retry budget (every dispatch attempt killed or hung its
+    worker — the poison-batch quarantine), or when every worker slot's
+    crash-loop circuit breaker is open so the batch cannot be dispatched
+    at all.  Only the quarantined batch fails: the server keeps serving
+    other groups, and the ``shard_failed`` metric counts the affected
+    requests.
+    """
+
+
 class DeadlineExceeded(ServeError):
     """A request's deadline passed before it could be dispatched.
 

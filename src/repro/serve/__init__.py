@@ -9,9 +9,18 @@ Public surface:
   asyncio façade (see :mod:`repro.serve.server` for the architecture);
 * :class:`ProcessShardPool` — the worker-process pool behind
   ``SimulationServer(process_shards=N)`` (sticky netlist routing,
-  per-worker compile caches, dead-worker respawn + retry);
-* :class:`ServerMetrics` — batching/plan-cache/expiry counters
-  (``server.metrics.snapshot()``);
+  per-worker compile caches, supervised respawn with backoff and
+  crash-loop breakers, hang detection, poison-batch quarantine);
+* :class:`FaultPlan` / :class:`FaultRates` / :class:`Fault` — the
+  seeded, replayable fault-injection schedule
+  (``SimulationServer(faults=...)``, ``repro serve-bench --faults``);
+* :class:`SupervisorConfig` — retry-budget/backoff/breaker knobs of
+  the worker supervision policy;
+* :func:`graceful_drain` — SIGTERM => drain-then-stop context manager
+  for serving processes;
+* :class:`ServerMetrics` — batching/plan-cache/expiry/supervision
+  counters (``server.metrics.snapshot()``; see also
+  ``server.health()``);
 * :func:`run_closed_loop` / :class:`LoadReport` — the closed-loop load
   generator behind ``repro serve-bench`` and
   ``benchmarks/bench_serving.py``;
@@ -33,6 +42,7 @@ from .batcher import (
     Batch,
     Batcher,
 )
+from .faults import FAULT_KINDS, Fault, FaultPlan, FaultRates
 from .loadgen import REQUEST_TIMEOUT_S, LoadReport, run_closed_loop
 from .metrics import ServerMetrics
 from .queue import GroupKey, RequestQueue, SimulationRequest
@@ -41,8 +51,10 @@ from .server import (
     DEFAULT_MAX_LINGER_STEPS,
     DEFAULT_MAX_PENDING,
     SimulationServer,
+    graceful_drain,
 )
 from .shards import ProcessShardPool
+from .supervisor import SupervisorConfig, WorkerSupervisor
 
 __all__ = [
     "Batch",
@@ -52,6 +64,10 @@ __all__ = [
     "DEFAULT_MAX_BATCH_WAVES",
     "DEFAULT_MAX_LINGER_STEPS",
     "DEFAULT_MAX_PENDING",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "FaultRates",
     "GroupKey",
     "LoadReport",
     "ProcessShardPool",
@@ -60,5 +76,8 @@ __all__ = [
     "ServerMetrics",
     "SimulationRequest",
     "SimulationServer",
+    "SupervisorConfig",
+    "WorkerSupervisor",
+    "graceful_drain",
     "run_closed_loop",
 ]

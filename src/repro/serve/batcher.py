@@ -67,6 +67,24 @@ class Batch:
         """Total waves across every request of the batch."""
         return sum(request.n_waves for request in self.requests)
 
+    @property
+    def earliest_deadline(self) -> Optional[float]:
+        """Soonest ``deadline_at`` already *in* the batch, if any.
+
+        The deadline-aware linger caps its wait on this (and on the
+        queue's :meth:`~repro.serve.queue.RequestQueue.group_deadline`):
+        lingering for stragglers must never push a request already
+        admitted to the batch past its own deadline.
+        """
+        return min(
+            (
+                request.deadline_at
+                for request in self.requests
+                if request.deadline_at is not None
+            ),
+            default=None,
+        )
+
 
 class Batcher:
     """Forms per-netlist batches from a :class:`RequestQueue`.

@@ -14,13 +14,14 @@ included.  All client threads are started *before* the clock and
 released together through an event, so thread spawn cost never pollutes
 the throughput measurement.
 
-Failure accounting: a request that outlives *request_timeout_s* or its
-server-side deadline does **not** raise out of the client thread — it is
-recorded in the :class:`LoadReport` (``timed_out`` / ``expired`` index
-lists, a ``None`` placeholder in ``reports``) and the run carries on,
-the way a real load generator keeps hammering through stragglers.  Any
-other error (validation, backpressure misuse, engine failure) still
-propagates to the caller.
+Failure accounting: a request that outlives *request_timeout_s*, its
+server-side deadline, queue-full backpressure, or a quarantined shard
+batch does **not** raise out of the client thread — it is recorded in
+the :class:`LoadReport` (``timed_out`` / ``expired`` / ``rejected`` /
+``shard_failed`` index lists, a ``None`` placeholder in ``reports``) and
+the run carries on, the way a real load generator keeps hammering
+through stragglers and brownouts.  Any other error (validation,
+capacity misuse, engine failure) still propagates to the caller.
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ from typing import Optional, Sequence
 from ..core.wavepipe.clocking import ClockingScheme
 from ..core.wavepipe.components import WaveNetlist
 from ..core.wavepipe.simulator import WaveSimulationReport
-from ..errors import DeadlineExceeded
+from ..errors import DeadlineExceeded, ServerQueueFull, ShardFailed
 from .server import SimulationServer
 
 #: Default client-thread count (windows widen to reach the requested
@@ -55,8 +56,10 @@ class LoadReport:
 
     ``reports`` is indexed by submission position; a slot is ``None``
     exactly when that request timed out client-side (its index is in
-    ``timed_out``) or expired server-side (``expired``).  Latency and
-    throughput figures cover completed requests only.
+    ``timed_out``), expired server-side (``expired``), was refused by
+    queue-full backpressure (``rejected``), or was quarantined with its
+    shard batch (``shard_failed``).  Latency and throughput figures
+    cover completed requests only.
     """
 
     reports: list[Optional[WaveSimulationReport]]  # per request
@@ -67,6 +70,8 @@ class LoadReport:
     clients: int
     timed_out: list[int] = field(default_factory=list)
     expired: list[int] = field(default_factory=list)
+    rejected: list[int] = field(default_factory=list)
+    shard_failed: list[int] = field(default_factory=list)
 
     @property
     def n_requests(self) -> int:
@@ -76,7 +81,7 @@ class LoadReport:
     @property
     def n_completed(self) -> int:
         """Requests whose future resolved with a report."""
-        return len(self.reports) - len(self.timed_out) - len(self.expired)
+        return sum(1 for report in self.reports if report is not None)
 
     @property
     def waves_per_s(self) -> float:
@@ -128,7 +133,8 @@ def run_closed_loop(
 
     *request_timeout_s* bounds one future's client-side wait;
     *deadline_s* is forwarded to the server per submission (server-side
-    deadline scheduling) — both failure modes are *recorded* in the
+    deadline scheduling).  Timeouts, deadline expiries, queue-full
+    rejections, and quarantined shard batches are all *recorded* in the
     returned :class:`LoadReport` rather than raised, while every other
     error still propagates.
 
@@ -150,20 +156,33 @@ def run_closed_loop(
     latencies: list[Optional[float]] = [None] * n_requests
     timed_out: list[int] = []
     expired: list[int] = []
+    rejected: list[int] = []
+    shard_failed: list[int] = []
     errors: list[BaseException] = []
     gate = threading.Event()
 
     def submit_chunk(
         chunk: Sequence[int],
     ) -> "list[tuple[int, Future[WaveSimulationReport]]]":
-        """Admit one burst window; returns (index, future) pairs."""
+        """Admit one burst window; returns (index, future) pairs.
+
+        Backpressure is per admission: a ``submit_many`` refused by
+        :class:`~repro.errors.ServerQueueFull` records its requests in
+        ``rejected`` (an open-loop generator outrunning the queue is a
+        load-test outcome, not a client bug) and the window carries on
+        with whatever was admitted.
+        """
         if netlists is None:
-            futures = server.submit_many(
-                netlist,
-                [requests[index] for index in chunk],
-                clocking=clocking,
-                deadline_s=deadline_s,
-            )
+            try:
+                futures = server.submit_many(
+                    netlist,
+                    [requests[index] for index in chunk],
+                    clocking=clocking,
+                    deadline_s=deadline_s,
+                )
+            except ServerQueueFull:
+                rejected.extend(chunk)
+                return []
             return list(zip(chunk, futures))
         pairs: "list[tuple[int, Future[WaveSimulationReport]]]" = []
         position = 0
@@ -175,13 +194,17 @@ def run_closed_loop(
                 and netlists[chunk[position + len(group)]] is model
             ):
                 group.append(chunk[position + len(group)])
-            futures = server.submit_many(
-                model,
-                [requests[index] for index in group],
-                clocking=clocking,
-                deadline_s=deadline_s,
-            )
-            pairs.extend(zip(group, futures))
+            try:
+                futures = server.submit_many(
+                    model,
+                    [requests[index] for index in group],
+                    clocking=clocking,
+                    deadline_s=deadline_s,
+                )
+            except ServerQueueFull:
+                rejected.extend(group)
+            else:
+                pairs.extend(zip(group, futures))
             position += len(group)
         return pairs
 
@@ -204,6 +227,8 @@ def run_closed_loop(
                         timed_out.append(index)  # keep hammering
                     except DeadlineExceeded:
                         expired.append(index)
+                    except ShardFailed:
+                        shard_failed.append(index)  # quarantined batch
         except BaseException as error:  # surface in the caller thread
             errors.append(error)
 
@@ -237,4 +262,6 @@ def run_closed_loop(
         clients=n_clients,
         timed_out=sorted(timed_out),
         expired=sorted(expired),
+        rejected=sorted(rejected),
+        shard_failed=sorted(shard_failed),
     )

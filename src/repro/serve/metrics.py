@@ -29,7 +29,10 @@ class ServerMetrics:
         "failed",               # requests whose future got an exception
         "cancelled",            # requests cancelled before dispatch
         "expired",              # requests dropped past their deadline
+        "shard_failed",         # requests failed by batch quarantine
         "worker_restarts",      # dead shard processes respawned
+        "hung_workers",         # hung shard processes reaped by timeout
+        "breaker_opens",        # crash-loop circuit breaker trips
         "batches",              # packed passes executed
         "batched_requests",     # requests across all executed batches
         "batched_waves",        # waves across all executed batches
@@ -97,10 +100,30 @@ class ServerMetrics:
         with self._lock:
             self._counts["expired"] += n_requests
 
+    def record_shard_failed(self, n_requests: int) -> None:
+        """*n_requests* futures failed with ``ShardFailed``.
+
+        A subset of ``failed`` (the ledger invariant ``submitted ==
+        completed + failed + cancelled + expired`` keeps holding), split
+        out so quarantined poison batches are visible at a glance.
+        """
+        with self._lock:
+            self._counts["shard_failed"] += n_requests
+
     def record_worker_restart(self) -> None:
         """One dead shard process was detected and respawned."""
         with self._lock:
             self._counts["worker_restarts"] += 1
+
+    def record_hung_worker(self) -> None:
+        """One hung shard process was reaped by the dispatch timeout."""
+        with self._lock:
+            self._counts["hung_workers"] += 1
+
+    def record_breaker_open(self) -> None:
+        """One worker slot's crash-loop circuit breaker tripped open."""
+        with self._lock:
+            self._counts["breaker_opens"] += 1
 
     def snapshot(self) -> dict[str, float]:
         """Consistent copy of every counter plus derived ratios.

@@ -163,11 +163,13 @@ class RequestQueue:
         else:
             self._group_deadlined.pop(key, None)
 
-    def _group_deadline(self, key: GroupKey) -> Optional[float]:
+    def group_deadline(self, key: GroupKey) -> Optional[float]:
         """Earliest deadline among *key*'s queued requests, if any.
 
         O(1) for groups without deadlines; only a group actually
-        holding deadlined requests pays the deque scan.
+        holding deadlined requests pays the deque scan.  Public because
+        the server's deadline-aware linger asks it how long the forming
+        batch may keep waiting for stragglers.
         """
         if not self._group_deadlined.get(key):
             return None
@@ -203,7 +205,7 @@ class RequestQueue:
             for key in self._group_deadlined:
                 if key in skip:
                     continue
-                deadline = self._group_deadline(key)
+                deadline = self.group_deadline(key)
                 if deadline is not None and deadline < urgent_deadline:
                     urgent, urgent_deadline = key, deadline
             if urgent is not None:

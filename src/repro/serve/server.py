@@ -59,17 +59,32 @@ the GIL entirely: batches are routed (sticky per netlist group) to a
 the numpy wire format, each worker holding its own compile cache; dead
 workers are respawned and their batch retried, bit-identically.  The
 batcher, deadline logic, and metrics stay in the parent either way.
+
+**Supervision and chaos.**  Process shards are supervised (see
+:mod:`repro.serve.shards` and :mod:`repro.serve.supervisor`): hung
+workers are detected by ``dispatch_timeout_s`` and SIGKILL-reaped,
+respawns back off exponentially, a crash-looping slot's circuit breaker
+takes it out of rotation (sticky groups reroute to the next healthy
+slot), and a batch that exhausts its retry budget is quarantined — only
+its futures fail, with :class:`~repro.errors.ShardFailed`, while the
+server keeps serving.  :meth:`SimulationServer.health` snapshots the
+whole story; a seeded :class:`~repro.serve.faults.FaultPlan` (``faults=``
+here, ``--faults`` on the serve bench) injects reproducible chaos
+through the same paths; :func:`graceful_drain` turns SIGTERM into
+serve-everything-admitted-then-stop.
 """
 
 from __future__ import annotations
 
 import asyncio
+import signal
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Future
+from contextlib import contextmanager
 from types import TracebackType
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -86,6 +101,7 @@ from ..errors import (
     ServeError,
     ServerClosed,
     ServerQueueFull,
+    ShardFailed,
     SimulationError,
 )
 from .batcher import (
@@ -94,9 +110,11 @@ from .batcher import (
     Batch,
     Batcher,
 )
+from .faults import FaultPlan
 from .metrics import ServerMetrics
 from .queue import GroupKey, RequestQueue, SimulationRequest, WaveStream
 from .shards import ProcessShardPool
+from .supervisor import SupervisorConfig
 
 #: Default bound on admitted-but-undispatched requests (backpressure).
 DEFAULT_MAX_PENDING = 1024
@@ -106,6 +124,13 @@ DEFAULT_MAX_LINGER_STEPS = 1
 
 #: Default upper bound of one linger round, in seconds.
 DEFAULT_LINGER_WAIT_S = 0.002
+
+#: Safety margin the deadline-aware linger keeps ahead of the most
+#: urgent queued/batched deadline: lingering stops once the slack to
+#: that deadline falls under this margin, so a request admitted with a
+#: tight-but-servable deadline is dispatched instead of expiring in the
+#: linger wait.
+DEADLINE_LINGER_MARGIN_S = 0.005
 
 #: Bound on the server's per-netlist plan-reuse records: serving
 #: netlist-churn traffic must not pin every netlist (and its weakly
@@ -152,6 +177,20 @@ class SimulationServer:
         processes and dispatches every batch there (sticky per netlist
         group); the shard *thread* count is raised to at least N so
         every worker can be driven concurrently.
+    dispatch_timeout_s:
+        Process-shard hang detection: a worker that neither replies nor
+        dies within this many seconds of a dispatch is SIGKILL-reaped
+        and the batch retried under its budget (``None`` = no hang
+        detection; worker *death* is always detected promptly).
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` — seeded chaos
+        injected into the dispatch path (process shards exercise the
+        full kill/hang/EOF surface; thread shards degrade to
+        slow/``ShardFailed`` stand-ins).  Testing and benchmarking
+        only.
+    supervision:
+        :class:`~repro.serve.supervisor.SupervisorConfig` overriding
+        the process-shard backoff/breaker/retry-budget policy.
     clocking / pipelined / backend / track:
         Server-wide simulation defaults; ``clocking`` and ``pipelined``
         can be overridden per request in :meth:`submit` (the group key
@@ -175,6 +214,9 @@ class SimulationServer:
         linger_wait_s: float = DEFAULT_LINGER_WAIT_S,
         default_deadline_s: Optional[float] = None,
         process_shards: int = 0,
+        dispatch_timeout_s: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
+        supervision: Optional[SupervisorConfig] = None,
         clocking: Optional[ClockingScheme] = None,
         pipelined: bool = True,
         backend: Optional[str] = None,
@@ -223,11 +265,17 @@ class SimulationServer:
         self._started = False
         self._closing = False
         self.metrics = ServerMetrics()
+        self._faults = faults
         self._pool: Optional[ProcessShardPool] = None
         if process_shards:
             self._pool = ProcessShardPool(
                 int(process_shards),
                 on_restart=self.metrics.record_worker_restart,
+                on_hang=self.metrics.record_hung_worker,
+                on_breaker_open=self.metrics.record_breaker_open,
+                dispatch_timeout_s=dispatch_timeout_s,
+                faults=faults,
+                supervision=supervision,
             )
         if start:
             self.start()
@@ -336,6 +384,27 @@ class SimulationServer:
         """Requests admitted but not yet picked into a batch."""
         with self._lock:
             return len(self._queue)
+
+    def health(self) -> dict[str, object]:
+        """Operational snapshot: mode, queue depth, workers, metrics.
+
+        One call answers "is this server healthy": the sharding mode,
+        whether it is closed, the queue depth, the full metrics
+        snapshot, and — with process shards — the pool's per-slot
+        supervision state (pid, liveness, breaker status, restart
+        counts) plus its hang/quarantine/breaker totals.  Thread-mode
+        servers report an empty ``workers`` list.
+        """
+        snapshot: dict[str, object] = {
+            "mode": "process" if self._pool is not None else "thread",
+            "closed": self.closed,
+            "pending": self.pending,
+            "metrics": self.metrics.snapshot(),
+            "workers": [],
+        }
+        if self._pool is not None:
+            snapshot.update(self._pool.health())
+        return snapshot
 
     # ------------------------------------------------------------------
     # submission
@@ -593,7 +662,28 @@ class SimulationServer:
                     # rounds in a row dispatch a non-full batch
                     empty_rounds = 0
                     while empty_rounds < self._max_linger_steps:
-                        self._cond.wait(timeout=self._linger_wait_s)
+                        # deadline-aware linger: the most urgent
+                        # deadline already in the batch (or still
+                        # queued for this group) caps the wait —
+                        # lingering must never expire the very
+                        # requests it is batching
+                        wait_s = self._linger_wait_s
+                        urgent = batch.earliest_deadline
+                        queued = self._queue.group_deadline(batch.key)
+                        if queued is not None and (
+                            urgent is None or queued < urgent
+                        ):
+                            urgent = queued
+                        if urgent is not None:
+                            slack_s = (
+                                urgent
+                                - time.perf_counter()
+                                - DEADLINE_LINGER_MARGIN_S
+                            )
+                            if slack_s <= 0.0:
+                                break  # dispatch now, before expiry
+                            wait_s = min(wait_s, slack_s)
+                        self._cond.wait(timeout=wait_s)
                         expired.extend(
                             self._batcher.expire(
                                 time.perf_counter(), key=batch.key
@@ -681,6 +771,24 @@ class SimulationServer:
                     route_key=batch.key,
                 )
             else:
+                if self._faults is not None:
+                    # thread-mode fault site: there is no worker process
+                    # to kill, so the process-fatal kinds degrade to a
+                    # typed ShardFailed on this batch (the futures-
+                    # resolve-with-typed-errors contract is exercised
+                    # even without process shards); "slow" sleeps,
+                    # "hang" has no thread-mode analogue (a shard
+                    # thread cannot be reaped) and is skipped
+                    fault = self._faults.next_fault(route_key=batch.key)
+                    if fault is not None:
+                        if fault.kind == "slow":
+                            time.sleep(fault.delay_s)
+                        elif fault.kind != "hang":
+                            raise ShardFailed(
+                                f"injected {fault.kind} fault "
+                                "(thread-mode stand-in for a worker "
+                                "crash)"
+                            )
                 reports = simulate_streams_packed(
                     batch.netlist,
                     streams,
@@ -695,6 +803,8 @@ class SimulationServer:
             for request in live:
                 request.future.set_exception(error)
             self.metrics.record_failed(len(live))
+            if isinstance(error, ShardFailed):
+                self.metrics.record_shard_failed(len(live))
             return
         # metrics first: a client that observes its resolved future may
         # immediately read metrics.snapshot() and must not see the
@@ -707,3 +817,37 @@ class SimulationServer:
         self.metrics.record_completed(len(live))
         for request, report in zip(live, reports):
             request.future.set_result(report)
+
+
+@contextmanager
+def graceful_drain(server: SimulationServer) -> Iterator[SimulationServer]:
+    """SIGTERM => drain: serve every admitted request, then stop.
+
+    Inside the ``with`` block a SIGTERM (the orchestration world's
+    shutdown signal) closes *server* with drain semantics from a
+    background thread: new submissions fail with
+    :class:`~repro.errors.ServerClosed` immediately, every
+    already-admitted future still resolves, and the signal handler
+    itself returns at once (``server.stop`` blocks, so it cannot run in
+    the handler frame).  The previous SIGTERM disposition is restored on
+    exit.  Signal handlers are a main-thread-only facility; calling this
+    from another thread raises :class:`~repro.errors.ServeError`.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        raise ServeError(
+            "graceful_drain installs a signal handler and must be "
+            "entered from the main thread"
+        )
+
+    def _drain(signum: int, frame: object) -> None:
+        threading.Thread(
+            target=lambda: server.stop(drain=True),
+            name="repro-serve-drain",
+            daemon=True,
+        ).start()
+
+    previous = signal.signal(signal.SIGTERM, _drain)
+    try:
+        yield server
+    finally:
+        signal.signal(signal.SIGTERM, previous)

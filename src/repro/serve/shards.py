@@ -24,15 +24,29 @@ Design
   netlist at most once per version: the netlist itself is shipped only
   on the worker's first batch for that ``(id, version)`` — later batches
   send the key alone and hit the worker-side cache (a small LRU).
-* **Crash recovery.**  A worker that dies mid-batch (OOM killer,
-  segfault, ``kill -9`` in the chaos tests) surfaces as a broken pipe in
-  the parent.  The pool respawns the worker, re-ships the netlist (the
-  fresh process has an empty cache), and re-runs the batch once — the
-  retry is bit-identical because simulation is deterministic.  A second
-  consecutive death for the same batch raises
-  :class:`~repro.errors.ServeError` (the batch itself is the likely
-  killer).  Restarts are reported through the ``on_restart`` callback
-  (the server counts them in its metrics).
+* **Supervised crash recovery.**  A worker that dies under a batch
+  (OOM killer, segfault, ``kill -9``, injected chaos) surfaces as a
+  broken pipe or a silent exit; one that *hangs* is detected by the
+  bounded ``Connection.poll`` dispatch loop (``dispatch_timeout_s``)
+  and SIGKILL-reaped.  Either way the slot is respawned under the
+  :class:`~repro.serve.supervisor.WorkerSupervisor` policy — exponential
+  backoff per consecutive failure, a crash-loop circuit breaker that
+  takes a flapping slot out of rotation (sticky groups are rerouted to
+  the next healthy slot until a half-open probe succeeds) — and the
+  batch is retried, bit-identically, up to its retry budget.  A batch
+  that exhausts the budget is **quarantined**: only its futures fail,
+  with :class:`~repro.errors.ShardFailed`, and the pool keeps serving
+  (the batch itself is the likely killer).  Restarts are reported
+  through the ``on_restart`` callback, hangs through ``on_hang``,
+  breaker trips through ``on_breaker_open`` (the server counts all
+  three in its metrics); :meth:`ProcessShardPool.health` snapshots the
+  per-slot state.
+* **Deterministic chaos.**  A :class:`~repro.serve.faults.FaultPlan`
+  threads seeded fault decisions through the dispatch path: the parent
+  kills its own worker (``crash_before_dispatch``) or ships an in-band
+  directive the worker executes (``crash``/``eof``/``hang``/``slow``) —
+  so the whole supervision surface above is exercised reproducibly, by
+  seed, in the chaos suite and ``repro serve-bench --faults``.
 * **Spawn, not fork.**  Workers use the ``spawn`` start method: the
   parent runs shard *threads*, and forking a threaded process can
   deadlock on arbitrarily-held locks.  Spawned children import
@@ -51,18 +65,21 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from multiprocessing.process import BaseProcess
 from types import TracebackType
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.wavepipe.components import WaveNetlist
-from ..errors import ServeError
+from ..errors import ServeError, ShardFailed
+from .faults import FaultPlan
 from .queue import WaveStream
+from .supervisor import SupervisorConfig, WorkerSupervisor
 
 #: Worker-side cap on cached netlists (serving netlist churn must not
 #: grow a worker without bound; eviction only costs a re-ship).
@@ -71,6 +88,12 @@ WORKER_NETLIST_CACHE = 32
 #: Seconds a graceful worker shutdown may take before escalating to
 #: terminate()/kill().
 DEFAULT_STOP_TIMEOUT_S = 10.0
+
+#: Poll granularity of the bounded dispatch-reply loop: every reply wait
+#: is a sequence of short ``Connection.poll`` ticks (never an indefinite
+#: ``recv``), so worker death without EOF and dispatch-timeout expiry
+#: are both detected within one tick.
+POLL_TICK_S = 0.05
 
 
 def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a child
@@ -98,10 +121,31 @@ def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a chil
             conn.send(("pong", os.getpid()))
             continue
         # ("run", key, netlist | None, n_phases, pipelined, streams,
-        #  backend, track)
-        _, key, netlist, n_phases, pipelined, streams, backend, track = (
-            message
-        )
+        #  backend, track, fault)
+        (
+            _,
+            key,
+            netlist,
+            n_phases,
+            pipelined,
+            streams,
+            backend,
+            track,
+            fault,
+        ) = message
+        if fault is not None:
+            # injected chaos (see serve/faults.py): executed worker-side
+            # so the failure is indistinguishable from the real thing
+            name, delay = fault
+            if name == "crash":
+                os._exit(13)  # mid-batch death: no reply, no cleanup
+            if name == "eof":
+                conn.close()  # clean pipe EOF without a reply
+                os._exit(0)
+            if name in ("hang", "slow"):
+                # a hang is a slow whose delay outlives the dispatch
+                # timeout: the parent reaps us mid-sleep
+                time.sleep(float(delay))
         reply: tuple[str, object]
         try:
             if netlist is not None:
@@ -173,6 +217,18 @@ class _Worker:
     )
 
 
+class _AttemptFailed(Exception):
+    """Internal: one dispatch attempt lost its worker (crash/hang/EOF)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class _SlotUnavailable(Exception):
+    """Internal: the chosen slot broke before the batch was dispatched."""
+
+
 def _wire_streams(
     streams: Sequence[WaveStream],
 ) -> list:
@@ -204,6 +260,26 @@ class ProcessShardPool:
     on_restart:
         Optional zero-argument callback invoked once per dead-worker
         respawn (the server wires its ``worker_restarts`` metric here).
+    on_hang:
+        Optional callback invoked once per hung worker detected and
+        reaped by the dispatch timeout.
+    on_breaker_open:
+        Optional callback invoked once per crash-loop circuit breaker
+        trip.
+    dispatch_timeout_s:
+        Upper bound on one dispatch's reply wait.  A worker that has
+        neither replied nor died within it is *hung*: it is SIGKILLed,
+        the hang counts as a slot failure, and the batch retries under
+        its budget.  ``None`` (default) disables hang detection — the
+        reply wait is still a bounded poll loop (worker death without
+        EOF is detected within :data:`POLL_TICK_S`), it just never
+        gives up on a live worker.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` — the seeded
+        chaos schedule consulted once per dispatch attempt.
+    supervision:
+        :class:`~repro.serve.supervisor.SupervisorConfig` overriding the
+        default backoff/breaker/retry-budget policy.
     """
 
     def __init__(
@@ -211,11 +287,23 @@ class ProcessShardPool:
         n_workers: int,
         *,
         on_restart: Optional[Callable[[], None]] = None,
+        on_hang: Optional[Callable[[], None]] = None,
+        on_breaker_open: Optional[Callable[[], None]] = None,
+        dispatch_timeout_s: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
+        supervision: Optional[SupervisorConfig] = None,
     ) -> None:
         if n_workers < 1:
             raise ServeError("a process pool needs at least one worker")
+        if dispatch_timeout_s is not None and dispatch_timeout_s <= 0:
+            raise ServeError("dispatch_timeout_s must be > 0")
         self._ctx = multiprocessing.get_context("spawn")
         self._on_restart = on_restart
+        self._on_hang = on_hang
+        self._on_breaker_open = on_breaker_open
+        self._dispatch_timeout_s = dispatch_timeout_s
+        self._faults = faults
+        self._supervisor = WorkerSupervisor(int(n_workers), supervision)
         self._closed = False
         self._state_lock = threading.Lock()
         self._workers: list[_Worker] = [
@@ -263,8 +351,40 @@ class ProcessShardPool:
             if worker.process.is_alive() and worker.process.pid is not None
         ]
 
+    def health(self) -> dict[str, object]:
+        """Supervision snapshot: per-slot state plus pool-wide counters.
+
+        Each worker entry carries the slot index, pid, liveness, the
+        supervisor's state machine (``healthy`` / ``broken`` /
+        ``probe-ready`` / ``probing``), restart and consecutive-failure
+        counts, and the breaker status; the top level adds the
+        cumulative ``hung_reaped`` / ``quarantined_batches`` /
+        ``breaker_opens`` / ``worker_restarts`` totals.
+        """
+        now = time.monotonic()
+        states = self._supervisor.slot_states(now)
+        workers: list[dict[str, object]] = []
+        for index, state in enumerate(states):
+            worker = self._workers[index]
+            entry: dict[str, object] = {
+                "slot": index,
+                "pid": worker.process.pid,
+                "alive": worker.process.is_alive(),
+            }
+            entry.update(state)
+            workers.append(entry)
+        snapshot: dict[str, object] = {"workers": workers}
+        snapshot.update(self._supervisor.totals())
+        return snapshot
+
     def close(self, timeout: Optional[float] = None) -> None:
-        """Stop every worker: graceful stop, then terminate, then kill."""
+        """Stop every worker: graceful stop, then terminate, then kill.
+
+        *timeout* is one **shared deadline budget** across the whole
+        pool, not a per-worker join allowance: with N slow workers total
+        graceful shutdown is still bounded by ~*timeout* (plus the short
+        fixed terminate/kill escalation grace), never N x *timeout*.
+        """
         timeout = DEFAULT_STOP_TIMEOUT_S if timeout is None else timeout
         with self._state_lock:
             if self._closed:
@@ -281,8 +401,11 @@ class ProcessShardPool:
                     worker.conn.send(("stop",))
                 except (OSError, ValueError):
                     pass  # already dead or pipe gone: terminate below
+        deadline_at = time.monotonic() + max(0.0, float(timeout))
         for worker in self._workers:
-            worker.process.join(timeout)
+            worker.process.join(
+                max(0.0, deadline_at - time.monotonic())
+            )
             if worker.process.is_alive():
                 worker.process.terminate()
                 worker.process.join(1.0)
@@ -336,19 +459,23 @@ class ProcessShardPool:
         # lint: determinism-hash-ok(sticky routing only needs within-process consistency; the hash never crosses a run or a process)
         return hash(route_key) % len(self._workers)
 
-    def _revive(self, index: int) -> _Worker:
-        """Replace a dead worker in place (caller holds its lock slot)."""
-        with self._state_lock:
-            if self._closed:
-                raise ServeError("process shard pool is closed")
+    def _reap_slot(self, index: int) -> None:
+        """Tear the slot's process and pipe down (it is being replaced)."""
         old = self._workers[index]
         try:
             old.conn.close()
         except OSError:  # pragma: no cover
             pass
-        if old.process.is_alive():  # pragma: no cover - defensive
+        if old.process.is_alive():
             old.process.terminate()
         old.process.join(1.0)
+
+    def _respawn_slot(self, index: int) -> _Worker:
+        """Spawn a fresh worker into *index* (caller holds its lock slot)."""
+        with self._state_lock:
+            if self._closed:
+                raise ServeError("process shard pool is closed")
+        old = self._workers[index]
         fresh = self._spawn()
         # carry the in-flight dispatch lock over: the caller already
         # holds old.lock, and per-index serialization must continue to
@@ -358,6 +485,179 @@ class ProcessShardPool:
         if self._on_restart is not None:
             self._on_restart()
         return fresh
+
+    def _revive(self, index: int) -> _Worker:
+        """Replace a worker found dead *at dispatch* (crash-between-
+        batches discovery): the death counts toward the slot's failure
+        streak and backoff, but not toward any batch's retry budget —
+        no batch was in flight when it died.  Raises
+        :class:`_SlotUnavailable` when the streak opens the breaker
+        (the caller reroutes instead of respawning a crash-looper).
+        """
+        if self._supervisor.breaker_open(index):
+            # a breaker-open slot is deliberately left dead, so finding
+            # its worker dead during the half-open probe is expected —
+            # respawn without charging a failure; the probe's verdict
+            # is the dispatch that follows
+            self._reap_slot(index)
+            return self._respawn_slot(index)
+        backoff_s, opened = self._supervisor.record_failure(
+            index, time.monotonic()
+        )
+        self._reap_slot(index)
+        if opened:
+            if self._on_breaker_open is not None:
+                self._on_breaker_open()
+            raise _SlotUnavailable(f"slot {index} breaker opened")
+        if backoff_s > 0.0:
+            time.sleep(backoff_s)
+        return self._respawn_slot(index)
+
+    def _fail_slot(self, index: int, reason: str) -> None:
+        """Handle a slot failure *under a batch*: respawn or break.
+
+        Accounts the failure with the supervisor, then either respawns
+        the slot after its exponential backoff or — when the streak
+        opens the circuit breaker — leaves it dead for routing to skip.
+        Either way the caller's batch retries (within its budget) via
+        a fresh :meth:`_attempt`.
+        """
+        backoff_s, opened = self._supervisor.record_failure(
+            index, time.monotonic()
+        )
+        self._reap_slot(index)
+        if opened:
+            if self._on_breaker_open is not None:
+                self._on_breaker_open()
+            return
+        if backoff_s > 0.0:
+            time.sleep(backoff_s)
+        try:
+            self._respawn_slot(index)
+        except ServeError:
+            # pool closed mid-recovery: leave the slot dead; the retry
+            # loop will observe the closed pool and fail the batch
+            pass
+
+    def _receive(self, index: int, worker: _Worker) -> Tuple[str, object]:
+        """Await one reply via bounded polls; never an indefinite recv.
+
+        Detects, within one :data:`POLL_TICK_S` tick: a reply (returned),
+        worker death without EOF (``_AttemptFailed``), pipe EOF/reset
+        (``_AttemptFailed``), and — when ``dispatch_timeout_s`` is set —
+        a hung worker, which is SIGKILL-reaped before the attempt fails.
+        """
+        timeout_s = self._dispatch_timeout_s
+        deadline_at = (
+            None if timeout_s is None else time.monotonic() + timeout_s
+        )
+        while True:
+            tick = POLL_TICK_S
+            if deadline_at is not None:
+                remaining = deadline_at - time.monotonic()
+                if remaining <= 0.0:
+                    # hung: neither a reply nor a death within the
+                    # dispatch timeout — reap it so the slot (and the
+                    # batch) can move on
+                    worker.process.kill()
+                    worker.process.join(1.0)
+                    self._supervisor.note_hang_reaped()
+                    if self._on_hang is not None:
+                        self._on_hang()
+                    raise _AttemptFailed(
+                        f"worker hung past the {timeout_s:.3f}s "
+                        "dispatch timeout and was killed"
+                    )
+                tick = min(tick, max(0.0, remaining))
+            try:
+                if worker.conn.poll(tick):
+                    return worker.conn.recv()
+            except (EOFError, BrokenPipeError, ConnectionResetError,
+                    OSError):
+                raise _AttemptFailed(
+                    "worker pipe closed under the batch"
+                ) from None
+            if not worker.process.is_alive() and not worker.conn.poll(0):
+                # dead with no reply left in the pipe buffer
+                raise _AttemptFailed("worker died under the batch")
+
+    def _attempt(
+        self,
+        index: int,
+        key: tuple,
+        netlist: WaveNetlist,
+        wire: list,
+        n_phases: int,
+        pipelined: bool,
+        backend: Optional[str],
+        track: Optional[bool],
+        route: object,
+    ) -> list:
+        """One dispatch attempt on slot *index* (its lock is held).
+
+        Raises :class:`_SlotUnavailable` if the slot broke before the
+        batch was sent, :class:`_AttemptFailed` if the worker was lost
+        under the batch; worker-side simulation errors re-raise as the
+        in-process engine would have raised them.
+        """
+        worker = self._workers[index]
+        if not worker.process.is_alive():
+            worker = self._revive(index)
+        fault = (
+            None
+            if self._faults is None
+            else self._faults.next_fault(route_key=route)
+        )
+        if fault is not None and fault.kind == "crash_before_dispatch":
+            # parent-side chaos: the worker dies between batches and the
+            # dispatch path discovers it — the revive-at-dispatch case
+            worker.process.kill()
+            worker.process.join(1.0)
+            worker = self._revive(index)
+            fault = None
+        directive = None if fault is None else fault.wire()
+        # identity check, not just key membership: the pinned reference
+        # is what keeps id(netlist) unrecycled, so a key whose pin is a
+        # *different* object must re-ship
+        ship_netlist = worker.known.get(key) is not netlist
+        while True:
+            try:
+                worker.conn.send(
+                    (
+                        "run",
+                        key,
+                        netlist if ship_netlist else None,
+                        int(n_phases),
+                        bool(pipelined),
+                        wire,
+                        backend,
+                        track,
+                        directive,
+                    )
+                )
+            except (OSError, ValueError):
+                raise _AttemptFailed(
+                    "worker pipe closed at dispatch"
+                ) from None
+            status, payload = self._receive(index, worker)
+            if status == "miss":
+                # the worker evicted (or never had) this key while the
+                # parent advertised it: re-ship and retry — self-healing
+                # against any cache desync.  The injected fault (if any)
+                # was not consumed by the miss round trip exactly once,
+                # so clear it rather than double-inject
+                ship_netlist = True
+                directive = None
+                continue
+            if status == "error":
+                self._supervisor.record_success(index)  # the slot is fine
+                raise payload  # type: ignore[misc]
+            worker.known[key] = netlist
+            worker.known.move_to_end(key)
+            while len(worker.known) > WORKER_NETLIST_CACHE:
+                worker.known.popitem(last=False)
+            self._supervisor.record_success(index)
+            return payload  # type: ignore[return-value]
 
     def simulate(
         self,
@@ -374,68 +674,73 @@ class ProcessShardPool:
 
         Synchronous: blocks until the worker replies (concurrent calls
         for *different* groups proceed in parallel on their own
-        workers).  Worker death is absorbed by one respawn-and-retry;
-        worker-side simulation errors re-raise here exactly as the
-        in-process engine would have raised them.
+        workers).  Worker death or hang is absorbed by supervised
+        respawn-and-retry — every retry is bit-identical because
+        simulation is deterministic — up to the batch's retry budget;
+        past it the batch is quarantined with
+        :class:`~repro.errors.ShardFailed` (and
+        :class:`ShardFailed` is also raised, without any dispatch, when
+        every slot's circuit breaker is open).  Worker-side simulation
+        errors re-raise here exactly as the in-process engine would
+        have raised them.
         """
         with self._state_lock:
             if self._closed:
                 raise ServeError("process shard pool is closed")
         key = (id(netlist), netlist.version)
-        index = self._worker_for(route_key if route_key is not None else key)
+        route = route_key if route_key is not None else key
+        home = self._worker_for(route)
         wire = _wire_streams(streams)
-        worker = self._workers[index]
-        with worker.lock:
-            deaths = 0
-            ship_netlist = False
-            while True:
-                worker = self._workers[index]
-                if not worker.process.is_alive():
-                    worker = self._revive(index)
-                # identity check, not just key membership: the pinned
-                # reference is what keeps id(netlist) unrecycled, so a
-                # key whose pin is a *different* object must re-ship
-                ship_netlist = (
-                    ship_netlist or worker.known.get(key) is not netlist
+        budget = self._supervisor.config.max_batch_retries
+        failures = 0
+        reroutes = 0
+        while True:
+            with self._state_lock:
+                if self._closed:
+                    raise ServeError("process shard pool is closed")
+            index = self._supervisor.pick_slot(home, time.monotonic())
+            if index is None:
+                raise ShardFailed(
+                    f"every worker slot's circuit breaker is open; "
+                    f"batch of {len(wire)} streams was not dispatched"
                 )
-                try:
-                    worker.conn.send(
-                        (
-                            "run",
-                            key,
-                            netlist if ship_netlist else None,
-                            int(n_phases),
-                            bool(pipelined),
-                            wire,
-                            backend,
-                            track,
+            slot_lock = self._workers[index].lock
+            try:
+                with slot_lock:
+                    try:
+                        return self._attempt(
+                            index, key, netlist, wire, int(n_phases),
+                            bool(pipelined), backend, track, route,
                         )
-                    )
-                    status, payload = worker.conn.recv()
-                except (EOFError, BrokenPipeError, ConnectionResetError,
-                        OSError):
-                    # the worker died under this batch: respawn; the
-                    # retry re-ships the netlist (fresh empty cache) and
-                    # is bit-identical because the kernels are
-                    # deterministic
-                    self._revive(index)
-                    deaths += 1
-                    if deaths >= 2:
-                        raise ServeError(
-                            "shard worker died twice running one batch "
-                            f"({len(wire)} streams); giving up on it"
-                        )
-                    continue
-                if status == "miss":
-                    # the worker evicted (or never had) this key while
-                    # the parent advertised it: re-ship and retry —
-                    # self-healing against any cache desync
-                    ship_netlist = True
-                    continue
-                if status == "error":
-                    raise payload
-                worker.known[key] = netlist
-                worker.known.move_to_end(key)
-                while len(worker.known) > WORKER_NETLIST_CACHE:
-                    worker.known.popitem(last=False)
-                return payload
+                    except _AttemptFailed as failed:
+                        # recover the slot while still holding its lock:
+                        # reaping/respawning unlocked would race another
+                        # thread's fresh dispatch on the same slot (the
+                        # backoff cap is far below the sanitizer's lock
+                        # hold threshold)
+                        self._fail_slot(index, failed.reason)
+                        raise
+            except _SlotUnavailable:
+                # the slot broke before this batch was sent: reroute
+                # without charging the batch's retry budget, but bound
+                # the scan so cascading breakers cannot loop forever
+                reroutes += 1
+                if reroutes > len(self._workers):
+                    raise ShardFailed(
+                        f"no dispatchable worker slot left for a batch "
+                        f"of {len(wire)} streams: every slot is broken "
+                        "or breaking"
+                    ) from None
+                continue
+            except _AttemptFailed as failed:
+                failures += 1
+                if failures > budget:
+                    self._supervisor.note_quarantine()
+                    raise ShardFailed(
+                        f"batch of {len(wire)} streams failed "
+                        f"{failures} dispatch attempts (last: "
+                        f"{failed.reason}); quarantined as a poison "
+                        "batch — only this batch fails, the pool keeps "
+                        "serving"
+                    ) from None
+                continue

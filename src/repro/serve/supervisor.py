@@ -1,0 +1,230 @@
+"""Worker-slot supervision policy: backoff, breakers, retry budgets.
+
+:class:`WorkerSupervisor` is the pure *policy* half of the process-shard
+robustness story (the mechanism — killing, respawning, poll loops —
+lives in :mod:`repro.serve.shards`).  It tracks, per worker slot:
+
+* **Respawn accounting** — total restarts and the consecutive-failure
+  streak (reset by any successful batch on that slot).
+* **Exponential backoff** — each consecutive failure doubles the respawn
+  delay (``backoff_base_s`` up to ``backoff_cap_s``), so a crash-looping
+  slot cannot burn a CPU re-spawning in a tight loop.
+* **Crash-loop circuit breaker** — ``breaker_threshold`` consecutive
+  failures *open* the slot's breaker: the slot is left dead, routing
+  sends sticky groups to the next healthy slot (degraded mode), and
+  after ``breaker_reset_s`` seconds exactly one dispatch is admitted as
+  a half-open *probe* (success closes the breaker, failure re-opens it).
+
+The batch-level **retry budget** (``max_batch_retries``) lives here too:
+a batch whose dispatch fails more than this many times beyond the first
+attempt is *quarantined* — only its futures fail, with
+:class:`~repro.errors.ShardFailed` — because a batch that reliably kills
+every worker it touches is the likely killer (the poison-batch case),
+and retrying it forever would take the whole pool down.
+
+All clock inputs are passed in by the caller (``now`` is a
+``time.monotonic`` instant), which keeps the policy deterministic and
+directly unit-testable with a fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServeError
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of the worker supervision policy (see the module docstring).
+
+    The defaults are production-shaped: a couple of bit-identical
+    retries before quarantine, sub-second first backoff, and a breaker
+    that only opens on a genuine crash loop (five consecutive failures
+    with no successful batch in between).
+    """
+
+    #: failed dispatch attempts a batch may retry beyond its first
+    #: (exceeding it quarantines the batch with ``ShardFailed``)
+    max_batch_retries: int = 2
+    #: respawn delay after a slot's first consecutive failure
+    backoff_base_s: float = 0.05
+    #: ceiling of the exponential respawn delay
+    backoff_cap_s: float = 2.0
+    #: consecutive slot failures that open the crash-loop breaker
+    breaker_threshold: int = 5
+    #: seconds an open breaker waits before admitting a half-open probe
+    breaker_reset_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch_retries < 0:
+            raise ServeError("max_batch_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ServeError("backoff delays must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ServeError("breaker_threshold must be >= 1")
+        if self.breaker_reset_s < 0:
+            raise ServeError("breaker_reset_s must be >= 0")
+
+
+@dataclass
+class _Slot:
+    """Supervision state of one worker slot."""
+
+    restarts: int = 0
+    consecutive_failures: int = 0
+    breaker_opens: int = 0
+    #: monotonic instant the breaker opened; ``None`` = closed
+    broken_at: Optional[float] = None
+    #: a half-open probe dispatch is currently claimed
+    probing: bool = False
+
+    def state(self, now: float, reset_s: float) -> str:
+        if self.broken_at is None:
+            return "healthy"
+        if self.probing:
+            return "probing"
+        if now - self.broken_at >= reset_s:
+            return "probe-ready"
+        return "broken"
+
+
+class WorkerSupervisor:
+    """Thread-safe supervision state for a fixed set of worker slots."""
+
+    def __init__(
+        self, n_slots: int, config: Optional[SupervisorConfig] = None
+    ) -> None:
+        if n_slots < 1:
+            raise ServeError("a supervisor needs at least one slot")
+        self.config = config if config is not None else SupervisorConfig()
+        self._lock = threading.Lock()
+        self._slots = [_Slot() for _ in range(int(n_slots))]
+        self._hung_reaped = 0
+        self._quarantined = 0
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def pick_slot(self, home: int, now: float) -> Optional[int]:
+        """The slot a batch homed at *home* should dispatch to.
+
+        Sticky routing degrades, never breaks: a healthy home slot is
+        always chosen (so routing stays sticky in the healthy case);
+        a home slot with an open breaker is passed over for the next
+        healthy slot (deterministic scan order, so a given home keeps
+        hitting the same fallback while the outage lasts).  A slot whose
+        breaker has cooled down for ``breaker_reset_s`` is claimed for a
+        single half-open probe.  ``None`` means every slot is broken and
+        the batch cannot be dispatched at all.
+        """
+        n_slots = len(self._slots)
+        with self._lock:
+            for offset in range(n_slots):
+                index = (home + offset) % n_slots
+                slot = self._slots[index]
+                if slot.broken_at is None:
+                    return index
+                if (
+                    not slot.probing
+                    and now - slot.broken_at
+                    >= self.config.breaker_reset_s
+                ):
+                    slot.probing = True  # claim the one probe dispatch
+                    return index
+            return None
+
+    # ------------------------------------------------------------------
+    # outcome accounting
+    # ------------------------------------------------------------------
+    def record_success(self, index: int) -> None:
+        """A batch completed on *index*: reset the streak, close breaker."""
+        with self._lock:
+            slot = self._slots[index]
+            slot.consecutive_failures = 0
+            slot.broken_at = None
+            slot.probing = False
+
+    def record_failure(self, index: int, now: float) -> Tuple[float, bool]:
+        """One slot failure (crash, hang, EOF) at monotonic instant *now*.
+
+        Returns ``(backoff_s, breaker_opened)``: with an open breaker
+        the slot must be left dead (no respawn — routing will skip it);
+        otherwise the caller sleeps ``backoff_s`` and respawns.  A
+        failed half-open probe re-opens the breaker immediately,
+        whatever the streak.
+        """
+        with self._lock:
+            slot = self._slots[index]
+            slot.consecutive_failures += 1
+            slot.restarts += 1
+            failed_probe = slot.broken_at is not None
+            slot.probing = False
+            if failed_probe or (
+                slot.consecutive_failures >= self.config.breaker_threshold
+            ):
+                slot.broken_at = now
+                slot.breaker_opens += 1
+                return 0.0, True
+            exponent = slot.consecutive_failures - 1
+            backoff = min(
+                self.config.backoff_cap_s,
+                self.config.backoff_base_s * (2.0 ** exponent),
+            )
+            return backoff, False
+
+    def breaker_open(self, index: int) -> bool:
+        """True while *index*'s breaker is open (including mid-probe).
+
+        The dispatch mechanism uses this to tell a half-open probe's
+        *expectedly* dead worker (the slot was deliberately left dead
+        when its breaker opened — respawn without charging a failure)
+        from a fresh crash-between-batches discovery.
+        """
+        with self._lock:
+            return self._slots[index].broken_at is not None
+
+    def note_hang_reaped(self) -> None:
+        """One hung worker was detected and SIGKILLed."""
+        with self._lock:
+            self._hung_reaped += 1
+
+    def note_quarantine(self) -> None:
+        """One batch exhausted its retry budget and was quarantined."""
+        with self._lock:
+            self._quarantined += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def slot_states(self, now: float) -> List[Dict[str, object]]:
+        """Per-slot health snapshot (the ``health()`` building block)."""
+        with self._lock:
+            return [
+                {
+                    "state": slot.state(
+                        now, self.config.breaker_reset_s
+                    ),
+                    "restarts": slot.restarts,
+                    "consecutive_failures": slot.consecutive_failures,
+                    "breaker_opens": slot.breaker_opens,
+                    "breaker_open": slot.broken_at is not None,
+                }
+                for slot in self._slots
+            ]
+
+    def totals(self) -> Dict[str, int]:
+        """Pool-wide supervision counters."""
+        with self._lock:
+            return {
+                "hung_reaped": self._hung_reaped,
+                "quarantined_batches": self._quarantined,
+                "breaker_opens": sum(
+                    slot.breaker_opens for slot in self._slots
+                ),
+                "worker_restarts": sum(
+                    slot.restarts for slot in self._slots
+                ),
+            }

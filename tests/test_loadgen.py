@@ -168,3 +168,50 @@ class TestClosedLoop:
             load = run_closed_loop(server, _netlists()[0], [])
         assert load.reports == [] and load.elapsed_s == 0.0
         assert load.timed_out == [] and load.expired == []
+        assert load.rejected == [] and load.shard_failed == []
+
+    def test_queue_full_rejections_recorded_not_raised(self):
+        # start=False with a one-slot queue: the first request is
+        # admitted (then times out client-side), every later window is
+        # refused by backpressure — recorded, and the run completes
+        balanced, _ = _netlists()
+        requests = [
+            random_vectors(balanced.n_inputs, 3, seed=seed)
+            for seed in range(4)
+        ]
+        server = SimulationServer(shards=1, max_pending=1, start=False)
+        load = run_closed_loop(
+            server,
+            balanced,
+            requests,
+            clients=1,
+            concurrency=1,
+            request_timeout_s=0.05,
+        )
+        assert load.timed_out == [0]
+        assert load.rejected == [1, 2, 3]
+        assert load.reports == [None] * 4
+        assert load.n_completed == 0
+        assert server.metrics.snapshot()["rejected_queue_full"] == 3
+        server.stop(drain=False, timeout=TIMEOUT_S)
+
+    def test_shard_failures_recorded_not_raised(self):
+        # a certain-crash fault plan quarantines every batch (thread
+        # mode degrades the crash to a typed ShardFailed): the load
+        # generator records the failures and keeps hammering
+        from repro.serve import FaultPlan, FaultRates
+
+        balanced, _ = _netlists()
+        requests = [
+            random_vectors(balanced.n_inputs, 3, seed=seed)
+            for seed in range(5)
+        ]
+        plan = FaultPlan(0, FaultRates(crash_mid_batch=1.0))
+        with SimulationServer(shards=1, faults=plan) as server:
+            load = run_closed_loop(server, balanced, requests)
+        assert load.shard_failed == list(range(5))
+        assert load.reports == [None] * 5
+        assert load.n_completed == 0
+        metrics = server.metrics.snapshot()
+        assert metrics["shard_failed"] == 5
+        assert metrics["failed"] == 5
