@@ -44,7 +44,24 @@ covers:
    the per-worker state an operator would page on;
 9. every served report is bit-identical to a solo ``simulate_waves``
    run — batching, sharding, and crash recovery are execution details,
-   never semantic ones.
+   never semantic ones;
+10. the network tier — ``SocketServer`` fronts the same server over a
+    TCP socket (length-prefixed frames, the numpy wire format the
+    process shards already speak), and ``SimulationClient`` mirrors
+    ``submit``/``submit_many``/``Future`` across it: typed errors
+    round-trip (``ServerQueueFull`` raises synchronously from the
+    client's submit, ``DeadlineExceeded`` comes through the future),
+    reports stay bit-identical, and a dying connection fails its
+    pending futures with ``ConnectionLost`` — never strands them.
+    ``warm_netlists=[...]`` pre-compiles known models at startup (and
+    ships them to worker processes), so the first request after a
+    restart skips the compile miss;
+11. open-loop load — ``run_open_loop`` drives a seeded
+    ``OpenLoopScenario`` (Poisson/uniform/bursty arrivals at a fixed
+    offered rate, heavy-tail size mixes) and measures latency from
+    each request's *scheduled* arrival: no coordinated omission, and
+    the offered-traffic ledger (completed + timed out + expired +
+    rejected + shard-failed == offered) must balance.
 
 Run with::
 
@@ -64,9 +81,13 @@ from repro.errors import DeadlineExceeded, ServerQueueFull, ShardFailed
 from repro.serve import (
     FaultPlan,
     FaultRates,
+    OpenLoopScenario,
+    SimulationClient,
     SimulationServer,
+    SocketServer,
     SupervisorConfig,
     run_closed_loop,
+    run_open_loop,
 )
 from repro.suite.circuits import array_multiplier, ripple_carry_adder
 
@@ -299,6 +320,71 @@ def main() -> None:
         f"{health['hung_reaped']} hung reaped, "
         f"{health['quarantined_batches']} batches quarantined"
     )
+
+    # ------------------------------------------------------------------
+    # 10. the network tier: same API, same reports, over a socket
+    # ------------------------------------------------------------------
+    # warm_netlists pre-compiles the known models at startup — a
+    # restarted serving process answers its first request at steady-
+    # state latency instead of paying the compile miss in-band
+    with SimulationServer(
+        shards=2, warm_netlists=[multiplier, adder]
+    ) as server:
+        with SocketServer(server) as net:  # port 0: the OS picks
+            host, port = net.start().address
+            print(f"\nnetwork     : listening on {host}:{port}")
+            with SimulationClient(host, port) as client:
+                request = random_vectors(multiplier.n_inputs, 16, seed=9)
+                served = client.simulate(multiplier, request)
+                solo = simulate_waves(multiplier, request, engine="python")
+                print(
+                    "network     : served report bit-identical over "
+                    f"the socket: {served == solo}"
+                )
+                # typed errors cross the wire too: a full queue raises
+                # ServerQueueFull from client.submit, a missed deadline
+                # comes back through the future as DeadlineExceeded
+                health = client.health()
+                net_stats = health["net"]
+                print(
+                    f"network     : {net_stats['frames_in']} frames in / "
+                    f"{net_stats['frames_out']} out, "
+                    f"{net_stats['admitted_bursts']} bursts admitted"
+                )
+
+    # ------------------------------------------------------------------
+    # 11. open-loop load: a fixed offered rate, an honest ledger
+    # ------------------------------------------------------------------
+    # closed loops hide overload (clients wait, so the arrival rate
+    # sags to match the service rate — "coordinated omission").  The
+    # open loop fires requests on a seeded schedule no matter what and
+    # measures latency from each *scheduled* arrival; re-running the
+    # same scenario replays the identical schedule, sizes and payloads.
+    scenario = OpenLoopScenario(
+        rate_rps=150.0,
+        n_requests=60,
+        arrival="bursty",
+        seed=11,
+        size_mix=((8, 70.0), (32, 25.0), (128, 5.0)),  # heavy-tailed
+    )
+    with SimulationServer(
+        shards=2, warm_netlists=[adder]
+    ) as server:
+        open_report = run_open_loop(server, adder, scenario)
+    ledger = open_report.ledger()
+    print(
+        f"open loop   : {scenario.describe()}"
+    )
+    print(
+        f"open loop   : offered {open_report.offered_rate_rps:.0f} rps, "
+        f"achieved {open_report.achieved_rate_rps:.0f} rps, "
+        f"p99 {open_report.p99_s * 1e3:.1f} ms"
+    )
+    print(
+        f"open loop   : ledger {ledger} "
+        f"(balanced: {open_report.ledger_balanced})"
+    )
+    assert open_report.ledger_balanced
 
 
 if __name__ == "__main__":

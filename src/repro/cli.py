@@ -17,13 +17,24 @@ Subcommands
     cross-checks the engines and reports the speedup, ``--streams N``
     batches N independent wave streams through the netlist in one packed
     pass (the serving scenario).
+``serve``
+    Network serving tier: bind the micro-batching simulation server to
+    a TCP socket (``--listen HOST:PORT``) speaking the length-prefixed
+    numpy wire format of :mod:`repro.serve.net`.  Optionally
+    pre-compiles (warms) a list of benchmarks at startup, drains
+    gracefully on SIGTERM, and prints the bound address for clients
+    (:class:`repro.serve.SimulationClient`).
 ``serve-bench``
     Closed-loop load test of the micro-batching simulation server
     (:mod:`repro.serve`): N concurrent clients drive wave-stream requests
     through a sharded ``SimulationServer``, reporting p50/p99 latency and
     sustained waves/sec against the one-request-at-a-time packed
     baseline — with every served report checked bit-identical to its
-    solo-run counterpart.
+    solo-run counterpart.  ``--open-loop`` switches to the seeded
+    open-loop generator (Poisson/uniform/bursty arrivals at a fixed
+    offered rate, heavy-tail size mixes) and emits a replayable JSON
+    SLO report whose offered-traffic ledger must balance; ``--socket``
+    additionally replays the same scenario through the network tier.
 ``suite``
     List the 37-benchmark suite with structural targets.
 ``techs``
@@ -256,6 +267,109 @@ def build_parser() -> argparse.ArgumentParser:
         help="hang detection for process shards: a worker silent for "
         "this many seconds under a batch is SIGKILL-reaped and the "
         "batch retried (default: off)",
+    )
+    serve.add_argument(
+        "--open-loop", action="store_true",
+        help="open-loop mode: arrivals follow a seeded schedule at "
+        "--rate requests/s regardless of completions (measures what a "
+        "closed loop hides: queueing delay under a fixed offered "
+        "rate), and the result is a JSON SLO report with a balanced "
+        "offered-traffic ledger",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=50.0, metavar="RPS",
+        help="open-loop offered rate in requests per second "
+        "(default: 50)",
+    )
+    serve.add_argument(
+        "--arrival", choices=("poisson", "uniform", "bursty"),
+        default="poisson",
+        help="open-loop arrival process (default: poisson)",
+    )
+    serve.add_argument(
+        "--arrival-burst", type=int, default=8, metavar="N",
+        help="requests per burst epoch for --arrival bursty "
+        "(default: 8)",
+    )
+    serve.add_argument(
+        "--size-mix", type=str, default=None, metavar="MIX",
+        help="open-loop request-size mix as WAVES:WEIGHT pairs, e.g. "
+        "'16:70,64:24,256:5,1024:1', or the keyword 'heavy-tail' for "
+        "that built-in mix (default: every request carries --waves "
+        "waves)",
+    )
+    serve.add_argument(
+        "--socket", action="store_true",
+        help="with --open-loop: replay the same scenario through the "
+        "network tier (loopback SocketServer + SimulationClient) and "
+        "report both tiers side by side",
+    )
+    serve.add_argument(
+        "--json-out", type=str, default=None, metavar="PATH",
+        help="with --open-loop: write the JSON SLO document to PATH "
+        "instead of stdout",
+    )
+
+    servecmd = commands.add_parser(
+        "serve",
+        help="serve simulations over a TCP socket (network tier)",
+        description="Bind a micro-batching SimulationServer to a TCP "
+        "socket speaking the length-prefixed numpy wire format "
+        "(repro.serve.net).  Clients connect with "
+        "repro.serve.SimulationClient and get the exact submit/"
+        "submit_many/Future API of the in-process server — reports are "
+        "bit-identical.  An optional comma-separated source list is "
+        "compiled at startup (and shipped to worker processes) so the "
+        "first request after a restart does not pay the compile miss.  "
+        "SIGTERM drains in-flight work before exiting.",
+    )
+    servecmd.add_argument(
+        "source", nargs="?", default=None,
+        help="optional comma-separated benchmarks (same source syntax "
+        "as 'flow') to pre-compile at startup, e.g. 'ctrl,i2c'",
+    )
+    servecmd.add_argument(
+        "--listen", type=str, default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (default: 127.0.0.1:0 — port 0 picks a free "
+        "port; the bound address is printed)",
+    )
+    servecmd.add_argument(
+        "--shards", type=int, default=2,
+        help="server shard threads (default: 2)",
+    )
+    servecmd.add_argument(
+        "--process-shards", type=int, default=0,
+        help="worker processes instead of shard threads (default: 0)",
+    )
+    servecmd.add_argument(
+        "--max-pending", type=int, default=None,
+        help="bounded admission queue size (requests); full queue "
+        "rejects with a typed queue_full wire error",
+    )
+    servecmd.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="default per-request deadline in seconds",
+    )
+    servecmd.add_argument(
+        "--phases", type=int, default=3,
+        help="regeneration clock phase count (default: 3)",
+    )
+    servecmd.add_argument(
+        "--fanout-limit", type=int, default=3,
+        help="fan-out restriction applied to warm sources (0 disables)",
+    )
+    servecmd.add_argument(
+        "--dispatch-timeout", type=float, default=None, metavar="S",
+        help="hang detection for process shards (seconds; default: off)",
+    )
+    servecmd.add_argument(
+        "--duration", type=float, default=None, metavar="S",
+        help="serve for S seconds then drain and exit (default: serve "
+        "until SIGTERM/SIGINT)",
+    )
+    servecmd.add_argument(
+        "--no-jit", action="store_true",
+        help="force the fused pure-numpy kernels (same reports)",
     )
 
     commands.add_parser("suite", help="list the benchmark suite")
@@ -548,6 +662,12 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
 
 
 def _run_serve_bench(args: argparse.Namespace, out) -> int:
+    if args.open_loop:
+        return _run_open_loop_bench(args, out)
+    if args.socket or args.json_out is not None:
+        raise ReproError(
+            "--socket/--json-out apply to --open-loop mode only"
+        )
     from .core.wavepipe import (
         ClockingScheme,
         random_vectors,
@@ -801,6 +921,249 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_size_mix(spec, default_waves: int):
+    """Parse a ``--size-mix`` spec into ``((waves, weight), ...)``."""
+    from .serve import HEAVY_TAIL_SIZES
+
+    if spec is None:
+        return ((max(1, default_waves), 1.0),)
+    if spec == "heavy-tail":
+        return HEAVY_TAIL_SIZES
+    mix = []
+    for token in spec.split(","):
+        waves_text, _, weight_text = token.partition(":")
+        try:
+            waves = int(waves_text)
+            weight = float(weight_text) if weight_text else 1.0
+        except ValueError as error:
+            raise ReproError(
+                f"bad --size-mix entry {token!r}: expected WAVES:WEIGHT "
+                "pairs like '16:70,64:24,256:5,1024:1' or 'heavy-tail'"
+            ) from error
+        mix.append((waves, weight))
+    return tuple(mix)
+
+
+def _run_open_loop_bench(args: argparse.Namespace, out) -> int:
+    """``serve-bench --open-loop``: seeded offered-rate SLO benchmark."""
+    import json
+
+    from .core.wavepipe import ClockingScheme, set_default_backend
+    from .serve import (
+        OpenLoopScenario,
+        SimulationClient,
+        SimulationServer,
+        SocketServer,
+        run_open_loop,
+    )
+
+    if args.no_jit:
+        set_default_backend("fused")
+    if args.faults is not None or args.oracle:
+        # keep the surface honest instead of silently ignoring knobs
+        raise ReproError(
+            "--faults/--oracle are closed-loop options; the open "
+            "loop is a measurement mode, one seeded pass per tier"
+        )
+    try:
+        scenario = OpenLoopScenario(
+            rate_rps=args.rate,
+            n_requests=args.requests,
+            arrival=args.arrival,
+            burst=args.arrival_burst,
+            seed=args.seed,
+            size_mix=_parse_size_mix(args.size_mix, args.waves),
+        )
+    except ValueError as error:
+        raise ReproError(str(error)) from error
+
+    migs = [_load_source(token) for token in args.source.split(",")]
+    netlists = [
+        wave_pipeline(
+            mig, fanout_limit=args.fanout_limit or None, verify=False
+        ).netlist
+        for mig in migs
+    ]
+    clocking = ClockingScheme(args.phases)
+    models = (
+        [netlists[index % len(netlists)] for index in range(args.requests)]
+        if len(netlists) > 1 else None
+    )
+    for mig, netlist in zip(migs, netlists):
+        print(f"benchmark : {mig.name}", file=out)
+        print(f"netlist   : {netlist}", file=out)
+    print(f"scenario  : {scenario.describe()}", file=out)
+
+    knobs = {}
+    if args.max_batch_requests is not None:
+        knobs["max_batch_requests"] = args.max_batch_requests
+    if args.max_batch_waves is not None:
+        knobs["max_batch_waves"] = args.max_batch_waves
+    if args.max_linger_steps is not None:
+        knobs["max_linger_steps"] = args.max_linger_steps
+    if args.dispatch_timeout is not None:
+        knobs["dispatch_timeout_s"] = args.dispatch_timeout
+
+    def one_tier(tier: str):
+        """One seeded open-loop pass; returns the report."""
+        with SimulationServer(
+            shards=args.shards,
+            process_shards=args.process_shards,
+            max_pending=max(args.requests, 1024),
+            clocking=clocking,
+            warm_netlists=netlists,
+            **knobs,
+        ) as server:
+            net = None
+            client = None
+            try:
+                if tier == "socket":
+                    net = SocketServer(server)
+                    net.start()
+                    host, port = net.address
+                    client = SimulationClient(host, port)
+                target = client if client is not None else server
+                report = run_open_loop(
+                    target,
+                    None if models is not None else netlists[0],
+                    scenario,
+                    clocking=clocking,
+                    deadline_s=args.deadline,
+                    netlists=models,
+                )
+            finally:
+                if client is not None:
+                    client.close()
+                if net is not None:
+                    net.close(drain=True)
+        entries = report.ledger()
+        print(
+            f"{tier:<10}: offered {report.offered_rate_rps:,.1f} rps, "
+            f"achieved {report.achieved_rate_rps:,.1f} rps "
+            f"({report.waves_per_s:,.0f} waves/s)",
+            file=out,
+        )
+        p999 = report.p999_s
+        print(
+            f"latency   : p50 {report.p50_s * 1e3:.1f} ms, "
+            f"p99 {report.p99_s * 1e3:.1f} ms, "
+            f"p99.9 {p999 * 1e3:.1f} ms "
+            "(from scheduled arrival — queueing included, no "
+            "coordinated omission)",
+            file=out,
+        )
+        print(
+            f"ledger    : {entries['completed']} completed, "
+            f"{entries['timed_out']} timed out, "
+            f"{entries['expired']} expired, "
+            f"{entries['rejected']} rejected, "
+            f"{entries['shard_failed']} shard-failed "
+            f"of {entries['offered']} offered",
+            file=out,
+        )
+        if not report.ledger_balanced:
+            raise ReproError(
+                f"{tier} open-loop ledger does not balance: {entries}"
+            )
+        return report
+
+    tiers = ["in-process"] + (["socket"] if args.socket else [])
+    runs = [
+        {"tier": tier, **one_tier(tier).as_dict()} for tier in tiers
+    ]
+    document = json.dumps(
+        {"bench": "serve-open-loop", "runs": runs}, indent=2,
+        sort_keys=True,
+    )
+    if args.json_out is not None:
+        with open(args.json_out, "w", encoding="utf-8") as sink:
+            sink.write(document + "\n")
+        print(f"slo-json  : {args.json_out}", file=out)
+    else:
+        print(document, file=out)
+    print(
+        f"replay    : repro serve-bench --open-loop {args.source} "
+        f"--rate {args.rate:g} --requests {args.requests} "
+        f"--arrival {args.arrival} --seed {args.seed}",
+        file=out,
+    )
+    return 0
+
+
+def _run_serve(args: argparse.Namespace, out) -> int:
+    """``repro serve``: the network serving tier."""
+    from .core.wavepipe import ClockingScheme, set_default_backend
+    from .serve import SimulationServer, SocketServer
+
+    if args.no_jit:
+        set_default_backend("fused")
+    host, _, port_text = args.listen.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        port = -1
+    if not host or port < 0:
+        raise ReproError(
+            f"--listen expects HOST:PORT, not {args.listen!r}"
+        )
+
+    warm = []
+    if args.source:
+        migs = [_load_source(token) for token in args.source.split(",")]
+        warm = [
+            wave_pipeline(
+                mig, fanout_limit=args.fanout_limit or None, verify=False
+            ).netlist
+            for mig in migs
+        ]
+        for mig, netlist in zip(migs, warm):
+            print(f"warm      : {mig.name} -> {netlist}", file=out)
+
+    knobs = {}
+    if args.max_pending is not None:
+        knobs["max_pending"] = args.max_pending
+    if args.deadline is not None:
+        knobs["default_deadline_s"] = args.deadline
+    if args.dispatch_timeout is not None:
+        knobs["dispatch_timeout_s"] = args.dispatch_timeout
+    server = SimulationServer(
+        shards=args.shards,
+        process_shards=args.process_shards,
+        clocking=ClockingScheme(args.phases),
+        warm_netlists=warm or None,
+        **knobs,
+    )
+    net = SocketServer(server, host, port)
+    try:
+        net.start()
+        bound_host, bound_port = net.address
+        mode = (
+            f"{args.process_shards} worker processes"
+            if args.process_shards
+            else f"{args.shards} shard threads"
+        )
+        print(f"listening : {bound_host}:{bound_port}", file=out)
+        print(
+            f"serving   : {mode}, {len(warm)} warm netlists "
+            "(SIGTERM drains)",
+            file=out,
+        )
+        out.flush()
+        net.serve_forever(duration_s=args.duration)
+    finally:
+        net.close(drain=True)
+        server.stop(drain=True)
+    snapshot = server.metrics.snapshot()
+    print(
+        f"served    : {snapshot['completed']} completed, "
+        f"{snapshot['expired']} expired, "
+        f"{snapshot['rejected_queue_full']} rejected "
+        f"({snapshot['batches']} batches)",
+        file=out,
+    )
+    return 0
+
+
 def _run_experiments(args: argparse.Namespace, out) -> int:
     from .experiments import ARTIFACTS, SuiteRunner
 
@@ -890,6 +1253,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_simulate(args, out)
         if args.command == "serve-bench":
             return _run_serve_bench(args, out)
+        if args.command == "serve":
+            return _run_serve(args, out)
         if args.command == "experiments":
             return _run_experiments(args, out)
         if args.command == "suite":

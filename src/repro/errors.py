@@ -70,6 +70,30 @@ class ShardFailed(ServeError):
     """
 
 
+class WireProtocolError(ServeError):
+    """A peer violated the length-prefixed socket framing.
+
+    Raised by the network serving tier (:mod:`repro.serve.net` /
+    :mod:`repro.serve.client`) for malformed frames: a length prefix
+    above the negotiated maximum, an unpicklable payload, or a message
+    whose shape the receiver does not understand.  The server answers
+    with a typed ``fatal`` wire error and closes the offending
+    connection; in-flight requests on *other* connections are
+    unaffected.
+    """
+
+
+class ConnectionLost(ServeError):
+    """The socket to the serving tier died with requests in flight.
+
+    Raised *through every pending future* of a
+    :class:`repro.serve.client.SimulationClient` whose connection is
+    reset, reaches end-of-stream, or is closed locally while results
+    are still outstanding — futures never strand.  Requests already
+    admitted keep running server-side; only their replies are lost.
+    """
+
+
 class DeadlineExceeded(ServeError):
     """A request's deadline passed before it could be dispatched.
 

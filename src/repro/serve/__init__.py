@@ -24,6 +24,14 @@ Public surface:
 * :func:`run_closed_loop` / :class:`LoadReport` — the closed-loop load
   generator behind ``repro serve-bench`` and
   ``benchmarks/bench_serving.py``;
+* :func:`run_open_loop` / :class:`OpenLoopScenario` /
+  :class:`OpenLoopReport` — the seeded open-loop generator (Poisson /
+  uniform / bursty arrivals, heavy-tail size mixes, SLO-ledger JSON)
+  behind ``repro serve-bench --open-loop``;
+* :class:`SocketServer` / :class:`SimulationClient` — the network
+  serving tier (``repro serve --listen HOST:PORT``): length-prefixed
+  framing over TCP, typed wire errors, per-client backpressure, drain
+  -aware shutdown (see :mod:`repro.serve.net`);
 * batching knobs re-exported from :mod:`repro.serve.batcher`.
 
 Quick start (and see ``examples/serving.py`` for the walkthrough)::
@@ -42,9 +50,20 @@ from .batcher import (
     Batch,
     Batcher,
 )
+from .client import SimulationClient
 from .faults import FAULT_KINDS, Fault, FaultPlan, FaultRates
-from .loadgen import REQUEST_TIMEOUT_S, LoadReport, run_closed_loop
+from .loadgen import (
+    ARRIVALS,
+    HEAVY_TAIL_SIZES,
+    REQUEST_TIMEOUT_S,
+    LoadReport,
+    OpenLoopReport,
+    OpenLoopScenario,
+    run_closed_loop,
+    run_open_loop,
+)
 from .metrics import ServerMetrics
+from .net import SocketServer
 from .queue import GroupKey, RequestQueue, SimulationRequest
 from .server import (
     DEFAULT_LINGER_WAIT_S,
@@ -57,6 +76,7 @@ from .shards import ProcessShardPool
 from .supervisor import SupervisorConfig, WorkerSupervisor
 
 __all__ = [
+    "ARRIVALS",
     "Batch",
     "Batcher",
     "DEFAULT_LINGER_WAIT_S",
@@ -69,15 +89,21 @@ __all__ = [
     "FaultPlan",
     "FaultRates",
     "GroupKey",
+    "HEAVY_TAIL_SIZES",
     "LoadReport",
+    "OpenLoopReport",
+    "OpenLoopScenario",
     "ProcessShardPool",
     "REQUEST_TIMEOUT_S",
     "RequestQueue",
     "ServerMetrics",
+    "SimulationClient",
     "SimulationRequest",
     "SimulationServer",
+    "SocketServer",
     "SupervisorConfig",
     "WorkerSupervisor",
     "graceful_drain",
     "run_closed_loop",
+    "run_open_loop",
 ]

@@ -1,43 +1,56 @@
-"""Closed-loop load generator for the serving layer.
+"""Closed-loop and open-loop load generators for the serving layer.
 
-Shared by ``repro serve-bench`` and ``benchmarks/bench_serving.py`` so
-the CLI demo and the CI-gated bench measure the exact same thing.
+Shared by ``repro serve-bench`` and ``benchmarks/`` so the CLI demo and
+the CI-gated benches measure the exact same thing.
 
-The generator models multiplexed serving clients: *clients* threads each
-keep a window of *burst* requests in flight (submitted together through
-:meth:`~repro.serve.server.SimulationServer.submit_many`, collected in
-FIFO order, then the next burst goes out), so the total in-flight
-request count is ``clients x burst = concurrency`` — closed loop at a
-fixed concurrency level.  Per-request latency runs from the burst's
-submission to that request's resolved future, queueing and batching
-included.  All client threads are started *before* the clock and
-released together through an event, so thread spawn cost never pollutes
-the throughput measurement.
+Two traffic models, one accounting discipline:
 
-Failure accounting: a request that outlives *request_timeout_s*, its
-server-side deadline, queue-full backpressure, or a quarantined shard
-batch does **not** raise out of the client thread — it is recorded in
-the :class:`LoadReport` (``timed_out`` / ``expired`` / ``rejected`` /
-``shard_failed`` index lists, a ``None`` placeholder in ``reports``) and
-the run carries on, the way a real load generator keeps hammering
-through stragglers and brownouts.  Any other error (validation,
-capacity misuse, engine failure) still propagates to the caller.
+* **Closed loop** (:func:`run_closed_loop`) models multiplexed serving
+  clients: *clients* threads each keep a window of requests in flight
+  (submitted together through ``submit_many``, collected in FIFO order,
+  then the next window goes out), so the total in-flight request count
+  is the requested *concurrency* — the remainder of an indivisible
+  concurrency is distributed across client windows rather than silently
+  dropped.  Per-request latency runs from the window's submission to
+  the instant that request's future *resolves* (timestamped in an
+  ``add_done_callback``), queueing and batching included — never from
+  when the sequential collection loop happens to observe it.
+* **Open loop** (:func:`run_open_loop`) replays a seeded
+  :class:`OpenLoopScenario` — Poisson / uniform / bursty arrivals at a
+  fixed offered rate with a (possibly heavy-tailed) request-size mix —
+  without ever waiting for results before injecting the next arrival.
+  Latency is measured from each request's *scheduled* arrival instant,
+  so a lagging injector inflates latency instead of hiding overload
+  (no coordinated omission), and the resulting
+  :class:`OpenLoopReport` carries an SLO-style ledger that must
+  balance: offered == completed + timed_out + expired + rejected +
+  shard_failed.
+
+Failure accounting (both loops): a request that outlives
+*request_timeout_s*, its server-side deadline, queue-full backpressure,
+or a quarantined shard batch does **not** raise out of the generator —
+it is recorded in the report (``timed_out`` / ``expired`` /
+``rejected`` / ``shard_failed`` index lists, a ``None`` placeholder in
+``reports``) and the run carries on, the way a real load generator
+keeps hammering through stragglers and brownouts.  Any other error
+(validation, capacity misuse, engine failure) still propagates.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Protocol, Sequence
 
 from ..core.wavepipe.clocking import ClockingScheme
 from ..core.wavepipe.components import WaveNetlist
-from ..core.wavepipe.simulator import WaveSimulationReport
+from ..core.wavepipe.simulator import WaveSimulationReport, random_vectors
 from ..errors import DeadlineExceeded, ServerQueueFull, ShardFailed
-from .server import SimulationServer
+from .queue import WaveStream
 
 #: Default client-thread count (windows widen to reach the requested
 #: concurrency; more OS threads would only add GIL churn).
@@ -45,9 +58,76 @@ DEFAULT_CLIENTS = 16
 
 #: Default bound for one request's future under load (seconds); hitting
 #: it means a wedged shard.  Overridable per run through
-#: :func:`run_closed_loop`'s ``request_timeout_s`` — timed-out requests
-#: are recorded in the :class:`LoadReport`, not raised.
+#: ``request_timeout_s`` — timed-out requests are recorded in the
+#: report, not raised.
 REQUEST_TIMEOUT_S = 300.0
+
+#: Supported open-loop arrival processes.
+ARRIVALS = ("poisson", "uniform", "bursty")
+
+#: A heavy-tailed waves-per-request mix (``(waves, weight)`` pairs):
+#: mostly small operand streams with a fat tail of pass-sized ones, the
+#: shape that stresses coalescing and the lane planner at once.
+HEAVY_TAIL_SIZES: tuple[tuple[int, float], ...] = (
+    (16, 70.0),
+    (64, 24.0),
+    (256, 5.0),
+    (1024, 1.0),
+)
+
+
+class SubmitTarget(Protocol):
+    """Anything a load generator can drive: the in-process
+    :class:`~repro.serve.server.SimulationServer` or the socket tier's
+    :class:`~repro.serve.client.SimulationClient` — both expose the
+    same ``submit_many`` admission surface."""
+
+    def submit_many(
+        self,
+        netlist: WaveNetlist,
+        streams: Sequence[WaveStream],
+        *,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: Optional[bool] = None,
+        deadline_s: Optional[float] = None,
+    ) -> "list[Future[WaveSimulationReport]]":
+        ...
+
+
+def nearest_rank(latencies: Sequence[float], quantile: float) -> float:
+    """Nearest-rank percentile of *latencies*, in seconds (0.0 if empty)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    rank = max(1, int(round(quantile * len(ordered))))
+    return ordered[min(len(ordered), rank) - 1]
+
+
+def _netlist_runs(
+    chunk: Sequence[int],
+    netlists: Optional[Sequence[WaveNetlist]],
+    netlist: Optional[WaveNetlist],
+) -> "list[tuple[WaveNetlist, list[int]]]":
+    """Split *chunk* into maximal runs sharing one netlist.
+
+    With per-request *netlists*, consecutive requests for the same model
+    still land as one ``submit_many`` admission (the multi-model mix the
+    process-shard bench drives); otherwise the whole chunk is one run of
+    the shared *netlist*.
+    """
+    if not chunk:
+        return []
+    if netlists is None:
+        assert netlist is not None  # validated by the run entry points
+        return [(netlist, list(chunk))]
+    runs: "list[tuple[WaveNetlist, list[int]]]" = []
+    for index in chunk:
+        model = netlists[index]
+        if runs and runs[-1][0] is model:
+            runs[-1][1].append(index)
+        else:
+            runs.append((model, [index]))
+    return runs
 
 
 @dataclass
@@ -66,7 +146,7 @@ class LoadReport:
     latencies_s: list[float]  # completed requests, submission order
     elapsed_s: float  # gate release -> last client done
     total_waves: int  # waves across *completed* requests
-    concurrency: int  # requests in flight (clients x burst)
+    concurrency: int  # requested in-flight requests (sum of windows)
     clients: int
     timed_out: list[int] = field(default_factory=list)
     expired: list[int] = field(default_factory=list)
@@ -96,11 +176,7 @@ class LoadReport:
 
     def latency_percentile(self, quantile: float) -> float:
         """Nearest-rank latency percentile, in seconds."""
-        if not self.latencies_s:
-            return 0.0
-        ordered = sorted(self.latencies_s)
-        rank = max(1, int(round(quantile * len(ordered))))
-        return ordered[min(len(ordered), rank) - 1]
+        return nearest_rank(self.latencies_s, quantile)
 
     @property
     def p50_s(self) -> float:
@@ -112,9 +188,9 @@ class LoadReport:
 
 
 def run_closed_loop(
-    server: SimulationServer,
-    netlist: WaveNetlist,
-    requests: Sequence[Sequence[Sequence[bool]]],
+    server: SubmitTarget,
+    netlist: Optional[WaveNetlist],
+    requests: Sequence[WaveStream],
     *,
     clocking: Optional[ClockingScheme] = None,
     concurrency: Optional[int] = None,
@@ -126,10 +202,18 @@ def run_closed_loop(
     """Drive *requests* (one wave stream each) through *server*.
 
     *concurrency* is the target number of requests in flight (default:
-    every request at once); it is served by *clients* threads whose
-    per-burst window is ``concurrency / clients``.  Results come back
-    indexed by submission position regardless of scheduling, so callers
-    can compare each report against its solo-run counterpart directly.
+    every request at once); it is served by *clients* threads.  When the
+    concurrency does not divide evenly, the remainder widens the first
+    windows by one each, so ``LoadReport.concurrency`` always reports
+    exactly what was requested instead of the silently rounded-down
+    ``clients x burst``.  Results come back indexed by submission
+    position regardless of scheduling, so callers can compare each
+    report against its solo-run counterpart directly.
+
+    Per-request latency is timestamped by an ``add_done_callback`` the
+    moment the future resolves: within a window, the order the
+    collection loop happens to observe resolutions cannot shift the
+    percentiles.
 
     *request_timeout_s* bounds one future's client-side wait;
     *deadline_s* is forwarded to the server per submission (server-side
@@ -149,9 +233,15 @@ def run_closed_loop(
         return LoadReport([], [], 0.0, 0, 0, 0)
     if netlists is not None and len(netlists) != n_requests:
         raise ValueError("netlists must pair 1:1 with requests")
+    if netlists is None and netlist is None:
+        raise ValueError("provide a netlist (or per-request netlists)")
     concurrency = min(n_requests, concurrency or n_requests)
     n_clients = max(1, min(clients, concurrency))
-    burst = max(1, concurrency // n_clients)
+    base_burst, extra = divmod(concurrency, n_clients)
+    windows = [
+        base_burst + (1 if client_id < extra else 0)
+        for client_id in range(n_clients)
+    ]
     reports: list[Optional[WaveSimulationReport]] = [None] * n_requests
     latencies: list[Optional[float]] = [None] * n_requests
     timed_out: list[int] = []
@@ -161,8 +251,25 @@ def run_closed_loop(
     errors: list[BaseException] = []
     gate = threading.Event()
 
+    def resolution_stamp(
+        index: int, submitted_at: float
+    ) -> "Callable[[Future[WaveSimulationReport]], None]":
+        """Latency recorder attached as a done callback.
+
+        Runs in whichever thread resolves the future, at resolution —
+        so a window's later-collected requests never inherit the wait
+        the collection loop spent blocked on earlier ones.  Slots of
+        requests that resolved with an exception are filtered out at
+        report-assembly time (their ``reports`` slot stays ``None``).
+        """
+
+        def record(future: "Future[WaveSimulationReport]") -> None:
+            latencies[index] = time.perf_counter() - submitted_at
+
+        return record
+
     def submit_chunk(
-        chunk: Sequence[int],
+        chunk: Sequence[int], submitted_at: float
     ) -> "list[tuple[int, Future[WaveSimulationReport]]]":
         """Admit one burst window; returns (index, future) pairs.
 
@@ -172,28 +279,8 @@ def run_closed_loop(
         load-test outcome, not a client bug) and the window carries on
         with whatever was admitted.
         """
-        if netlists is None:
-            try:
-                futures = server.submit_many(
-                    netlist,
-                    [requests[index] for index in chunk],
-                    clocking=clocking,
-                    deadline_s=deadline_s,
-                )
-            except ServerQueueFull:
-                rejected.extend(chunk)
-                return []
-            return list(zip(chunk, futures))
         pairs: "list[tuple[int, Future[WaveSimulationReport]]]" = []
-        position = 0
-        while position < len(chunk):  # group runs of one netlist
-            group = [chunk[position]]
-            model = netlists[chunk[position]]
-            while (
-                position + len(group) < len(chunk)
-                and netlists[chunk[position + len(group)]] is model
-            ):
-                group.append(chunk[position + len(group)])
+        for model, group in _netlist_runs(chunk, netlists, netlist):
             try:
                 futures = server.submit_many(
                     model,
@@ -203,25 +290,26 @@ def run_closed_loop(
                 )
             except ServerQueueFull:
                 rejected.extend(group)
-            else:
-                pairs.extend(zip(group, futures))
-            position += len(group)
+                continue
+            for index, future in zip(group, futures):
+                future.add_done_callback(
+                    resolution_stamp(index, submitted_at)
+                )
+                pairs.append((index, future))
         return pairs
 
     def client(client_id: int) -> None:
         try:
             gate.wait()
+            burst = windows[client_id]
             indices = range(client_id, n_requests, n_clients)
             for chunk_start in range(0, len(indices), burst):
                 chunk = indices[chunk_start:chunk_start + burst]
-                started = time.perf_counter()
-                for index, future in submit_chunk(chunk):
+                submitted_at = time.perf_counter()
+                for index, future in submit_chunk(chunk, submitted_at):
                     try:
                         reports[index] = future.result(
                             timeout=request_timeout_s
-                        )
-                        latencies[index] = (
-                            time.perf_counter() - started
                         )
                     except FutureTimeout:
                         timed_out.append(index)  # keep hammering
@@ -247,10 +335,24 @@ def run_closed_loop(
     elapsed = time.perf_counter() - started
     if errors:
         raise errors[0]
+    # ``Future`` wakes result() waiters *before* running done
+    # callbacks, so a client thread can observe (and join on) a report
+    # whose resolution stamp is still being written by the resolving
+    # thread — give those stragglers a bounded settle window
+    settle_deadline_at = time.perf_counter() + 2.0
+    for index, report in enumerate(reports):
+        while (
+            report is not None
+            and latencies[index] is None
+            and time.perf_counter() < settle_deadline_at
+        ):
+            time.sleep(0.0005)
     return LoadReport(
         reports=reports,
         latencies_s=[
-            latency for latency in latencies if latency is not None
+            latency
+            for latency, report in zip(latencies, reports)
+            if report is not None and latency is not None
         ],
         elapsed_s=elapsed,
         total_waves=sum(
@@ -258,8 +360,397 @@ def run_closed_loop(
             for stream, report in zip(requests, reports)
             if report is not None
         ),
-        concurrency=n_clients * burst,
+        concurrency=sum(windows),
         clients=n_clients,
+        timed_out=sorted(timed_out),
+        expired=sorted(expired),
+        rejected=sorted(rejected),
+        shard_failed=sorted(shard_failed),
+    )
+
+
+@dataclass(frozen=True)
+class OpenLoopScenario:
+    """A seeded, replayable open-loop traffic description.
+
+    Every derived quantity — arrival offsets, request sizes — is a pure
+    function of the scenario fields, so persisting ``as_dict()`` (or
+    just the seed and knobs) replays the identical schedule: a tail
+    latency seen once is a test case forever.
+
+    ``rate_rps`` is the *offered* request rate; ``arrival`` picks the
+    process (``poisson`` — memoryless inter-arrivals at the offered
+    rate; ``uniform`` — a metronome; ``bursty`` — Poisson epochs of
+    ``burst`` simultaneous requests, epoch rate scaled to keep the mean
+    offered rate).  ``size_mix`` is a ``(waves, weight)`` table sampled
+    per request — see :data:`HEAVY_TAIL_SIZES` for a heavy-tailed
+    default worth stressing coalescing with.
+    """
+
+    rate_rps: float
+    n_requests: int
+    arrival: str = "poisson"
+    burst: int = 8
+    seed: int = 0
+    size_mix: tuple[tuple[int, float], ...] = ((32, 1.0),)
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        if self.n_requests <= 0:
+            raise ValueError("n_requests must be > 0")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"arrival must be one of {ARRIVALS}, not {self.arrival!r}"
+            )
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if not self.size_mix:
+            raise ValueError("size_mix must not be empty")
+        for waves, weight in self.size_mix:
+            if waves < 1 or weight <= 0:
+                raise ValueError(
+                    "size_mix entries must be (waves >= 1, weight > 0)"
+                )
+
+    def offsets(self) -> list[float]:
+        """Scheduled arrival offsets (seconds from run start), sorted."""
+        rng = random.Random(f"{self.seed}:arrivals:{self.arrival}")
+        if self.arrival == "uniform":
+            return [index / self.rate_rps for index in range(self.n_requests)]
+        if self.arrival == "poisson":
+            offsets: list[float] = []
+            at = 0.0
+            for _ in range(self.n_requests):
+                at += rng.expovariate(self.rate_rps)
+                offsets.append(at)
+            return offsets
+        # bursty: whole epochs arrive at once; the epoch process is
+        # Poisson at rate/burst so the mean offered rate is preserved
+        offsets = []
+        at = 0.0
+        while len(offsets) < self.n_requests:
+            at += rng.expovariate(self.rate_rps / self.burst)
+            offsets.extend(
+                [at] * min(self.burst, self.n_requests - len(offsets))
+            )
+        return offsets
+
+    def sizes(self) -> list[int]:
+        """Waves per request, sampled from ``size_mix`` (seeded)."""
+        rng = random.Random(f"{self.seed}:sizes")
+        return rng.choices(
+            [waves for waves, _ in self.size_mix],
+            weights=[weight for _, weight in self.size_mix],
+            k=self.n_requests,
+        )
+
+    def describe(self) -> str:
+        mix = ",".join(
+            f"{waves}:{weight:g}" for waves, weight in self.size_mix
+        )
+        return (
+            f"{self.arrival}@{self.rate_rps:g}rps x{self.n_requests} "
+            f"burst={self.burst} sizes={mix} seed={self.seed}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready scenario record; feeding it back replays the run."""
+        return {
+            "rate_rps": self.rate_rps,
+            "n_requests": self.n_requests,
+            "arrival": self.arrival,
+            "burst": self.burst,
+            "seed": self.seed,
+            "size_mix": [list(entry) for entry in self.size_mix],
+        }
+
+
+@dataclass
+class OpenLoopReport:
+    """Outcome of one open-loop replay: SLO figures plus a ledger.
+
+    ``latencies_s`` is indexed by arrival position and measured from
+    each request's *scheduled* arrival instant (a lagging injector
+    shows up as latency, not as a quietly reduced offered rate);
+    ``None`` marks requests that did not complete.  The ledger must
+    balance — every offered request is completed, timed out, expired,
+    rejected, or quarantined, exactly once.
+    """
+
+    scenario: OpenLoopScenario
+    reports: list[Optional[WaveSimulationReport]]  # per request
+    latencies_s: list[Optional[float]]  # per request, scheduled->resolved
+    elapsed_s: float  # run start -> last settlement
+    total_waves: int  # waves across *completed* requests
+    offered_waves: int  # waves across *all* scheduled requests
+    max_inject_lag_s: float  # worst injector lateness vs the schedule
+    timed_out: list[int] = field(default_factory=list)
+    expired: list[int] = field(default_factory=list)
+    rejected: list[int] = field(default_factory=list)
+    shard_failed: list[int] = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.reports)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(1 for report in self.reports if report is not None)
+
+    @property
+    def completed_latencies_s(self) -> list[float]:
+        return [
+            latency
+            for latency, report in zip(self.latencies_s, self.reports)
+            if report is not None and latency is not None
+        ]
+
+    @property
+    def offered_rate_rps(self) -> float:
+        return self.scenario.rate_rps
+
+    @property
+    def achieved_rate_rps(self) -> float:
+        return self.n_completed / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def waves_per_s(self) -> float:
+        return self.total_waves / self.elapsed_s if self.elapsed_s else 0.0
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Nearest-rank latency percentile over completed requests."""
+        return nearest_rank(self.completed_latencies_s, quantile)
+
+    @property
+    def p50_s(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def p99_s(self) -> float:
+        return self.latency_percentile(0.99)
+
+    @property
+    def p999_s(self) -> float:
+        return self.latency_percentile(0.999)
+
+    @property
+    def max_latency_s(self) -> float:
+        completed = self.completed_latencies_s
+        return max(completed) if completed else 0.0
+
+    def ledger(self) -> dict[str, int]:
+        """The offered-traffic ledger (every request exactly once)."""
+        return {
+            "offered": self.n_requests,
+            "completed": self.n_completed,
+            "timed_out": len(self.timed_out),
+            "expired": len(self.expired),
+            "rejected": len(self.rejected),
+            "shard_failed": len(self.shard_failed),
+        }
+
+    @property
+    def ledger_balanced(self) -> bool:
+        entries = self.ledger()
+        return entries["offered"] == sum(
+            entries[bucket]
+            for bucket in (
+                "completed", "timed_out", "expired", "rejected",
+                "shard_failed",
+            )
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """SLO-style JSON document (replayable via ``scenario``)."""
+        return {
+            "scenario": self.scenario.as_dict(),
+            "elapsed_s": round(self.elapsed_s, 6),
+            "offered": {
+                "requests": self.n_requests,
+                "waves": self.offered_waves,
+                "rate_rps": self.offered_rate_rps,
+            },
+            "achieved": {
+                "completed": self.n_completed,
+                "rate_rps": round(self.achieved_rate_rps, 3),
+                "waves_per_s": round(self.waves_per_s, 1),
+            },
+            "latency_ms": {
+                "p50": round(self.p50_s * 1e3, 3),
+                "p99": round(self.p99_s * 1e3, 3),
+                "p999": round(self.p999_s * 1e3, 3),
+                "max": round(self.max_latency_s * 1e3, 3),
+            },
+            "ledger": {**self.ledger(), "balanced": self.ledger_balanced},
+            "max_inject_lag_ms": round(self.max_inject_lag_s * 1e3, 3),
+        }
+
+
+def run_open_loop(
+    target: SubmitTarget,
+    netlist: Optional[WaveNetlist],
+    scenario: OpenLoopScenario,
+    *,
+    clocking: Optional[ClockingScheme] = None,
+    deadline_s: Optional[float] = None,
+    request_timeout_s: float = REQUEST_TIMEOUT_S,
+    netlists: Optional[Sequence[WaveNetlist]] = None,
+    payloads: Optional[Sequence[WaveStream]] = None,
+) -> OpenLoopReport:
+    """Replay *scenario* against *target* without closing the loop.
+
+    The injector sleeps to each scheduled arrival offset and submits
+    without waiting for earlier results (arrivals sharing an offset —
+    a bursty epoch — go out as one ``submit_many`` admission, grouped
+    per netlist).  Completions are recorded by done callbacks; after
+    the last injection the run waits up to *request_timeout_s* for the
+    stragglers and books whatever is still unresolved as ``timed_out``.
+
+    *payloads* (optional) supplies the request streams directly (paired
+    1:1 with arrivals); by default each request's stream is generated
+    as ``random_vectors(model.n_inputs, sizes[i], seed=f(seed, i))`` —
+    fully determined by the scenario.  *netlists* assigns request *i*
+    the netlist ``netlists[i]`` (multi-model mixes), otherwise the
+    shared *netlist* serves every request.
+
+    Queue-full rejections (synchronous or future-borne), deadline
+    expiries, and quarantined batches are ledger outcomes, not errors;
+    anything else raises.  The returned
+    :class:`OpenLoopReport.ledger_balanced` is the invariant callers
+    should assert.
+    """
+    n_requests = scenario.n_requests
+    if netlists is not None and len(netlists) != n_requests:
+        raise ValueError("netlists must pair 1:1 with scenario arrivals")
+    if netlists is None and netlist is None:
+        raise ValueError("provide a netlist (or per-request netlists)")
+    offsets = scenario.offsets()
+    sizes = scenario.sizes()
+    if payloads is not None:
+        if len(payloads) != n_requests:
+            raise ValueError("payloads must pair 1:1 with scenario arrivals")
+        streams = list(payloads)
+    else:
+        models = netlists if netlists is not None else [netlist] * n_requests
+        streams = [
+            random_vectors(
+                models[index].n_inputs,  # type: ignore[union-attr]
+                sizes[index],
+                seed=scenario.seed * 1_000_003 + index,
+            )
+            for index in range(n_requests)
+        ]
+
+    reports: list[Optional[WaveSimulationReport]] = [None] * n_requests
+    latencies: list[Optional[float]] = [None] * n_requests
+    settled = [False] * n_requests
+    timed_out: list[int] = []
+    expired: list[int] = []
+    rejected: list[int] = []
+    shard_failed: list[int] = []
+    errors: list[BaseException] = []
+    outstanding = 0
+    done_cond = threading.Condition()
+
+    def resolution_recorder(
+        index: int, scheduled_at: float
+    ) -> "Callable[[Future[WaveSimulationReport]], None]":
+        def record(future: "Future[WaveSimulationReport]") -> None:
+            nonlocal outstanding
+            resolved_at = time.perf_counter()
+            with done_cond:
+                if settled[index]:
+                    return  # already booked as timed_out by the reaper
+                settled[index] = True
+                outstanding -= 1
+                if future.cancelled():
+                    # a server closing under the generator cancels
+                    # pending work: booked as rejected (refused, not
+                    # simulated) so the ledger still balances
+                    rejected.append(index)
+                else:
+                    error = future.exception()
+                    if error is None:
+                        reports[index] = future.result()
+                        latencies[index] = resolved_at - scheduled_at
+                    elif isinstance(error, DeadlineExceeded):
+                        expired.append(index)
+                    elif isinstance(error, ShardFailed):
+                        shard_failed.append(index)
+                    elif isinstance(error, ServerQueueFull):
+                        rejected.append(index)
+                    else:
+                        errors.append(error)
+                done_cond.notify_all()
+
+        return record
+
+    # group arrivals sharing an offset (bursty epochs) into one window
+    windows: "list[tuple[float, list[int]]]" = []
+    for index, offset in enumerate(offsets):
+        if windows and windows[-1][0] == offset:
+            windows[-1][1].append(index)
+        else:
+            windows.append((offset, [index]))
+
+    run_started_at = time.perf_counter()
+    max_inject_lag_s = 0.0
+    for offset, arrivals in windows:
+        wait_s = run_started_at + offset - time.perf_counter()
+        if wait_s > 0:
+            time.sleep(wait_s)
+        else:
+            max_inject_lag_s = max(max_inject_lag_s, -wait_s)
+        for model, group in _netlist_runs(arrivals, netlists, netlist):
+            try:
+                futures = target.submit_many(
+                    model,
+                    [streams[index] for index in group],
+                    clocking=clocking,
+                    deadline_s=deadline_s,
+                )
+            except ServerQueueFull:
+                with done_cond:
+                    for index in group:
+                        settled[index] = True
+                        rejected.append(index)
+                continue
+            with done_cond:
+                outstanding += len(futures)
+            for index, future in zip(group, futures):
+                future.add_done_callback(
+                    resolution_recorder(
+                        index, run_started_at + offsets[index]
+                    )
+                )
+
+    with done_cond:
+        grace_deadline_at = time.perf_counter() + request_timeout_s
+        while outstanding > 0:
+            remaining_s = grace_deadline_at - time.perf_counter()
+            if remaining_s <= 0:
+                break
+            done_cond.wait(remaining_s)
+        for index in range(n_requests):
+            if not settled[index]:
+                settled[index] = True
+                timed_out.append(index)
+    elapsed_s = time.perf_counter() - run_started_at
+    if errors:
+        raise errors[0]
+    return OpenLoopReport(
+        scenario=scenario,
+        reports=reports,
+        latencies_s=latencies,
+        elapsed_s=elapsed_s,
+        total_waves=sum(
+            sizes[index]
+            for index, report in enumerate(reports)
+            if report is not None
+        ),
+        offered_waves=sum(sizes),
+        max_inject_lag_s=max_inject_lag_s,
         timed_out=sorted(timed_out),
         expired=sorted(expired),
         rejected=sorted(rejected),

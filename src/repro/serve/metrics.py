@@ -52,10 +52,17 @@ class ServerMetrics:
             self._counts["submitted"] += n_requests
             self._counts["submitted_waves"] += n_waves
 
-    def record_rejected(self) -> None:
-        """One submission refused by queue-full backpressure."""
+    def record_rejected(self, n_requests: int = 1) -> None:
+        """*n_requests* requests refused by queue-full backpressure.
+
+        Counted per *request*, not per refused admission, so the counter
+        agrees with :class:`~repro.serve.loadgen.LoadReport.rejected`
+        (which records every request of a refused ``submit_many`` burst)
+        and the offered-traffic ledger balances: a rejected burst of 32
+        adds 32 here, exactly as it adds 32 rejected indices there.
+        """
         with self._lock:
-            self._counts["rejected_queue_full"] += 1
+            self._counts["rejected_queue_full"] += n_requests
 
     def record_plan_cache(self, hit: bool) -> None:
         """One submission's compiled-plan lookup (hit = reused)."""

@@ -196,6 +196,13 @@ class SimulationServer:
         can be overridden per request in :meth:`submit` (the group key
         keeps incompatible requests apart), ``backend``/``track`` select
         the kernel variant for every batch.
+    warm_netlists:
+        Netlists to pre-compile before the first request: in thread
+        mode their plans are built here, at construction; with process
+        shards they are additionally shipped to every worker at spawn
+        (and re-shipped on every supervised respawn), so the first
+        batch after a restart never pays the compile miss.  The server
+        pins references to them for its lifetime.
     start:
         Spawn the shard threads immediately (default).  ``start=False``
         leaves the server paused — submissions queue up (backpressure
@@ -221,6 +228,7 @@ class SimulationServer:
         pipelined: bool = True,
         backend: Optional[str] = None,
         track: Optional[bool] = None,
+        warm_netlists: Optional[Sequence[WaveNetlist]] = None,
         start: bool = True,
     ) -> None:
         if shards < 1:
@@ -266,6 +274,12 @@ class SimulationServer:
         self._closing = False
         self.metrics = ServerMetrics()
         self._faults = faults
+        # pin the warm netlists: the compile cache is weak-keyed and
+        # the pool's warm keys embed object ids, so the server must
+        # hold strong references for as long as it may serve them
+        self._warm_netlists: list[WaveNetlist] = list(warm_netlists or [])
+        for netlist in self._warm_netlists:
+            compile_netlist(netlist, self._clocking)
         self._pool: Optional[ProcessShardPool] = None
         if process_shards:
             self._pool = ProcessShardPool(
@@ -276,6 +290,8 @@ class SimulationServer:
                 dispatch_timeout_s=dispatch_timeout_s,
                 faults=faults,
                 supervision=supervision,
+                warm_netlists=self._warm_netlists,
+                warm_n_phases=self._clocking.n_phases,
             )
         if start:
             self.start()
@@ -491,7 +507,9 @@ class SimulationServer:
             try:
                 self._queue.ensure_room(len(requests))
             except ServerQueueFull:
-                self.metrics.record_rejected()
+                # all-or-nothing admission refuses the whole burst, so
+                # the rejected ledger grows by every request in it
+                self.metrics.record_rejected(len(requests))
                 raise
             # plan-cache accounting only for admitted submissions, so
             # hits + misses == admission bursts and rejected traffic

@@ -106,6 +106,7 @@ def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a chil
     # child resolves its *own* kernel backend (numba may differ)
     from ..core.wavepipe.batch import simulate_streams_packed
     from ..core.wavepipe.clocking import ClockingScheme
+    from ..core.wavepipe.kernels import compile_netlist
 
     netlists: "OrderedDict[tuple, object]" = OrderedDict()
     while True:
@@ -119,6 +120,23 @@ def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a chil
             return
         if kind == "ping":
             conn.send(("pong", os.getpid()))
+            continue
+        if kind == "warm":
+            # ("warm", key, netlist, n_phases): cache the netlist and
+            # pre-compile its plan so the first real batch after a
+            # (re)spawn skips the compile miss.  Reply-less by design —
+            # warming happens while the parent carries on — and
+            # best-effort: a netlist that cannot compile simply fails
+            # later, at dispatch, with the engine's own typed error
+            _, key, netlist, n_phases = message
+            netlists[key] = netlist
+            netlists.move_to_end(key)
+            while len(netlists) > WORKER_NETLIST_CACHE:
+                netlists.popitem(last=False)
+            try:
+                compile_netlist(netlist, ClockingScheme(n_phases))
+            except Exception:
+                pass
             continue
         # ("run", key, netlist | None, n_phases, pipelined, streams,
         #  backend, track, fault)
@@ -280,6 +298,17 @@ class ProcessShardPool:
     supervision:
         :class:`~repro.serve.supervisor.SupervisorConfig` overriding the
         default backoff/breaker/retry-budget policy.
+    warm_netlists:
+        Netlists every worker is told about *at spawn* — each is
+        shipped (and its plan pre-compiled, worker-side, reply-less)
+        before the first batch, so a freshly spawned **or respawned**
+        worker never pays the compile miss on its first dispatch.
+        Bounded by the worker cache size: only the last
+        :data:`WORKER_NETLIST_CACHE` entries are kept.
+    warm_n_phases:
+        Clocking phase count the warm pre-compile targets (matches the
+        dispatch-time ``n_phases`` for the warm plans to be the ones
+        reused).
     """
 
     def __init__(
@@ -292,6 +321,8 @@ class ProcessShardPool:
         dispatch_timeout_s: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         supervision: Optional[SupervisorConfig] = None,
+        warm_netlists: Optional[Sequence[WaveNetlist]] = None,
+        warm_n_phases: int = 3,
     ) -> None:
         if n_workers < 1:
             raise ServeError("a process pool needs at least one worker")
@@ -304,6 +335,13 @@ class ProcessShardPool:
         self._dispatch_timeout_s = dispatch_timeout_s
         self._faults = faults
         self._supervisor = WorkerSupervisor(int(n_workers), supervision)
+        # (dispatch key, pinned netlist, phases) shipped on every spawn;
+        # the pinned reference keeps id(netlist) — part of the key —
+        # unrecycled for the pool's lifetime, mirroring _Worker.known
+        self._warm: "list[tuple[tuple, WaveNetlist, int]]" = [
+            ((id(netlist), netlist.version), netlist, int(warm_n_phases))
+            for netlist in (warm_netlists or [])
+        ][-WORKER_NETLIST_CACHE:]
         self._closed = False
         self._state_lock = threading.Lock()
         self._workers: list[_Worker] = [
@@ -337,7 +375,21 @@ class ProcessShardPool:
             process.terminate()
             parent_conn.close()
             raise
-        return _Worker(process=process, conn=parent_conn)
+        worker = _Worker(process=process, conn=parent_conn)
+        # warm pre-compile: pipe messages are FIFO, so by the time any
+        # batch reaches this worker the warm netlists are cached (and,
+        # compile being serialized worker-side, their plans built) —
+        # respawned slots re-warm automatically because every spawn
+        # goes through here.  known is pre-populated so the parent
+        # skips the re-ship on the first dispatch too
+        for key, netlist, n_phases in self._warm:
+            try:
+                worker.conn.send(("warm", key, netlist, n_phases))
+            except (OSError, ValueError):  # pragma: no cover - spawn race
+                break  # a worker this broken fails at dispatch, typed
+            worker.known[key] = netlist
+            worker.known.move_to_end(key)
+        return worker
 
     @property
     def n_workers(self) -> int:

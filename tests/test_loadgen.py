@@ -215,3 +215,320 @@ class TestClosedLoop:
         metrics = server.metrics.snapshot()
         assert metrics["shard_failed"] == 5
         assert metrics["failed"] == 5
+
+
+class _ScriptedTarget:
+    """Duck-typed submit target resolving futures on a fixed delay script.
+
+    Request *i* (a ``[[i]]`` marker stream) resolves exactly
+    ``delays_s[i]`` seconds after its submission — a latency
+    distribution the test controls, independent of any real engine.
+    """
+
+    def __init__(self, delays_s):
+        self._delays_s = list(delays_s)
+        self._timers = []
+
+    def submit_many(self, netlist, streams, *, clocking=None,
+                    pipelined=None, deadline_s=None):
+        import threading
+        from concurrent.futures import Future
+
+        futures = []
+        for stream in streams:
+            index = stream[0][0]
+            future = Future()
+            timer = threading.Timer(
+                self._delays_s[index], future.set_result, (object(),)
+            )
+            timer.daemon = True
+            timer.start()
+            self._timers.append(timer)
+            futures.append(future)
+        return futures
+
+    def join(self):
+        for timer in self._timers:
+            timer.join(TIMEOUT_S)
+
+
+class TestResolutionTimestamps:
+    def test_latency_stamped_at_resolution_not_collection(self):
+        # the regression ISSUE 9 fixes: one slow request at the front
+        # of a window used to inflate every later request's latency,
+        # because the collection loop blocked on future 0 before
+        # stamping futures 1..9 (which had long resolved).  With the
+        # done-callback stamp, the fast requests keep their true ~50 ms
+        # latencies even though they are *collected* after the 400 ms
+        # straggler.
+        delays = [0.4] + [0.05] * 9
+        target = _ScriptedTarget(delays)
+        requests = [[[index]] for index in range(10)]
+        load = run_closed_loop(
+            target, object(), requests, clients=1, concurrency=10
+        )
+        target.join()
+        assert load.n_completed == 10
+        # nearest-rank p50 of the true distribution is ~0.05 s; the
+        # pre-fix collection-order stamping reported ~0.4 s for every
+        # request behind the straggler
+        assert load.p50_s < 0.25
+        assert load.latency_percentile(1.0) >= 0.35
+
+    def test_pinned_schedule_percentiles(self):
+        # a known latency ladder must reproduce its own percentiles
+        delays = [0.02 * step for step in range(1, 9)]
+        target = _ScriptedTarget(delays)
+        requests = [[[index]] for index in range(8)]
+        load = run_closed_loop(
+            target, object(), requests, clients=1, concurrency=8
+        )
+        target.join()
+        assert load.n_completed == 8
+        # scheduling jitter only ever *adds* latency, so each stamp is
+        # bounded below by its scripted delay and the ladder's order is
+        # preserved within a generous envelope
+        for latency, delay in zip(sorted(load.latencies_s), sorted(delays)):
+            assert delay <= latency < delay + 0.1
+
+
+class TestConcurrencyAccounting:
+    def test_remainder_widens_windows_not_dropped(self):
+        # 10 in-flight across 3 clients: windows 4/3/3 — the report
+        # must say 10, not the rounded-down 3x3
+        balanced, _ = _netlists()
+        requests = [
+            random_vectors(balanced.n_inputs, 2, seed=seed)
+            for seed in range(10)
+        ]
+        with SimulationServer(shards=1) as server:
+            load = run_closed_loop(
+                server, balanced, requests, clients=3, concurrency=10
+            )
+        assert load.concurrency == 10
+        assert load.clients == 3
+        assert load.n_completed == 10
+
+    def test_rejected_ledger_agrees_with_server_metrics_for_bursts(self):
+        # all-or-nothing admission: a 32-request window refused by
+        # backpressure must grow the server's rejected_queue_full by
+        # all 32 — and agree with the load report's rejected list
+        balanced, _ = _netlists()
+        requests = [
+            random_vectors(balanced.n_inputs, 2, seed=seed)
+            for seed in range(64)
+        ]
+        server = SimulationServer(shards=1, max_pending=32, start=False)
+        load = run_closed_loop(
+            server,
+            balanced,
+            requests,
+            clients=2,
+            concurrency=64,
+            request_timeout_s=0.05,
+        )
+        assert len(load.rejected) == 32
+        assert len(load.timed_out) == 32
+        assert server.metrics.snapshot()["rejected_queue_full"] == len(
+            load.rejected
+        )
+        server.stop(drain=False, timeout=TIMEOUT_S)
+
+
+class TestOpenLoopScenario:
+    def _scenario(self, **overrides):
+        from repro.serve import OpenLoopScenario
+
+        base = dict(rate_rps=100.0, n_requests=20, seed=7)
+        base.update(overrides)
+        return OpenLoopScenario(**base)
+
+    def test_offsets_and_sizes_are_pure_functions_of_the_scenario(self):
+        for arrival in ("poisson", "uniform", "bursty"):
+            first = self._scenario(arrival=arrival)
+            second = self._scenario(arrival=arrival)
+            assert first.offsets() == second.offsets()
+            assert first.sizes() == second.sizes()
+
+    def test_different_seeds_give_different_poisson_schedules(self):
+        assert self._scenario(seed=1).offsets() != self._scenario(
+            seed=2
+        ).offsets()
+
+    def test_uniform_offsets_are_the_exact_grid(self):
+        scenario = self._scenario(arrival="uniform", rate_rps=50.0,
+                                  n_requests=5)
+        assert scenario.offsets() == pytest.approx(
+            [0.0, 0.02, 0.04, 0.06, 0.08]
+        )
+
+    def test_bursty_offsets_arrive_in_epochs(self):
+        scenario = self._scenario(
+            arrival="bursty", rate_rps=40.0, n_requests=8, burst=4
+        )
+        offsets = scenario.offsets()
+        # two epochs of 4 simultaneous arrivals, separated by a seeded
+        # exponential gap (the epoch process preserves the mean rate)
+        assert offsets[0] == offsets[1] == offsets[2] == offsets[3]
+        assert offsets[4] == offsets[5] == offsets[6] == offsets[7]
+        assert offsets[4] > offsets[0]
+
+    def test_sizes_drawn_from_the_mix(self):
+        mix = ((4, 70.0), (16, 25.0), (64, 5.0))
+        sizes = self._scenario(n_requests=200, size_mix=mix).sizes()
+        assert len(sizes) == 200
+        assert set(sizes) <= {4, 16, 64}
+        assert sizes.count(4) > sizes.count(64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            self._scenario(rate_rps=0.0)
+        with pytest.raises(ValueError, match="arrival"):
+            self._scenario(arrival="fractal")
+        with pytest.raises(ValueError, match="burst"):
+            self._scenario(burst=0)
+        with pytest.raises(ValueError, match="size_mix"):
+            self._scenario(size_mix=())
+        with pytest.raises(ValueError, match="size_mix"):
+            self._scenario(size_mix=((0, 1.0),))
+
+    def test_as_dict_round_trips(self):
+        from repro.serve import OpenLoopScenario
+
+        scenario = self._scenario(arrival="bursty", size_mix=((8, 1.0),))
+        clone = OpenLoopScenario(**{
+            key: tuple(tuple(pair) for pair in value)
+            if key == "size_mix" else value
+            for key, value in scenario.as_dict().items()
+        })
+        assert clone.offsets() == scenario.offsets()
+        assert clone.sizes() == scenario.sizes()
+
+
+class TestOpenLoopRuns:
+    def _scenario(self, **overrides):
+        from repro.serve import OpenLoopScenario
+
+        base = dict(
+            rate_rps=400.0, n_requests=12, seed=3, size_mix=((3, 1.0),)
+        )
+        base.update(overrides)
+        return OpenLoopScenario(**base)
+
+    def test_happy_path_ledger_balances_and_reports_complete(self):
+        from repro.serve import run_open_loop
+
+        balanced, _ = _netlists()
+        with SimulationServer(shards=2) as server:
+            report = run_open_loop(server, balanced, self._scenario())
+        assert report.n_completed == 12
+        assert report.ledger_balanced
+        assert report.ledger()["completed"] == 12
+        assert report.offered_rate_rps == pytest.approx(400.0)
+        assert report.achieved_rate_rps > 0
+        assert report.max_inject_lag_s >= 0.0
+        assert len(report.completed_latencies_s) == 12
+        assert report.p50_s <= report.p99_s <= report.p999_s
+
+    def test_payloads_override_is_bit_identical_to_solo(self):
+        from repro.serve import run_open_loop
+
+        balanced, _ = _netlists()
+        scenario = self._scenario(n_requests=6)
+        payloads = [
+            random_vectors(balanced.n_inputs, 3, seed=40 + index)
+            for index in range(6)
+        ]
+        with SimulationServer(shards=1) as server:
+            report = run_open_loop(
+                server, balanced, scenario, payloads=payloads
+            )
+        for stream, served in zip(payloads, report.reports):
+            assert served == simulate_waves(
+                balanced, stream, engine="python"
+            )
+
+    def test_seeded_replay_is_deterministic(self):
+        from repro.serve import run_open_loop
+
+        balanced, _ = _netlists()
+        scenario = self._scenario(n_requests=8)
+        runs = []
+        for _ in range(2):
+            with SimulationServer(shards=1) as server:
+                runs.append(run_open_loop(server, balanced, scenario))
+        assert runs[0].reports == runs[1].reports
+        assert runs[0].ledger() == runs[1].ledger()
+
+    def test_expiry_ledger_balances(self):
+        from repro.serve import run_open_loop
+
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1) as server:
+            report = run_open_loop(
+                server, balanced, self._scenario(), deadline_s=0.0
+            )
+        assert report.expired == list(range(12))
+        assert report.n_completed == 0
+        assert report.ledger_balanced
+
+    def test_rejection_and_timeout_ledger_balances(self):
+        from repro.serve import run_open_loop
+
+        balanced, _ = _netlists()
+        server = SimulationServer(shards=1, max_pending=1, start=False)
+        report = run_open_loop(
+            server,
+            balanced,
+            self._scenario(n_requests=6),
+            request_timeout_s=0.3,
+        )
+        entries = report.ledger()
+        assert entries["offered"] == 6
+        assert entries["completed"] == 0
+        assert entries["rejected"] >= 1
+        assert entries["rejected"] + entries["timed_out"] == 6
+        assert report.ledger_balanced
+        server.stop(drain=False, timeout=TIMEOUT_S)
+
+    def test_as_dict_is_an_slo_document(self):
+        from repro.serve import run_open_loop
+
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1) as server:
+            report = run_open_loop(
+                server, balanced, self._scenario(n_requests=4)
+            )
+        document = report.as_dict()
+        assert set(document) >= {
+            "scenario", "elapsed_s", "offered", "achieved",
+            "latency_ms", "ledger", "max_inject_lag_ms",
+        }
+        assert document["ledger"]["balanced"] is True
+        assert document["scenario"]["seed"] == 3
+        import json
+
+        json.dumps(document)  # must be JSON-serializable as-is
+
+    def test_errors_still_propagate(self):
+        from repro.serve import run_open_loop
+
+        balanced, _ = _netlists()
+        bad = [[[True] * (balanced.n_inputs + 1)] * 2] * 3
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(SimulationError):
+                run_open_loop(
+                    server, balanced, self._scenario(n_requests=3),
+                    payloads=bad,
+                )
+
+    def test_mismatched_payloads_rejected(self):
+        from repro.serve import run_open_loop
+
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(ValueError, match="1:1"):
+                run_open_loop(
+                    server, balanced, self._scenario(n_requests=3),
+                    payloads=[[[True]]],
+                )

@@ -456,3 +456,54 @@ class TestProcessShardPool:
 
         with pytest.raises(ServeError, match="closed"):
             pool.simulate(_netlists()[0], [_vectors(0, 2, 0)], n_phases=3)
+
+
+class TestWarmPrecompile:
+    """``warm_netlists``: restarts must not re-pay the compile miss."""
+
+    def test_workers_spawn_with_warm_netlists_preloaded(self):
+        balanced, unbalanced = _netlists()
+        with ProcessShardPool(
+            2, warm_netlists=[balanced, unbalanced], warm_n_phases=3
+        ) as pool:
+            for worker in pool._workers:
+                assert worker.known.get(
+                    (id(balanced), balanced.version)
+                ) is balanced
+                assert worker.known.get(
+                    (id(unbalanced), unbalanced.version)
+                ) is unbalanced
+            # the first batch after start needs no netlist re-ship and
+            # is still oracle-identical
+            assert pool.simulate(
+                balanced, [_vectors(0, 5, 21)], n_phases=3
+            ) == [_solo(0, 5, 21)]
+
+    def test_respawned_worker_is_rewarmed(self):
+        balanced, _ = _netlists()
+        with ProcessShardPool(
+            1, warm_netlists=[balanced], warm_n_phases=3
+        ) as pool:
+            (pid,) = pool.worker_pids()
+            os.kill(pid, signal.SIGKILL)
+            # the death is discovered at the next dispatch; the respawn
+            # path re-warms, so the retried batch finds the netlist
+            # already known
+            assert pool.simulate(
+                balanced, [_vectors(0, 4, 22)], n_phases=3
+            ) == [_solo(0, 4, 22)]
+            worker = pool._workers[0]
+            assert worker.known.get(
+                (id(balanced), balanced.version)
+            ) is balanced
+
+    def test_server_warm_netlists_in_both_shard_modes(self):
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1, warm_netlists=[balanced]) as server:
+            future = server.submit(balanced, _vectors(0, 3, 23))
+            assert future.result(timeout=TIMEOUT_S) == _solo(0, 3, 23)
+        with SimulationServer(
+            shards=1, process_shards=1, warm_netlists=[balanced]
+        ) as server:
+            future = server.submit(balanced, _vectors(0, 3, 23))
+            assert future.result(timeout=TIMEOUT_S) == _solo(0, 3, 23)

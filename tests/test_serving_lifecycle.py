@@ -66,6 +66,7 @@ def _bare_pool(ctx):
     """A ProcessShardPool shell with *ctx* injected, no real workers."""
     pool = object.__new__(ProcessShardPool)
     pool._ctx = ctx
+    pool._warm = []
     return pool
 
 
