@@ -61,7 +61,20 @@ covers:
     offered rate, heavy-tail size mixes) and measures latency from
     each request's *scheduled* arrival: no coordinated omission, and
     the offered-traffic ledger (completed + timed out + expired +
-    rejected + shard-failed == offered) must balance.
+    rejected + shard-failed == offered) must balance;
+12. streaming sessions — ``server.open_stream(netlist)`` returns a
+    session whose ``feed(waves) -> Future`` calls all run against
+    *one* persistent packed engine: the plan is compiled once, the
+    scratch and state matrices stay warm between feeds, and new waves
+    are appended to the lanes a checkpointable ``SessionState`` keeps
+    resumable.  Feeds are sticky to one shard, a worker crash replays
+    the session's feed log bit-identically from the last checkpoint
+    (a counted ``replay``), and ``stream.metrics()`` exposes the
+    per-session counters.  ``SimulationClient.open_stream`` mirrors
+    the same session over the socket with typed ``SessionClosed`` /
+    ``ConnectionLost`` semantics, and ``run_streaming`` /
+    ``repro serve-bench --stream`` load-test it: ten 64-wave feeds
+    through one session match one 640-wave solo run, wave for wave.
 
 Run with::
 
@@ -385,6 +398,67 @@ def main() -> None:
         f"(balanced: {open_report.ledger_balanced})"
     )
     assert open_report.ledger_balanced
+
+    # ------------------------------------------------------------------
+    # 12. streaming sessions: one warm engine, many feeds, resumable
+    # ------------------------------------------------------------------
+    # submit() pays plan lookup + batch assembly per request; a stream
+    # compiles the plan once and keeps the packed engine's state matrix
+    # warm, so consecutive feeds resume where the last wave left off.
+    # The whole session is bit-identical to one solo run over the
+    # concatenated waves — pause/resume is an execution detail.
+    chunks = [
+        random_vectors(adder.n_inputs, 16, seed=20 + i) for i in range(6)
+    ]
+    everything = [wave for chunk in chunks for wave in chunk]
+    solo = simulate_waves(adder, everything, engine="python")
+    with SimulationServer(shards=1) as server:
+        with server.open_stream(adder) as stream:
+            streamed = [stream.feed(chunk) for chunk in chunks]
+            outputs = [
+                wave
+                for future in streamed
+                for wave in future.result().outputs
+            ]
+            session_stats = stream.metrics()
+        assert outputs == solo.outputs
+        print(
+            f"\nstreaming   : {session_stats['feeds']} feeds / "
+            f"{session_stats['waves']} waves through one warm plan, "
+            f"outputs bit-identical to one solo run: "
+            f"{outputs == solo.outputs}"
+        )
+        # the same session state is checkpointable: a worker crash
+        # replays the feed log from the last checkpoint (stream
+        # metrics count it as a 'replay'), and the server-wide
+        # snapshot keeps session traffic out of the request ledger
+        m = server.metrics.snapshot()
+        print(
+            f"streaming   : server saw {m['session_feeds']} session "
+            f"feeds / {m['session_waves']} waves "
+            f"({m['session_replays']} replays) and "
+            f"{m['submitted']} ordinary submissions"
+        )
+
+    # over the wire it is the same object shape: session ids ride in
+    # the frame protocol, feeds return futures, and a lost connection
+    # fails them typed (ConnectionLost) instead of stranding them
+    with SimulationServer(shards=1, warm_netlists=[adder]) as server:
+        with SocketServer(server) as net:
+            host, port = net.start().address
+            with SimulationClient(host, port) as client:
+                with client.open_stream(adder) as stream:
+                    wired = [stream.feed(chunk) for chunk in chunks]
+                    outputs = [
+                        wave
+                        for future in wired
+                        for wave in future.result().outputs
+                    ]
+                assert outputs == solo.outputs
+                print(
+                    "streaming   : same session over the socket, "
+                    f"still bit-identical: {outputs == solo.outputs}"
+                )
 
 
 if __name__ == "__main__":

@@ -299,10 +299,23 @@ def build_parser() -> argparse.ArgumentParser:
         "waves)",
     )
     serve.add_argument(
+        "--stream", action="store_true",
+        help="streaming mode: drive --stream-sessions concurrent "
+        "open_stream sessions of --requests feed() chunks x --waves "
+        "waves each against one warm per-plan engine state, verify "
+        "every feed bit-identical to its slice of a solo run of the "
+        "concatenated waves, and compare sustained throughput",
+    )
+    serve.add_argument(
+        "--stream-sessions", type=int, default=4, metavar="N",
+        help="concurrent streaming sessions for --stream (default: 4)",
+    )
+    serve.add_argument(
         "--socket", action="store_true",
         help="with --open-loop: replay the same scenario through the "
-        "network tier (loopback SocketServer + SimulationClient) and "
-        "report both tiers side by side",
+        "network tier (loopback SocketServer + SimulationClient); "
+        "with --stream: drive the sessions through it.  Reports both "
+        "tiers side by side",
     )
     serve.add_argument(
         "--json-out", type=str, default=None, metavar="PATH",
@@ -662,11 +675,15 @@ def _run_simulate(args: argparse.Namespace, out) -> int:
 
 
 def _run_serve_bench(args: argparse.Namespace, out) -> int:
+    if args.open_loop and args.stream:
+        raise ReproError("--open-loop and --stream are exclusive modes")
     if args.open_loop:
         return _run_open_loop_bench(args, out)
+    if args.stream:
+        return _run_streaming_bench(args, out)
     if args.socket or args.json_out is not None:
         raise ReproError(
-            "--socket/--json-out apply to --open-loop mode only"
+            "--socket/--json-out apply to --open-loop/--stream modes only"
         )
     from .core.wavepipe import (
         ClockingScheme,
@@ -918,6 +935,201 @@ def _run_serve_bench(args: argparse.Namespace, out) -> int:
     )
     if not identical:
         raise ReproError("served reports diverged from solo runs")
+    return 0
+
+
+def _run_streaming_bench(args: argparse.Namespace, out) -> int:
+    """``serve-bench --stream``: streaming sessions vs solo packed runs.
+
+    Each session feeds its chunks into one warm per-plan engine state;
+    the baseline simulates each session's *concatenated* waves as one
+    solo packed run.  Every feed report is verified bit-identical to
+    its slice of that solo run — the resumability contract — before any
+    throughput figure is trusted.
+    """
+    from .core.wavepipe import (
+        ClockingScheme,
+        random_vectors,
+        set_default_backend,
+        simulate_waves_packed,
+    )
+    from .serve import (
+        FaultPlan,
+        SimulationClient,
+        SimulationServer,
+        SocketServer,
+        run_streaming,
+    )
+
+    if args.json_out is not None:
+        raise ReproError("--json-out applies to --open-loop mode only")
+    if args.no_jit:
+        set_default_backend("fused")
+    if "," in args.source:
+        raise ReproError(
+            "--stream drives one netlist per run (sessions are sticky "
+            "to one plan); pass a single source"
+        )
+    if args.stream_sessions < 1:
+        raise ReproError("--stream-sessions must be >= 1")
+    if args.requests < args.stream_sessions:
+        raise ReproError("--stream needs at least one feed per session")
+    if args.waves < 1:
+        raise ReproError("--stream needs at least one wave per feed")
+    import numpy as np
+
+    mig = _load_source(args.source)
+    netlist = wave_pipeline(
+        mig, fanout_limit=args.fanout_limit or None, verify=False
+    ).netlist
+    clocking = ClockingScheme(args.phases)
+    sessions = args.stream_sessions
+    feeds = max(1, args.requests // sessions)
+    payloads = [
+        [
+            np.asarray(
+                random_vectors(
+                    netlist.n_inputs, args.waves,
+                    seed=args.seed + session * feeds + feed,
+                ),
+                dtype=bool,
+            ).reshape(args.waves, netlist.n_inputs)
+            for feed in range(feeds)
+        ]
+        for session in range(sessions)
+    ]
+    total_waves = sessions * feeds * args.waves
+    print(f"benchmark : {mig.name}", file=out)
+    print(f"netlist   : {netlist}", file=out)
+    print(
+        f"load      : {sessions} sessions x {feeds} feeds x "
+        f"{args.waves} waves (streaming, no think time)",
+        file=out,
+    )
+
+    # solo baseline: each session's concatenated waves as ONE packed
+    # run — the throughput a streaming session must not fall behind.
+    # Warm first so kernel compilation stays outside both windows.
+    concatenated = [np.concatenate(chunks) for chunks in payloads]
+    simulate_waves_packed(netlist, concatenated[0], clocking=clocking)
+    started = time.perf_counter()
+    solo = [
+        simulate_waves_packed(netlist, block, clocking=clocking)
+        for block in concatenated
+    ]
+    solo_elapsed = time.perf_counter() - started
+    solo_rate = total_waves / solo_elapsed if solo_elapsed else 0.0
+    print(
+        f"solo      : {total_waves} waves in {solo_elapsed:.3f}s "
+        f"({solo_rate:,.0f} waves/s, one concatenated run per session)",
+        file=out,
+    )
+    # slice the solo outputs at the feed boundaries once
+    slices = [
+        [
+            solo[session].outputs[feed * args.waves:(feed + 1) * args.waves]
+            for feed in range(feeds)
+        ]
+        for session in range(sessions)
+    ]
+
+    plan = (
+        None if args.faults is None
+        else FaultPlan.parse(args.faults, seed=args.fault_seed)
+    )
+    if plan is not None:
+        print(f"faults    : {plan.describe()} (replayable)", file=out)
+    knobs = {}
+    if args.dispatch_timeout is not None:
+        knobs["dispatch_timeout_s"] = args.dispatch_timeout
+
+    def stream_once(label: str, target, server) -> bool:
+        """Trials against one target; prints lines, returns identity."""
+        identical = True
+        load = None
+        for _ in range(max(1, args.trials)):
+            trial = run_streaming(
+                target,
+                netlist,
+                clocking=clocking,
+                deadline_s=args.deadline,
+                payloads=payloads,
+            )
+            for session in range(sessions):
+                for feed in range(feeds):
+                    report = trial.reports[session][feed]
+                    if report is None:
+                        # acceptable only under injected chaos or
+                        # deadlines; otherwise the identity check fails
+                        identical = identical and (
+                            plan is not None or args.deadline is not None
+                        )
+                        continue
+                    identical = identical and (
+                        report.outputs == slices[session][feed]
+                    )
+            if load is None or trial.waves_per_s > load.waves_per_s:
+                load = trial
+        ratio = load.waves_per_s / solo_rate if solo_rate else 0.0
+        print(
+            f"{label:<10}: {load.total_waves} waves in "
+            f"{load.elapsed_s:.3f}s ({load.waves_per_s:,.0f} waves/s "
+            f"sustained, {ratio:.2f}x the solo rate; best of "
+            f"{max(1, args.trials)} trials)",
+            file=out,
+        )
+        print(
+            f"latency   : p50 {load.p50_s * 1e3:.1f} ms, "
+            f"p99 {load.p99_s * 1e3:.1f} ms per feed (queueing and "
+            "pump pipelining included)",
+            file=out,
+        )
+        if load.replays or load.failed:
+            print(
+                f"sessions  : {load.replays} feed-log replays, "
+                f"{len(load.failed)} feeds failed typed",
+                file=out,
+            )
+        metrics = server.metrics.snapshot()
+        print(
+            f"streams   : {metrics['sessions_opened']} opened / "
+            f"{metrics['sessions_closed']} closed, "
+            f"{metrics['session_feeds']} feeds, "
+            f"{metrics['session_waves']} waves, "
+            f"{metrics['session_replays']} replays (server totals)",
+            file=out,
+        )
+        return identical
+
+    with SimulationServer(
+        shards=args.shards,
+        process_shards=args.process_shards,
+        clocking=clocking,
+        faults=plan,
+        **knobs,
+    ) as server:
+        # warm the serving path exactly like the solo loop was warmed
+        with server.open_stream(netlist) as warm:
+            warm.feed(payloads[0][0]).result()
+        identical = stream_once("streamed", server, server)
+        if args.socket:
+            net = SocketServer(server).start()
+            try:
+                host, port = net.address
+                with SimulationClient(host, port) as client:
+                    identical = stream_once(
+                        "socket", client, server
+                    ) and identical
+            finally:
+                net.close(drain=True)
+    print(
+        f"identity  : {'ok' if identical else 'MISMATCH'} "
+        "(every feed report vs its slice of the session's solo "
+        "concatenated packed run, every trial)",
+        file=out,
+    )
+    if not identical:
+        raise ReproError("streamed feed reports diverged from solo runs")
     return 0
 
 

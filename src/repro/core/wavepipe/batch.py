@@ -69,6 +69,22 @@ transient footprint is bounded by ``O(slots × 64 × n_inputs)`` regardless
 of the total lane and wave count (a dense ``(slots, lanes, inputs)``
 gather used to spike memory on large streams and defeat them).
 
+**Streaming sessions.**  :func:`open_packed_session` returns a
+:class:`PackedSession` that keeps one
+:class:`~repro.core.wavepipe.kernels.SessionState` alive across
+``feed()`` calls: new waves are appended to the existing lanes at the
+next free injection slot and the pipeline is never drained between
+feeds, so a long-lived client pays the ``depth``-step fill exactly once
+instead of once per request.  Sessions require a *wave-ready* (balanced)
+netlist — on an unbalanced one a wave's outputs depend on waves injected
+*after* it (the reason one-shot lanes carry a forward overlap), so a
+chunked feed sequence could not reproduce the solo run bit-identically
+even in principle.  On balanced netlists the same argument that elides
+tracking makes every wave's output a function of its own inputs alone,
+which is what lets ``tests/test_streaming.py`` assert that any split of
+a wave schedule into feeds matches the solo run of the concatenation,
+bit for bit, across the whole kernel matrix.
+
 The scalar engine remains the oracle; ``tests/test_batch_engine.py`` and
 ``tests/test_kernels.py`` property-test this module against it on
 balanced and deliberately unbalanced netlists across phase counts,
@@ -78,16 +94,20 @@ batches, and every kernel backend.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
-from ...errors import SimulationError
+from ...errors import SessionClosed, SimulationError
 from .clocking import ClockingScheme
 from .components import WaveNetlist
 from .kernels import (
     CompiledWaveNetlist,
+    SessionState,
+    _retire_slot_count,
+    can_elide_tracking,
     compile_netlist,
     jit_available,
     planner_step_overhead,
@@ -659,4 +679,436 @@ def simulate_streams_packed(
     return _packed_reports(
         netlist, list(streams), clocking, pipelined, strict, None,
         backend=backend, track=track, validate=validate,
+    )
+
+
+# ----------------------------------------------------------------------
+# streaming sessions (resumable packed state)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SlotRecord:
+    """One injected-but-not-yet-retired session slot."""
+
+    slot: int  # absolute injection slot (retires at slot*sep + depth)
+    first_wave: int  # global index of the slot's first wave
+    count: int  # waves injected this slot (they occupy lanes [0, count))
+
+
+class SessionFeed:
+    """Handle for one :meth:`PackedSession.feed` call.
+
+    ``report`` blocks — by draining the session — until every wave of
+    the feed has retired; ``done`` peeks without forcing anything.  The
+    report is bit-identical to the corresponding slice of a one-shot
+    :func:`simulate_waves_packed` run over the concatenation of every
+    feed's waves (``tests/test_streaming.py`` proves exactly that).
+    """
+
+    __slots__ = ("index", "start", "count", "_session", "_report")
+
+    def __init__(
+        self, session: "PackedSession", index: int, start: int, count: int
+    ) -> None:
+        self.index = index
+        self.start = start
+        self.count = count
+        self._session = session
+        self._report: Optional[WaveSimulationReport] = None
+
+    @property
+    def done(self) -> bool:
+        """True once every wave of this feed has retired."""
+        return self._report is not None
+
+    @property
+    def report(self) -> WaveSimulationReport:
+        """The feed's report, draining the session if still in flight."""
+        if self._report is None:
+            self._session.flush()
+        assert self._report is not None  # flush retires every fed wave
+        return self._report
+
+
+def _pack_session_slots(
+    bits: np.ndarray, n_lanes: int, n_words: int
+) -> tuple[np.ndarray, np.ndarray, list[np.ndarray], np.ndarray]:
+    """Pack a pending wave block slot-major for one session advance.
+
+    Wave ``j`` of the block goes to (relative) slot ``j // n_lanes``,
+    lane ``j % n_lanes`` — slots fill from lane 0, so a session's wave
+    order across slots enumerates the global wave sequence exactly like
+    a one-shot plan's kept (lane, slot) pairs do.  Returns ``(words,
+    masks, active, inj_lane)`` with the :func:`_pack_injections`
+    meanings plus the dense per-(slot, lane) bool mask the tracked loop
+    nest consumes; the same bounded word-at-a-time shift/or packing.
+    """
+    n_waves, n_inputs = bits.shape
+    n_slots = -(-n_waves // n_lanes)
+    slots = np.arange(n_slots, dtype=np.int64)
+    lane_idx = np.arange(n_lanes, dtype=np.int64)
+    wave_of = slots[:, None] * n_lanes + lane_idx[None, :]
+    valid = wave_of < n_waves  # (n_slots, n_lanes) bool
+    words = np.zeros((n_slots, n_inputs, n_words), dtype=_WORD)
+    masks = np.zeros((n_slots, n_words), dtype=_WORD)
+    for word in range(n_words):
+        lo = word * LANES_PER_WORD
+        hi = min(lo + LANES_PER_WORD, n_lanes)
+        shift = np.arange(hi - lo, dtype=_WORD)
+        bit = np.left_shift(_WORD(1), shift)
+        gathered = bits[np.clip(wave_of[:, lo:hi], 0, n_waves - 1)]
+        gathered[~valid[:, lo:hi]] = False
+        words[:, :, word] = np.bitwise_or.reduce(
+            np.left_shift(gathered.astype(_WORD), shift[None, :, None]),
+            axis=1,
+        )
+        masks[:, word] = np.bitwise_or.reduce(
+            np.where(valid[:, lo:hi], bit[None, :], _WORD(0)), axis=1
+        )
+    active = [np.nonzero(valid[slot])[0] for slot in range(n_slots)]
+    return words, masks, active, np.ascontiguousarray(valid)
+
+
+class PackedSession:
+    """Resumable packed simulation: feed waves in chunks, resume warm.
+
+    The session owns one :class:`~repro.core.wavepipe.kernels.SessionState`
+    whose absolute step counter, value matrix, and (``track=True``)
+    wave-id matrix survive between :meth:`feed` calls.  Feeds are
+    *lazy*: waves accumulate until :meth:`pump`, :meth:`flush`,
+    :meth:`close`, or a feed's ``report`` forces an advance, so
+    back-to-back feeds pack into as few injection slots as one wide
+    one-shot run would use — which is how a 10x64-wave session matches
+    one 640-wave solo run's throughput (``benchmarks/bench_streaming.py``
+    asserts the >= 0.9x acceptance bar).  The serving layer calls
+    :meth:`pump` after every feed instead, trading a little width for
+    promptly resolved futures.
+
+    Sessions demand a wave-ready netlist
+    (:func:`~repro.core.wavepipe.kernels.can_elide_tracking` must hold):
+    on an unbalanced netlist a wave's outputs depend on *later* waves,
+    so streaming bit-identity with the solo run is causally impossible
+    — :class:`~repro.errors.SimulationError` says so at open time
+    instead of silently diverging.  ``track=True`` still forces the
+    tracked kernels (outputs identical, interference provably empty),
+    keeping the whole kernel matrix exercisable.
+
+    Use as a context manager or :meth:`close` explicitly — the
+    lifecycle lint tracks sessions like files and locks.
+    """
+
+    def __init__(
+        self,
+        netlist: WaveNetlist,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: bool = True,
+        backend: Optional[str] = None,
+        track: Optional[bool] = None,
+        lanes: Optional[int] = None,
+        validate: bool = True,
+    ) -> None:
+        clocking = clocking or ClockingScheme()
+        self._netlist = netlist
+        self._compiled = compile_netlist(netlist, clocking)
+        if self._compiled.depth == 0:
+            raise SimulationError("cannot wave-simulate a depth-0 netlist")
+        self._backend = resolve_backend(backend)
+        self._separation = wave_separation(
+            self._compiled.depth, self._compiled.n_phases, pipelined
+        )
+        if not can_elide_tracking(self._compiled, self._separation):
+            raise SimulationError(
+                "streaming sessions require a wave-ready (path-balanced) "
+                "netlist: on an unbalanced netlist a wave's outputs depend "
+                "on waves injected after it, so chunked feeds cannot "
+                "reproduce the solo run bit-identically"
+            )
+        self._elide = resolve_tracking(
+            self._compiled, self._separation, track
+        )
+        self._validate = validate
+        if lanes is not None:
+            self._lane_cap = max(1, int(lanes))
+            self._fixed_lanes = True
+        else:
+            self._lane_cap = MAX_PLANNED_WORDS * LANES_PER_WORD
+            self._fixed_lanes = False
+        self._state: Optional[SessionState] = None
+        self._pending: list[np.ndarray] = []
+        self._pending_waves = 0
+        self._feeds: list[SessionFeed] = []
+        self._outputs: list[Optional[list[bool]]] = []
+        self._slots: "deque[_SlotRecord]" = deque()
+        self._n_fed = 0
+        self._n_injected = 0
+        self._n_retired = 0
+        self._resolved_upto = 0  # feeds [0, here) have reports
+        self._next_done = 0  # take_done() cursor into resolved feeds
+        self._closed = False
+
+    # -- public surface ------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def separation(self) -> int:
+        """Injection-slot spacing in clock steps (multiple of ``p``)."""
+        return self._separation
+
+    def feed(self, vectors: Sequence[Sequence[bool]]) -> SessionFeed:
+        """Append waves to the session; returns a lazy report handle.
+
+        The waves are *scheduled*, not yet simulated: simulation happens
+        on the next :meth:`pump` / :meth:`flush` / :meth:`close` (or
+        when some feed's ``report`` is read), packed into as few
+        injection slots as the lane width allows.
+        """
+        if self._closed:
+            raise SessionClosed("feed() on a closed session")
+        if self._validate:
+            _validate_vectors(self._netlist, vectors)
+        count = len(vectors)
+        handle = SessionFeed(self, len(self._feeds), self._n_fed, count)
+        self._feeds.append(handle)
+        self._n_fed += count
+        if count:
+            bits = np.asarray(vectors, dtype=bool).reshape(
+                count, self._netlist.n_inputs
+            )
+            self._pending.append(bits)
+            self._pending_waves += count
+            self._outputs.extend([None] * count)
+        self._resolve_ready()
+        return handle
+
+    def pump(self) -> list[SessionFeed]:
+        """Inject every pending wave and harvest retirements reached.
+
+        Advances the state exactly to the last new injection step — the
+        pipeline stays full, nothing is drained.  Returns the feeds
+        newly resolved by the harvested retirements (the serving layer's
+        per-feed heartbeat; equivalent to :meth:`take_done` right after
+        the injection pass).
+        """
+        if self._closed:
+            raise SessionClosed("pump() on a closed session")
+        self._inject_pending()
+        return self.take_done()
+
+    def flush(self) -> None:
+        """Inject all pending waves, then drain until every one retired.
+
+        After ``flush`` every feed handed out so far has ``done`` set.
+        The state remains usable: further feeds resume from the drained
+        step (paying a fresh fill, as any drain must).
+        """
+        self._inject_pending()
+        if self._state is not None and self._slots:
+            last_slot = self._slots[-1].slot
+            target = last_slot * self._separation + self._compiled.depth + 1
+            self._advance_to(target)
+        self._resolve_ready()
+
+    def take_done(self) -> list[SessionFeed]:
+        """Feeds newly resolved since the last call, in feed order."""
+        done = self._feeds[self._next_done:self._resolved_upto]
+        self._next_done = self._resolved_upto
+        return list(done)
+
+    def close(self) -> None:
+        """Drain the session and refuse further feeds (idempotent)."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+
+    def discard(self) -> None:
+        """Close without draining: drop pending waves and in-flight state.
+
+        Feeds that never resolved stay unresolved forever — the serving
+        layer uses this for cancelled sessions (their futures fail with
+        :class:`~repro.errors.SessionClosed` instead).  Idempotent.
+        """
+        self._closed = True
+        self._pending = []
+        self._pending_waves = 0
+        self._slots.clear()
+        self._state = None
+
+    def __enter__(self) -> "PackedSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def describe(self) -> dict:
+        """JSON-friendly session snapshot (metrics / CLI surface)."""
+        return {
+            "backend": self._backend,
+            "elided_tracking": self._elide,
+            "lanes": self._state.n_lanes if self._state else 0,
+            "words": self._state.n_words if self._state else 0,
+            "step": self._state.step if self._state else 0,
+            "feeds": len(self._feeds),
+            "waves_fed": self._n_fed,
+            "waves_retired": self._n_retired,
+            "pending_waves": self._pending_waves,
+            "closed": self._closed,
+        }
+
+    # -- internals -----------------------------------------------------
+    def _inject_pending(self) -> None:
+        if not self._pending_waves:
+            return
+        bits = (
+            self._pending[0]
+            if len(self._pending) == 1
+            else np.concatenate(self._pending, axis=0)
+        )
+        n_waves = self._pending_waves
+        self._pending = []
+        self._pending_waves = 0
+
+        if self._fixed_lanes:
+            n_lanes = self._lane_cap
+        else:
+            floor = self._state.n_lanes if self._state is not None else 1
+            n_lanes = min(self._lane_cap, max(floor, n_waves))
+        n_words = -(-n_lanes // LANES_PER_WORD)
+        if self._state is None:
+            self._state = SessionState(
+                self._compiled, self._separation, elide=self._elide,
+                backend=self._backend, n_lanes=n_lanes, n_words=n_words,
+            )
+        elif (
+            n_lanes > self._state.n_lanes or n_words > self._state.n_words
+        ):
+            self._state.widen(n_lanes, n_words)
+        state = self._state
+        n_lanes, n_words = state.n_lanes, state.n_words
+
+        sep = self._separation
+        slot0 = -(-state.step // sep)  # next injection slot not yet fired
+        words, masks, active, inj_lane = _pack_session_slots(
+            bits, n_lanes, n_words
+        )
+        n_slots = words.shape[0]
+        for j in range(n_slots):
+            self._slots.append(
+                _SlotRecord(
+                    slot0 + j,
+                    self._n_injected + j * n_lanes,
+                    min(n_lanes, n_waves - j * n_lanes),
+                )
+            )
+        self._n_injected += n_waves
+        target = (slot0 + n_slots - 1) * sep + 1  # one past last injection
+        self._advance(words, masks, active, inj_lane, slot0, target)
+
+    def _advance_to(self, target_step: int) -> None:
+        """Advance with no new injections (the drain half of a flush)."""
+        state = self._state
+        assert state is not None
+        if target_step <= state.step:
+            return
+        n_inputs = self._netlist.n_inputs
+        words = np.zeros((0, n_inputs, state.n_words), dtype=_WORD)
+        masks = np.zeros((0, state.n_words), dtype=_WORD)
+        inj_lane = np.zeros((0, state.n_lanes), dtype=bool)
+        self._advance(words, masks, [], inj_lane, 0, target_step)
+
+    def _advance(
+        self,
+        words: np.ndarray,
+        masks: np.ndarray,
+        active: list,
+        inj_lane: np.ndarray,
+        slot0: int,
+        target_step: int,
+    ) -> None:
+        state = self._state
+        assert state is not None
+        depth = self._compiled.depth
+        sep = self._separation
+        ret_slot0 = _retire_slot_count(state.step, depth, sep)
+        n_ret = _retire_slot_count(target_step, depth, sep) - ret_slot0
+        ret_words = np.empty(
+            (n_ret, self._compiled.out_node.size, state.n_words),
+            dtype=_WORD,
+        )
+        state.advance(
+            target_step - state.step, words, masks, active, inj_lane,
+            slot0, ret_words, ret_slot0,
+        )
+        self._harvest(ret_words, ret_slot0)
+
+    def _harvest(self, ret_words: np.ndarray, ret_slot0: int) -> None:
+        for i in range(ret_words.shape[0]):
+            retire_slot = ret_slot0 + i
+            if self._slots and self._slots[0].slot < retire_slot:
+                raise SimulationError(
+                    "session retirement bookkeeping out of order "
+                    "(internal error)"
+                )
+            if not self._slots or self._slots[0].slot != retire_slot:
+                continue  # retire step with no in-flight slot (idle gap)
+            rec = self._slots.popleft()
+            lanes = np.arange(rec.count, dtype=np.int64)
+            word_of = lanes // LANES_PER_WORD
+            bit_of = (lanes % LANES_PER_WORD).astype(_WORD)
+            row = ret_words[i]  # (n_outputs, n_words)
+            vals = (
+                (row.T[word_of] >> bit_of[:, None]) & _WORD(1)
+            ).astype(bool)
+            out_lists = vals.tolist()
+            for k in range(rec.count):
+                self._outputs[rec.first_wave + k] = out_lists[k]
+            self._n_retired += rec.count
+        self._resolve_ready()
+
+    def _resolve_ready(self) -> None:
+        depth = self._compiled.depth
+        sep = self._separation
+        while self._resolved_upto < len(self._feeds):
+            feed = self._feeds[self._resolved_upto]
+            if feed.count == 0:
+                feed._report = _empty_report(depth)
+            elif feed.start + feed.count <= self._n_retired:
+                outputs = self._outputs[feed.start:feed.start + feed.count]
+                feed._report = WaveSimulationReport(
+                    outputs=outputs,  # type: ignore[arg-type]
+                    latency_steps=depth,
+                    steps_run=(
+                        (feed.start + feed.count - 1) * sep + depth + 1
+                    ),
+                    waves_injected=feed.count,
+                    waves_retired=feed.count,
+                    interference=[],
+                )
+            else:
+                break
+            self._resolved_upto += 1
+
+
+def open_packed_session(
+    netlist: WaveNetlist,
+    clocking: Optional[ClockingScheme] = None,
+    pipelined: bool = True,
+    backend: Optional[str] = None,
+    track: Optional[bool] = None,
+    lanes: Optional[int] = None,
+    validate: bool = True,
+) -> PackedSession:
+    """Open a :class:`PackedSession` over *netlist* (see its docstring).
+
+    Arguments mirror :func:`simulate_waves_packed`; *lanes* pins the lane
+    width (the differential tests use it to hold the state at exactly 1
+    or 3 words), otherwise the session grows its lanes with demand up to
+    :data:`MAX_PLANNED_WORDS` words.  Raises
+    :class:`~repro.errors.SimulationError` when the netlist is not
+    wave-ready — streaming bit-identity is impossible without balance.
+    """
+    return PackedSession(
+        netlist, clocking, pipelined=pipelined, backend=backend,
+        track=track, lanes=lanes, validate=validate,
     )

@@ -70,6 +70,19 @@ All four kernel variants retire waves by snapshotting the output words
 into a preallocated ``(n_retire_slots, n_outputs, n_words)`` array; the
 per-wave bit extraction happens once, vectorized, after the loop (in
 ``batch.py``'s report merging) instead of per retirement inside it.
+
+Resumable sessions
+------------------
+:class:`SessionState` packages everything the step loop owns — the
+packed value matrix, the wave-id matrix, the reusable scratch buffers,
+and the *absolute* step counter — so the loop can pause after step k and
+continue later with newly injected waves appended to the existing lanes.
+All four kernel variants run over absolute steps with explicit
+``(step0, slot0, ret_slot0)`` offsets; the one-shot entry points drive
+them with zero offsets over a fresh state, the streaming path
+(:class:`repro.core.wavepipe.batch.PackedSession`) re-enters them with
+whatever step the previous feed left behind.  There is deliberately no
+second loop implementation to drift from the one-shot kernels.
 """
 
 from __future__ import annotations
@@ -447,10 +460,216 @@ def resolve_tracking(
 # shared retirement arithmetic
 # ----------------------------------------------------------------------
 def _retire_slot_count(local_steps: int, depth: int, separation: int) -> int:
-    """Retire steps (``step >= depth``, aligned) inside the local loop."""
+    """Retire steps (``step >= depth``, aligned) inside the local loop.
+
+    Equivalently: the number of retire slots whose retire step lies
+    *strictly before* absolute step ``local_steps`` — the streaming path
+    uses it in that reading to derive ``ret_slot0`` for a resumed loop.
+    """
     if local_steps <= depth:
         return 0
     return (local_steps - 1 - depth) // separation + 1
+
+
+# ----------------------------------------------------------------------
+# resumable session state
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class SessionSnapshot:
+    """Checkpoint of a :class:`SessionState` (arrays defensively copied)."""
+
+    step: int
+    n_lanes: int
+    n_words: int
+    value: np.ndarray
+    wave: np.ndarray
+
+
+class SessionState:
+    """Everything the step loop owns, packaged to pause and resume.
+
+    A one-shot packed run allocates this fresh, advances it across the
+    plan's whole timeline, and throws it away.  A streaming session keeps
+    it alive between feeds: the absolute ``step`` counter, the packed
+    ``(n_components, n_words)`` value matrix and — tracked variants —
+    the ``(n_components, n_lanes)`` wave-id matrix persist, while the
+    per-phase scratch buffers are reused across advances and rebuilt
+    transparently when the session :meth:`widen`\\ s.  :meth:`snapshot` /
+    :meth:`restore` give the serving tier its checkpoint primitive.
+
+    Sessions step through :meth:`advance`, which runs the *same* kernels
+    as the one-shot path, only with non-zero (step, slot, retire-slot)
+    offsets — bit-identity between a resumed loop and a solo loop is a
+    property of sharing the loop, not of a parallel implementation.
+    """
+
+    __slots__ = (
+        "compiled", "separation", "elide", "backend", "n_lanes", "n_words",
+        "step", "value", "wave", "_phases", "_in_buf", "_nest",
+    )
+
+    def __init__(
+        self,
+        compiled: CompiledWaveNetlist,
+        separation: int,
+        *,
+        elide: bool,
+        backend: Optional[str],
+        n_lanes: int,
+        n_words: int,
+    ) -> None:
+        if n_lanes < 1 or n_words < 1:
+            raise SimulationError(
+                "session state needs at least one lane and one state word"
+            )
+        self.compiled = compiled
+        self.separation = int(separation)
+        self.elide = bool(elide)
+        self.backend = resolve_backend(backend)
+        self.n_lanes = int(n_lanes)
+        self.n_words = int(n_words)
+        self.step = 0
+        self.value = np.zeros(
+            (compiled.n_components, self.n_words), dtype=_WORD
+        )
+        if self.elide:
+            # placeholder so `wave` is an ndarray on both paths; the
+            # elided kernels never touch it
+            self.wave = np.empty((0, 0), dtype=np.int32)
+        else:
+            self.wave = np.full(
+                (compiled.n_components, self.n_lanes), -1, dtype=np.int32
+            )
+            self.wave[0, :] = -2  # constants belong to every wave
+        self._phases: Optional[list] = None
+        self._in_buf: Optional[np.ndarray] = None
+        self._nest: Optional[tuple] = None
+
+    # -- scratch (rebuilt lazily after widen/restore) ------------------
+    def _fused_scratch(self) -> tuple:
+        if self._phases is None:
+            self._phases = [
+                _PhaseScratch(
+                    self.compiled, ph, self.n_words, self.n_lanes,
+                    tracked=not self.elide,
+                )
+                for ph in range(self.compiled.n_phases)
+            ]
+            self._in_buf = np.empty(
+                (self.compiled.inputs.size, self.n_words), dtype=_WORD
+            )
+        return self._phases, self._in_buf
+
+    def _nest_scratch(self) -> tuple:
+        if self._nest is None:
+            n_maj = self.compiled.maj_comp.size
+            n_buf = self.compiled.buf_comp.size
+            new_maj = np.empty((n_maj, self.n_words), dtype=_WORD)
+            new_buf = np.empty((n_buf, self.n_words), dtype=_WORD)
+            if self.elide:
+                wacc_maj = np.empty((0, 0), dtype=np.int32)
+                wacc_buf = wacc_maj
+            else:
+                wacc_maj = np.empty((n_maj, self.n_lanes), dtype=np.int32)
+                wacc_buf = np.empty((n_buf, self.n_lanes), dtype=np.int32)
+            self._nest = (new_maj, new_buf, wacc_maj, wacc_buf)
+        return self._nest
+
+    # -- checkpointing -------------------------------------------------
+    def snapshot(self) -> SessionSnapshot:
+        """Copy-out checkpoint; :meth:`restore` rewinds to it exactly."""
+        return SessionSnapshot(
+            self.step, self.n_lanes, self.n_words,
+            self.value.copy(), self.wave.copy(),
+        )
+
+    def restore(self, snap: SessionSnapshot) -> None:
+        """Rewind to *snap* (lane/word geometry restored too)."""
+        if snap.n_lanes != self.n_lanes or snap.n_words != self.n_words:
+            self._phases = None
+            self._in_buf = None
+            self._nest = None
+        self.step = snap.step
+        self.n_lanes = snap.n_lanes
+        self.n_words = snap.n_words
+        self.value = snap.value.copy()
+        self.wave = snap.wave.copy()
+
+    def widen(self, n_lanes: int, n_words: int) -> None:
+        """Append fresh lanes/words without disturbing in-flight waves.
+
+        New lanes start exactly like a fresh run's: all-zero value bits
+        and (tracked) wave id ``-1`` everywhere but the constant row.
+        Shrinking is refused — retiring lanes simply stop being fed.
+        """
+        if n_lanes < self.n_lanes or n_words < self.n_words:
+            raise SimulationError("session state can only widen, not shrink")
+        if n_lanes == self.n_lanes and n_words == self.n_words:
+            return
+        value = np.zeros(
+            (self.compiled.n_components, n_words), dtype=_WORD
+        )
+        value[:, : self.n_words] = self.value
+        self.value = value
+        if not self.elide:
+            wave = np.full(
+                (self.compiled.n_components, n_lanes), -1, dtype=np.int32
+            )
+            wave[:, : self.n_lanes] = self.wave
+            wave[0, self.n_lanes:] = -2
+            self.wave = wave
+        self.n_lanes = int(n_lanes)
+        self.n_words = int(n_words)
+        self._phases = None
+        self._in_buf = None
+        self._nest = None
+
+    # -- streaming advance ---------------------------------------------
+    def advance(
+        self,
+        n_steps: int,
+        inj_words: np.ndarray,
+        inj_masks: np.ndarray,
+        inj_active: list,
+        inj_lane: np.ndarray,
+        slot0: int,
+        ret_words: np.ndarray,
+        ret_slot0: int,
+    ) -> None:
+        """Run ``n_steps`` absolute steps with new injections appended.
+
+        Injection slot ``s`` (absolute, ``s * separation >= step``) reads
+        row ``s - slot0`` of the injection arrays; retire slot ``r``
+        snapshots into row ``r - ret_slot0`` of ``ret_words``.  Session
+        creation is gated on :func:`can_elide_tracking`, which makes
+        interference statically impossible — any event the tracked
+        kernels record is therefore an internal contract violation and
+        raises instead of being reported.
+        """
+        keep_lo = np.zeros(self.n_lanes, dtype=np.int64)
+        keep_hi = np.full(
+            self.n_lanes, np.iinfo(np.int64).max, dtype=np.int64
+        )
+        offset = np.zeros(self.n_lanes, dtype=np.int64)
+        if self.backend == "jit":
+            n_events, _ = _advance_loop_nest(
+                self, n_steps, inj_words, inj_masks, inj_lane, slot0,
+                ret_words, ret_slot0, keep_lo, keep_hi, offset, False, 16,
+            )
+        else:
+            n_events = len(
+                _advance_fused(
+                    self, n_steps, inj_words, inj_masks, inj_active,
+                    slot0, ret_words, ret_slot0, keep_lo, keep_hi, offset,
+                    False,
+                )
+            )
+        if n_events:
+            raise SimulationError(
+                "interference inside a streaming session: sessions "
+                "require a wave-ready (balanced) netlist, which makes "
+                "interference impossible — the session state is corrupt"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -533,57 +752,51 @@ def _input_writer(compiled: CompiledWaveNetlist):
 
 
 # lint: hot
-def _run_fused(
-    compiled: CompiledWaveNetlist,
-    plan: "_LanePlan",
+def _advance_fused(
+    state: SessionState,
+    n_steps: int,
     inj_words: np.ndarray,
     inj_masks: np.ndarray,
     inj_active: list,
-    separation: int,
-    strict: bool,
-    elide: bool,
-) -> tuple[np.ndarray, list]:
-    """Fused numpy step loop; returns ``(ret_words, raw_events)``.
+    slot0: int,
+    ret_words: np.ndarray,
+    ret_slot0: int,
+    keep_lo: np.ndarray,
+    keep_hi: np.ndarray,
+    offset: np.ndarray,
+    strict_single: bool,
+) -> list:
+    """Advance *state* ``n_steps`` fused-numpy steps; returns raw events.
 
-    ``raw_events`` rows are ``(flat_maj_index, step, lane, wa, wb, wc)``
-    in the tracked variant (empty when elided); event materialization and
-    ordering live in :func:`run_plan`.
+    The loop covers absolute steps ``[state.step, state.step +
+    n_steps)``: injection slot ``s`` (absolute) fires at step ``s *
+    separation`` and reads row ``s - slot0`` of the injection arrays,
+    retire slot ``r`` snapshots into row ``r - ret_slot0`` of
+    ``ret_words``.  The one-shot path drives it with zero offsets over a
+    fresh state; the streaming path re-enters with the previous feed's
+    step.  ``raw_events`` rows are ``(flat_maj_index, step, lane, wa,
+    wb, wc)`` in the tracked variant (empty when elided); event
+    materialization and ordering live in :func:`run_plan`.
     """
+    compiled = state.compiled
+    separation = state.separation
+    elide = state.elide
     p = compiled.n_phases
     depth = compiled.depth
-    n_words = plan.n_words
-    n_lanes = plan.n_lanes
-    local_steps = plan.local_steps
     n_slots = inj_words.shape[0]
-    single_stream = plan.stream_waves.size == 1
+    n_ret = ret_words.shape[0]
 
-    value = np.zeros((compiled.n_components, n_words), dtype=_WORD)
-    phases = [
-        _PhaseScratch(compiled, ph, n_words, n_lanes, tracked=not elide)
-        for ph in range(p)
-    ]
+    value = state.value
+    wave = state.wave
+    phases, in_buf = state._fused_scratch()
     inv_masks = ~inj_masks
     in_rows = _input_writer(compiled)
     in_rows_col = (
         in_rows if isinstance(in_rows, slice) else in_rows[:, None]
     )
-    in_buf = np.empty((compiled.inputs.size, n_words), dtype=_WORD)
-    n_ret = _retire_slot_count(local_steps, depth, separation)
-    ret_words = np.empty(
-        (n_ret, compiled.out_node.size, n_words), dtype=_WORD
-    )
     out_node = compiled.out_node
     out_neg = compiled.out_neg[:, None]
     inputs_idx = compiled.inputs
-
-    if elide:
-        # placeholder so `wave` is an ndarray on both paths; the elided
-        # loop never touches it
-        wave = np.empty((0, 0), dtype=np.int32)
-    else:
-        wave = np.full((compiled.n_components, n_lanes), -1, dtype=np.int32)
-        wave[0, :] = -2  # constants belong to every wave (permuted row 0)
-    keep_lo, keep_hi, offset = plan.keep_lo, plan.keep_hi, plan.offset
 
     raw_events: list[tuple[int, int, int, int, int, int]] = []
     earliest_event = None
@@ -593,11 +806,12 @@ def _run_fused(
     bor = np.bitwise_or
     bxor = np.bitwise_xor
 
-    for step in range(local_steps):
+    step0 = state.step
+    for step in range(step0, step0 + n_steps):
         # 1) inject: every lane latches its slot's wave simultaneously
         if step % separation == 0:
-            slot = step // separation
-            if slot < n_slots:
+            slot = step // separation - slot0
+            if 0 <= slot < n_slots:
                 take(value, inputs_idx, axis=0, out=in_buf, mode="clip")
                 band(in_buf, inv_masks[slot], out=in_buf)
                 bor(in_buf, inj_words[slot], out=in_buf)
@@ -605,7 +819,7 @@ def _run_fused(
                 if not elide:
                     lanes = inj_active[slot]
                     if lanes.size:
-                        wave[in_rows_col, lanes] = slot
+                        wave[in_rows_col, lanes] = slot + slot0
         # 2) clocked components of this phase latch from their
         # neighbours; one combined gather reads the pre-step snapshot
         # (the scalar loop's deepest-first order has exactly these
@@ -688,21 +902,56 @@ def _run_fused(
         # 3) retire: snapshot the output words; bits are extracted
         # vectorized after the loop
         if step >= depth and (step - depth) % separation == 0:
-            ret = ret_words[(step - depth) // separation]
-            take(value, out_node, axis=0, out=ret, mode="clip")
-            bxor(ret, out_neg, out=ret)
+            ret_row = (step - depth) // separation - ret_slot0
+            if 0 <= ret_row < n_ret:
+                ret = ret_words[ret_row]
+                take(value, out_node, axis=0, out=ret, mode="clip")
+                bxor(ret, out_neg, out=ret)
         # In strict mode stop as soon as no lane can still discover an
         # earlier event (absolute = local + offset, offsets are >= 0).
         # With several streams the caller wants the *first stream's*
         # first event, so the loop must run to completion.
         if (
-            strict
-            and single_stream
+            strict_single
             and earliest_event is not None
             and step > earliest_event
         ):
-            break
+            state.step = step + 1
+            return raw_events
 
+    state.step = step0 + n_steps
+    return raw_events
+
+
+def _run_fused(
+    compiled: CompiledWaveNetlist,
+    plan: "_LanePlan",
+    inj_words: np.ndarray,
+    inj_masks: np.ndarray,
+    inj_active: list,
+    separation: int,
+    strict: bool,
+    elide: bool,
+) -> tuple[np.ndarray, list]:
+    """Fused numpy step loop; returns ``(ret_words, raw_events)``.
+
+    One-shot contract: a fresh :class:`SessionState` advanced across the
+    plan's whole timeline with zero offsets, then discarded.
+    """
+    state = SessionState(
+        compiled, separation, elide=elide, backend="fused",
+        n_lanes=plan.n_lanes, n_words=plan.n_words,
+    )
+    n_ret = _retire_slot_count(plan.local_steps, compiled.depth, separation)
+    ret_words = np.empty(
+        (n_ret, compiled.out_node.size, plan.n_words), dtype=_WORD
+    )
+    strict_single = bool(strict and plan.stream_waves.size == 1)
+    raw_events = _advance_fused(
+        state, plan.local_steps, inj_words, inj_masks, inj_active, 0,
+        ret_words, 0, plan.keep_lo, plan.keep_hi, plan.offset,
+        strict_single,
+    )
     return ret_words, raw_events
 
 
@@ -711,22 +960,26 @@ def _run_fused(
 # ----------------------------------------------------------------------
 # lint: hot
 def _kernel_elided(
-    value, new_maj, new_buf, local_steps, p, separation, depth,
+    value, new_maj, new_buf, step0, local_steps, p, separation, depth,
     maj_ptr, maj_pos, maj_a, maj_b, maj_c, neg_a, neg_b, neg_c,
     buf_ptr, buf_pos, buf_src, buf_neg,
-    inputs, inj_words, inj_masks, n_slots,
-    out_node, out_neg, ret_words,
+    inputs, inj_words, inj_masks, slot0, n_slots,
+    out_node, out_neg, ret_words, ret_slot0,
 ):
     """Elided step loop as a plain loop nest (numba-compilable).
 
     Mutates ``value`` and fills ``ret_words``; ``new_maj``/``new_buf``
     buffer one phase's updates so all reads see the pre-step snapshot.
+    The loop covers absolute steps ``[step0, step0 + local_steps)``;
+    injection and retire rows are indexed relative to ``slot0`` /
+    ``ret_slot0`` (all zero on the one-shot path).
     """
     n_words = value.shape[1]
-    for step in range(local_steps):
+    n_ret = ret_words.shape[0]
+    for step in range(step0, step0 + local_steps):
         if step % separation == 0:
-            slot = step // separation
-            if slot < n_slots:
+            slot = step // separation - slot0
+            if 0 <= slot < n_slots:
                 for i in range(inputs.shape[0]):
                     comp = inputs[i]
                     for w in range(n_words):
@@ -757,22 +1010,25 @@ def _kernel_elided(
             for w in range(n_words):
                 value[row, w] = new_buf[k, w]
         if step >= depth and (step - depth) % separation == 0:
-            ret = (step - depth) // separation
-            for o in range(out_node.shape[0]):
-                for w in range(n_words):
-                    ret_words[ret, o, w] = value[out_node[o], w] ^ out_neg[o]
+            ret = (step - depth) // separation - ret_slot0
+            if 0 <= ret < n_ret:
+                for o in range(out_node.shape[0]):
+                    for w in range(n_words):
+                        ret_words[ret, o, w] = (
+                            value[out_node[o], w] ^ out_neg[o]
+                        )
     return 0
 
 
 # lint: hot
 def _kernel_tracked(
     value, wave, new_maj, new_buf, wacc_maj, wacc_buf,
-    local_steps, p, separation, depth,
+    step0, local_steps, p, separation, depth,
     maj_ptr, maj_pos, maj_a, maj_b, maj_c, neg_a, neg_b, neg_c,
     buf_ptr, buf_pos, buf_src, buf_neg,
-    inputs, inj_words, inj_masks, n_slots,
-    out_node, out_neg, ret_words,
-    n_inj, keep_lo, keep_hi, offset, strict_single,
+    inputs, inj_words, inj_masks, slot0, n_slots,
+    out_node, out_neg, ret_words, ret_slot0,
+    inj_lane, keep_lo, keep_hi, offset, strict_single,
     ev_k, ev_step, ev_lane, ev_a, ev_b, ev_c,
 ):
     """Tracked step loop as a plain loop nest (numba-compilable).
@@ -781,17 +1037,20 @@ def _kernel_tracked(
     wa, wb, wc)`` rows into the ``ev_*`` arrays; returns the total kept
     event count, which may exceed the arrays' capacity — the caller then
     retries with larger buffers (counting continues past capacity so one
-    retry always suffices).
+    retry always suffices).  ``inj_lane[slot, lane]`` says whether that
+    lane latches a new wave in that (relative) slot; wave ids and steps
+    are recorded in absolute terms (``slot + slot0``, absolute step).
     """
     n_words = value.shape[1]
     n_lanes = wave.shape[1]
+    n_ret = ret_words.shape[0]
     cap = ev_k.shape[0]
     n_events = 0
     earliest = -1
-    for step in range(local_steps):
+    for step in range(step0, step0 + local_steps):
         if step % separation == 0:
-            slot = step // separation
-            if slot < n_slots:
+            slot = step // separation - slot0
+            if 0 <= slot < n_slots:
                 for i in range(inputs.shape[0]):
                     comp = inputs[i]
                     for w in range(n_words):
@@ -799,8 +1058,8 @@ def _kernel_tracked(
                             value[comp, w] & ~inj_masks[slot, w]
                         ) | inj_words[slot, i, w]
                     for lane in range(n_lanes):
-                        if slot < n_inj[lane]:
-                            wave[comp, lane] = np.int32(slot)
+                        if inj_lane[slot, lane]:
+                            wave[comp, lane] = np.int32(slot + slot0)
         ph = step % p
         m0, m1 = maj_ptr[ph], maj_ptr[ph + 1]
         for k in range(m0, m1):
@@ -864,10 +1123,13 @@ def _kernel_tracked(
             for lane in range(n_lanes):
                 wave[row, lane] = wacc_buf[k, lane]
         if step >= depth and (step - depth) % separation == 0:
-            ret = (step - depth) // separation
-            for o in range(out_node.shape[0]):
-                for w in range(n_words):
-                    ret_words[ret, o, w] = value[out_node[o], w] ^ out_neg[o]
+            ret = (step - depth) // separation - ret_slot0
+            if 0 <= ret < n_ret:
+                for o in range(out_node.shape[0]):
+                    for w in range(n_words):
+                        ret_words[ret, o, w] = (
+                            value[out_node[o], w] ^ out_neg[o]
+                        )
         if strict_single and earliest >= 0 and step > earliest:
             break
     return n_events
@@ -896,6 +1158,74 @@ def _loop_kernel(name: str):
         return kernel
 
 
+def _advance_loop_nest(
+    state: SessionState,
+    n_steps: int,
+    inj_words: np.ndarray,
+    inj_masks: np.ndarray,
+    inj_lane: Optional[np.ndarray],
+    slot0: int,
+    ret_words: np.ndarray,
+    ret_slot0: int,
+    keep_lo: np.ndarray,
+    keep_hi: np.ndarray,
+    offset: np.ndarray,
+    strict_single: bool,
+    capacity: int,
+) -> tuple[int, list]:
+    """Advance *state* ``n_steps`` loop-nest steps (numba when available).
+
+    Returns ``(n_events, raw_events)``.  ``n_events`` may exceed
+    *capacity*, in which case ``raw_events`` is truncated and the caller
+    must retry over a *fresh* state with larger buffers (the kernels
+    mutate the state in place, so a capacity overflow poisons it for
+    resumption — the one-shot driver below simply rebuilds).
+    """
+    compiled = state.compiled
+    new_maj, new_buf, wacc_maj, wacc_buf = state._nest_scratch()
+    common = (
+        state.step, n_steps, compiled.n_phases, state.separation,
+        compiled.depth,
+        compiled.maj_ptr, compiled.maj_pos,
+        np.ascontiguousarray(compiled.maj_src[0]),
+        np.ascontiguousarray(compiled.maj_src[1]),
+        np.ascontiguousarray(compiled.maj_src[2]),
+        np.ascontiguousarray(compiled.maj_neg[0]),
+        np.ascontiguousarray(compiled.maj_neg[1]),
+        np.ascontiguousarray(compiled.maj_neg[2]),
+        compiled.buf_ptr, compiled.buf_pos,
+        compiled.buf_src, compiled.buf_neg,
+        compiled.inputs, inj_words, inj_masks, slot0, inj_words.shape[0],
+        compiled.out_node, compiled.out_neg, ret_words, ret_slot0,
+    )
+    if state.elide:
+        _loop_kernel("elided")(state.value, new_maj, new_buf, *common)
+        state.step += n_steps
+        return 0, []
+
+    ev_k = np.empty(capacity, dtype=np.int64)
+    ev_step = np.empty(capacity, dtype=np.int64)
+    ev_lane = np.empty(capacity, dtype=np.int64)
+    ev_a = np.empty(capacity, dtype=np.int64)
+    ev_b = np.empty(capacity, dtype=np.int64)
+    ev_c = np.empty(capacity, dtype=np.int64)
+    n_events = _loop_kernel("tracked")(
+        state.value, state.wave, new_maj, new_buf, wacc_maj, wacc_buf,
+        *common,
+        inj_lane, keep_lo, keep_hi, offset, strict_single,
+        ev_k, ev_step, ev_lane, ev_a, ev_b, ev_c,
+    )
+    state.step += n_steps
+    raw_events = [
+        (
+            int(ev_k[i]), int(ev_step[i]), int(ev_lane[i]),
+            int(ev_a[i]), int(ev_b[i]), int(ev_c[i]),
+        )
+        for i in range(min(n_events, capacity))
+    ]
+    return n_events, raw_events
+
+
 def _run_loop_nest(
     compiled: CompiledWaveNetlist,
     plan: "_LanePlan",
@@ -906,70 +1236,40 @@ def _run_loop_nest(
     elide: bool,
 ) -> tuple[np.ndarray, list]:
     """Drive the loop-nest kernels; same contract as :func:`_run_fused`."""
-    p = compiled.n_phases
-    depth = compiled.depth
-    n_words = plan.n_words
-    n_ret = _retire_slot_count(plan.local_steps, depth, separation)
+    n_ret = _retire_slot_count(plan.local_steps, compiled.depth, separation)
     ret_words = np.empty(
-        (n_ret, compiled.out_node.size, n_words), dtype=_WORD
+        (n_ret, compiled.out_node.size, plan.n_words), dtype=_WORD
     )
-    n_maj_total = compiled.maj_comp.size
-    n_buf_total = compiled.buf_comp.size
-    new_maj = np.empty((n_maj_total, n_words), dtype=_WORD)
-    new_buf = np.empty((n_buf_total, n_words), dtype=_WORD)
-    common = (
-        plan.local_steps, p, separation, depth,
-        compiled.maj_ptr, compiled.maj_pos,
-        np.ascontiguousarray(compiled.maj_src[0]),
-        np.ascontiguousarray(compiled.maj_src[1]),
-        np.ascontiguousarray(compiled.maj_src[2]),
-        np.ascontiguousarray(compiled.maj_neg[0]),
-        np.ascontiguousarray(compiled.maj_neg[1]),
-        np.ascontiguousarray(compiled.maj_neg[2]),
-        compiled.buf_ptr, compiled.buf_pos,
-        compiled.buf_src, compiled.buf_neg,
-        compiled.inputs, inj_words, inj_masks, inj_words.shape[0],
-        compiled.out_node, compiled.out_neg, ret_words,
-    )
+
+    def fresh_state() -> SessionState:
+        return SessionState(
+            compiled, separation, elide=elide, backend="jit",
+            n_lanes=plan.n_lanes, n_words=plan.n_words,
+        )
+
     if elide:
-        value = np.zeros((compiled.n_components, n_words), dtype=_WORD)
-        _loop_kernel("elided")(value, new_maj, new_buf, *common)
+        _advance_loop_nest(
+            fresh_state(), plan.local_steps, inj_words, inj_masks, None,
+            0, ret_words, 0, plan.keep_lo, plan.keep_hi, plan.offset,
+            False, 0,
+        )
         return ret_words, []
 
     strict_single = bool(strict and plan.stream_waves.size == 1)
-    wacc_maj = np.empty((n_maj_total, plan.n_lanes), dtype=np.int32)
-    wacc_buf = np.empty((n_buf_total, plan.n_lanes), dtype=np.int32)
+    n_slots = inj_words.shape[0]
+    inj_lane = np.ascontiguousarray(
+        np.arange(n_slots, dtype=np.int64)[:, None] < plan.n_inj[None, :]
+    )
     capacity = 1024
     while True:
-        value = np.zeros((compiled.n_components, n_words), dtype=_WORD)
-        wave = np.full(
-            (compiled.n_components, plan.n_lanes), -1, dtype=np.int32
-        )
-        wave[0, :] = -2  # constants belong to every wave (permuted row 0)
-        ev_k = np.empty(capacity, dtype=np.int64)
-        ev_step = np.empty(capacity, dtype=np.int64)
-        ev_lane = np.empty(capacity, dtype=np.int64)
-        ev_a = np.empty(capacity, dtype=np.int64)
-        ev_b = np.empty(capacity, dtype=np.int64)
-        ev_c = np.empty(capacity, dtype=np.int64)
-        n_events = _loop_kernel("tracked")(
-            value, wave, new_maj, new_buf, wacc_maj, wacc_buf,
-            *common,
-            plan.n_inj, plan.keep_lo, plan.keep_hi, plan.offset,
-            strict_single,
-            ev_k, ev_step, ev_lane, ev_a, ev_b, ev_c,
+        n_events, raw_events = _advance_loop_nest(
+            fresh_state(), plan.local_steps, inj_words, inj_masks,
+            inj_lane, 0, ret_words, 0, plan.keep_lo, plan.keep_hi,
+            plan.offset, strict_single, capacity,
         )
         if n_events <= capacity:
             break
         capacity = 2 * n_events  # one retry always suffices
-
-    raw_events = [
-        (
-            int(ev_k[i]), int(ev_step[i]), int(ev_lane[i]),
-            int(ev_a[i]), int(ev_b[i]), int(ev_c[i]),
-        )
-        for i in range(n_events)
-    ]
     return ret_words, raw_events
 
 

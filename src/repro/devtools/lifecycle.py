@@ -15,7 +15,8 @@ Rules
     ``set_result`` / ``set_exception`` / ``cancel`` on some path.
 ``lifecycle-leak``
     An acquired resource — ``Popen``/spawned ``Process``, ``Pipe``
-    connections, ``open()`` files, ``*Pool``/``*Executor`` objects —
+    connections, ``open()`` files, ``*Pool``/``*Executor`` objects,
+    streaming sessions (``open_stream`` / ``open_packed_session``) —
     can leave the function unreleased on some path (exception paths
     reported separately).  Also: a close-like method (``close`` /
     ``shutdown`` / ``stop`` / ``__exit__``) that releases an owned
@@ -110,6 +111,10 @@ def _creator(call: ast.Call) -> Optional[Tuple[str, str]]:
         return "process", _CONSTRUCTED
     if name == "open":
         return "file", _PENDING
+    if name in ("open_stream", "open_packed_session"):
+        # streaming sessions hold a worker slot / packed engine state
+        # until close(); an unclosed stream pins its shard forever
+        return "session", _PENDING
     if _POOLISH_RE.search(name):
         return "pool", _PENDING
     return None

@@ -94,6 +94,17 @@ class ConnectionLost(ServeError):
     """
 
 
+class SessionClosed(ServeError):
+    """A streaming session was used after :meth:`close`.
+
+    Raised synchronously by ``feed`` on a session that has been closed
+    (locally or by server shutdown), and *through every unresolved feed
+    future* when a server discards a session without draining it.  A
+    drained close (``close(drain=True)``) never raises this through
+    futures: every in-flight feed resolves with its report first.
+    """
+
+
 class DeadlineExceeded(ServeError):
     """A request's deadline passed before it could be dispatched.
 

@@ -7,6 +7,12 @@ Public surface:
   ``default_deadline_s`` / :class:`~repro.errors.DeadlineExceeded`),
   thread- or process-sharded dispatch, ``submit``/``Future`` plus an
   asyncio façade (see :mod:`repro.serve.server` for the architecture);
+* :class:`ServerSession` — streaming sessions
+  (``server.open_stream(netlist)``): ``feed(waves) -> Future`` against
+  one persistent packed engine, sticky worker routing, crash recovery
+  by bit-identical feed-log replay, per-session metrics, drain-aware
+  close (mirrored over the wire by
+  :meth:`SimulationClient.open_stream`);
 * :class:`ProcessShardPool` — the worker-process pool behind
   ``SimulationServer(process_shards=N)`` (sticky netlist routing,
   per-worker compile caches, supervised respawn with backoff and
@@ -28,10 +34,17 @@ Public surface:
   :class:`OpenLoopReport` — the seeded open-loop generator (Poisson /
   uniform / bursty arrivals, heavy-tail size mixes, SLO-ledger JSON)
   behind ``repro serve-bench --open-loop``;
+* :func:`run_streaming` / :class:`StreamingReport` — the streaming
+  -session generator (concurrent ``open_stream`` sessions, per-feed
+  latency, replay totals) behind ``repro serve-bench --stream`` and
+  ``benchmarks/bench_streaming.py``;
 * :class:`SocketServer` / :class:`SimulationClient` — the network
   serving tier (``repro serve --listen HOST:PORT``): length-prefixed
   framing over TCP, typed wire errors, per-client backpressure, drain
   -aware shutdown (see :mod:`repro.serve.net`);
+* :class:`ClientSession` — streaming sessions over the wire
+  (``client.open_stream(netlist)``), with session ids in the frame
+  protocol and typed ``SessionClosed`` / ``ConnectionLost`` semantics;
 * batching knobs re-exported from :mod:`repro.serve.batcher`.
 
 Quick start (and see ``examples/serving.py`` for the walkthrough)::
@@ -45,12 +58,14 @@ Quick start (and see ``examples/serving.py`` for the walkthrough)::
 """
 
 from .batcher import (
+    ADAPTIVE_WAVES_PER_LANE,
     DEFAULT_MAX_BATCH_REQUESTS,
     DEFAULT_MAX_BATCH_WAVES,
     Batch,
     Batcher,
+    adaptive_max_batch_waves,
 )
-from .client import SimulationClient
+from .client import ClientSession, SimulationClient
 from .faults import FAULT_KINDS, Fault, FaultPlan, FaultRates
 from .loadgen import (
     ARRIVALS,
@@ -59,8 +74,10 @@ from .loadgen import (
     LoadReport,
     OpenLoopReport,
     OpenLoopScenario,
+    StreamingReport,
     run_closed_loop,
     run_open_loop,
+    run_streaming,
 )
 from .metrics import ServerMetrics
 from .net import SocketServer
@@ -69,6 +86,8 @@ from .server import (
     DEFAULT_LINGER_WAIT_S,
     DEFAULT_MAX_LINGER_STEPS,
     DEFAULT_MAX_PENDING,
+    SESSION_REPLAY_BUDGET,
+    ServerSession,
     SimulationServer,
     graceful_drain,
 )
@@ -76,9 +95,11 @@ from .shards import ProcessShardPool
 from .supervisor import SupervisorConfig, WorkerSupervisor
 
 __all__ = [
+    "ADAPTIVE_WAVES_PER_LANE",
     "ARRIVALS",
     "Batch",
     "Batcher",
+    "ClientSession",
     "DEFAULT_LINGER_WAIT_S",
     "DEFAULT_MAX_BATCH_REQUESTS",
     "DEFAULT_MAX_BATCH_WAVES",
@@ -96,14 +117,19 @@ __all__ = [
     "ProcessShardPool",
     "REQUEST_TIMEOUT_S",
     "RequestQueue",
+    "SESSION_REPLAY_BUDGET",
     "ServerMetrics",
+    "ServerSession",
     "SimulationClient",
     "SimulationRequest",
     "SimulationServer",
     "SocketServer",
+    "StreamingReport",
     "SupervisorConfig",
     "WorkerSupervisor",
+    "adaptive_max_batch_waves",
     "graceful_drain",
     "run_closed_loop",
     "run_open_loop",
+    "run_streaming",
 ]

@@ -23,7 +23,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..core.wavepipe.batch import plan_stream_batch
+from ..core.wavepipe.batch import (
+    LANES_PER_WORD,
+    MAX_PLANNED_WORDS,
+    plan_stream_batch,
+)
 from ..core.wavepipe.clocking import ClockingScheme
 from ..core.wavepipe.components import WaveNetlist
 from .queue import GroupKey, RequestQueue, SimulationRequest
@@ -34,6 +38,35 @@ DEFAULT_MAX_BATCH_REQUESTS = 256
 
 #: Default cap on the total waves of one packed pass.
 DEFAULT_MAX_BATCH_WAVES = 65_536
+
+#: Waves-per-lane multiplier of :func:`adaptive_max_batch_waves`: past
+#: this many injection rounds per lane, adding waves to a pass only
+#: deepens each lane's schedule without adding any parallelism, so the
+#: batcher is better off cutting the batch and starting the next one.
+ADAPTIVE_WAVES_PER_LANE = 8
+
+
+def adaptive_max_batch_waves(
+    max_words: int = MAX_PLANNED_WORDS,
+    waves_per_lane: int = ADAPTIVE_WAVES_PER_LANE,
+) -> int:
+    """Wave cap of one packed pass, derived from the planner's word cap.
+
+    The lane planner never plans more than *max_words* state words —
+    ``max_words * 64`` lanes — per pass, so a batch wider than
+    ``lanes x waves_per_lane`` waves cannot buy more parallelism: the
+    surplus waves just stack extra injection slots onto every lane while
+    the whole batch's futures wait for the last slot to retire.  Tying
+    the cap to :data:`~repro.core.wavepipe.batch.MAX_PLANNED_WORDS`
+    (instead of the static :data:`DEFAULT_MAX_BATCH_WAVES`) keeps the
+    two in lockstep if the planner's budget ever changes — one source of
+    truth, same as the request cap's rationale.
+    """
+    if max_words < 1:
+        raise ValueError("max_words must be at least 1")
+    if waves_per_lane < 1:
+        raise ValueError("waves_per_lane must be at least 1")
+    return max_words * LANES_PER_WORD * waves_per_lane
 
 
 @dataclass

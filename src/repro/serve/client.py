@@ -38,7 +38,12 @@ from typing import BinaryIO, Optional, Sequence
 from ..core.wavepipe.clocking import ClockingScheme
 from ..core.wavepipe.components import WaveNetlist
 from ..core.wavepipe.simulator import WaveSimulationReport
-from ..errors import ConnectionLost, ServeError, WireProtocolError
+from ..errors import (
+    ConnectionLost,
+    ServeError,
+    SessionClosed,
+    WireProtocolError,
+)
 from .net import DEFAULT_MAX_FRAME_BYTES, HEADER, encode_frame, unwire_error
 from .queue import WaveStream
 from .shards import _wire_streams
@@ -56,6 +61,96 @@ class _Burst:
     event: threading.Event = field(default_factory=threading.Event)
     #: ("admitted",) | ("rejected", kind, msg) | ("miss",) | ("lost", msg)
     verdict: Optional[tuple] = None
+
+
+class ClientSession:
+    """One streaming session over the wire (:meth:`SimulationClient.open_stream`).
+
+    The network mirror of
+    :class:`~repro.serve.server.ServerSession`: :meth:`feed` appends a
+    chunk of waves to the server-side stream and returns a
+    :class:`~concurrent.futures.Future` for its report — bit-identical
+    to the matching slice of a solo run — and :meth:`close` with
+    ``drain=True`` blocks until every feed's result frame has arrived.
+    Feed futures fail typed: :class:`~repro.errors.DeadlineExceeded`,
+    :class:`~repro.errors.SessionClosed` (server discarded the session
+    without draining), :class:`~repro.errors.ShardFailed` (replay
+    budget exhausted), or :class:`~repro.errors.ConnectionLost` if the
+    socket dies — never stranded.  Obtain only via ``open_stream``; use
+    as a context manager or :meth:`close` explicitly.
+    """
+
+    def __init__(self, client: "SimulationClient", session_id: int) -> None:
+        self._client = client
+        self.session_id = session_id
+        self._closed = False  # guarded by client._lock
+
+    def feed(
+        self,
+        vectors: WaveStream,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> "Future[WaveSimulationReport]":
+        """Append a chunk of waves to the stream; returns its future.
+
+        Raises :class:`~repro.errors.SessionClosed` after
+        :meth:`close`, :class:`~repro.errors.ConnectionLost` if the
+        socket is gone.  Server-side refusals (unknown session after a
+        server restart, deadline misses, quarantine) come back through
+        the future with their wire types.
+        """
+        client = self._client
+        with client._lock:
+            client._ensure_usable()
+            if self._closed:
+                raise SessionClosed(
+                    f"feed() on closed client session {self.session_id}"
+                )
+            request_id = next(client._ids)
+            future: "Future[WaveSimulationReport]" = Future()
+            client._pending[request_id] = future
+        (block,) = _wire_streams([vectors])
+        client._send(
+            ("s_feed", request_id, self.session_id, block, deadline_s)
+        )
+        return future
+
+    def close(
+        self, *, drain: bool = True, timeout_s: Optional[float] = None
+    ) -> None:
+        """End the stream; with ``drain=True`` waits for every result.
+
+        Blocks until the server's ``s_closed`` acknowledgement — which,
+        by the protocol's FIFO reply ordering, arrives *after* every
+        feed future of a drained session has resolved.  Idempotent.
+        Raises :class:`~repro.errors.ConnectionLost` if the socket dies
+        mid-close (the feed futures fail the same way — nothing
+        strands).
+        """
+        client = self._client
+        with client._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if client._closing or client._lost is not None:
+                # connection teardown already closed the server side
+                return
+            tag = next(client._ids)
+            waiter: "Future[None]" = Future()
+            client._stream_waiters[tag] = waiter
+        client._send(("s_close", tag, self.session_id, bool(drain)))
+        waiter.result(timeout_s)
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
 
 
 class SimulationClient:
@@ -100,6 +195,8 @@ class SimulationClient:
         self._pending: "dict[int, Future[WaveSimulationReport]]" = {}
         self._bursts: "dict[int, _Burst]" = {}
         self._health_waiters: "dict[int, Future[dict[str, object]]]" = {}
+        #: tag -> waiter for s_opened / s_open_failed / s_closed replies
+        self._stream_waiters: "dict[int, Future[None]]" = {}
         #: (netlist id, version) -> wire token of a shipped netlist
         self._tokens: "dict[tuple[int, int], int]" = {}
         #: token -> netlist: pins object ids used in token keys
@@ -232,6 +329,46 @@ class SimulationClient:
             deadline_s=deadline_s,
         ).result(timeout_s)
 
+    def open_stream(
+        self,
+        netlist: WaveNetlist,
+        *,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: Optional[bool] = None,
+        timeout_s: Optional[float] = None,
+    ) -> ClientSession:
+        """Open a streaming session on the server; see :class:`ClientSession`.
+
+        Ships the netlist with the open frame (sessions are long-lived;
+        the one-time cost is amortized over the stream) and blocks for
+        the server's verdict: open-time refusals — an unbalanced
+        netlist's :class:`~repro.errors.SimulationError`, a draining
+        server's :class:`~repro.errors.ServerClosed` — raise here with
+        their wire types.  *timeout_s* defaults to the client's
+        admission timeout.
+        """
+        n_phases = None if clocking is None else clocking.n_phases
+        with self._lock:
+            self._ensure_usable()
+            session_id = next(self._ids)
+            tag = next(self._ids)
+            waiter: "Future[None]" = Future()
+            self._stream_waiters[tag] = waiter
+        self._send(
+            ("s_open", tag, session_id, netlist, n_phases, pipelined)
+        )
+        if timeout_s is None:
+            timeout_s = self._admission_timeout_s
+        try:
+            waiter.result(timeout_s)
+        except TimeoutError:
+            with self._lock:
+                self._stream_waiters.pop(tag, None)
+            raise ServeError(
+                f"no open_stream reply within {timeout_s:.1f}s"
+            ) from None
+        return ClientSession(self, session_id)
+
     def health(
         self, *, timeout_s: Optional[float] = 10.0
     ) -> dict[str, object]:
@@ -349,6 +486,20 @@ class SimulationClient:
             if future is not None:
                 future.set_exception(unwire_error(message[2], message[3]))
             return True
+        if kind in ("s_opened", "s_closed"):
+            with self._lock:
+                stream_waiter = self._stream_waiters.pop(message[1], None)
+            if stream_waiter is not None:
+                stream_waiter.set_result(None)
+            return True
+        if kind == "s_open_failed":
+            with self._lock:
+                stream_waiter = self._stream_waiters.pop(message[1], None)
+            if stream_waiter is not None:
+                stream_waiter.set_exception(
+                    unwire_error(message[2], message[3])
+                )
+            return True
         if kind == "health":
             with self._lock:
                 waiter = self._health_waiters.pop(message[1], None)
@@ -378,6 +529,8 @@ class SimulationClient:
             self._bursts.clear()
             waiters = list(self._health_waiters.values())
             self._health_waiters.clear()
+            stream_waiters = list(self._stream_waiters.values())
+            self._stream_waiters.clear()
             closing = self._closing
         reason = detail if not closing else "client closed"
         for future in pending:
@@ -386,6 +539,9 @@ class SimulationClient:
         for waiter in waiters:
             if not waiter.done():
                 waiter.set_exception(ConnectionLost(reason))
+        for stream_waiter in stream_waiters:
+            if not stream_waiter.done():
+                stream_waiter.set_exception(ConnectionLost(reason))
         for burst in bursts:
             if burst.verdict is None:
                 burst.verdict = ("lost", reason)

@@ -49,7 +49,14 @@ from typing import Callable, Optional, Protocol, Sequence
 from ..core.wavepipe.clocking import ClockingScheme
 from ..core.wavepipe.components import WaveNetlist
 from ..core.wavepipe.simulator import WaveSimulationReport, random_vectors
-from ..errors import DeadlineExceeded, ServerQueueFull, ShardFailed
+from ..errors import (
+    ConnectionLost,
+    DeadlineExceeded,
+    ServeError,
+    ServerQueueFull,
+    SessionClosed,
+    ShardFailed,
+)
 from .queue import WaveStream
 
 #: Default client-thread count (windows widen to reach the requested
@@ -755,4 +762,244 @@ def run_open_loop(
         expired=sorted(expired),
         rejected=sorted(rejected),
         shard_failed=sorted(shard_failed),
+    )
+
+class StreamTarget(Protocol):
+    """Anything that can open streaming sessions: the in-process
+    :class:`~repro.serve.server.SimulationServer` or the socket tier's
+    :class:`~repro.serve.client.SimulationClient` — both expose the
+    same ``open_stream`` surface (the session objects differ only in
+    their close keyword, which the generator leaves defaulted)."""
+
+    def open_stream(
+        self,
+        netlist: WaveNetlist,
+        *,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: Optional[bool] = None,
+    ) -> object:
+        ...
+
+
+@dataclass
+class StreamingReport:
+    """Outcome of one streaming-session run (``--stream`` mode).
+
+    ``reports[s][f]`` is session *s*'s feed *f* — ``None`` exactly when
+    that feed failed typed (its ``(session, feed)`` pair is in
+    ``failed``).  Per-feed latency runs from ``feed()`` submission to
+    the future's resolution, stamped by a done callback.  ``replays``
+    totals the sessions' feed-log replays (in-process sessions only;
+    wire sessions report 0 — the client has no metrics surface).
+    """
+
+    reports: list[list[Optional[WaveSimulationReport]]]
+    latencies_s: list[float]  # completed feeds, all sessions
+    elapsed_s: float  # gate release -> last session closed
+    total_waves: int  # waves across *completed* feeds
+    n_sessions: int
+    feeds_per_session: int
+    replays: int
+    failed: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def n_feeds(self) -> int:
+        return self.n_sessions * self.feeds_per_session
+
+    @property
+    def n_completed(self) -> int:
+        return sum(
+            1
+            for session in self.reports
+            for report in session
+            if report is not None
+        )
+
+    @property
+    def waves_per_s(self) -> float:
+        """Sustained throughput of the run (completed waves)."""
+        return self.total_waves / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def feeds_per_s(self) -> float:
+        return self.n_completed / self.elapsed_s if self.elapsed_s else 0.0
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Nearest-rank feed-latency percentile, in seconds."""
+        return nearest_rank(self.latencies_s, quantile)
+
+    @property
+    def p50_s(self) -> float:
+        return self.latency_percentile(0.50)
+
+    @property
+    def p99_s(self) -> float:
+        return self.latency_percentile(0.99)
+
+
+def run_streaming(
+    target: StreamTarget,
+    netlist: WaveNetlist,
+    *,
+    sessions: int = 1,
+    feeds_per_session: int = 10,
+    waves_per_feed: int = 64,
+    clocking: Optional[ClockingScheme] = None,
+    deadline_s: Optional[float] = None,
+    request_timeout_s: float = REQUEST_TIMEOUT_S,
+    seed: int = 0,
+    payloads: Optional[Sequence[Sequence[WaveStream]]] = None,
+) -> StreamingReport:
+    """Drive *sessions* concurrent streaming sessions through *target*.
+
+    Each session opens one stream, feeds *feeds_per_session* chunks of
+    *waves_per_feed* waves back to back (no think time — the feeds
+    pipeline inside the warm per-plan state, which is the point of the
+    streaming tier), then drain-closes.  Feed payloads default to
+    ``random_vectors`` seeded per ``(seed, session, feed)`` so a run is
+    replayable; *payloads* supplies them directly (``payloads[s][f]``),
+    in which case the session/feed shape follows the payload table.
+
+    Typed per-feed failures — deadline expiry, a quarantined stream, a
+    lost connection — are recorded in ``StreamingReport.failed`` (their
+    ``reports`` slot stays ``None``) rather than raised, like the other
+    generators; anything else propagates.
+    """
+    if payloads is not None:
+        # the payload table is authoritative for the run's shape
+        sessions = len(payloads)
+        feeds_per_session = len(payloads[0]) if payloads else 0
+        if any(len(chunk) != feeds_per_session for chunk in payloads):
+            raise ValueError("payload sessions must share one feed count")
+    if sessions < 1:
+        raise ValueError("sessions must be >= 1")
+    if feeds_per_session < 1:
+        raise ValueError("feeds_per_session must be >= 1")
+
+    def chunk(session_index: int, feed_index: int) -> WaveStream:
+        if payloads is not None:
+            return payloads[session_index][feed_index]
+        return random_vectors(
+            netlist.n_inputs,
+            waves_per_feed,
+            seed=seed * 1_000_003
+            + session_index * feeds_per_session
+            + feed_index,
+        )
+
+    reports: list[list[Optional[WaveSimulationReport]]] = [
+        [None] * feeds_per_session for _ in range(sessions)
+    ]
+    latencies: list[list[Optional[float]]] = [
+        [None] * feeds_per_session for _ in range(sessions)
+    ]
+    failed: list[tuple[int, int]] = []
+    replay_counts = [0] * sessions
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    gate = threading.Event()
+
+    def resolution_stamp(
+        session_index: int, feed_index: int, submitted_at: float
+    ) -> "Callable[[Future[WaveSimulationReport]], None]":
+        def record(future: "Future[WaveSimulationReport]") -> None:
+            latencies[session_index][feed_index] = (
+                time.perf_counter() - submitted_at
+            )
+
+        return record
+
+    def session_worker(session_index: int) -> None:
+        try:
+            gate.wait()
+            stream = target.open_stream(netlist, clocking=clocking)
+            futures: "list[Optional[Future[WaveSimulationReport]]]" = []
+            try:
+                for feed_index in range(feeds_per_session):
+                    try:
+                        submitted_at = time.perf_counter()
+                        future = stream.feed(
+                            chunk(session_index, feed_index),
+                            deadline_s=deadline_s,
+                        )
+                    except (SessionClosed, ConnectionLost):
+                        # quarantined / lost mid-schedule: every later
+                        # feed of this session fails the same way
+                        with lock:
+                            failed.append((session_index, feed_index))
+                        futures.append(None)
+                        continue
+                    future.add_done_callback(
+                        resolution_stamp(
+                            session_index, feed_index, submitted_at
+                        )
+                    )
+                    futures.append(future)
+            finally:
+                try:
+                    stream.close()  # drain: resolves every feed future
+                except ServeError:
+                    pass  # lost/quarantined: futures are already typed
+            for feed_index, future in enumerate(futures):
+                if future is None:
+                    continue
+                try:
+                    reports[session_index][feed_index] = future.result(
+                        timeout=request_timeout_s
+                    )
+                except (
+                    FutureTimeout,
+                    DeadlineExceeded,
+                    SessionClosed,
+                    ShardFailed,
+                    ConnectionLost,
+                ):
+                    with lock:
+                        failed.append((session_index, feed_index))
+            metrics = getattr(stream, "metrics", None)
+            if callable(metrics):
+                replay_counts[session_index] = int(
+                    metrics().get("replays", 0)
+                )
+        except BaseException as error:  # surface in the caller thread
+            errors.append(error)
+
+    threads = [
+        threading.Thread(
+            target=session_worker,
+            args=(session_index,),
+            name=f"loadgen-stream-{session_index}",
+        )
+        for session_index in range(sessions)
+    ]
+    for thread in threads:
+        thread.start()
+    started = time.perf_counter()
+    gate.set()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return StreamingReport(
+        reports=reports,
+        latencies_s=[
+            latency
+            for session_latencies, session_reports in zip(
+                latencies, reports
+            )
+            for latency, report in zip(session_latencies, session_reports)
+            if report is not None and latency is not None
+        ],
+        elapsed_s=elapsed,
+        total_waves=sum(
+            report.waves_injected
+            for session in reports
+            for report in session
+            if report is not None
+        ),
+        n_sessions=sessions,
+        feeds_per_session=feeds_per_session,
+        replays=sum(replay_counts),
+        failed=sorted(failed),
     )

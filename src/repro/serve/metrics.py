@@ -40,6 +40,11 @@ class ServerMetrics:
         "max_batch_requests",   # largest batch observed (requests)
         "plan_cache_hits",      # submissions reusing a compiled plan
         "plan_cache_misses",    # submissions that compiled a new plan
+        "sessions_opened",      # streaming sessions opened
+        "sessions_closed",      # streaming sessions closed (any path)
+        "session_feeds",        # feed() calls across all sessions
+        "session_waves",        # waves across all session feeds
+        "session_replays",      # feed-log replays after a worker loss
     )
 
     def __init__(self) -> None:
@@ -131,6 +136,33 @@ class ServerMetrics:
         """One worker slot's crash-loop circuit breaker tripped open."""
         with self._lock:
             self._counts["breaker_opens"] += 1
+
+    def record_session_open(self) -> None:
+        """One streaming session was opened."""
+        with self._lock:
+            self._counts["sessions_opened"] += 1
+
+    def record_session_close(self) -> None:
+        """One streaming session finished (drained or cancelled)."""
+        with self._lock:
+            self._counts["sessions_closed"] += 1
+
+    def record_session_feed(self, n_waves: int) -> None:
+        """One session feed of *n_waves* waves was accepted.
+
+        Session traffic is ledgered separately from the batch-request
+        counters on purpose: the ``submitted == completed + failed +
+        cancelled + expired`` invariant of the request ledger stays
+        exact with streaming traffic running alongside it.
+        """
+        with self._lock:
+            self._counts["session_feeds"] += 1
+            self._counts["session_waves"] += n_waves
+
+    def record_session_replay(self) -> None:
+        """One session replayed its feed log after losing its worker."""
+        with self._lock:
+            self._counts["session_replays"] += 1
 
     def snapshot(self) -> dict[str, float]:
         """Consistent copy of every counter plus derived ratios.

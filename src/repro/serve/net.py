@@ -15,22 +15,38 @@ pipes — one wire format everywhere).  Client -> server::
 
     ("submit", burst_id, token, netlist | None, request_ids,
      streams, n_phases | None, pipelined | None, deadline_s | None)
+    ("s_open", tag, session_id, netlist, n_phases | None,
+     pipelined | None)                # open a streaming session
+    ("s_feed", request_id, session_id, block, deadline_s | None)
+    ("s_close", tag, session_id, drain)
     ("health", tag)
     ("ping", tag)
 
 A netlist is shipped once per connection and cached server-side under
 the client-chosen *token* (a bounded LRU, mirroring the worker-side
-netlist cache); later submissions send the token alone.  Server ->
-client::
+netlist cache); later submissions send the token alone.  Streaming
+sessions (:meth:`SimulationClient.open_stream`) use client-chosen
+session ids from the same id space; each ``s_feed`` resolves through
+the ordinary ``result``/``error`` demux, and connection teardown
+closes every session the connection opened (``drain=False`` — their
+unresolved feeds fail typed, nothing strands).  Server -> client::
 
     ("admitted", burst_id)            # burst enqueued; futures pending
     ("rejected", burst_id, kind, msg) # typed refusal (queue_full, ...)
     ("miss", burst_id)                # token unknown: re-send netlist
     ("result", request_id, report)    # one request completed
     ("error", request_id, kind, msg)  # one request failed, typed
+    ("s_opened", tag)                 # session is live
+    ("s_open_failed", tag, kind, msg) # typed open refusal
+    ("s_closed", tag)                 # session closed; results flushed
     ("health", tag, snapshot)
     ("pong", tag)
     ("fatal", kind, msg)              # protocol violation; conn closes
+
+Reply ordering is FIFO per connection, and a session's ``close`` only
+returns after every feed future resolved — so every ``result`` /
+``error`` frame of a drained session is on the wire *before* its
+``s_closed`` frame.
 
 ``kind`` is a stable string (see :data:`WIRE_ERROR_KINDS`) mapping back
 to the exception hierarchy on the client, so ``ServerQueueFull``,
@@ -79,11 +95,12 @@ from ..errors import (
     ServeError,
     ServerClosed,
     ServerQueueFull,
+    SessionClosed,
     ShardFailed,
     SimulationError,
     WireProtocolError,
 )
-from .server import SimulationServer
+from .server import ServerSession, SimulationServer
 
 #: Frame header: 4-byte big-endian payload length.
 HEADER = struct.Struct("!I")
@@ -106,6 +123,7 @@ _WIRE_ERRORS: "tuple[tuple[type[ReproError], str], ...]" = (
     (ServerQueueFull, "queue_full"),
     (DeadlineExceeded, "deadline"),
     (ShardFailed, "shard_failed"),
+    (SessionClosed, "session_closed"),
     (ServerClosed, "closed"),
     (WireProtocolError, "protocol"),
     (ConnectionLost, "connection_lost"),
@@ -150,6 +168,8 @@ class _Connection:
     netlists: "OrderedDict[int, WaveNetlist]" = field(
         default_factory=OrderedDict
     )
+    #: client session id -> live server session this connection opened
+    sessions: "dict[int, ServerSession]" = field(default_factory=dict)
     inflight: int = 0  # admitted requests without a sent reply
     closed: bool = False  # no further replies may be enqueued
 
@@ -211,6 +231,9 @@ class SocketServer:
                 "netlist_misses",
                 "protocol_errors",
                 "dropped_replies",
+                "sessions_opened",
+                "sessions_refused",
+                "sessions_closed",
             )
         }
 
@@ -421,6 +444,7 @@ class SocketServer:
             await self._read_loop(conn, reader)
         finally:
             conn.closed = True
+            await self._close_conn_sessions(conn)
             await conn.replies.put(None)
             try:
                 await writer_task
@@ -508,6 +532,12 @@ class SocketServer:
         kind = message[0]
         if kind == "submit":
             await self._handle_submit(conn, message)
+        elif kind == "s_open":
+            await self._handle_s_open(conn, message)
+        elif kind == "s_feed":
+            await self._handle_s_feed(conn, message)
+        elif kind == "s_close":
+            await self._handle_s_close(conn, message)
         elif kind == "health":
             self._enqueue_reply(conn, ("health", message[1], self.health()))
         elif kind == "ping":
@@ -583,6 +613,127 @@ class SocketServer:
             future.add_done_callback(
                 partial(self._on_future_done, conn, request_id)
             )
+
+    # ------------------------------------------------------------------
+    # streaming sessions (loop thread)
+    # ------------------------------------------------------------------
+    async def _handle_s_open(
+        self, conn: _Connection, message: tuple
+    ) -> None:
+        _, tag, session_id, netlist, n_phases, pipelined = message
+        if session_id in conn.sessions:
+            raise WireProtocolError(
+                f"session id {session_id} is already open on this "
+                "connection"
+            )
+        if self._draining:
+            self._count("sessions_refused")
+            self._enqueue_reply(
+                conn,
+                ("s_open_failed", tag, "closed",
+                 "socket server is draining"),
+            )
+            return
+        clocking = None if n_phases is None else ClockingScheme(n_phases)
+        loop = asyncio.get_running_loop()
+        try:
+            # opening compiles the plan and spins the session up:
+            # off the event loop, like submit admission
+            session = await loop.run_in_executor(
+                None,
+                partial(
+                    self._server.open_stream,
+                    netlist,
+                    clocking=clocking,
+                    pipelined=pipelined,
+                ),
+            )
+        except ReproError as error:
+            self._count("sessions_refused")
+            self._enqueue_reply(
+                conn, ("s_open_failed", tag, *wire_error(error))
+            )
+            return
+        conn.sessions[session_id] = session
+        self._count("sessions_opened")
+        self._enqueue_reply(conn, ("s_opened", tag))
+
+    async def _handle_s_feed(
+        self, conn: _Connection, message: tuple
+    ) -> None:
+        _, request_id, session_id, block, deadline_s = message
+        session = conn.sessions.get(session_id)
+        if session is None:
+            self._enqueue_reply(
+                conn,
+                ("error", request_id, "session_closed",
+                 f"no open session {session_id} on this connection"),
+            )
+            return
+        if self._draining:
+            self._enqueue_reply(
+                conn,
+                ("error", request_id, "closed",
+                 "socket server is draining"),
+            )
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            # feed() validates in the caller's thread: off the loop
+            future = await loop.run_in_executor(
+                None, partial(session.feed, block, deadline_s=deadline_s)
+            )
+        except ReproError as error:
+            self._enqueue_reply(
+                conn, ("error", request_id, *wire_error(error))
+            )
+            return
+        conn.inflight += 1
+        future.add_done_callback(
+            partial(self._on_future_done, conn, request_id)
+        )
+
+    async def _handle_s_close(
+        self, conn: _Connection, message: tuple
+    ) -> None:
+        _, tag, session_id, drain = message
+        session = conn.sessions.pop(session_id, None)
+        if session is None:
+            # idempotent: double-close (or teardown race) is not an error
+            self._enqueue_reply(conn, ("s_closed", tag))
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            # a draining close blocks until every feed resolved; their
+            # result frames are scheduled before this executor call
+            # returns, so FIFO puts them on the wire before s_closed
+            await loop.run_in_executor(
+                None, partial(session.close, drain=bool(drain))
+            )
+        except ReproError:
+            pass  # quarantined mid-drain: its feed errors already went out
+        self._count("sessions_closed")
+        self._enqueue_reply(conn, ("s_closed", tag))
+
+    async def _close_conn_sessions(self, conn: _Connection) -> None:
+        """Teardown path: the peer is gone, so nothing can drain.
+
+        Every session the connection opened closes with ``drain=False``
+        — unresolved feed futures fail with
+        :class:`~repro.errors.SessionClosed` (their replies drop on the
+        closed connection) and the per-plan state is discarded.
+        """
+        sessions = list(conn.sessions.values())
+        conn.sessions.clear()
+        loop = asyncio.get_running_loop()
+        for session in sessions:
+            try:
+                await loop.run_in_executor(
+                    None, partial(session.close, drain=False)
+                )
+            except ReproError:  # pragma: no cover - already closing
+                pass
+            self._count("sessions_closed")
 
     # ------------------------------------------------------------------
     # result fan-out (shard threads -> loop thread)

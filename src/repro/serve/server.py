@@ -77,18 +77,24 @@ serve-everything-admitted-then-stop.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import signal
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import Future
 from contextlib import contextmanager
+from dataclasses import dataclass
 from types import TracebackType
 from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from ..core.wavepipe.batch import simulate_streams_packed
+from ..core.wavepipe.batch import (
+    PackedSession,
+    open_packed_session,
+    simulate_streams_packed,
+)
 from ..core.wavepipe.clocking import ClockingScheme
 from ..core.wavepipe.components import WaveNetlist
 from ..core.wavepipe.kernels import compile_netlist
@@ -101,19 +107,20 @@ from ..errors import (
     ServeError,
     ServerClosed,
     ServerQueueFull,
+    SessionClosed,
     ShardFailed,
     SimulationError,
 )
 from .batcher import (
     DEFAULT_MAX_BATCH_REQUESTS,
-    DEFAULT_MAX_BATCH_WAVES,
     Batch,
     Batcher,
+    adaptive_max_batch_waves,
 )
 from .faults import FaultPlan
 from .metrics import ServerMetrics
 from .queue import GroupKey, RequestQueue, SimulationRequest, WaveStream
-from .shards import ProcessShardPool
+from .shards import ProcessShardPool, SessionWorkerLost
 from .supervisor import SupervisorConfig
 
 #: Default bound on admitted-but-undispatched requests (backpressure).
@@ -131,6 +138,13 @@ DEFAULT_LINGER_WAIT_S = 0.002
 #: tight-but-servable deadline is dispatched instead of expiring in the
 #: linger wait.
 DEADLINE_LINGER_MARGIN_S = 0.005
+
+#: How many worker losses one streaming session absorbs — each paid
+#: back by a full feed-log replay — before the session is quarantined
+#: with :class:`~repro.errors.ShardFailed` (mirrors the batch path's
+#: retry budget: a session whose feeds keep killing workers is the
+#: likely culprit).
+SESSION_REPLAY_BUDGET = 3
 
 #: Bound on the server's per-netlist plan-reuse records: serving
 #: netlist-churn traffic must not pin every netlist (and its weakly
@@ -154,8 +168,10 @@ class SimulationServer:
         Queue bound; :meth:`submit` raises
         :class:`~repro.errors.ServerQueueFull` past it.
     max_batch_requests / max_batch_waves:
-        Coalescing caps of one packed pass (see
-        :mod:`repro.serve.batcher` for the lane-planner rationale).
+        Coalescing caps of one packed pass.  ``max_batch_waves=None``
+        (default) derives the cap from the lane planner's word budget
+        via :func:`~repro.serve.batcher.adaptive_max_batch_waves` (see
+        :mod:`repro.serve.batcher` for the rationale).
     max_linger_steps / linger_wait_s:
         How long a non-full batch waits for late arrivals: linger
         rounds are condition waits of at most ``linger_wait_s`` seconds
@@ -216,7 +232,7 @@ class SimulationServer:
         shards: int = 2,
         max_pending: int = DEFAULT_MAX_PENDING,
         max_batch_requests: int = DEFAULT_MAX_BATCH_REQUESTS,
-        max_batch_waves: int = DEFAULT_MAX_BATCH_WAVES,
+        max_batch_waves: Optional[int] = None,
         max_linger_steps: int = DEFAULT_MAX_LINGER_STEPS,
         linger_wait_s: float = DEFAULT_LINGER_WAIT_S,
         default_deadline_s: Optional[float] = None,
@@ -258,7 +274,13 @@ class SimulationServer:
         self._cond = threading.Condition(self._lock)
         self._queue = RequestQueue(max_pending)
         self._batcher = Batcher(
-            self._queue, max_batch_requests, max_batch_waves
+            self._queue,
+            max_batch_requests,
+            # None derives the wave cap from the lane planner's own word
+            # budget instead of the static default (see batcher module)
+            adaptive_max_batch_waves()
+            if max_batch_waves is None
+            else max_batch_waves,
         )
         self._busy: set[GroupKey] = set()
         #: (netlist id, phase count) -> (netlist ref, version): the
@@ -272,6 +294,8 @@ class SimulationServer:
         self._threads: list[threading.Thread] = []
         self._started = False
         self._closing = False
+        self._sessions: "dict[str, ServerSession]" = {}
+        self._session_seq = itertools.count(1)
         self.metrics = ServerMetrics()
         self._faults = faults
         # pin the warm netlists: the compile cache is weak-keyed and
@@ -325,10 +349,15 @@ class SimulationServer:
         """Stop accepting requests and shut the shards down.
 
         By default every already-admitted request is still served (drain
-        semantics); ``cancel_pending=True`` cancels queued futures
-        instead (in-flight batches always finish).  *timeout* bounds the
-        join per shard; expiry raises :class:`~repro.errors.ServeError`
-        — the deadlock guard the stress tests rely on.  Idempotent.
+        semantics) and every open streaming session is drained — all its
+        in-flight feed futures resolve with reports;
+        ``cancel_pending=True`` cancels queued futures instead
+        (in-flight batches always finish) and cancels open sessions,
+        whose unresolved feed futures fail with
+        :class:`~repro.errors.SessionClosed`.  Either way no future is
+        left unresolved.  *timeout* bounds the join per shard; expiry
+        raises :class:`~repro.errors.ServeError` — the deadlock guard
+        the stress tests rely on.  Idempotent.
         """
         with self._cond:
             self._closing = True
@@ -341,6 +370,11 @@ class SimulationServer:
                     self.metrics.record_cancelled(len(dropped))
             self._cond.notify_all()
             threads, self._threads = self._threads, []
+            sessions = list(self._sessions.values())
+        # sessions close before the pool does: a draining session still
+        # needs its worker for the final flush
+        for session in sessions:
+            session.close(drain=not cancel_pending, timeout=timeout)
         stuck = []
         for thread in threads:
             thread.join(timeout)
@@ -411,11 +445,14 @@ class SimulationServer:
         counts) plus its hang/quarantine/breaker totals.  Thread-mode
         servers report an empty ``workers`` list.
         """
+        with self._lock:
+            sessions = list(self._sessions.values())
         snapshot: dict[str, object] = {
             "mode": "process" if self._pool is not None else "thread",
             "closed": self.closed,
             "pending": self.pending,
             "metrics": self.metrics.snapshot(),
+            "sessions": [session.metrics() for session in sessions],
             "workers": [],
         }
         if self._pool is not None:
@@ -635,6 +672,58 @@ class SimulationServer:
         ).result(timeout)
 
     # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def open_stream(
+        self,
+        netlist: WaveNetlist,
+        *,
+        clocking: Optional[ClockingScheme] = None,
+        pipelined: Optional[bool] = None,
+        route_key: object = None,
+    ) -> "ServerSession":
+        """Open a streaming session over *netlist* (see :class:`ServerSession`).
+
+        The session's packed engine state — step counter, value matrix,
+        lane layout — persists across :meth:`~ServerSession.feed` calls,
+        so a stream of chunks costs one pipeline fill instead of one per
+        chunk; with process shards the session is sticky to one worker
+        slot (*route_key* overrides the routing key, default: the
+        session id) and survives worker crashes by feed-log replay.
+        Raises the engine's :class:`~repro.errors.SimulationError` here,
+        synchronously, when *netlist* is not wave-ready — streaming
+        bit-identity is impossible without path balance — and
+        :class:`~repro.errors.ServerClosed` after :meth:`close`.
+        """
+        clocking = clocking or self._clocking
+        pipelined = (
+            self._pipelined if pipelined is None else bool(pipelined)
+        )
+        with self._cond:
+            if self._closing:
+                raise ServerClosed("server is closed")
+            session_id = f"stream-{next(self._session_seq)}"
+        session = ServerSession(
+            self, session_id, netlist, clocking, pipelined, route_key
+        )
+        with self._cond:
+            lost_race = self._closing
+            if not lost_race:
+                self._sessions[session_id] = session
+        if lost_race:
+            # close() ran between the id grab and the registration: the
+            # new session would never be drained by it, so cancel now
+            session.close(drain=False)
+            raise ServerClosed("server is closed")
+        self.metrics.record_session_open()
+        return session
+
+    def _forget_session(self, session_id: str) -> None:
+        """Drop a finished session from the registry (dispatcher thread)."""
+        with self._cond:
+            self._sessions.pop(session_id, None)
+
+    # ------------------------------------------------------------------
     # shard workers
     # ------------------------------------------------------------------
     def _worker(self) -> None:
@@ -835,6 +924,476 @@ class SimulationServer:
         self.metrics.record_completed(len(live))
         for request, report in zip(live, reports):
             request.future.set_result(report)
+
+
+@dataclass
+class _FeedItem:
+    """One queued :meth:`ServerSession.feed` awaiting dispatch."""
+
+    future: "Future[WaveSimulationReport]"
+    block: object  # wire block: (waves, inputs) bool ndarray, or []
+    n_waves: int
+    deadline_at: Optional[float]
+    resolved: bool = False  # future already carries a result/exception
+
+
+class ServerSession:
+    """One streaming simulation session (see :meth:`SimulationServer.open_stream`).
+
+    A session is a stateful counterpart of :meth:`SimulationServer.submit`:
+    every :meth:`feed` appends waves to **one persistent packed engine**
+    (:class:`~repro.core.wavepipe.batch.PackedSession`) instead of
+    packing a fresh batch, so the pipeline fill and the per-plan state
+    are amortized across the whole stream.  Feeds resolve through
+    futures, in feed order, with reports bit-identical to the matching
+    slice of one solo run over the concatenated waves.
+
+    Execution model: each session owns a dispatcher thread draining its
+    own FIFO — feeds of one session are strictly ordered (the state is
+    cumulative), while different sessions run concurrently on their own
+    workers.  With process shards the engine lives worker-side, sticky
+    to one slot (``hash(route key) % n_workers``); in thread mode it
+    lives on the dispatcher thread itself.  A feed dequeued with more
+    feeds behind it is *pumped* (inject only — the pipeline stays warm);
+    a feed that empties the queue is *flushed* so its future resolves
+    promptly — a blocking feed-then-wait client never deadlocks, and a
+    pipelined client keeps the engine hot.
+
+    Supervision: losing the worker mid-session (crash, hang, injected
+    chaos) does not lose the stream — the session keeps a **feed log**
+    of every dispatched block and replays it onto a freshly opened
+    worker-side session, bit-identically by kernel determinism, up to
+    :data:`SESSION_REPLAY_BUDGET` losses (then
+    :class:`~repro.errors.ShardFailed` quarantines the session).
+    Deadlines are honored at dispatch: an expired feed's waves are
+    dropped — never simulated, never logged — and its future fails with
+    :class:`~repro.errors.DeadlineExceeded`.
+
+    Obtain sessions only via :meth:`SimulationServer.open_stream`; use
+    as a context manager or :meth:`close` explicitly (the lifecycle
+    lint tracks sessions like files and locks).
+    """
+
+    def __init__(
+        self,
+        server: "SimulationServer",
+        session_id: str,
+        netlist: WaveNetlist,
+        clocking: ClockingScheme,
+        pipelined: bool,
+        route_key: object,
+    ) -> None:
+        self._server = server
+        self.session_id = session_id
+        self._netlist = netlist
+        self._clocking = clocking
+        self._pipelined = pipelined
+        self._route = route_key if route_key is not None else session_id
+        self._cond = threading.Condition(threading.Lock())
+        self._queue: "deque[_FeedItem]" = deque()
+        self._sent: list[_FeedItem] = []  # dispatched; index == worker index
+        self._log: list[object] = []  # blocks of dispatched feeds (replay)
+        self._closed = False
+        self._drain = True
+        self._done = threading.Event()
+        self._broken: Optional[BaseException] = None
+        self._n_feeds = 0
+        self._fed_waves = 0
+        self._expired = 0
+        self._cancelled = 0
+        self._replays = 0
+        # open the engine before the dispatcher exists, so open-time
+        # errors (unbalanced netlist, depth 0) raise synchronously from
+        # open_stream with their engine types
+        self._engine: Optional[PackedSession] = None
+        self._slot: Optional[int] = None
+        if server._pool is not None:
+            self._slot = server._pool.session_open(
+                session_id,
+                netlist,
+                n_phases=clocking.n_phases,
+                pipelined=pipelined,
+                backend=server._backend,
+                track=server._track,
+                route_key=self._route,
+            )
+        else:
+            self._engine = open_packed_session(
+                netlist,
+                clocking=clocking,
+                pipelined=pipelined,
+                backend=server._backend,
+                track=server._track,
+                validate=False,  # feeds validate in the caller's thread
+            )
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"repro-serve-{session_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- public surface ------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def feed(
+        self,
+        vectors: WaveStream,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> "Future[WaveSimulationReport]":
+        """Append a chunk of waves to the stream; returns its future.
+
+        Validation happens here, synchronously in the caller's thread
+        (malformed chunks fail fast, exactly like :meth:`SimulationServer.
+        submit`); the simulation itself runs on the session's dispatcher
+        and the future resolves once every wave of *this* chunk has
+        retired from the pipeline.  *deadline_s* (``None`` inherits the
+        server's ``default_deadline_s``) bounds how long the chunk may
+        wait for dispatch.  Raises :class:`~repro.errors.SessionClosed`
+        after :meth:`close`.
+        """
+        with self._cond:
+            if self._closed:
+                raise SessionClosed(
+                    f"feed() on closed session {self.session_id}"
+                )
+            broken = self._broken
+        if broken is not None:
+            raise SessionClosed(
+                f"session {self.session_id} is broken: {broken}"
+            )
+        _validate_vectors(self._netlist, vectors)
+        if deadline_s is None:
+            deadline_s = self._server._default_deadline_s
+        elif deadline_s < 0:
+            raise ServeError("deadline_s must be >= 0")
+        deadline_at = (
+            None
+            if deadline_s is None
+            else time.perf_counter() + deadline_s
+        )
+        count = len(vectors)
+        # same snapshot convention as request admission: list payloads
+        # are copied by the asarray, ndarray payloads pass by reference
+        # (the documented immutable-by-convention wire block)
+        block: object = (
+            np.asarray(vectors, dtype=bool) if count else []
+        )
+        item = _FeedItem(Future(), block, count, deadline_at)
+        with self._cond:
+            if self._closed:
+                raise SessionClosed(
+                    f"feed() on closed session {self.session_id}"
+                )
+            self._queue.append(item)
+            self._n_feeds += 1
+            self._fed_waves += count
+            self._cond.notify_all()
+        self._server.metrics.record_session_feed(count)
+        return item.future
+
+    def close(
+        self, *, drain: bool = True, timeout: Optional[float] = None
+    ) -> None:
+        """End the stream; blocks until every feed future is resolved.
+
+        ``drain=True`` (default) dispatches everything still queued and
+        flushes the engine, so every future resolves with its report —
+        the session-level mirror of the server's drain semantics.
+        ``drain=False`` cancels instead: queued and in-flight feeds fail
+        with :class:`~repro.errors.SessionClosed` and the engine state
+        is dropped.  Either way **no feed future is left unresolved**.
+        Idempotent; *timeout* bounds the wait and raises
+        :class:`~repro.errors.ServeError` on expiry.
+        """
+        dropped: list[_FeedItem] = []
+        with self._cond:
+            if not self._closed:
+                self._closed = True
+                self._drain = drain
+                if not drain:
+                    dropped = list(self._queue)
+                    self._queue.clear()
+                self._cond.notify_all()
+        for item in dropped:
+            if item.future.set_running_or_notify_cancel():
+                item.resolved = True
+                item.future.set_exception(
+                    SessionClosed(
+                        f"session {self.session_id} cancelled before "
+                        "this feed was dispatched"
+                    )
+                )
+            else:
+                self._cancelled += 1
+        if not self._done.wait(timeout):
+            raise ServeError(
+                f"session {self.session_id} did not close within "
+                f"{timeout}s"
+            )
+
+    def __enter__(self) -> "ServerSession":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+    def metrics(self) -> dict[str, object]:
+        """Per-session counters (the ``open_stream`` metrics surface)."""
+        with self._cond:
+            pending = len(self._queue)
+            closed = self._closed
+            n_feeds = self._n_feeds
+            fed_waves = self._fed_waves
+        return {
+            "session_id": self.session_id,
+            "mode": "thread" if self._engine is not None else "process",
+            "slot": self._slot,
+            "feeds": n_feeds,
+            "waves": fed_waves,
+            "dispatched": len(self._sent),
+            "resolved": sum(1 for item in self._sent if item.resolved),
+            "expired": self._expired,
+            "cancelled": self._cancelled,
+            "replays": self._replays,
+            "pending_feeds": pending,
+            "closed": closed,
+        }
+
+    # -- dispatcher thread ---------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if self._queue:
+                    item = self._queue.popleft()
+                    backlog = bool(self._queue)
+                else:
+                    drain = self._drain
+                    break
+            # backlog => pump (keep the pipeline warm for the feeds
+            # right behind); empty queue => flush (resolve promptly)
+            self._process(item, flush=not backlog)
+        self._finish(drain)
+        self._done.set()
+
+    def _process(self, item: _FeedItem, flush: bool) -> None:
+        if self._broken is not None:
+            self._fail_unrun(
+                item,
+                SessionClosed(
+                    f"session {self.session_id} is broken: {self._broken}"
+                ),
+            )
+            return
+        now = time.perf_counter()
+        if item.deadline_at is not None and now > item.deadline_at:
+            self._expired += 1
+            late_ms = (now - item.deadline_at) * 1e3
+            self._fail_unrun(
+                item,
+                DeadlineExceeded(
+                    f"session feed deadline passed {late_ms:.1f} ms "
+                    "before dispatch; its waves were dropped without "
+                    "being simulated"
+                ),
+            )
+            return
+        if not item.future.set_running_or_notify_cancel():
+            self._cancelled += 1
+            return
+        # from here the feed is part of the stream: its block enters the
+        # replay log and its worker-side index is len(_sent) - 1
+        self._sent.append(item)
+        self._log.append(item.block)
+        try:
+            if self._engine is not None:
+                self._engine.feed(item.block)  # type: ignore[arg-type]
+                if flush:
+                    self._engine.flush()
+                    done = self._engine.take_done()
+                else:
+                    # pump() consumes the take_done cursor itself
+                    done = self._engine.pump()
+                pairs: list = [
+                    (handle.index, handle.report) for handle in done
+                ]
+            else:
+                pairs = self._dispatch_feed(item.block, flush)
+        except BaseException as error:
+            # the engine (or the pool, past its replay budget) refused
+            # the feed; whether the block was applied is unknowable, so
+            # poison the session rather than risk a divergent stream
+            self._sent.pop()
+            self._log.pop()
+            self._broken = error
+            item.resolved = True
+            item.future.set_exception(error)
+            return
+        self._apply(pairs)
+
+    def _fail_unrun(
+        self, item: _FeedItem, error: BaseException
+    ) -> None:
+        """Fail a feed that never dispatched (respecting cancellation)."""
+        if item.future.set_running_or_notify_cancel():
+            item.resolved = True
+            item.future.set_exception(error)
+        else:
+            self._cancelled += 1
+
+    def _apply(self, pairs: list) -> None:
+        """Resolve futures from worker ``(feed index, report)`` pairs.
+
+        Replays re-deliver reports for feeds that resolved before the
+        crash; determinism makes them equal, so they are skipped.
+        """
+        for index, report in pairs:
+            item = self._sent[index]
+            if not item.resolved:
+                item.resolved = True
+                item.future.set_result(report)
+
+    def _dispatch_feed(self, block: object, flush: bool) -> list:
+        pool = self._server._pool
+        assert pool is not None and self._slot is not None
+        attempts = 0
+        replay_upto: Optional[int] = None
+        while True:
+            try:
+                # the replay runs *inside* the try: a worker lost mid
+                # -replay is one more counted attempt, not an escape
+                if replay_upto is not None:
+                    self._replay(replay_upto)
+                    replay_upto = None
+                return pool.session_feed(
+                    self.session_id,
+                    self._slot,
+                    block,
+                    flush=flush,
+                    route_key=self._route,
+                )
+            except SessionWorkerLost as lost:
+                attempts += 1
+                if attempts > SESSION_REPLAY_BUDGET:
+                    raise ShardFailed(
+                        f"session {self.session_id} lost its worker "
+                        f"{attempts} times (last: {lost.reason}); "
+                        "session quarantined — only this stream fails, "
+                        "the server keeps serving"
+                    ) from None
+                replay_upto = len(self._log) - 1
+
+    def _dispatch_close(self) -> list:
+        pool = self._server._pool
+        assert pool is not None and self._slot is not None
+        attempts = 0
+        replay = False
+        while True:
+            try:
+                if replay:
+                    self._replay(len(self._log))
+                    replay = False
+                return pool.session_close(
+                    self.session_id, self._slot, drain=True
+                )
+            except SessionWorkerLost as lost:
+                attempts += 1
+                if attempts > SESSION_REPLAY_BUDGET:
+                    raise ShardFailed(
+                        f"session {self.session_id} lost its worker "
+                        f"{attempts} times during drain (last: "
+                        f"{lost.reason}); session quarantined"
+                    ) from None
+                replay = True
+
+    def _replay(self, upto: int) -> None:
+        """Rebuild the worker-side session from the first *upto* feeds.
+
+        The checkpoint is the feed log itself: a fresh worker session is
+        opened on a healthy slot and every logged block is re-fed in
+        order.  Kernel determinism makes the replay **bit-identical** to
+        the uninterrupted run — reports that already resolved before the
+        loss re-resolve to equal values (and are dropped by
+        :meth:`_apply`); unresolved feeds pick up exactly where they
+        were.  A loss *during* the replay propagates to the caller's
+        retry loop, which counts it against the replay budget.
+        """
+        pool = self._server._pool
+        assert pool is not None
+        self._replays += 1
+        self._server.metrics.record_session_replay()
+        self._slot = pool.session_open(
+            self.session_id,
+            self._netlist,
+            n_phases=self._clocking.n_phases,
+            pipelined=self._pipelined,
+            backend=self._server._backend,
+            track=self._server._track,
+            route_key=self._route,
+        )
+        for block in self._log[:upto]:
+            pairs = pool.session_feed(
+                self.session_id,
+                self._slot,
+                block,
+                flush=False,
+                route_key=self._route,
+            )
+            self._apply(pairs)
+
+    def _finish(self, drain: bool) -> None:
+        """Close the engine and resolve whatever is still unresolved."""
+        error: Optional[BaseException] = None
+        try:
+            if drain and self._broken is None:
+                if self._engine is not None:
+                    self._engine.close()
+                    self._apply(
+                        [
+                            (handle.index, handle.report)
+                            for handle in self._engine.take_done()
+                        ]
+                    )
+                else:
+                    self._apply(self._dispatch_close())
+            else:
+                if self._engine is not None:
+                    self._engine.discard()
+                elif self._server._pool is not None:
+                    try:
+                        self._server._pool.session_close(
+                            self.session_id,
+                            self._slot if self._slot is not None else 0,
+                            drain=False,
+                        )
+                    except (SessionWorkerLost, ServeError):
+                        pass  # an undrained close has nothing to lose
+        except BaseException as caught:
+            error = caught
+        leftover: BaseException = (
+            error
+            if error is not None
+            else SessionClosed(
+                f"session {self.session_id} closed without draining"
+            )
+        )
+        for item in self._sent:
+            if not item.resolved:
+                item.resolved = True
+                item.future.set_exception(leftover)
+        self._server._forget_session(self.session_id)
+        self._server.metrics.record_session_close()
 
 
 @contextmanager

@@ -104,11 +104,51 @@ def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a chil
     """
     # imported here so the spawn-time module import stays cheap and the
     # child resolves its *own* kernel backend (numba may differ)
-    from ..core.wavepipe.batch import simulate_streams_packed
+    from ..core.wavepipe.batch import (
+        open_packed_session,
+        simulate_streams_packed,
+    )
     from ..core.wavepipe.clocking import ClockingScheme
     from ..core.wavepipe.kernels import compile_netlist
 
     netlists: "OrderedDict[tuple, object]" = OrderedDict()
+    sessions: dict = {}  # session id -> PackedSession (worker-side state)
+
+    def _send_reply(reply: tuple) -> bool:
+        try:
+            conn.send(reply)
+            return True
+        except OSError:
+            return False  # pipe gone: the parent is closing or died
+        except Exception:
+            # unpicklable payload (pickle.PicklingError, or any other
+            # serialization failure an exotic exception object can
+            # produce): degrade to a picklable description rather than
+            # killing the worker and losing the error entirely
+            try:
+                conn.send(
+                    ("error", ServeError(f"worker error: {reply[1]!r}"))
+                )
+                return True
+            except OSError:
+                return False
+
+    def _run_fault(fault: object) -> None:
+        # injected chaos (see serve/faults.py): executed worker-side so
+        # the failure is indistinguishable from the real thing
+        if fault is None:
+            return
+        name, delay = fault  # type: ignore[misc]
+        if name == "crash":
+            os._exit(13)  # mid-batch death: no reply, no cleanup
+        if name == "eof":
+            conn.close()  # clean pipe EOF without a reply
+            os._exit(0)
+        if name in ("hang", "slow"):
+            # a hang is a slow whose delay outlives the dispatch
+            # timeout: the parent reaps us mid-sleep
+            time.sleep(float(delay))
+
     while True:
         try:
             message = conn.recv()
@@ -138,6 +178,82 @@ def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a chil
             except Exception:
                 pass
             continue
+        reply: tuple[str, object]
+        if kind == "s_open":
+            # ("s_open", sid, netlist, n_phases, pipelined, backend,
+            #  track): create (or recreate, for a feed-log replay) the
+            # worker-side engine session.  The netlist is always shipped
+            # — sessions are long-lived, so the one-time pickle cost is
+            # amortized across every feed that follows.
+            _, sid, netlist, n_phases, pipelined, backend, track = message
+            try:
+                stale = sessions.pop(sid, None)
+                if stale is not None:
+                    stale.discard()  # replay: throw away poisoned state
+                sessions[sid] = open_packed_session(
+                    netlist,
+                    clocking=ClockingScheme(n_phases),
+                    pipelined=pipelined,
+                    backend=backend,
+                    track=track,
+                    validate=False,  # validated in the parent at open time
+                )
+                reply = ("ok", None)
+            except BaseException as error:
+                reply = ("error", error)
+            if not _send_reply(reply):
+                return
+            continue
+        if kind == "s_feed":
+            # ("s_feed", sid, block, flush, fault) -> ("ok", [(feed
+            # index, report), ...]) listing every feed that *newly*
+            # resolved, or ("s_lost", sid) when this worker has no such
+            # session (a respawn ate the state): the parent replays the
+            # session's feed log.
+            _, sid, block, flush, fault = message
+            _run_fault(fault)
+            session = sessions.get(sid)
+            if session is None:
+                if not _send_reply(("s_lost", sid)):
+                    return
+                continue
+            try:
+                session.feed(block)
+                if flush:
+                    session.flush()
+                    done = session.take_done()
+                else:
+                    # pump() consumes the take_done cursor itself
+                    done = session.pump()
+                reply = ("ok", [(h.index, h.report) for h in done])
+            except BaseException as error:
+                reply = ("error", error)
+            if not _send_reply(reply):
+                return
+            continue
+        if kind == "s_close":
+            # ("s_close", sid, drain): drain resolves every remaining
+            # feed (reply lists them); an undrained close just drops the
+            # state.  An unknown sid is only a problem when draining —
+            # the parent must replay to reconstruct the reports.
+            _, sid, drain = message
+            session = sessions.pop(sid, None)
+            if session is None:
+                reply = ("s_lost", sid) if drain else ("ok", [])
+            else:
+                try:
+                    if drain:
+                        session.close()
+                        done = session.take_done()
+                        reply = ("ok", [(h.index, h.report) for h in done])
+                    else:
+                        session.discard()
+                        reply = ("ok", [])
+                except BaseException as error:
+                    reply = ("error", error)
+            if not _send_reply(reply):
+                return
+            continue
         # ("run", key, netlist | None, n_phases, pipelined, streams,
         #  backend, track, fault)
         (
@@ -151,20 +267,7 @@ def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a chil
             track,
             fault,
         ) = message
-        if fault is not None:
-            # injected chaos (see serve/faults.py): executed worker-side
-            # so the failure is indistinguishable from the real thing
-            name, delay = fault
-            if name == "crash":
-                os._exit(13)  # mid-batch death: no reply, no cleanup
-            if name == "eof":
-                conn.close()  # clean pipe EOF without a reply
-                os._exit(0)
-            if name in ("hang", "slow"):
-                # a hang is a slow whose delay outlives the dispatch
-                # timeout: the parent reaps us mid-sleep
-                time.sleep(float(delay))
-        reply: tuple[str, object]
+        _run_fault(fault)
         try:
             if netlist is not None:
                 netlists[key] = netlist
@@ -192,21 +295,8 @@ def _worker_main(conn: Connection) -> None:  # pragma: no cover - runs in a chil
             reply = ("ok", reports)
         except BaseException as error:
             reply = ("error", error)
-        try:
-            conn.send(reply)
-        except OSError:
-            return  # pipe gone: the parent is closing or died
-        except Exception:
-            # unpicklable payload (pickle.PicklingError, or any other
-            # serialization failure an exotic exception object can
-            # produce): degrade to a picklable description rather than
-            # killing the worker and losing the error entirely
-            try:
-                conn.send(
-                    ("error", ServeError(f"worker error: {reply[1]!r}"))
-                )
-            except OSError:
-                return
+        if not _send_reply(reply):
+            return
 
 
 @dataclass
@@ -245,6 +335,24 @@ class _AttemptFailed(Exception):
 
 class _SlotUnavailable(Exception):
     """Internal: the chosen slot broke before the batch was dispatched."""
+
+
+class SessionWorkerLost(Exception):
+    """A streaming session's worker — and its engine state — was lost.
+
+    Raised by :meth:`ProcessShardPool.session_feed` /
+    :meth:`~ProcessShardPool.session_close` after the slot has been
+    respawned and accounted under supervision.  Deliberately *not* a
+    :class:`~repro.errors.ServeError`: it never reaches users.  The
+    serving layer catches it, re-opens the worker-side session, and
+    replays the session's feed log from scratch — bit-identical to the
+    uninterrupted run because the packed kernels are deterministic.
+    """
+
+    def __init__(self, slot: int, reason: str) -> None:
+        super().__init__(f"slot {slot}: {reason}")
+        self.slot = slot
+        self.reason = reason
 
 
 def _wire_streams(
@@ -796,3 +904,217 @@ class ProcessShardPool:
                         "serving"
                     ) from None
                 continue
+
+    # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def session_open(
+        self,
+        session_id: str,
+        netlist: WaveNetlist,
+        *,
+        n_phases: int = 3,
+        pipelined: bool = True,
+        backend: Optional[str] = None,
+        track: Optional[bool] = None,
+        route_key: object = None,
+    ) -> int:
+        """Open (or re-open, for a feed-log replay) a worker session.
+
+        Routes sticky (``hash(route key) % n_workers``) and returns the
+        slot index the session landed on — every later
+        :meth:`session_feed` / :meth:`session_close` must target that
+        slot.  Worker loss during the open retries on a healthy slot
+        under the batch retry budget (the session has no state yet, so
+        a plain retry is safe); worker-side open errors (e.g. an
+        unbalanced netlist) re-raise typed.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServeError("process shard pool is closed")
+        route = route_key if route_key is not None else session_id
+        home = self._worker_for(route)
+        budget = self._supervisor.config.max_batch_retries
+        failures = 0
+        reroutes = 0
+        while True:
+            with self._state_lock:
+                if self._closed:
+                    raise ServeError("process shard pool is closed")
+            index = self._supervisor.pick_slot(home, time.monotonic())
+            if index is None:
+                raise ShardFailed(
+                    f"every worker slot's circuit breaker is open; "
+                    f"session {session_id!r} cannot be opened"
+                )
+            slot_lock = self._workers[index].lock
+            try:
+                with slot_lock:
+                    try:
+                        worker = self._workers[index]
+                        if not worker.process.is_alive():
+                            worker = self._revive(index)
+                        try:
+                            worker.conn.send(
+                                (
+                                    "s_open",
+                                    session_id,
+                                    netlist,
+                                    int(n_phases),
+                                    bool(pipelined),
+                                    backend,
+                                    track,
+                                )
+                            )
+                        except (OSError, ValueError):
+                            raise _AttemptFailed(
+                                "worker pipe closed at session open"
+                            ) from None
+                        status, payload = self._receive(index, worker)
+                        if status == "error":
+                            # the slot is fine; the *session* is not
+                            self._supervisor.record_success(index)
+                            raise payload  # type: ignore[misc]
+                        self._supervisor.record_success(index)
+                        return index
+                    except _AttemptFailed as failed:
+                        self._fail_slot(index, failed.reason)
+                        raise
+            except _SlotUnavailable:
+                reroutes += 1
+                if reroutes > len(self._workers):
+                    raise ShardFailed(
+                        f"no dispatchable worker slot left to open "
+                        f"session {session_id!r}: every slot is broken "
+                        "or breaking"
+                    ) from None
+                continue
+            except _AttemptFailed as failed:
+                failures += 1
+                if failures > budget:
+                    self._supervisor.note_quarantine()
+                    raise ShardFailed(
+                        f"session {session_id!r} failed {failures} open "
+                        f"attempts (last: {failed.reason})"
+                    ) from None
+                continue
+
+    def session_feed(
+        self,
+        session_id: str,
+        slot: int,
+        block: object,
+        *,
+        flush: bool,
+        route_key: object = None,
+    ) -> list:
+        """One feed round trip; returns newly resolved (index, report)s.
+
+        Single attempt, no silent retry: losing the worker loses the
+        session's engine state, so the *caller* must replay the feed log
+        — signalled by :class:`SessionWorkerLost`, raised only after the
+        slot has been respawned and accounted under supervision.  The
+        seeded fault plan is consulted exactly like a batch dispatch;
+        worker-side engine errors re-raise typed.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServeError("process shard pool is closed")
+        route = route_key if route_key is not None else session_id
+        with self._workers[slot].lock:
+            worker = self._workers[slot]
+            if not worker.process.is_alive():
+                # died between feeds: the engine state is gone either
+                # way — account + respawn, then have the caller replay
+                self._fail_slot(slot, "worker died between session feeds")
+                raise SessionWorkerLost(
+                    slot, "worker died between session feeds"
+                )
+            fault = (
+                None
+                if self._faults is None
+                else self._faults.next_fault(route_key=route)
+            )
+            if fault is not None and fault.kind == "crash_before_dispatch":
+                worker.process.kill()
+                worker.process.join(1.0)
+                self._fail_slot(slot, "injected crash before dispatch")
+                raise SessionWorkerLost(
+                    slot, "injected crash before dispatch"
+                )
+            directive = None if fault is None else fault.wire()
+            try:
+                worker.conn.send(
+                    ("s_feed", session_id, block, bool(flush), directive)
+                )
+            except (OSError, ValueError):
+                self._fail_slot(
+                    slot, "worker pipe closed at session feed"
+                )
+                raise SessionWorkerLost(
+                    slot, "worker pipe closed at session feed"
+                ) from None
+            try:
+                status, payload = self._receive(slot, worker)
+            except _AttemptFailed as failed:
+                self._fail_slot(slot, failed.reason)
+                raise SessionWorkerLost(slot, failed.reason) from None
+            if status == "s_lost":
+                # a respawn ate the worker-side session (another group's
+                # dispatch revived the slot): the state is gone but the
+                # slot is healthy — replay without charging a failure
+                self._supervisor.record_success(slot)
+                raise SessionWorkerLost(
+                    slot, "worker-side session state lost to a respawn"
+                )
+            if status == "error":
+                self._supervisor.record_success(slot)
+                raise payload  # type: ignore[misc]
+            self._supervisor.record_success(slot)
+            return payload  # type: ignore[return-value]
+
+    def session_close(
+        self, session_id: str, slot: int, *, drain: bool
+    ) -> list:
+        """Close a worker session; returns the drain's (index, report)s.
+
+        With ``drain`` the worker flushes the session first and the
+        reply lists every feed the drain resolved; without it the state
+        is dropped on the floor (an unknown sid is then not an error).
+        Worker loss raises :class:`SessionWorkerLost` — actionable only
+        when draining (an undrained close has nothing left to lose).
+        """
+        with self._state_lock:
+            if self._closed:
+                raise ServeError("process shard pool is closed")
+        with self._workers[slot].lock:
+            worker = self._workers[slot]
+            if not worker.process.is_alive():
+                self._fail_slot(slot, "worker died before session close")
+                raise SessionWorkerLost(
+                    slot, "worker died before session close"
+                )
+            try:
+                worker.conn.send(("s_close", session_id, bool(drain)))
+            except (OSError, ValueError):
+                self._fail_slot(
+                    slot, "worker pipe closed at session close"
+                )
+                raise SessionWorkerLost(
+                    slot, "worker pipe closed at session close"
+                ) from None
+            try:
+                status, payload = self._receive(slot, worker)
+            except _AttemptFailed as failed:
+                self._fail_slot(slot, failed.reason)
+                raise SessionWorkerLost(slot, failed.reason) from None
+            if status == "s_lost":
+                self._supervisor.record_success(slot)
+                raise SessionWorkerLost(
+                    slot, "worker-side session state lost to a respawn"
+                )
+            if status == "error":
+                self._supervisor.record_success(slot)
+                raise payload  # type: ignore[misc]
+            self._supervisor.record_success(slot)
+            return payload  # type: ignore[return-value]

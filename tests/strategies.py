@@ -67,6 +67,29 @@ def stream_lengths(
     )
 
 
+def session_schedules(
+    max_feeds: int = 6, max_waves_per_feed: int = 24
+) -> st.SearchStrategy:
+    """Chunked feed schedules of one streaming session.
+
+    Each drawn list is the per-``feed()`` wave count of a
+    :class:`~repro.core.wavepipe.batch.PackedSession` stream — i.e. the
+    split-point vector of the differential property: the concatenation
+    of the chunks is the solo run, the chunks are the resumed one.
+    Zero-length feeds are deliberately included (an empty feed must
+    resolve with an empty report without disturbing the stream), and
+    the distribution straddles the lane width so shrunk examples cover
+    both sub-lane and multi-slot packings.  Shared between
+    ``test_streaming.py`` and the chaos suites so a counterexample from
+    one reproduces in the others.
+    """
+    return st.lists(
+        st.integers(0, max_waves_per_feed),
+        min_size=1,
+        max_size=max_feeds,
+    )
+
+
 def request_mixes(
     n_netlists: int = 2,
     max_requests: int = 20,

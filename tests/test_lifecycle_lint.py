@@ -319,3 +319,61 @@ def test_lifecycle_suppression_carries_its_reason():
     assert (
         finding.reason == "process-lifetime handle, closed at exit"
     )
+
+
+# ----------------------------------------------------------------------
+# streaming sessions (open_stream / open_packed_session)
+# ----------------------------------------------------------------------
+def test_stream_left_open_on_an_early_return_is_caught():
+    findings = _life(
+        """
+        def probe(server, netlist, waves):
+            stream = server.open_stream(netlist)
+            if waves is None:
+                return None
+            future = stream.feed(waves)
+            stream.close()
+            return future
+        """
+    )
+    assert _rules(findings) == ["lifecycle-leak"]
+    (finding,) = findings
+    assert "session 'stream'" in finding.message
+
+
+def test_with_managed_stream_and_finally_closed_session_are_clean():
+    assert (
+        _life(
+            """
+            def serve(server, netlist, waves):
+                with server.open_stream(netlist) as stream:
+                    return stream.feed(waves).result()
+
+            def engine(netlist, waves):
+                session = open_packed_session(netlist)
+                try:
+                    session.feed(waves)
+                    session.flush()
+                finally:
+                    session.close()
+                return session.take_done()
+            """
+        )
+        == []
+    )
+
+
+def test_stream_stored_on_an_owner_transfers_ownership():
+    # the registry (server-side session table) owns the stream now;
+    # the opening function is off the hook
+    assert (
+        _life(
+            """
+            def admit(self, netlist):
+                stream = self._server.open_stream(netlist)
+                self._sessions[stream.session_id] = stream
+                return stream
+            """
+        )
+        == []
+    )

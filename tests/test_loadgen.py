@@ -532,3 +532,87 @@ class TestOpenLoopRuns:
                     server, balanced, self._scenario(n_requests=3),
                     payloads=[[[True]]],
                 )
+
+
+class TestStreamingRuns:
+    """``run_streaming`` — the generator behind ``serve-bench --stream``."""
+
+    def test_payload_sessions_are_bit_identical_to_solo_slices(self):
+        from repro.serve import run_streaming
+
+        balanced, _ = _netlists()
+        payloads = [
+            [
+                random_vectors(
+                    balanced.n_inputs, 4, seed=100 * s + f
+                )
+                for f in range(3)
+            ]
+            for s in range(2)
+        ]
+        solo = [
+            simulate_waves(
+                balanced,
+                [wave for chunk in chunks for wave in chunk],
+                engine="python",
+            )
+            for chunks in payloads
+        ]
+        with SimulationServer(shards=1) as server:
+            report = run_streaming(server, balanced, payloads=payloads)
+        # the payload table is authoritative for the run's shape
+        assert report.n_sessions == 2
+        assert report.feeds_per_session == 3
+        assert report.failed == []
+        assert report.n_completed == 6
+        assert report.total_waves == 24
+        assert len(report.latencies_s) == 6
+        for session, chunks in enumerate(payloads):
+            streamed = [
+                wave
+                for feed in report.reports[session]
+                for wave in feed.outputs
+            ]
+            assert streamed == solo[session].outputs
+
+    def test_default_payloads_are_seeded_per_session_and_feed(self):
+        from repro.serve import run_streaming
+
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1) as server:
+            first = run_streaming(
+                server, balanced,
+                sessions=2, feeds_per_session=2, waves_per_feed=3,
+                seed=5,
+            )
+            again = run_streaming(
+                server, balanced,
+                sessions=2, feeds_per_session=2, waves_per_feed=3,
+                seed=5,
+            )
+        assert first.failed == [] and again.failed == []
+        assert first.total_waves == 12
+        assert first.replays == 0
+        assert [
+            [feed.outputs for feed in session]
+            for session in first.reports
+        ] == [
+            [feed.outputs for feed in session]
+            for session in again.reports
+        ]
+        # distinct sessions draw distinct payloads
+        assert (
+            first.reports[0][0].outputs != first.reports[1][0].outputs
+        )
+
+    def test_ragged_payload_table_is_rejected(self):
+        from repro.serve import run_streaming
+
+        balanced, _ = _netlists()
+        chunk = random_vectors(balanced.n_inputs, 2, seed=0)
+        with SimulationServer(shards=1) as server:
+            with pytest.raises(ValueError, match="one feed count"):
+                run_streaming(
+                    server, balanced,
+                    payloads=[[chunk, chunk], [chunk]],
+                )

@@ -418,3 +418,93 @@ class TestConnectionLifecycle:
         assert time.perf_counter() - started_at >= 0.2
         assert tier.net.health()["net"]["listening"] is False
         tier.server.stop(drain=True)
+
+class TestSessionDisconnect:
+    """Streaming sessions when the socket dies under them (ISSUE 10).
+
+    The invariant: a lost connection fails every pending session feed
+    future with :class:`~repro.errors.ConnectionLost` on the client and
+    closes the session undrained on the server — nothing stranded on
+    either side, and the server keeps draining cleanly afterwards.
+    """
+
+    @staticmethod
+    def _stall_dispatch(monkeypatch) -> threading.Event:
+        """Hold every session feed un-dispatched until the event is set.
+
+        Gives the tests a deterministic window in which feed futures
+        are provably pending when the connection drops.
+        """
+        from repro.serve.server import ServerSession
+
+        release = threading.Event()
+        original = ServerSession._process
+
+        def stalled(self, item, flush):
+            release.wait(60.0)
+            original(self, item, flush)
+
+        monkeypatch.setattr(ServerSession, "_process", stalled)
+        return release
+
+    def test_client_close_fails_session_futures_typed(self, monkeypatch):
+        release = self._stall_dispatch(monkeypatch)
+        tier = _Tier(shards=1)
+        try:
+            client = tier.client()
+            stream = client.open_stream(_netlists()[0])
+            futures = [
+                stream.feed(_vectors(0, 4, seed)) for seed in range(3)
+            ]
+            client.close()  # abrupt: no s_close handshake
+            for future in futures:
+                with pytest.raises(ConnectionLost):
+                    future.result(10.0)
+            # feeds after a deliberate close are refused typed too
+            with pytest.raises((ConnectionLost, ServeError)):
+                stream.feed(_vectors(0, 1, 9))
+            stream.close()  # lost connection: no-op, never raises
+            release.set()
+            # the orphaned server-side session was closed undrained by
+            # the connection teardown; the server must drain cleanly
+            tier.server.stop(drain=True, timeout=60.0)
+            # the teardown finishes asynchronously on the net loop
+            deadline = time.perf_counter() + 10.0
+            while (
+                tier.net.health()["net"]["sessions_closed"] < 1
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.01)
+            counters = tier.net.health()["net"]
+            assert counters["sessions_opened"] == 1
+            assert counters["sessions_closed"] == 1
+            assert tier.net.health()["pending"] == 0
+        finally:
+            release.set()
+            tier.net.close(drain=False)
+            tier.server.stop(drain=False)
+
+    def test_abrupt_server_close_fails_session_futures_typed(
+        self, monkeypatch
+    ):
+        release = self._stall_dispatch(monkeypatch)
+        tier = _Tier(shards=1)
+        client = tier.client()
+        try:
+            stream = client.open_stream(_netlists()[0])
+            futures = [
+                stream.feed(_vectors(0, 4, seed)) for seed in range(3)
+            ]
+            tier.net.close(drain=False)
+            for future in futures:
+                with pytest.raises(ConnectionLost):
+                    future.result(10.0)
+            with pytest.raises((ConnectionLost, ServeError)):
+                stream.feed(_vectors(0, 1, 9))
+            release.set()
+            tier.server.stop(drain=True, timeout=60.0)
+            assert tier.server.health()["sessions"] == []
+        finally:
+            release.set()
+            client.close()
+            tier.server.stop(drain=False)

@@ -37,7 +37,12 @@ from repro.core.wavepipe import (
     simulate_waves,
     wave_pipeline,
 )
-from repro.errors import DeadlineExceeded, ServerClosed, SimulationError
+from repro.errors import (
+    DeadlineExceeded,
+    ServerClosed,
+    SessionClosed,
+    SimulationError,
+)
 from repro.serve import (
     GroupKey,
     ProcessShardPool,
@@ -456,6 +461,110 @@ class TestProcessShardPool:
 
         with pytest.raises(ServeError, match="closed"):
             pool.simulate(_netlists()[0], [_vectors(0, 2, 0)], n_phases=3)
+
+
+class TestSessionChaos:
+    """Streaming sessions under murder, shutdown, and cancellation."""
+
+    @staticmethod
+    def _solo_slices(netlist, schedule, seed):
+        total = sum(schedule)
+        waves = random_vectors(netlist.n_inputs, total, seed=seed)
+        solo = simulate_waves(netlist, waves, engine="packed")
+        slices = []
+        start = 0
+        for count in schedule:
+            slices.append(solo.outputs[start:start + count])
+            start += count
+        return waves, slices
+
+    def test_worker_murder_mid_session_replays_bit_identically(self):
+        balanced, _ = _netlists()
+        schedule = [10, 7, 12, 5]
+        waves, slices = self._solo_slices(balanced, schedule, seed=4)
+        with SimulationServer(shards=1, process_shards=1) as server:
+            with server.open_stream(balanced) as stream:
+                futures = []
+                start = 0
+                for index, count in enumerate(schedule):
+                    if index == 2:
+                        # murder the sticky worker mid-stream: the
+                        # session must replay its feed log onto the
+                        # respawned worker, bit-identically
+                        for pid in server._pool.worker_pids():
+                            os.kill(pid, signal.SIGKILL)
+                    futures.append(
+                        stream.feed(waves[start:start + count])
+                    )
+                    start += count
+                reports = [future.result(TIMEOUT_S) for future in futures]
+            for report, expected in zip(reports, slices):
+                assert report.outputs == expected
+            metrics = stream.metrics()
+            assert metrics["replays"] >= 1
+            snapshot = server.metrics.snapshot()
+            assert snapshot["session_replays"] >= 1
+            assert snapshot["worker_restarts"] >= 1
+
+    @pytest.mark.parametrize("process_shards", [0, 1])
+    def test_server_close_drains_open_sessions(self, process_shards):
+        balanced, _ = _netlists()
+        schedule = [4] * 10
+        waves, slices = self._solo_slices(balanced, schedule, seed=3)
+        server = SimulationServer(
+            shards=1, process_shards=process_shards
+        )
+        stream = server.open_stream(balanced)
+        futures = []
+        start = 0
+        for count in schedule:
+            futures.append(stream.feed(waves[start:start + count]))
+            start += count
+        # close the *server* with sessions still in flight: drain
+        # semantics must resolve every session future with its report
+        server.close(timeout=TIMEOUT_S)
+        for future, expected in zip(futures, slices):
+            assert future.result(timeout=0).outputs == expected
+        assert stream.closed
+        with pytest.raises(SessionClosed):
+            stream.feed(waves[:1])
+        snapshot = server.metrics.snapshot()
+        assert snapshot["sessions_opened"] == 1
+        assert snapshot["sessions_closed"] == 1
+        _assert_ledger_balances(snapshot)  # request ledger untouched
+
+    def test_stop_without_drain_fails_queued_feeds_typed(self):
+        balanced, _ = _netlists()
+        server = SimulationServer(shards=1)
+        stream = server.open_stream(balanced)
+        futures = [
+            stream.feed(_vectors(0, 4, seed)) for seed in range(6)
+        ]
+        server.stop(drain=False, timeout=TIMEOUT_S)
+        # no future strands: each one resolves with a report (already
+        # in flight when the plug was pulled) or fails typed
+        for future in futures:
+            assert future.done()
+            error = future.exception(timeout=0)
+            assert error is None or isinstance(error, SessionClosed)
+
+    def test_session_close_without_drain_is_contained(self):
+        balanced, _ = _netlists()
+        with SimulationServer(shards=1) as server:
+            stream = server.open_stream(balanced)
+            futures = [
+                stream.feed(_vectors(0, 3, seed)) for seed in range(4)
+            ]
+            stream.close(drain=False, timeout=TIMEOUT_S)
+            for future in futures:
+                assert future.done()
+                error = future.exception(timeout=0)
+                assert error is None or isinstance(error, SessionClosed)
+            # the server keeps serving ordinary traffic afterwards
+            report = server.simulate(
+                balanced, _vectors(0, 5, 9), timeout=TIMEOUT_S
+            )
+            assert report == _solo(0, 5, 9)
 
 
 class TestWarmPrecompile:

@@ -43,6 +43,7 @@ from repro.core.wavepipe import (
 from repro.errors import (
     DeadlineExceeded,
     ServeError,
+    SessionClosed,
     ShardFailed,
 )
 from repro.serve import (
@@ -579,6 +580,171 @@ class TestFaultMatrix:
             metrics = server.metrics.snapshot()
             _assert_ledger_balances(metrics)
             assert metrics["shard_failed"] == metrics["failed"]
+        finally:
+            server.close(timeout=TIMEOUT_S)
+
+
+class TestSessionFaults:
+    """Streaming sessions under the seeded fault matrix (ISSUE 10).
+
+    The session mirror of :class:`TestFaultMatrix`: under a seeded
+    crash x hang x slow x EOF blend, every ``feed()`` future resolves
+    bit-identical to its slice of the solo run or fails typed
+    (:class:`~repro.errors.ShardFailed` /
+    :class:`~repro.errors.SessionClosed` once the stream is
+    quarantined), each worker loss is a counted feed-log replay, and
+    the request-metrics ledger never absorbs session traffic.
+    """
+
+    RATES = FaultRates(
+        crash_before_dispatch=0.1,
+        crash_mid_batch=0.25,
+        pipe_eof=0.1,
+        hang=0.15,
+        slow=0.2,
+        slow_s=0.01,
+        hang_s=60.0,
+    )
+
+    SCHEDULE = [5, 0, 9, 3, 7, 1, 6]
+
+    @staticmethod
+    def _slices(netlist, schedule, seed):
+        """The solo oracle, cut at the schedule's feed boundaries."""
+        waves = random_vectors(
+            netlist.n_inputs, sum(schedule), seed=seed
+        )
+        solo = simulate_waves(netlist, waves, engine="packed")
+        slices, start = [], 0
+        for count in schedule:
+            slices.append(solo.outputs[start:start + count])
+            start += count
+        return waves, slices
+
+    @pytest.mark.parametrize("fault_seed", [0, 1, 2])
+    def test_session_matrix_bit_identical_or_typed(self, fault_seed):
+        balanced, _ = _netlists()
+        waves, slices = self._slices(balanced, self.SCHEDULE, seed=6)
+        plan = FaultPlan(fault_seed, self.RATES)
+        server = SimulationServer(
+            shards=1,
+            process_shards=1,
+            dispatch_timeout_s=0.75,
+            faults=plan,
+            supervision=FAST,
+        )
+        try:
+            stream = server.open_stream(balanced)
+            futures, start = [], 0
+            for count in self.SCHEDULE:
+                try:
+                    futures.append(
+                        stream.feed(waves[start:start + count])
+                    )
+                except SessionClosed:
+                    break  # quarantined mid-schedule: typed, stop feeding
+                start += count
+            stream.close(drain=True, timeout=TIMEOUT_S)
+            for future, expected in zip(futures, slices):
+                assert future.done()
+                try:
+                    report = future.result(timeout=0)
+                except (ShardFailed, SessionClosed):
+                    continue  # typed, accounted — acceptable outcomes
+                assert report.outputs == expected, (fault_seed, expected)
+            metrics = server.metrics.snapshot()
+            # session feeds never leak into the request ledger
+            assert metrics["submitted"] == 0
+            _assert_ledger_balances(metrics)
+            assert metrics["sessions_opened"] == 1
+            assert metrics["sessions_closed"] == 1
+        finally:
+            server.close(timeout=TIMEOUT_S)
+
+    def test_injected_crash_is_a_counted_replay(self):
+        """A crash_before_dispatch feed replays and stays bit-identical."""
+        rates = FaultRates(crash_before_dispatch=0.6)
+        # fire on the second session_feed visit: the first feed lands
+        # clean, the crash then eats the worker-side engine state that
+        # the replay must reconstruct
+        seed = _find_seed(
+            [False, True, False, False, False, False],
+            rates,
+            "crash_before_dispatch",
+        )
+        balanced, _ = _netlists()
+        schedule = [4, 6, 3]
+        waves, slices = self._slices(balanced, schedule, seed=2)
+        server = SimulationServer(
+            shards=1,
+            process_shards=1,
+            faults=FaultPlan(seed, rates),
+            supervision=FAST,
+        )
+        try:
+            with server.open_stream(balanced) as stream:
+                futures, start = [], 0
+                for count in schedule:
+                    futures.append(
+                        stream.feed(waves[start:start + count])
+                    )
+                    start += count
+                reports = [
+                    future.result(TIMEOUT_S) for future in futures
+                ]
+            for report, expected in zip(reports, slices):
+                assert report.outputs == expected
+            assert stream.metrics()["replays"] >= 1
+            assert server.metrics.snapshot()["session_replays"] >= 1
+        finally:
+            server.close(timeout=TIMEOUT_S)
+
+    def test_sessions_and_requests_share_faults_but_not_ledgers(self):
+        """A session and plain submits coexist under one fault plan."""
+        plan = FaultPlan(1, self.RATES)
+        balanced, _ = _netlists()
+        schedule = [3, 5, 2]
+        waves, slices = self._slices(balanced, schedule, seed=8)
+        requests = [(0, 1 + index % 4, index) for index in range(6)]
+        server = SimulationServer(
+            shards=2,
+            process_shards=1,
+            dispatch_timeout_s=0.75,
+            faults=plan,
+            supervision=FAST,
+            max_linger_steps=0,
+        )
+        try:
+            stream = server.open_stream(balanced)
+            feed_futures, start = [], 0
+            for count in schedule:
+                feed_futures.append(
+                    stream.feed(waves[start:start + count])
+                )
+                start += count
+            request_futures = [
+                server.submit(_netlists()[request[0]], _vectors(*request))
+                for request in requests
+            ]
+            stream.close(drain=True, timeout=TIMEOUT_S)
+            for future, expected in zip(feed_futures, slices):
+                try:
+                    report = future.result(timeout=0)
+                except (ShardFailed, SessionClosed):
+                    continue
+                assert report.outputs == expected
+            for request, future in zip(requests, request_futures):
+                try:
+                    report = future.result(TIMEOUT_S)
+                except ShardFailed:
+                    continue
+                assert report == _solo(*request)
+            metrics = server.metrics.snapshot()
+            # the request ledger counts the submits and nothing else
+            assert metrics["submitted"] == len(requests)
+            _assert_ledger_balances(metrics)
+            assert metrics["session_feeds"] == len(schedule)
+            assert metrics["session_waves"] == sum(schedule)
         finally:
             server.close(timeout=TIMEOUT_S)
 
